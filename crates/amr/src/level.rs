@@ -1,0 +1,183 @@
+//! Patch levels: all patches at one refinement resolution.
+
+use crate::patch::{Patch, PatchId};
+use crate::variable::VariableRegistry;
+use rbamr_geometry::{BoxList, GBox, IntVector};
+
+/// One refinement level of the hierarchy: the global description of all
+/// its patches (replicated on every rank, SAMRAI-style) plus the
+/// locally owned [`Patch`] objects with data.
+pub struct PatchLevel {
+    level_no: usize,
+    /// Ratio to the next coarser level (`IntVector::ONE` for level 0).
+    ratio: IntVector,
+    /// Every patch box on this level, globally known.
+    global_boxes: Vec<GBox>,
+    /// Owning rank of each global box.
+    owners: Vec<usize>,
+    /// The level's index-space domain (the refined physical domain).
+    domain: BoxList,
+    /// Locally owned patches, carrying data.
+    local: Vec<Patch>,
+}
+
+impl PatchLevel {
+    /// Build a level: allocate data for the boxes owned by `my_rank`.
+    ///
+    /// # Panics
+    /// Panics if `boxes` and `owners` disagree in length, any box is
+    /// empty or escapes `domain`, or boxes overlap.
+    pub fn new(
+        level_no: usize,
+        ratio: IntVector,
+        boxes: Vec<GBox>,
+        owners: Vec<usize>,
+        domain: BoxList,
+        my_rank: usize,
+        registry: &VariableRegistry,
+    ) -> Self {
+        assert_eq!(boxes.len(), owners.len(), "PatchLevel: boxes/owners mismatch");
+        for (i, b) in boxes.iter().enumerate() {
+            assert!(!b.is_empty(), "PatchLevel: empty patch box {i}");
+            assert!(
+                domain.contains_box(*b),
+                "PatchLevel: patch box {b:?} escapes level domain"
+            );
+            for other in &boxes[i + 1..] {
+                assert!(!b.intersects(*other), "PatchLevel: overlapping patch boxes {b:?}, {other:?}");
+            }
+        }
+        let local = boxes
+            .iter()
+            .zip(&owners)
+            .enumerate()
+            .filter(|(_, (_, &o))| o == my_rank)
+            .map(|(index, (&b, &o))| Patch::new(PatchId { level: level_no, index }, b, o, registry))
+            .collect();
+        Self { level_no, ratio, global_boxes: boxes, owners, domain, local }
+    }
+
+    /// The level number (0 = coarsest).
+    pub fn level_no(&self) -> usize {
+        self.level_no
+    }
+
+    /// Refinement ratio to the next coarser level.
+    pub fn ratio(&self) -> IntVector {
+        self.ratio
+    }
+
+    /// The level's index-space domain.
+    pub fn domain(&self) -> &BoxList {
+        &self.domain
+    }
+
+    /// All patch boxes on the level (every rank).
+    pub fn global_boxes(&self) -> &[GBox] {
+        &self.global_boxes
+    }
+
+    /// Owner rank of the global patch `index`.
+    pub fn owner_of(&self, index: usize) -> usize {
+        self.owners[index]
+    }
+
+    /// Number of patches on the level (globally).
+    pub fn num_patches(&self) -> usize {
+        self.global_boxes.len()
+    }
+
+    /// Total cells on the level (globally).
+    pub fn num_cells(&self) -> i64 {
+        self.global_boxes.iter().map(|b| b.num_cells()).sum()
+    }
+
+    /// The region covered by the level's patches.
+    pub fn covered(&self) -> BoxList {
+        BoxList::from_boxes(self.global_boxes.iter().copied())
+    }
+
+    /// Locally owned patches.
+    pub fn local(&self) -> &[Patch] {
+        &self.local
+    }
+
+    /// Locally owned patches, mutable.
+    pub fn local_mut(&mut self) -> &mut [Patch] {
+        &mut self.local
+    }
+
+    /// Locally owned patch by global index, if owned here.
+    pub fn local_by_index(&self, index: usize) -> Option<&Patch> {
+        self.local.iter().find(|p| p.id().index == index)
+    }
+
+    /// Locally owned patch by global index, mutable.
+    pub fn local_by_index_mut(&mut self, index: usize) -> Option<&mut Patch> {
+        self.local.iter_mut().find(|p| p.id().index == index)
+    }
+
+    /// Set the simulation time on all local data.
+    pub fn set_time(&mut self, time: f64) {
+        for p in &mut self.local {
+            p.set_time(time);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hostdata::HostDataFactory;
+    use rbamr_geometry::Centring;
+    use std::sync::Arc;
+
+    fn registry() -> VariableRegistry {
+        let mut r = VariableRegistry::new(Arc::new(HostDataFactory::new()));
+        r.register("density", Centring::Cell, IntVector::uniform(2));
+        r
+    }
+
+    fn domain() -> BoxList {
+        BoxList::from_box(GBox::from_coords(0, 0, 16, 16))
+    }
+
+    #[test]
+    fn only_owned_boxes_get_data() {
+        let r = registry();
+        let boxes = vec![GBox::from_coords(0, 0, 8, 8), GBox::from_coords(8, 0, 16, 8)];
+        let level = PatchLevel::new(0, IntVector::ONE, boxes, vec![0, 1], domain(), 0, &r);
+        assert_eq!(level.num_patches(), 2);
+        assert_eq!(level.local().len(), 1);
+        assert_eq!(level.local()[0].id().index, 0);
+        assert_eq!(level.owner_of(1), 1);
+        assert!(level.local_by_index(1).is_none());
+        assert_eq!(level.num_cells(), 128);
+    }
+
+    #[test]
+    fn covered_region_is_union_of_boxes() {
+        let r = registry();
+        let boxes = vec![GBox::from_coords(0, 0, 8, 8), GBox::from_coords(8, 8, 16, 16)];
+        let level = PatchLevel::new(0, IntVector::ONE, boxes, vec![0, 0], domain(), 0, &r);
+        let cov = level.covered();
+        assert_eq!(cov.num_cells(), 128);
+        assert!(!cov.contains(IntVector::new(12, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping patch boxes")]
+    fn overlapping_boxes_rejected() {
+        let r = registry();
+        let boxes = vec![GBox::from_coords(0, 0, 8, 8), GBox::from_coords(4, 0, 12, 8)];
+        PatchLevel::new(0, IntVector::ONE, boxes, vec![0, 0], domain(), 0, &r);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes level domain")]
+    fn out_of_domain_boxes_rejected() {
+        let r = registry();
+        let boxes = vec![GBox::from_coords(0, 0, 32, 8)];
+        PatchLevel::new(0, IntVector::ONE, boxes, vec![0], domain(), 0, &r);
+    }
+}

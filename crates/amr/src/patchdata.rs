@@ -1,0 +1,212 @@
+//! The `PatchData` interface (the paper's Figure 2).
+
+use bytes::Bytes;
+use rbamr_geometry::{BoxOverlap, Centring, GBox, IntVector};
+use rbamr_perfmodel::Category;
+use std::any::Any;
+
+/// Scalar element types storable in patch data.
+///
+/// Exactly two are needed: `f64` for simulation quantities and `i32`
+/// for refinement tags (SAMRAI stores tags as integer cell data).
+pub trait Element:
+    Copy + Default + Send + Sync + PartialEq + std::fmt::Debug + 'static
+{
+    /// Size of the serialised element in bytes.
+    const BYTES: usize;
+    /// Append the little-endian encoding to `out`.
+    fn write_to(self, out: &mut Vec<u8>);
+    /// Decode from the first `Self::BYTES` bytes of `src`.
+    fn read_from(src: &[u8]) -> Self;
+}
+
+impl Element for f64 {
+    const BYTES: usize = 8;
+    fn write_to(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_from(src: &[u8]) -> Self {
+        f64::from_le_bytes(src[..8].try_into().expect("short f64 stream"))
+    }
+}
+
+impl Element for i32 {
+    const BYTES: usize = 4;
+    fn write_to(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn read_from(src: &[u8]) -> Self {
+        i32::from_le_bytes(src[..4].try_into().expect("short i32 stream"))
+    }
+}
+
+/// One simulation quantity on one patch — the reproduction of SAMRAI's
+/// `PatchData` interface (paper Figure 2).
+///
+/// Everything the framework does with data goes through this interface:
+/// same-level copies (`copy`/`copy2` in the original), message packing
+/// and unpacking for MPI transfers (`packStream`/`unpackStream`,
+/// `getDataStreamSize`), and restart serialisation. Implementations
+/// decide where the values live: [`HostData`](crate::HostData) keeps
+/// them in host memory; the `rbamr-gpu-amr` crate keeps them resident in
+/// (simulated) device memory and implements these methods with
+/// data-parallel kernels — the paper's core contribution.
+pub trait PatchData: Send {
+    /// Upcast for concrete-type access ("downcasting" in SAMRAI terms).
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// The interior cell box this data covers (`getBox()`).
+    fn cell_box(&self) -> GBox;
+
+    /// Ghost width in cells (`getGhostCellWidth()`).
+    fn ghosts(&self) -> IntVector;
+
+    /// The data centring.
+    fn centring(&self) -> Centring;
+
+    /// Interior plus ghosts, in cell space (`getGhostBox()`).
+    fn ghost_cell_box(&self) -> GBox {
+        self.cell_box().grow(self.ghosts())
+    }
+
+    /// The index box of stored values: the centring-adjusted ghost box.
+    fn data_box(&self) -> GBox {
+        self.centring().data_box(self.ghost_cell_box())
+    }
+
+    /// Simulation time of the stored values (`getTime()`).
+    fn time(&self) -> f64;
+
+    /// Set the simulation time (`setTime()`).
+    fn set_time(&mut self, time: f64);
+
+    /// Set the cost category charged for subsequent copy/pack/unpack
+    /// operations, so schedules can attribute data movement to the
+    /// right runtime component (halo fill vs synchronisation vs
+    /// regridding). Implementations without cost accounting ignore it.
+    fn set_transfer_category(&mut self, _category: Category) {}
+
+    /// Copy the overlap region from `src` into `self` (`copy(src,
+    /// overlap)`).
+    ///
+    /// # Panics
+    /// Panics if `src` is not the same concrete type, the centrings
+    /// differ, or the overlap is not contained in both data boxes —
+    /// all schedule-construction bugs.
+    fn copy_from(&mut self, src: &dyn PatchData, overlap: &BoxOverlap);
+
+    /// Exact size in bytes of the stream [`PatchData::pack`] produces
+    /// for this overlap (`getDataStreamSize`).
+    fn stream_size(&self, overlap: &BoxOverlap) -> usize;
+
+    /// Pack the source values for `overlap` into a contiguous stream
+    /// (`packStream`). The overlap's boxes are in *destination* index
+    /// space; this (source) side reads at `index - shift`. Values are
+    /// streamed box by box in row-major order.
+    fn pack(&self, overlap: &BoxOverlap) -> Bytes;
+
+    /// Unpack a stream produced by a matching [`PatchData::pack`] into
+    /// the overlap region (`unpackStream`).
+    fn unpack(&mut self, overlap: &BoxOverlap, stream: &[u8]);
+
+    /// Clamp-extend values into cells not covered by `covered` (used on
+    /// interpolation scratch at physical-domain corners, where no
+    /// coarse source exists): each uncovered index copies the value at
+    /// its coordinates clamped into the covered bounding box. A no-op
+    /// when `covered` is empty or covers the whole data box.
+    fn extend_uncovered(&mut self, covered: &rbamr_geometry::BoxList);
+}
+
+/// Compute the (target, source) index pairs for
+/// [`PatchData::extend_uncovered`]: pure index arithmetic shared by the
+/// host and device implementations.
+pub fn extension_pairs(data_box: GBox, covered: &rbamr_geometry::BoxList) -> Vec<(usize, usize)> {
+    if covered.is_empty() {
+        return Vec::new();
+    }
+    let bound = covered.bounding();
+    let mut pairs = Vec::new();
+    for p in data_box.iter() {
+        if !covered.contains(p) {
+            let q = IntVector::new(
+                p.x.clamp(bound.lo.x, bound.hi.x - 1),
+                p.y.clamp(bound.lo.y, bound.hi.y - 1),
+            );
+            if covered.contains(q) {
+                pairs.push((data_box.offset_of(p), data_box.offset_of(q)));
+            }
+        }
+    }
+    pairs
+}
+
+/// Validate that an overlap is usable between a source and destination:
+/// same centring, destination boxes inside the destination data box and
+/// shifted boxes inside the source data box. Shared by host and device
+/// implementations.
+pub fn validate_overlap(
+    overlap: &BoxOverlap,
+    src_data_box: GBox,
+    dst_data_box: GBox,
+    centring: Centring,
+) {
+    assert_eq!(overlap.centring, centring, "overlap centring mismatch");
+    for b in overlap.dst_boxes.boxes() {
+        assert!(
+            dst_data_box.contains_box(*b),
+            "overlap box {b:?} outside destination data box {dst_data_box:?}"
+        );
+        let src_b = b.shift(-overlap.shift);
+        assert!(
+            src_data_box.contains_box(src_b),
+            "overlap box {src_b:?} (shifted) outside source data box {src_data_box:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut buf = Vec::new();
+        (-3.25f64).write_to(&mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(f64::read_from(&buf), -3.25);
+    }
+
+    #[test]
+    fn i32_roundtrip() {
+        let mut buf = Vec::new();
+        (-7i32).write_to(&mut buf);
+        assert_eq!(buf.len(), 4);
+        assert_eq!(i32::read_from(&buf), -7);
+    }
+
+    #[test]
+    fn validate_overlap_accepts_contained() {
+        let dst = GBox::from_coords(0, 0, 4, 4);
+        let src = GBox::from_coords(2, 0, 8, 4);
+        let ov = rbamr_geometry::copy_overlap(dst, src, Centring::Cell);
+        validate_overlap(&ov, src, dst, Centring::Cell);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside destination")]
+    fn validate_overlap_rejects_escapes() {
+        let ov = BoxOverlap {
+            dst_boxes: rbamr_geometry::BoxList::from_box(GBox::from_coords(0, 0, 9, 9)),
+            shift: IntVector::ZERO,
+            centring: Centring::Cell,
+        };
+        validate_overlap(
+            &ov,
+            GBox::from_coords(0, 0, 9, 9),
+            GBox::from_coords(0, 0, 4, 4),
+            Centring::Cell,
+        );
+    }
+}

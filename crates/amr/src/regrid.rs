@@ -1,0 +1,603 @@
+//! The regridding procedure: flag → cluster → rebuild → transfer.
+//!
+//! Paper Section II: "This regridding procedure has three steps:
+//! flagging, where a heuristic is applied to determine which level l
+//! cells ought to be covered by the level l+1 patches; clustering, where
+//! the new set of level l patches is created from a set of flagged cells
+//! on level l−1; and solution transfer, where data is copied from the
+//! old to the new hierarchy." Applied "recursively from the second
+//! finest to the coarsest level".
+//!
+//! Nesting is guaranteed the SAMRAI way: when level `T` has been
+//! planned, its coarsened footprint (grown by the nesting buffer) is
+//! added to the tags that will drive the planning of level `T-1`, so the
+//! new coarser level always covers the new finer one.
+
+use crate::balance::partition_sfc;
+use crate::cluster::{cluster_tags, split_to_max, ClusterParams};
+use crate::hierarchy::PatchHierarchy;
+use crate::level::PatchLevel;
+use crate::ops::RefineOperator;
+use crate::schedule::{regrid_tag, REGRID_COPY, REGRID_SCRATCH};
+use crate::tagging::TagBitmap;
+use crate::variable::{VariableId, VariableRegistry};
+use rbamr_geometry::{copy_overlap, BoxList, BoxOverlap, GBox, IntVector};
+use rbamr_netsim::Comm;
+use rbamr_perfmodel::Category;
+use std::sync::Arc;
+
+/// Produces refinement tags — the application-supplied flagging
+/// heuristic (CleverLeaf flags on density/energy/pressure gradients; the
+/// GPU build evaluates it with one CUDA thread per cell and ships the
+/// result as a compressed [`TagBitmap`]).
+pub trait CellTagger {
+    /// Tag cells on the *local* patches of `level`, returning one bitmap
+    /// per local patch (in [`PatchLevel::local`] order).
+    fn tag_cells(&self, hierarchy: &PatchHierarchy, level: usize, time: f64) -> Vec<TagBitmap>;
+}
+
+/// How to initialise one variable on rebuilt levels.
+pub struct TransferSpec {
+    /// The variable.
+    pub var: VariableId,
+    /// Operator interpolating the variable from the next coarser level
+    /// where no old data exists.
+    pub refine_op: Arc<dyn RefineOperator>,
+}
+
+/// Regridding parameters.
+#[derive(Clone, Debug)]
+pub struct RegridParams {
+    /// Berger–Rigoutsos parameters, applied in the tag level's index
+    /// space.
+    pub cluster: ClusterParams,
+    /// Nesting buffer in coarse cells (the paper requires >= 1).
+    pub nesting_buffer: i64,
+    /// Grow clustered boxes by this many tag-level cells before
+    /// refining, so features stay refined between regrids.
+    pub tag_buffer: i64,
+    /// Maximum patch extent on the *new* (fine) level, in fine cells.
+    pub max_patch_size: i64,
+}
+
+impl Default for RegridParams {
+    fn default() -> Self {
+        Self {
+            cluster: ClusterParams::default(),
+            nesting_buffer: 1,
+            tag_buffer: 1,
+            max_patch_size: 1 << 30,
+        }
+    }
+}
+
+/// The regridding driver.
+pub struct Regridder {
+    params: RegridParams,
+}
+
+impl Regridder {
+    /// Create a driver with the given parameters.
+    ///
+    /// # Panics
+    /// Panics if the nesting buffer is < 1 (the paper's properly-nested
+    /// requirement).
+    pub fn new(params: RegridParams) -> Self {
+        assert!(params.nesting_buffer >= 1, "nesting buffer must be >= 1");
+        assert!(params.tag_buffer >= 0, "negative tag buffer");
+        Self { params }
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &RegridParams {
+        &self.params
+    }
+
+    /// Rebuild every level finer than level 0.
+    ///
+    /// Flags with `tagger`, clusters, load balances, rebuilds the levels
+    /// and transfers the solution (`specs`). Charges `Category::Regrid`
+    /// on data movement. Returns the number of levels in the new
+    /// hierarchy.
+    pub fn regrid(
+        &self,
+        hierarchy: &mut PatchHierarchy,
+        registry: &VariableRegistry,
+        tagger: &dyn CellTagger,
+        specs: &[TransferSpec],
+        comm: Option<&Comm>,
+        time: f64,
+    ) -> usize {
+        let max_levels = hierarchy.max_levels();
+        let finest_target = (hierarchy.finest_level() + 1).min(max_levels - 1);
+        // Planned boxes per level (fine index space of that level).
+        let mut planned: Vec<Option<Vec<GBox>>> = vec![None; max_levels];
+        // Nesting footprints to merge into coarser plans, indexed by the
+        // tag level they apply to.
+        let mut nesting_cover: Vec<BoxList> = vec![BoxList::new(); max_levels];
+
+        // --- Plan, from second finest down to coarsest ----------------
+        for target in (1..=finest_target).rev() {
+            let tag_level = target - 1;
+            let ratio = hierarchy.ratio_to_coarser(target);
+            let tag_domain = hierarchy.level_domain(tag_level);
+
+            // Flag (on levels that currently exist — tag_level always
+            // does, since target <= finest + 1).
+            let bitmaps = tagger.tag_cells(hierarchy, tag_level, time);
+            assert_eq!(
+                bitmaps.len(),
+                hierarchy.level(tag_level).local().len(),
+                "tagger returned wrong number of bitmaps"
+            );
+            let mut cells: Vec<IntVector> =
+                bitmaps.iter().flat_map(|bm| bm.tagged_cells()).collect();
+
+            // Exchange tags globally (clustering is replicated).
+            if let Some(comm) = comm {
+                cells = exchange_tags(comm, &cells);
+            }
+
+            // Cluster in tag-level index space.
+            let clustered = cluster_tags(&cells, &self.params.cluster);
+
+            // Buffer, merge the nesting footprint of the finer level,
+            // clip to the domain.
+            let mut region = BoxList::from_boxes(
+                clustered
+                    .iter()
+                    .map(|b| b.grow(IntVector::uniform(self.params.tag_buffer))),
+            );
+            region.union(&nesting_cover[tag_level]);
+            let mut clipped = BoxList::new();
+            for b in region.boxes() {
+                clipped.union(&tag_domain.intersect_box(*b));
+            }
+            clipped.coalesce();
+
+            if clipped.is_empty() {
+                planned[target] = Some(Vec::new());
+                continue;
+            }
+
+            // Refine to the target level and split to the patch size cap.
+            let mut fine_boxes = Vec::new();
+            for b in clipped.boxes() {
+                split_to_max(b.refine(ratio), self.params.max_patch_size, &mut fine_boxes);
+            }
+            planned[target] = Some(fine_boxes);
+
+            // Nesting: the new level must be covered (plus buffer) by
+            // the next coarser level when that gets rebuilt.
+            if target >= 2 {
+                let buffer = IntVector::uniform(self.params.nesting_buffer);
+                let coarser_ratio = hierarchy.ratio_to_coarser(target - 1);
+                let footprint = clipped.grow(buffer).coarsen(coarser_ratio);
+                nesting_cover[target - 2].union(&footprint);
+            }
+        }
+
+        // --- Rebuild + transfer, coarsest first ------------------------
+        let nranks = hierarchy.nranks();
+        let mut new_num_levels = 1;
+        #[allow(clippy::needless_range_loop)] // target is a level number, not a plain index
+        for target in 1..=finest_target {
+            let boxes = planned[target].take().unwrap_or_default();
+            if boxes.is_empty() {
+                break;
+            }
+            let owners = partition_sfc(&boxes, nranks);
+            self.rebuild_level(hierarchy, registry, target, boxes, owners, specs, comm, time);
+            new_num_levels = target + 1;
+        }
+        hierarchy.truncate_levels(new_num_levels);
+        if let Some(comm) = comm {
+            comm.barrier(Category::Regrid);
+        }
+        new_num_levels
+    }
+
+    /// Build the new level `target`, initialise its data (refine from
+    /// the level below, then overwrite from the old level where it
+    /// overlapped), and install it.
+    #[allow(clippy::too_many_arguments)]
+    fn rebuild_level(
+        &self,
+        hierarchy: &mut PatchHierarchy,
+        registry: &VariableRegistry,
+        target: usize,
+        boxes: Vec<GBox>,
+        owners: Vec<usize>,
+        specs: &[TransferSpec],
+        comm: Option<&Comm>,
+        time: f64,
+    ) {
+        let rank = hierarchy.rank();
+        let ratio = hierarchy.ratio_to_coarser(target);
+        let mut new_level = PatchLevel::new(
+            target,
+            ratio,
+            boxes.clone(),
+            owners.clone(),
+            hierarchy.level_domain(target),
+            rank,
+            registry,
+        );
+
+        let old_exists = target <= hierarchy.finest_level();
+        let old_boxes: Vec<GBox> = if old_exists {
+            hierarchy.level(target).global_boxes().to_vec()
+        } else {
+            Vec::new()
+        };
+        let old_owners: Vec<usize> = if old_exists {
+            (0..old_boxes.len())
+                .map(|i| hierarchy.level(target).owner_of(i))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        for spec in specs {
+            let var = registry.get(spec.var);
+            let centring = var.centring;
+
+            // Phase A: sends of coarse scratch data we own to remote new
+            // patches, and of old-level data we own to remote new patches.
+            for (nidx, (&nb, &nrank)) in boxes.iter().zip(&owners).enumerate() {
+                let fine_fill = centring.data_box(nb);
+                let fine_cover = crate::schedule::cell_cover_pub(fine_fill, centring);
+                let scratch_box = fine_cover.coarsen(ratio).grow(spec.refine_op.stencil_width());
+                let scratch_data_box = centring.data_box(scratch_box);
+
+                let coarse = hierarchy.level(target - 1);
+                for (cidx, &cb) in coarse.global_boxes().iter().enumerate() {
+                    let c_rank = coarse.owner_of(cidx);
+                    if c_rank != rank || nrank == rank {
+                        continue;
+                    }
+                    let fill = scratch_data_box.intersect(centring.data_box(cb));
+                    if fill.is_empty() {
+                        continue;
+                    }
+                    let ov = BoxOverlap {
+                        dst_boxes: BoxList::from_box(fill),
+                        shift: IntVector::ZERO,
+                        centring,
+                    };
+                    let comm = comm.expect("regrid: remote coarse sources need a Comm");
+                    let coarse_mut = hierarchy.level(target - 1);
+                    let src = coarse_mut.local_by_index(cidx).expect("owner mismatch");
+                    let payload = src.data(spec.var).pack(&ov);
+                    comm.send(nrank, regrid_tag(REGRID_SCRATCH, spec.var, nidx, cidx), payload);
+                }
+
+                for (oidx, (&ob, &o_rank)) in old_boxes.iter().zip(&old_owners).enumerate() {
+                    if o_rank != rank || nrank == rank {
+                        continue;
+                    }
+                    let ov = copy_overlap(nb, ob, centring);
+                    if ov.is_empty() {
+                        continue;
+                    }
+                    let comm = comm.expect("regrid: remote old data needs a Comm");
+                    let old_level = hierarchy.level(target);
+                    let src = old_level.local_by_index(oidx).expect("owner mismatch");
+                    let payload = src.data(spec.var).pack(&ov);
+                    comm.send(nrank, regrid_tag(REGRID_COPY, spec.var, nidx, oidx), payload);
+                }
+            }
+
+            // Phase B: initialise locally owned new patches.
+            for (nidx, (&nb, &nrank)) in boxes.iter().zip(&owners).enumerate() {
+                if nrank != rank {
+                    continue;
+                }
+                let fine_fill = centring.data_box(nb);
+                let fine_cover = crate::schedule::cell_cover_pub(fine_fill, centring);
+                let scratch_box = fine_cover.coarsen(ratio).grow(spec.refine_op.stencil_width());
+                let scratch_data_box = centring.data_box(scratch_box);
+
+                let mut scratch = registry.make_one(spec.var, scratch_box);
+                scratch.set_transfer_category(Category::Regrid);
+                let mut covered = BoxList::new();
+                {
+                    let coarse = hierarchy.level(target - 1);
+                    for (cidx, &cb) in coarse.global_boxes().iter().enumerate() {
+                        let fill = scratch_data_box.intersect(centring.data_box(cb));
+                        if fill.is_empty() {
+                            continue;
+                        }
+                        covered.add(fill);
+                        let ov = BoxOverlap {
+                            dst_boxes: BoxList::from_box(fill),
+                            shift: IntVector::ZERO,
+                            centring,
+                        };
+                        if coarse.owner_of(cidx) == rank {
+                            let src = coarse.local_by_index(cidx).expect("owner mismatch");
+                            scratch.copy_from(src.data(spec.var), &ov);
+                        } else {
+                            let comm = comm.expect("regrid: remote coarse sources need a Comm");
+                            let payload = comm.recv(
+                                coarse.owner_of(cidx),
+                                regrid_tag(REGRID_SCRATCH, spec.var, nidx, cidx),
+                                Category::Regrid,
+                            );
+                            scratch.unpack(&ov, &payload);
+                        }
+                    }
+                }
+                crate::schedule::extend_scratch_pub(scratch.as_mut(), &covered);
+
+                let pos = new_level
+                    .local()
+                    .iter()
+                    .position(|p| p.id().index == nidx)
+                    .expect("new patch not local");
+                let dst = &mut new_level.local_mut()[pos];
+                let dst_data = dst.data_mut(spec.var);
+                dst_data.set_transfer_category(Category::Regrid);
+                spec.refine_op.refine(
+                    dst_data,
+                    scratch.as_ref(),
+                    &BoxList::from_box(fine_fill),
+                    ratio,
+                );
+
+                // Overwrite with old data wherever the old level had it.
+                for (oidx, (&ob, &o_rank)) in old_boxes.iter().zip(&old_owners).enumerate() {
+                    let ov = copy_overlap(nb, ob, centring);
+                    if ov.is_empty() {
+                        continue;
+                    }
+                    let dst_data = dst.data_mut(spec.var);
+                    if o_rank == rank {
+                        let old_level = hierarchy.level(target);
+                        let src = old_level.local_by_index(oidx).expect("owner mismatch");
+                        dst_data.copy_from(src.data(spec.var), &ov);
+                    } else {
+                        let comm = comm.expect("regrid: remote old data needs a Comm");
+                        let payload = comm.recv(
+                            o_rank,
+                            regrid_tag(REGRID_COPY, spec.var, nidx, oidx),
+                            Category::Regrid,
+                        );
+                        dst_data.unpack(&ov, &payload);
+                    }
+                }
+                dst.data_mut(spec.var).set_time(time);
+            }
+        }
+
+        hierarchy.install_level(target, new_level);
+    }
+}
+
+/// All-ranks exchange of tagged cells: every rank contributes its local
+/// tags and receives the union (rank 0 gathers, then broadcasts).
+fn exchange_tags(comm: &Comm, local: &[IntVector]) -> Vec<IntVector> {
+    let mut payload = Vec::with_capacity(local.len() * 16);
+    for p in local {
+        payload.extend_from_slice(&p.x.to_le_bytes());
+        payload.extend_from_slice(&p.y.to_le_bytes());
+    }
+    let gathered = comm.gather(0, bytes::Bytes::from(payload), Category::Regrid);
+    let merged = if let Some(parts) = gathered {
+        let mut all = Vec::new();
+        for part in parts {
+            all.extend_from_slice(&part);
+        }
+        Some(bytes::Bytes::from(all))
+    } else {
+        None
+    };
+    let all = comm.broadcast(0, merged, Category::Regrid);
+    let mut out = Vec::with_capacity(all.len() / 16);
+    for chunk in all.chunks_exact(16) {
+        let x = i64::from_le_bytes(chunk[..8].try_into().expect("tag stream"));
+        let y = i64::from_le_bytes(chunk[8..].try_into().expect("tag stream"));
+        out.push(IntVector::new(x, y));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::GridGeometry;
+    use crate::hostdata::HostDataFactory;
+    use crate::ops::ConservativeCellRefine;
+    use rbamr_geometry::Centring;
+
+    fn b(x0: i64, y0: i64, x1: i64, y1: i64) -> GBox {
+        GBox::from_coords(x0, y0, x1, y1)
+    }
+
+    /// Tags a fixed box of cells on level 0, nothing elsewhere.
+    struct BoxTagger {
+        region: GBox,
+    }
+
+    impl CellTagger for BoxTagger {
+        fn tag_cells(&self, h: &PatchHierarchy, level: usize, _time: f64) -> Vec<TagBitmap> {
+            h.level(level)
+                .local()
+                .iter()
+                .map(|p| {
+                    let cells: Vec<i32> = p
+                        .cell_box()
+                        .iter()
+                        .map(|q| {
+                            let hit = level == 0 && self.region.contains(q);
+                            i32::from(hit)
+                        })
+                        .collect();
+                    TagBitmap::compress(p.cell_box(), &cells)
+                })
+                .collect()
+        }
+    }
+
+    fn setup() -> (PatchHierarchy, VariableRegistry, VariableId) {
+        let mut reg = VariableRegistry::new(Arc::new(HostDataFactory::new()));
+        let var = reg.register("q", Centring::Cell, IntVector::uniform(2));
+        let mut h = PatchHierarchy::new(
+            GridGeometry::unit(1.0),
+            BoxList::from_box(b(0, 0, 32, 32)),
+            IntVector::uniform(2),
+            3,
+            0,
+            1,
+        );
+        h.set_level(0, vec![b(0, 0, 32, 32)], vec![0], &reg);
+        (h, reg, var)
+    }
+
+    #[test]
+    fn regrid_creates_a_level_over_tags() {
+        let (mut h, reg, var) = setup();
+        // Seed level 0 with a linear field so transfer is checkable.
+        {
+            let p = h.level_mut(0).local_by_index_mut(0).unwrap();
+            let cb = p.data(var).ghost_cell_box();
+            let d = p.host_mut::<f64>(var);
+            for q in cb.iter() {
+                *d.at_mut(q) = q.x as f64 + 0.5;
+            }
+        }
+        let tagger = BoxTagger { region: b(10, 10, 16, 16) };
+        let rg = Regridder::new(RegridParams::default());
+        let levels = rg.regrid(
+            &mut h,
+            &reg,
+            &tagger,
+            &[TransferSpec { var, refine_op: Arc::new(ConservativeCellRefine) }],
+            None,
+            0.0,
+        );
+        assert_eq!(levels, 2);
+        let lvl1 = h.level(1);
+        // Tagged region (plus buffer) is covered, refined.
+        let covered = lvl1.covered();
+        assert!(covered.contains_box(b(10, 10, 16, 16).refine(IntVector::uniform(2))));
+        // Data was interpolated: check a fine cell's value against the
+        // coarse linear field (fine centre x = (qx+0.5)/2).
+        let p = lvl1.local().first().expect("level 1 has local patches");
+        let d = p.host::<f64>(var);
+        let q = p.cell_box().lo;
+        let expect = (q.x as f64 + 0.5) / 2.0;
+        assert!((d.at(q) - expect).abs() < 1e-12, "{} vs {expect}", d.at(q));
+    }
+
+    #[test]
+    fn regrid_without_tags_removes_fine_levels() {
+        let (mut h, reg, var) = setup();
+        h.set_level(1, vec![b(8, 8, 24, 24)], vec![0], &reg);
+        assert_eq!(h.num_levels(), 2);
+        let tagger = BoxTagger { region: GBox::EMPTY };
+        let rg = Regridder::new(RegridParams::default());
+        let levels = rg.regrid(
+            &mut h,
+            &reg,
+            &tagger,
+            &[TransferSpec { var, refine_op: Arc::new(ConservativeCellRefine) }],
+            None,
+            0.0,
+        );
+        assert_eq!(levels, 1);
+        assert_eq!(h.num_levels(), 1);
+    }
+
+    #[test]
+    fn regrid_preserves_old_fine_data_where_levels_overlap() {
+        let (mut h, reg, var) = setup();
+        h.set_level(1, vec![b(24, 24, 40, 40)], vec![0], &reg);
+        // Distinct fine data in the old level.
+        {
+            let p = h.level_mut(1).local_by_index_mut(0).unwrap();
+            p.host_mut::<f64>(var).fill(99.0);
+        }
+        // Re-tag an overlapping region: cells 10..14 on level 0 (plus
+        // the one-cell tag buffer) refine to 18..30 on level 1,
+        // overlapping the old patch from 24.
+        let tagger = BoxTagger { region: b(10, 10, 14, 14) };
+        let rg = Regridder::new(RegridParams::default());
+        rg.regrid(
+            &mut h,
+            &reg,
+            &tagger,
+            &[TransferSpec { var, refine_op: Arc::new(ConservativeCellRefine) }],
+            None,
+            0.0,
+        );
+        let lvl1 = h.level(1);
+        // A fine cell inside both old and new coverage kept old data.
+        let probe = IntVector::new(26, 26);
+        let p = lvl1
+            .local()
+            .iter()
+            .find(|p| p.cell_box().contains(probe))
+            .expect("probe cell is covered");
+        assert_eq!(p.host::<f64>(var).at(probe), 99.0);
+        // A fine cell only in the new coverage was interpolated (zeros
+        // from the untouched coarse level).
+        let probe2 = IntVector::new(19, 19);
+        let p2 = lvl1
+            .local()
+            .iter()
+            .find(|p| p.cell_box().contains(probe2))
+            .expect("probe2 covered");
+        assert_eq!(p2.host::<f64>(var).at(probe2), 0.0);
+    }
+
+    #[test]
+    fn three_level_regrid_nests_properly() {
+        let (mut h, reg, var) = setup();
+        // Existing level 1 so the driver may build level 2.
+        h.set_level(1, vec![b(16, 16, 40, 40)], vec![0], &reg);
+        // Tag the centre on both existing levels.
+        struct CentreTagger;
+        impl CellTagger for CentreTagger {
+            fn tag_cells(&self, h: &PatchHierarchy, level: usize, _t: f64) -> Vec<TagBitmap> {
+                let centre = match level {
+                    0 => b(12, 12, 18, 18),
+                    _ => b(26, 26, 34, 34),
+                };
+                h.level(level)
+                    .local()
+                    .iter()
+                    .map(|p| {
+                        let cells: Vec<i32> = p
+                            .cell_box()
+                            .iter()
+                            .map(|q| i32::from(centre.contains(q)))
+                            .collect();
+                        TagBitmap::compress(p.cell_box(), &cells)
+                    })
+                    .collect()
+            }
+        }
+        let rg = Regridder::new(RegridParams::default());
+        let levels = rg.regrid(
+            &mut h,
+            &reg,
+            &CentreTagger,
+            &[TransferSpec { var, refine_op: Arc::new(ConservativeCellRefine) }],
+            None,
+            0.0,
+        );
+        assert_eq!(levels, 3);
+        // Level 2 nests in level 1 with the paper's one-cell buffer.
+        let fine_boxes: Vec<GBox> = h.level(2).global_boxes().to_vec();
+        let coverage = h.level(1).covered();
+        let ok = crate::nesting::is_properly_nested(
+            &fine_boxes,
+            &coverage,
+            &h.level_domain(1),
+            IntVector::ONE,
+            IntVector::uniform(2),
+        );
+        assert!(ok, "level 2 not properly nested in level 1");
+    }
+}

@@ -1,0 +1,368 @@
+//! A minimal restart database — the target of Figure 2's
+//! `putToRestart`/`getFromRestart` methods.
+//!
+//! SAMRAI serialises everything through a hierarchical key-value
+//! database. This reproduction keeps the same shape: nested string-keyed
+//! databases with typed scalar/array leaves, plus helpers to serialise
+//! [`HostData`] (a resident GPU build downloads the array once at
+//! checkpoint time — checkpointing is one of the three sanctioned
+//! full-array transfers, along with initialisation and visualisation).
+
+use crate::hostdata::HostData;
+use crate::patchdata::PatchData;
+use rbamr_geometry::{Centring, GBox, IntVector};
+use std::collections::BTreeMap;
+
+/// A value in the database.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Double scalar.
+    F64(f64),
+    /// Integer scalar.
+    I64(i64),
+    /// String.
+    Str(String),
+    /// Double array.
+    VecF64(Vec<f64>),
+    /// Integer array.
+    VecI64(Vec<i64>),
+    /// Nested database.
+    Db(Database),
+}
+
+/// A hierarchical key-value store (deterministically ordered).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Database {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or overwrite a value.
+    pub fn put(&mut self, key: &str, value: Value) {
+        self.entries.insert(key.to_owned(), value);
+    }
+
+    /// Look up a value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Typed accessors; `None` if missing or of the wrong type.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(Value::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer accessor.
+    pub fn get_i64(&self, key: &str) -> Option<i64> {
+        match self.get(key) {
+            Some(Value::I64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Double-array accessor.
+    pub fn get_vec_f64(&self, key: &str) -> Option<&[f64]> {
+        match self.get(key) {
+            Some(Value::VecF64(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Nested-database accessor.
+    pub fn get_db(&self, key: &str) -> Option<&Database> {
+        match self.get(key) {
+            Some(Value::Db(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Create (or fetch) a nested database and return it mutably.
+    pub fn child(&mut self, key: &str) -> &mut Database {
+        let entry = self
+            .entries
+            .entry(key.to_owned())
+            .or_insert_with(|| Value::Db(Database::new()));
+        match entry {
+            Value::Db(d) => d,
+            _ => panic!("restart key {key:?} exists with a non-database type"),
+        }
+    }
+
+    /// Number of keys at this nesting level.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Serialise host data into a database (`putToRestart`).
+pub fn put_host_data(data: &HostData<f64>, db: &mut Database) {
+    let cb = data.cell_box();
+    db.put("box", Value::VecI64(vec![cb.lo.x, cb.lo.y, cb.hi.x, cb.hi.y]));
+    db.put("ghosts", Value::VecI64(vec![data.ghosts().x, data.ghosts().y]));
+    let centring_code = match data.centring() {
+        Centring::Cell => 0,
+        Centring::Node => 1,
+        Centring::Side(a) => 2 + a as i64,
+    };
+    db.put("centring", Value::I64(centring_code));
+    db.put("time", Value::F64(data.time()));
+    db.put("values", Value::VecF64(data.as_slice().to_vec()));
+}
+
+/// Reconstruct host data from a database (`getFromRestart`).
+///
+/// # Panics
+/// Panics on missing or malformed entries — a corrupt checkpoint.
+pub fn get_host_data(db: &Database) -> HostData<f64> {
+    let b = db.get("box").and_then(|v| match v {
+        Value::VecI64(v) if v.len() == 4 => Some(GBox::from_coords(v[0], v[1], v[2], v[3])),
+        _ => None,
+    });
+    let g = db.get("ghosts").and_then(|v| match v {
+        Value::VecI64(v) if v.len() == 2 => Some(IntVector::new(v[0], v[1])),
+        _ => None,
+    });
+    let centring = match db.get_i64("centring") {
+        Some(0) => Centring::Cell,
+        Some(1) => Centring::Node,
+        Some(c @ (2 | 3)) => Centring::Side((c - 2) as usize),
+        other => panic!("restart: bad centring {other:?}"),
+    };
+    let cell_box = b.expect("restart: missing box");
+    let ghosts = g.expect("restart: missing ghosts");
+    let mut data = HostData::new(cell_box, ghosts, centring);
+    let values = db.get_vec_f64("values").expect("restart: missing values");
+    assert_eq!(values.len(), data.as_slice().len(), "restart: value count mismatch");
+    data.as_mut_slice().copy_from_slice(values);
+    data.set_time(db.get_f64("time").unwrap_or(0.0));
+    data
+}
+
+/// Binary wire/file format for databases: a tiny self-describing
+/// tag-length-value encoding (no external format dependency), stable
+/// across runs.
+impl Database {
+    /// Serialise to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_db(self, &mut out);
+        out
+    }
+
+    /// Deserialise from bytes produced by [`Database::to_bytes`].
+    ///
+    /// # Panics
+    /// Panics on malformed input — a corrupt checkpoint file.
+    pub fn from_bytes(bytes: &[u8]) -> Database {
+        let mut cursor = 0usize;
+        let db = read_db(bytes, &mut cursor);
+        assert_eq!(cursor, bytes.len(), "restart: trailing bytes in stream");
+        db
+    }
+
+    /// Write the database to a file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Read a database from a file written by [`Database::save`].
+    ///
+    /// # Errors
+    /// Propagates I/O errors; panics on corrupt content.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Database> {
+        Ok(Database::from_bytes(&std::fs::read(path)?))
+    }
+}
+
+fn write_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_db(db: &Database, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(db.entries.len() as u64).to_le_bytes());
+    for (k, v) in &db.entries {
+        write_str(k, out);
+        match v {
+            Value::F64(x) => {
+                out.push(0);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::I64(x) => {
+                out.push(1);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(2);
+                write_str(s, out);
+            }
+            Value::VecF64(v) => {
+                out.push(3);
+                out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Value::VecI64(v) => {
+                out.push(4);
+                out.extend_from_slice(&(v.len() as u64).to_le_bytes());
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Value::Db(d) => {
+                out.push(5);
+                write_db(d, out);
+            }
+        }
+    }
+}
+
+fn read_u64(bytes: &[u8], cursor: &mut usize) -> u64 {
+    let v = u64::from_le_bytes(bytes[*cursor..*cursor + 8].try_into().expect("restart: short stream"));
+    *cursor += 8;
+    v
+}
+
+fn read_str(bytes: &[u8], cursor: &mut usize) -> String {
+    let len = read_u64(bytes, cursor) as usize;
+    let s = std::str::from_utf8(&bytes[*cursor..*cursor + len]).expect("restart: bad utf8");
+    *cursor += len;
+    s.to_owned()
+}
+
+fn read_db(bytes: &[u8], cursor: &mut usize) -> Database {
+    let n = read_u64(bytes, cursor);
+    let mut db = Database::new();
+    for _ in 0..n {
+        let key = read_str(bytes, cursor);
+        let tag = bytes[*cursor];
+        *cursor += 1;
+        let value = match tag {
+            0 => {
+                let v = f64::from_bits(read_u64(bytes, cursor));
+                Value::F64(v)
+            }
+            1 => Value::I64(read_u64(bytes, cursor) as i64),
+            2 => Value::Str(read_str(bytes, cursor)),
+            3 => {
+                let len = read_u64(bytes, cursor) as usize;
+                Value::VecF64((0..len).map(|_| f64::from_bits(read_u64(bytes, cursor))).collect())
+            }
+            4 => {
+                let len = read_u64(bytes, cursor) as usize;
+                Value::VecI64((0..len).map(|_| read_u64(bytes, cursor) as i64).collect())
+            }
+            5 => Value::Db(read_db(bytes, cursor)),
+            other => panic!("restart: unknown tag {other}"),
+        };
+        db.put(&key, value);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut db = Database::new();
+        db.put("dt", Value::F64(0.004));
+        db.put("step", Value::I64(42));
+        db.put("problem", Value::Str("sod".into()));
+        assert_eq!(db.get_f64("dt"), Some(0.004));
+        assert_eq!(db.get_i64("step"), Some(42));
+        assert_eq!(db.get("problem"), Some(&Value::Str("sod".into())));
+        assert_eq!(db.get_f64("step"), None); // wrong type
+        assert_eq!(db.get_f64("missing"), None);
+    }
+
+    #[test]
+    fn nested_databases() {
+        let mut db = Database::new();
+        db.child("level_0").put("npatches", Value::I64(4));
+        db.child("level_0").child("patch_0").put("cells", Value::I64(256));
+        assert_eq!(db.get_db("level_0").unwrap().get_i64("npatches"), Some(4));
+        assert_eq!(
+            db.get_db("level_0").unwrap().get_db("patch_0").unwrap().get_i64("cells"),
+            Some(256)
+        );
+    }
+
+    #[test]
+    fn host_data_roundtrip() {
+        let mut data = HostData::<f64>::node(GBox::from_coords(2, 2, 6, 6), IntVector::ONE);
+        for (k, v) in data.as_mut_slice().iter_mut().enumerate() {
+            *v = k as f64 * 0.25;
+        }
+        data.set_time(1.5);
+        let mut db = Database::new();
+        put_host_data(&data, &mut db);
+        let back = get_host_data(&db);
+        assert_eq!(back.cell_box(), data.cell_box());
+        assert_eq!(back.centring(), data.centring());
+        assert_eq!(back.ghosts(), data.ghosts());
+        assert_eq!(back.time(), 1.5);
+        assert_eq!(back.as_slice(), data.as_slice());
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let mut db = Database::new();
+        db.put("dt", Value::F64(-0.25));
+        db.put("neg", Value::I64(-42));
+        db.put("name", Value::Str("sod".into()));
+        db.put("xs", Value::VecF64(vec![1.5, -2.5, f64::MIN_POSITIVE]));
+        db.put("is", Value::VecI64(vec![-1, 0, i64::MAX]));
+        db.child("nested").put("deep", Value::F64(7.0));
+        db.child("nested").child("deeper").put("x", Value::I64(1));
+        let bytes = db.to_bytes();
+        let back = Database::from_bytes(&bytes);
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut db = Database::new();
+        db.put("v", Value::VecF64((0..100).map(f64::from).collect()));
+        let path = std::env::temp_dir().join(format!("rbamr_restart_{}.bin", std::process::id()));
+        db.save(&path).unwrap();
+        let back = Database::load(&path).unwrap();
+        assert_eq!(back, db);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing bytes")]
+    fn corrupt_stream_rejected() {
+        let db = Database::new();
+        let mut bytes = db.to_bytes();
+        bytes.push(0xFF);
+        Database::from_bytes(&bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-database type")]
+    fn child_type_conflicts_panic() {
+        let mut db = Database::new();
+        db.put("x", Value::F64(1.0));
+        db.child("x");
+    }
+}

@@ -1,0 +1,911 @@
+//! Communication schedules: ghost filling and level synchronisation.
+//!
+//! A [`RefineSchedule`] fills the ghost regions of every patch on one
+//! level using the paper's three boundary-fill paths (Section II):
+//! data from a neighbouring patch on the same level (copy locally, or
+//! pack → message → unpack across ranks), interpolated data from the
+//! next coarser level (through a coarse *scratch* region gathered to the
+//! fine patch's rank, then refined with a [`RefineOperator`]), and the
+//! physical boundary conditions (delegated to the application's
+//! [`PhysicalBoundary`]).
+//!
+//! A [`CoarsenSchedule`] implements the solution synchronisation: "the
+//! coarse cell value is replaced by a conservative average of the fine
+//! cell values that cover the coarse cell". The fine owner coarsens
+//! into scratch (where all auxiliary data, e.g. density for
+//! mass-weighted coarsening, is local), then the scratch moves to the
+//! coarse patch's owner.
+//!
+//! Schedules are built redundantly on every rank from the globally
+//! replicated level metadata, so send and receive plans agree without
+//! negotiation; message tags encode `(kind, variable, destination patch,
+//! source patch)` and are therefore unique per schedule execution.
+
+use crate::boundary::PhysicalBoundary;
+use crate::hierarchy::PatchHierarchy;
+use crate::ops::{CoarsenOperator, RefineOperator};
+use crate::patchdata::PatchData;
+use crate::variable::{VariableId, VariableRegistry};
+use rbamr_geometry::{copy_overlap, ghost_overlaps, BoxList, BoxOverlap, Centring, GBox, IntVector};
+use rbamr_netsim::Comm;
+use rbamr_perfmodel::Category;
+use std::sync::Arc;
+
+/// What to fill for one variable in a refine schedule.
+pub struct FillSpec {
+    /// The variable to fill.
+    pub var: VariableId,
+    /// Operator for coarse-fine interpolation; `None` restricts the
+    /// fill to same-level copies and physical boundaries (work arrays).
+    pub refine_op: Option<Arc<dyn RefineOperator>>,
+}
+
+/// What to synchronise for one variable in a coarsen schedule.
+pub struct CoarsenSpec {
+    /// The variable to coarsen fine → coarse.
+    pub var: VariableId,
+    /// The projection operator.
+    pub op: Arc<dyn CoarsenOperator>,
+    /// Auxiliary fine variables the operator reads (e.g. density for
+    /// mass weighting), in the order the operator expects.
+    pub aux: Vec<VariableId>,
+}
+
+/// The union of `centring.data_box(b)` over a region's boxes.
+fn data_region(cells: &BoxList, centring: Centring) -> BoxList {
+    BoxList::from_boxes(cells.boxes().iter().map(|b| centring.data_box(*b)))
+}
+
+/// Minimal cell box whose data box covers the data-space box `b`.
+fn cell_cover(b: GBox, centring: Centring) -> GBox {
+    match centring {
+        Centring::Cell => b,
+        Centring::Node => GBox::new(b.lo - IntVector::ONE, b.hi),
+        Centring::Side(a) => GBox::new(b.lo - IntVector::unit(a), b.hi),
+    }
+}
+
+/// Message tag: unique per (kind, var, dst patch, src patch) within a
+/// schedule execution. The top four bits carry the message kind so the
+/// schedules, the regridder and the netsim collectives never collide.
+fn tag(kind: u64, var: VariableId, dst_idx: usize, src_idx: usize) -> u64 {
+    debug_assert!(dst_idx < (1 << 20) && src_idx < (1 << 20) && var.0 < (1 << 20));
+    debug_assert!(kind < 15, "kind 15 is reserved for netsim collectives");
+    (kind << 60) | ((var.0 as u64) << 40) | ((dst_idx as u64) << 20) | src_idx as u64
+}
+
+const KIND_SAME_LEVEL: u64 = 0;
+const KIND_COARSE_FINE: u64 = 1;
+/// Regrid message kind: coarse scratch data for a new patch.
+pub(crate) const REGRID_SCRATCH: u64 = 3;
+/// Regrid message kind: old-level data copied onto a new patch.
+pub(crate) const REGRID_COPY: u64 = 4;
+/// Aggregated ghost-fill stream (one message per rank pair per fill).
+const KIND_AGG_FILL: u64 = 5;
+/// Aggregated synchronisation stream (one message per rank pair).
+const KIND_AGG_SYNC: u64 = 6;
+
+/// Tag for regrid data-transfer messages (see [`tag`]).
+pub(crate) fn regrid_tag(kind: u64, var: VariableId, dst_idx: usize, src_idx: usize) -> u64 {
+    tag(kind, var, dst_idx, src_idx)
+}
+
+/// Public re-export of [`cell_cover`] for the regridder.
+pub(crate) fn cell_cover_pub(b: GBox, centring: Centring) -> GBox {
+    cell_cover(b, centring)
+}
+
+/// Public re-export of [`extend_scratch`] for the regridder.
+pub(crate) fn extend_scratch_pub(scratch: &mut dyn PatchData, covered: &BoxList) {
+    extend_scratch(scratch, covered);
+}
+
+struct CopyPlan {
+    var: VariableId,
+    src_idx: usize,
+    dst_idx: usize,
+    overlap: BoxOverlap,
+}
+
+struct SendPlan {
+    var: VariableId,
+    src_idx: usize,
+    #[allow(dead_code)] // retained for diagnostics/debugging
+    dst_idx: usize,
+    dst_rank: usize,
+    overlap: BoxOverlap,
+    kind: u64,
+}
+
+struct RecvPlan {
+    var: VariableId,
+    src_idx: usize,
+    dst_idx: usize,
+    src_rank: usize,
+    overlap: BoxOverlap,
+    kind: u64,
+}
+
+/// One coarse-fine interpolation job on a locally owned fine patch.
+struct InterpPlan {
+    var: VariableId,
+    dst_idx: usize,
+    /// Fine data-space region to fill by interpolation.
+    fill: BoxList,
+    /// Coarse cell box of the scratch allocation.
+    scratch_box: GBox,
+    /// Coarse patches feeding the scratch: local copies `(coarse_idx,
+    /// overlap)` in scratch space.
+    local_sources: Vec<(usize, BoxOverlap)>,
+    /// Remote coarse sources `(coarse idx, overlap)` — the payloads
+    /// arrive in the aggregated per-rank message and are stashed for
+    /// this phase.
+    remote_sources: Vec<(usize, BoxOverlap)>,
+    /// Region of scratch covered by any coarse patch (for clamped
+    /// extension of uncovered corners).
+    covered: BoxList,
+    op: Arc<dyn RefineOperator>,
+}
+
+/// Ghost-fill schedule for one level (SAMRAI `RefineSchedule`).
+pub struct RefineSchedule {
+    level_no: usize,
+    vars: Vec<VariableId>,
+    copies: Vec<CopyPlan>,
+    sends: Vec<SendPlan>,
+    recvs: Vec<RecvPlan>,
+    interps: Vec<InterpPlan>,
+    /// Out-of-domain ghost regions per local patch and variable
+    /// (cell-space), for the physical boundary callback.
+    physical: Vec<(usize, VariableId, BoxList)>,
+    /// Cell-space bounding box of the level domain (for the callback).
+    domain_box: GBox,
+}
+
+impl RefineSchedule {
+    /// Build the schedule for level `level_no` of `hierarchy`.
+    ///
+    /// Coarse-fine interpolation is planned when `level_no > 0` and the
+    /// spec has a refine operator. The schedule is valid until the next
+    /// regrid of this or the coarser level.
+    pub fn new(
+        hierarchy: &PatchHierarchy,
+        registry: &VariableRegistry,
+        level_no: usize,
+        specs: &[FillSpec],
+    ) -> Self {
+        let rank = hierarchy.rank();
+        let level = hierarchy.level(level_no);
+        let boxes = level.global_boxes();
+        let domain = level.domain();
+        let domain_box = domain.bounding();
+        let mut copies = Vec::new();
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        let mut interps = Vec::new();
+        let mut physical = Vec::new();
+
+        for spec in specs {
+            let var = registry.get(spec.var);
+            let (centring, ghosts) = (var.centring, var.ghosts);
+            for (dst_idx, &dst_box) in boxes.iter().enumerate() {
+                let dst_rank = level.owner_of(dst_idx);
+                // --- Same-level copies -------------------------------
+                for (src_idx, &src_box) in boxes.iter().enumerate() {
+                    if src_idx == dst_idx {
+                        continue;
+                    }
+                    let src_rank = level.owner_of(src_idx);
+                    if dst_rank != rank && src_rank != rank {
+                        continue;
+                    }
+                    let ov = ghost_overlaps(dst_box, ghosts, src_box, centring, IntVector::ZERO);
+                    if ov.is_empty() {
+                        continue;
+                    }
+                    if dst_rank == rank && src_rank == rank {
+                        copies.push(CopyPlan { var: spec.var, src_idx, dst_idx, overlap: ov });
+                    } else if src_rank == rank {
+                        sends.push(SendPlan {
+                            var: spec.var,
+                            src_idx,
+                            dst_idx,
+                            dst_rank,
+                            overlap: ov,
+                            kind: KIND_SAME_LEVEL,
+                        });
+                    } else {
+                        recvs.push(RecvPlan {
+                            var: spec.var,
+                            src_idx,
+                            dst_idx,
+                            src_rank,
+                            overlap: ov,
+                            kind: KIND_SAME_LEVEL,
+                        });
+                    }
+                }
+
+                // --- Physical boundary regions (dst local only) ------
+                if dst_rank == rank {
+                    let mut outside = BoxList::from_box(dst_box.grow(ghosts));
+                    outside.subtract(domain);
+                    outside.coalesce();
+                    if !outside.is_empty() {
+                        physical.push((dst_idx, spec.var, outside));
+                    }
+                }
+
+                // --- Coarse-fine interpolation -----------------------
+                let Some(op) = &spec.refine_op else { continue };
+                if level_no == 0 {
+                    continue;
+                }
+                // Region wanted: in-domain ghost data not provided by
+                // this patch or any same-level patch.
+                let ghost_cells = dst_box.grow(ghosts);
+                let in_domain = domain.intersect_box(ghost_cells);
+                let mut want = data_region(&in_domain, centring);
+                want.subtract_box(centring.data_box(dst_box));
+                for (src_idx, &src_box) in boxes.iter().enumerate() {
+                    if src_idx != dst_idx {
+                        want.subtract_box(centring.data_box(src_box));
+                    }
+                }
+                want.coalesce();
+                if want.is_empty() {
+                    continue;
+                }
+
+                // Scratch region on the coarse level.
+                let ratio = hierarchy.ratio_to_coarser(level_no);
+                let coarse_level = hierarchy.level(level_no - 1);
+                let fine_cover = want
+                    .boxes()
+                    .iter()
+                    .fold(GBox::EMPTY, |acc, &b| acc.bounding(cell_cover(b, centring)));
+                let scratch_box = fine_cover.coarsen(ratio).grow(op.stencil_width());
+                let scratch_data_box = centring.data_box(scratch_box);
+
+                let mut local_sources = Vec::new();
+                let mut remote_sources = Vec::new();
+                let mut covered = BoxList::new();
+                for (cidx, &cbox) in coarse_level.global_boxes().iter().enumerate() {
+                    let c_rank = coarse_level.owner_of(cidx);
+                    if dst_rank != rank && c_rank != rank {
+                        continue;
+                    }
+                    let src_data = centring.data_box(cbox);
+                    let fill = scratch_data_box.intersect(src_data);
+                    if fill.is_empty() {
+                        continue;
+                    }
+                    let ov = BoxOverlap {
+                        dst_boxes: BoxList::from_box(fill),
+                        shift: IntVector::ZERO,
+                        centring,
+                    };
+                    if dst_rank == rank {
+                        covered.add(fill);
+                        if c_rank == rank {
+                            local_sources.push((cidx, ov));
+                        } else {
+                            recvs.push(RecvPlan {
+                                var: spec.var,
+                                src_idx: cidx,
+                                dst_idx,
+                                src_rank: c_rank,
+                                overlap: ov.clone(),
+                                kind: KIND_COARSE_FINE,
+                            });
+                            remote_sources.push((cidx, ov));
+                        }
+                    } else if c_rank == rank {
+                        // We own coarse data a remote fine patch needs.
+                        sends.push(SendPlan {
+                            var: spec.var,
+                            src_idx: cidx,
+                            dst_idx,
+                            dst_rank,
+                            overlap: ov,
+                            kind: KIND_COARSE_FINE,
+                        });
+                    }
+                }
+                if dst_rank == rank {
+                    interps.push(InterpPlan {
+                        var: spec.var,
+                        dst_idx,
+                        fill: want,
+                        scratch_box,
+                        local_sources,
+                        remote_sources,
+                        covered,
+                        op: Arc::clone(op),
+                    });
+                }
+            }
+        }
+
+        Self {
+            level_no,
+            vars: specs.iter().map(|s| s.var).collect(),
+            copies,
+            sends,
+            recvs,
+            interps,
+            physical,
+            domain_box,
+        }
+    }
+
+    /// Total values moved by same-level plans (diagnostics/tests).
+    pub fn same_level_values(&self) -> i64 {
+        self.copies.iter().map(|c| c.overlap.num_values()).sum::<i64>()
+            + self.recvs.iter().map(|r| r.overlap.num_values()).sum::<i64>()
+    }
+
+    /// Number of interpolation jobs (diagnostics/tests).
+    pub fn num_interp_jobs(&self) -> usize {
+        self.interps.len()
+    }
+
+    /// Execute the fill.
+    ///
+    /// `comm` is required when the schedule contains remote plans;
+    /// single-rank runs pass `None`. Time is charged to `category`.
+    pub fn fill(
+        &self,
+        hierarchy: &mut PatchHierarchy,
+        registry: &VariableRegistry,
+        physical: &dyn PhysicalBoundary,
+        comm: Option<&Comm>,
+        time: f64,
+        category: Category,
+    ) {
+        // 1. Same-level: local copies.
+        let level = hierarchy.level_mut(self.level_no);
+        for plan in &self.copies {
+            let (src_pos, dst_pos) = (
+                local_pos(level, plan.src_idx),
+                local_pos(level, plan.dst_idx),
+            );
+            let locals = level.local_mut();
+            let (src, dst) = split_two(locals, src_pos, dst_pos);
+            let dst_data = dst.data_mut(plan.var);
+            dst_data.set_transfer_category(category);
+            dst_data.copy_from(src.data(plan.var), &plan.overlap);
+        }
+
+        // 2. Same-level + coarse-fine: remote messages. All traffic for
+        //    one destination rank is aggregated into a single message
+        //    (SAMRAI's per-processor MessageStream): plan construction
+        //    order is identical on every rank — it is derived from the
+        //    globally replicated level metadata — so sender packing
+        //    order and receiver slicing order agree by construction.
+        let mut cf_stash: std::collections::HashMap<(VariableId, usize, usize), bytes::Bytes> =
+            std::collections::HashMap::new();
+        if !self.sends.is_empty() || !self.recvs.is_empty() {
+            let comm = comm.expect("RefineSchedule: remote plans need a Comm");
+            let agg_tag = (KIND_AGG_FILL << 60) | self.level_no as u64;
+            // Pack per destination rank, in plan order.
+            let mut outgoing: std::collections::BTreeMap<usize, Vec<u8>> =
+                std::collections::BTreeMap::new();
+            for plan in &self.sends {
+                let src_level = if plan.kind == KIND_COARSE_FINE {
+                    hierarchy.level_mut(self.level_no - 1)
+                } else {
+                    hierarchy.level_mut(self.level_no)
+                };
+                let pos = local_pos(src_level, plan.src_idx);
+                let src = &mut src_level.local_mut()[pos];
+                let data = src.data_mut(plan.var);
+                data.set_transfer_category(category);
+                let payload = data.pack(&plan.overlap);
+                outgoing.entry(plan.dst_rank).or_default().extend_from_slice(&payload);
+            }
+            for (dst_rank, stream) in outgoing {
+                comm.send(dst_rank, agg_tag, bytes::Bytes::from(stream));
+            }
+            // Receive one stream per source rank and slice it in plan
+            // order.
+            let mut incoming: std::collections::HashMap<usize, (bytes::Bytes, usize)> =
+                std::collections::HashMap::new();
+            for plan in &self.recvs {
+                let (stream, cursor) = incoming
+                    .entry(plan.src_rank)
+                    .or_insert_with(|| (comm.recv(plan.src_rank, agg_tag, category), 0));
+                let level = hierarchy.level(self.level_no);
+                let pos = local_pos(level, plan.dst_idx);
+                let dst = &level.local()[pos];
+                let size = dst.data(plan.var).stream_size(&plan.overlap);
+                let slice = stream.slice(*cursor..*cursor + size);
+                *cursor += size;
+                if plan.kind == KIND_COARSE_FINE {
+                    cf_stash.insert((plan.var, plan.dst_idx, plan.src_idx), slice);
+                } else {
+                    let level = hierarchy.level_mut(self.level_no);
+                    let pos = local_pos(level, plan.dst_idx);
+                    let dst = &mut level.local_mut()[pos];
+                    let data = dst.data_mut(plan.var);
+                    data.set_transfer_category(category);
+                    data.unpack(&plan.overlap, &slice);
+                }
+            }
+        }
+
+        // 3. Coarse-fine interpolation through scratch.
+        for plan in &self.interps {
+            let mut scratch = registry.make_one(plan.var, plan.scratch_box);
+            scratch.set_transfer_category(category);
+            {
+                let coarse = hierarchy.level(self.level_no - 1);
+                for (cidx, ov) in &plan.local_sources {
+                    let src = coarse
+                        .local_by_index(*cidx)
+                        .expect("schedule stale: coarse source not local");
+                    scratch.copy_from(src.data(plan.var), ov);
+                }
+            }
+            for (cidx, ov) in &plan.remote_sources {
+                let payload = cf_stash
+                    .remove(&(plan.var, plan.dst_idx, *cidx))
+                    .expect("coarse-fine payload missing from aggregated stream");
+                scratch.unpack(ov, &payload);
+            }
+            extend_scratch(scratch.as_mut(), &plan.covered);
+            let ratio = hierarchy.ratio_to_coarser(self.level_no);
+            let level = hierarchy.level_mut(self.level_no);
+            let pos = local_pos(level, plan.dst_idx);
+            let dst = &mut level.local_mut()[pos];
+            let dst_data = dst.data_mut(plan.var);
+            dst_data.set_transfer_category(category);
+            plan.op.refine(dst_data, scratch.as_ref(), &plan.fill, ratio);
+        }
+
+        // 4. Physical boundaries, last (so corners overwrite interpolant
+        //    values with the true boundary condition).
+        let domain_box = self.domain_box;
+        let level = hierarchy.level_mut(self.level_no);
+        for (dst_idx, var, boxes) in &self.physical {
+            let pos = local_pos(level, *dst_idx);
+            let patch = &mut level.local_mut()[pos];
+            physical.fill(patch, *var, boxes, domain_box, time);
+        }
+
+        // 5. Stamp times.
+        let level = hierarchy.level_mut(self.level_no);
+        for p in level.local_mut() {
+            for &v in &self.vars {
+                p.data_mut(v).set_time(time);
+            }
+        }
+    }
+
+}
+
+/// One fine→coarse synchronisation job.
+struct SyncPlan {
+    var: VariableId,
+    aux: Vec<VariableId>,
+    op: Arc<dyn CoarsenOperator>,
+    fine_idx: usize,
+    coarse_idx: usize,
+    fine_rank: usize,
+    coarse_rank: usize,
+    /// Coarse cell region receiving the projection.
+    region: GBox,
+}
+
+/// Fine-to-coarse synchronisation schedule (SAMRAI `CoarsenSchedule`).
+pub struct CoarsenSchedule {
+    fine_level_no: usize,
+    plans: Vec<SyncPlan>,
+}
+
+impl CoarsenSchedule {
+    /// Build the schedule projecting `fine_level_no` onto
+    /// `fine_level_no - 1`.
+    ///
+    /// # Panics
+    /// Panics if `fine_level_no == 0`.
+    pub fn new(
+        hierarchy: &PatchHierarchy,
+        registry: &VariableRegistry,
+        fine_level_no: usize,
+        specs: &[CoarsenSpec],
+    ) -> Self {
+        assert!(fine_level_no > 0, "CoarsenSchedule: level 0 has no coarser level");
+        let rank = hierarchy.rank();
+        let fine = hierarchy.level(fine_level_no);
+        let coarse = hierarchy.level(fine_level_no - 1);
+        let ratio = hierarchy.ratio_to_coarser(fine_level_no);
+        let mut plans = Vec::new();
+        for spec in specs {
+            let var = registry.get(spec.var);
+            assert_eq!(
+                spec.aux.len(),
+                spec.op.num_aux(),
+                "coarsen op {} expects {} aux variables",
+                spec.op.name(),
+                spec.op.num_aux()
+            );
+            let _ = var;
+            for (fidx, &fbox) in fine.global_boxes().iter().enumerate() {
+                let f_rank = fine.owner_of(fidx);
+                let shadow = fbox.coarsen(ratio);
+                for (cidx, &cbox) in coarse.global_boxes().iter().enumerate() {
+                    let c_rank = coarse.owner_of(cidx);
+                    if f_rank != rank && c_rank != rank {
+                        continue;
+                    }
+                    let region = shadow.intersect(cbox);
+                    if region.is_empty() {
+                        continue;
+                    }
+                    plans.push(SyncPlan {
+                        var: spec.var,
+                        aux: spec.aux.clone(),
+                        op: Arc::clone(&spec.op),
+                        fine_idx: fidx,
+                        coarse_idx: cidx,
+                        fine_rank: f_rank,
+                        coarse_rank: c_rank,
+                        region,
+                    });
+                }
+            }
+        }
+        Self { fine_level_no, plans }
+    }
+
+    /// Number of projection jobs (diagnostics).
+    pub fn num_jobs(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Execute the synchronisation. Time is charged to `category`
+    /// (the paper's "Synchronisation" component).
+    pub fn run(
+        &self,
+        hierarchy: &mut PatchHierarchy,
+        registry: &VariableRegistry,
+        comm: Option<&Comm>,
+        category: Category,
+    ) {
+        let rank = hierarchy.rank();
+        let ratio = hierarchy.ratio_to_coarser(self.fine_level_no);
+        // Phase 1: fine owners coarsen into scratch and either apply
+        // locally or append to the aggregated per-rank stream (one
+        // message per rank pair; plan order is globally deterministic).
+        let mut local_results: Vec<(usize, &SyncPlan, Box<dyn PatchData>)> = Vec::new();
+        let mut outgoing: std::collections::BTreeMap<usize, Vec<u8>> =
+            std::collections::BTreeMap::new();
+        for plan in &self.plans {
+            if plan.fine_rank != rank {
+                continue;
+            }
+            let centring = registry.get(plan.var).centring;
+            let mut scratch = registry.make_one(plan.var, plan.region);
+            scratch.set_transfer_category(category);
+            {
+                let fine = hierarchy.level(self.fine_level_no);
+                let fp = fine
+                    .local_by_index(plan.fine_idx)
+                    .expect("schedule stale: fine source not local");
+                let aux: Vec<&dyn PatchData> = plan.aux.iter().map(|&a| fp.data(a)).collect();
+                let coarse_fill = BoxList::from_box(centring.data_box(plan.region));
+                plan.op
+                    .coarsen(scratch.as_mut(), fp.data(plan.var), &aux, &coarse_fill, ratio);
+            }
+            if plan.coarse_rank == rank {
+                local_results.push((plan.coarse_idx, plan, scratch));
+            } else {
+                let ov = copy_overlap(plan.region, plan.region, centring);
+                let payload = scratch.pack(&ov);
+                outgoing
+                    .entry(plan.coarse_rank)
+                    .or_default()
+                    .extend_from_slice(&payload);
+            }
+        }
+        if let Some(comm) = comm {
+            let agg_tag = (KIND_AGG_SYNC << 60) | self.fine_level_no as u64;
+            for (dst_rank, stream) in std::mem::take(&mut outgoing) {
+                comm.send(dst_rank, agg_tag, bytes::Bytes::from(stream));
+            }
+        } else {
+            assert!(outgoing.is_empty(), "CoarsenSchedule: remote plans need a Comm");
+        }
+        // Phase 2: apply local results.
+        for (cidx, plan, scratch) in local_results {
+            let centring = registry.get(plan.var).centring;
+            let coarse = hierarchy.level_mut(self.fine_level_no - 1);
+            let pos = local_pos(coarse, cidx);
+            let dst = &mut coarse.local_mut()[pos];
+            let ov = copy_overlap(dst.cell_box(), plan.region, centring);
+            let data = dst.data_mut(plan.var);
+            data.set_transfer_category(category);
+            data.copy_from(scratch.as_ref(), &ov);
+        }
+        // Phase 3: receive the aggregated remote results and slice them
+        // in plan order.
+        let agg_tag = (KIND_AGG_SYNC << 60) | self.fine_level_no as u64;
+        let mut incoming: std::collections::HashMap<usize, (bytes::Bytes, usize)> =
+            std::collections::HashMap::new();
+        for plan in &self.plans {
+            if plan.coarse_rank != rank || plan.fine_rank == rank {
+                continue;
+            }
+            let comm = comm.expect("CoarsenSchedule: remote plans need a Comm");
+            let centring = registry.get(plan.var).centring;
+            let ov = BoxOverlap {
+                dst_boxes: BoxList::from_box(centring.data_box(plan.region)),
+                shift: IntVector::ZERO,
+                centring,
+            };
+            let (stream, cursor) = incoming
+                .entry(plan.fine_rank)
+                .or_insert_with(|| (comm.recv(plan.fine_rank, agg_tag, category), 0));
+            let size = ov.num_values() as usize * 8;
+            let payload = stream.slice(*cursor..*cursor + size);
+            *cursor += size;
+            let coarse = hierarchy.level_mut(self.fine_level_no - 1);
+            let pos = local_pos(coarse, plan.coarse_idx);
+            let dst = &mut coarse.local_mut()[pos];
+            let data = dst.data_mut(plan.var);
+            data.set_transfer_category(category);
+            data.unpack(&ov, &payload);
+        }
+    }
+}
+
+/// Position of global patch `index` within the level's local vector.
+///
+/// # Panics
+/// Panics if the patch is not local — a schedule/hierarchy mismatch.
+fn local_pos(level: &crate::level::PatchLevel, index: usize) -> usize {
+    level
+        .local()
+        .iter()
+        .position(|p| p.id().index == index)
+        .unwrap_or_else(|| panic!("patch {index} is not local (stale schedule?)"))
+}
+
+/// Disjoint mutable+shared access to two local patches.
+fn split_two(
+    patches: &mut [crate::patch::Patch],
+    src: usize,
+    dst: usize,
+) -> (&crate::patch::Patch, &mut crate::patch::Patch) {
+    assert_ne!(src, dst, "split_two: same patch");
+    if src < dst {
+        let (a, b) = patches.split_at_mut(dst);
+        (&a[src], &mut b[0])
+    } else {
+        let (a, b) = patches.split_at_mut(src);
+        (&b[0], &mut a[dst])
+    }
+}
+
+/// Clamp-extend scratch data into cells no coarse patch covered (only
+/// possible at physical-domain corners). Values come from the nearest
+/// covered cell, so downstream stencils see a zero-gradient extension;
+/// fine ghost values derived from them are later overwritten by the
+/// physical boundary fill.
+fn extend_scratch(scratch: &mut dyn PatchData, covered: &BoxList) {
+    scratch.extend_uncovered(covered);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::ZeroGradientBoundary;
+    use crate::hierarchy::GridGeometry;
+    use crate::hostdata::{HostData, HostDataFactory};
+    use crate::ops::{ConservativeCellRefine, LinearNodeRefine, VolumeWeightedCoarsen};
+    use rbamr_geometry::Centring;
+
+    fn b(x0: i64, y0: i64, x1: i64, y1: i64) -> GBox {
+        GBox::from_coords(x0, y0, x1, y1)
+    }
+
+    fn setup() -> (PatchHierarchy, VariableRegistry, VariableId) {
+        let mut reg = VariableRegistry::new(Arc::new(HostDataFactory::new()));
+        let var = reg.register("q", Centring::Cell, IntVector::uniform(2));
+        let h = PatchHierarchy::new(
+            GridGeometry::unit(1.0),
+            BoxList::from_box(b(0, 0, 16, 16)),
+            IntVector::uniform(2),
+            3,
+            0,
+            1,
+        );
+        (h, reg, var)
+    }
+
+    #[test]
+    fn same_level_fill_across_two_patches() {
+        let (mut h, reg, var) = setup();
+        h.set_level(0, vec![b(0, 0, 8, 16), b(8, 0, 16, 16)], vec![0, 0], &reg);
+        // Initialise both with a global linear field.
+        for p in h.level_mut(0).local_mut() {
+            let cb = p.cell_box();
+            let d = p.host_mut::<f64>(var);
+            for q in cb.iter() {
+                *d.at_mut(q) = (q.x + 100 * q.y) as f64;
+            }
+        }
+        let sched = RefineSchedule::new(&h, &reg, 0, &[FillSpec { var, refine_op: None }]);
+        sched.fill(&mut h, &reg, &ZeroGradientBoundary, None, 0.0, Category::HaloExchange);
+        // Patch 0's right ghosts hold patch 1's data.
+        let p0 = h.level(0).local_by_index(0).unwrap();
+        let d0 = p0.host::<f64>(var);
+        assert_eq!(d0.at(IntVector::new(8, 5)), (8 + 500) as f64);
+        assert_eq!(d0.at(IntVector::new(9, 0)), 9.0);
+        // Physical ghosts got the zero-gradient values.
+        assert_eq!(d0.at(IntVector::new(-1, 3)), 300.0);
+        // Times are stamped.
+        assert_eq!(p0.data(var).time(), 0.0);
+    }
+
+    #[test]
+    fn coarse_fine_interpolation_fills_uncovered_ghosts() {
+        let (mut h, reg, var) = setup();
+        h.set_level(0, vec![b(0, 0, 16, 16)], vec![0], &reg);
+        // Fine patch in the middle of the domain: all its ghosts need
+        // coarse interpolation.
+        h.set_level(1, vec![b(8, 8, 24, 24)], vec![0], &reg);
+        // Coarse field linear in cell centres: value(x) = x_centre.
+        {
+            let p = h.level_mut(0).local_by_index_mut(0).unwrap();
+            let cb = p.data(var).ghost_cell_box();
+            let d = p.host_mut::<f64>(var);
+            for q in cb.iter() {
+                *d.at_mut(q) = q.x as f64 + 0.5;
+            }
+        }
+        let sched = RefineSchedule::new(
+            &h,
+            &reg,
+            1,
+            &[FillSpec { var, refine_op: Some(Arc::new(ConservativeCellRefine)) }],
+        );
+        assert_eq!(sched.num_interp_jobs(), 1);
+        sched.fill(&mut h, &reg, &ZeroGradientBoundary, None, 0.0, Category::HaloExchange);
+        let p = h.level(1).local_by_index(0).unwrap();
+        let d = p.host::<f64>(var);
+        // A fine ghost cell at fine x-index 6 has centre 6.5/2 = 3.25 in
+        // coarse coordinates; the linear reconstruction reproduces it.
+        for q in [IntVector::new(6, 10), IntVector::new(24, 12), IntVector::new(10, 6)] {
+            let expect = (q.x as f64 + 0.5) / 2.0;
+            assert!(
+                (d.at(q) - expect).abs() < 1e-12,
+                "ghost {q}: {} vs {expect}",
+                d.at(q)
+            );
+        }
+    }
+
+    #[test]
+    fn node_centred_fill_does_not_clobber_owned_boundary_nodes() {
+        let mut reg = VariableRegistry::new(Arc::new(HostDataFactory::new()));
+        let var = reg.register("v", Centring::Node, IntVector::uniform(2));
+        let mut h = PatchHierarchy::new(
+            GridGeometry::unit(1.0),
+            BoxList::from_box(b(0, 0, 16, 16)),
+            IntVector::uniform(2),
+            2,
+            0,
+            1,
+        );
+        h.set_level(0, vec![b(0, 0, 8, 16), b(8, 0, 16, 16)], vec![0, 0], &reg);
+        // Mark patch 0's owned shared-boundary node distinctly.
+        {
+            let p0 = h.level_mut(0).local_by_index_mut(0).unwrap();
+            *p0.host_mut::<f64>(var).at_mut(IntVector::new(8, 4)) = 42.0;
+            let p1 = h.level_mut(0).local_by_index_mut(1).unwrap();
+            let nb = Centring::Node.data_box(p1.cell_box());
+            let d = p1.host_mut::<f64>(var);
+            for q in nb.iter() {
+                *d.at_mut(q) = -1.0;
+            }
+        }
+        let sched = RefineSchedule::new(&h, &reg, 0, &[FillSpec { var, refine_op: None }]);
+        sched.fill(&mut h, &reg, &ZeroGradientBoundary, None, 0.0, Category::HaloExchange);
+        let p0 = h.level(0).local_by_index(0).unwrap();
+        // The shared node column x=8 belongs to patch 0: not overwritten.
+        assert_eq!(p0.host::<f64>(var).at(IntVector::new(8, 4)), 42.0);
+        // Nodes beyond it were filled from patch 1.
+        assert_eq!(p0.host::<f64>(var).at(IntVector::new(9, 4)), -1.0);
+    }
+
+    #[test]
+    fn linear_node_interp_across_levels() {
+        let mut reg = VariableRegistry::new(Arc::new(HostDataFactory::new()));
+        let var = reg.register("v", Centring::Node, IntVector::uniform(2));
+        let mut h = PatchHierarchy::new(
+            GridGeometry::unit(1.0),
+            BoxList::from_box(b(0, 0, 16, 16)),
+            IntVector::uniform(2),
+            2,
+            0,
+            1,
+        );
+        h.set_level(0, vec![b(0, 0, 16, 16)], vec![0], &reg);
+        h.set_level(1, vec![b(8, 8, 24, 24)], vec![0], &reg);
+        {
+            let p = h.level_mut(0).local_by_index_mut(0).unwrap();
+            let nb = p.data(var).data_box();
+            let d = p.host_mut::<f64>(var);
+            for q in nb.iter() {
+                *d.at_mut(q) = q.x as f64 - 2.0 * q.y as f64;
+            }
+        }
+        let sched = RefineSchedule::new(
+            &h,
+            &reg,
+            1,
+            &[FillSpec { var, refine_op: Some(Arc::new(LinearNodeRefine)) }],
+        );
+        sched.fill(&mut h, &reg, &ZeroGradientBoundary, None, 0.0, Category::HaloExchange);
+        let p = h.level(1).local_by_index(0).unwrap();
+        let d = p.host::<f64>(var);
+        // Fine node q maps to coarse coordinate q/2; the linear field
+        // refines exactly.
+        for q in [IntVector::new(6, 8), IntVector::new(26, 20), IntVector::new(12, 26)] {
+            let expect = q.x as f64 / 2.0 - 2.0 * (q.y as f64 / 2.0);
+            assert!((d.at(q) - expect).abs() < 1e-12, "node {q}: {} vs {expect}", d.at(q));
+        }
+    }
+
+    #[test]
+    fn coarsen_schedule_projects_fine_means() {
+        let (mut h, reg, var) = setup();
+        h.set_level(0, vec![b(0, 0, 16, 16)], vec![0], &reg);
+        h.set_level(1, vec![b(8, 8, 24, 24)], vec![0], &reg);
+        {
+            let p = h.level_mut(1).local_by_index_mut(0).unwrap();
+            let cb = p.cell_box();
+            let d = p.host_mut::<f64>(var);
+            for q in cb.iter() {
+                *d.at_mut(q) = 7.0; // constant: coarse mean must be 7
+            }
+        }
+        let sched = CoarsenSchedule::new(
+            &h,
+            &reg,
+            1,
+            &[CoarsenSpec { var, op: Arc::new(VolumeWeightedCoarsen), aux: vec![] }],
+        );
+        assert_eq!(sched.num_jobs(), 1);
+        sched.run(&mut h, &reg, None, Category::Synchronize);
+        let p = h.level(0).local_by_index(0).unwrap();
+        let d = p.host::<f64>(var);
+        // Coarse cells under the fine patch (coarse [4,12)^2) are 7.
+        assert_eq!(d.at(IntVector::new(4, 4)), 7.0);
+        assert_eq!(d.at(IntVector::new(11, 11)), 7.0);
+        // Outside the shadow, untouched (0).
+        assert_eq!(d.at(IntVector::new(3, 4)), 0.0);
+    }
+
+    #[test]
+    fn scratch_extension_clamps_uncovered() {
+        let mut d = HostData::<f64>::cell(b(0, 0, 4, 4), IntVector::ZERO);
+        for q in b(0, 0, 4, 2).iter() {
+            *d.at_mut(q) = 9.0;
+        }
+        let covered = BoxList::from_box(b(0, 0, 4, 2));
+        extend_scratch(&mut d, &covered);
+        assert_eq!(d.at(IntVector::new(2, 3)), 9.0);
+    }
+
+    #[test]
+    fn tags_are_unique_per_pair() {
+        let t1 = tag(KIND_SAME_LEVEL, VariableId(3), 7, 9);
+        let t2 = tag(KIND_SAME_LEVEL, VariableId(3), 9, 7);
+        let t3 = tag(KIND_COARSE_FINE, VariableId(3), 7, 9);
+        let t4 = tag(KIND_SAME_LEVEL, VariableId(4), 7, 9);
+        assert!(t1 != t2 && t1 != t3 && t1 != t4 && t2 != t3);
+    }
+}

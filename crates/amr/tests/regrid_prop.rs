@@ -1,0 +1,170 @@
+//! Property tests of the regridding driver: for arbitrary tag patterns,
+//! the rebuilt hierarchy covers every tag, nests properly, respects
+//! patch-size caps, and transfers a linear field exactly (conservative
+//! interpolation reproduces linear data).
+
+use proptest::prelude::*;
+use rbamr_amr::nesting::is_properly_nested;
+use rbamr_amr::ops::ConservativeCellRefine;
+use rbamr_amr::regrid::{CellTagger, TransferSpec};
+use rbamr_amr::{
+    GridGeometry, HostDataFactory, PatchHierarchy, Regridder, RegridParams, TagBitmap,
+    VariableRegistry,
+};
+use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
+use std::sync::Arc;
+
+struct SeedTagger {
+    /// Tagged cells on level 0 (level-0 index space).
+    seeds: Vec<IntVector>,
+}
+
+impl CellTagger for SeedTagger {
+    fn tag_cells(&self, h: &PatchHierarchy, level: usize, _t: f64) -> Vec<TagBitmap> {
+        h.level(level)
+            .local()
+            .iter()
+            .map(|p| {
+                let cells: Vec<i32> = p
+                    .cell_box()
+                    .iter()
+                    .map(|q| {
+                        // Tag the same *physical* cells on every level
+                        // (refined seeds on finer levels), so multi-level
+                        // hierarchies form around them.
+                        let ratio = h.cumulative_ratio(level);
+                        let hit = self
+                            .seeds
+                            .iter()
+                            .any(|s| s.scale(ratio) == q || GBox::new(s.scale(ratio), (*s + IntVector::ONE).scale(ratio)).contains(q));
+                        i32::from(hit)
+                    })
+                    .collect();
+                TagBitmap::compress(p.cell_box(), &cells)
+            })
+            .collect()
+    }
+}
+
+fn setup() -> (PatchHierarchy, VariableRegistry, rbamr_amr::VariableId) {
+    let mut reg = VariableRegistry::new(Arc::new(HostDataFactory::new()));
+    let var = reg.register("q", Centring::Cell, IntVector::uniform(2));
+    let mut h = PatchHierarchy::new(
+        GridGeometry::unit(1.0),
+        BoxList::from_box(GBox::from_coords(0, 0, 24, 24)),
+        IntVector::uniform(2),
+        3,
+        0,
+        1,
+    );
+    h.set_level(0, vec![GBox::from_coords(0, 0, 24, 24)], vec![0], &reg);
+    (h, reg, var)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn regrid_invariants(
+        seeds in prop::collection::vec((2i64..22, 2i64..22), 1..8),
+        max_patch in prop::sample::select(vec![16i64, 32, 1 << 20]),
+    ) {
+        let seeds: Vec<IntVector> = seeds.into_iter().map(|(x, y)| IntVector::new(x, y)).collect();
+        let (mut h, reg, var) = setup();
+        // Seed a linear field on level 0 (ghosts included).
+        {
+            let p = h.level_mut(0).local_by_index_mut(0).unwrap();
+            let db = p.data(var).data_box();
+            let d = p.host_mut::<f64>(var);
+            for q in db.iter() {
+                *d.at_mut(q) = 3.0 + 0.5 * q.x as f64 - 0.25 * q.y as f64;
+            }
+        }
+        let mut params = RegridParams::default();
+        params.cluster.min_size = 2;
+        params.max_patch_size = max_patch;
+        let regridder = Regridder::new(params);
+        let tagger = SeedTagger { seeds: seeds.clone() };
+        let levels = regridder.regrid(
+            &mut h,
+            &reg,
+            &tagger,
+            &[TransferSpec { var, refine_op: Arc::new(ConservativeCellRefine) }],
+            None,
+            0.0,
+        );
+        prop_assert!(levels >= 2, "tags must create at least one fine level");
+
+        // 1. Every tagged cell is covered by level 1 (refined).
+        let covered = h.level(1).covered();
+        for s in &seeds {
+            let fine = s.scale(IntVector::uniform(2));
+            prop_assert!(covered.contains(fine), "seed {s} not covered");
+        }
+
+        // 2. Patch-size cap.
+        for l in 1..h.num_levels() {
+            for b in h.level(l).global_boxes() {
+                prop_assert!(b.size().x <= max_patch && b.size().y <= max_patch);
+            }
+        }
+
+        // 3. Proper nesting of every adjacent level pair.
+        for l in 2..h.num_levels() {
+            let ok = is_properly_nested(
+                h.level(l).global_boxes(),
+                &h.level(l - 1).covered(),
+                &h.level_domain(l - 1),
+                IntVector::ONE,
+                IntVector::uniform(2),
+            );
+            prop_assert!(ok, "level {l} not nested");
+        }
+
+        // 4. Linear fields transfer exactly: the conservative linear
+        // interpolant reproduces linear data (fine cell centre value).
+        for l in 1..h.num_levels() {
+            let ratio = h.cumulative_ratio(l);
+            for p in h.level(l).local() {
+                let d = p.host::<f64>(var);
+                for q in p.cell_box().iter() {
+                    // Physical centre in level-0 cell coordinates.
+                    let cx = (q.x as f64 + 0.5) / ratio.x as f64 - 0.5;
+                    let cy = (q.y as f64 + 0.5) / ratio.y as f64 - 0.5;
+                    let expect = 3.0 + 0.5 * cx - 0.25 * cy;
+                    prop_assert!(
+                        (d.at(q) - expect).abs() < 1e-11,
+                        "level {l} cell {q}: {} vs {expect}",
+                        d.at(q)
+                    );
+                }
+            }
+        }
+    }
+
+    /// Repeated regridding with fixed tags converges: each pass can add
+    /// at most one level (a regrid only targets `finest + 1`), and once
+    /// all levels exist the structure is a fixed point.
+    #[test]
+    fn regrid_converges_to_a_fixed_point(
+        seeds in prop::collection::vec((2i64..22, 2i64..22), 1..6)
+    ) {
+        let seeds: Vec<IntVector> = seeds.into_iter().map(|(x, y)| IntVector::new(x, y)).collect();
+        let (mut h, reg, var) = setup();
+        let regridder = Regridder::new(RegridParams::default());
+        let tagger = SeedTagger { seeds };
+        let specs = [TransferSpec { var, refine_op: Arc::new(ConservativeCellRefine) }];
+        // One pass per possible level, as HydroSim::initialize does.
+        for _ in 0..h.max_levels() - 1 {
+            regridder.regrid(&mut h, &reg, &tagger, &specs, None, 0.0);
+        }
+        let stable: Vec<Vec<GBox>> = (0..h.num_levels())
+            .map(|l| h.level(l).global_boxes().to_vec())
+            .collect();
+        regridder.regrid(&mut h, &reg, &tagger, &specs, None, 0.0);
+        let after: Vec<Vec<GBox>> = (0..h.num_levels())
+            .map(|l| h.level(l).global_boxes().to_vec())
+            .collect();
+        prop_assert_eq!(stable, after);
+    }
+}

@@ -1,0 +1,80 @@
+//! Ablation micro-benchmarks for the design choices DESIGN.md calls
+//! out: tag-bitmap compression vs raw tag transfer, and patch
+//! granularity (the kernel-launch overhead trade-off). Wall-clock
+//! numbers; the virtual-time ablations (resident vs copy-back, PCIe
+//! volumes) are printed by the `ablations` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbamr_device::Device;
+use rbamr_geometry::{Centring, GBox, IntVector};
+use rbamr_gpu_amr::{compress_tags, DeviceData};
+use rbamr_hydro::{HydroConfig, HydroSim, Placement};
+use rbamr_perfmodel::{Category, Clock, Machine};
+use rbamr_problems::sod_regions;
+
+fn tag_field(device: &Device, n: i64) -> DeviceData<i32> {
+    let cell_box = GBox::from_coords(0, 0, n, n);
+    let mut d = DeviceData::<i32>::new(device, cell_box, IntVector::ZERO, Centring::Cell);
+    let mut vals = vec![0i32; (n * n) as usize];
+    for (i, v) in vals.iter_mut().enumerate() {
+        if i % 37 == 0 {
+            *v = 1;
+        }
+    }
+    d.upload_all(&vals, Category::Regrid);
+    d
+}
+
+fn bench_tag_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tag-transfer");
+    group.sample_size(10);
+    for &n in &[128i64, 512] {
+        let device = Device::k20x();
+        let tags = tag_field(&device, n);
+        group.bench_with_input(BenchmarkId::new("compressed-bitmap", n), &n, |b, _| {
+            b.iter(|| compress_tags(&tags, Category::Regrid));
+        });
+        group.bench_with_input(BenchmarkId::new("raw-int-download", n), &n, |b, _| {
+            b.iter(|| tags.download_all(Category::Regrid));
+        });
+    }
+    group.finish();
+}
+
+fn bench_patch_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("patch-granularity");
+    group.sample_size(10);
+    for &max_patch in &[16i64, 64] {
+        let mut config = HydroConfig {
+            regrid_interval: 0,
+            max_patch_size: max_patch,
+            ..HydroConfig::default()
+        };
+        config.regrid.max_patch_size = max_patch;
+        let mut sim = HydroSim::new(
+            Machine::ipa_gpu(),
+            Placement::Device,
+            Clock::new(),
+            (1.0, 1.0),
+            (64, 64),
+            2,
+            2,
+            config,
+            sod_regions(),
+            0,
+            1,
+        );
+        sim.initialize(None);
+        group.bench_with_input(
+            BenchmarkId::new("device-step", max_patch),
+            &max_patch,
+            |b, _| {
+                b.iter(|| sim.step(None));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tag_compression, bench_patch_granularity);
+criterion_main!(benches);

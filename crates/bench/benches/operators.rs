@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks of the paper's data-parallel operators —
+//! wall-clock time of the *actual computation* (host reference vs the
+//! simulated-device execution path, which adds the launch/token
+//! machinery on top of the same kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbamr_amr::ops as host_ops;
+use rbamr_amr::ops::{CoarsenOperator, RefineOperator};
+use rbamr_amr::patchdata::PatchData;
+use rbamr_amr::HostData;
+use rbamr_device::Device;
+use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
+use rbamr_gpu_amr::{ops as dev_ops, DeviceData};
+use rbamr_perfmodel::Category;
+
+const R2: IntVector = IntVector::uniform(2);
+
+fn host_pair(n: i64, centring: Centring) -> (HostData<f64>, HostData<f64>) {
+    let coarse = GBox::from_coords(0, 0, n, n);
+    let fine = coarse.refine(R2);
+    let mut src = HostData::new(coarse, IntVector::ONE, centring);
+    for (i, v) in src.as_mut_slice().iter_mut().enumerate() {
+        *v = (i as f64 * 0.7).sin();
+    }
+    let dst = HostData::new(fine, IntVector::uniform(2), centring);
+    (src, dst)
+}
+
+fn device_pair(device: &Device, n: i64, centring: Centring) -> (DeviceData<f64>, DeviceData<f64>) {
+    let coarse = GBox::from_coords(0, 0, n, n);
+    let fine = coarse.refine(R2);
+    let mut src = DeviceData::new(device, coarse, IntVector::ONE, centring);
+    let image: Vec<f64> = (0..src.buffer().len()).map(|i| (i as f64 * 0.7).sin()).collect();
+    src.upload_all(&image, Category::Other);
+    let dst = DeviceData::new(device, fine, IntVector::uniform(2), centring);
+    (src, dst)
+}
+
+fn bench_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine");
+    group.sample_size(10);
+    for &n in &[64i64, 256] {
+        let fine_box = GBox::from_coords(0, 0, n, n).refine(R2);
+        let fill = BoxList::from_box(fine_box);
+
+        let (hsrc, mut hdst) = host_pair(n, Centring::Node);
+        group.bench_with_input(BenchmarkId::new("node-linear-host", n), &n, |b, _| {
+            b.iter(|| host_ops::LinearNodeRefine.refine(&mut hdst, &hsrc, &fill, R2));
+        });
+
+        let device = Device::k20x();
+        let (dsrc, mut ddst) = device_pair(&device, n, Centring::Node);
+        group.bench_with_input(BenchmarkId::new("node-linear-device", n), &n, |b, _| {
+            b.iter(|| dev_ops::DeviceLinearNodeRefine.refine(&mut ddst, &dsrc, &fill, R2));
+        });
+
+        let (hsrc, mut hdst) = host_pair(n, Centring::Cell);
+        group.bench_with_input(BenchmarkId::new("cell-conservative-host", n), &n, |b, _| {
+            b.iter(|| host_ops::ConservativeCellRefine.refine(&mut hdst, &hsrc, &fill, R2));
+        });
+
+        let (dsrc, mut ddst) = device_pair(&device, n, Centring::Cell);
+        group.bench_with_input(BenchmarkId::new("cell-conservative-device", n), &n, |b, _| {
+            b.iter(|| dev_ops::DeviceConservativeCellRefine.refine(&mut ddst, &dsrc, &fill, R2));
+        });
+    }
+    group.finish();
+}
+
+fn bench_coarsen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coarsen");
+    group.sample_size(10);
+    for &n in &[64i64, 256] {
+        let coarse_box = GBox::from_coords(0, 0, n, n);
+        let fill = BoxList::from_box(coarse_box);
+
+        let mut fine = HostData::<f64>::cell(coarse_box.refine(R2), IntVector::ZERO);
+        for (i, v) in fine.as_mut_slice().iter_mut().enumerate() {
+            *v = (i % 97) as f64;
+        }
+        let mut rho = HostData::<f64>::cell(coarse_box.refine(R2), IntVector::ZERO);
+        rho.fill(1.3);
+        let mut coarse = HostData::<f64>::cell(coarse_box, IntVector::ZERO);
+
+        group.bench_with_input(BenchmarkId::new("volume-weighted-host", n), &n, |b, _| {
+            b.iter(|| host_ops::VolumeWeightedCoarsen.coarsen(&mut coarse, &fine, &[], &fill, R2));
+        });
+        group.bench_with_input(BenchmarkId::new("mass-weighted-host", n), &n, |b, _| {
+            b.iter(|| {
+                host_ops::MassWeightedCoarsen.coarsen(&mut coarse, &fine, &[&rho], &fill, R2)
+            });
+        });
+
+        let device = Device::k20x();
+        let mut dfine =
+            DeviceData::<f64>::new(&device, coarse_box.refine(R2), IntVector::ZERO, Centring::Cell);
+        let image: Vec<f64> = (0..dfine.buffer().len()).map(|i| (i % 97) as f64).collect();
+        dfine.upload_all(&image, Category::Other);
+        let mut drho =
+            DeviceData::<f64>::new(&device, coarse_box.refine(R2), IntVector::ZERO, Centring::Cell);
+        let ones = vec![1.3; drho.buffer().len()];
+        drho.upload_all(&ones, Category::Other);
+        let mut dcoarse = DeviceData::<f64>::new(&device, coarse_box, IntVector::ZERO, Centring::Cell);
+
+        group.bench_with_input(BenchmarkId::new("volume-weighted-device", n), &n, |b, _| {
+            b.iter(|| {
+                dev_ops::DeviceVolumeWeightedCoarsen.coarsen(&mut dcoarse, &dfine, &[], &fill, R2)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mass-weighted-device", n), &n, |b, _| {
+            b.iter(|| {
+                dev_ops::DeviceMassWeightedCoarsen.coarsen(&mut dcoarse, &dfine, &[&drho], &fill, R2)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pack-unpack");
+    group.sample_size(10);
+    for &n in &[64i64, 512] {
+        let cell_box = GBox::from_coords(0, 0, n, n);
+        let ghosts = IntVector::uniform(2);
+        // A two-deep ghost strip along one face: the halo payload shape.
+        let ov = rbamr_geometry::ghost_overlaps(
+            GBox::from_coords(n, 0, 2 * n, n),
+            ghosts,
+            cell_box,
+            Centring::Cell,
+            IntVector::ZERO,
+        );
+
+        let mut h = HostData::<f64>::cell(cell_box, ghosts);
+        for (i, v) in h.as_mut_slice().iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        group.bench_with_input(BenchmarkId::new("pack-host", n), &n, |b, _| {
+            b.iter(|| h.pack(&ov));
+        });
+
+        let device = Device::k20x();
+        let mut d = DeviceData::<f64>::new(&device, cell_box, ghosts, Centring::Cell);
+        let image: Vec<f64> = (0..d.buffer().len()).map(|i| i as f64).collect();
+        d.upload_all(&image, Category::Other);
+        group.bench_with_input(BenchmarkId::new("pack-device", n), &n, |b, _| {
+            b.iter(|| d.pack(&ov));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_refine, bench_coarsen, bench_pack);
+criterion_main!(benches);

@@ -1,0 +1,262 @@
+//! Virtual-time ablations of the paper's design choices (Section IV):
+//!
+//! * **residency** — the paper's resident design against the Wang et
+//!   al. copy-back baseline its Related Work criticises (full array
+//!   in/out over PCIe around every kernel);
+//! * **tag-bitmap compression** (Section IV-C) against raw `int` tag
+//!   transfers, including the "nothing tagged" fast path;
+//! * **"any tagged" patch skip** on a hierarchy where most patches are
+//!   clean.
+//!
+//! ```text
+//! cargo run --release -p rbamr-bench --bin ablations
+//! ```
+
+use rbamr_bench::measure_profile;
+use rbamr_device::Device;
+use rbamr_geometry::{Centring, GBox, IntVector};
+use rbamr_gpu_amr::{compress_tags, DeviceData};
+use rbamr_hydro::{HydroConfig, HydroSim, Placement};
+use rbamr_perfmodel::{Category, Clock, CostModel, Machine};
+use rbamr_problems::sod_regions;
+
+fn main() {
+    residency_ablation();
+    tag_compression_ablation();
+    overlap_ablation();
+    amr_vs_uniform_ablation();
+}
+
+/// The reason AMR exists (paper Section I): the same effective
+/// resolution at a fraction of the cells and runtime, without losing
+/// the solution. Compares a 3-level AMR Sod run against a uniform grid
+/// at the AMR run's finest resolution.
+fn amr_vs_uniform_ablation() {
+    println!("\n=== ablation: AMR vs uniform fine grid (the paper's Section I case) ===\n");
+    let coarse = 160i64;
+    let levels = 3usize;
+    let fine = coarse << (levels - 1); // 640^2 uniform equivalent
+
+    let run = |cells: i64, levels: usize| -> (f64, f64, i64) {
+        let config = HydroConfig { regrid_interval: 5, ..HydroConfig::default() };
+        let mut sim = HydroSim::new(
+            Machine::ipa_gpu(),
+            Placement::Device,
+            Clock::new(),
+            (1.0, 1.0),
+            (cells, cells),
+            levels,
+            2,
+            config,
+            sod_regions(),
+            0,
+            1,
+        );
+        sim.initialize(None);
+        sim.run_to_time(0.1, None);
+        let err = rbamr_problems::sod::sod_l1_error(&sim.density_profile(), sim.time());
+        (sim.clock().total(), err, sim.hierarchy().total_cells())
+    };
+
+    let (t_amr, e_amr, c_amr) = run(coarse, levels);
+    let (t_uni, e_uni, c_uni) = run(fine, 1);
+    println!("Sod to t = 0.1, {fine}^2 effective resolution:");
+    println!(
+        "  AMR ({levels} levels)  : {:>8.2} s modelled, {:>9} cells, L1 error {:.4}",
+        t_amr, c_amr, e_amr
+    );
+    println!(
+        "  uniform fine    : {:>8.2} s modelled, {:>9} cells, L1 error {:.4}",
+        t_uni, c_uni, e_uni
+    );
+    println!(
+        "  AMR stores {:.1}x fewer cells (the motivation for fitting runs in the\n  K20x's 6 GB) at {:.2}x the uniform runtime and {:.1}x its L1 error;\n  the margin grows with resolution as the refined fraction shrinks",
+        c_uni as f64 / c_amr as f64,
+        t_amr / t_uni,
+        e_amr / e_uni
+    );
+}
+
+/// The paper's Section VI future work, implemented as a timing-model
+/// extension: PCIe transfers hide behind banked kernel time.
+fn overlap_ablation() {
+    println!("\n=== extension: transfer/compute overlap (paper future work) ===\n");
+    for placement in [Placement::Device, Placement::DeviceCopyBack] {
+        let mut per_mode = Vec::new();
+        for overlap in [false, true] {
+            let mut config = HydroConfig {
+                regrid_interval: 0,
+                max_patch_size: 64,
+                ..HydroConfig::default()
+            };
+            config.regrid.max_patch_size = 64;
+            let mut sim = HydroSim::new(
+                Machine::ipa_gpu(),
+                placement,
+                Clock::new(),
+                (1.0, 1.0),
+                (128, 128),
+                2,
+                2,
+                config,
+                sod_regions(),
+                0,
+                1,
+            );
+            sim.initialize(None);
+            sim.device().unwrap().set_transfer_overlap(overlap);
+            let profile = measure_profile(&mut sim, None, 3);
+            per_mode.push(profile.per_step.total());
+        }
+        let name = if placement == Placement::Device { "resident" } else { "copy-back" };
+        println!("{name} build, per-step virtual time (128^2 Sod, 64-cell patches):");
+        println!("  transfers serialised      : {:>8.3} ms", per_mode[0] * 1e3);
+        println!("  transfers overlapped      : {:>8.3} ms", per_mode[1] * 1e3);
+        println!(
+            "  overlap benefit           : {:>8.1} %\n",
+            (1.0 - per_mode[1] / per_mode[0]) * 100.0
+        );
+    }
+    println!("(the resident design leaves little to hide; overlap mainly rescues");
+    println!(" the copy-back baseline — consistent with GAMER/Uintah, which need");
+    println!(" overlap precisely because they are not resident)");
+}
+
+fn run_placement(placement: Placement) -> (f64, u64, u64) {
+    let config = HydroConfig { regrid_interval: 0, ..HydroConfig::default() };
+    let mut sim = HydroSim::new(
+        Machine::ipa_gpu(),
+        placement,
+        Clock::new(),
+        (1.0, 1.0),
+        (256, 256),
+        3,
+        2,
+        config,
+        sod_regions(),
+        0,
+        1,
+    );
+    sim.initialize(None);
+    let device = sim.device().unwrap().clone();
+    device.reset_transfer_stats();
+    let profile = measure_profile(&mut sim, None, 3);
+    let stats = device.stats();
+    (profile.per_step.total(), (stats.d2h_bytes + stats.h2d_bytes) / 4, stats.kernel_launches / 4)
+}
+
+fn residency_ablation() {
+    println!("=== ablation: resident vs copy-back (Wang et al. style), both MEASURED ===\n");
+    let (resident, resident_pcie, launches) = run_placement(Placement::Device);
+    let (copy_back, copyback_pcie, _) = run_placement(Placement::DeviceCopyBack);
+    println!("per-step results, 256^2 Sod, 3 levels (~{launches} kernel launches/step):");
+    println!("  resident (paper design)   : {:>9.2} ms, {:>12} B PCIe/step", resident * 1e3, resident_pcie);
+    println!("  copy-back (naive port)    : {:>9.2} ms, {:>12} B PCIe/step", copy_back * 1e3, copyback_pcie);
+    println!("  residency speedup         : {:>9.2}x", copy_back / resident);
+    println!("  PCIe traffic ratio        : {:>9.0}x\n", copyback_pcie as f64 / resident_pcie.max(1) as f64);
+}
+
+#[allow(dead_code)]
+fn residency_ablation_modeled() {
+    let config = HydroConfig { regrid_interval: 0, ..HydroConfig::default() };
+    let mut sim = HydroSim::new(
+        Machine::ipa_gpu(),
+        Placement::Device,
+        Clock::new(),
+        (1.0, 1.0),
+        (256, 256),
+        3,
+        2,
+        config,
+        sod_regions(),
+        0,
+        1,
+    );
+    sim.initialize(None);
+    let device = sim.device().unwrap().clone();
+    device.reset_transfer_stats();
+    let profile = measure_profile(&mut sim, None, 3);
+    let stats = device.stats();
+    let launches_per_step = stats.kernel_launches as f64 / 4.0;
+
+    let resident = profile.per_step.total();
+    // Copy-back model: every kernel round-trips its working set over
+    // PCIe (CloverLeaf-style kernels touch ~4 arrays; patch arrays are
+    // total_cells/launches-per-patch-step sized on average).
+    let cost = CostModel::new(Machine::ipa_gpu());
+    let cells = profile.total_cells as f64;
+    let avg_arrays = 4.0;
+    let patches = launches_per_step / 52.0; // hydro phases per patch per step
+    let array_bytes = cells / patches.max(1.0) * 8.0;
+    let per_kernel_pcie = 2.0 * cost.pcie((avg_arrays * array_bytes) as u64);
+    let copy_back = resident + launches_per_step * per_kernel_pcie;
+
+    println!("per-step virtual time, 256^2 Sod, 3 levels:");
+    println!("  resident (paper design)   : {:>9.2} ms", resident * 1e3);
+    println!("  copy-back (naive port)    : {:>9.2} ms", copy_back * 1e3);
+    println!("  residency speedup         : {:>9.2}x", copy_back / resident);
+    println!(
+        "  per-step PCIe, resident   : {:>9} B (dt scalar + halo packs)",
+        stats.d2h_bytes / 4 + stats.h2d_bytes / 4
+    );
+    println!(
+        "  per-step PCIe, copy-back  : {:>9.0} MB\n",
+        launches_per_step * avg_arrays * array_bytes * 2.0 / 1e6
+    );
+}
+
+fn tag_compression_ablation() {
+    println!("=== ablation: tag-bitmap compression (Section IV-C) ===\n");
+    let device = Device::k20x();
+    let n = 256i64;
+    let cell_box = GBox::from_coords(0, 0, n, n);
+
+    // A patch with a thin tagged front.
+    let mut tags = DeviceData::<i32>::new(&device, cell_box, IntVector::ZERO, Centring::Cell);
+    let mut vals = vec![0i32; (n * n) as usize];
+    for j in 0..n {
+        for i in 120..136 {
+            vals[(j * n + i) as usize] = 1;
+        }
+    }
+    tags.upload_all(&vals, Category::Regrid);
+
+    device.reset_transfer_stats();
+    let before = device.clock().total();
+    let bm = compress_tags(&tags, Category::Regrid);
+    let compressed_time = device.clock().total() - before;
+    let compressed_bytes = device.stats().d2h_bytes;
+
+    device.reset_transfer_stats();
+    let before = device.clock().total();
+    let _raw = tags.download_all(Category::Regrid);
+    let raw_time = device.clock().total() - before;
+    let raw_bytes = device.stats().d2h_bytes;
+
+    println!("tagged patch ({n}x{n}, 6% tagged):");
+    println!(
+        "  compressed: {:>8} B, {:>8.1} us   raw ints: {:>8} B, {:>8.1} us",
+        compressed_bytes,
+        compressed_time * 1e6,
+        raw_bytes,
+        raw_time * 1e6
+    );
+    println!(
+        "  transfer saved: {:.0}x bytes, {:.1}x virtual time",
+        raw_bytes as f64 / compressed_bytes as f64,
+        raw_time / compressed_time
+    );
+    assert!(bm.any());
+
+    // The untagged fast path.
+    let clean = DeviceData::<i32>::new(&device, cell_box, IntVector::ZERO, Centring::Cell);
+    device.reset_transfer_stats();
+    let bm = compress_tags(&clean, Category::Regrid);
+    println!("\nuntagged patch fast path:");
+    println!(
+        "  transferred {} B (the 'tagged' flag only; raw would be {} B)",
+        device.stats().d2h_bytes,
+        (n * n * 4)
+    );
+    assert!(!bm.any());
+}

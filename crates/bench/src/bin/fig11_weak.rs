@@ -1,0 +1,225 @@
+//! Regenerates **Figure 11**: weak scaling of the triple-point problem
+//! on Titan — per-cell grind times of the runtime components (Total,
+//! Hydrodynamics, Synchronisation, Regridding) at 1 to 4,096 nodes,
+//! ~2 million effective cells per node, 3 levels, ratio 2.
+//!
+//! Method (the documented Titan substitution, DESIGN.md): the paper's
+//! 8-billion-cell meshes cannot be instantiated, so the harness
+//!
+//! 1. runs the *real* triple-point simulation on simulated Titan ranks
+//!    to measure the structural constants of a step — kernel launches
+//!    per patch, device bytes per cell, refined coverage fractions;
+//! 2. validates the analytic model ([`WeakScalingModel`]) against those
+//!    fully simulated runs at small node counts, with the model
+//!    configured to the *same* small-scale structure;
+//! 3. evaluates the model along the paper's node axis at the paper's
+//!    per-node workload.
+//!
+//! ```text
+//! cargo run --release -p rbamr-bench --bin fig11_weak
+//! ```
+
+use rbamr_bench::{csv_dir_arg, measure_profile, write_csv};
+use rbamr_hydro::{HydroConfig, HydroSim, Placement};
+use rbamr_netsim::Cluster;
+use rbamr_perfmodel::{Category, Machine};
+use rbamr_problems::synthetic::WeakScalingModel;
+use rbamr_problems::triple_point::{triple_point_regions, TRIPLE_POINT_EXTENT};
+
+const LEVELS: usize = 3;
+
+struct RealRun {
+    /// Per-rank per-step component times (slowest rank).
+    hydro: f64,
+    timestep: f64,
+    sync: f64,
+    regrid: f64,
+    /// Stored cells per rank, per level.
+    cells_per_level: Vec<f64>,
+    /// Patches per rank.
+    patches_per_rank: f64,
+    /// Device kernel launches per rank per step.
+    launches_per_step: f64,
+}
+
+fn run_real(ranks: usize, coarse_per_rank: i64, max_patch: i64) -> RealRun {
+    let cluster = Cluster::new(Machine::titan());
+    let total_coarse = coarse_per_rank * ranks as i64;
+    let ny = ((total_coarse as f64 / (7.0 / 3.0)).sqrt()) as i64;
+    let nx = ny * 7 / 3;
+    let results = cluster.run(ranks, |comm| {
+        let mut config = HydroConfig {
+            regrid_interval: 0,
+            max_patch_size: max_patch,
+            ..HydroConfig::default()
+        };
+        config.regrid.max_patch_size = max_patch;
+        let mut sim = HydroSim::new(
+            Machine::titan(),
+            Placement::Device,
+            comm.clock().clone(),
+            TRIPLE_POINT_EXTENT,
+            (nx, ny),
+            LEVELS,
+            2,
+            config,
+            triple_point_regions(),
+            comm.rank(),
+            comm.size(),
+        );
+        sim.initialize(Some(&comm));
+        let dev = sim.device().expect("device build").clone();
+        dev.reset_transfer_stats();
+        let profile = measure_profile(&mut sim, Some(&comm), 3);
+        let launches = dev.stats().kernel_launches as f64 / 4.0; // warm-up + 3 steps
+        let cells_per_level: Vec<f64> = (0..sim.hierarchy().num_levels())
+            .map(|l| sim.hierarchy().level(l).num_cells() as f64 / comm.size() as f64)
+            .collect();
+        let patches: usize = (0..sim.hierarchy().num_levels())
+            .map(|l| sim.hierarchy().level(l).num_patches())
+            .sum();
+        (profile, cells_per_level, patches as f64 / comm.size() as f64, launches)
+    });
+    let mut out = RealRun {
+        hydro: 0.0,
+        timestep: 0.0,
+        sync: 0.0,
+        regrid: 0.0,
+        cells_per_level: results[0].value.1.clone(),
+        patches_per_rank: results[0].value.2,
+        launches_per_step: 0.0,
+    };
+    for r in &results {
+        out.hydro = out.hydro.max(r.value.0.per_step.hydrodynamics());
+        out.timestep = out.timestep.max(r.value.0.per_step.get(Category::Timestep));
+        out.sync = out.sync.max(r.value.0.per_step.get(Category::Synchronize));
+        out.regrid = out
+            .regrid
+            .max(r.value.0.per_step.get(Category::Regrid) + r.value.0.regrid / 10.0);
+        out.launches_per_step = out.launches_per_step.max(r.value.3);
+    }
+    out
+}
+
+impl RealRun {
+    fn stored_cells(&self) -> f64 {
+        self.cells_per_level.iter().sum()
+    }
+
+    fn grind_total(&self) -> f64 {
+        (self.hydro + self.timestep + self.sync + self.regrid) / self.stored_cells()
+    }
+
+    /// A model configured to this run's measured structure.
+    fn matching_model(&self, calibrated: &WeakScalingModel) -> WeakScalingModel {
+        let mut m = calibrated.clone();
+        let coarse = self.cells_per_level[0];
+        m.effective_cells_per_node = coarse * 16.0;
+        m.refined_fraction = self
+            .cells_per_level
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| (c / (coarse * 4f64.powi(l as i32))).min(1.0))
+            .collect();
+        m.patch_size = (self.stored_cells() / self.patches_per_rank).sqrt();
+        m
+    }
+}
+
+fn main() {
+    println!("Figure 11: weak scaling on Titan, triple point, 3 levels, ratio 2");
+    println!("(grind times in s/cell; structural constants measured from full");
+    println!(" simulated runs, extrapolated with the DESIGN.md cost model)\n");
+
+    // --- Phase 1: measure structural constants from a real run --------
+    let base = run_real(2, 40_000, 64);
+    let dev = Machine::titan();
+    let k = dev.device();
+    let launch_per_patch = base.launches_per_step / base.patches_per_rank;
+    // Separate launch latency from bandwidth in the measured hydro time.
+    let launch_time = base.launches_per_step * k.kernel_latency;
+    let bytes_per_cell =
+        ((base.hydro - launch_time).max(0.0) * k.mem_bandwidth / base.stored_cells()).max(500.0);
+    println!("measured step structure (2 ranks, 40k coarse cells/rank):");
+    println!("  kernel launches / patch / step : {launch_per_patch:.1}");
+    println!("  device bytes / cell / step     : {bytes_per_cell:.0}");
+    println!(
+        "  refined coverage fractions     : {:?}",
+        base.cells_per_level
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| (c / (base.cells_per_level[0] * 4f64.powi(l as i32)) * 100.0).round())
+            .collect::<Vec<_>>()
+    );
+
+    let mut model = WeakScalingModel::titan_paper();
+    model.calib.kernel_launches_per_patch_step = launch_per_patch;
+    model.calib.bytes_per_cell_step = bytes_per_cell;
+
+    // --- Phase 2: validate the model at fully simulated scales --------
+    println!("\nmodel validation (model configured to the measured small-scale structure):");
+    println!("{:>6} {:>14} {:>14} {:>8}", "ranks", "simulated", "model", "ratio");
+    for ranks in [1usize, 2, 4] {
+        let real = run_real(ranks, 40_000, 64);
+        let m = real.matching_model(&model).grind_times(ranks as u32);
+        println!(
+            "{:>6} {:>11.3e} {:>11.3e} {:>8.2}",
+            ranks,
+            real.grind_total(),
+            m.total(),
+            real.grind_total() / m.total()
+        );
+    }
+
+    // --- Phase 3: the paper's node axis at paper scale -----------------
+    println!("\npaper-scale series (2M effective cells/node, 256^2 patches):");
+    println!(
+        "{:>6} {:>13} {:>15} {:>15} {:>13}",
+        "nodes", "Total", "Hydrodynamics", "Synchronisation", "Regridding"
+    );
+    println!("{}", "-".repeat(68));
+    let mut rows = Vec::new();
+    for nodes in [1u32, 4, 16, 64, 256, 1024, 4096] {
+        let g = model.grind_times(nodes);
+        println!(
+            "{:>6} {:>13.3e} {:>15.3e} {:>15.3e} {:>13.3e}",
+            nodes,
+            g.total(),
+            g.hydro,
+            g.sync,
+            g.regrid
+        );
+        rows.push(vec![f64::from(nodes), g.total(), g.hydro, g.timestep, g.sync, g.regrid]);
+    }
+    println!("{}", "-".repeat(68));
+    if let Some(dir) = csv_dir_arg() {
+        let p = write_csv(
+            &dir,
+            "fig11_weak.csv",
+            "nodes,total_s_per_cell,hydro,timestep,sync,regrid",
+            &rows,
+        );
+        println!("wrote {}", p.display());
+    }
+    let g1 = model.grind_times(1);
+    let g4k = model.grind_times(4096);
+    println!(
+        "\ngrowth 1 -> 4096 nodes: total {:.2}x (paper: gradual, well under 10x)",
+        g4k.total() / g1.total()
+    );
+    println!(
+        "hydrodynamics share: {:.0}% at 1 node, {:.0}% at 4096 (majority everywhere, as in the paper)",
+        g1.hydro / g1.total() * 100.0,
+        g4k.hydro / g4k.total() * 100.0
+    );
+    println!(
+        "timestep share grows {:.1}% -> {:.1}% (paper: <1% -> 6%)",
+        g1.timestep / g1.total() * 100.0,
+        g4k.timestep / g4k.total() * 100.0
+    );
+    println!(
+        "synchronisation share: {:.1}% -> {:.1}% (paper: 1% -> 3%)",
+        g1.sync / g1.total() * 100.0,
+        g4k.sync / g4k.total() * 100.0
+    );
+}

@@ -1,0 +1,98 @@
+//! Regenerates **Figure 9**: serial performance of one NVIDIA K20x
+//! against one dual-socket E5-2670 node on the Sod problem, 1000
+//! timesteps, coarse resolutions from ~3,125 to 6.4 million zones, 3
+//! levels of refinement, ratio 2.
+//!
+//! Also prints the Section V-A statistics: the average small-problem
+//! slowdown (paper: ~1.6x below 200k cells), the average large-problem
+//! speedup (paper: 1.99x at >= 200k) and the maximum (paper: 2.67x).
+//!
+//! ```text
+//! cargo run --release -p rbamr-bench --bin fig9_serial [-- --full]
+//! ```
+//!
+//! `--full` includes the 3.2M- and 6.4M-zone rungs (a few minutes of
+//! real compute); the default stops at 800k and is representative.
+
+use rbamr_bench::{csv_dir_arg, fig9_resolutions, fmt_secs, measure_profile, sod_sim, write_csv};
+use rbamr_hydro::Placement;
+use rbamr_perfmodel::{Clock, Machine};
+
+const PAPER_STEPS: usize = 1000;
+const REGRID_INTERVAL: usize = 10;
+const LEVELS: usize = 3;
+
+fn run_one(placement: Placement, nx: i64, ny: i64) -> (f64, i64) {
+    let machine = match placement {
+        Placement::Host => Machine::ipa_cpu_node(),
+        _ => Machine::ipa_gpu(),
+    };
+    // Patches are capped at 1024^2 cells; small problems are a single
+    // patch (the serial study has no parallel decomposition).
+    let mut sim = sod_sim(machine, placement, Clock::new(), nx, ny, LEVELS, 1024, 0, 1);
+    sim.initialize(None);
+    let steps = if nx >= 1024 { 2 } else { 4 };
+    let profile = measure_profile(&mut sim, None, steps);
+    (profile.projected_runtime(PAPER_STEPS, REGRID_INTERVAL), profile.total_cells)
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sizes = fig9_resolutions(full);
+    println!("Figure 9: serial performance, Sod, {PAPER_STEPS} steps, {LEVELS} levels, ratio 2");
+    println!("(runtimes are modelled K20x / E5-2670 times; numerics run for real)\n");
+    println!(
+        "{:>12} {:>12} {:>14} {:>14} {:>9}",
+        "coarse zones", "total cells", "CPU runtime(s)", "GPU runtime(s)", "speedup"
+    );
+    println!("{}", "-".repeat(66));
+
+    let mut small_ratios = Vec::new();
+    let mut large_ratios = Vec::new();
+    let mut rows = Vec::new();
+    for &(nx, ny) in &sizes {
+        let (cpu, cells) = run_one(Placement::Host, nx, ny);
+        let (gpu, _) = run_one(Placement::Device, nx, ny);
+        let speedup = cpu / gpu;
+        println!(
+            "{:>12} {:>12} {:>14} {:>14} {:>8.2}x",
+            nx * ny,
+            cells,
+            fmt_secs(cpu),
+            fmt_secs(gpu),
+            speedup
+        );
+        rows.push(vec![(nx * ny) as f64, cells as f64, cpu, gpu, speedup]);
+        if nx * ny < 200_000 {
+            small_ratios.push(speedup);
+        } else {
+            large_ratios.push(speedup);
+        }
+    }
+    if let Some(dir) = csv_dir_arg() {
+        let p = write_csv(&dir, "fig9_serial.csv", "coarse_zones,total_cells,cpu_s,gpu_s,speedup", &rows);
+        println!("\nwrote {}", p.display());
+    }
+    println!("{}", "-".repeat(66));
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    if !small_ratios.is_empty() {
+        println!(
+            "below 200k zones: GPU is {:.2}x slower on average   (paper: ~1.6x slower)",
+            1.0 / avg(&small_ratios)
+        );
+    }
+    if !large_ratios.is_empty() {
+        println!(
+            "at/above 200k zones: average speedup {:.2}x           (paper: 1.99x)",
+            avg(&large_ratios)
+        );
+        println!(
+            "maximum speedup {:.2}x                                (paper: 2.67x)",
+            large_ratios.iter().fold(0.0f64, |a, &b| a.max(b))
+        );
+    }
+    if !full {
+        println!("\n(run with --full for the 3.2M and 6.4M rungs, where the maximum occurs)");
+    }
+}

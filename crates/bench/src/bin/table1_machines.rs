@@ -1,0 +1,48 @@
+//! Regenerates **Table I**: the hardware and software configuration of
+//! the two evaluation platforms, as encoded in the cost models that
+//! drive every other experiment.
+//!
+//! ```text
+//! cargo run --release -p rbamr-bench --bin table1_machines
+//! ```
+
+use rbamr_perfmodel::Machine;
+
+fn main() {
+    println!("Table I: IPA and Titan hardware/software configurations (as modelled)");
+    println!("{}", "=".repeat(110));
+    println!(
+        "{:<18} {:<34} {:<22} {:>5} {:>6} {:>6}  Interconnect",
+        "Machine", "Processor", "Accelerator", "Nodes", "Cores", "GPUs"
+    );
+    println!("{}", "-".repeat(110));
+    for m in [Machine::ipa_gpu(), Machine::ipa_cpu_node(), Machine::titan()] {
+        println!("{}", m.table_row());
+    }
+    println!("{}", "-".repeat(110));
+    println!("\nCalibrated model parameters:");
+    for m in [Machine::ipa_gpu(), Machine::titan()] {
+        let d = m.device();
+        println!(
+            "  {:<16}: host {:>5.0} GB/s | device {:>5.0} GB/s, launch {:>4.1} us | PCIe {:>4.1} GB/s, {:>4.1} us | net {:>4.1} GB/s, {:>4.2} us",
+            m.name,
+            m.host.mem_bandwidth / 1e9,
+            d.mem_bandwidth / 1e9,
+            d.kernel_latency * 1e6,
+            d.pcie_bandwidth / 1e9,
+            d.pcie_latency * 1e6,
+            m.network.bandwidth / 1e9,
+            m.network.latency * 1e6,
+        );
+    }
+    let cpu = Machine::ipa_cpu_node();
+    println!(
+        "  {:<16}: host {:>5.0} GB/s (no accelerator) | net {:>4.1} GB/s, {:>4.2} us",
+        cpu.name,
+        cpu.host.mem_bandwidth / 1e9,
+        cpu.network.bandwidth / 1e9,
+        cpu.network.latency * 1e6,
+    );
+    println!("\npaper: Intel 13.1 compilers, MVAPICH/Cray MPT, CUDA 5.5 — substituted by");
+    println!("rustc + the rbamr-netsim message runtime + the rbamr-device simulated K20x.");
+}

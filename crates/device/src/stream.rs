@@ -1,0 +1,179 @@
+//! Streams and events — the ordering constructs of the paper's host code.
+//!
+//! The original implementation launches the refine kernel on the fine
+//! patch's stream, records an event, and makes the coarse stream wait on
+//! it (Figure 5a). The simulated device executes synchronously, so
+//! streams and events do not change *what* happens — but they preserve
+//! the *structure* of the original host code (the `gpu-amr` operators
+//! mirror Figure 5a line for line) and they validate usage: waiting on
+//! an event that was never recorded is a programming error the real API
+//! would silently deadlock on; here it panics.
+
+use crate::Device;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_STREAM_ID: AtomicU64 = AtomicU64::new(0);
+
+/// An in-order execution queue on a device.
+#[derive(Clone)]
+pub struct Stream {
+    id: u64,
+    device_id: u64,
+    /// Number of operations submitted to this stream so far.
+    submitted: Arc<AtomicU64>,
+}
+
+impl Stream {
+    /// Create a stream on `device`.
+    pub fn new(device: &Device) -> Self {
+        Self {
+            id: NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed),
+            device_id: device.id(),
+            submitted: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// This stream's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of the device the stream lives on.
+    pub fn device_id(&self) -> u64 {
+        self.device_id
+    }
+
+    /// Record that one operation was submitted; returns its sequence
+    /// number within the stream.
+    pub fn submit(&self) -> u64 {
+        self.submitted.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of operations submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Block until all submitted work completes (`cudaStreamSynchronize`).
+    /// Execution is synchronous, so this only validates the handle.
+    pub fn synchronize(&self) {}
+
+    /// Make this stream wait for `event` (`cudaStreamWaitEvent`).
+    ///
+    /// # Panics
+    /// Panics if the event was never recorded — the real API would
+    /// deadlock or misorder; surfacing the bug loudly is strictly better.
+    pub fn wait_event(&self, event: &Event) {
+        assert!(
+            event.is_recorded(),
+            "stream {} waited on event that was never recorded",
+            self.id
+        );
+        assert_eq!(
+            self.device_id, event.device_id,
+            "stream {} waited on an event from another device",
+            self.id
+        );
+    }
+}
+
+impl std::fmt::Debug for Stream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Stream#{} (device {})", self.id, self.device_id)
+    }
+}
+
+/// A marker in a stream's timeline (`cudaEvent_t`).
+pub struct Event {
+    device_id: u64,
+    /// `(stream id, sequence)` at the record point, if recorded.
+    recorded_at: Mutex<Option<(u64, u64)>>,
+}
+
+impl Event {
+    /// Create an unrecorded event on `device` (`cudaEventCreate`).
+    pub fn new(device: &Device) -> Self {
+        Self { device_id: device.id(), recorded_at: Mutex::new(None) }
+    }
+
+    /// Record the event on `stream` (`cudaEventRecord`).
+    ///
+    /// # Panics
+    /// Panics if the stream lives on a different device.
+    pub fn record(&self, stream: &Stream) {
+        assert_eq!(
+            self.device_id,
+            stream.device_id(),
+            "event recorded on a stream from another device"
+        );
+        *self.recorded_at.lock() = Some((stream.id(), stream.submitted()));
+    }
+
+    /// True once the event has been recorded.
+    pub fn is_recorded(&self) -> bool {
+        self.recorded_at.lock().is_some()
+    }
+
+    /// The `(stream id, sequence)` of the record point.
+    pub fn record_point(&self) -> Option<(u64, u64)> {
+        *self.recorded_at.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_count_submissions() {
+        let dev = Device::k20x();
+        let s = Stream::new(&dev);
+        assert_eq!(s.submitted(), 0);
+        assert_eq!(s.submit(), 0);
+        assert_eq!(s.submit(), 1);
+        assert_eq!(s.submitted(), 2);
+        s.synchronize();
+    }
+
+    #[test]
+    fn figure_5a_event_protocol() {
+        // The exact sequence from the paper's host listing:
+        // sync coarse; launch on fine; record event on fine; coarse waits.
+        let dev = Device::k20x();
+        let coarse = Stream::new(&dev);
+        let fine = Stream::new(&dev);
+        coarse.synchronize();
+        fine.submit(); // the refine kernel
+        let ev = Event::new(&dev);
+        ev.record(&fine);
+        coarse.wait_event(&ev);
+        assert_eq!(ev.record_point(), Some((fine.id(), 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "never recorded")]
+    fn waiting_on_unrecorded_event_panics() {
+        let dev = Device::k20x();
+        let s = Stream::new(&dev);
+        let ev = Event::new(&dev);
+        s.wait_event(&ev);
+    }
+
+    #[test]
+    #[should_panic(expected = "another device")]
+    fn cross_device_event_record_panics() {
+        let a = Device::k20x();
+        let b = Device::k20x();
+        let s = Stream::new(&a);
+        let ev = Event::new(&b);
+        ev.record(&s);
+    }
+
+    #[test]
+    fn stream_ids_are_unique() {
+        let dev = Device::k20x();
+        assert_ne!(Stream::new(&dev).id(), Stream::new(&dev).id());
+    }
+}

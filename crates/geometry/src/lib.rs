@@ -1,0 +1,34 @@
+//! Index-space calculus for block-structured adaptive mesh refinement.
+//!
+//! This crate is the foundation of the `rbamr` workspace: it provides the
+//! integer index-space primitives that SAMRAI calls *box calculus* —
+//! [`IntVector`] (a 2D integer vector), [`GBox`] (a logically rectangular
+//! region of index space), [`BoxList`] (a set of boxes closed under union
+//! and difference), centring conversions between cell-, node- and
+//! side-centred index spaces, ghost-region/overlap computation, and a
+//! Morton space-filling curve used for load balancing.
+//!
+//! All boxes use an **inclusive lower / exclusive upper** convention: the
+//! box `[lo, hi)` contains the cells with `lo.x <= i < hi.x` and
+//! `lo.y <= j < hi.y`. A box with any `hi <= lo` component is *empty*.
+//!
+//! The crate is deliberately 2D: the paper's CleverLeaf mini-app solves
+//! Euler's equations on 2D structured grids, and every index computation
+//! in the reproduced kernels (Figures 5 and 8 of the paper) is 2D.
+
+pub mod boxlist;
+pub mod centring;
+pub mod gbox;
+pub mod ivec;
+pub mod overlap;
+pub mod sfc;
+
+pub use boxlist::BoxList;
+pub use centring::Centring;
+pub use gbox::GBox;
+pub use ivec::IntVector;
+pub use overlap::{copy_overlap, ghost_overlaps, BoxOverlap};
+pub use sfc::morton_key;
+
+/// The spatial dimensionality of every index space in this workspace.
+pub const DIM: usize = 2;

@@ -1,0 +1,140 @@
+//! Property-based tests for the box calculus invariants that the AMR
+//! framework relies on.
+
+use proptest::prelude::*;
+use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
+
+fn arb_box() -> impl Strategy<Value = GBox> {
+    (-50i64..50, -50i64..50, 1i64..30, 1i64..30).prop_map(|(x, y, w, h)| {
+        GBox::from_coords(x, y, x + w, y + h)
+    })
+}
+
+fn arb_ratio() -> impl Strategy<Value = IntVector> {
+    (1i64..5, 1i64..5).prop_map(|(x, y)| IntVector::new(x, y))
+}
+
+proptest! {
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn intersection_laws(a in arb_box(), b in arb_box()) {
+        let ab = a.intersect(b);
+        prop_assert_eq!(ab, b.intersect(a));
+        prop_assert!(a.contains_box(ab));
+        prop_assert!(b.contains_box(ab));
+    }
+
+    /// Subtraction produces disjoint pieces whose area is |a| - |a ∩ b|
+    /// and which never intersect b.
+    #[test]
+    fn subtraction_partitions(a in arb_box(), b in arb_box()) {
+        let mut out = Vec::new();
+        a.subtract_into(b, &mut out);
+        let area: i64 = out.iter().map(|p| p.num_cells()).sum();
+        prop_assert_eq!(area, a.num_cells() - a.intersect(b).num_cells());
+        for (i, p) in out.iter().enumerate() {
+            prop_assert!(!p.is_empty());
+            prop_assert!(!p.intersects(b));
+            prop_assert!(a.contains_box(*p));
+            for q in &out[i + 1..] {
+                prop_assert!(!p.intersects(*q));
+            }
+        }
+    }
+
+    /// refine then coarsen is the identity for any positive ratio.
+    #[test]
+    fn refine_coarsen_identity(a in arb_box(), r in arb_ratio()) {
+        prop_assert_eq!(a.refine(r).coarsen(r), a);
+    }
+
+    /// Coarsening covers: refining the coarsened box contains the
+    /// original.
+    #[test]
+    fn coarsen_covers(a in arb_box(), r in arb_ratio()) {
+        let c = a.coarsen(r);
+        prop_assert!(c.refine(r).contains_box(a));
+    }
+
+    /// A refined box is always aligned to its ratio.
+    #[test]
+    fn refined_boxes_are_aligned(a in arb_box(), r in arb_ratio()) {
+        prop_assert!(a.refine(r).is_aligned(r));
+    }
+
+    /// BoxList area accounting: adding boxes one at a time produces the
+    /// area of the true set union (checked against per-cell membership).
+    #[test]
+    fn boxlist_union_area(boxes in prop::collection::vec(arb_box(), 1..6)) {
+        let list = BoxList::from_boxes(boxes.iter().copied());
+        // Count cells by membership in any input box over the bounding box.
+        let bound = boxes.iter().fold(GBox::EMPTY, |acc, &b| acc.bounding(b));
+        let mut count = 0i64;
+        for p in bound.iter() {
+            if boxes.iter().any(|b| b.contains(p)) {
+                count += 1;
+            }
+        }
+        prop_assert_eq!(list.num_cells(), count);
+        // Components are disjoint.
+        for (i, p) in list.boxes().iter().enumerate() {
+            for q in &list.boxes()[i + 1..] {
+                prop_assert!(!p.intersects(*q));
+            }
+        }
+    }
+
+    /// Subtracting a list from itself leaves nothing.
+    #[test]
+    fn boxlist_self_subtraction(boxes in prop::collection::vec(arb_box(), 1..6)) {
+        let mut list = BoxList::from_boxes(boxes.iter().copied());
+        let other = list.clone();
+        list.subtract(&other);
+        prop_assert!(list.is_empty());
+    }
+
+    /// Coalescing never changes the region (area and membership).
+    #[test]
+    fn coalesce_preserves_region(boxes in prop::collection::vec(arb_box(), 1..6)) {
+        let list = BoxList::from_boxes(boxes.iter().copied());
+        let mut merged = list.clone();
+        merged.coalesce();
+        prop_assert_eq!(merged.num_cells(), list.num_cells());
+        prop_assert!(merged.len() <= list.len());
+        let bound = list.bounding();
+        for p in bound.iter() {
+            prop_assert_eq!(merged.contains(p), list.contains(p));
+        }
+    }
+
+    /// Data boxes nest: the cell data box is contained in the side data
+    /// box which is contained in the node data box.
+    #[test]
+    fn centring_data_boxes_nest(a in arb_box()) {
+        let cell = Centring::Cell.data_box(a);
+        let node = Centring::Node.data_box(a);
+        for axis in 0..2 {
+            let side = Centring::Side(axis).data_box(a);
+            prop_assert!(side.contains_box(cell));
+            prop_assert!(node.contains_box(side));
+        }
+    }
+
+    /// Ghost overlap fill regions lie inside the ghost box and outside
+    /// the interior, for every centring.
+    #[test]
+    fn ghost_overlap_placement(dst in arb_box(), src in arb_box(), g in 1i64..4) {
+        let ghosts = IntVector::uniform(g);
+        for centring in [Centring::Cell, Centring::Node, Centring::Side(0), Centring::Side(1)] {
+            let ov = rbamr_geometry::ghost_overlaps(dst, ghosts, src, centring, IntVector::ZERO);
+            let interior = centring.data_box(dst);
+            let ghost_data = centring.data_box(dst.grow(ghosts));
+            let src_data = centring.data_box(src);
+            for b in ov.dst_boxes.boxes() {
+                prop_assert!(ghost_data.contains_box(*b));
+                prop_assert!(!b.intersects(interior));
+                prop_assert!(src_data.contains_box(*b));
+            }
+        }
+    }
+}

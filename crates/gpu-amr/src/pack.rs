@@ -1,0 +1,189 @@
+//! Data-parallel region copy / pack / unpack kernels (paper Figure 4).
+//!
+//! Each kernel launches one logical thread per element of the region
+//! being moved ("we launch one CUDA thread per element to be packed into
+//! the buffer, ensuring the maximum amount of parallelism is exposed").
+//! In the simulated device, thread-per-element becomes
+//! row-parallel iteration over disjoint `&mut` row slices — the same
+//! independence structure, expressed safely.
+
+use rayon::prelude::*;
+use rbamr_geometry::{GBox, IntVector};
+
+/// Number of elements a 2D launch covers (`fill` box).
+pub fn region_threads(fill: GBox) -> usize {
+    fill.num_cells().max(0) as usize
+}
+
+/// Copy `fill` (a box in the destination's index space) from `src` into
+/// `dst`. `src_index = dst_index - shift`. `dst_dbox`/`src_dbox`
+/// describe the row-major layouts of the two arrays.
+///
+/// # Panics
+/// Panics (in debug) if the fill region escapes either array.
+pub fn copy_region<T: Copy + Send + Sync>(
+    dst: &mut [T],
+    dst_dbox: GBox,
+    src: &[T],
+    src_dbox: GBox,
+    fill: GBox,
+    shift: IntVector,
+) {
+    if fill.is_empty() {
+        return;
+    }
+    debug_assert!(dst_dbox.contains_box(fill), "copy_region: fill escapes dst");
+    debug_assert!(
+        src_dbox.contains_box(fill.shift(-shift)),
+        "copy_region: fill escapes src"
+    );
+    let dst_w = dst_dbox.size().x as usize;
+    let src_w = src_dbox.size().x as usize;
+    // Rows of dst intersecting the fill box are disjoint chunks.
+    let first_row = (fill.lo.y - dst_dbox.lo.y) as usize;
+    let n_rows = fill.size().y as usize;
+    let x0 = (fill.lo.x - dst_dbox.lo.x) as usize;
+    let w = fill.size().x as usize;
+    dst.par_chunks_mut(dst_w)
+        .skip(first_row)
+        .take(n_rows)
+        .enumerate()
+        .for_each(|(r, row)| {
+            let sy = fill.lo.y + r as i64 - shift.y;
+            let sx0 = (fill.lo.x - shift.x - src_dbox.lo.x) as usize;
+            let s_off = (sy - src_dbox.lo.y) as usize * src_w + sx0;
+            row[x0..x0 + w].copy_from_slice(&src[s_off..s_off + w]);
+        });
+}
+
+/// Pack `fill` (in the source's index space after un-shifting) from
+/// `src` into the contiguous `out` buffer, row-major. `out.len()` must
+/// equal the region size.
+pub fn pack_region<T: Copy + Send + Sync>(
+    out: &mut [T],
+    src: &[T],
+    src_dbox: GBox,
+    fill: GBox,
+    shift: IntVector,
+) {
+    if fill.is_empty() {
+        return;
+    }
+    let src_fill = fill.shift(-shift);
+    debug_assert!(src_dbox.contains_box(src_fill), "pack_region: fill escapes src");
+    assert_eq!(out.len(), region_threads(fill), "pack_region: buffer size mismatch");
+    let src_w = src_dbox.size().x as usize;
+    let w = fill.size().x as usize;
+    out.par_chunks_mut(w).enumerate().for_each(|(r, row)| {
+        let sy = src_fill.lo.y + r as i64;
+        let s_off = (sy - src_dbox.lo.y) as usize * src_w + (src_fill.lo.x - src_dbox.lo.x) as usize;
+        row.copy_from_slice(&src[s_off..s_off + w]);
+    });
+}
+
+/// Unpack a contiguous row-major buffer into `fill` of `dst`.
+pub fn unpack_region<T: Copy + Send + Sync>(
+    dst: &mut [T],
+    dst_dbox: GBox,
+    input: &[T],
+    fill: GBox,
+) {
+    if fill.is_empty() {
+        return;
+    }
+    debug_assert!(dst_dbox.contains_box(fill), "unpack_region: fill escapes dst");
+    assert_eq!(input.len(), region_threads(fill), "unpack_region: buffer size mismatch");
+    let dst_w = dst_dbox.size().x as usize;
+    let first_row = (fill.lo.y - dst_dbox.lo.y) as usize;
+    let n_rows = fill.size().y as usize;
+    let x0 = (fill.lo.x - dst_dbox.lo.x) as usize;
+    let w = fill.size().x as usize;
+    dst.par_chunks_mut(dst_w)
+        .skip(first_row)
+        .take(n_rows)
+        .enumerate()
+        .for_each(|(r, row)| {
+            row[x0..x0 + w].copy_from_slice(&input[r * w..(r + 1) * w]);
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x0: i64, y0: i64, x1: i64, y1: i64) -> GBox {
+        GBox::from_coords(x0, y0, x1, y1)
+    }
+
+    fn field(dbox: GBox) -> Vec<f64> {
+        dbox.iter().map(|p| (p.x * 1000 + p.y) as f64).collect()
+    }
+
+    #[test]
+    fn copy_region_moves_exactly_the_fill() {
+        let dst_dbox = b(0, 0, 6, 6);
+        let src_dbox = b(4, 0, 10, 6);
+        let src = field(src_dbox);
+        let mut dst = vec![0.0; 36];
+        let fill = b(4, 1, 6, 4);
+        copy_region(&mut dst, dst_dbox, &src, src_dbox, fill, IntVector::ZERO);
+        for p in dst_dbox.iter() {
+            let got = dst[dst_dbox.offset_of(p)];
+            if fill.contains(p) {
+                assert_eq!(got, (p.x * 1000 + p.y) as f64, "at {p}");
+            } else {
+                assert_eq!(got, 0.0, "at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn copy_region_applies_shift() {
+        let dbox = b(0, 0, 4, 4);
+        let src = field(dbox);
+        let mut dst = vec![0.0; 16];
+        // Destination index p reads source p - (1, 0).
+        let fill = b(1, 0, 4, 4);
+        copy_region(&mut dst, dbox, &src, dbox, fill, IntVector::new(1, 0));
+        assert_eq!(dst[dbox.offset_of(IntVector::new(1, 2))], 2.0); // src (0,2)
+    }
+
+    #[test]
+    fn pack_then_unpack_is_identity() {
+        let src_dbox = b(-2, -2, 6, 6);
+        let src = field(src_dbox);
+        let fill = b(0, 0, 4, 3);
+        let mut buf = vec![0.0; region_threads(fill)];
+        pack_region(&mut buf, &src, src_dbox, fill, IntVector::ZERO);
+        let dst_dbox = b(-1, -1, 5, 5);
+        let mut dst = vec![0.0; 36];
+        unpack_region(&mut dst, dst_dbox, &buf, fill);
+        for p in fill.iter() {
+            assert_eq!(dst[dst_dbox.offset_of(p)], (p.x * 1000 + p.y) as f64);
+        }
+    }
+
+    #[test]
+    fn pack_order_is_row_major() {
+        let dbox = b(0, 0, 3, 3);
+        let src: Vec<f64> = (0..9).map(f64::from).collect();
+        let fill = b(1, 0, 3, 2);
+        let mut buf = vec![0.0; 4];
+        pack_region(&mut buf, &src, dbox, fill, IntVector::ZERO);
+        assert_eq!(buf, vec![1.0, 2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_fill_is_a_noop() {
+        let mut dst = vec![1.0; 4];
+        copy_region(&mut dst, b(0, 0, 2, 2), &[0.0; 4], b(0, 0, 2, 2), GBox::EMPTY, IntVector::ZERO);
+        assert_eq!(dst, vec![1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn unpack_checks_buffer_size() {
+        let mut dst = vec![0.0; 4];
+        unpack_region(&mut dst, b(0, 0, 2, 2), &[0.0; 3], b(0, 0, 2, 2));
+    }
+}

@@ -1,0 +1,184 @@
+//! Device tag compression — the Section IV-C transfer optimisation.
+//!
+//! "To transfer the data, we compress the array of tags (stored as
+//! ints) to an array of bits … Additionally, we store a `tagged` flag
+//! for each patch. If no cells in a patch are flagged for refinement
+//! then we don't copy data."
+//!
+//! The compression kernel runs on the device (one thread per output
+//! byte, each reading eight tags); only the bit array — or nothing but
+//! the flag, when the patch is clean — crosses the PCIe bus.
+
+use crate::data::DeviceData;
+use rbamr_amr::patchdata::PatchData;
+use rbamr_amr::TagBitmap;
+use rbamr_device::{Device, DeviceBuffer, Stream};
+use rbamr_geometry::GBox;
+use rbamr_perfmodel::{Category, KernelShape};
+use rayon::prelude::*;
+
+/// Compress a device-resident `i32` tag field into a host-side
+/// [`TagBitmap`], transferring only the compressed form.
+///
+/// The interior (non-ghost) tags of `tags` are compressed. Returns the
+/// bitmap; PCIe traffic is `ceil(cells/8) + 1` bytes when any cell is
+/// tagged, and a single flag byte otherwise (modelled as a 4-byte
+/// scalar readback).
+pub fn compress_tags(tags: &DeviceData<i32>, category: Category) -> TagBitmap {
+    let device = tags.device().clone();
+    let cell_box = tags.cell_box();
+    let dbox = tags.data_box();
+    let n = cell_box.num_cells() as usize;
+    let nbytes = n.div_ceil(8);
+
+    // Kernel 1: any-tagged reduction (one scalar crosses the bus).
+    let any = device_any_tagged(&device, tags, cell_box, dbox, category);
+    if !any {
+        return TagBitmap::empty(cell_box);
+    }
+
+    // Kernel 2: bit compression, one thread per output byte.
+    let mut bits: DeviceBuffer<u8> = device.alloc(nbytes);
+    let stream = Stream::new(&device);
+    stream.submit();
+    let shape = KernelShape::streaming(n as i64, 1, 2);
+    let src_buf = tags.buffer();
+    let width = cell_box.size().x;
+    device.launch(&stream, category, shape, |k| {
+        let src = src_buf.as_slice(&k);
+        bits.as_mut_slice(&k)
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(byte_idx, out)| {
+                let mut b = 0u8;
+                for bit in 0..8 {
+                    let cell = byte_idx * 8 + bit;
+                    if cell >= n {
+                        break;
+                    }
+                    let p = rbamr_geometry::IntVector::new(
+                        cell_box.lo.x + (cell as i64 % width),
+                        cell_box.lo.y + (cell as i64 / width),
+                    );
+                    if src[dbox.offset_of(p)] != 0 {
+                        b |= 1 << bit;
+                    }
+                }
+                *out = b;
+            });
+    });
+
+    // Transfer the compressed bits (D2H) and rebuild the bitmap.
+    let mut host_bits = vec![0u8; nbytes];
+    device.download(&bits, 0, &mut host_bits, category);
+    // Reconstruct through the shared TagBitmap type so host and device
+    // paths agree bit for bit.
+    let mut tags_host = vec![0i32; n];
+    for (k, t) in tags_host.iter_mut().enumerate() {
+        if host_bits[k / 8] & (1 << (k % 8)) != 0 {
+            *t = 1;
+        }
+    }
+    TagBitmap::compress(cell_box, &tags_host)
+}
+
+/// The "any tagged" device reduction: one kernel plus one 4-byte D2H
+/// scalar.
+fn device_any_tagged(
+    device: &Device,
+    tags: &DeviceData<i32>,
+    cell_box: GBox,
+    dbox: GBox,
+    category: Category,
+) -> bool {
+    let stream = Stream::new(device);
+    stream.submit();
+    let n = cell_box.num_cells();
+    let shape = KernelShape::streaming(n, 1, 1);
+    let src_buf = tags.buffer();
+    let mut result: DeviceBuffer<i32> = device.alloc(1);
+    device.launch(&stream, category, shape, |k| {
+        let src = src_buf.as_slice(&k);
+        let any = cell_box
+            .iter()
+            .collect::<Vec<_>>()
+            .par_iter()
+            .any(|p| src[dbox.offset_of(*p)] != 0);
+        result.as_mut_slice(&k)[0] = i32::from(any);
+    });
+    let mut host = [0i32; 1];
+    device.download(&result, 0, &mut host, category);
+    host[0] != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbamr_geometry::{Centring, IntVector};
+
+    fn tag_field(device: &Device, cell_box: GBox, tagged: &[IntVector]) -> DeviceData<i32> {
+        let mut d = DeviceData::<i32>::new(device, cell_box, IntVector::ZERO, Centring::Cell);
+        let dbox = d.data_box();
+        let mut vals = vec![0i32; dbox.num_cells() as usize];
+        for p in tagged {
+            vals[dbox.offset_of(*p)] = 1;
+        }
+        d.upload_all(&vals, Category::Regrid);
+        d
+    }
+
+    #[test]
+    fn device_compression_matches_host_bitmap() {
+        let device = Device::k20x();
+        let cell_box = GBox::from_coords(2, 3, 12, 9);
+        let tagged = vec![IntVector::new(2, 3), IntVector::new(7, 5), IntVector::new(11, 8)];
+        let dtags = tag_field(&device, cell_box, &tagged);
+        let bm = compress_tags(&dtags, Category::Regrid);
+        assert!(bm.any());
+        assert_eq!(bm.tagged_cells(), tagged);
+    }
+
+    #[test]
+    fn untagged_patch_moves_only_a_scalar() {
+        let device = Device::k20x();
+        let cell_box = GBox::from_coords(0, 0, 64, 64);
+        let dtags = tag_field(&device, cell_box, &[]);
+        device.reset_transfer_stats();
+        let bm = compress_tags(&dtags, Category::Regrid);
+        assert!(!bm.any());
+        let stats = device.stats();
+        // Only the 4-byte any-flag crossed the bus.
+        assert_eq!(stats.d2h_bytes, 4);
+        assert_eq!(stats.d2h_transfers, 1);
+    }
+
+    #[test]
+    fn tagged_patch_moves_compressed_bits_only() {
+        let device = Device::k20x();
+        let cell_box = GBox::from_coords(0, 0, 64, 64);
+        let dtags = tag_field(&device, cell_box, &[IntVector::new(10, 10)]);
+        device.reset_transfer_stats();
+        let bm = compress_tags(&dtags, Category::Regrid);
+        assert!(bm.any());
+        let stats = device.stats();
+        // Flag scalar (4 B) + bit array (64*64/8 = 512 B); the naive
+        // int transfer would be 16 KiB.
+        assert_eq!(stats.d2h_bytes, 4 + 512);
+        assert!(stats.d2h_bytes < bm.uncompressed_bytes() / 30);
+    }
+
+    #[test]
+    fn ghosted_tag_fields_compress_interior_only() {
+        let device = Device::k20x();
+        let cell_box = GBox::from_coords(0, 0, 8, 8);
+        let mut d = DeviceData::<i32>::new(&device, cell_box, IntVector::ONE, Centring::Cell);
+        let dbox = d.data_box();
+        let mut vals = vec![0i32; dbox.num_cells() as usize];
+        // Tag a ghost cell (must be ignored) and an interior cell.
+        vals[dbox.offset_of(IntVector::new(-1, 0))] = 1;
+        vals[dbox.offset_of(IntVector::new(3, 3))] = 1;
+        d.upload_all(&vals, Category::Regrid);
+        let bm = compress_tags(&d, Category::Regrid);
+        assert_eq!(bm.tagged_cells(), vec![IntVector::new(3, 3)]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property tests: every device operator equals its host reference
+//! bit-for-bit on random data, boxes, ratios and partial fill regions —
+//! the correctness contract of the paper's "first data-parallel
+//! implementations" claim, explored beyond the fixed cases.
+
+use proptest::prelude::*;
+use rbamr_amr::ops as host_ops;
+use rbamr_amr::ops::{CoarsenOperator, RefineOperator};
+use rbamr_amr::patchdata::PatchData;
+use rbamr_amr::HostData;
+use rbamr_device::Device;
+use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
+use rbamr_gpu_amr::{ops as dev_ops, DeviceData};
+use rbamr_perfmodel::Category;
+
+fn arb_ratio() -> impl Strategy<Value = i64> {
+    prop::sample::select(vec![2i64, 3, 4])
+}
+
+/// Random sub-box of `b` (non-empty).
+fn sub_box(b: GBox, fx: f64, fy: f64, fw: f64, fh: f64) -> GBox {
+    let w = b.size().x;
+    let h = b.size().y;
+    let x0 = b.lo.x + ((w - 1) as f64 * fx) as i64;
+    let y0 = b.lo.y + ((h - 1) as f64 * fy) as i64;
+    let x1 = x0 + 1 + ((b.hi.x - x0 - 1) as f64 * fw) as i64;
+    let y1 = y0 + 1 + ((b.hi.y - y0 - 1) as f64 * fh) as i64;
+    GBox::from_coords(x0, y0, x1, y1)
+}
+
+fn pair(
+    device: &Device,
+    cell_box: GBox,
+    ghosts: i64,
+    centring: Centring,
+    values: &[f64],
+) -> (HostData<f64>, DeviceData<f64>) {
+    let g = IntVector::uniform(ghosts);
+    let mut h = HostData::<f64>::new(cell_box, g, centring);
+    let n = h.as_slice().len();
+    for (i, v) in h.as_mut_slice().iter_mut().enumerate() {
+        *v = values[i % values.len()] + i as f64 * 1e-3;
+    }
+    let mut d = DeviceData::<f64>::new(device, cell_box, g, centring);
+    let image: Vec<f64> = h.as_slice().to_vec();
+    d.upload_all(&image, Category::Other);
+    let _ = n;
+    (h, d)
+}
+
+fn assert_equal(h: &HostData<f64>, d: &DeviceData<f64>, what: &str) {
+    let dv = d.download_all(Category::Other);
+    for (i, (a, b)) in h.as_slice().iter().zip(&dv).enumerate() {
+        assert_eq!(a, b, "{what}: divergence at linear index {i}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All four refine operators agree on random data and partial fill
+    /// regions for every ratio and centring they serve.
+    #[test]
+    fn refine_ops_agree(
+        vals in prop::collection::vec(-5.0f64..5.0, 8),
+        ratio in arb_ratio(),
+        fx in 0.0f64..1.0, fy in 0.0f64..1.0, fw in 0.0f64..1.0, fh in 0.0f64..1.0,
+        which in 0usize..4,
+    ) {
+        let device = Device::k20x();
+        let r = IntVector::uniform(ratio);
+        let coarse_box = GBox::from_coords(0, 0, 7, 9);
+        let fine_box = coarse_box.refine(r);
+        let (host_op, dev_op, centring): (Box<dyn RefineOperator>, Box<dyn RefineOperator>, Centring) =
+            match which {
+                0 => (Box::new(host_ops::LinearNodeRefine), Box::new(dev_ops::DeviceLinearNodeRefine), Centring::Node),
+                1 => (Box::new(host_ops::ConservativeCellRefine), Box::new(dev_ops::DeviceConservativeCellRefine), Centring::Cell),
+                2 => (Box::new(host_ops::ConstantRefine), Box::new(dev_ops::DeviceConstantRefine), Centring::Cell),
+                _ => (Box::new(host_ops::LinearSideRefine { axis: 1 }), Box::new(dev_ops::DeviceLinearSideRefine { axis: 1 }), Centring::Side(1)),
+            };
+        let (hsrc, dsrc) = pair(&device, coarse_box, 1, centring, &vals);
+        let (mut hdst, mut ddst) = pair(&device, fine_box, 2, centring, &vals);
+        let fill = BoxList::from_box(sub_box(centring.data_box(fine_box), fx, fy, fw, fh));
+        host_op.refine(&mut hdst, &hsrc, &fill, r);
+        dev_op.refine(&mut ddst, &dsrc, &fill, r);
+        assert_equal(&hdst, &ddst, &format!("refine op {which} ratio {ratio}"));
+    }
+
+    /// The three coarsen operators agree on random data and partial
+    /// coarse regions.
+    #[test]
+    fn coarsen_ops_agree(
+        vals in prop::collection::vec(0.1f64..5.0, 8),
+        ratio in arb_ratio(),
+        fx in 0.0f64..1.0, fy in 0.0f64..1.0, fw in 0.0f64..1.0, fh in 0.0f64..1.0,
+        which in 0usize..3,
+    ) {
+        let device = Device::k20x();
+        let r = IntVector::uniform(ratio);
+        let coarse_box = GBox::from_coords(0, 0, 6, 5);
+        let fine_box = coarse_box.refine(r);
+        let (host_op, dev_op, centring, naux): (Box<dyn CoarsenOperator>, Box<dyn CoarsenOperator>, Centring, usize) =
+            match which {
+                0 => (Box::new(host_ops::VolumeWeightedCoarsen), Box::new(dev_ops::DeviceVolumeWeightedCoarsen), Centring::Cell, 0),
+                1 => (Box::new(host_ops::MassWeightedCoarsen), Box::new(dev_ops::DeviceMassWeightedCoarsen), Centring::Cell, 1),
+                _ => (Box::new(host_ops::NodeInjectionCoarsen), Box::new(dev_ops::DeviceNodeInjectionCoarsen), Centring::Node, 0),
+            };
+        let (hsrc, dsrc) = pair(&device, fine_box, 0, centring, &vals);
+        let (hrho, drho) = pair(&device, fine_box, 0, centring, &vals);
+        let (mut hdst, mut ddst) = pair(&device, coarse_box, 0, centring, &vals);
+        let fill = BoxList::from_box(sub_box(centring.data_box(coarse_box), fx, fy, fw, fh));
+        let haux: Vec<&dyn PatchData> = if naux == 1 { vec![&hrho] } else { vec![] };
+        let daux: Vec<&dyn PatchData> = if naux == 1 { vec![&drho] } else { vec![] };
+        host_op.coarsen(&mut hdst, &hsrc, &haux, &fill, r);
+        dev_op.coarsen(&mut ddst, &dsrc, &daux, &fill, r);
+        assert_equal(&hdst, &ddst, &format!("coarsen op {which} ratio {ratio}"));
+    }
+
+    /// Pack on one placement, unpack on the other: device and host data
+    /// interoperate through the same wire format in both directions.
+    #[test]
+    fn cross_placement_streams(
+        vals in prop::collection::vec(-9.0f64..9.0, 8),
+        g in 1i64..3,
+        device_packs in any::<bool>(),
+    ) {
+        let device = Device::k20x();
+        let src_box = GBox::from_coords(4, 0, 10, 6);
+        let dst_box = GBox::from_coords(0, 0, 4, 6);
+        let ov = rbamr_geometry::ghost_overlaps(
+            dst_box, IntVector::uniform(g), src_box, Centring::Cell, IntVector::ZERO,
+        );
+        prop_assume!(!ov.is_empty());
+        let (hsrc, dsrc) = pair(&device, src_box, g, Centring::Cell, &vals);
+        let (mut hdst, mut ddst) = pair(&device, dst_box, g, Centring::Cell, &vals);
+        if device_packs {
+            let stream = dsrc.pack(&ov);
+            hdst.unpack(&ov, &stream);
+            // Reference: pure-host path.
+            let href = hsrc.pack(&ov);
+            prop_assert_eq!(&stream[..], &href[..]);
+        } else {
+            let stream = hsrc.pack(&ov);
+            ddst.unpack(&ov, &stream);
+            let mut href = pair(&device, dst_box, g, Centring::Cell, &vals).0;
+            href.unpack(&ov, &stream);
+            assert_equal(&href, &ddst, "host->device unpack");
+        }
+    }
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Device tag compression equals the host bitmap for arbitrary tag
+    /// patterns and box positions, and only the compressed bytes cross
+    /// PCIe.
+    #[test]
+    fn tag_compression_matches_host(
+        seeds in prop::collection::vec(0usize..400, 0..40),
+        off_x in -5i64..5,
+        off_y in -5i64..5,
+    ) {
+        use rbamr_amr::TagBitmap;
+        use rbamr_gpu_amr::compress_tags;
+        let cell_box = GBox::from_coords(off_x, off_y, off_x + 20, off_y + 20);
+        let n = cell_box.num_cells() as usize;
+        let mut tags = vec![0i32; n];
+        for s in &seeds {
+            tags[s % n] = 1;
+        }
+        let host_bm = TagBitmap::compress(cell_box, &tags);
+
+        let device = Device::k20x();
+        let mut d = DeviceData::<i32>::new(&device, cell_box, IntVector::ZERO, Centring::Cell);
+        d.upload_all(&tags, Category::Regrid);
+        device.reset_transfer_stats();
+        let dev_bm = compress_tags(&d, Category::Regrid);
+
+        prop_assert_eq!(&dev_bm, &host_bm);
+        let stats = device.stats();
+        if host_bm.any() {
+            // 4-byte flag + one bit per cell.
+            prop_assert_eq!(stats.d2h_bytes, 4 + n.div_ceil(8) as u64);
+        } else {
+            prop_assert_eq!(stats.d2h_bytes, 4);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Tests of the patch-spilling extension — the paper's Section VI
+//! future work: "allowing patches to be 'spilled' into CPU memory and
+//! then be transferred back to the device when necessary. Using both
+//! CPU and GPU resources will allow larger problems to be solved."
+
+use rbamr_device::Device;
+use rbamr_geometry::{Centring, GBox, IntVector};
+use rbamr_gpu_amr::DeviceData;
+use rbamr_perfmodel::Category;
+
+fn filled(device: &Device, n: i64) -> DeviceData<f64> {
+    let mut d = DeviceData::<f64>::new(
+        device,
+        GBox::from_coords(0, 0, n, n),
+        IntVector::uniform(2),
+        Centring::Cell,
+    );
+    let image: Vec<f64> = (0..d.buffer().len()).map(|i| (i as f64).sqrt()).collect();
+    d.upload_all(&image, Category::Other);
+    d
+}
+
+#[test]
+fn spill_releases_device_memory_and_preserves_values() {
+    let device = Device::k20x();
+    let mut d = filled(&device, 64);
+    let bytes = (64 + 4) * (64 + 4) * 8;
+    assert_eq!(device.stats().allocated_bytes, bytes);
+    let reference = d.download_all(Category::Other);
+
+    d.spill(Category::Other);
+    assert!(d.is_spilled());
+    assert_eq!(device.stats().allocated_bytes, 0, "device bytes not released");
+
+    d.unspill(Category::Other);
+    assert!(!d.is_spilled());
+    assert_eq!(device.stats().allocated_bytes, bytes);
+    assert_eq!(d.download_all(Category::Other), reference, "values corrupted by spill cycle");
+}
+
+#[test]
+fn spill_and_unspill_are_idempotent() {
+    let device = Device::k20x();
+    let mut d = filled(&device, 16);
+    device.reset_transfer_stats();
+    d.spill(Category::Other);
+    d.spill(Category::Other); // no second transfer
+    assert_eq!(device.stats().d2h_transfers, 1);
+    d.unspill(Category::Other);
+    d.unspill(Category::Other);
+    assert_eq!(device.stats().h2d_transfers, 1);
+}
+
+#[test]
+#[should_panic(expected = "spilled patch data")]
+fn kernel_access_to_spilled_data_faults() {
+    let device = Device::k20x();
+    let mut d = filled(&device, 16);
+    d.spill(Category::Other);
+    let _ = d.buffer(); // dangling device pointer: must fault loudly
+}
+
+#[test]
+fn spilling_lets_a_device_oversubscribe() {
+    // Two allocations that together exceed a tiny device: spilling the
+    // first makes room for the second — the paper's "larger problems"
+    // scenario in miniature.
+    let mut machine = rbamr_perfmodel::Machine::ipa_gpu();
+    machine.device.as_mut().unwrap().memory_bytes = 100 * 100 * 8 * 3 / 2;
+    let device = Device::new(machine, rbamr_perfmodel::Clock::new());
+
+    let mut a = DeviceData::<f64>::new(
+        &device,
+        GBox::from_coords(0, 0, 100, 100),
+        IntVector::ZERO,
+        Centring::Cell,
+    );
+    // A second resident allocation would exceed capacity...
+    assert!(device.try_alloc::<f64>(100 * 100).is_err());
+    // ...but spilling `a` frees the room.
+    a.spill(Category::Other);
+    let b = DeviceData::<f64>::new(
+        &device,
+        GBox::from_coords(0, 0, 100, 100),
+        IntVector::ZERO,
+        Centring::Cell,
+    );
+    drop(b);
+    a.unspill(Category::Other);
+    assert!(!a.is_spilled());
+}
+
+#[test]
+fn spill_cycle_counts_exact_pcie_traffic() {
+    let device = Device::k20x();
+    let mut d = filled(&device, 32);
+    let bytes = d.buffer().size_bytes();
+    device.reset_transfer_stats();
+    d.spill(Category::Other);
+    d.unspill(Category::Other);
+    let s = device.stats();
+    assert_eq!(s.d2h_bytes, bytes);
+    assert_eq!(s.h2d_bytes, bytes);
+}

@@ -1,0 +1,274 @@
+//! Checkpoint/restart for the whole simulation — the end-to-end use of
+//! the restart database from the paper's Figure 2 interface
+//! (`putToRestart`/`getFromRestart`).
+//!
+//! A checkpoint stores the hierarchy structure (level boxes and owners)
+//! and the full state arrays of every locally owned patch. On the
+//! device build, writing a checkpoint is one of the three sanctioned
+//! full-array D2H transfers (initialisation, visualisation, restart);
+//! restoring uploads once per field.
+
+use crate::integrator::HydroSim;
+use crate::state::Fields;
+use rbamr_amr::patchdata::PatchData;
+use rbamr_amr::restart::{Database, Value};
+use rbamr_amr::HostData;
+use rbamr_geometry::GBox;
+use rbamr_gpu_amr::DeviceData;
+use rbamr_perfmodel::Category;
+
+/// The state fields a checkpoint persists (everything else is
+/// recomputed by the next step's EOS/fill phases).
+fn checkpoint_fields(f: &Fields) -> [(&'static str, rbamr_amr::VariableId); 4] {
+    [
+        ("density0", f.density0),
+        ("energy0", f.energy0),
+        ("xvel0", f.xvel0),
+        ("yvel0", f.yvel0),
+    ]
+}
+
+/// Read a patch's full data array, from either placement.
+fn read_values(data: &dyn PatchData) -> Vec<f64> {
+    if let Some(h) = data.as_any().downcast_ref::<HostData<f64>>() {
+        h.as_slice().to_vec()
+    } else if let Some(d) = data.as_any().downcast_ref::<DeviceData<f64>>() {
+        d.download_all(Category::Other)
+    } else {
+        panic!("checkpoint: unsupported data placement");
+    }
+}
+
+/// Write a patch's full data array, to either placement.
+fn write_values(data: &mut dyn PatchData, values: &[f64]) {
+    if let Some(h) = data.as_any_mut().downcast_mut::<HostData<f64>>() {
+        assert_eq!(values.len(), h.as_slice().len(), "checkpoint: size mismatch");
+        h.as_mut_slice().copy_from_slice(values);
+    } else if let Some(d) = data.as_any_mut().downcast_mut::<DeviceData<f64>>() {
+        d.upload_all(values, Category::Other);
+    } else {
+        panic!("checkpoint: unsupported data placement");
+    }
+}
+
+impl HydroSim {
+    /// Serialise the simulation state into a restart database.
+    ///
+    /// Single-rank only (a distributed checkpoint would be one database
+    /// per rank; the reproduction keeps the serial form).
+    pub fn save_checkpoint(&self) -> Database {
+        assert_eq!(self.hierarchy().nranks(), 1, "save_checkpoint: single-rank only");
+        let mut db = Database::new();
+        db.put("time", Value::F64(self.time()));
+        db.put("step", Value::I64(self.steps_taken() as i64));
+        db.put("prev_dt", Value::F64(self.prev_dt()));
+        db.put("num_levels", Value::I64(self.hierarchy().num_levels() as i64));
+        let fields = *self.fields();
+        for l in 0..self.hierarchy().num_levels() {
+            let level = self.hierarchy().level(l);
+            let ldb = db.child(&format!("level_{l}"));
+            let mut flat = Vec::new();
+            for b in level.global_boxes() {
+                flat.extend_from_slice(&[b.lo.x, b.lo.y, b.hi.x, b.hi.y]);
+            }
+            ldb.put("boxes", Value::VecI64(flat));
+            for patch in level.local() {
+                let pdb = ldb.child(&format!("patch_{}", patch.id().index));
+                for (name, var) in checkpoint_fields(&fields) {
+                    pdb.put(name, Value::VecF64(read_values(patch.data(var))));
+                }
+            }
+        }
+        db
+    }
+
+    /// Restore a checkpoint into this simulation.
+    ///
+    /// `self` must have been constructed with the same domain, physics
+    /// configuration and placement as the checkpointed run (the
+    /// database stores state, not configuration — matching SAMRAI,
+    /// where the input deck travels separately). Rebuilds the level
+    /// structure, loads the state arrays, and re-primes the derived
+    /// fields.
+    ///
+    /// # Panics
+    /// Panics on malformed databases or mismatched configuration.
+    pub fn restore_checkpoint(&mut self, db: &Database) {
+        assert_eq!(self.hierarchy().nranks(), 1, "restore_checkpoint: single-rank only");
+        let num_levels = db.get_i64("num_levels").expect("restart: num_levels") as usize;
+        assert!(
+            num_levels <= self.hierarchy().max_levels(),
+            "restart: checkpoint has more levels than this configuration allows"
+        );
+        let fields = *self.fields();
+        // Rebuild the level structure.
+        for l in 0..num_levels {
+            let ldb = db.get_db(&format!("level_{l}")).expect("restart: missing level");
+            let flat = match ldb.get("boxes") {
+                Some(Value::VecI64(v)) => v.clone(),
+                _ => panic!("restart: malformed boxes"),
+            };
+            let boxes: Vec<GBox> = flat
+                .chunks_exact(4)
+                .map(|c| GBox::from_coords(c[0], c[1], c[2], c[3]))
+                .collect();
+            let owners = vec![0; boxes.len()];
+            self.set_level_for_restart(l, boxes, owners);
+        }
+        self.truncate_levels_for_restart(num_levels);
+        // Load patch data.
+        for l in 0..num_levels {
+            let ldb = db.get_db(&format!("level_{l}")).expect("restart: missing level");
+            let level = self.hierarchy_mut().level_mut(l);
+            for patch in level.local_mut() {
+                let pdb = ldb
+                    .get_db(&format!("patch_{}", patch.id().index))
+                    .expect("restart: missing patch");
+                for (name, var) in checkpoint_fields(&fields) {
+                    let values = pdb.get_vec_f64(name).expect("restart: missing field");
+                    write_values(patch.data_mut(var), values);
+                }
+            }
+        }
+        // Restore integration state and re-prime derived fields.
+        let time = db.get_f64("time").expect("restart: time");
+        let step = db.get_i64("step").expect("restart: step") as usize;
+        let prev_dt = db.get_f64("prev_dt").expect("restart: prev_dt");
+        self.set_progress_for_restart(time, step, prev_dt);
+        self.reprime_after_restart();
+    }
+
+    /// Write a checkpoint file ([`Database::save`] of
+    /// [`HydroSim::save_checkpoint`]).
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn save_checkpoint_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.save_checkpoint().save(path)
+    }
+
+    /// Restore from a checkpoint file written by
+    /// [`HydroSim::save_checkpoint_file`].
+    ///
+    /// # Errors
+    /// Propagates I/O errors; panics on corrupt content.
+    pub fn restore_checkpoint_file(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        self.restore_checkpoint(&Database::load(path)?);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::integrator::{HydroConfig, HydroSim, Placement};
+    use crate::state::RegionInit;
+    use rbamr_perfmodel::{Clock, Machine};
+
+    fn sod_regions() -> Vec<RegionInit> {
+        vec![
+            RegionInit { rect: (0.0, 0.0, 0.5, 1.0), density: 1.0, energy: 2.5, xvel: 0.0, yvel: 0.0 },
+            RegionInit { rect: (0.5, 0.0, 1.0, 1.0), density: 0.125, energy: 2.0, xvel: 0.0, yvel: 0.0 },
+        ]
+    }
+
+    fn build(placement: Placement) -> HydroSim {
+        let machine = match placement {
+            Placement::Host => Machine::ipa_cpu_node(),
+            _ => Machine::ipa_gpu(),
+        };
+        let config = HydroConfig { regrid_interval: 5, ..HydroConfig::default() };
+        let mut sim = HydroSim::new(
+            machine,
+            placement,
+            Clock::new(),
+            (1.0, 1.0),
+            (32, 32),
+            2,
+            2,
+            config,
+            sod_regions(),
+            0,
+            1,
+        );
+        sim.initialize(None);
+        sim
+    }
+
+    fn check_roundtrip(placement: Placement) {
+        // Reference: 12 uninterrupted steps.
+        let mut reference = build(placement);
+        for _ in 0..12 {
+            reference.step(None);
+        }
+
+        // Checkpointed: 6 steps, save, restore into a fresh sim, 6 more.
+        let mut first = build(placement);
+        for _ in 0..6 {
+            first.step(None);
+        }
+        let db = first.save_checkpoint();
+        let mut resumed = build(placement);
+        resumed.restore_checkpoint(&db);
+        assert_eq!(resumed.steps_taken(), 6);
+        assert!((resumed.time() - first.time()).abs() < 1e-15);
+        for _ in 0..6 {
+            resumed.step(None);
+        }
+
+        // Identical physics: the restart is exact.
+        let a = reference.density_profile();
+        let b = resumed.density_profile();
+        assert_eq!(a.len(), b.len());
+        for ((xa, da), (xb, dbv)) in a.iter().zip(&b) {
+            assert_eq!(xa, xb);
+            assert!(
+                (da - dbv).abs() < 1e-12,
+                "restart diverged at x={xa}: {da} vs {dbv}"
+            );
+        }
+        let sa = reference.summary(None);
+        let sb = resumed.summary(None);
+        assert!((sa.mass - sb.mass).abs() < 1e-13);
+        assert!((sa.total_energy() - sb.total_energy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_checkpoint_roundtrip_is_exact() {
+        check_roundtrip(Placement::Host);
+    }
+
+    #[test]
+    fn device_checkpoint_roundtrip_is_exact() {
+        check_roundtrip(Placement::Device);
+    }
+
+    #[test]
+    fn checkpoint_file_roundtrip_is_exact() {
+        let mut sim = build(Placement::Host);
+        sim.run_steps(4, None);
+        let path = std::env::temp_dir().join(format!("rbamr_ckpt_{}.bin", std::process::id()));
+        sim.save_checkpoint_file(&path).unwrap();
+        let mut resumed = build(Placement::Host);
+        resumed.restore_checkpoint_file(&path).unwrap();
+        assert_eq!(resumed.steps_taken(), 4);
+        sim.step(None);
+        resumed.step(None);
+        let a = sim.density_profile();
+        let b = resumed.density_profile();
+        for ((xa, da), (xb, db_)) in a.iter().zip(&b) {
+            assert_eq!(xa, xb);
+            assert_eq!(da, db_);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_stores_hierarchy_structure() {
+        let mut sim = build(Placement::Host);
+        sim.run_steps(3, None);
+        let db = sim.save_checkpoint();
+        assert_eq!(db.get_i64("num_levels"), Some(2));
+        assert!(db.get_db("level_1").is_some());
+        assert!(db.get_f64("time").unwrap() > 0.0);
+    }
+}

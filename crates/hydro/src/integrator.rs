@@ -1,0 +1,951 @@
+//! The hierarchy driver — CleverLeaf's `LagrangianEulerianIntegrator` /
+//! `LagrangianEulerianLevelIntegrator` pair (paper Figure 6).
+//!
+//! [`HydroSim`] owns the patch hierarchy and orchestrates one timestep
+//! across all levels with synchronised timestepping: a single global dt
+//! (the only global reduction, Section V-B), lockstep phase execution on
+//! every level (coarse to fine, so coarse-fine ghost interpolation uses
+//! same-phase data), fine→coarse conservative synchronisation after the
+//! step, and periodic regridding. The patch-local physics is entirely
+//! behind [`PatchIntegrator`], so the same driver runs the CPU baseline
+//! and the GPU-resident build — the paper's central design point.
+
+use crate::boundary::ReflectiveBoundary;
+use crate::device_integrator::DevicePatchIntegrator;
+use crate::host_integrator::HostPatchIntegrator;
+use crate::state::{Fields, FlagThresholds, HydroTagger, PatchIntegrator, RegionInit, Summary};
+use rbamr_amr::cluster::split_to_max;
+use rbamr_amr::hostdata::HostCostHook;
+use rbamr_amr::ops as host_ops;
+use rbamr_amr::regrid::TransferSpec;
+use rbamr_amr::schedule::{CoarsenSpec, FillSpec};
+use rbamr_amr::patchdata::PatchData as _;
+use rbamr_amr::{
+    balance, CoarsenSchedule, GridGeometry, HostDataFactory, PatchHierarchy, RefineOperator,
+    RefineSchedule, Regridder, RegridParams, VariableId, VariableRegistry,
+};
+use rbamr_device::Device;
+use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
+use rbamr_gpu_amr::{ops as dev_ops, DeviceDataFactory};
+use rbamr_netsim::Comm;
+use rbamr_perfmodel::{Category, Clock, CostModel, Machine};
+use std::sync::Arc;
+
+/// Where patch data lives — the paper's two builds of CleverLeaf.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Host memory, CPU kernels (the baseline).
+    Host,
+    /// Resident device memory, device kernels (the contribution).
+    Device,
+    /// Device kernels with per-phase full-array PCIe round trips — the
+    /// non-resident Wang et al. baseline the paper's Related Work
+    /// criticises. Identical physics to [`Placement::Device`]; only the
+    /// transfer discipline differs.
+    DeviceCopyBack,
+}
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct HydroConfig {
+    /// Ideal-gas ratio of specific heats.
+    pub gamma: f64,
+    /// CFL safety factor.
+    pub cfl: f64,
+    /// Hard upper bound on dt.
+    pub dt_max: f64,
+    /// Maximum dt growth per step.
+    pub max_dt_growth: f64,
+    /// Steps between regrids.
+    pub regrid_interval: usize,
+    /// Flagging thresholds.
+    pub thresholds: FlagThresholds,
+    /// Regridding parameters.
+    pub regrid: RegridParams,
+    /// Maximum patch extent on level 0, in cells.
+    pub max_patch_size: i64,
+}
+
+impl Default for HydroConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 1.4,
+            cfl: 0.5,
+            dt_max: 0.1,
+            max_dt_growth: 1.5,
+            regrid_interval: 10,
+            thresholds: FlagThresholds::default(),
+            regrid: RegridParams::default(),
+            max_patch_size: 1 << 30,
+        }
+    }
+}
+
+/// Per-step results.
+#[derive(Clone, Copy, Debug)]
+pub struct StepStats {
+    /// Step number just completed (0-based).
+    pub step: usize,
+    /// The dt taken.
+    pub dt: f64,
+    /// Simulation time after the step.
+    pub time: f64,
+    /// Levels in the hierarchy.
+    pub levels: usize,
+    /// Total cells over all levels (global).
+    pub total_cells: i64,
+}
+
+/// The CleverLeaf simulation object.
+pub struct HydroSim {
+    hierarchy: PatchHierarchy,
+    registry: VariableRegistry,
+    fields: Fields,
+    integrator: Box<dyn PatchIntegrator>,
+    boundary: ReflectiveBoundary,
+    config: HydroConfig,
+    placement: Placement,
+    regions: Vec<RegionInit>,
+    clock: Clock,
+    device: Option<Device>,
+    time: f64,
+    step: usize,
+    prev_dt: f64,
+    /// Cached fill schedules, one set per level; rebuilt after regrids.
+    fill_schedules: Vec<LevelSchedules>,
+    sync_schedules: Vec<CoarsenSchedule>,
+}
+
+struct LevelSchedules {
+    start: RefineSchedule,    // fill A: state fields before the step
+    post_accel: RefineSchedule, // fill B: advanced velocities
+    post_sweep1: [RefineSchedule; 2], // fill C per sweep direction
+    mid_sweeps: RefineSchedule, // fill D: state + velocities
+    post_sweep2: [RefineSchedule; 2], // fill E per sweep direction
+}
+
+impl HydroSim {
+    /// Build a simulation.
+    ///
+    /// * `machine` — the modelled platform (must carry an accelerator
+    ///   when `placement` is [`Placement::Device`]).
+    /// * `clock` — the rank's virtual clock (share the `Comm`'s clock in
+    ///   distributed runs).
+    /// * `coarse_cells` — level-0 resolution `(nx, ny)` over the unit
+    ///   physical extent given by `extent`.
+    /// * `max_levels`, `ratio` — hierarchy shape (the paper: 3 levels,
+    ///   ratio 2).
+    /// * `regions` — initial state; `rank`/`nranks` — the job layout.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        machine: Machine,
+        placement: Placement,
+        clock: Clock,
+        extent: (f64, f64),
+        coarse_cells: (i64, i64),
+        max_levels: usize,
+        ratio: i64,
+        config: HydroConfig,
+        regions: Vec<RegionInit>,
+        rank: usize,
+        nranks: usize,
+    ) -> Self {
+        assert!(coarse_cells.0 > 0 && coarse_cells.1 > 0, "empty base grid");
+        let cost = Arc::new(CostModel::new(machine.clone()));
+        let (device, factory): (Option<Device>, Arc<dyn rbamr_amr::DataFactory>) = match placement
+        {
+            Placement::Host => (
+                None,
+                Arc::new(HostDataFactory::with_costs(clock.clone(), Arc::clone(&cost))),
+            ),
+            Placement::Device | Placement::DeviceCopyBack => {
+                let dev = Device::new(machine.clone(), clock.clone());
+                (Some(dev.clone()), Arc::new(DeviceDataFactory::new(dev)))
+            }
+        };
+        let mut registry = VariableRegistry::new(factory);
+        let fields = Fields::register(&mut registry);
+        let boundary = ReflectiveBoundary::for_fields(&fields, registry.len());
+        let integrator: Box<dyn PatchIntegrator> = match placement {
+            Placement::Host => Box::new(HostPatchIntegrator::with_costs(HostCostHook {
+                clock: clock.clone(),
+                cost: Arc::clone(&cost),
+            })),
+            Placement::Device => Box::new(DevicePatchIntegrator::new()),
+            Placement::DeviceCopyBack => {
+                Box::new(crate::copyback_integrator::CopyBackPatchIntegrator::new())
+            }
+        };
+
+        let geometry = GridGeometry {
+            origin: (0.0, 0.0),
+            dx0: (extent.0 / coarse_cells.0 as f64, extent.1 / coarse_cells.1 as f64),
+        };
+        let domain = GBox::from_coords(0, 0, coarse_cells.0, coarse_cells.1);
+        let mut hierarchy = PatchHierarchy::new(
+            geometry,
+            BoxList::from_box(domain),
+            IntVector::uniform(ratio),
+            max_levels,
+            rank,
+            nranks,
+        );
+        // Level 0: split the domain into patches and distribute.
+        let mut boxes = Vec::new();
+        split_to_max(domain, config.max_patch_size, &mut boxes);
+        let owners = balance::partition_sfc(&boxes, nranks);
+        hierarchy.set_level(0, boxes, owners, &registry);
+
+        let mut sim = Self {
+            hierarchy,
+            registry,
+            fields,
+            integrator,
+            boundary,
+            config,
+            placement,
+            regions,
+            clock,
+            device,
+            time: 0.0,
+            step: 0,
+            prev_dt: f64::INFINITY,
+            fill_schedules: Vec::new(),
+            sync_schedules: Vec::new(),
+        };
+        sim.rebuild_schedules();
+        sim
+    }
+
+    /// The hierarchy (inspection).
+    pub fn hierarchy(&self) -> &PatchHierarchy {
+        &self.hierarchy
+    }
+
+    /// The field registry.
+    pub fn fields(&self) -> &Fields {
+        &self.fields
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The device, when running the resident build.
+    pub fn device(&self) -> Option<&Device> {
+        self.device.as_ref()
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Completed steps.
+    pub fn steps_taken(&self) -> usize {
+        self.step
+    }
+
+    /// The data placement.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// The previous step's dt (growth limiting / restart).
+    pub fn prev_dt(&self) -> f64 {
+        self.prev_dt
+    }
+
+    /// Mutable hierarchy access for the checkpoint/restore machinery.
+    pub(crate) fn hierarchy_mut(&mut self) -> &mut PatchHierarchy {
+        &mut self.hierarchy
+    }
+
+    /// Rebuild one level from checkpointed structure.
+    pub(crate) fn set_level_for_restart(
+        &mut self,
+        l: usize,
+        boxes: Vec<GBox>,
+        owners: Vec<usize>,
+    ) {
+        self.hierarchy.set_level(l, boxes, owners, &self.registry);
+    }
+
+    /// Drop levels beyond the checkpointed count.
+    pub(crate) fn truncate_levels_for_restart(&mut self, num: usize) {
+        self.hierarchy.truncate_levels(num);
+    }
+
+    /// Restore time/step/dt bookkeeping.
+    pub(crate) fn set_progress_for_restart(&mut self, time: f64, step: usize, prev_dt: f64) {
+        self.time = time;
+        self.step = step;
+        self.prev_dt = prev_dt;
+    }
+
+    /// Rebuild schedules and re-prime derived fields after a restore.
+    pub(crate) fn reprime_after_restart(&mut self) {
+        self.rebuild_schedules();
+        self.fill_start(None);
+        self.eos_and_viscosity();
+    }
+
+    fn refine_op_for(&self, var: VariableId) -> Arc<dyn RefineOperator> {
+        let centring = self.registry.get(var).centring;
+        match (self.placement, centring) {
+            (Placement::Host, Centring::Cell) => Arc::new(host_ops::ConservativeCellRefine),
+            (Placement::Host, Centring::Node) => Arc::new(host_ops::LinearNodeRefine),
+            (Placement::Host, Centring::Side(a)) => Arc::new(host_ops::LinearSideRefine { axis: a }),
+            (_, Centring::Cell) => Arc::new(dev_ops::DeviceConservativeCellRefine),
+            (_, Centring::Node) => Arc::new(dev_ops::DeviceLinearNodeRefine),
+            (_, Centring::Side(a)) => Arc::new(dev_ops::DeviceLinearSideRefine { axis: a }),
+        }
+    }
+
+    fn fill_specs(&self, vars: &[VariableId]) -> Vec<FillSpec> {
+        vars.iter()
+            .map(|&var| FillSpec { var, refine_op: Some(self.refine_op_for(var)) })
+            .collect()
+    }
+
+    /// (Re)build the per-level fill and sync schedules.
+    fn rebuild_schedules(&mut self) {
+        let f = &self.fields;
+        let start_vars = [f.density0, f.energy0, f.xvel0, f.yvel0];
+        // After the Lagrangian phase: the advected velocities AND the
+        // PdV-updated density/energy, whose depth-2 ghosts feed the van
+        // Leer limiter of the first advection sweep (CloverLeaf fills
+        // the same set before advection).
+        let b_vars = [f.density1, f.energy1, f.xvel1, f.yvel1];
+        let c_vars = |dir: usize| {
+            [
+                f.density1,
+                f.energy1,
+                if dir == 0 { f.mass_flux_x } else { f.mass_flux_y },
+            ]
+        };
+        let d_vars = [f.density1, f.energy1, f.xvel1, f.yvel1];
+        let e_vars = |dir: usize| {
+            [f.density1, if dir == 0 { f.mass_flux_x } else { f.mass_flux_y }]
+        };
+        self.fill_schedules = (0..self.hierarchy.num_levels())
+            .map(|l| LevelSchedules {
+                start: RefineSchedule::new(
+                    &self.hierarchy,
+                    &self.registry,
+                    l,
+                    &self.fill_specs(&start_vars),
+                ),
+                post_accel: RefineSchedule::new(
+                    &self.hierarchy,
+                    &self.registry,
+                    l,
+                    &self.fill_specs(&b_vars),
+                ),
+                post_sweep1: [0, 1].map(|d| {
+                    RefineSchedule::new(
+                        &self.hierarchy,
+                        &self.registry,
+                        l,
+                        &self.fill_specs(&c_vars(d)),
+                    )
+                }),
+                mid_sweeps: RefineSchedule::new(
+                    &self.hierarchy,
+                    &self.registry,
+                    l,
+                    &self.fill_specs(&d_vars),
+                ),
+                post_sweep2: [0, 1].map(|d| {
+                    RefineSchedule::new(
+                        &self.hierarchy,
+                        &self.registry,
+                        l,
+                        &self.fill_specs(&e_vars(d)),
+                    )
+                }),
+            })
+            .collect();
+
+        let (vol_op, mass_op, inj_op): (
+            Arc<dyn rbamr_amr::CoarsenOperator>,
+            Arc<dyn rbamr_amr::CoarsenOperator>,
+            Arc<dyn rbamr_amr::CoarsenOperator>,
+        ) = match self.placement {
+            Placement::Host => (
+                Arc::new(host_ops::VolumeWeightedCoarsen),
+                Arc::new(host_ops::MassWeightedCoarsen),
+                Arc::new(host_ops::NodeInjectionCoarsen),
+            ),
+            Placement::Device | Placement::DeviceCopyBack => (
+                Arc::new(dev_ops::DeviceVolumeWeightedCoarsen),
+                Arc::new(dev_ops::DeviceMassWeightedCoarsen),
+                Arc::new(dev_ops::DeviceNodeInjectionCoarsen),
+            ),
+        };
+        self.sync_schedules = (1..self.hierarchy.num_levels())
+            .map(|l| {
+                CoarsenSchedule::new(
+                    &self.hierarchy,
+                    &self.registry,
+                    l,
+                    &[
+                        CoarsenSpec {
+                            var: f.energy0,
+                            op: Arc::clone(&mass_op),
+                            aux: vec![f.density0],
+                        },
+                        CoarsenSpec { var: f.density0, op: Arc::clone(&vol_op), aux: vec![] },
+                        CoarsenSpec { var: f.xvel0, op: Arc::clone(&inj_op), aux: vec![] },
+                        CoarsenSpec { var: f.yvel0, op: Arc::clone(&inj_op), aux: vec![] },
+                    ],
+                )
+            })
+            .collect();
+    }
+
+    /// Initialise the hierarchy: set the initial state on level 0, then
+    /// repeatedly flag/cluster/rebuild until all levels exist (the
+    /// paper: "when the simulation is initialised, the error estimation
+    /// and hierarchy generation procedure must be used to generate the
+    /// hierarchy"), re-imposing the analytic initial condition on every
+    /// new level.
+    pub fn initialize(&mut self, comm: Option<&Comm>) {
+        self.apply_initial_state();
+        for _ in 0..self.hierarchy.max_levels() - 1 {
+            let before = self.hierarchy.num_levels();
+            // Ghost values must be valid before flagging: gradients at
+            // patch borders would otherwise see uninitialised zeros.
+            self.fill_start(comm);
+            self.regrid(comm);
+            self.apply_initial_state();
+            if self.hierarchy.num_levels() == before {
+                break;
+            }
+        }
+        // Prime the EOS fields so diagnostics and the first dt are valid.
+        self.fill_start(comm);
+        self.eos_and_viscosity();
+    }
+
+    fn apply_initial_state(&mut self) {
+        let geometry = self.hierarchy.geometry();
+        for l in 0..self.hierarchy.num_levels() {
+            let dx = self.hierarchy.dx(l);
+            let level = self.hierarchy.level_mut(l);
+            for patch in level.local_mut() {
+                self.integrator.init_regions(
+                    patch,
+                    &self.fields,
+                    geometry.origin,
+                    dx,
+                    &self.regions,
+                    self.config.gamma,
+                );
+            }
+        }
+    }
+
+    fn fill(&mut self, which: impl Fn(&LevelSchedules) -> &RefineSchedule, comm: Option<&Comm>) {
+        for l in 0..self.hierarchy.num_levels() {
+            let sched = which(&self.fill_schedules[l]);
+            sched.fill(
+                &mut self.hierarchy,
+                &self.registry,
+                &self.boundary,
+                comm,
+                self.time,
+                Category::HaloExchange,
+            );
+        }
+    }
+
+    fn fill_start(&mut self, comm: Option<&Comm>) {
+        self.fill(|s| &s.start, comm);
+    }
+
+    fn each_patch(&mut self, mut op: impl FnMut(&dyn PatchIntegrator, &mut rbamr_amr::Patch, &Fields, (f64, f64))) {
+        for l in 0..self.hierarchy.num_levels() {
+            let dx = self.hierarchy.dx(l);
+            let level = self.hierarchy.level_mut(l);
+            for patch in level.local_mut() {
+                op(self.integrator.as_ref(), patch, &self.fields, dx);
+            }
+        }
+    }
+
+    fn eos_and_viscosity(&mut self) {
+        let gamma = self.config.gamma;
+        self.each_patch(|ig, p, f, dx| {
+            ig.ideal_gas(p, f, gamma, false);
+            ig.viscosity(p, f, dx);
+        });
+    }
+
+    /// Compute the global dt: local CFL minimum, growth-limited, then
+    /// the MPI allreduce (the application's only global reduction).
+    fn compute_dt(&mut self, comm: Option<&Comm>) -> f64 {
+        let cfl = self.config.cfl;
+        let mut dt_local = f64::INFINITY;
+        for l in 0..self.hierarchy.num_levels() {
+            let dx = self.hierarchy.dx(l);
+            let level = self.hierarchy.level_mut(l);
+            for patch in level.local_mut() {
+                dt_local = dt_local.min(self.integrator.calc_dt(patch, &self.fields, dx, cfl));
+            }
+        }
+        let mut dt = dt_local.min(self.config.dt_max).min(self.prev_dt * self.config.max_dt_growth);
+        if let Some(comm) = comm {
+            dt = comm.allreduce_min(dt, Category::Timestep);
+        }
+        assert!(dt.is_finite() && dt > 0.0, "non-finite dt {dt}");
+        dt
+    }
+
+    /// Advance the whole hierarchy by one synchronised timestep.
+    pub fn step(&mut self, comm: Option<&Comm>) -> StepStats {
+        self.step_capped(comm, None)
+    }
+
+    /// As [`HydroSim::step`], with an optional upper bound on dt (used
+    /// by [`HydroSim::run_to_time`] to land exactly on the end time,
+    /// as the paper's experiments "always run to the same physical end
+    /// time").
+    pub fn step_capped(&mut self, comm: Option<&Comm>, dt_cap: Option<f64>) -> StepStats {
+        let gamma = self.config.gamma;
+
+        // --- Timestep phase ------------------------------------------
+        self.fill_start(comm);
+        self.eos_and_viscosity();
+        let mut dt = self.compute_dt(comm);
+        if let Some(cap) = dt_cap {
+            assert!(cap > 0.0, "step_capped: non-positive dt cap");
+            dt = dt.min(cap);
+        }
+
+        // --- Lagrangian phase ----------------------------------------
+        self.each_patch(|ig, p, f, dx| ig.pdv(p, f, dx, dt, true));
+        self.each_patch(|ig, p, f, _dx| ig.ideal_gas(p, f, gamma, true));
+        self.each_patch(|ig, p, f, _dx| ig.revert(p, f));
+        self.each_patch(|ig, p, f, dx| ig.accelerate(p, f, dx, dt));
+        self.each_patch(|ig, p, f, dx| ig.pdv(p, f, dx, dt, false));
+        self.fill(|s| &s.post_accel, comm);
+        self.each_patch(|ig, p, f, dx| ig.flux_calc(p, f, dx, dt));
+
+        // --- Advection phase (alternating sweep order) ---------------
+        let dirs = if self.step.is_multiple_of(2) { [0usize, 1] } else { [1, 0] };
+        self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[0], 1));
+        self.fill(|s| &s.post_sweep1[dirs[0]], comm);
+        self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[0], 1));
+        self.fill(|s| &s.mid_sweeps, comm);
+        self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[1], 2));
+        self.fill(|s| &s.post_sweep2[dirs[1]], comm);
+        self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[1], 2));
+        self.each_patch(|ig, p, f, _dx| ig.reset(p, f));
+
+        // --- Synchronisation: project fine onto coarse ----------------
+        for l in (1..self.hierarchy.num_levels()).rev() {
+            self.sync_schedules[l - 1].run(
+                &mut self.hierarchy,
+                &self.registry,
+                comm,
+                Category::Synchronize,
+            );
+        }
+
+        self.time += dt;
+        self.step += 1;
+        self.prev_dt = dt;
+
+        // --- Regrid --------------------------------------------------
+        if self.config.regrid_interval > 0 && self.step.is_multiple_of(self.config.regrid_interval) {
+            self.regrid(comm);
+        }
+
+        StepStats {
+            step: self.step - 1,
+            dt,
+            time: self.time,
+            levels: self.hierarchy.num_levels(),
+            total_cells: self.hierarchy.total_cells(),
+        }
+    }
+
+    /// Run `n` steps; returns the last step's stats.
+    pub fn run_steps(&mut self, n: usize, comm: Option<&Comm>) -> StepStats {
+        assert!(n > 0, "run_steps: need at least one step");
+        let mut last = None;
+        for _ in 0..n {
+            last = Some(self.step(comm));
+        }
+        last.expect("n > 0")
+    }
+
+    /// Run until exactly `t_end`: the final step's dt is clipped so the
+    /// simulation lands on the end time (the paper's protocol: "always
+    /// run to the same physical end time regardless of the number of
+    /// timesteps required").
+    pub fn run_to_time(&mut self, t_end: f64, comm: Option<&Comm>) -> usize {
+        let mut steps = 0;
+        while self.time < t_end - 1e-14 {
+            self.step_capped(comm, Some(t_end - self.time));
+            steps += 1;
+            assert!(steps < 1_000_000, "run_to_time: runaway step count");
+        }
+        steps
+    }
+
+    /// Spill every field of every local patch on `level` to host
+    /// memory, releasing device allocations — the paper's Section VI
+    /// future-work mechanism, usable between steps to run problems
+    /// larger than device memory. No-op on the host placement.
+    pub fn spill_level(&mut self, level: usize) {
+        self.set_level_spilled(level, true);
+    }
+
+    /// Bring a spilled level back into device memory.
+    pub fn unspill_level(&mut self, level: usize) {
+        self.set_level_spilled(level, false);
+    }
+
+    fn set_level_spilled(&mut self, level: usize, spill: bool) {
+        if self.placement == Placement::Host {
+            return;
+        }
+        let nvars = self.registry.len();
+        let lvl = self.hierarchy.level_mut(level);
+        for patch in lvl.local_mut() {
+            for v in 0..nvars {
+                let data = patch
+                    .data_mut(VariableId(v))
+                    .as_any_mut()
+                    .downcast_mut::<rbamr_gpu_amr::DeviceData<f64>>()
+                    .expect("device placement holds DeviceData");
+                if spill {
+                    data.spill(Category::Other);
+                } else {
+                    data.unspill(Category::Other);
+                }
+            }
+        }
+    }
+
+    /// Regrid the hierarchy and rebuild all schedules.
+    pub fn regrid(&mut self, comm: Option<&Comm>) {
+        let regridder = Regridder::new(self.config.regrid.clone());
+        let f = self.fields;
+        let specs: Vec<TransferSpec> = [f.density0, f.energy0, f.xvel0, f.yvel0]
+            .into_iter()
+            .map(|var| TransferSpec { var, refine_op: self.refine_op_for(var) })
+            .collect();
+        let tagger = HydroTagger {
+            integrator: self.integrator.as_ref(),
+            fields: &self.fields,
+            thresholds: self.config.thresholds,
+        };
+        regridder.regrid(&mut self.hierarchy, &self.registry, &tagger, &specs, comm, self.time);
+        self.rebuild_schedules();
+    }
+
+    /// Conservation diagnostics over the whole hierarchy, excluding
+    /// coarse cells covered by a finer level (so each physical region
+    /// is counted exactly once). In distributed runs the caller reduces
+    /// the per-field sums across ranks.
+    pub fn summary(&self, comm: Option<&Comm>) -> Summary {
+        let mut total = Summary::default();
+        for l in 0..self.hierarchy.num_levels() {
+            let dx = self.hierarchy.dx(l);
+            // Region covered by the next finer level, in this level's
+            // index space.
+            let shadow: BoxList = if l + 1 < self.hierarchy.num_levels() {
+                self.hierarchy
+                    .level(l + 1)
+                    .covered()
+                    .coarsen(self.hierarchy.ratio_to_coarser(l + 1))
+            } else {
+                BoxList::new()
+            };
+            let level = self.hierarchy.level(l);
+            for patch in level.local() {
+                let mut visible = BoxList::from_box(patch.cell_box());
+                visible.subtract(&shadow);
+                for region in visible.boxes() {
+                    total = total.merged(&self.integrator.field_summary(
+                        patch,
+                        &self.fields,
+                        dx,
+                        *region,
+                    ));
+                }
+            }
+        }
+        if let Some(comm) = comm {
+            total = Summary {
+                volume: comm.allreduce_sum(total.volume, Category::Other),
+                mass: comm.allreduce_sum(total.mass, Category::Other),
+                internal_energy: comm.allreduce_sum(total.internal_energy, Category::Other),
+                kinetic_energy: comm.allreduce_sum(total.kinetic_energy, Category::Other),
+                pressure: comm.allreduce_sum(total.pressure, Category::Other),
+            };
+        }
+        total
+    }
+
+    /// Sample the density field along the horizontal midline of the
+    /// domain at the finest available resolution (validation against
+    /// analytic solutions). Returns `(x, density)` pairs, sorted by x.
+    /// Single-rank only.
+    pub fn density_profile(&self) -> Vec<(f64, f64)> {
+        assert_eq!(self.hierarchy.nranks(), 1, "density_profile: single-rank diagnostic");
+        let geometry = self.hierarchy.geometry();
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        // Finest-level-first sampling with coarse fill-in.
+        let mut covered: Vec<(f64, f64)> = Vec::new();
+        for l in (0..self.hierarchy.num_levels()).rev() {
+            let dx = self.hierarchy.dx(l);
+            let domain = self.hierarchy.level_domain(l).bounding();
+            let mid_y = (domain.lo.y + domain.hi.y) / 2;
+            let level = self.hierarchy.level(l);
+            for patch in level.local() {
+                let cb = patch.cell_box();
+                if mid_y < cb.lo.y || mid_y >= cb.hi.y {
+                    continue;
+                }
+                let data = self.read_cell_row(patch, self.fields.density0, mid_y);
+                for (i, v) in data {
+                    let x = geometry.origin.0 + (i as f64 + 0.5) * dx.0;
+                    if covered.iter().any(|&(a, b)| x >= a && x < b) {
+                        continue;
+                    }
+                    out.push((x, v));
+                }
+                covered.push((
+                    geometry.origin.0 + cb.lo.x as f64 * dx.0,
+                    geometry.origin.0 + cb.hi.x as f64 * dx.0,
+                ));
+            }
+        }
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// Read one interior row of a cell field (x index, value) — a
+    /// diagnostic full-row transfer on the device path.
+    fn read_cell_row(
+        &self,
+        patch: &rbamr_amr::Patch,
+        var: VariableId,
+        y: i64,
+    ) -> Vec<(i64, f64)> {
+        let cb = patch.cell_box();
+        match self.placement {
+            Placement::Host => {
+                let d = patch.host::<f64>(var);
+                (cb.lo.x..cb.hi.x).map(|x| (x, d.at(IntVector::new(x, y)))).collect()
+            }
+            Placement::Device | Placement::DeviceCopyBack => {
+                let d = patch
+                    .data(var)
+                    .as_any()
+                    .downcast_ref::<rbamr_gpu_amr::DeviceData<f64>>()
+                    .expect("device data");
+                let all = d.download_all(Category::Other);
+                let dbox = d.data_box();
+                (cb.lo.x..cb.hi.x)
+                    .map(|x| (x, all[dbox.offset_of(IntVector::new(x, y))]))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sod_regions() -> Vec<RegionInit> {
+        vec![
+            RegionInit { rect: (0.0, 0.0, 0.5, 1.0), density: 1.0, energy: 2.5, xvel: 0.0, yvel: 0.0 },
+            RegionInit { rect: (0.5, 0.0, 1.0, 1.0), density: 0.125, energy: 2.0, xvel: 0.0, yvel: 0.0 },
+        ]
+    }
+
+    fn sim(placement: Placement, cells: i64, levels: usize) -> HydroSim {
+        let machine = match placement {
+            Placement::Host => Machine::ipa_cpu_node(),
+            _ => Machine::ipa_gpu(),
+        };
+        let mut config = HydroConfig { regrid_interval: 5, ..HydroConfig::default() };
+        config.regrid.cluster.min_size = 4;
+        let mut s = HydroSim::new(
+            machine,
+            placement,
+            Clock::new(),
+            (1.0, 1.0),
+            (cells, cells),
+            levels,
+            2,
+            config,
+            sod_regions(),
+            0,
+            1,
+        );
+        s.initialize(None);
+        s
+    }
+
+    #[test]
+    fn initialization_builds_refined_levels_over_the_interface() {
+        let s = sim(Placement::Host, 32, 2);
+        assert_eq!(s.hierarchy().num_levels(), 2);
+        // The fine level covers the density interface at x = 0.5
+        // (level-1 index 32 of 64).
+        let covered = s.hierarchy().level(1).covered();
+        assert!(covered.contains(IntVector::new(32, 32)), "interface not refined: {covered:?}");
+    }
+
+    #[test]
+    fn single_step_advances_time_and_conserves_mass() {
+        let mut s = sim(Placement::Host, 32, 1);
+        let before = s.summary(None);
+        let stats = s.step(None);
+        assert!(stats.dt > 0.0 && stats.time > 0.0);
+        let after = s.summary(None);
+        assert!(
+            ((after.mass - before.mass) / before.mass).abs() < 1e-12,
+            "mass drift: {} -> {}",
+            before.mass,
+            after.mass
+        );
+        // Total energy is conserved to discretisation accuracy (the
+        // scheme exchanges internal <-> kinetic through PdV work).
+        assert!(
+            ((after.total_energy() - before.total_energy()) / before.total_energy()).abs() < 1e-2,
+            "energy drift: {} -> {}",
+            before.total_energy(),
+            after.total_energy()
+        );
+    }
+
+    #[test]
+    fn shock_waves_move_and_refinement_follows() {
+        let mut s = sim(Placement::Host, 32, 2);
+        for _ in 0..20 {
+            s.step(None);
+        }
+        assert!(s.time() > 0.0);
+        // The fine level still exists and tracks features.
+        assert_eq!(s.hierarchy().num_levels(), 2);
+        // Density midline profile is monotone-ish from left state to
+        // right state (no NaN garbage).
+        let profile = s.density_profile();
+        assert!(!profile.is_empty());
+        for (_, d) in &profile {
+            assert!(d.is_finite() && *d > 0.0 && *d < 2.0, "unphysical density {d}");
+        }
+    }
+
+    #[test]
+    fn device_and_host_builds_agree() {
+        let mut host = sim(Placement::Host, 16, 1);
+        let mut dev = sim(Placement::Device, 16, 1);
+        for _ in 0..5 {
+            host.step(None);
+            dev.step(None);
+        }
+        let hp = host.density_profile();
+        let dp = dev.density_profile();
+        assert_eq!(hp.len(), dp.len());
+        for ((hx, hd), (dx_, dd)) in hp.iter().zip(&dp) {
+            assert_eq!(hx, dx_);
+            assert!(
+                (hd - dd).abs() < 1e-12,
+                "host/device divergence at x={hx}: {hd} vs {dd}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_to_time_lands_exactly_on_the_end_time() {
+        let mut s = sim(Placement::Host, 16, 1);
+        let t_end = 0.05;
+        let steps = s.run_to_time(t_end, None);
+        assert!(steps > 1);
+        assert!(
+            (s.time() - t_end).abs() < 1e-12,
+            "overshot: {} vs {t_end}",
+            s.time()
+        );
+    }
+
+    #[test]
+    fn copy_back_baseline_matches_resident_physics_with_huge_traffic() {
+        let mut resident = sim(Placement::Device, 16, 1);
+        let mut copyback = sim(Placement::DeviceCopyBack, 16, 1);
+        let dev_r = resident.device().unwrap().clone();
+        let dev_c = copyback.device().unwrap().clone();
+        dev_r.reset_transfer_stats();
+        dev_c.reset_transfer_stats();
+        for _ in 0..3 {
+            resident.step(None);
+            copyback.step(None);
+        }
+        // Identical physics.
+        let a = resident.density_profile();
+        let b = copyback.density_profile();
+        for ((xa, da), (xb, db)) in a.iter().zip(&b) {
+            assert_eq!(xa, xb);
+            assert_eq!(da, db, "copy-back changed the physics at x={xa}");
+        }
+        // Orders of magnitude more PCIe traffic (the Wang et al. tax).
+        let r = dev_r.stats();
+        let c = dev_c.stats();
+        assert!(
+            c.d2h_bytes > 100 * r.d2h_bytes.max(1),
+            "copy-back D2H {} not >> resident {}",
+            c.d2h_bytes,
+            r.d2h_bytes
+        );
+        // And more modelled time.
+        assert!(copyback.clock().total() > 2.0 * resident.clock().total());
+    }
+
+    #[test]
+    fn level_spilling_frees_device_memory_and_preserves_physics() {
+        let mut s = sim(Placement::Device, 16, 1);
+        let device = s.device().unwrap().clone();
+        s.step(None);
+        let before_bytes = device.stats().allocated_bytes;
+        let reference_profile = {
+            let mut twin = sim(Placement::Device, 16, 1);
+            twin.step(None);
+            twin.step(None);
+            twin.density_profile()
+        };
+        s.spill_level(0);
+        assert!(device.stats().allocated_bytes < before_bytes / 2, "spill freed nothing");
+        s.unspill_level(0);
+        assert_eq!(device.stats().allocated_bytes, before_bytes);
+        s.step(None);
+        let profile = s.density_profile();
+        for ((xa, da), (xb, db)) in profile.iter().zip(&reference_profile) {
+            assert_eq!(xa, xb);
+            assert_eq!(da, db, "spill cycle changed the solution at x={xa}");
+        }
+    }
+
+    #[test]
+    fn device_build_is_resident() {
+        let mut s = sim(Placement::Device, 16, 1);
+        let device = s.device().unwrap().clone();
+        device.reset_transfer_stats();
+        s.step(None);
+        let stats = device.stats();
+        // Per-step D2H: the dt scalar only (single rank, one patch, no
+        // halos to pack, no regrid this step).
+        assert_eq!(stats.d2h_bytes, 8, "non-resident D2H traffic: {stats:?}");
+        assert_eq!(stats.h2d_bytes, 0, "non-resident H2D traffic: {stats:?}");
+        assert!(stats.kernel_launches > 20, "suspiciously few launches");
+    }
+}

@@ -1,0 +1,170 @@
+//! Physical invariants of the hydro scheme, checked end-to-end through
+//! the full AMR machinery.
+
+use proptest::prelude::*;
+use rbamr_hydro::{HydroConfig, HydroSim, Placement, RegionInit};
+use rbamr_perfmodel::{Clock, Machine};
+
+fn sim_with(regions: Vec<RegionInit>, n: i64, levels: usize) -> HydroSim {
+    let config = HydroConfig { regrid_interval: 4, ..HydroConfig::default() };
+    let mut sim = HydroSim::new(
+        Machine::ipa_cpu_node(),
+        Placement::Host,
+        Clock::new(),
+        (1.0, 1.0),
+        (n, n),
+        levels,
+        2,
+        config,
+        regions,
+        0,
+        1,
+    );
+    sim.initialize(None);
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any uniform state is a fixed point of the full timestep: no
+    /// waves, no drift, regridding finds nothing to refine.
+    #[test]
+    fn uniform_state_is_a_fixed_point(
+        density in 0.1f64..5.0,
+        energy in 0.1f64..5.0,
+    ) {
+        let regions = vec![RegionInit {
+            rect: (0.0, 0.0, 1.0, 1.0),
+            density,
+            energy,
+            xvel: 0.0,
+            yvel: 0.0,
+        }];
+        let mut sim = sim_with(regions, 16, 2);
+        prop_assert_eq!(sim.hierarchy().num_levels(), 1, "nothing to refine");
+        let before = sim.summary(None);
+        for _ in 0..5 {
+            sim.step(None);
+        }
+        let after = sim.summary(None);
+        prop_assert!((after.mass - before.mass).abs() < 1e-12);
+        prop_assert!((after.internal_energy - before.internal_energy).abs() < 1e-10);
+        prop_assert!(after.kinetic_energy.abs() < 1e-18, "spurious motion {}", after.kinetic_energy);
+    }
+
+    /// A pressure jump normal to x keeps the solution y-invariant: the
+    /// 2D scheme preserves the 1D symmetry of the problem through
+    /// sweeps in both directions.
+    #[test]
+    fn planar_problem_stays_planar(p_ratio in 2.0f64..10.0) {
+        let regions = vec![
+            RegionInit { rect: (0.0, 0.0, 0.5, 1.0), density: 1.0, energy: p_ratio / 0.4, xvel: 0.0, yvel: 0.0 },
+            RegionInit { rect: (0.5, 0.0, 1.0, 1.0), density: 1.0, energy: 1.0 / 0.4, xvel: 0.0, yvel: 0.0 },
+        ];
+        let mut sim = sim_with(regions, 24, 1);
+        for _ in 0..6 {
+            sim.step(None);
+        }
+        // Compare two rows of the density field: must be identical.
+        let hierarchy = sim.hierarchy();
+        let f = *sim.fields();
+        for patch in hierarchy.level(0).local() {
+            let d = patch.host::<f64>(f.density0);
+            let cb = patch.cell_box();
+            for x in cb.lo.x..cb.hi.x {
+                let v0 = d.at(rbamr_geometry::IntVector::new(x, cb.lo.y));
+                for y in cb.lo.y..cb.hi.y {
+                    let v = d.at(rbamr_geometry::IntVector::new(x, y));
+                    prop_assert!((v - v0).abs() < 1e-11, "row asymmetry at x={x}, y={y}: {v} vs {v0}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn blast_preserves_fourfold_symmetry() {
+    // A centred hot square must stay symmetric under x<->(N-1-x) and
+    // y<->(N-1-y) through full AMR steps (sweep alternation included).
+    let regions = vec![
+        RegionInit { rect: (0.0, 0.0, 1.0, 1.0), density: 1.0, energy: 1e-2, xvel: 0.0, yvel: 0.0 },
+        RegionInit { rect: (0.375, 0.375, 0.625, 0.625), density: 1.0, energy: 5.0, xvel: 0.0, yvel: 0.0 },
+    ];
+    let n = 32i64;
+    let mut sim = sim_with(regions, n, 2);
+    for _ in 0..8 {
+        sim.step(None);
+    }
+    let f = *sim.fields();
+    let read = |x: i64, y: i64| -> f64 {
+        for patch in sim.hierarchy().level(0).local() {
+            if patch.cell_box().contains(rbamr_geometry::IntVector::new(x, y)) {
+                return patch.host::<f64>(f.density0).at(rbamr_geometry::IntVector::new(x, y));
+            }
+        }
+        panic!("cell ({x},{y}) not found");
+    };
+    for y in 0..n {
+        for x in 0..n {
+            let v = read(x, y);
+            assert!(
+                (v - read(n - 1 - x, y)).abs() < 1e-10,
+                "x-mirror broken at ({x},{y})"
+            );
+            assert!(
+                (v - read(x, n - 1 - y)).abs() < 1e-10,
+                "y-mirror broken at ({x},{y})"
+            );
+        }
+    }
+}
+
+#[test]
+fn shocks_heat_the_gas() {
+    // Entropy sanity: after a strong shock passes, downstream internal
+    // energy exceeds the initial downstream value (shock heating), and
+    // no state variable goes negative anywhere.
+    let regions = vec![
+        RegionInit { rect: (0.0, 0.0, 0.3, 1.0), density: 1.0, energy: 25.0, xvel: 0.0, yvel: 0.0 },
+        RegionInit { rect: (0.3, 0.0, 1.0, 1.0), density: 0.5, energy: 1.0, xvel: 0.0, yvel: 0.0 },
+    ];
+    let mut sim = sim_with(regions, 48, 2);
+    sim.run_to_time(0.05, None);
+    let f = *sim.fields();
+    let mut max_downstream_e = 0.0f64;
+    for patch in sim.hierarchy().level(0).local() {
+        let d = patch.host::<f64>(f.density0);
+        let e = patch.host::<f64>(f.energy0);
+        for q in patch.cell_box().iter() {
+            assert!(d.at(q) > 0.0, "negative density at {q}");
+            assert!(e.at(q) > 0.0, "negative energy at {q}");
+            if q.x > 20 {
+                max_downstream_e = max_downstream_e.max(e.at(q));
+            }
+        }
+    }
+    assert!(
+        max_downstream_e > 1.5,
+        "no shock heating observed: max downstream e = {max_downstream_e}"
+    );
+}
+
+#[test]
+fn dt_respects_cfl_under_refinement() {
+    // Adding a finer level must shrink the global dt by roughly the
+    // refinement ratio (the synchronized-stepping CFL constraint).
+    let regions = vec![
+        RegionInit { rect: (0.0, 0.0, 0.5, 1.0), density: 1.0, energy: 2.5, xvel: 0.0, yvel: 0.0 },
+        RegionInit { rect: (0.5, 0.0, 1.0, 1.0), density: 0.125, energy: 2.0, xvel: 0.0, yvel: 0.0 },
+    ];
+    let mut coarse_only = sim_with(regions.clone(), 32, 1);
+    let mut refined = sim_with(regions, 32, 2);
+    let dt_coarse = coarse_only.step(None).dt;
+    let dt_refined = refined.step(None).dt;
+    assert!(
+        dt_refined < dt_coarse * 0.75,
+        "refined dt {dt_refined} not limited by the fine level (coarse {dt_coarse})"
+    );
+    assert!(dt_refined > dt_coarse * 0.3, "refined dt too small: {dt_refined}");
+}

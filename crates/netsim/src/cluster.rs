@@ -1,0 +1,140 @@
+//! Job launcher: run N ranks of the same program.
+
+use crate::comm::{Comm, Shared};
+use rbamr_perfmodel::{Clock, CostModel, Machine, TimeBreakdown};
+use std::sync::Arc;
+
+/// What one rank produced: its closure's return value and its final
+/// virtual-time breakdown.
+#[derive(Debug)]
+pub struct RankResult<R> {
+    /// The rank id.
+    pub rank: usize,
+    /// The closure's return value.
+    pub value: R,
+    /// Virtual time accumulated by the rank (communication plus whatever
+    /// its device/host kernels charged to the same clock).
+    pub time: TimeBreakdown,
+}
+
+/// A simulated cluster: a machine description plus a rank launcher.
+///
+/// `Cluster::run` is the `mpirun` analogue: it spawns one thread per
+/// rank, hands each a [`Comm`] bound to a fresh virtual [`Clock`], runs
+/// the closure, and joins. Panics in any rank propagate (the job
+/// "aborts").
+pub struct Cluster {
+    machine: Machine,
+    cost: Arc<CostModel>,
+}
+
+impl Cluster {
+    /// A cluster of ranks on the given machine model.
+    pub fn new(machine: Machine) -> Self {
+        let cost = Arc::new(CostModel::new(machine.clone()));
+        Self { machine, cost }
+    }
+
+    /// The machine model.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The shared cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Run `nranks` copies of `f` concurrently and collect their
+    /// results, ordered by rank.
+    ///
+    /// Each rank gets its own [`Clock`]; pass the clock to a
+    /// device or host kernels to have computation and
+    /// communication accumulate into one per-rank timeline. The job's
+    /// elapsed time is the per-category max over ranks (BSP convention,
+    /// see [`TimeBreakdown::max_per_category`]).
+    ///
+    /// # Panics
+    /// Panics if `nranks == 0` or any rank panics.
+    pub fn run<R, F>(&self, nranks: usize, f: F) -> Vec<RankResult<R>>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Sync,
+    {
+        assert!(nranks > 0, "Cluster::run: need at least one rank");
+        let shared = Shared::new(nranks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nranks)
+                .map(|rank| {
+                    let shared = Arc::clone(&shared);
+                    let cost = Arc::clone(&self.cost);
+                    let f = &f;
+                    scope.spawn(move || {
+                        let clock = Clock::new();
+                        let comm = Comm::new(rank, shared, clock.clone(), cost);
+                        let value = f(comm);
+                        RankResult { rank, value, time: clock.snapshot() }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    }
+
+    /// Combine per-rank breakdowns into the job's elapsed breakdown
+    /// (per-category max over ranks — the slowest rank paces each BSP
+    /// phase).
+    pub fn job_time<R>(results: &[RankResult<R>]) -> TimeBreakdown {
+        results
+            .iter()
+            .fold(TimeBreakdown::default(), |acc, r| acc.max_per_category(&r.time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbamr_perfmodel::Category;
+
+    #[test]
+    fn ranks_are_ordered_and_complete() {
+        let cluster = Cluster::new(Machine::ipa_cpu_node());
+        let results = cluster.run(4, |comm| comm.rank() * 10);
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.rank, i);
+            assert_eq!(r.value, i * 10);
+        }
+    }
+
+    #[test]
+    fn job_time_is_per_category_max() {
+        let cluster = Cluster::new(Machine::ipa_cpu_node());
+        let results = cluster.run(3, |comm| {
+            // Rank r charges r seconds of hydro time.
+            comm.clock().advance(Category::HydroKernel, comm.rank() as f64);
+        });
+        let t = Cluster::job_time(&results);
+        assert_eq!(t.get(Category::HydroKernel), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Cluster::new(Machine::ipa_cpu_node()).run(0, |_comm| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "rank exploded")]
+    fn rank_panics_propagate() {
+        Cluster::new(Machine::ipa_cpu_node()).run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("rank exploded");
+            }
+            // Rank 0 returns immediately; no communication so no deadlock.
+        });
+    }
+}

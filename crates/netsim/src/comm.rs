@@ -1,0 +1,394 @@
+//! The per-rank communicator.
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use rbamr_perfmodel::{Category, Clock, CostModel};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking receive or collective may wait (wall-clock)
+/// before the runtime declares a deadlock and panics. Real MPI hangs
+/// silently; failing loudly is strictly more useful in a test suite.
+const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+type MailboxKey = (usize, u64); // (source rank, tag)
+
+struct Mailbox {
+    queues: Mutex<HashMap<MailboxKey, VecDeque<Bytes>>>,
+    ready: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Self { queues: Mutex::new(HashMap::new()), ready: Condvar::new() }
+    }
+}
+
+struct CollectiveState {
+    arrived: usize,
+    generation: u64,
+    acc: f64,
+    result: f64,
+}
+
+struct Collective {
+    state: Mutex<CollectiveState>,
+    done: Condvar,
+}
+
+impl Collective {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(CollectiveState { arrived: 0, generation: 0, acc: 0.0, result: 0.0 }),
+            done: Condvar::new(),
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    mailboxes: Vec<Mailbox>,
+    collective: Collective,
+    size: usize,
+}
+
+impl Shared {
+    pub(crate) fn new(size: usize) -> Arc<Self> {
+        Arc::new(Self {
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            collective: Collective::new(),
+            size,
+        })
+    }
+}
+
+/// A rank's endpoint in the simulated job — the MPI communicator
+/// analogue. One `Comm` is handed to each rank closure by
+/// [`Cluster::run`](crate::Cluster::run).
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+    clock: Clock,
+    cost: Arc<CostModel>,
+    collective_seq: std::sync::atomic::AtomicU64,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, shared: Arc<Shared>, clock: Clock, cost: Arc<CostModel>) -> Self {
+        Self { rank, shared, clock, cost, collective_seq: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// This rank's id, `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    pub fn size(&self) -> usize {
+        self.shared.size
+    }
+
+    /// The rank's virtual clock (shared with its device, if any).
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The cost model pricing this rank's communication.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Post a message to `dst` with a user-chosen `tag`. Non-blocking
+    /// (buffered send); virtual transfer time is charged on the
+    /// receiving side so a message's cost is counted exactly once.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or is this rank itself (self
+    /// messages indicate a schedule bug — local copies must not go
+    /// through the network layer).
+    pub fn send(&self, dst: usize, tag: u64, payload: Bytes) {
+        assert!(dst < self.shared.size, "send: rank {dst} out of range");
+        assert_ne!(dst, self.rank, "send: rank {} sent to itself", self.rank);
+        let mb = &self.shared.mailboxes[dst];
+        mb.queues.lock().entry((self.rank, tag)).or_default().push_back(payload);
+        mb.ready.notify_all();
+    }
+
+    /// Blocking receive of the next message from `src` with `tag`.
+    /// Charges this rank's clock with the modelled message cost,
+    /// attributed to `category`.
+    ///
+    /// # Panics
+    /// Panics after 60 s of wall-clock inactivity (deadlock), or if
+    /// `src` is invalid.
+    pub fn recv(&self, src: usize, tag: u64, category: Category) -> Bytes {
+        assert!(src < self.shared.size, "recv: rank {src} out of range");
+        assert_ne!(src, self.rank, "recv: rank {} received from itself", self.rank);
+        let mb = &self.shared.mailboxes[self.rank];
+        let mut queues = mb.queues.lock();
+        loop {
+            if let Some(q) = queues.get_mut(&(src, tag)) {
+                if let Some(payload) = q.pop_front() {
+                    let bytes = payload.len() as u64;
+                    drop(queues);
+                    self.clock.advance(category, self.cost.message(bytes));
+                    return payload;
+                }
+            }
+            let timed_out = mb.ready.wait_for(&mut queues, DEADLOCK_TIMEOUT).timed_out();
+            assert!(
+                !timed_out,
+                "deadlock: rank {} waited >60s for a message from {src} tag {tag}",
+                self.rank
+            );
+        }
+    }
+
+    fn collective(&self, v: f64, op: fn(f64, f64) -> f64, bytes: u64, category: Category) -> f64 {
+        let nranks = self.shared.size as u32;
+        self.clock.advance(category, self.cost.allreduce(nranks, bytes));
+        if self.shared.size == 1 {
+            return v;
+        }
+        let coll = &self.shared.collective;
+        let mut st = coll.state.lock();
+        st.acc = if st.arrived == 0 { v } else { op(st.acc, v) };
+        st.arrived += 1;
+        if st.arrived == self.shared.size {
+            st.result = st.acc;
+            st.arrived = 0;
+            st.generation += 1;
+            coll.done.notify_all();
+            return st.result;
+        }
+        let gen = st.generation;
+        while st.generation == gen {
+            let timed_out = coll.done.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out();
+            assert!(
+                !timed_out,
+                "deadlock: rank {} waited >60s in a collective",
+                self.rank
+            );
+        }
+        st.result
+    }
+
+    /// Global minimum over all ranks — the dt reduction, "the only
+    /// global reduction" in the application (paper Section V-B).
+    pub fn allreduce_min(&self, v: f64, category: Category) -> f64 {
+        self.collective(v, f64::min, 8, category)
+    }
+
+    /// Global maximum over all ranks.
+    pub fn allreduce_max(&self, v: f64, category: Category) -> f64 {
+        self.collective(v, f64::max, 8, category)
+    }
+
+    /// Global sum over all ranks (used by conservation diagnostics).
+    ///
+    /// The accumulation order is rank-arrival order, which is
+    /// non-deterministic; diagnostics tolerate roundoff-level variation
+    /// exactly as MPI_SUM does.
+    pub fn allreduce_sum(&self, v: f64, category: Category) -> f64 {
+        self.collective(v, |a, b| a + b, 8, category)
+    }
+
+    /// Synchronise all ranks.
+    pub fn barrier(&self, category: Category) {
+        self.collective(0.0, |_, _| 0.0, 0, category);
+    }
+
+    fn next_collective_tag(&self) -> u64 {
+        // All ranks execute collectives in the same order, so local
+        // counters agree. The top four bits (kind 15) keep these tags
+        // out of the application's tag space.
+        let n = self.collective_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        (15u64 << 60) | n
+    }
+
+    /// Gather every rank's payload at `root` (returns `Some(payloads)`,
+    /// indexed by rank, at the root; `None` elsewhere). Cost: the root
+    /// is charged one message per remote rank.
+    pub fn gather(&self, root: usize, payload: Bytes, category: Category) -> Option<Vec<Bytes>> {
+        let tag = self.next_collective_tag();
+        if self.rank == root {
+            let mut parts = Vec::with_capacity(self.shared.size);
+            for src in 0..self.shared.size {
+                if src == self.rank {
+                    parts.push(payload.clone());
+                } else {
+                    parts.push(self.recv(src, tag, category));
+                }
+            }
+            Some(parts)
+        } else {
+            self.send(root, tag, payload);
+            None
+        }
+    }
+
+    /// Broadcast from `root`: the root passes `Some(payload)`, everyone
+    /// else passes `None` and receives the root's bytes. Cost: each
+    /// non-root rank is charged one message.
+    ///
+    /// # Panics
+    /// Panics if the root passes `None` or a non-root passes `Some`.
+    pub fn broadcast(&self, root: usize, payload: Option<Bytes>, category: Category) -> Bytes {
+        let tag = self.next_collective_tag();
+        if self.rank == root {
+            let payload = payload.expect("broadcast: root must supply a payload");
+            for dst in 0..self.shared.size {
+                if dst != self.rank {
+                    self.send(dst, tag, payload.clone());
+                }
+            }
+            payload
+        } else {
+            assert!(payload.is_none(), "broadcast: non-root rank supplied a payload");
+            self.recv(root, tag, category)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use rbamr_perfmodel::Machine;
+
+    fn cluster() -> Cluster {
+        Cluster::new(Machine::ipa_cpu_node())
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let results = cluster().run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, Bytes::from_static(b"halo"));
+                comm.recv(1, 8, Category::HaloExchange)
+            } else {
+                comm.send(0, 8, Bytes::from_static(b"back"));
+                comm.recv(0, 7, Category::HaloExchange)
+            }
+        });
+        assert_eq!(&results[0].value[..], b"back");
+        assert_eq!(&results[1].value[..], b"halo");
+    }
+
+    #[test]
+    fn messages_with_same_tag_preserve_order() {
+        let results = cluster().run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..5u8 {
+                    comm.send(1, 1, Bytes::from(vec![i]));
+                }
+                Vec::new()
+            } else {
+                (0..5).map(|_| comm.recv(0, 1, Category::Other)[0]).collect()
+            }
+        });
+        assert_eq!(results[1].value, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tags_demultiplex() {
+        let results = cluster().run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, Bytes::from_static(b"ten"));
+                comm.send(1, 20, Bytes::from_static(b"twenty"));
+                Bytes::new()
+            } else {
+                // Receive in the opposite order of sending.
+                let b20 = comm.recv(0, 20, Category::Other);
+                let b10 = comm.recv(0, 10, Category::Other);
+                assert_eq!(&b10[..], b"ten");
+                b20
+            }
+        });
+        assert_eq!(&results[1].value[..], b"twenty");
+    }
+
+    #[test]
+    fn allreduce_min_max_sum() {
+        let results = cluster().run(4, |comm| {
+            let v = comm.rank() as f64;
+            let mn = comm.allreduce_min(v, Category::Timestep);
+            let mx = comm.allreduce_max(v, Category::Other);
+            let sm = comm.allreduce_sum(v, Category::Other);
+            (mn, mx, sm)
+        });
+        for r in &results {
+            assert_eq!(r.value.0, 0.0);
+            assert_eq!(r.value.1, 3.0);
+            assert_eq!(r.value.2, 6.0);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_cross_talk() {
+        let results = cluster().run(3, |comm| {
+            let mut out = Vec::new();
+            for round in 0..10 {
+                let v = (comm.rank() * 100 + round) as f64;
+                out.push(comm.allreduce_min(v, Category::Timestep));
+            }
+            out
+        });
+        for r in &results {
+            let expect: Vec<f64> = (0..10).map(|round| round as f64).collect();
+            assert_eq!(r.value, expect);
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity_and_free() {
+        let results = cluster().run(1, |comm| {
+            let v = comm.allreduce_min(3.5, Category::Timestep);
+            (v, comm.clock().total())
+        });
+        assert_eq!(results[0].value.0, 3.5);
+        assert_eq!(results[0].value.1, 0.0);
+    }
+
+    #[test]
+    fn recv_charges_receiver_clock_only() {
+        let results = cluster().run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, Bytes::from(vec![0u8; 1 << 20]));
+            } else {
+                comm.recv(0, 0, Category::HaloExchange);
+            }
+            comm.clock().snapshot().get(Category::HaloExchange)
+        });
+        assert_eq!(results[0].value, 0.0);
+        let expected = Cluster::new(Machine::ipa_cpu_node()).cost_model().message(1 << 20);
+        assert!((results[1].value - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collective_cost_scales_with_log_ranks() {
+        let t4 = cluster()
+            .run(4, |comm| {
+                comm.barrier(Category::Timestep);
+                comm.clock().total()
+            })[0]
+            .value;
+        let t2 = cluster()
+            .run(2, |comm| {
+                comm.barrier(Category::Timestep);
+                comm.clock().total()
+            })[0]
+            .value;
+        assert!((t4 / t2 - 2.0).abs() < 1e-9, "log2(4)/log2(2) = 2, got {}", t4 / t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sent to itself")]
+    fn self_send_is_rejected() {
+        cluster().run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(0, 0, Bytes::new());
+            }
+        });
+    }
+}

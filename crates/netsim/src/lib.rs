@@ -1,0 +1,25 @@
+//! A message-passing runtime standing in for MPI.
+//!
+//! The paper runs CleverLeaf with "a combination of MPI and CUDA" on up
+//! to 4,096 nodes. This crate is the MPI substitution documented in
+//! `DESIGN.md`: every rank is an OS thread executing the same program,
+//! communicating through typed mailboxes ([`Comm::send`] /
+//! [`Comm::recv`]) and collectives ([`Comm::allreduce_min`],
+//! [`Comm::barrier`], …). CleverLeaf's timestep is bulk-synchronous
+//! (halo fill → global dt reduction → advance → periodic regrid), so this
+//! model is semantically exact for the reproduced application.
+//!
+//! Every communication operation also advances the calling rank's
+//! virtual [`rbamr_perfmodel::Clock`] using the bound machine's
+//! [`rbamr_perfmodel::CostModel`]:
+//! point-to-point messages are charged to the receiver
+//! (`latency + bytes/bandwidth`), collectives are charged
+//! `ceil(log2 P)` message steps to every participant. This is what turns
+//! a run on this single box into the strong/weak-scaling curves of
+//! Figures 10 and 11.
+
+pub mod cluster;
+pub mod comm;
+
+pub use cluster::{Cluster, RankResult};
+pub use comm::Comm;

@@ -1,0 +1,19 @@
+//! Test problems for the reproduction's evaluation (paper Section V):
+//! the Sod shock tube (serial and strong-scaling studies, Figures 9 and
+//! 10), the triple-point shock interaction (weak-scaling study, Figure
+//! 11), plus Sedov as extra validation and the analytic weak-scaling
+//! workload model used where the original's 8-billion-cell meshes
+//! cannot be instantiated.
+
+pub mod deck;
+pub mod riemann;
+pub mod sedov;
+pub mod sod;
+pub mod synthetic;
+pub mod triple_point;
+
+pub use deck::{parse_deck, Deck, DeckError};
+pub use riemann::ExactRiemann;
+pub use sod::{sod_regions, SOD_GAMMA};
+pub use synthetic::{ComponentTimes, WeakScalingModel};
+pub use triple_point::triple_point_regions;

@@ -1,0 +1,262 @@
+//! Exact Riemann solver for the 1D Euler equations (ideal gas).
+//!
+//! The reference solution the Sod validation tests compare against:
+//! given left and right states, the solver finds the star-region
+//! pressure/velocity (Newton–Raphson on the pressure function) and
+//! samples the self-similar solution at any `x/t` — the standard Toro
+//! construction.
+
+/// A primitive 1D state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct State1D {
+    /// Density.
+    pub rho: f64,
+    /// Velocity.
+    pub u: f64,
+    /// Pressure.
+    pub p: f64,
+}
+
+/// The exact solution of a Riemann problem.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactRiemann {
+    left: State1D,
+    right: State1D,
+    gamma: f64,
+    /// Star-region pressure.
+    pub p_star: f64,
+    /// Star-region (contact) velocity.
+    pub u_star: f64,
+}
+
+impl ExactRiemann {
+    /// Solve the Riemann problem between `left` and `right`.
+    ///
+    /// # Panics
+    /// Panics on non-physical inputs (non-positive density/pressure) or
+    /// if the states generate vacuum.
+    pub fn solve(left: State1D, right: State1D, gamma: f64) -> Self {
+        assert!(left.rho > 0.0 && right.rho > 0.0, "non-physical density");
+        assert!(left.p > 0.0 && right.p > 0.0, "non-physical pressure");
+        let cl = (gamma * left.p / left.rho).sqrt();
+        let cr = (gamma * right.p / right.rho).sqrt();
+        // Vacuum check (Toro eq. 4.82).
+        assert!(
+            2.0 * (cl + cr) / (gamma - 1.0) > right.u - left.u,
+            "Riemann problem generates vacuum"
+        );
+
+        // f(p) for one side: shock (p > p_side) or rarefaction branch.
+        let f_side = |p: f64, s: State1D, c: f64| -> (f64, f64) {
+            if p > s.p {
+                let a = 2.0 / ((gamma + 1.0) * s.rho);
+                let b = (gamma - 1.0) / (gamma + 1.0) * s.p;
+                let sq = (a / (p + b)).sqrt();
+                let f = (p - s.p) * sq;
+                let df = sq * (1.0 - (p - s.p) / (2.0 * (p + b)));
+                (f, df)
+            } else {
+                let pr = p / s.p;
+                let ex = (gamma - 1.0) / (2.0 * gamma);
+                let f = 2.0 * c / (gamma - 1.0) * (pr.powf(ex) - 1.0);
+                let df = pr.powf(-(gamma + 1.0) / (2.0 * gamma)) / (s.rho * c);
+                (f, df)
+            }
+        };
+
+        // Newton iteration from the two-rarefaction initial guess.
+        let du = right.u - left.u;
+        let ex = (gamma - 1.0) / (2.0 * gamma);
+        let p_tr = ((cl + cr - 0.5 * (gamma - 1.0) * du)
+            / (cl / left.p.powf(ex) + cr / right.p.powf(ex)))
+        .powf(1.0 / ex);
+        let mut p = p_tr.max(1e-10);
+        for _ in 0..60 {
+            let (fl, dfl) = f_side(p, left, cl);
+            let (fr, dfr) = f_side(p, right, cr);
+            let g = fl + fr + du;
+            let step = g / (dfl + dfr);
+            let p_new = (p - step).max(1e-12);
+            if (p_new - p).abs() / (0.5 * (p_new + p)) < 1e-14 {
+                p = p_new;
+                break;
+            }
+            p = p_new;
+        }
+        let (fl, _) = f_side(p, left, cl);
+        let (fr, _) = f_side(p, right, cr);
+        let u_star = 0.5 * (left.u + right.u) + 0.5 * (fr - fl);
+        Self { left, right, gamma, p_star: p, u_star }
+    }
+
+    /// Sample the solution at similarity coordinate `xi = x / t`
+    /// (with the initial discontinuity at `x = 0`).
+    pub fn sample(&self, xi: f64) -> State1D {
+        let g = self.gamma;
+        let (p_star, u_star) = (self.p_star, self.u_star);
+        if xi <= u_star {
+            // Left of the contact.
+            let s = self.left;
+            let c = (g * s.p / s.rho).sqrt();
+            if p_star > s.p {
+                // Left shock.
+                let sl = s.u - c * ((g + 1.0) / (2.0 * g) * p_star / s.p + (g - 1.0) / (2.0 * g)).sqrt();
+                if xi < sl {
+                    s
+                } else {
+                    let ratio = p_star / s.p;
+                    let rho = s.rho * ((ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
+                    State1D { rho, u: u_star, p: p_star }
+                }
+            } else {
+                // Left rarefaction.
+                let c_star = c * (p_star / s.p).powf((g - 1.0) / (2.0 * g));
+                let head = s.u - c;
+                let tail = u_star - c_star;
+                if xi < head {
+                    s
+                } else if xi > tail {
+                    let rho = s.rho * (p_star / s.p).powf(1.0 / g);
+                    State1D { rho, u: u_star, p: p_star }
+                } else {
+                    // Inside the fan.
+                    let u = 2.0 / (g + 1.0) * (c + (g - 1.0) / 2.0 * s.u + xi);
+                    let cf = 2.0 / (g + 1.0) * (c + (g - 1.0) / 2.0 * (s.u - xi));
+                    let rho = s.rho * (cf / c).powf(2.0 / (g - 1.0));
+                    let p = s.p * (cf / c).powf(2.0 * g / (g - 1.0));
+                    State1D { rho, u, p }
+                }
+            }
+        } else {
+            // Right of the contact (mirror construction).
+            let s = self.right;
+            let c = (g * s.p / s.rho).sqrt();
+            if p_star > s.p {
+                // Right shock.
+                let sr = s.u + c * ((g + 1.0) / (2.0 * g) * p_star / s.p + (g - 1.0) / (2.0 * g)).sqrt();
+                if xi > sr {
+                    s
+                } else {
+                    let ratio = p_star / s.p;
+                    let rho = s.rho * ((ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
+                    State1D { rho, u: u_star, p: p_star }
+                }
+            } else {
+                // Right rarefaction.
+                let c_star = c * (p_star / s.p).powf((g - 1.0) / (2.0 * g));
+                let head = s.u + c;
+                let tail = u_star + c_star;
+                if xi > head {
+                    s
+                } else if xi < tail {
+                    let rho = s.rho * (p_star / s.p).powf(1.0 / g);
+                    State1D { rho, u: u_star, p: p_star }
+                } else {
+                    let u = 2.0 / (g + 1.0) * (-c + (g - 1.0) / 2.0 * s.u + xi);
+                    let cf = 2.0 / (g + 1.0) * (c - (g - 1.0) / 2.0 * (s.u - xi));
+                    let rho = s.rho * (cf / c).powf(2.0 / (g - 1.0));
+                    let p = s.p * (cf / c).powf(2.0 * g / (g - 1.0));
+                    State1D { rho, u, p }
+                }
+            }
+        }
+    }
+
+    /// Density profile at time `t` over positions `xs` (discontinuity
+    /// initially at `x0`).
+    pub fn density_profile(&self, xs: &[f64], x0: f64, t: f64) -> Vec<f64> {
+        assert!(t > 0.0, "density_profile: need t > 0");
+        xs.iter().map(|&x| self.sample((x - x0) / t).rho).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sod() -> ExactRiemann {
+        ExactRiemann::solve(
+            State1D { rho: 1.0, u: 0.0, p: 1.0 },
+            State1D { rho: 0.125, u: 0.0, p: 0.1 },
+            1.4,
+        )
+    }
+
+    #[test]
+    fn sod_star_state_matches_toro() {
+        // Toro, "Riemann Solvers and Numerical Methods", Table 4.2.
+        let r = sod();
+        assert!((r.p_star - 0.30313).abs() < 2e-5, "p* = {}", r.p_star);
+        assert!((r.u_star - 0.92745).abs() < 2e-5, "u* = {}", r.u_star);
+    }
+
+    #[test]
+    fn sod_wave_structure_at_t02() {
+        let r = sod();
+        let t = 0.2;
+        // Undisturbed states far out.
+        assert_eq!(r.sample(-10.0), State1D { rho: 1.0, u: 0.0, p: 1.0 });
+        assert_eq!(r.sample(10.0), State1D { rho: 0.125, u: 0.0, p: 0.1 });
+        // Left star density (behind the rarefaction): 0.42632.
+        let left_star = r.sample((0.55 - 0.5) / t - 0.5); // between tail and contact
+        let _ = left_star;
+        let s = r.sample(0.5); // between tail (~ -0.07/0.2) and contact (0.927)
+        assert!((s.rho - 0.42632).abs() < 2e-4, "rho*L = {}", s.rho);
+        // Right star density (between contact and shock): 0.26557.
+        let s = r.sample(1.2);
+        assert!((s.rho - 0.26557).abs() < 2e-4, "rho*R = {}", s.rho);
+        // Shock speed ~1.7522: just below is star, just above is right state.
+        assert!((r.sample(1.74).rho - 0.26557).abs() < 2e-4);
+        assert_eq!(r.sample(1.76).rho, 0.125);
+    }
+
+    #[test]
+    fn rarefaction_fan_is_smooth_and_monotone() {
+        let r = sod();
+        let mut last = 1.0;
+        for i in 0..50 {
+            let xi = -1.18 + i as f64 * (1.18 - 0.07) / 50.0; // head to tail
+            let s = r.sample(xi);
+            assert!(s.rho <= last + 1e-12, "fan density must fall");
+            last = s.rho;
+        }
+    }
+
+    #[test]
+    fn symmetric_problem_has_zero_contact_velocity() {
+        let a = State1D { rho: 1.0, u: -1.0, p: 1.0 };
+        let b = State1D { rho: 1.0, u: 1.0, p: 1.0 };
+        let r = ExactRiemann::solve(a, b, 1.4);
+        assert!(r.u_star.abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_shock_case() {
+        // Colliding streams: both waves are shocks, p* above both sides.
+        let a = State1D { rho: 1.0, u: 2.0, p: 0.4 };
+        let b = State1D { rho: 1.0, u: -2.0, p: 0.4 };
+        let r = ExactRiemann::solve(a, b, 1.4);
+        assert!(r.p_star > 0.4);
+        assert!(r.u_star.abs() < 1e-12);
+        // Centre density exceeds the inflow density.
+        assert!(r.sample(0.0).rho > 1.0);
+    }
+
+    #[test]
+    fn profile_sampling() {
+        let r = sod();
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let profile = r.density_profile(&xs, 0.5, 0.2);
+        assert_eq!(profile.len(), 100);
+        assert_eq!(profile[0], 1.0);
+        assert_eq!(profile[99], 0.125);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacuum")]
+    fn vacuum_generation_rejected() {
+        let a = State1D { rho: 1.0, u: -20.0, p: 0.01 };
+        let b = State1D { rho: 1.0, u: 20.0, p: 0.01 };
+        ExactRiemann::solve(a, b, 1.4);
+    }
+}

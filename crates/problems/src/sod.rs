@@ -1,0 +1,73 @@
+//! The Sod shock tube — the problem of the paper's serial and
+//! strong-scaling studies (Figures 9 and 10).
+
+use crate::riemann::{ExactRiemann, State1D};
+use rbamr_hydro::RegionInit;
+
+/// Ratio of specific heats for all reproduced problems.
+pub const SOD_GAMMA: f64 = 1.4;
+
+/// The Sod initial condition on the unit square: high-pressure dense
+/// gas on the left half, low-pressure light gas on the right
+/// (`e = p / ((γ-1) ρ)`: left 2.5, right 2.0).
+pub fn sod_regions() -> Vec<RegionInit> {
+    vec![
+        RegionInit { rect: (0.0, 0.0, 0.5, 1.0), density: 1.0, energy: 2.5, xvel: 0.0, yvel: 0.0 },
+        RegionInit { rect: (0.5, 0.0, 1.0, 1.0), density: 0.125, energy: 2.0, xvel: 0.0, yvel: 0.0 },
+    ]
+}
+
+/// The exact solution of the Sod problem.
+pub fn sod_exact() -> ExactRiemann {
+    ExactRiemann::solve(
+        State1D { rho: 1.0, u: 0.0, p: 1.0 },
+        State1D { rho: 0.125, u: 0.0, p: 0.1 },
+        SOD_GAMMA,
+    )
+}
+
+/// L1 density error of a computed midline profile against the exact
+/// solution at time `t` (interface at `x = 0.5`), averaged per sample.
+pub fn sod_l1_error(profile: &[(f64, f64)], t: f64) -> f64 {
+    assert!(!profile.is_empty(), "empty profile");
+    let exact = sod_exact();
+    let sum: f64 = profile
+        .iter()
+        .map(|&(x, rho)| (rho - exact.sample((x - 0.5) / t).rho).abs())
+        .sum();
+    sum / profile.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_cover_the_unit_square() {
+        let regions = sod_regions();
+        assert_eq!(regions.len(), 2);
+        // Energies follow from the paper's pressures: e = p/((γ-1)ρ).
+        assert!((regions[0].energy - 1.0 / (0.4 * 1.0)).abs() < 1e-12);
+        assert!((regions[1].energy - 0.1 / (0.4 * 0.125)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_solution_error_metric_is_zero_on_itself() {
+        let exact = sod_exact();
+        let t = 0.15;
+        let profile: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let x = (i as f64 + 0.5) / 200.0;
+                (x, exact.sample((x - 0.5) / t).rho)
+            })
+            .collect();
+        assert!(sod_l1_error(&profile, t) < 1e-14);
+    }
+
+    #[test]
+    fn error_metric_detects_wrong_profiles() {
+        let t = 0.15;
+        let profile: Vec<(f64, f64)> = (0..200).map(|i| ((i as f64 + 0.5) / 200.0, 1.0)).collect();
+        assert!(sod_l1_error(&profile, t) > 0.1);
+    }
+}

@@ -1,0 +1,64 @@
+//! The triple-point shock interaction — the paper's weak-scaling
+//! workload (Section V-B, after Galera et al., the paper's ref. 33).
+//!
+//! "A rectangular domain is split into three regions, and as the
+//! simulation progresses from its initial state a strong shock travels
+//! from left to right. This shock generates a large amount of vorticity
+//! and creates a complex area of interest, with a large number of
+//! patches moving throughout the simulation domain."
+
+use rbamr_hydro::RegionInit;
+
+/// Domain extent of the triple-point problem: `7 x 3`.
+pub const TRIPLE_POINT_EXTENT: (f64, f64) = (7.0, 3.0);
+
+/// The three-state initial condition (γ = 1.4 throughout; the original
+/// mixes γ but CloverLeaf-family codes run the single-γ variant):
+/// a high-pressure driver on the left, a dense low-pressure slab on the
+/// lower right, and a light low-pressure gas on the upper right.
+pub fn triple_point_regions() -> Vec<RegionInit> {
+    let e = |p: f64, rho: f64| p / (0.4 * rho);
+    vec![
+        // Left driver: rho = 1, p = 1.
+        RegionInit { rect: (0.0, 0.0, 1.0, 3.0), density: 1.0, energy: e(1.0, 1.0), xvel: 0.0, yvel: 0.0 },
+        // Lower right: rho = 1, p = 0.1.
+        RegionInit { rect: (1.0, 0.0, 7.0, 1.5), density: 1.0, energy: e(0.1, 1.0), xvel: 0.0, yvel: 0.0 },
+        // Upper right: rho = 0.125, p = 0.1.
+        RegionInit {
+            rect: (1.0, 1.5, 7.0, 3.0),
+            density: 0.125,
+            energy: e(0.1, 0.125),
+            xvel: 0.0,
+            yvel: 0.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_regions_tile_the_domain() {
+        let r = triple_point_regions();
+        assert_eq!(r.len(), 3);
+        let area: f64 = r
+            .iter()
+            .map(|r| (r.rect.2 - r.rect.0) * (r.rect.3 - r.rect.1))
+            .sum();
+        assert!((area - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pressure_jump_drives_a_right_moving_shock() {
+        let r = triple_point_regions();
+        // Driver pressure 10x the others.
+        let p = |i: usize| (1.4 - 1.0) * r[i].density * r[i].energy;
+        assert!((p(0) - 1.0).abs() < 1e-12);
+        assert!((p(1) - 0.1).abs() < 1e-12);
+        assert!((p(2) - 0.1).abs() < 1e-12);
+        // The two right regions have equal pressure but a 8:1 density
+        // jump, the vorticity source.
+        assert!((r[1].density / r[2].density - 8.0).abs() < 1e-12);
+    }
+}

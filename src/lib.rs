@@ -1,0 +1,67 @@
+//! # rbamr — Resident Block-Structured AMR on (Simulated) GPUs
+//!
+//! A Rust reproduction of *Beckingsale, Gaudin, Herdman, Jarvis —
+//! "Resident Block-Structured Adaptive Mesh Refinement on Thousands of
+//! Graphics Processing Units"* (ICPP 2015): a block-structured AMR
+//! framework in the style of SAMRAI, device-resident patch data with
+//! data-parallel pack/refine/coarsen operators (the paper's
+//! contribution), and the CleverLeaf compressible-hydrodynamics
+//! mini-app driving it, with CPU-baseline and GPU-resident builds that
+//! produce bit-identical physics.
+//!
+//! Hardware the paper used (K20x GPUs, MPI on Titan) is substituted by
+//! simulated equivalents with calibrated cost models — see `DESIGN.md`
+//! for the substitution table and `EXPERIMENTS.md` for the
+//! paper-vs-reproduction results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rbamr::hydro::{HydroConfig, HydroSim, Placement};
+//! use rbamr::perfmodel::{Clock, Machine};
+//! use rbamr::problems::sod_regions;
+//!
+//! // A GPU-resident Sod shock tube on a 32^2 base grid, 2 levels.
+//! let mut sim = HydroSim::new(
+//!     Machine::ipa_gpu(),
+//!     Placement::Device,
+//!     Clock::new(),
+//!     (1.0, 1.0),
+//!     (32, 32),
+//!     2,
+//!     2,
+//!     HydroConfig::default(),
+//!     sod_regions(),
+//!     0,
+//!     1,
+//! );
+//! sim.initialize(None);
+//! let stats = sim.run_steps(10, None);
+//! assert!(stats.time > 0.0);
+//! assert_eq!(sim.hierarchy().num_levels(), 2); // refinement tracks the shock
+//! ```
+
+/// Index-space calculus (boxes, box lists, overlaps).
+pub use rbamr_geometry as geometry;
+
+/// Architecture cost models and virtual time.
+pub use rbamr_perfmodel as perfmodel;
+
+/// The simulated accelerator.
+pub use rbamr_device as device;
+
+/// The message-passing runtime (MPI substitute).
+pub use rbamr_netsim as netsim;
+
+/// The block-structured AMR framework (SAMRAI substitute).
+pub use rbamr_amr as amr;
+
+/// Device-resident patch data and data-parallel operators — the
+/// paper's contribution.
+pub use rbamr_gpu_amr as gpu_amr;
+
+/// CleverLeaf: shock hydrodynamics with AMR.
+pub use rbamr_hydro as hydro;
+
+/// Test problems and the weak-scaling workload model.
+pub use rbamr_problems as problems;
