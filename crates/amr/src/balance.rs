@@ -140,12 +140,8 @@ mod tests {
         let boxes = tiles(4, 8);
         let owners = partition_sfc(&boxes, 4);
         for r in 0..4usize {
-            let mine: Vec<GBox> = boxes
-                .iter()
-                .zip(&owners)
-                .filter(|(_, &o)| o == r)
-                .map(|(b, _)| *b)
-                .collect();
+            let mine: Vec<GBox> =
+                boxes.iter().zip(&owners).filter(|(_, &o)| o == r).map(|(b, _)| *b).collect();
             let bound = mine.iter().fold(GBox::EMPTY, |a, &b| a.bounding(b));
             let covered: i64 = mine.iter().map(|b| b.num_cells()).sum();
             assert_eq!(bound.num_cells(), covered, "rank {r} tiles not compact: {mine:?}");

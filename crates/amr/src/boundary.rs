@@ -18,7 +18,14 @@ pub trait PhysicalBoundary: Send + Sync {
     /// Fill `boxes` (cell-space, outside the domain) of `var` on
     /// `patch`. `domain_box` is the bounding box of the level domain,
     /// from which implementations derive which face each box lies on.
-    fn fill(&self, patch: &mut Patch, var: VariableId, boxes: &BoxList, domain_box: GBox, time: f64);
+    fn fill(
+        &self,
+        patch: &mut Patch,
+        var: VariableId,
+        boxes: &BoxList,
+        domain_box: GBox,
+        time: f64,
+    );
 }
 
 /// Which face of the domain a ghost box hangs off, with outward normal
@@ -63,10 +70,7 @@ pub fn mirror_index(domain: GBox, p: IntVector) -> IntVector {
             v
         }
     };
-    IntVector::new(
-        reflect(p.x, domain.lo.x, domain.hi.x),
-        reflect(p.y, domain.lo.y, domain.hi.y),
-    )
+    IntVector::new(reflect(p.x, domain.lo.x, domain.hi.x), reflect(p.y, domain.lo.y, domain.hi.y))
 }
 
 /// Zero-gradient (outflow) boundary: ghost cells copy the nearest
@@ -74,7 +78,14 @@ pub fn mirror_index(domain: GBox, p: IntVector) -> IntVector {
 pub struct ZeroGradientBoundary;
 
 impl PhysicalBoundary for ZeroGradientBoundary {
-    fn fill(&self, patch: &mut Patch, var: VariableId, boxes: &BoxList, domain_box: GBox, _time: f64) {
+    fn fill(
+        &self,
+        patch: &mut Patch,
+        var: VariableId,
+        boxes: &BoxList,
+        domain_box: GBox,
+        _time: f64,
+    ) {
         let centring = patch.data(var).centring();
         let data = patch
             .data_mut(var)

@@ -66,7 +66,9 @@ fn recurse(points: &mut Vec<IntVector>, params: &ClusterParams, out: &mut Vec<GB
     let bbox = bounding(points);
     let efficiency = points.len() as f64 / bbox.num_cells() as f64;
     let splittable = bbox.size().x >= 2 * params.min_size || bbox.size().y >= 2 * params.min_size;
-    if (efficiency >= params.efficiency || !splittable) && bbox.size().x <= params.max_size && bbox.size().y <= params.max_size
+    if (efficiency >= params.efficiency || !splittable)
+        && bbox.size().x <= params.max_size
+        && bbox.size().y <= params.max_size
     {
         out.push(bbox);
         return;
@@ -109,7 +111,10 @@ fn find_cut(points: &[IntVector], bbox: GBox, params: &ClusterParams) -> Option<
         let mut hole: Option<i64> = None;
         for (k, &s) in sig.iter().enumerate() {
             let k = k as i64;
-            if s == 0 && legal(k) && hole.is_none_or(|h: i64| (k - centre).abs() < (h - centre).abs()) {
+            if s == 0
+                && legal(k)
+                && hole.is_none_or(|h: i64| (k - centre).abs() < (h - centre).abs())
+            {
                 hole = Some(k);
             }
         }
@@ -195,10 +200,7 @@ mod tests {
     }
 
     fn disjoint(boxes: &[GBox]) -> bool {
-        boxes
-            .iter()
-            .enumerate()
-            .all(|(i, a)| boxes[i + 1..].iter().all(|b| !a.intersects(*b)))
+        boxes.iter().enumerate().all(|(i, a)| boxes[i + 1..].iter().all(|b| !a.intersects(*b)))
     }
 
     #[test]
@@ -246,9 +248,8 @@ mod tests {
     #[test]
     fn diagonal_front_is_tiled() {
         // A diagonal band, the worst case for rectangles.
-        let tags: Vec<IntVector> = (0..32)
-            .flat_map(|i| (0..3).map(move |w| IntVector::new(i, i + w)))
-            .collect();
+        let tags: Vec<IntVector> =
+            (0..32).flat_map(|i| (0..3).map(move |w| IntVector::new(i, i + w))).collect();
         let params = ClusterParams { efficiency: 0.6, min_size: 2, max_size: 1 << 20 };
         let boxes = cluster_tags(&tags, &params);
         assert!(covers_all(&tags, &boxes));
@@ -258,10 +259,8 @@ mod tests {
 
     #[test]
     fn min_size_is_respected() {
-        let tags: Vec<IntVector> = GBox::from_coords(0, 0, 12, 12)
-            .iter()
-            .filter(|p| (p.x + p.y) % 5 == 0)
-            .collect();
+        let tags: Vec<IntVector> =
+            GBox::from_coords(0, 0, 12, 12).iter().filter(|p| (p.x + p.y) % 5 == 0).collect();
         let params = ClusterParams { efficiency: 0.95, min_size: 4, max_size: 1 << 20 };
         for b in cluster_tags(&tags, &params) {
             assert!(b.size().x >= 1 && b.size().y >= 1);

@@ -44,6 +44,10 @@ pub struct PatchHierarchy {
     rank: usize,
     nranks: usize,
     levels: Vec<PatchLevel>,
+    /// Telemetry handle used by the communication schedules and the
+    /// regridding machinery (disabled unless the application wires one
+    /// through [`PatchHierarchy::set_recorder`]).
+    recorder: rbamr_telemetry::Recorder,
 }
 
 impl PatchHierarchy {
@@ -69,10 +73,28 @@ impl PatchHierarchy {
         assert!(ratio.all_gt(IntVector::ZERO), "PatchHierarchy: bad ratio");
         assert!(max_levels > 0, "PatchHierarchy: need at least one level");
         assert!(rank < nranks, "PatchHierarchy: rank out of range");
-        let ratios = (0..max_levels)
-            .map(|l| if l == 0 { IntVector::ONE } else { ratio })
-            .collect();
-        Self { geometry, base_domain, ratios, max_levels, rank, nranks, levels: Vec::new() }
+        let ratios = (0..max_levels).map(|l| if l == 0 { IntVector::ONE } else { ratio }).collect();
+        Self {
+            geometry,
+            base_domain,
+            ratios,
+            max_levels,
+            rank,
+            nranks,
+            levels: Vec::new(),
+            recorder: rbamr_telemetry::Recorder::disabled(),
+        }
+    }
+
+    /// Attach a telemetry recorder; refine/coarsen schedules and
+    /// regridding record spans and counters through it.
+    pub fn set_recorder(&mut self, recorder: rbamr_telemetry::Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled if never set).
+    pub fn recorder(&self) -> &rbamr_telemetry::Recorder {
+        &self.recorder
     }
 
     /// The physical geometry.

@@ -181,10 +181,7 @@ impl<T: Element> PatchData for HostData<T> {
         let mut out = Vec::with_capacity(self.stream_size(overlap));
         for b in overlap.dst_boxes.boxes() {
             let src_b = b.shift(-overlap.shift);
-            assert!(
-                self.data_box().contains_box(src_b),
-                "pack: overlap escapes source data box"
-            );
+            assert!(self.data_box().contains_box(src_b), "pack: overlap escapes source data box");
             for p in src_b.iter() {
                 self.at(p).write_to(&mut out);
             }
@@ -200,11 +197,7 @@ impl<T: Element> PatchData for HostData<T> {
     }
 
     fn unpack(&mut self, overlap: &BoxOverlap, stream: &[u8]) {
-        assert_eq!(
-            stream.len(),
-            self.stream_size(overlap),
-            "unpack: stream length mismatch"
-        );
+        assert_eq!(stream.len(), self.stream_size(overlap), "unpack: stream length mismatch");
         let mut cursor = 0usize;
         for b in overlap.dst_boxes.boxes() {
             assert!(
@@ -242,12 +235,7 @@ impl HostDataFactory {
 
 impl DataFactory for HostDataFactory {
     fn make(&self, var: &Variable, cell_box: GBox) -> Box<dyn PatchData> {
-        Box::new(HostData::<f64>::with_hook(
-            cell_box,
-            var.ghosts,
-            var.centring,
-            self.hook.clone(),
-        ))
+        Box::new(HostData::<f64>::with_hook(cell_box, var.ghosts, var.centring, self.hook.clone()))
     }
 }
 
@@ -289,7 +277,8 @@ mod tests {
         for p in b(4, 0, 8, 4).iter() {
             *src.at_mut(p) = (p.x * 100 + p.y) as f64;
         }
-        let ov = ghost_overlaps(dst.cell_box(), ghosts, src.cell_box(), Centring::Cell, IntVector::ZERO);
+        let ov =
+            ghost_overlaps(dst.cell_box(), ghosts, src.cell_box(), Centring::Cell, IntVector::ZERO);
         dst.copy_from(&src, &ov);
         assert_eq!(dst.at(IntVector::new(4, 2)), 402.0);
         assert_eq!(dst.at(IntVector::new(5, 3)), 503.0);
@@ -344,10 +333,22 @@ mod tests {
         let clock = Clock::new();
         let cost = Arc::new(CostModel::new(rbamr_perfmodel::Machine::ipa_cpu_node()));
         let hook = HostCostHook { clock: clock.clone(), cost };
-        let mut dst = HostData::<f64>::with_hook(b(0, 0, 4, 4), IntVector::ONE, Centring::Cell, Some(hook.clone()));
-        let src = HostData::<f64>::with_hook(b(4, 0, 8, 4), IntVector::ONE, Centring::Cell, Some(hook));
+        let mut dst = HostData::<f64>::with_hook(
+            b(0, 0, 4, 4),
+            IntVector::ONE,
+            Centring::Cell,
+            Some(hook.clone()),
+        );
+        let src =
+            HostData::<f64>::with_hook(b(4, 0, 8, 4), IntVector::ONE, Centring::Cell, Some(hook));
         dst.set_transfer_category(Category::HaloExchange);
-        let ov = ghost_overlaps(dst.cell_box(), IntVector::ONE, src.cell_box(), Centring::Cell, IntVector::ZERO);
+        let ov = ghost_overlaps(
+            dst.cell_box(),
+            IntVector::ONE,
+            src.cell_box(),
+            Centring::Cell,
+            IntVector::ZERO,
+        );
         dst.copy_from(&src, &ov);
         assert!(clock.snapshot().get(Category::HaloExchange) > 0.0);
     }

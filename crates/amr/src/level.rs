@@ -39,12 +39,12 @@ impl PatchLevel {
         assert_eq!(boxes.len(), owners.len(), "PatchLevel: boxes/owners mismatch");
         for (i, b) in boxes.iter().enumerate() {
             assert!(!b.is_empty(), "PatchLevel: empty patch box {i}");
-            assert!(
-                domain.contains_box(*b),
-                "PatchLevel: patch box {b:?} escapes level domain"
-            );
+            assert!(domain.contains_box(*b), "PatchLevel: patch box {b:?} escapes level domain");
             for other in &boxes[i + 1..] {
-                assert!(!b.intersects(*other), "PatchLevel: overlapping patch boxes {b:?}, {other:?}");
+                assert!(
+                    !b.intersects(*other),
+                    "PatchLevel: overlapping patch boxes {b:?}, {other:?}"
+                );
             }
         }
         let local = boxes

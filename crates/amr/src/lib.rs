@@ -59,7 +59,7 @@ pub use level::PatchLevel;
 pub use ops::{CoarsenOperator, RefineOperator};
 pub use patch::{Patch, PatchId};
 pub use patchdata::{Element, PatchData};
-pub use regrid::{Regridder, RegridParams};
+pub use regrid::{RegridParams, Regridder};
 pub use schedule::{CoarsenSchedule, RefineSchedule};
 pub use stats::{hierarchy_stats, HierarchyStats};
 pub use tagging::TagBitmap;

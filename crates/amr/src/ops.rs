@@ -72,15 +72,11 @@ pub trait CoarsenOperator: Send + Sync {
 }
 
 fn host(d: &dyn PatchData) -> &HostData<f64> {
-    d.as_any()
-        .downcast_ref()
-        .expect("host operator applied to non-host data")
+    d.as_any().downcast_ref().expect("host operator applied to non-host data")
 }
 
 fn host_mut(d: &mut dyn PatchData) -> &mut HostData<f64> {
-    d.as_any_mut()
-        .downcast_mut()
-        .expect("host operator applied to non-host data")
+    d.as_any_mut().downcast_mut().expect("host operator applied to non-host data")
 }
 
 /// Clamp `p` into `b` (component-wise). Used for one-sided stencils at
@@ -568,10 +564,7 @@ mod tests {
         MassWeightedCoarsen.coarsen(&mut ce, &e, &[&rho], &fill, R2);
         let fine_energy: f64 = b(0, 0, 4, 4).iter().map(|p| rho.at(p) * e.at(p)).sum();
         let coarse_energy: f64 = b(0, 0, 2, 2).iter().map(|p| crho.at(p) * ce.at(p) * 4.0).sum();
-        assert!(
-            (fine_energy - coarse_energy).abs() < 1e-12,
-            "{fine_energy} vs {coarse_energy}"
-        );
+        assert!((fine_energy - coarse_energy).abs() < 1e-12, "{fine_energy} vs {coarse_energy}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Patches: rectangular mesh regions carrying data.
 
-use crate::patchdata::{Element, PatchData};
 use crate::hostdata::HostData;
+use crate::patchdata::{Element, PatchData};
 use crate::variable::{VariableId, VariableRegistry};
 use rbamr_geometry::GBox;
 
@@ -166,12 +166,7 @@ mod tests {
     }
 
     fn patch(r: &VariableRegistry) -> Patch {
-        Patch::new(
-            PatchId { level: 0, index: 3 },
-            GBox::from_coords(0, 0, 4, 4),
-            0,
-            r,
-        )
+        Patch::new(PatchId { level: 0, index: 3 }, GBox::from_coords(0, 0, 4, 4), 0, r)
     }
 
     #[test]

@@ -9,9 +9,7 @@ use std::any::Any;
 ///
 /// Exactly two are needed: `f64` for simulation quantities and `i32`
 /// for refinement tags (SAMRAI stores tags as integer cell data).
-pub trait Element:
-    Copy + Default + Send + Sync + PartialEq + std::fmt::Debug + 'static
-{
+pub trait Element: Copy + Default + Send + Sync + PartialEq + std::fmt::Debug + 'static {
     /// Size of the serialised element in bytes.
     const BYTES: usize;
     /// Append the little-endian encoding to `out`.

@@ -108,6 +108,8 @@ impl Regridder {
         comm: Option<&Comm>,
         time: f64,
     ) -> usize {
+        let rec = hierarchy.recorder().clone();
+        let _span = rec.is_enabled().then(|| rec.span("regrid", Category::Regrid));
         let max_levels = hierarchy.max_levels();
         let finest_target = (hierarchy.finest_level() + 1).min(max_levels - 1);
         // Planned boxes per level (fine index space of that level).
@@ -132,6 +134,7 @@ impl Regridder {
             );
             let mut cells: Vec<IntVector> =
                 bitmaps.iter().flat_map(|bm| bm.tagged_cells()).collect();
+            rec.count("regrid.tags_flagged", cells.len() as u64);
 
             // Exchange tags globally (clustering is replicated).
             if let Some(comm) = comm {
@@ -144,9 +147,7 @@ impl Regridder {
             // Buffer, merge the nesting footprint of the finer level,
             // clip to the domain.
             let mut region = BoxList::from_boxes(
-                clustered
-                    .iter()
-                    .map(|b| b.grow(IntVector::uniform(self.params.tag_buffer))),
+                clustered.iter().map(|b| b.grow(IntVector::uniform(self.params.tag_buffer))),
             );
             region.union(&nesting_cover[tag_level]);
             let mut clipped = BoxList::new();
@@ -187,6 +188,7 @@ impl Regridder {
                 break;
             }
             let owners = partition_sfc(&boxes, nranks);
+            rec.count("regrid.patches", boxes.len() as u64);
             self.rebuild_level(hierarchy, registry, target, boxes, owners, specs, comm, time);
             new_num_levels = target + 1;
         }
@@ -225,15 +227,10 @@ impl Regridder {
         );
 
         let old_exists = target <= hierarchy.finest_level();
-        let old_boxes: Vec<GBox> = if old_exists {
-            hierarchy.level(target).global_boxes().to_vec()
-        } else {
-            Vec::new()
-        };
+        let old_boxes: Vec<GBox> =
+            if old_exists { hierarchy.level(target).global_boxes().to_vec() } else { Vec::new() };
         let old_owners: Vec<usize> = if old_exists {
-            (0..old_boxes.len())
-                .map(|i| hierarchy.level(target).owner_of(i))
-                .collect()
+            (0..old_boxes.len()).map(|i| hierarchy.level(target).owner_of(i)).collect()
         } else {
             Vec::new()
         };
@@ -543,11 +540,8 @@ mod tests {
         // A fine cell only in the new coverage was interpolated (zeros
         // from the untouched coarse level).
         let probe2 = IntVector::new(19, 19);
-        let p2 = lvl1
-            .local()
-            .iter()
-            .find(|p| p.cell_box().contains(probe2))
-            .expect("probe2 covered");
+        let p2 =
+            lvl1.local().iter().find(|p| p.cell_box().contains(probe2)).expect("probe2 covered");
         assert_eq!(p2.host::<f64>(var).at(probe2), 0.0);
     }
 
@@ -568,11 +562,8 @@ mod tests {
                     .local()
                     .iter()
                     .map(|p| {
-                        let cells: Vec<i32> = p
-                            .cell_box()
-                            .iter()
-                            .map(|q| i32::from(centre.contains(q)))
-                            .collect();
+                        let cells: Vec<i32> =
+                            p.cell_box().iter().map(|q| i32::from(centre.contains(q))).collect();
                         TagBitmap::compress(p.cell_box(), &cells)
                     })
                     .collect()

@@ -86,10 +86,8 @@ impl Database {
 
     /// Create (or fetch) a nested database and return it mutably.
     pub fn child(&mut self, key: &str) -> &mut Database {
-        let entry = self
-            .entries
-            .entry(key.to_owned())
-            .or_insert_with(|| Value::Db(Database::new()));
+        let entry =
+            self.entries.entry(key.to_owned()).or_insert_with(|| Value::Db(Database::new()));
         match entry {
             Value::Db(d) => d,
             _ => panic!("restart key {key:?} exists with a non-database type"),
@@ -235,7 +233,8 @@ fn write_db(db: &Database, out: &mut Vec<u8>) {
 }
 
 fn read_u64(bytes: &[u8], cursor: &mut usize) -> u64 {
-    let v = u64::from_le_bytes(bytes[*cursor..*cursor + 8].try_into().expect("restart: short stream"));
+    let v =
+        u64::from_le_bytes(bytes[*cursor..*cursor + 8].try_into().expect("restart: short stream"));
     *cursor += 8;
     v
 }

@@ -26,7 +26,9 @@ use crate::hierarchy::PatchHierarchy;
 use crate::ops::{CoarsenOperator, RefineOperator};
 use crate::patchdata::PatchData;
 use crate::variable::{VariableId, VariableRegistry};
-use rbamr_geometry::{copy_overlap, ghost_overlaps, BoxList, BoxOverlap, Centring, GBox, IntVector};
+use rbamr_geometry::{
+    copy_overlap, ghost_overlaps, BoxList, BoxOverlap, Centring, GBox, IntVector,
+};
 use rbamr_netsim::Comm;
 use rbamr_perfmodel::Category;
 use std::sync::Arc;
@@ -363,13 +365,16 @@ impl RefineSchedule {
         time: f64,
         category: Category,
     ) {
+        let _span = hierarchy.recorder().is_enabled().then(|| {
+            let rec = hierarchy.recorder();
+            rec.count("amr.refine_fills", 1);
+            rec.span_arg("refine-fill", category, self.level_no as i64)
+        });
         // 1. Same-level: local copies.
         let level = hierarchy.level_mut(self.level_no);
         for plan in &self.copies {
-            let (src_pos, dst_pos) = (
-                local_pos(level, plan.src_idx),
-                local_pos(level, plan.dst_idx),
-            );
+            let (src_pos, dst_pos) =
+                (local_pos(level, plan.src_idx), local_pos(level, plan.dst_idx));
             let locals = level.local_mut();
             let (src, dst) = split_two(locals, src_pos, dst_pos);
             let dst_data = dst.data_mut(plan.var);
@@ -481,7 +486,6 @@ impl RefineSchedule {
             }
         }
     }
-
 }
 
 /// One fine→coarse synchronisation job.
@@ -573,6 +577,11 @@ impl CoarsenSchedule {
         comm: Option<&Comm>,
         category: Category,
     ) {
+        let _span = hierarchy.recorder().is_enabled().then(|| {
+            let rec = hierarchy.recorder();
+            rec.count("amr.coarsen_syncs", 1);
+            rec.span_arg("coarsen-sync", category, self.fine_level_no as i64)
+        });
         let rank = hierarchy.rank();
         let ratio = hierarchy.ratio_to_coarser(self.fine_level_no);
         // Phase 1: fine owners coarsen into scratch and either apply
@@ -595,18 +604,14 @@ impl CoarsenSchedule {
                     .expect("schedule stale: fine source not local");
                 let aux: Vec<&dyn PatchData> = plan.aux.iter().map(|&a| fp.data(a)).collect();
                 let coarse_fill = BoxList::from_box(centring.data_box(plan.region));
-                plan.op
-                    .coarsen(scratch.as_mut(), fp.data(plan.var), &aux, &coarse_fill, ratio);
+                plan.op.coarsen(scratch.as_mut(), fp.data(plan.var), &aux, &coarse_fill, ratio);
             }
             if plan.coarse_rank == rank {
                 local_results.push((plan.coarse_idx, plan, scratch));
             } else {
                 let ov = copy_overlap(plan.region, plan.region, centring);
                 let payload = scratch.pack(&ov);
-                outgoing
-                    .entry(plan.coarse_rank)
-                    .or_default()
-                    .extend_from_slice(&payload);
+                outgoing.entry(plan.coarse_rank).or_default().extend_from_slice(&payload);
             }
         }
         if let Some(comm) = comm {
@@ -779,11 +784,7 @@ mod tests {
         // coarse coordinates; the linear reconstruction reproduces it.
         for q in [IntVector::new(6, 10), IntVector::new(24, 12), IntVector::new(10, 6)] {
             let expect = (q.x as f64 + 0.5) / 2.0;
-            assert!(
-                (d.at(q) - expect).abs() < 1e-12,
-                "ghost {q}: {} vs {expect}",
-                d.at(q)
-            );
+            assert!((d.at(q) - expect).abs() < 1e-12, "ghost {q}: {} vs {expect}", d.at(q));
         }
     }
 

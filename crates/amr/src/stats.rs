@@ -78,7 +78,13 @@ impl HierarchyStats {
 }
 
 /// Compute statistics for the hierarchy.
+///
+/// An empty hierarchy (no levels installed yet) yields zeroed stats
+/// rather than underflowing on the finest-level lookup.
 pub fn hierarchy_stats(h: &PatchHierarchy) -> HierarchyStats {
+    if h.num_levels() == 0 {
+        return HierarchyStats { levels: Vec::new(), total_cells: 0, uniform_equivalent_cells: 0 };
+    }
     let mut levels = Vec::new();
     for l in 0..h.num_levels() {
         let level = h.level(l);
@@ -165,6 +171,26 @@ mod tests {
         assert_eq!(s.total_cells, 512);
         assert_eq!(s.uniform_equivalent_cells, 1024);
         assert_eq!(s.compression(), 2.0);
+    }
+
+    #[test]
+    fn empty_hierarchy_yields_zeroed_stats() {
+        // No levels installed: must not underflow computing the finest
+        // level (regression for `num_levels() - 1` on an empty stack).
+        let h = PatchHierarchy::new(
+            GridGeometry::unit(1.0),
+            BoxList::from_box(GBox::from_coords(0, 0, 16, 16)),
+            IntVector::uniform(2),
+            2,
+            0,
+            1,
+        );
+        let s = hierarchy_stats(&h);
+        assert!(s.levels.is_empty());
+        assert_eq!(s.total_cells, 0);
+        assert_eq!(s.uniform_equivalent_cells, 0);
+        assert_eq!(s.compression(), 0.0);
+        assert!(s.table().contains("compression"));
     }
 
     #[test]

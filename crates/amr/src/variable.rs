@@ -57,10 +57,7 @@ impl VariableRegistry {
     /// # Panics
     /// Panics on duplicate names or negative ghost widths.
     pub fn register(&mut self, name: &str, centring: Centring, ghosts: IntVector) -> VariableId {
-        assert!(
-            self.vars.iter().all(|v| v.name != name),
-            "variable {name:?} registered twice"
-        );
+        assert!(self.vars.iter().all(|v| v.name != name), "variable {name:?} registered twice");
         assert!(ghosts.all_ge(IntVector::ZERO), "variable {name:?} has negative ghosts");
         let id = VariableId(self.vars.len());
         self.vars.push(Variable { id, name: name.to_owned(), centring, ghosts });

@@ -8,7 +8,7 @@ use rbamr_amr::nesting::is_properly_nested;
 use rbamr_amr::ops::ConservativeCellRefine;
 use rbamr_amr::regrid::{CellTagger, TransferSpec};
 use rbamr_amr::{
-    GridGeometry, HostDataFactory, PatchHierarchy, Regridder, RegridParams, TagBitmap,
+    GridGeometry, HostDataFactory, PatchHierarchy, RegridParams, Regridder, TagBitmap,
     VariableRegistry,
 };
 use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
@@ -33,10 +33,11 @@ impl CellTagger for SeedTagger {
                         // (refined seeds on finer levels), so multi-level
                         // hierarchies form around them.
                         let ratio = h.cumulative_ratio(level);
-                        let hit = self
-                            .seeds
-                            .iter()
-                            .any(|s| s.scale(ratio) == q || GBox::new(s.scale(ratio), (*s + IntVector::ONE).scale(ratio)).contains(q));
+                        let hit = self.seeds.iter().any(|s| {
+                            s.scale(ratio) == q
+                                || GBox::new(s.scale(ratio), (*s + IntVector::ONE).scale(ratio))
+                                    .contains(q)
+                        });
                         i32::from(hit)
                     })
                     .collect();

@@ -45,11 +45,8 @@ fn bench_patch_granularity(c: &mut Criterion) {
     let mut group = c.benchmark_group("patch-granularity");
     group.sample_size(10);
     for &max_patch in &[16i64, 64] {
-        let mut config = HydroConfig {
-            regrid_interval: 0,
-            max_patch_size: max_patch,
-            ..HydroConfig::default()
-        };
+        let mut config =
+            HydroConfig { regrid_interval: 0, max_patch_size: max_patch, ..HydroConfig::default() };
         config.regrid.max_patch_size = max_patch;
         let mut sim = HydroSim::new(
             Machine::ipa_gpu(),
@@ -65,13 +62,9 @@ fn bench_patch_granularity(c: &mut Criterion) {
             1,
         );
         sim.initialize(None);
-        group.bench_with_input(
-            BenchmarkId::new("device-step", max_patch),
-            &max_patch,
-            |b, _| {
-                b.iter(|| sim.step(None));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("device-step", max_patch), &max_patch, |b, _| {
+            b.iter(|| sim.step(None));
+        });
     }
     group.finish();
 }

@@ -100,7 +100,8 @@ fn bench_coarsen(c: &mut Criterion) {
             DeviceData::<f64>::new(&device, coarse_box.refine(R2), IntVector::ZERO, Centring::Cell);
         let ones = vec![1.3; drho.buffer().len()];
         drho.upload_all(&ones, Category::Other);
-        let mut dcoarse = DeviceData::<f64>::new(&device, coarse_box, IntVector::ZERO, Centring::Cell);
+        let mut dcoarse =
+            DeviceData::<f64>::new(&device, coarse_box, IntVector::ZERO, Centring::Cell);
 
         group.bench_with_input(BenchmarkId::new("volume-weighted-device", n), &n, |b, _| {
             b.iter(|| {
@@ -109,7 +110,13 @@ fn bench_coarsen(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("mass-weighted-device", n), &n, |b, _| {
             b.iter(|| {
-                dev_ops::DeviceMassWeightedCoarsen.coarsen(&mut dcoarse, &dfine, &[&drho], &fill, R2)
+                dev_ops::DeviceMassWeightedCoarsen.coarsen(
+                    &mut dcoarse,
+                    &dfine,
+                    &[&drho],
+                    &fill,
+                    R2,
+                )
             });
         });
     }

@@ -1,0 +1,39 @@
+//! Criterion benchmark of the telemetry recorder's overhead on the hot
+//! path: a full Sod hydro step with the recorder disabled (the default)
+//! versus attached. The disabled case must match the un-instrumented
+//! baseline — every call site guards on `Recorder::is_enabled`, so a
+//! disabled recorder costs one relaxed atomic load per guard.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbamr_bench::sod_sim;
+use rbamr_hydro::Placement;
+use rbamr_perfmodel::{Clock, Machine};
+use rbamr_telemetry::Recorder;
+
+fn bench_step_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry");
+    group.sample_size(10);
+    for &n in &[32i64, 64] {
+        let mut sim =
+            sod_sim(Machine::ipa_gpu(), Placement::Device, Clock::new(), n, n, 2, 1 << 20, 0, 1);
+        sim.initialize(None);
+        sim.step(None); // warm-up: dt ramp + lazy allocations
+        group.bench_with_input(BenchmarkId::new("step-disabled", n), &n, |b, _| {
+            b.iter(|| sim.step(None));
+        });
+
+        let clock = Clock::new();
+        let mut traced =
+            sod_sim(Machine::ipa_gpu(), Placement::Device, clock.clone(), n, n, 2, 1 << 20, 0, 1);
+        traced.set_recorder(Recorder::new(0, clock));
+        traced.initialize(None);
+        traced.step(None);
+        group.bench_with_input(BenchmarkId::new("step-recording", n), &n, |b, _| {
+            b.iter(|| traced.step(None));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_overhead);
+criterion_main!(benches);

@@ -84,11 +84,8 @@ fn overlap_ablation() {
     for placement in [Placement::Device, Placement::DeviceCopyBack] {
         let mut per_mode = Vec::new();
         for overlap in [false, true] {
-            let mut config = HydroConfig {
-                regrid_interval: 0,
-                max_patch_size: 64,
-                ..HydroConfig::default()
-            };
+            let mut config =
+                HydroConfig { regrid_interval: 0, max_patch_size: 64, ..HydroConfig::default() };
             config.regrid.max_patch_size = 64;
             let mut sim = HydroSim::new(
                 Machine::ipa_gpu(),
@@ -150,10 +147,21 @@ fn residency_ablation() {
     let (resident, resident_pcie, launches) = run_placement(Placement::Device);
     let (copy_back, copyback_pcie, _) = run_placement(Placement::DeviceCopyBack);
     println!("per-step results, 256^2 Sod, 3 levels (~{launches} kernel launches/step):");
-    println!("  resident (paper design)   : {:>9.2} ms, {:>12} B PCIe/step", resident * 1e3, resident_pcie);
-    println!("  copy-back (naive port)    : {:>9.2} ms, {:>12} B PCIe/step", copy_back * 1e3, copyback_pcie);
+    println!(
+        "  resident (paper design)   : {:>9.2} ms, {:>12} B PCIe/step",
+        resident * 1e3,
+        resident_pcie
+    );
+    println!(
+        "  copy-back (naive port)    : {:>9.2} ms, {:>12} B PCIe/step",
+        copy_back * 1e3,
+        copyback_pcie
+    );
     println!("  residency speedup         : {:>9.2}x", copy_back / resident);
-    println!("  PCIe traffic ratio        : {:>9.0}x\n", copyback_pcie as f64 / resident_pcie.max(1) as f64);
+    println!(
+        "  PCIe traffic ratio        : {:>9.0}x\n",
+        copyback_pcie as f64 / resident_pcie.max(1) as f64
+    );
 }
 
 #[allow(dead_code)]

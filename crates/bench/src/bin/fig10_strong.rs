@@ -106,19 +106,10 @@ fn main() {
         println!("wrote {}", p.display());
     }
     println!("{}", "-".repeat(62));
-    println!(
-        "one-node GPU advantage: {:.2}x   (paper: 4.87x)",
-        first_speedup.unwrap_or(0.0)
-    );
-    println!(
-        "eight-node GPU advantage: {:.2}x (paper: 1.92x)",
-        last_speedup.unwrap_or(0.0)
-    );
+    println!("one-node GPU advantage: {:.2}x   (paper: 4.87x)", first_speedup.unwrap_or(0.0));
+    println!("eight-node GPU advantage: {:.2}x (paper: 1.92x)", last_speedup.unwrap_or(0.0));
     if let (Some(&(_, t1)), Some(&(_, t8))) = (gpu_times.first(), gpu_times.last()) {
-        println!(
-            "GPU parallel efficiency 1->8 nodes: {:.0}%",
-            t1 / t8 / 8.0 * 100.0
-        );
+        println!("GPU parallel efficiency 1->8 nodes: {:.0}%", t1 / t8 / 8.0 * 100.0);
     }
     if !full {
         println!("\n(run with --full for the paper's 6.4M-zone problem)");

@@ -19,12 +19,13 @@
 //! cargo run --release -p rbamr-bench --bin fig11_weak
 //! ```
 
-use rbamr_bench::{csv_dir_arg, measure_profile, write_csv};
+use rbamr_bench::{csv_dir_arg, measure_profile, metrics_path_arg, trace_path_arg, write_csv};
 use rbamr_hydro::{HydroConfig, HydroSim, Placement};
 use rbamr_netsim::Cluster;
 use rbamr_perfmodel::{Category, Machine};
 use rbamr_problems::synthetic::WeakScalingModel;
 use rbamr_problems::triple_point::{triple_point_regions, TRIPLE_POINT_EXTENT};
+use rbamr_telemetry::{chrome_trace, fig11_report, metrics_json, MetricsSnapshot, Recorder};
 
 const LEVELS: usize = 3;
 
@@ -40,6 +41,8 @@ struct RealRun {
     patches_per_rank: f64,
     /// Device kernel launches per rank per step.
     launches_per_step: f64,
+    /// Per-rank telemetry recorders (span traces and counters).
+    recorders: Vec<Recorder>,
 }
 
 fn run_real(ranks: usize, coarse_per_rank: i64, max_patch: i64) -> RealRun {
@@ -47,12 +50,11 @@ fn run_real(ranks: usize, coarse_per_rank: i64, max_patch: i64) -> RealRun {
     let total_coarse = coarse_per_rank * ranks as i64;
     let ny = ((total_coarse as f64 / (7.0 / 3.0)).sqrt()) as i64;
     let nx = ny * 7 / 3;
-    let results = cluster.run(ranks, |comm| {
-        let mut config = HydroConfig {
-            regrid_interval: 0,
-            max_patch_size: max_patch,
-            ..HydroConfig::default()
-        };
+    let results = cluster.run(ranks, |mut comm| {
+        let rec = Recorder::new(comm.rank(), comm.clock().clone());
+        comm.set_recorder(rec.clone());
+        let mut config =
+            HydroConfig { regrid_interval: 0, max_patch_size: max_patch, ..HydroConfig::default() };
         config.regrid.max_patch_size = max_patch;
         let mut sim = HydroSim::new(
             Machine::titan(),
@@ -67,6 +69,7 @@ fn run_real(ranks: usize, coarse_per_rank: i64, max_patch: i64) -> RealRun {
             comm.rank(),
             comm.size(),
         );
+        sim.set_recorder(rec.clone());
         sim.initialize(Some(&comm));
         let dev = sim.device().expect("device build").clone();
         dev.reset_transfer_stats();
@@ -75,10 +78,9 @@ fn run_real(ranks: usize, coarse_per_rank: i64, max_patch: i64) -> RealRun {
         let cells_per_level: Vec<f64> = (0..sim.hierarchy().num_levels())
             .map(|l| sim.hierarchy().level(l).num_cells() as f64 / comm.size() as f64)
             .collect();
-        let patches: usize = (0..sim.hierarchy().num_levels())
-            .map(|l| sim.hierarchy().level(l).num_patches())
-            .sum();
-        (profile, cells_per_level, patches as f64 / comm.size() as f64, launches)
+        let patches: usize =
+            (0..sim.hierarchy().num_levels()).map(|l| sim.hierarchy().level(l).num_patches()).sum();
+        (profile, cells_per_level, patches as f64 / comm.size() as f64, launches, rec)
     });
     let mut out = RealRun {
         hydro: 0.0,
@@ -88,14 +90,14 @@ fn run_real(ranks: usize, coarse_per_rank: i64, max_patch: i64) -> RealRun {
         cells_per_level: results[0].value.1.clone(),
         patches_per_rank: results[0].value.2,
         launches_per_step: 0.0,
+        recorders: results.iter().map(|r| r.value.4.clone()).collect(),
     };
     for r in &results {
         out.hydro = out.hydro.max(r.value.0.per_step.hydrodynamics());
         out.timestep = out.timestep.max(r.value.0.per_step.get(Category::Timestep));
         out.sync = out.sync.max(r.value.0.per_step.get(Category::Synchronize));
-        out.regrid = out
-            .regrid
-            .max(r.value.0.per_step.get(Category::Regrid) + r.value.0.regrid / 10.0);
+        out.regrid =
+            out.regrid.max(r.value.0.per_step.get(Category::Regrid) + r.value.0.regrid / 10.0);
         out.launches_per_step = out.launches_per_step.max(r.value.3);
     }
     out
@@ -151,6 +153,29 @@ fn main() {
             .map(|(l, &c)| (c / (base.cells_per_level[0] * 4f64.powi(l as i32)) * 100.0).round())
             .collect::<Vec<_>>()
     );
+
+    // --- Telemetry: span-derived breakdown vs. the raw clock ----------
+    let snap = MetricsSnapshot::from_recorders(&base.recorders);
+    println!("\nspan-derived breakdown (Fig. 11 series, clock vs. spans):");
+    print!("{}", fig11_report(&snap.clock, &snap.spans));
+    assert!(
+        snap.agreement_within(0.01),
+        "span-derived breakdown disagrees with the clock by more than 1% \
+         (coverage {:.4}): instrumentation has a gap",
+        snap.coverage()
+    );
+    println!(
+        "span coverage of clock-charged time: {:.2}% (agreement within 1%)",
+        snap.coverage() * 100.0
+    );
+    if let Some(path) = trace_path_arg() {
+        std::fs::write(&path, chrome_trace(&base.recorders)).expect("write trace");
+        println!("wrote Chrome trace to {}", path.display());
+    }
+    if let Some(path) = metrics_path_arg() {
+        std::fs::write(&path, metrics_json(&base.recorders)).expect("write metrics");
+        println!("wrote metrics snapshot to {}", path.display());
+    }
 
     let mut model = WeakScalingModel::titan_paper();
     model.calib.kernel_launches_per_patch_step = launch_per_patch;

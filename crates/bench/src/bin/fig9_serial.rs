@@ -70,7 +70,12 @@ fn main() {
         }
     }
     if let Some(dir) = csv_dir_arg() {
-        let p = write_csv(&dir, "fig9_serial.csv", "coarse_zones,total_cells,cpu_s,gpu_s,speedup", &rows);
+        let p = write_csv(
+            &dir,
+            "fig9_serial.csv",
+            "coarse_zones,total_cells,cpu_s,gpu_s,speedup",
+            &rows,
+        );
         println!("\nwrote {}", p.display());
     }
     println!("{}", "-".repeat(66));

@@ -61,11 +61,8 @@ impl StepProfile {
 /// regrids explicitly (interval 0) so step and regrid costs can be
 /// measured separately and recombined at the paper's cadence.
 pub fn sod_config(max_patch: i64) -> HydroConfig {
-    let mut config = HydroConfig {
-        regrid_interval: 0,
-        max_patch_size: max_patch,
-        ..HydroConfig::default()
-    };
+    let mut config =
+        HydroConfig { regrid_interval: 0, max_patch_size: max_patch, ..HydroConfig::default() };
     config.regrid.max_patch_size = max_patch;
     config.regrid.cluster.max_size = max_patch.min(1 << 20);
     config
@@ -123,6 +120,20 @@ pub fn measure_profile(
     StepProfile { per_step, regrid, total_cells: sim.hierarchy().total_cells() }
 }
 
+/// As [`measure_profile`], also returning the telemetry snapshot of the
+/// simulation's recorder (counters, gauges, and the span-derived time
+/// breakdown). The snapshot is empty unless a recorder was attached via
+/// [`HydroSim::set_recorder`] before stepping.
+pub fn measure_profile_traced(
+    sim: &mut HydroSim,
+    comm: Option<&Comm>,
+    measure_steps: usize,
+) -> (StepProfile, rbamr_telemetry::MetricsSnapshot) {
+    let profile = measure_profile(sim, comm, measure_steps);
+    let snapshot = rbamr_telemetry::MetricsSnapshot::from_recorder(sim.recorder());
+    (profile, snapshot)
+}
+
 /// `(after - before) * scale`, per category.
 pub fn diff_scaled(before: &TimeBreakdown, after: &TimeBreakdown, scale: f64) -> TimeBreakdown {
     let clock = Clock::new();
@@ -151,7 +162,12 @@ pub fn fmt_secs(s: f64) -> String {
 ///
 /// # Panics
 /// Panics on I/O errors — the harness should fail loudly.
-pub fn write_csv(dir: &std::path::Path, name: &str, header: &str, rows: &[Vec<f64>]) -> std::path::PathBuf {
+pub fn write_csv(
+    dir: &std::path::Path,
+    name: &str,
+    header: &str,
+    rows: &[Vec<f64>],
+) -> std::path::PathBuf {
     std::fs::create_dir_all(dir).expect("csv: create dir");
     let path = dir.join(name);
     let mut out = String::new();
@@ -168,11 +184,25 @@ pub fn write_csv(dir: &std::path::Path, name: &str, header: &str, rows: &[Vec<f6
 
 /// Parse an optional `--csv <dir>` argument.
 pub fn csv_dir_arg() -> Option<std::path::PathBuf> {
+    path_arg("--csv")
+}
+
+/// Parse an optional `--trace <file>` argument (Chrome trace-event JSON
+/// output path).
+pub fn trace_path_arg() -> Option<std::path::PathBuf> {
+    path_arg("--trace")
+}
+
+/// Parse an optional `--metrics <file>` argument (flat JSON metrics
+/// snapshot output path).
+pub fn metrics_path_arg() -> Option<std::path::PathBuf> {
+    path_arg("--metrics")
+}
+
+/// Parse an optional `<flag> <path>` pair from the process arguments.
+pub fn path_arg(flag: &str) -> Option<std::path::PathBuf> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(std::path::PathBuf::from)
 }
 
 /// The Figure 9/10 resolution ladder: coarse zone counts from ~3,125 to
@@ -205,17 +235,8 @@ mod tests {
 
     #[test]
     fn sod_profile_measures_something() {
-        let mut sim = sod_sim(
-            Machine::ipa_gpu(),
-            Placement::Device,
-            Clock::new(),
-            32,
-            32,
-            2,
-            1 << 20,
-            0,
-            1,
-        );
+        let mut sim =
+            sod_sim(Machine::ipa_gpu(), Placement::Device, Clock::new(), 32, 32, 2, 1 << 20, 0, 1);
         sim.initialize(None);
         let p = measure_profile(&mut sim, None, 2);
         assert!(p.per_step.total() > 0.0);

@@ -94,10 +94,7 @@ pub fn par_rows_mut(data: &mut [f64], row_len: usize, f: impl Fn(usize, &mut [f6
 /// Parallel reduction to a minimum over `0..n`, evaluating `f(i)` per
 /// logical thread — the shape of the device dt-reduction kernel.
 pub fn par_reduce_min(n: usize, f: impl Fn(usize) -> f64 + Sync + Send) -> f64 {
-    (0..n)
-        .into_par_iter()
-        .map(f)
-        .reduce(|| f64::INFINITY, f64::min)
+    (0..n).into_par_iter().map(f).reduce(|| f64::INFINITY, f64::min)
 }
 
 /// Parallel reduction to a sum over `0..n`.

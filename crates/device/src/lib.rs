@@ -31,7 +31,8 @@ pub use stream::{Event, Stream};
 
 use parking_lot::Mutex;
 use rbamr_perfmodel::{Category, Clock, CostModel, KernelShape, Machine};
-use std::sync::atomic::{AtomicU64, Ordering};
+use rbamr_telemetry::Recorder;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Transfer and allocation statistics for one device.
@@ -70,6 +71,10 @@ struct DeviceInner {
     kernel_launches: AtomicU64,
     allocated: AtomicU64,
     peak_allocated: AtomicU64,
+    /// Telemetry handle; the flag mirrors `recorder.is_enabled()` so
+    /// the disabled path costs one relaxed load, no lock.
+    recorder: Mutex<Recorder>,
+    telemetry_on: AtomicBool,
     /// Device id, for diagnostics when several devices exist in one
     /// process (one per simulated rank).
     id: u64,
@@ -97,7 +102,11 @@ impl Device {
     /// # Panics
     /// Panics if `machine` has no accelerator.
     pub fn new(machine: Machine, clock: Clock) -> Self {
-        assert!(machine.device.is_some(), "Device::new: machine {} has no accelerator", machine.name);
+        assert!(
+            machine.device.is_some(),
+            "Device::new: machine {} has no accelerator",
+            machine.name
+        );
         Self {
             inner: Arc::new(DeviceInner {
                 cost: CostModel::new(machine),
@@ -111,6 +120,8 @@ impl Device {
                 kernel_launches: AtomicU64::new(0),
                 allocated: AtomicU64::new(0),
                 peak_allocated: AtomicU64::new(0),
+                recorder: Mutex::new(Recorder::disabled()),
+                telemetry_on: AtomicBool::new(false),
                 id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
                 _default_stream: Mutex::new(()),
             }),
@@ -138,6 +149,32 @@ impl Device {
         &self.inner.cost
     }
 
+    /// Attach a telemetry recorder; every launch, transfer, and
+    /// allocation reports spans/counters through it from then on.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        self.inner.telemetry_on.store(recorder.is_enabled(), Ordering::Relaxed);
+        *self.inner.recorder.lock() = recorder;
+    }
+
+    /// The attached recorder (a disabled one if never set), for layers
+    /// above the device (pack/unpack, tag kernels) to record through.
+    pub fn recorder(&self) -> Recorder {
+        if self.inner.telemetry_on.load(Ordering::Relaxed) {
+            self.inner.recorder.lock().clone()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    #[inline]
+    fn telemetry(&self) -> Option<Recorder> {
+        if self.inner.telemetry_on.load(Ordering::Relaxed) {
+            Some(self.inner.recorder.lock().clone())
+        } else {
+            None
+        }
+    }
+
     /// Enable or disable transfer/compute overlap — the paper's Section
     /// VI future work ("overlapping data transfer and computation").
     /// When enabled, PCIe transfers hide behind kernel time accumulated
@@ -145,9 +182,7 @@ impl Device {
     /// only the exposed remainder is charged to the clock. Data
     /// semantics are unchanged; only the timing model differs.
     pub fn set_transfer_overlap(&self, enabled: bool) {
-        self.inner
-            .overlap_enabled
-            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+        self.inner.overlap_enabled.store(enabled, std::sync::atomic::Ordering::Relaxed);
         if !enabled {
             *self.inner.overlap_credit.lock() = 0.0;
         }
@@ -184,7 +219,10 @@ impl Device {
     /// # Errors
     /// Returns [`DeviceError::OutOfMemory`] if the allocation would
     /// exceed the modelled device capacity (6 GB for the K20x).
-    pub fn try_alloc<T: memory::DeviceCopy>(&self, len: usize) -> Result<DeviceBuffer<T>, DeviceError> {
+    pub fn try_alloc<T: memory::DeviceCopy>(
+        &self,
+        len: usize,
+    ) -> Result<DeviceBuffer<T>, DeviceError> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
         let capacity = self.inner.cost.machine().device().memory_bytes;
         let prev = self.inner.allocated.fetch_add(bytes, Ordering::Relaxed);
@@ -193,6 +231,11 @@ impl Device {
             return Err(DeviceError::OutOfMemory { requested: bytes, in_use: prev, capacity });
         }
         self.inner.peak_allocated.fetch_max(prev + bytes, Ordering::Relaxed);
+        if let Some(rec) = self.telemetry() {
+            rec.count("device.allocs", 1);
+            rec.count("device.alloc_bytes", bytes);
+            rec.gauge_max("device.peak_bytes", prev + bytes);
+        }
         Ok(DeviceBuffer::new_zeroed(len, self.clone()))
     }
 
@@ -220,11 +263,17 @@ impl Device {
         src: &[T],
         category: Category,
     ) {
+        let rec = self.telemetry();
+        let _span = rec.as_ref().map(|r| r.span("h2d-copy", category));
         dst.host_write(offset, src);
         let bytes = std::mem::size_of_val(src) as u64;
         self.inner.h2d_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.inner.h2d_transfers.fetch_add(1, Ordering::Relaxed);
         self.charge_transfer(category, self.inner.cost.pcie(bytes));
+        if let Some(rec) = &rec {
+            rec.count("device.h2d_bytes", bytes);
+            rec.count("device.h2d_transfers", 1);
+        }
     }
 
     /// Copy from the device buffer starting at element `offset` into
@@ -239,11 +288,17 @@ impl Device {
         dst: &mut [T],
         category: Category,
     ) {
+        let rec = self.telemetry();
+        let _span = rec.as_ref().map(|r| r.span("d2h-copy", category));
         src.host_read(offset, dst);
         let bytes = std::mem::size_of_val(dst) as u64;
         self.inner.d2h_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.inner.d2h_transfers.fetch_add(1, Ordering::Relaxed);
         self.charge_transfer(category, self.inner.cost.pcie(bytes));
+        if let Some(rec) = &rec {
+            rec.count("device.d2h_bytes", bytes);
+            rec.count("device.d2h_transfers", 1);
+        }
     }
 
     /// Launch a kernel: run `body` with a [`Kernel`] access token, count
@@ -256,12 +311,32 @@ impl Device {
     /// overlap to future work).
     pub fn launch<R>(
         &self,
+        stream: &Stream,
+        category: Category,
+        shape: KernelShape,
+        body: impl FnOnce(Kernel<'_>) -> R,
+    ) -> R {
+        self.launch_named(stream, "kernel", category, shape, body)
+    }
+
+    /// [`Device::launch`] with a kernel name for telemetry: the launch
+    /// is recorded as a span and counted under
+    /// `device.kernel_launches.<name>`.
+    pub fn launch_named<R>(
+        &self,
         _stream: &Stream,
+        name: &'static str,
         category: Category,
         shape: KernelShape,
         body: impl FnOnce(Kernel<'_>) -> R,
     ) -> R {
         self.inner.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        let rec = self.telemetry();
+        let _span = rec.as_ref().map(|r| r.span(name, category));
+        if let Some(rec) = &rec {
+            rec.count("device.kernel_launches", 1);
+            rec.count(&format!("device.kernel_launches.{name}"), 1);
+        }
         let kernel_cost = self.inner.cost.device_kernel(shape);
         self.inner.clock.advance(category, kernel_cost);
         self.bank_credit(kernel_cost);
@@ -431,7 +506,12 @@ mod tests {
         dev.set_transfer_overlap(true);
         // Bank far more kernel time than the window allows.
         for _ in 0..100 {
-            dev.launch(&stream, Category::HydroKernel, KernelShape::streaming(1 << 20, 8, 1), |_k| ());
+            dev.launch(
+                &stream,
+                Category::HydroKernel,
+                KernelShape::streaming(1 << 20, 8, 1),
+                |_k| (),
+            );
         }
         // A transfer bigger than the window is only partially hidden.
         let big = vec![0.0f64; 4 << 20]; // 32 MB ~ 6 ms of PCIe

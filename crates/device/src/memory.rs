@@ -111,9 +111,7 @@ impl<T: DeviceCopy> DeviceBuffer<T> {
     }
 
     pub(crate) fn host_write(&mut self, offset: usize, src: &[T]) {
-        let end = offset
-            .checked_add(src.len())
-            .expect("DeviceBuffer: transfer range overflow");
+        let end = offset.checked_add(src.len()).expect("DeviceBuffer: transfer range overflow");
         assert!(
             end <= self.data.len(),
             "DeviceBuffer: H2D range {offset}..{end} out of bounds (len {})",
@@ -123,9 +121,7 @@ impl<T: DeviceCopy> DeviceBuffer<T> {
     }
 
     pub(crate) fn host_read(&self, offset: usize, dst: &mut [T]) {
-        let end = offset
-            .checked_add(dst.len())
-            .expect("DeviceBuffer: transfer range overflow");
+        let end = offset.checked_add(dst.len()).expect("DeviceBuffer: transfer range overflow");
         assert!(
             end <= self.data.len(),
             "DeviceBuffer: D2H range {offset}..{end} out of bounds (len {})",
@@ -143,7 +139,13 @@ impl<T: DeviceCopy> Drop for DeviceBuffer<T> {
 
 impl<T: DeviceCopy> fmt::Debug for DeviceBuffer<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DeviceBuffer<{}>[{}] on device {}", std::any::type_name::<T>(), self.len(), self.device.id())
+        write!(
+            f,
+            "DeviceBuffer<{}>[{}] on device {}",
+            std::any::type_name::<T>(),
+            self.len(),
+            self.device.id()
+        )
     }
 }
 

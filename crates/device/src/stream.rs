@@ -66,11 +66,7 @@ impl Stream {
     /// Panics if the event was never recorded — the real API would
     /// deadlock or misorder; surfacing the bug loudly is strictly better.
     pub fn wait_event(&self, event: &Event) {
-        assert!(
-            event.is_recorded(),
-            "stream {} waited on event that was never recorded",
-            self.id
-        );
+        assert!(event.is_recorded(), "stream {} waited on event that was never recorded", self.id);
         assert_eq!(
             self.device_id, event.device_id,
             "stream {} waited on an event from another device",

@@ -121,12 +121,7 @@ impl BoxList {
 
     /// The intersection of the region with a single box.
     pub fn intersect_box(&self, b: GBox) -> BoxList {
-        let boxes = self
-            .boxes
-            .iter()
-            .map(|m| m.intersect(b))
-            .filter(|m| !m.is_empty())
-            .collect();
+        let boxes = self.boxes.iter().map(|m| m.intersect(b)).filter(|m| !m.is_empty()).collect();
         BoxList { boxes }
     }
 
@@ -171,9 +166,7 @@ impl BoxList {
 
     /// The bounding box of the whole region.
     pub fn bounding(&self) -> GBox {
-        self.boxes
-            .iter()
-            .fold(GBox::EMPTY, |acc, &b| acc.bounding(b))
+        self.boxes.iter().fold(GBox::EMPTY, |acc, &b| acc.bounding(b))
     }
 
     /// Merge adjacent boxes that form exact rectangles, reducing

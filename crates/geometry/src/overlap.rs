@@ -77,11 +77,7 @@ pub fn ghost_overlaps(
 /// Compute the overlap for a plain interior-to-interior copy (used when
 /// data moves between old and new patches during regridding): the
 /// intersection of the two data boxes, without ghost growth.
-pub fn copy_overlap(
-    dst_cell_box: GBox,
-    src_cell_box: GBox,
-    centring: Centring,
-) -> BoxOverlap {
+pub fn copy_overlap(dst_cell_box: GBox, src_cell_box: GBox, centring: Centring) -> BoxOverlap {
     let dst_data = centring.data_box(dst_cell_box);
     let src_data = centring.data_box(src_cell_box);
     let fill = BoxList::from_box(dst_data.intersect(src_data));
@@ -111,13 +107,8 @@ mod tests {
 
     #[test]
     fn distant_patches_do_not_overlap() {
-        let ov = ghost_overlaps(
-            b(0, 0, 4, 4),
-            G2,
-            b(10, 10, 14, 14),
-            Centring::Cell,
-            IntVector::ZERO,
-        );
+        let ov =
+            ghost_overlaps(b(0, 0, 4, 4), G2, b(10, 10, 14, 14), Centring::Cell, IntVector::ZERO);
         assert!(ov.is_empty());
     }
 

@@ -5,9 +5,8 @@ use proptest::prelude::*;
 use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
 
 fn arb_box() -> impl Strategy<Value = GBox> {
-    (-50i64..50, -50i64..50, 1i64..30, 1i64..30).prop_map(|(x, y, w, h)| {
-        GBox::from_coords(x, y, x + w, y + h)
-    })
+    (-50i64..50, -50i64..50, 1i64..30, 1i64..30)
+        .prop_map(|(x, y, w, h)| GBox::from_coords(x, y, x + w, y + h))
 }
 
 fn arb_ratio() -> impl Strategy<Value = IntVector> {

@@ -5,8 +5,8 @@ use crate::pack::{copy_region, pack_region, region_threads, unpack_region};
 use bytes::Bytes;
 use rbamr_amr::patchdata::{validate_overlap, Element, PatchData};
 use rbamr_amr::variable::{DataFactory, Variable};
-use rbamr_device::{Device, DeviceBuffer, Stream};
 use rbamr_device::memory::DeviceCopy;
+use rbamr_device::{Device, DeviceBuffer, Stream};
 use rbamr_geometry::{BoxOverlap, Centring, GBox, IntVector};
 use rbamr_perfmodel::{Category, KernelShape};
 use std::any::Any;
@@ -232,7 +232,7 @@ impl<T: DeviceElement> PatchData for DeviceData<T> {
         let shape = KernelShape::streaming(overlap.num_values(), 2, 0);
         self.stream.submit();
         let (dst_buf, src_buf, src_dbox) = (&mut self.buf, &src.buf, src.dbox);
-        device.launch(&self.stream, category, shape, |k| {
+        device.launch_named(&self.stream, "copy-region", category, shape, |k| {
             let src_slice = src_buf.as_slice(&k);
             let dst_slice = dst_buf.as_mut_slice(&k);
             for fill in overlap.dst_boxes.boxes() {
@@ -248,6 +248,7 @@ impl<T: DeviceElement> PatchData for DeviceData<T> {
     fn pack(&self, overlap: &BoxOverlap) -> Bytes {
         let device = self.buf.device().clone();
         let total = overlap.num_values() as usize;
+        device.recorder().count("pack.bytes", (total * T::BYTES) as u64);
         // Stage the packed values in device memory (the contiguous
         // `cuda_stream` buffer of Figure 4), then one D2H transfer.
         let mut staging = device.alloc::<T>(total);
@@ -256,13 +257,19 @@ impl<T: DeviceElement> PatchData for DeviceData<T> {
             self.stream.submit();
             let (src_buf, src_dbox) = (&self.buf, self.dbox);
             let staging_ref = &mut staging;
-            device.launch(&self.stream, self.category, shape, |k| {
+            device.launch_named(&self.stream, "pack", self.category, shape, |k| {
                 let src_slice = src_buf.as_slice(&k);
                 let out = staging_ref.as_mut_slice(&k);
                 let mut offset = 0usize;
                 for fill in overlap.dst_boxes.boxes() {
                     let n = region_threads(*fill);
-                    pack_region(&mut out[offset..offset + n], src_slice, src_dbox, *fill, overlap.shift);
+                    pack_region(
+                        &mut out[offset..offset + n],
+                        src_slice,
+                        src_dbox,
+                        *fill,
+                        overlap.shift,
+                    );
                     offset += n;
                 }
             });
@@ -288,7 +295,7 @@ impl<T: DeviceElement> PatchData for DeviceData<T> {
         self.stream.submit();
         let shape = KernelShape::streaming(pairs.len() as i64, 2, 0);
         let buf = &mut self.buf;
-        device.launch(&self.stream, self.category, shape, |k| {
+        device.launch_named(&self.stream, "extend-uncovered", self.category, shape, |k| {
             let slice = buf.as_mut_slice(&k);
             // Sources are covered cells, targets uncovered: disjoint.
             let vals: Vec<T> = pairs.iter().map(|&(_, s)| slice[s]).collect();
@@ -302,6 +309,7 @@ impl<T: DeviceElement> PatchData for DeviceData<T> {
         assert_eq!(stream.len(), self.stream_size(overlap), "unpack: stream length mismatch");
         let device = self.buf.device().clone();
         let total = overlap.num_values() as usize;
+        device.recorder().count("unpack.bytes", (total * T::BYTES) as u64);
         let mut host = Vec::with_capacity(total);
         let mut cursor = 0usize;
         for _ in 0..total {
@@ -317,7 +325,7 @@ impl<T: DeviceElement> PatchData for DeviceData<T> {
             self.stream.submit();
             let dst_buf = &mut self.buf;
             let staging_ref = &staging;
-            device.launch(&self.stream, self.category, shape, |k| {
+            device.launch_named(&self.stream, "unpack", self.category, shape, |k| {
                 let input = staging_ref.as_slice(&k);
                 let dst_slice = dst_buf.as_mut_slice(&k);
                 let mut offset = 0usize;
@@ -384,7 +392,8 @@ mod tests {
     #[test]
     fn allocation_and_layout_match_host() {
         let device = dev();
-        let d = DeviceData::<f64>::new(&device, b(0, 0, 4, 4), IntVector::uniform(2), Centring::Node);
+        let d =
+            DeviceData::<f64>::new(&device, b(0, 0, 4, 4), IntVector::uniform(2), Centring::Node);
         assert_eq!(d.data_box(), b(-2, -2, 7, 7));
         assert_eq!(d.buffer().len(), 81);
         assert_eq!(device.stats().allocated_bytes, 81 * 8);
@@ -396,7 +405,8 @@ mod tests {
         let ghosts = IntVector::uniform(2);
         let src = filled(&device, b(4, 0, 8, 4), ghosts);
         let mut dst = DeviceData::<f64>::new(&device, b(0, 0, 4, 4), ghosts, Centring::Cell);
-        let ov = ghost_overlaps(b(0, 0, 4, 4), ghosts, b(4, 0, 8, 4), Centring::Cell, IntVector::ZERO);
+        let ov =
+            ghost_overlaps(b(0, 0, 4, 4), ghosts, b(4, 0, 8, 4), Centring::Cell, IntVector::ZERO);
         dst.copy_from(&src, &ov);
         let host = dst.download_all(Category::Other);
         let dbox = dst.data_box();
@@ -426,7 +436,8 @@ mod tests {
         let device = dev();
         let ghosts = IntVector::uniform(2);
         let src = filled(&device, b(4, 0, 8, 4), ghosts);
-        let ov = ghost_overlaps(b(0, 0, 4, 4), ghosts, b(4, 0, 8, 4), Centring::Cell, IntVector::ZERO);
+        let ov =
+            ghost_overlaps(b(0, 0, 4, 4), ghosts, b(4, 0, 8, 4), Centring::Cell, IntVector::ZERO);
         let stream = src.pack(&ov);
         assert_eq!(stream.len(), src.stream_size(&ov));
         let mut dst = DeviceData::<f64>::new(&device, b(0, 0, 4, 4), ghosts, Centring::Cell);
@@ -444,7 +455,13 @@ mod tests {
         let ghosts = IntVector::uniform(2);
         let src = filled(&device, b(0, 0, 64, 64), ghosts);
         device.reset_transfer_stats();
-        let ov = ghost_overlaps(b(64, 0, 128, 64), ghosts, b(0, 0, 64, 64), Centring::Cell, IntVector::ZERO);
+        let ov = ghost_overlaps(
+            b(64, 0, 128, 64),
+            ghosts,
+            b(0, 0, 64, 64),
+            Centring::Cell,
+            IntVector::ZERO,
+        );
         let stream = src.pack(&ov);
         let stats = device.stats();
         assert_eq!(stats.d2h_bytes, stream.len() as u64);
@@ -462,7 +479,8 @@ mod tests {
         let mut dst = DeviceData::<f64>::new(&device, b(0, 0, 4, 4), ghosts, Centring::Cell);
         dst.set_transfer_category(Category::HaloExchange);
         let before = device.clock().snapshot().get(Category::HaloExchange);
-        let ov = ghost_overlaps(b(0, 0, 4, 4), ghosts, b(4, 0, 8, 4), Centring::Cell, IntVector::ZERO);
+        let ov =
+            ghost_overlaps(b(0, 0, 4, 4), ghosts, b(4, 0, 8, 4), Centring::Cell, IntVector::ZERO);
         dst.copy_from(&src, &ov);
         assert!(device.clock().snapshot().get(Category::HaloExchange) > before);
     }

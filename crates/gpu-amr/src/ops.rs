@@ -10,23 +10,19 @@
 //! host listing around each launch.
 
 use crate::data::DeviceData;
+use rayon::prelude::*;
 use rbamr_amr::ops::{CoarsenOperator, RefineOperator};
 use rbamr_amr::patchdata::PatchData;
 use rbamr_device::Event;
 use rbamr_geometry::{BoxList, GBox, IntVector};
 use rbamr_perfmodel::KernelShape;
-use rayon::prelude::*;
 
 fn device_data(d: &dyn PatchData) -> &DeviceData<f64> {
-    d.as_any()
-        .downcast_ref()
-        .expect("device operator applied to non-device data")
+    d.as_any().downcast_ref().expect("device operator applied to non-device data")
 }
 
 fn device_data_mut(d: &mut dyn PatchData) -> &mut DeviceData<f64> {
-    d.as_any_mut()
-        .downcast_mut()
-        .expect("device operator applied to non-device data")
+    d.as_any_mut().downcast_mut().expect("device operator applied to non-device data")
 }
 
 #[inline]
@@ -77,22 +73,19 @@ fn launch_refine(
     let fine_stream = dst.stream().clone();
     let dst_w = dst_dbox.size().x as usize;
     let (dst_buf, src_buf) = (dst.buffer_mut(), src.buffer());
-    device.launch(&fine_stream, category, shape, |k| {
+    device.launch_named(&fine_stream, "refine-interp", category, shape, |k| {
         let src_slice = src_buf.as_slice(&k);
         let dst_slice = dst_buf.as_mut_slice(&k);
         for fill in fine_boxes.boxes() {
             debug_assert!(dst_dbox.contains_box(*fill), "refine fill escapes dst");
             let first_row = (fill.lo.y - dst_dbox.lo.y) as usize;
             let n_rows = fill.size().y as usize;
-            dst_slice
-                .par_chunks_mut(dst_w)
-                .skip(first_row)
-                .take(n_rows)
-                .enumerate()
-                .for_each(|(r, row)| {
+            dst_slice.par_chunks_mut(dst_w).skip(first_row).take(n_rows).enumerate().for_each(
+                |(r, row)| {
                     let y = fill.lo.y + r as i64;
                     body(row, y, (fill.lo.x, fill.hi.x), src_slice);
-                });
+                },
+            );
         }
     });
     let event = Event::new(&device);
@@ -121,22 +114,19 @@ fn launch_coarsen(
     let stream = dst.stream().clone();
     let dst_w = dst_dbox.size().x as usize;
     let dst_buf = dst.buffer_mut();
-    device.launch(&stream, category, shape, |k| {
+    device.launch_named(&stream, "coarsen-project", category, shape, |k| {
         let src_slices: Vec<&[f64]> = srcs.iter().map(|s| s.buffer().as_slice(&k)).collect();
         let dst_slice = dst_buf.as_mut_slice(&k);
         for fill in coarse_boxes.boxes() {
             debug_assert!(dst_dbox.contains_box(*fill), "coarsen fill escapes dst");
             let first_row = (fill.lo.y - dst_dbox.lo.y) as usize;
             let n_rows = fill.size().y as usize;
-            dst_slice
-                .par_chunks_mut(dst_w)
-                .skip(first_row)
-                .take(n_rows)
-                .enumerate()
-                .for_each(|(r, row)| {
+            dst_slice.par_chunks_mut(dst_w).skip(first_row).take(n_rows).enumerate().for_each(
+                |(r, row)| {
                     let y = fill.lo.y + r as i64;
                     body(row, y, (fill.lo.x, fill.hi.x), &src_slices);
-                });
+                },
+            );
         }
     });
 }
@@ -153,7 +143,13 @@ impl RefineOperator for DeviceLinearNodeRefine {
         IntVector::ONE
     }
 
-    fn refine(&self, dst: &mut dyn PatchData, src: &dyn PatchData, fine_boxes: &BoxList, ratio: IntVector) {
+    fn refine(
+        &self,
+        dst: &mut dyn PatchData,
+        src: &dyn PatchData,
+        fine_boxes: &BoxList,
+        ratio: IntVector,
+    ) {
         let src = device_data(src);
         let dst = device_data_mut(dst);
         let sbox = src.data_box();
@@ -194,7 +190,13 @@ impl RefineOperator for DeviceConservativeCellRefine {
         IntVector::ONE
     }
 
-    fn refine(&self, dst: &mut dyn PatchData, src: &dyn PatchData, fine_boxes: &BoxList, ratio: IntVector) {
+    fn refine(
+        &self,
+        dst: &mut dyn PatchData,
+        src: &dyn PatchData,
+        fine_boxes: &BoxList,
+        ratio: IntVector,
+    ) {
         let src = device_data(src);
         let dst = device_data_mut(dst);
         let sbox = src.data_box();
@@ -232,7 +234,13 @@ impl RefineOperator for DeviceConstantRefine {
         IntVector::ZERO
     }
 
-    fn refine(&self, dst: &mut dyn PatchData, src: &dyn PatchData, fine_boxes: &BoxList, ratio: IntVector) {
+    fn refine(
+        &self,
+        dst: &mut dyn PatchData,
+        src: &dyn PatchData,
+        fine_boxes: &BoxList,
+        ratio: IntVector,
+    ) {
         let src = device_data(src);
         let dst = device_data_mut(dst);
         let sbox = src.data_box();
@@ -264,7 +272,13 @@ impl RefineOperator for DeviceLinearSideRefine {
         IntVector::ONE
     }
 
-    fn refine(&self, dst: &mut dyn PatchData, src: &dyn PatchData, fine_boxes: &BoxList, ratio: IntVector) {
+    fn refine(
+        &self,
+        dst: &mut dyn PatchData,
+        src: &dyn PatchData,
+        fine_boxes: &BoxList,
+        ratio: IntVector,
+    ) {
         let src = device_data(src);
         let dst = device_data_mut(dst);
         let sbox = src.data_box();
@@ -542,7 +556,8 @@ mod tests {
         let fine_box = coarse_box.refine(ratio);
         let (hsrc, dsrc) = random_pair(&device, fine_box, IntVector::ZERO, centring, seed);
         let (hrho, drho) = random_pair(&device, fine_box, IntVector::ZERO, centring, seed + 5);
-        let (mut hdst, mut ddst) = random_pair(&device, coarse_box, IntVector::ZERO, centring, seed + 9);
+        let (mut hdst, mut ddst) =
+            random_pair(&device, coarse_box, IntVector::ZERO, centring, seed + 9);
         let fill = BoxList::from_box(centring.data_box(coarse_box));
         let haux: Vec<&dyn PatchData> = if with_density { vec![&hrho] } else { vec![] };
         let daux: Vec<&dyn PatchData> = if with_density { vec![&drho] } else { vec![] };
@@ -599,7 +614,8 @@ mod tests {
     fn refine_batches_boxes_into_one_launch() {
         let device = Device::k20x();
         let (_, dsrc) = random_pair(&device, b(0, 0, 8, 8), IntVector::ONE, Centring::Cell, 1);
-        let (_, mut ddst) = random_pair(&device, b(0, 0, 16, 16), IntVector::ONE, Centring::Cell, 2);
+        let (_, mut ddst) =
+            random_pair(&device, b(0, 0, 16, 16), IntVector::ONE, Centring::Cell, 2);
         device.reset_transfer_stats();
         let fill = BoxList::from_boxes([b(0, 0, 4, 4), b(8, 8, 12, 12)]);
         DeviceConservativeCellRefine.refine(&mut ddst, &dsrc, &fill, R2);

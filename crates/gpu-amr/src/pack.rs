@@ -33,10 +33,7 @@ pub fn copy_region<T: Copy + Send + Sync>(
         return;
     }
     debug_assert!(dst_dbox.contains_box(fill), "copy_region: fill escapes dst");
-    debug_assert!(
-        src_dbox.contains_box(fill.shift(-shift)),
-        "copy_region: fill escapes src"
-    );
+    debug_assert!(src_dbox.contains_box(fill.shift(-shift)), "copy_region: fill escapes src");
     let dst_w = dst_dbox.size().x as usize;
     let src_w = src_dbox.size().x as usize;
     // Rows of dst intersecting the fill box are disjoint chunks.
@@ -44,16 +41,12 @@ pub fn copy_region<T: Copy + Send + Sync>(
     let n_rows = fill.size().y as usize;
     let x0 = (fill.lo.x - dst_dbox.lo.x) as usize;
     let w = fill.size().x as usize;
-    dst.par_chunks_mut(dst_w)
-        .skip(first_row)
-        .take(n_rows)
-        .enumerate()
-        .for_each(|(r, row)| {
-            let sy = fill.lo.y + r as i64 - shift.y;
-            let sx0 = (fill.lo.x - shift.x - src_dbox.lo.x) as usize;
-            let s_off = (sy - src_dbox.lo.y) as usize * src_w + sx0;
-            row[x0..x0 + w].copy_from_slice(&src[s_off..s_off + w]);
-        });
+    dst.par_chunks_mut(dst_w).skip(first_row).take(n_rows).enumerate().for_each(|(r, row)| {
+        let sy = fill.lo.y + r as i64 - shift.y;
+        let sx0 = (fill.lo.x - shift.x - src_dbox.lo.x) as usize;
+        let s_off = (sy - src_dbox.lo.y) as usize * src_w + sx0;
+        row[x0..x0 + w].copy_from_slice(&src[s_off..s_off + w]);
+    });
 }
 
 /// Pack `fill` (in the source's index space after un-shifting) from
@@ -76,7 +69,8 @@ pub fn pack_region<T: Copy + Send + Sync>(
     let w = fill.size().x as usize;
     out.par_chunks_mut(w).enumerate().for_each(|(r, row)| {
         let sy = src_fill.lo.y + r as i64;
-        let s_off = (sy - src_dbox.lo.y) as usize * src_w + (src_fill.lo.x - src_dbox.lo.x) as usize;
+        let s_off =
+            (sy - src_dbox.lo.y) as usize * src_w + (src_fill.lo.x - src_dbox.lo.x) as usize;
         row.copy_from_slice(&src[s_off..s_off + w]);
     });
 }
@@ -98,13 +92,9 @@ pub fn unpack_region<T: Copy + Send + Sync>(
     let n_rows = fill.size().y as usize;
     let x0 = (fill.lo.x - dst_dbox.lo.x) as usize;
     let w = fill.size().x as usize;
-    dst.par_chunks_mut(dst_w)
-        .skip(first_row)
-        .take(n_rows)
-        .enumerate()
-        .for_each(|(r, row)| {
-            row[x0..x0 + w].copy_from_slice(&input[r * w..(r + 1) * w]);
-        });
+    dst.par_chunks_mut(dst_w).skip(first_row).take(n_rows).enumerate().for_each(|(r, row)| {
+        row[x0..x0 + w].copy_from_slice(&input[r * w..(r + 1) * w]);
+    });
 }
 
 #[cfg(test)]
@@ -176,7 +166,14 @@ mod tests {
     #[test]
     fn empty_fill_is_a_noop() {
         let mut dst = vec![1.0; 4];
-        copy_region(&mut dst, b(0, 0, 2, 2), &[0.0; 4], b(0, 0, 2, 2), GBox::EMPTY, IntVector::ZERO);
+        copy_region(
+            &mut dst,
+            b(0, 0, 2, 2),
+            &[0.0; 4],
+            b(0, 0, 2, 2),
+            GBox::EMPTY,
+            IntVector::ZERO,
+        );
         assert_eq!(dst, vec![1.0; 4]);
     }
 

@@ -10,12 +10,12 @@
 //! the flag, when the patch is clean — crosses the PCIe bus.
 
 use crate::data::DeviceData;
+use rayon::prelude::*;
 use rbamr_amr::patchdata::PatchData;
 use rbamr_amr::TagBitmap;
 use rbamr_device::{Device, DeviceBuffer, Stream};
 use rbamr_geometry::GBox;
 use rbamr_perfmodel::{Category, KernelShape};
-use rayon::prelude::*;
 
 /// Compress a device-resident `i32` tag field into a host-side
 /// [`TagBitmap`], transferring only the compressed form.
@@ -44,28 +44,25 @@ pub fn compress_tags(tags: &DeviceData<i32>, category: Category) -> TagBitmap {
     let shape = KernelShape::streaming(n as i64, 1, 2);
     let src_buf = tags.buffer();
     let width = cell_box.size().x;
-    device.launch(&stream, category, shape, |k| {
+    device.launch_named(&stream, "compress-tags", category, shape, |k| {
         let src = src_buf.as_slice(&k);
-        bits.as_mut_slice(&k)
-            .par_iter_mut()
-            .enumerate()
-            .for_each(|(byte_idx, out)| {
-                let mut b = 0u8;
-                for bit in 0..8 {
-                    let cell = byte_idx * 8 + bit;
-                    if cell >= n {
-                        break;
-                    }
-                    let p = rbamr_geometry::IntVector::new(
-                        cell_box.lo.x + (cell as i64 % width),
-                        cell_box.lo.y + (cell as i64 / width),
-                    );
-                    if src[dbox.offset_of(p)] != 0 {
-                        b |= 1 << bit;
-                    }
+        bits.as_mut_slice(&k).par_iter_mut().enumerate().for_each(|(byte_idx, out)| {
+            let mut b = 0u8;
+            for bit in 0..8 {
+                let cell = byte_idx * 8 + bit;
+                if cell >= n {
+                    break;
                 }
-                *out = b;
-            });
+                let p = rbamr_geometry::IntVector::new(
+                    cell_box.lo.x + (cell as i64 % width),
+                    cell_box.lo.y + (cell as i64 / width),
+                );
+                if src[dbox.offset_of(p)] != 0 {
+                    b |= 1 << bit;
+                }
+            }
+            *out = b;
+        });
     });
 
     // Transfer the compressed bits (D2H) and rebuild the bitmap.
@@ -97,13 +94,10 @@ fn device_any_tagged(
     let shape = KernelShape::streaming(n, 1, 1);
     let src_buf = tags.buffer();
     let mut result: DeviceBuffer<i32> = device.alloc(1);
-    device.launch(&stream, category, shape, |k| {
+    device.launch_named(&stream, "any-tagged", category, shape, |k| {
         let src = src_buf.as_slice(&k);
-        let any = cell_box
-            .iter()
-            .collect::<Vec<_>>()
-            .par_iter()
-            .any(|p| src[dbox.offset_of(*p)] != 0);
+        let any =
+            cell_box.iter().collect::<Vec<_>>().par_iter().any(|p| src[dbox.offset_of(*p)] != 0);
         result.as_mut_slice(&k)[0] = i32::from(any);
     });
     let mut host = [0i32; 1];

@@ -1,0 +1,90 @@
+//! Telemetry counter integration tests: the `pack.bytes` /
+//! `unpack.bytes` counters recorded by the device pack/unpack path must
+//! equal the analytically known halo byte counts of a small two-level
+//! hierarchy configuration.
+
+use rbamr_amr::patchdata::PatchData;
+use rbamr_device::Device;
+use rbamr_geometry::{copy_overlap, ghost_overlaps, Centring, GBox, IntVector};
+use rbamr_gpu_amr::DeviceData;
+use rbamr_perfmodel::{Category, Clock};
+use rbamr_telemetry::Recorder;
+
+fn b(x0: i64, y0: i64, x1: i64, y1: i64) -> GBox {
+    GBox::from_coords(x0, y0, x1, y1)
+}
+
+#[test]
+fn pack_unpack_counters_match_analytic_halo_bytes() {
+    // The fine level of a two-level hierarchy: two adjacent 8x8 fine
+    // patches with 2 ghost cells, plus a coarse-to-fine scratch region
+    // — the exact transfers a refine-schedule halo fill performs.
+    let clock = Clock::new();
+    let device = Device::new(rbamr_perfmodel::Machine::ipa_gpu(), clock.clone());
+    let rec = Recorder::new(0, clock);
+    device.set_recorder(rec.clone());
+
+    let ghosts = IntVector::uniform(2);
+    let left = {
+        let mut d = DeviceData::<f64>::new(&device, b(0, 0, 8, 8), ghosts, Centring::Cell);
+        let vals: Vec<f64> = d.data_box().iter().map(|p| (p.x * 10 + p.y) as f64).collect();
+        d.upload_all(&vals, Category::Other);
+        d
+    };
+    let mut right = DeviceData::<f64>::new(&device, b(8, 0, 16, 8), ghosts, Centring::Cell);
+
+    // Sibling halo: the right patch's ghost region overlapping the left
+    // patch is the 2-column x 8-row strip at x in [6, 8) — 16 cells.
+    let ov = ghost_overlaps(b(8, 0, 16, 8), ghosts, b(0, 0, 8, 8), Centring::Cell, IntVector::ZERO);
+    let sibling_cells = 2 * 8;
+    assert_eq!(ov.num_values(), sibling_cells);
+    let stream = left.pack(&ov);
+    right.unpack(&ov, &stream);
+
+    let sibling_bytes = (sibling_cells * 8) as u64;
+    assert_eq!(stream.len() as u64, sibling_bytes);
+    assert_eq!(rec.counter("pack.bytes"), sibling_bytes);
+    assert_eq!(rec.counter("unpack.bytes"), sibling_bytes);
+
+    // Coarse-to-fine: a refine fill stages the coarse source region
+    // covering the fine patch (plus stencil), here the full 8x8 coarse
+    // scratch box — 64 more cells through the same pack/unpack path.
+    let coarse = {
+        let mut d = DeviceData::<f64>::new(&device, b(0, 0, 8, 8), IntVector::ZERO, Centring::Cell);
+        let vals: Vec<f64> = d.data_box().iter().map(|p| (p.x + p.y) as f64).collect();
+        d.upload_all(&vals, Category::Regrid);
+        d
+    };
+    let mut scratch =
+        DeviceData::<f64>::new(&device, b(0, 0, 8, 8), IntVector::ZERO, Centring::Cell);
+    let cov = copy_overlap(b(0, 0, 8, 8), b(0, 0, 8, 8), Centring::Cell);
+    let coarse_cells = 8 * 8;
+    assert_eq!(cov.num_values(), coarse_cells);
+    let cstream = coarse.pack(&cov);
+    scratch.unpack(&cov, &cstream);
+
+    let total_bytes = sibling_bytes + (coarse_cells * 8) as u64;
+    assert_eq!(rec.counter("pack.bytes"), total_bytes);
+    assert_eq!(rec.counter("unpack.bytes"), total_bytes);
+
+    // The PCIe byte counters agree: a pack is one D2H transfer of the
+    // packed bytes, an unpack one H2D, beyond the initial uploads.
+    assert_eq!(rec.counter("device.d2h_bytes"), total_bytes);
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let device = Device::k20x();
+    let src = {
+        let mut d = DeviceData::<f64>::new(&device, b(0, 0, 4, 4), IntVector::ONE, Centring::Cell);
+        let ones = vec![1.0; d.data_box().num_cells() as usize];
+        d.upload_all(&ones, Category::Other);
+        d
+    };
+    let ov = copy_overlap(b(0, 0, 4, 4), b(0, 0, 4, 4), Centring::Cell);
+    let _ = src.pack(&ov);
+    let rec = device.recorder();
+    assert!(!rec.is_enabled());
+    assert_eq!(rec.counter("pack.bytes"), 0);
+    assert!(rec.spans().is_empty());
+}

@@ -142,7 +142,7 @@ impl PhysicalBoundary for ReflectiveBoundary {
             stream.submit();
             let shape = KernelShape::streaming(pairs.len() as i64, 2, 1);
             let buf = dev.buffer_mut();
-            device.launch(&stream, Category::HaloExchange, shape, |k| {
+            device.launch_named(&stream, "physical-boundary", Category::HaloExchange, shape, |k| {
                 let slice = buf.as_mut_slice(&k);
                 // Sources are interior, targets are ghosts: disjoint
                 // sets, so gather-then-scatter preserves the
@@ -162,8 +162,8 @@ impl PhysicalBoundary for ReflectiveBoundary {
 mod tests {
     use super::*;
     use rbamr_amr::patch::PatchId;
-    use rbamr_geometry::IntVector;
     use rbamr_amr::{HostDataFactory, VariableRegistry};
+    use rbamr_geometry::IntVector;
     use std::sync::Arc;
 
     fn b(x0: i64, y0: i64, x1: i64, y1: i64) -> GBox {

@@ -20,12 +20,7 @@ use rbamr_perfmodel::Category;
 /// The state fields a checkpoint persists (everything else is
 /// recomputed by the next step's EOS/fill phases).
 fn checkpoint_fields(f: &Fields) -> [(&'static str, rbamr_amr::VariableId); 4] {
-    [
-        ("density0", f.density0),
-        ("energy0", f.energy0),
-        ("xvel0", f.xvel0),
-        ("yvel0", f.yvel0),
-    ]
+    [("density0", f.density0), ("energy0", f.energy0), ("xvel0", f.xvel0), ("yvel0", f.yvel0)]
 }
 
 /// Read a patch's full data array, from either placement.
@@ -108,10 +103,8 @@ impl HydroSim {
                 Some(Value::VecI64(v)) => v.clone(),
                 _ => panic!("restart: malformed boxes"),
             };
-            let boxes: Vec<GBox> = flat
-                .chunks_exact(4)
-                .map(|c| GBox::from_coords(c[0], c[1], c[2], c[3]))
-                .collect();
+            let boxes: Vec<GBox> =
+                flat.chunks_exact(4).map(|c| GBox::from_coords(c[0], c[1], c[2], c[3])).collect();
             let owners = vec![0; boxes.len()];
             self.set_level_for_restart(l, boxes, owners);
         }
@@ -166,8 +159,20 @@ mod tests {
 
     fn sod_regions() -> Vec<RegionInit> {
         vec![
-            RegionInit { rect: (0.0, 0.0, 0.5, 1.0), density: 1.0, energy: 2.5, xvel: 0.0, yvel: 0.0 },
-            RegionInit { rect: (0.5, 0.0, 1.0, 1.0), density: 0.125, energy: 2.0, xvel: 0.0, yvel: 0.0 },
+            RegionInit {
+                rect: (0.0, 0.0, 0.5, 1.0),
+                density: 1.0,
+                energy: 2.5,
+                xvel: 0.0,
+                yvel: 0.0,
+            },
+            RegionInit {
+                rect: (0.5, 0.0, 1.0, 1.0),
+                density: 0.125,
+                energy: 2.0,
+                xvel: 0.0,
+                yvel: 0.0,
+            },
         ]
     }
 
@@ -221,10 +226,7 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for ((xa, da), (xb, dbv)) in a.iter().zip(&b) {
             assert_eq!(xa, xb);
-            assert!(
-                (da - dbv).abs() < 1e-12,
-                "restart diverged at x={xa}: {da} vs {dbv}"
-            );
+            assert!((da - dbv).abs() < 1e-12, "restart diverged at x={xa}: {da} vs {dbv}");
         }
         let sa = reference.summary(None);
         let sb = resumed.summary(None);

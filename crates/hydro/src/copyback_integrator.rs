@@ -92,8 +92,18 @@ impl PatchIntegrator for CopyBackPatchIntegrator {
     fn pdv(&self, patch: &mut Patch, f: &Fields, dx: (f64, f64), dt: f64, predict: bool) {
         self.roundtrip(
             patch,
-            &[f.energy1, f.density1, f.energy0, f.density0, f.pressure, f.viscosity, f.xvel0,
-              f.xvel1, f.yvel0, f.yvel1],
+            &[
+                f.energy1,
+                f.density1,
+                f.energy0,
+                f.density0,
+                f.pressure,
+                f.viscosity,
+                f.xvel0,
+                f.xvel1,
+                f.yvel0,
+                f.yvel1,
+            ],
         );
         self.inner.pdv(patch, f, dx, dt, predict);
     }
@@ -112,10 +122,7 @@ impl PatchIntegrator for CopyBackPatchIntegrator {
     }
 
     fn flux_calc(&self, patch: &mut Patch, f: &Fields, dx: (f64, f64), dt: f64) {
-        self.roundtrip(
-            patch,
-            &[f.vol_flux_x, f.vol_flux_y, f.xvel0, f.xvel1, f.yvel0, f.yvel1],
-        );
+        self.roundtrip(patch, &[f.vol_flux_x, f.vol_flux_y, f.xvel0, f.xvel1, f.yvel0, f.yvel1]);
         self.inner.flux_calc(patch, f, dx, dt);
     }
 
@@ -133,8 +140,18 @@ impl PatchIntegrator for CopyBackPatchIntegrator {
         let mass_flux = if dir == 0 { f.mass_flux_x } else { f.mass_flux_y };
         self.roundtrip(
             patch,
-            &[f.xvel1, f.yvel1, f.density1, mass_flux, f.node_flux, f.node_mass_post,
-              f.node_mass_pre, f.mom_flux, f.post_vol, f.pre_vol],
+            &[
+                f.xvel1,
+                f.yvel1,
+                f.density1,
+                mass_flux,
+                f.node_flux,
+                f.node_mass_post,
+                f.node_mass_pre,
+                f.mom_flux,
+                f.post_vol,
+                f.pre_vol,
+            ],
         );
         self.inner.advec_mom(patch, f, dx, dir, sweep);
     }

@@ -63,6 +63,7 @@ fn split_dev<'a>(
 /// Launch one hydro kernel: `body` receives the output slice + box and
 /// input views, exactly as the host integrator would call it.
 fn launch1(
+    name: &'static str,
     out: &mut DeviceData<f64>,
     ins: &[&DeviceData<f64>],
     category: Category,
@@ -74,11 +75,9 @@ fn launch1(
     out.stream().submit();
     let stream = out.stream().clone();
     let out_buf = out.buffer_mut();
-    device.launch(&stream, category, shape, |kk| {
-        let views: Vec<k::View> = ins
-            .iter()
-            .map(|d| k::View::new(d.buffer().as_slice(&kk), d.data_box()))
-            .collect();
+    device.launch_named(&stream, name, category, shape, |kk| {
+        let views: Vec<k::View> =
+            ins.iter().map(|d| k::View::new(d.buffer().as_slice(&kk), d.data_box())).collect();
         body(out_buf.as_mut_slice(&kk), obox, &views);
     });
 }
@@ -162,18 +161,32 @@ impl PatchIntegrator for DevicePatchIntegrator {
             let mut datas = patch.data_many_mut(&[f.pressure, rho, e]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(region.num_cells(), 3, 3);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |p, pbox, v| {
-                k::ideal_gas_pressure(p, pbox, v[0], v[1], region, gamma);
-            });
+            launch1(
+                "ideal-gas-pressure",
+                outs[0],
+                &ins,
+                Category::HydroKernel,
+                shape,
+                |p, pbox, v| {
+                    k::ideal_gas_pressure(p, pbox, v[0], v[1], region, gamma);
+                },
+            );
         }
         // Sound speed kernel.
         {
             let mut datas = patch.data_many_mut(&[f.soundspeed, f.pressure, rho]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(region.num_cells(), 3, 5);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |ss, ssbox, v| {
-                k::ideal_gas_soundspeed(ss, ssbox, v[0], v[1], region, gamma);
-            });
+            launch1(
+                "ideal-gas-soundspeed",
+                outs[0],
+                &ins,
+                Category::HydroKernel,
+                shape,
+                |ss, ssbox, v| {
+                    k::ideal_gas_soundspeed(ss, ssbox, v[0], v[1], region, gamma);
+                },
+            );
         }
     }
 
@@ -183,7 +196,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
             patch.data_many_mut(&[f.viscosity, f.density0, f.soundspeed, f.xvel0, f.yvel0]);
         let (mut outs, ins) = split_dev(&mut datas, 1);
         let shape = KernelShape::streaming(region.num_cells(), 5, 15);
-        launch1(outs[0], &ins, Category::HydroKernel, shape, |q, qbox, v| {
+        launch1("viscosity", outs[0], &ins, Category::HydroKernel, shape, |q, qbox, v| {
             k::viscosity(q, qbox, v[0], v[1], v[2], v[3], region, dx);
         });
     }
@@ -207,11 +220,9 @@ impl PatchIntegrator for DevicePatchIntegrator {
         // timestep contains the only global reduction" (Section V-B).
         let mut result = device.alloc::<f64>(1);
         let shape = KernelShape::streaming(region.num_cells(), 6, 20);
-        device.launch(&stream, Category::Timestep, shape, |kk| {
-            let views: Vec<k::View> = ins
-                .iter()
-                .map(|d| k::View::new(d.buffer().as_slice(&kk), d.data_box()))
-                .collect();
+        device.launch_named(&stream, "calc-dt", Category::Timestep, shape, |kk| {
+            let views: Vec<k::View> =
+                ins.iter().map(|d| k::View::new(d.buffer().as_slice(&kk), d.data_box())).collect();
             let dt = k::calc_dt(
                 views[0], views[1], views[2], views[3], views[4], views[5], region, dx, cfl,
             );
@@ -227,12 +238,19 @@ impl PatchIntegrator for DevicePatchIntegrator {
         let dt_eff = if predict { 0.5 * dt } else { dt };
         {
             let mut datas = patch.data_many_mut(&[
-                f.energy1, f.energy0, f.density0, f.pressure, f.viscosity, f.xvel0, f.xvel1,
-                f.yvel0, f.yvel1,
+                f.energy1,
+                f.energy0,
+                f.density0,
+                f.pressure,
+                f.viscosity,
+                f.xvel0,
+                f.xvel1,
+                f.yvel0,
+                f.yvel1,
             ]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(region.num_cells(), 9, 30);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |e1, ebox, v| {
+            launch1("pdv-energy", outs[0], &ins, Category::HydroKernel, shape, |e1, ebox, v| {
                 // Predictor time-averages with the start velocities.
                 let (u1, v1) = if predict { (v[4], v[6]) } else { (v[5], v[7]) };
                 k::pdv_energy(
@@ -245,7 +263,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
                 patch.data_many_mut(&[f.density1, f.density0, f.xvel0, f.xvel1, f.yvel0, f.yvel1]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(region.num_cells(), 6, 25);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |r1, rbox, v| {
+            launch1("pdv-density", outs[0], &ins, Category::HydroKernel, shape, |r1, rbox, v| {
                 let (u1, v1) = if predict { (v[1], v[3]) } else { (v[2], v[4]) };
                 k::pdv_density(r1, rbox, v[0], v[1], u1, v[3], v1, region, dt_eff, dx);
             });
@@ -258,7 +276,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
             let mut datas = patch.data_many_mut(&[dst, src]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(region.num_cells(), 2, 0);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |d, dbox, v| {
+            launch1("copy-field", outs[0], &ins, Category::HydroKernel, shape, |d, dbox, v| {
                 k::copy_field(d, dbox, v[0], region);
             });
         }
@@ -270,7 +288,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
             let mut datas = patch.data_many_mut(&[v1, v0, f.density0, f.pressure, f.viscosity]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(region.num_cells(), 5, 20);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |out, nbox, v| {
+            launch1("accelerate", outs[0], &ins, Category::HydroKernel, shape, |out, nbox, v| {
                 k::accelerate(out, nbox, v[0], v[1], v[2], v[3], region, dt, dx, axis);
             });
         }
@@ -278,15 +296,14 @@ impl PatchIntegrator for DevicePatchIntegrator {
 
     fn flux_calc(&self, patch: &mut Patch, f: &Fields, dx: (f64, f64), dt: f64) {
         let ghost = patch.cell_box().grow(IntVector::uniform(GHOSTS));
-        for (axis, (flux, v0, v1)) in [
-            (0usize, (f.vol_flux_x, f.xvel0, f.xvel1)),
-            (1, (f.vol_flux_y, f.yvel0, f.yvel1)),
-        ] {
+        for (axis, (flux, v0, v1)) in
+            [(0usize, (f.vol_flux_x, f.xvel0, f.xvel1)), (1, (f.vol_flux_y, f.yvel0, f.yvel1))]
+        {
             let region = Centring::Side(axis).data_box(ghost);
             let mut datas = patch.data_many_mut(&[flux, v0, v1]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(region.num_cells(), 3, 6);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |out, sbox, v| {
+            launch1("flux-calc", outs[0], &ins, Category::HydroKernel, shape, |out, sbox, v| {
                 k::flux_calc(out, sbox, v[0], v[1], region, dt, dx, axis);
             });
         }
@@ -301,17 +318,31 @@ impl PatchIntegrator for DevicePatchIntegrator {
             let mut datas = patch.data_many_mut(&[f.pre_vol, f.vol_flux_x, f.vol_flux_y]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(ghost.num_cells(), 3, 6);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |pre, cbox, v| {
-                k::advec_pre_vol(pre, cbox, v[0], v[1], ghost, dir, sweep, dx);
-            });
+            launch1(
+                "advec-pre-vol",
+                outs[0],
+                &ins,
+                Category::HydroKernel,
+                shape,
+                |pre, cbox, v| {
+                    k::advec_pre_vol(pre, cbox, v[0], v[1], ghost, dir, sweep, dx);
+                },
+            );
         }
         {
             let mut datas = patch.data_many_mut(&[f.post_vol, f.vol_flux_x, f.vol_flux_y]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(ghost.num_cells(), 3, 6);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |post, cbox, v| {
-                k::advec_post_vol(post, cbox, v[0], v[1], ghost, dir, sweep, dx);
-            });
+            launch1(
+                "advec-post-vol",
+                outs[0],
+                &ins,
+                Category::HydroKernel,
+                shape,
+                |post, cbox, v| {
+                    k::advec_post_vol(post, cbox, v[0], v[1], ghost, dir, sweep, dx);
+                },
+            );
         }
         let face_region = Centring::Side(dir).data_box(ghost);
         {
@@ -320,9 +351,16 @@ impl PatchIntegrator for DevicePatchIntegrator {
             let shape = KernelShape::streaming(face_region.num_cells(), 4, 20);
             let sbox = outs[0].data_box();
             let region = face_region.intersect(sbox);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |mf, sbox, v| {
-                k::advec_mass_flux(mf, sbox, v[0], v[1], v[2], region, dir);
-            });
+            launch1(
+                "advec-mass-flux",
+                outs[0],
+                &ins,
+                Category::HydroKernel,
+                shape,
+                |mf, sbox, v| {
+                    k::advec_mass_flux(mf, sbox, v[0], v[1], v[2], region, dir);
+                },
+            );
         }
         let ef_region = interior.grow(IntVector::ONE);
         {
@@ -330,9 +368,16 @@ impl PatchIntegrator for DevicePatchIntegrator {
                 patch.data_many_mut(&[f.ener_flux, mass_flux, f.energy1, f.density1, f.pre_vol]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(ef_region.num_cells(), 5, 20);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |ef, cbox, v| {
-                k::advec_ener_flux(ef, cbox, v[0], v[1], v[2], v[3], ef_region, dir);
-            });
+            launch1(
+                "advec-ener-flux",
+                outs[0],
+                &ins,
+                Category::HydroKernel,
+                shape,
+                |ef, cbox, v| {
+                    k::advec_ener_flux(ef, cbox, v[0], v[1], v[2], v[3], ef_region, dir);
+                },
+            );
         }
         // Stage old energy1/density1 in device work arrays: device-to-
         // device copies (the resident equivalent of CloverLeaf's
@@ -358,7 +403,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
             let stream = Stream::new(&device);
             stream.submit();
             let shape = KernelShape::streaming(ebox.num_cells() * 2, 4, 0);
-            device.launch(&stream, Category::HydroKernel, shape, |kk| {
+            device.launch_named(&stream, "revert-save", Category::HydroKernel, shape, |kk| {
                 old_e.as_mut_slice(&kk).copy_from_slice(e1.buffer().as_slice(&kk));
                 old_r.as_mut_slice(&kk).copy_from_slice(r1.buffer().as_slice(&kk));
             });
@@ -373,7 +418,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
             let stream = outs[0].stream().clone();
             let shape = KernelShape::streaming(interior.num_cells(), 6, 20);
             let out_buf = outs[0].buffer_mut();
-            device.launch(&stream, Category::HydroKernel, shape, |kk| {
+            device.launch_named(&stream, "advec-cell", Category::HydroKernel, shape, |kk| {
                 let v: Vec<k::View> = ins
                     .iter()
                     .map(|d| k::View::new(d.buffer().as_slice(&kk), d.data_box()))
@@ -402,7 +447,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
             let stream = outs[0].stream().clone();
             let shape = KernelShape::streaming(interior.num_cells(), 5, 15);
             let out_buf = outs[0].buffer_mut();
-            device.launch(&stream, Category::HydroKernel, shape, |kk| {
+            device.launch_named(&stream, "advec-ener-update", Category::HydroKernel, shape, |kk| {
                 let v: Vec<k::View> = ins
                     .iter()
                     .map(|d| k::View::new(d.buffer().as_slice(&kk), d.data_box()))
@@ -430,7 +475,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
             let mut datas = patch.data_many_mut(&[f.node_flux, mass_flux]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(node_region.num_cells(), 2, 4);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |nf, nbox, v| {
+            launch1("mom-node-flux", outs[0], &ins, Category::HydroKernel, shape, |nf, nbox, v| {
                 k::mom_node_flux(nf, nbox, v[0], node_region, dir);
             });
         }
@@ -438,17 +483,31 @@ impl PatchIntegrator for DevicePatchIntegrator {
             let mut datas = patch.data_many_mut(&[f.node_mass_post, f.density1, f.post_vol]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(node_region.num_cells(), 3, 8);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |nm, nbox, v| {
-                k::mom_node_mass_post(nm, nbox, v[0], v[1], node_region);
-            });
+            launch1(
+                "mom-node-mass-post",
+                outs[0],
+                &ins,
+                Category::HydroKernel,
+                shape,
+                |nm, nbox, v| {
+                    k::mom_node_mass_post(nm, nbox, v[0], v[1], node_region);
+                },
+            );
         }
         {
             let mut datas = patch.data_many_mut(&[f.node_mass_pre, f.node_mass_post, f.node_flux]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(node_region.num_cells(), 3, 2);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |nm, nbox, v| {
-                k::mom_node_mass_pre(nm, nbox, v[0], v[1], node_region, dir);
-            });
+            launch1(
+                "mom-node-mass-pre",
+                outs[0],
+                &ins,
+                Category::HydroKernel,
+                shape,
+                |nm, nbox, v| {
+                    k::mom_node_mass_pre(nm, nbox, v[0], v[1], node_region, dir);
+                },
+            );
         }
         let vel_region = Centring::Node.data_box(interior);
         for vel in [f.xvel1, f.yvel1] {
@@ -457,7 +516,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
                     patch.data_many_mut(&[f.mom_flux, vel, f.node_flux, f.node_mass_pre]);
                 let (mut outs, ins) = split_dev(&mut datas, 1);
                 let shape = KernelShape::streaming(node_region.num_cells(), 4, 25);
-                launch1(outs[0], &ins, Category::HydroKernel, shape, |mf, nbox, v| {
+                launch1("mom-flux", outs[0], &ins, Category::HydroKernel, shape, |mf, nbox, v| {
                     k::mom_flux(mf, nbox, v[0], v[1], v[2], node_region, dir);
                 });
             }
@@ -475,9 +534,15 @@ impl PatchIntegrator for DevicePatchIntegrator {
                     let stream = Stream::new(&device);
                     stream.submit();
                     let shape = KernelShape::streaming(vbox.num_cells(), 2, 0);
-                    device.launch(&stream, Category::HydroKernel, shape, |kk| {
-                        old.as_mut_slice(&kk).copy_from_slice(v1.buffer().as_slice(&kk));
-                    });
+                    device.launch_named(
+                        &stream,
+                        "mom-save-vel",
+                        Category::HydroKernel,
+                        shape,
+                        |kk| {
+                            old.as_mut_slice(&kk).copy_from_slice(v1.buffer().as_slice(&kk));
+                        },
+                    );
                     (old, vbox)
                 };
                 let mut datas =
@@ -489,23 +554,29 @@ impl PatchIntegrator for DevicePatchIntegrator {
                 let stream = outs[0].stream().clone();
                 let shape = KernelShape::streaming(vel_region.num_cells(), 5, 10);
                 let out_buf = outs[0].buffer_mut();
-                device.launch(&stream, Category::HydroKernel, shape, |kk| {
-                    let v: Vec<k::View> = ins
-                        .iter()
-                        .map(|d| k::View::new(d.buffer().as_slice(&kk), d.data_box()))
-                        .collect();
-                    let v_old = k::View::new(old_v.as_slice(&kk), vbox);
-                    k::mom_vel_update(
-                        out_buf.as_mut_slice(&kk),
-                        obox,
-                        v_old,
-                        v[0],
-                        v[1],
-                        v[2],
-                        vel_region,
-                        dir,
-                    );
-                });
+                device.launch_named(
+                    &stream,
+                    "mom-vel-update",
+                    Category::HydroKernel,
+                    shape,
+                    |kk| {
+                        let v: Vec<k::View> = ins
+                            .iter()
+                            .map(|d| k::View::new(d.buffer().as_slice(&kk), d.data_box()))
+                            .collect();
+                        let v_old = k::View::new(old_v.as_slice(&kk), vbox);
+                        k::mom_vel_update(
+                            out_buf.as_mut_slice(&kk),
+                            obox,
+                            v_old,
+                            v[0],
+                            v[1],
+                            v[2],
+                            vel_region,
+                            dir,
+                        );
+                    },
+                );
             }
         }
     }
@@ -522,7 +593,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
             let mut datas = patch.data_many_mut(&[dst, src]);
             let (mut outs, ins) = split_dev(&mut datas, 1);
             let shape = KernelShape::streaming(reg.num_cells(), 2, 0);
-            launch1(outs[0], &ins, Category::HydroKernel, shape, |d, dbox, v| {
+            launch1("copy-field", outs[0], &ins, Category::HydroKernel, shape, |d, dbox, v| {
                 k::copy_field(d, dbox, v[0], reg);
             });
         }
@@ -530,16 +601,10 @@ impl PatchIntegrator for DevicePatchIntegrator {
 
     fn flag_cells(&self, patch: &Patch, f: &Fields, thresholds: &FlagThresholds) -> TagBitmap {
         let region = patch.cell_box();
-        let rho = patch
-            .data(f.density0)
-            .as_any()
-            .downcast_ref::<DeviceData<f64>>()
-            .expect("device data");
-        let e = patch
-            .data(f.energy0)
-            .as_any()
-            .downcast_ref::<DeviceData<f64>>()
-            .expect("device data");
+        let rho =
+            patch.data(f.density0).as_any().downcast_ref::<DeviceData<f64>>().expect("device data");
+        let e =
+            patch.data(f.energy0).as_any().downcast_ref::<DeviceData<f64>>().expect("device data");
         let device = rho.device().clone();
         // Flag into a device tag field, then compress on the device and
         // move only the bitmap (Section IV-C).
@@ -549,7 +614,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
         let shape = KernelShape::streaming(region.num_cells(), 3, 10);
         let (dth, eth) = (thresholds.density, thresholds.energy);
         let tags_buf = tags.buffer_mut();
-        device.launch(&stream, Category::Regrid, shape, |kk| {
+        device.launch_named(&stream, "flag-cells", Category::Regrid, shape, |kk| {
             let rho_v = k::View::new(rho.buffer().as_slice(&kk), rho.data_box());
             let e_v = k::View::new(e.buffer().as_slice(&kk), e.data_box());
             k::flag_cells(tags_buf.as_mut_slice(&kk), rho_v, e_v, region, dth, eth);
@@ -560,11 +625,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
     fn field_summary(&self, patch: &Patch, f: &Fields, dx: (f64, f64), region: GBox) -> Summary {
         let region = region.intersect(patch.cell_box());
         let get = |v: VariableId| {
-            patch
-                .data(v)
-                .as_any()
-                .downcast_ref::<DeviceData<f64>>()
-                .expect("device data")
+            patch.data(v).as_any().downcast_ref::<DeviceData<f64>>().expect("device data")
         };
         let (rho, e, p, u, vv) =
             (get(f.density0), get(f.energy0), get(f.pressure), get(f.xvel0), get(f.yvel0));
@@ -573,7 +634,7 @@ impl PatchIntegrator for DevicePatchIntegrator {
         stream.submit();
         let mut result = device.alloc::<f64>(5);
         let shape = KernelShape::streaming(region.num_cells(), 5, 15);
-        device.launch(&stream, Category::Other, shape, |kk| {
+        device.launch_named(&stream, "field-summary", Category::Other, shape, |kk| {
             let s = k::field_summary(
                 k::View::new(rho.buffer().as_slice(&kk), rho.data_box()),
                 k::View::new(e.buffer().as_slice(&kk), e.data_box()),

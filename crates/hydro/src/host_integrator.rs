@@ -89,12 +89,7 @@ impl PatchIntegrator for HostPatchIntegrator {
         let interior = patch.cell_box();
         let ghost = interior.grow(IntVector::uniform(GHOSTS));
         // Cell fields.
-        for (var, pick) in [
-            (f.density0, 0usize),
-            (f.density1, 0),
-            (f.energy0, 1),
-            (f.energy1, 1),
-        ] {
+        for (var, pick) in [(f.density0, 0usize), (f.density1, 0), (f.energy0, 1), (f.energy1, 1)] {
             let d = patch.host_mut::<f64>(var);
             for p in Centring::Cell.data_box(ghost).iter() {
                 let cx = origin.0 + (p.x as f64 + 0.5) * dx.0;
@@ -133,11 +128,7 @@ impl PatchIntegrator for HostPatchIntegrator {
         } else {
             ComputeRegion::GhostBox.cell_box(patch.cell_box())
         };
-        let (rho, e) = if predict {
-            (f.density1, f.energy1)
-        } else {
-            (f.density0, f.energy0)
-        };
+        let (rho, e) = if predict { (f.density1, f.energy1) } else { (f.density0, f.energy0) };
         let mut datas = patch.data_many_mut(&[f.pressure, f.soundspeed, rho, e]);
         let (mut outs, ins) = split_out(&mut datas, 2);
         let [(p, pbox), (ss, ssbox)] = &mut outs[..] else { unreachable!() };
@@ -177,8 +168,15 @@ impl PatchIntegrator for HostPatchIntegrator {
         let dt_eff = if predict { 0.5 * dt } else { dt };
         {
             let mut datas = patch.data_many_mut(&[
-                f.energy1, f.energy0, f.density0, f.pressure, f.viscosity, f.xvel0, f.xvel1,
-                f.yvel0, f.yvel1,
+                f.energy1,
+                f.energy0,
+                f.density0,
+                f.pressure,
+                f.viscosity,
+                f.xvel0,
+                f.xvel1,
+                f.yvel0,
+                f.yvel1,
             ]);
             let (mut outs, ins) = split_out(&mut datas, 1);
             let [(e1, ebox)] = &mut outs[..] else { unreachable!() };
@@ -186,8 +184,8 @@ impl PatchIntegrator for HostPatchIntegrator {
             // velocities themselves (u1 := u0).
             let (u1, v1) = if predict { (ins[4], ins[6]) } else { (ins[5], ins[7]) };
             k::pdv_energy(
-                e1, *ebox, ins[0], ins[1], ins[2], ins[3], ins[4], u1, ins[6], v1, region,
-                dt_eff, dx,
+                e1, *ebox, ins[0], ins[1], ins[2], ins[3], ins[4], u1, ins[6], v1, region, dt_eff,
+                dx,
             );
         }
         {
@@ -225,10 +223,9 @@ impl PatchIntegrator for HostPatchIntegrator {
 
     fn flux_calc(&self, patch: &mut Patch, f: &Fields, dx: (f64, f64), dt: f64) {
         let ghost = patch.cell_box().grow(IntVector::uniform(GHOSTS));
-        for (axis, (flux, v0, v1)) in [
-            (0usize, (f.vol_flux_x, f.xvel0, f.xvel1)),
-            (1, (f.vol_flux_y, f.yvel0, f.yvel1)),
-        ] {
+        for (axis, (flux, v0, v1)) in
+            [(0usize, (f.vol_flux_x, f.xvel0, f.xvel1)), (1, (f.vol_flux_y, f.yvel0, f.yvel1))]
+        {
             let region = Centring::Side(axis).data_box(ghost);
             let mut datas = patch.data_many_mut(&[flux, v0, v1]);
             let (mut outs, ins) = split_out(&mut datas, 1);
@@ -293,10 +290,13 @@ impl PatchIntegrator for HostPatchIntegrator {
             let e_old = k::View::new(&old_e, ebox);
             let r_old = k::View::new(&old_r, ebox);
             {
-                let mut datas = patch.data_many_mut(&[f.energy1, f.pre_vol, mass_flux, f.ener_flux]);
+                let mut datas =
+                    patch.data_many_mut(&[f.energy1, f.pre_vol, mass_flux, f.ener_flux]);
                 let (mut outs, ins) = split_out(&mut datas, 1);
                 let [(e1, cbox)] = &mut outs[..] else { unreachable!() };
-                k::advec_cell_energy(e1, *cbox, e_old, r_old, ins[0], ins[1], ins[2], interior, dir);
+                k::advec_cell_energy(
+                    e1, *cbox, e_old, r_old, ins[0], ins[1], ins[2], interior, dir,
+                );
             }
             {
                 let mut datas = patch.data_many_mut(&[f.density1, f.pre_vol, mass_flux, vol_flux]);
@@ -334,7 +334,8 @@ impl PatchIntegrator for HostPatchIntegrator {
         let vel_region = Centring::Node.data_box(interior);
         for vel in [f.xvel1, f.yvel1] {
             {
-                let mut datas = patch.data_many_mut(&[f.mom_flux, vel, f.node_flux, f.node_mass_pre]);
+                let mut datas =
+                    patch.data_many_mut(&[f.mom_flux, vel, f.node_flux, f.node_mass_pre]);
                 let (mut outs, ins) = split_out(&mut datas, 1);
                 let [(mf, nbox)] = &mut outs[..] else { unreachable!() };
                 k::mom_flux(mf, *nbox, ins[0], ins[1], ins[2], node_region, dir);

@@ -17,12 +17,12 @@ use crate::state::{Fields, FlagThresholds, HydroTagger, PatchIntegrator, RegionI
 use rbamr_amr::cluster::split_to_max;
 use rbamr_amr::hostdata::HostCostHook;
 use rbamr_amr::ops as host_ops;
+use rbamr_amr::patchdata::PatchData as _;
 use rbamr_amr::regrid::TransferSpec;
 use rbamr_amr::schedule::{CoarsenSpec, FillSpec};
-use rbamr_amr::patchdata::PatchData as _;
 use rbamr_amr::{
     balance, CoarsenSchedule, GridGeometry, HostDataFactory, PatchHierarchy, RefineOperator,
-    RefineSchedule, Regridder, RegridParams, VariableId, VariableRegistry,
+    RefineSchedule, RegridParams, Regridder, VariableId, VariableRegistry,
 };
 use rbamr_device::Device;
 use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
@@ -114,13 +114,16 @@ pub struct HydroSim {
     /// Cached fill schedules, one set per level; rebuilt after regrids.
     fill_schedules: Vec<LevelSchedules>,
     sync_schedules: Vec<CoarsenSchedule>,
+    /// Telemetry handle; disabled unless wired via
+    /// [`HydroSim::set_recorder`].
+    recorder: rbamr_telemetry::Recorder,
 }
 
 struct LevelSchedules {
-    start: RefineSchedule,    // fill A: state fields before the step
-    post_accel: RefineSchedule, // fill B: advanced velocities
+    start: RefineSchedule,            // fill A: state fields before the step
+    post_accel: RefineSchedule,       // fill B: advanced velocities
     post_sweep1: [RefineSchedule; 2], // fill C per sweep direction
-    mid_sweeps: RefineSchedule, // fill D: state + velocities
+    mid_sweeps: RefineSchedule,       // fill D: state + velocities
     post_sweep2: [RefineSchedule; 2], // fill E per sweep direction
 }
 
@@ -152,12 +155,10 @@ impl HydroSim {
     ) -> Self {
         assert!(coarse_cells.0 > 0 && coarse_cells.1 > 0, "empty base grid");
         let cost = Arc::new(CostModel::new(machine.clone()));
-        let (device, factory): (Option<Device>, Arc<dyn rbamr_amr::DataFactory>) = match placement
-        {
-            Placement::Host => (
-                None,
-                Arc::new(HostDataFactory::with_costs(clock.clone(), Arc::clone(&cost))),
-            ),
+        let (device, factory): (Option<Device>, Arc<dyn rbamr_amr::DataFactory>) = match placement {
+            Placement::Host => {
+                (None, Arc::new(HostDataFactory::with_costs(clock.clone(), Arc::clone(&cost))))
+            }
             Placement::Device | Placement::DeviceCopyBack => {
                 let dev = Device::new(machine.clone(), clock.clone());
                 (Some(dev.clone()), Arc::new(DeviceDataFactory::new(dev)))
@@ -212,6 +213,7 @@ impl HydroSim {
             prev_dt: f64::INFINITY,
             fill_schedules: Vec::new(),
             sync_schedules: Vec::new(),
+            recorder: rbamr_telemetry::Recorder::disabled(),
         };
         sim.rebuild_schedules();
         sim
@@ -235,6 +237,23 @@ impl HydroSim {
     /// The device, when running the resident build.
     pub fn device(&self) -> Option<&Device> {
         self.device.as_ref()
+    }
+
+    /// Attach a telemetry recorder: the integrator, its hierarchy and
+    /// its device (when present) all record spans and counters through
+    /// it. The `Comm` used in distributed runs is wired separately via
+    /// [`Comm::set_recorder`](rbamr_netsim::Comm::set_recorder).
+    pub fn set_recorder(&mut self, recorder: rbamr_telemetry::Recorder) {
+        if let Some(device) = &self.device {
+            device.set_recorder(recorder.clone());
+        }
+        self.hierarchy.set_recorder(recorder.clone());
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled if never set).
+    pub fn recorder(&self) -> &rbamr_telemetry::Recorder {
+        &self.recorder
     }
 
     /// Current simulation time.
@@ -263,12 +282,7 @@ impl HydroSim {
     }
 
     /// Rebuild one level from checkpointed structure.
-    pub(crate) fn set_level_for_restart(
-        &mut self,
-        l: usize,
-        boxes: Vec<GBox>,
-        owners: Vec<usize>,
-    ) {
+    pub(crate) fn set_level_for_restart(&mut self, l: usize, boxes: Vec<GBox>, owners: Vec<usize>) {
         self.hierarchy.set_level(l, boxes, owners, &self.registry);
     }
 
@@ -296,7 +310,9 @@ impl HydroSim {
         match (self.placement, centring) {
             (Placement::Host, Centring::Cell) => Arc::new(host_ops::ConservativeCellRefine),
             (Placement::Host, Centring::Node) => Arc::new(host_ops::LinearNodeRefine),
-            (Placement::Host, Centring::Side(a)) => Arc::new(host_ops::LinearSideRefine { axis: a }),
+            (Placement::Host, Centring::Side(a)) => {
+                Arc::new(host_ops::LinearSideRefine { axis: a })
+            }
             (_, Centring::Cell) => Arc::new(dev_ops::DeviceConservativeCellRefine),
             (_, Centring::Node) => Arc::new(dev_ops::DeviceLinearNodeRefine),
             (_, Centring::Side(a)) => Arc::new(dev_ops::DeviceLinearSideRefine { axis: a }),
@@ -304,9 +320,7 @@ impl HydroSim {
     }
 
     fn fill_specs(&self, vars: &[VariableId]) -> Vec<FillSpec> {
-        vars.iter()
-            .map(|&var| FillSpec { var, refine_op: Some(self.refine_op_for(var)) })
-            .collect()
+        vars.iter().map(|&var| FillSpec { var, refine_op: Some(self.refine_op_for(var)) }).collect()
     }
 
     /// (Re)build the per-level fill and sync schedules.
@@ -319,16 +333,11 @@ impl HydroSim {
         // the same set before advection).
         let b_vars = [f.density1, f.energy1, f.xvel1, f.yvel1];
         let c_vars = |dir: usize| {
-            [
-                f.density1,
-                f.energy1,
-                if dir == 0 { f.mass_flux_x } else { f.mass_flux_y },
-            ]
+            [f.density1, f.energy1, if dir == 0 { f.mass_flux_x } else { f.mass_flux_y }]
         };
         let d_vars = [f.density1, f.energy1, f.xvel1, f.yvel1];
-        let e_vars = |dir: usize| {
-            [f.density1, if dir == 0 { f.mass_flux_x } else { f.mass_flux_y }]
-        };
+        let e_vars =
+            |dir: usize| [f.density1, if dir == 0 { f.mass_flux_x } else { f.mass_flux_y }];
         self.fill_schedules = (0..self.hierarchy.num_levels())
             .map(|l| LevelSchedules {
                 start: RefineSchedule::new(
@@ -412,6 +421,8 @@ impl HydroSim {
     /// hierarchy"), re-imposing the analytic initial condition on every
     /// new level.
     pub fn initialize(&mut self, comm: Option<&Comm>) {
+        let rec = self.recorder.clone();
+        let _span = rec.is_enabled().then(|| rec.span("initialize", Category::Other));
         self.apply_initial_state();
         for _ in 0..self.hierarchy.max_levels() - 1 {
             let before = self.hierarchy.num_levels();
@@ -465,7 +476,10 @@ impl HydroSim {
         self.fill(|s| &s.start, comm);
     }
 
-    fn each_patch(&mut self, mut op: impl FnMut(&dyn PatchIntegrator, &mut rbamr_amr::Patch, &Fields, (f64, f64))) {
+    fn each_patch(
+        &mut self,
+        mut op: impl FnMut(&dyn PatchIntegrator, &mut rbamr_amr::Patch, &Fields, (f64, f64)),
+    ) {
         for l in 0..self.hierarchy.num_levels() {
             let dx = self.hierarchy.dx(l);
             let level = self.hierarchy.level_mut(l);
@@ -514,44 +528,65 @@ impl HydroSim {
     /// time").
     pub fn step_capped(&mut self, comm: Option<&Comm>, dt_cap: Option<f64>) -> StepStats {
         let gamma = self.config.gamma;
+        let rec = self.recorder.clone();
+        let _step_span =
+            rec.is_enabled().then(|| rec.span_arg("step", Category::Other, self.step as i64));
 
         // --- Timestep phase ------------------------------------------
-        self.fill_start(comm);
-        self.eos_and_viscosity();
-        let mut dt = self.compute_dt(comm);
+        {
+            let _s = rec.is_enabled().then(|| rec.span("fill-start", Category::HaloExchange));
+            self.fill_start(comm);
+        }
+        {
+            let _s = rec.is_enabled().then(|| rec.span("eos-viscosity", Category::HydroKernel));
+            self.eos_and_viscosity();
+        }
+        let mut dt = {
+            let _s = rec.is_enabled().then(|| rec.span("dt-reduction", Category::Timestep));
+            self.compute_dt(comm)
+        };
         if let Some(cap) = dt_cap {
             assert!(cap > 0.0, "step_capped: non-positive dt cap");
             dt = dt.min(cap);
         }
 
         // --- Lagrangian phase ----------------------------------------
-        self.each_patch(|ig, p, f, dx| ig.pdv(p, f, dx, dt, true));
-        self.each_patch(|ig, p, f, _dx| ig.ideal_gas(p, f, gamma, true));
-        self.each_patch(|ig, p, f, _dx| ig.revert(p, f));
-        self.each_patch(|ig, p, f, dx| ig.accelerate(p, f, dx, dt));
-        self.each_patch(|ig, p, f, dx| ig.pdv(p, f, dx, dt, false));
-        self.fill(|s| &s.post_accel, comm);
-        self.each_patch(|ig, p, f, dx| ig.flux_calc(p, f, dx, dt));
+        {
+            let _s = rec.is_enabled().then(|| rec.span("lagrangian", Category::HydroKernel));
+            self.each_patch(|ig, p, f, dx| ig.pdv(p, f, dx, dt, true));
+            self.each_patch(|ig, p, f, _dx| ig.ideal_gas(p, f, gamma, true));
+            self.each_patch(|ig, p, f, _dx| ig.revert(p, f));
+            self.each_patch(|ig, p, f, dx| ig.accelerate(p, f, dx, dt));
+            self.each_patch(|ig, p, f, dx| ig.pdv(p, f, dx, dt, false));
+            self.fill(|s| &s.post_accel, comm);
+            self.each_patch(|ig, p, f, dx| ig.flux_calc(p, f, dx, dt));
+        }
 
         // --- Advection phase (alternating sweep order) ---------------
-        let dirs = if self.step.is_multiple_of(2) { [0usize, 1] } else { [1, 0] };
-        self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[0], 1));
-        self.fill(|s| &s.post_sweep1[dirs[0]], comm);
-        self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[0], 1));
-        self.fill(|s| &s.mid_sweeps, comm);
-        self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[1], 2));
-        self.fill(|s| &s.post_sweep2[dirs[1]], comm);
-        self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[1], 2));
-        self.each_patch(|ig, p, f, _dx| ig.reset(p, f));
+        {
+            let _s = rec.is_enabled().then(|| rec.span("advection", Category::HydroKernel));
+            let dirs = if self.step.is_multiple_of(2) { [0usize, 1] } else { [1, 0] };
+            self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[0], 1));
+            self.fill(|s| &s.post_sweep1[dirs[0]], comm);
+            self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[0], 1));
+            self.fill(|s| &s.mid_sweeps, comm);
+            self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[1], 2));
+            self.fill(|s| &s.post_sweep2[dirs[1]], comm);
+            self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[1], 2));
+            self.each_patch(|ig, p, f, _dx| ig.reset(p, f));
+        }
 
         // --- Synchronisation: project fine onto coarse ----------------
-        for l in (1..self.hierarchy.num_levels()).rev() {
-            self.sync_schedules[l - 1].run(
-                &mut self.hierarchy,
-                &self.registry,
-                comm,
-                Category::Synchronize,
-            );
+        {
+            let _s = rec.is_enabled().then(|| rec.span("synchronize", Category::Synchronize));
+            for l in (1..self.hierarchy.num_levels()).rev() {
+                self.sync_schedules[l - 1].run(
+                    &mut self.hierarchy,
+                    &self.registry,
+                    comm,
+                    Category::Synchronize,
+                );
+            }
         }
 
         self.time += dt;
@@ -559,8 +594,25 @@ impl HydroSim {
         self.prev_dt = dt;
 
         // --- Regrid --------------------------------------------------
-        if self.config.regrid_interval > 0 && self.step.is_multiple_of(self.config.regrid_interval) {
+        if self.config.regrid_interval > 0 && self.step.is_multiple_of(self.config.regrid_interval)
+        {
+            let _s = rec.is_enabled().then(|| rec.span("regrid-phase", Category::Regrid));
             self.regrid(comm);
+        }
+
+        if rec.is_enabled() {
+            rec.count("hydro.steps", 1);
+            let local_cells: i64 = (0..self.hierarchy.num_levels())
+                .map(|l| {
+                    self.hierarchy
+                        .level(l)
+                        .local()
+                        .iter()
+                        .map(|p| p.cell_box().num_cells())
+                        .sum::<i64>()
+                })
+                .sum();
+            rec.count("hydro.cells_advanced", local_cells as u64);
         }
 
         StepStats {
@@ -732,12 +784,7 @@ impl HydroSim {
 
     /// Read one interior row of a cell field (x index, value) — a
     /// diagnostic full-row transfer on the device path.
-    fn read_cell_row(
-        &self,
-        patch: &rbamr_amr::Patch,
-        var: VariableId,
-        y: i64,
-    ) -> Vec<(i64, f64)> {
+    fn read_cell_row(&self, patch: &rbamr_amr::Patch, var: VariableId, y: i64) -> Vec<(i64, f64)> {
         let cb = patch.cell_box();
         match self.placement {
             Placement::Host => {
@@ -752,9 +799,7 @@ impl HydroSim {
                     .expect("device data");
                 let all = d.download_all(Category::Other);
                 let dbox = d.data_box();
-                (cb.lo.x..cb.hi.x)
-                    .map(|x| (x, all[dbox.offset_of(IntVector::new(x, y))]))
-                    .collect()
+                (cb.lo.x..cb.hi.x).map(|x| (x, all[dbox.offset_of(IntVector::new(x, y))])).collect()
             }
         }
     }
@@ -766,8 +811,20 @@ mod tests {
 
     fn sod_regions() -> Vec<RegionInit> {
         vec![
-            RegionInit { rect: (0.0, 0.0, 0.5, 1.0), density: 1.0, energy: 2.5, xvel: 0.0, yvel: 0.0 },
-            RegionInit { rect: (0.5, 0.0, 1.0, 1.0), density: 0.125, energy: 2.0, xvel: 0.0, yvel: 0.0 },
+            RegionInit {
+                rect: (0.0, 0.0, 0.5, 1.0),
+                density: 1.0,
+                energy: 2.5,
+                xvel: 0.0,
+                yvel: 0.0,
+            },
+            RegionInit {
+                rect: (0.5, 0.0, 1.0, 1.0),
+                density: 0.125,
+                energy: 2.0,
+                xvel: 0.0,
+                yvel: 0.0,
+            },
         ]
     }
 
@@ -859,10 +916,7 @@ mod tests {
         assert_eq!(hp.len(), dp.len());
         for ((hx, hd), (dx_, dd)) in hp.iter().zip(&dp) {
             assert_eq!(hx, dx_);
-            assert!(
-                (hd - dd).abs() < 1e-12,
-                "host/device divergence at x={hx}: {hd} vs {dd}"
-            );
+            assert!((hd - dd).abs() < 1e-12, "host/device divergence at x={hx}: {hd} vs {dd}");
         }
     }
 
@@ -872,11 +926,7 @@ mod tests {
         let t_end = 0.05;
         let steps = s.run_to_time(t_end, None);
         assert!(steps > 1);
-        assert!(
-            (s.time() - t_end).abs() < 1e-12,
-            "overshot: {} vs {t_end}",
-            s.time()
-        );
+        assert!((s.time() - t_end).abs() < 1e-12, "overshot: {} vs {t_end}", s.time());
     }
 
     #[test]

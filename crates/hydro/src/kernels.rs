@@ -55,7 +55,12 @@ impl<'a> View<'a> {
 /// Row-parallel write over `region` of an array laid out over `obox`:
 /// `f(row, y)` receives the full row slice (index with
 /// `(x - obox.lo.x)`) and the absolute row coordinate.
-pub fn par_rows(out: &mut [f64], obox: GBox, region: GBox, f: impl Fn(&mut [f64], i64) + Sync + Send) {
+pub fn par_rows(
+    out: &mut [f64],
+    obox: GBox,
+    region: GBox,
+    f: impl Fn(&mut [f64], i64) + Sync + Send,
+) {
     if region.is_empty() {
         return;
     }
@@ -86,14 +91,7 @@ fn sign(v: f64, s: f64) -> f64 {
 // --------------------------------------------------------------------
 
 /// Ideal-gas pressure: `p = (γ-1) ρ e`.
-pub fn ideal_gas_pressure(
-    p: &mut [f64],
-    cbox: GBox,
-    rho: View,
-    e: View,
-    region: GBox,
-    gamma: f64,
-) {
+pub fn ideal_gas_pressure(p: &mut [f64], cbox: GBox, rho: View, e: View, region: GBox, gamma: f64) {
     par_rows(p, cbox, region, |row, y| {
         for x in region.lo.x..region.hi.x {
             row[(x - cbox.lo.x) as usize] = (gamma - 1.0) * rho.at(x, y) * e.at(x, y);
@@ -238,12 +236,14 @@ fn total_flux(
     dx: (f64, f64),
 ) -> f64 {
     let (xarea, yarea) = (dx.1, dx.0);
-    let left = 0.25 * dt_eff * xarea * (u0.at(x, y) + u0.at(x, y + 1) + u1.at(x, y) + u1.at(x, y + 1));
+    let left =
+        0.25 * dt_eff * xarea * (u0.at(x, y) + u0.at(x, y + 1) + u1.at(x, y) + u1.at(x, y + 1));
     let right = 0.25
         * dt_eff
         * xarea
         * (u0.at(x + 1, y) + u0.at(x + 1, y + 1) + u1.at(x + 1, y) + u1.at(x + 1, y + 1));
-    let bottom = 0.25 * dt_eff * yarea * (v0.at(x, y) + v0.at(x + 1, y) + v1.at(x, y) + v1.at(x + 1, y));
+    let bottom =
+        0.25 * dt_eff * yarea * (v0.at(x, y) + v0.at(x + 1, y) + v1.at(x, y) + v1.at(x + 1, y));
     let top = 0.25
         * dt_eff
         * yarea
@@ -472,11 +472,8 @@ fn van_leer_face(
         }
     };
     let f0 = if axis == 0 { x } else { y };
-    let (donor, upwind, downwind) = if flux > 0.0 {
-        (f0 - 1, f0 - 2, f0)
-    } else {
-        (f0, f0 + 1, f0 - 1)
-    };
+    let (donor, upwind, downwind) =
+        if flux > 0.0 { (f0 - 1, f0 - 2, f0) } else { (f0, f0 + 1, f0 - 1) };
     let (dx_, dy_) = cell(donor);
     let (ux, uy) = cell(upwind);
     let (wx, wy) = cell(downwind);
@@ -497,9 +494,7 @@ fn van_leer_face(
         let auw = diffuw.abs();
         let adw = diffdw.abs();
         let wind = if diffdw >= 0.0 { 1.0 } else { -1.0 };
-        (1.0 - sigma)
-            * wind
-            * auw.min(adw).min(((2.0 - sigma) * adw + (1.0 + sigma) * auw) / 6.0)
+        (1.0 - sigma) * wind * auw.min(adw).min(((2.0 - sigma) * adw + (1.0 + sigma) * auw) / 6.0)
     } else {
         0.0
     };
@@ -570,9 +565,19 @@ pub fn advec_cell_energy(
     par_rows(energy1, cbox, region, |row, y| {
         for x in region.lo.x..region.hi.x {
             let (mf_lo, mf_hi, ef_lo, ef_hi) = if axis == 0 {
-                (mass_flux.at(x, y), mass_flux.at(x + 1, y), ener_flux.at(x, y), ener_flux.at_c(x + 1, y))
+                (
+                    mass_flux.at(x, y),
+                    mass_flux.at(x + 1, y),
+                    ener_flux.at(x, y),
+                    ener_flux.at_c(x + 1, y),
+                )
             } else {
-                (mass_flux.at(x, y), mass_flux.at(x, y + 1), ener_flux.at(x, y), ener_flux.at_c(x, y + 1))
+                (
+                    mass_flux.at(x, y),
+                    mass_flux.at(x, y + 1),
+                    ener_flux.at(x, y),
+                    ener_flux.at_c(x, y + 1),
+                )
             };
             let pre_mass = density_old.at(x, y) * pre_vol.at(x, y);
             let post_mass = pre_mass + mf_lo - mf_hi;
@@ -597,9 +602,19 @@ pub fn advec_cell_density(
     par_rows(density1, cbox, region, |row, y| {
         for x in region.lo.x..region.hi.x {
             let (mf_lo, mf_hi, vf_lo, vf_hi) = if axis == 0 {
-                (mass_flux.at(x, y), mass_flux.at(x + 1, y), vol_flux.at(x, y), vol_flux.at(x + 1, y))
+                (
+                    mass_flux.at(x, y),
+                    mass_flux.at(x + 1, y),
+                    vol_flux.at(x, y),
+                    vol_flux.at(x + 1, y),
+                )
             } else {
-                (mass_flux.at(x, y), mass_flux.at(x, y + 1), vol_flux.at(x, y), vol_flux.at(x, y + 1))
+                (
+                    mass_flux.at(x, y),
+                    mass_flux.at(x, y + 1),
+                    vol_flux.at(x, y),
+                    vol_flux.at(x, y + 1),
+                )
             };
             let pre_mass = density_old.at(x, y) * pre_vol.at(x, y);
             let post_mass = pre_mass + mf_lo - mf_hi;
@@ -695,11 +710,8 @@ pub fn mom_flux(
         for x in region.lo.x..region.hi.x {
             let nf = node_flux.at(x, y);
             let f0 = if axis == 0 { x } else { y };
-            let (donor, upwind, downwind) = if nf < 0.0 {
-                (f0 + 1, f0 + 2, f0)
-            } else {
-                (f0, f0 - 1, f0 + 1)
-            };
+            let (donor, upwind, downwind) =
+                if nf < 0.0 { (f0 + 1, f0 + 2, f0) } else { (f0, f0 - 1, f0 + 1) };
             let node = |k: i64| -> (i64, i64) {
                 if axis == 0 {
                     (k, y)
@@ -827,7 +839,6 @@ pub fn field_summary(
 mod tests {
     use super::*;
     use rbamr_geometry::IntVector;
-    
 
     fn b(x0: i64, y0: i64, x1: i64, y1: i64) -> GBox {
         GBox::from_coords(x0, y0, x1, y1)
@@ -989,7 +1000,18 @@ mod tests {
             0.01,
             (0.1, 0.1),
         );
-        pdv_density(&mut rho1, cbox, View::new(&rho0, cbox), uv, uv, vv, vv, cbox, 0.01, (0.1, 0.1));
+        pdv_density(
+            &mut rho1,
+            cbox,
+            View::new(&rho0, cbox),
+            uv,
+            uv,
+            vv,
+            vv,
+            cbox,
+            0.01,
+            (0.1, 0.1),
+        );
         assert!(e1.iter().all(|&x| (x - 2.0).abs() < 1e-14));
         assert!(rho1.iter().all(|&x| (x - 1.5).abs() < 1e-14));
     }
@@ -1024,7 +1046,18 @@ mod tests {
             0.05,
             (1.0, 1.0),
         );
-        pdv_density(&mut rho1, cbox, View::new(&rho0, cbox), uv, uv, vv, vv, cbox, 0.05, (1.0, 1.0));
+        pdv_density(
+            &mut rho1,
+            cbox,
+            View::new(&rho0, cbox),
+            uv,
+            uv,
+            vv,
+            vv,
+            cbox,
+            0.05,
+            (1.0, 1.0),
+        );
         assert!(e1.iter().all(|&x| x > 1.0), "compression must heat: {e1:?}");
         assert!(rho1.iter().all(|&x| x > 1.0), "compression must densify: {rho1:?}");
     }
@@ -1060,7 +1093,16 @@ mod tests {
         let sxbox = b(0, 0, 5, 4);
         let u = constant(nbox, 0.0);
         let mut vf = constant(sxbox, 1.0);
-        flux_calc(&mut vf, sxbox, View::new(&u, nbox), View::new(&u, nbox), sxbox, 0.1, (1.0, 1.0), 0);
+        flux_calc(
+            &mut vf,
+            sxbox,
+            View::new(&u, nbox),
+            View::new(&u, nbox),
+            sxbox,
+            0.1,
+            (1.0, 1.0),
+            0,
+        );
         assert!(vf.iter().all(|&x| x == 0.0));
     }
 
@@ -1079,8 +1121,26 @@ mod tests {
         let vfy = constant(sybox, 0.0);
         let mut pre = constant(cbox, 0.0);
         let mut post = constant(cbox, 0.0);
-        advec_pre_vol(&mut pre, cbox, View::new(&vfx, sxbox), View::new(&vfy, sybox), cbox, 0, 1, (1.0, 1.0));
-        advec_post_vol(&mut post, cbox, View::new(&vfx, sxbox), View::new(&vfy, sybox), cbox, 0, 1, (1.0, 1.0));
+        advec_pre_vol(
+            &mut pre,
+            cbox,
+            View::new(&vfx, sxbox),
+            View::new(&vfy, sybox),
+            cbox,
+            0,
+            1,
+            (1.0, 1.0),
+        );
+        advec_post_vol(
+            &mut post,
+            cbox,
+            View::new(&vfx, sxbox),
+            View::new(&vfy, sybox),
+            cbox,
+            0,
+            1,
+            (1.0, 1.0),
+        );
         assert!(pre.iter().all(|&x| (x - 1.0).abs() < 1e-14));
         let mut mfx = constant(sxbox, 0.0);
         let interior = b(0, 0, 4, 4);
@@ -1206,7 +1266,8 @@ mod tests {
         );
         // Total mass over the interior: sum rho*pre before, rho1*advec_vol
         // after; with zero boundary fluxes these are equal.
-        let before: f64 = interior.iter().map(|p| rho[cbox.offset_of(p)] * pre[cbox.offset_of(p)]).sum();
+        let before: f64 =
+            interior.iter().map(|p| rho[cbox.offset_of(p)] * pre[cbox.offset_of(p)]).sum();
         let after: f64 = interior
             .iter()
             .map(|p| {

@@ -35,11 +35,11 @@
 pub mod boundary;
 pub mod checkpoint;
 pub mod copyback_integrator;
-pub mod output;
 pub mod device_integrator;
 pub mod host_integrator;
 pub mod integrator;
 pub mod kernels;
+pub mod output;
 pub mod state;
 
 pub use boundary::ReflectiveBoundary;

@@ -177,8 +177,20 @@ mod tests {
             _ => Machine::ipa_gpu(),
         };
         let regions = vec![
-            RegionInit { rect: (0.0, 0.0, 0.5, 1.0), density: 1.0, energy: 2.5, xvel: 0.0, yvel: 0.0 },
-            RegionInit { rect: (0.5, 0.0, 1.0, 1.0), density: 0.125, energy: 2.0, xvel: 0.0, yvel: 0.0 },
+            RegionInit {
+                rect: (0.0, 0.0, 0.5, 1.0),
+                density: 1.0,
+                energy: 2.5,
+                xvel: 0.0,
+                yvel: 0.0,
+            },
+            RegionInit {
+                rect: (0.5, 0.0, 1.0, 1.0),
+                density: 0.125,
+                energy: 2.0,
+                xvel: 0.0,
+                yvel: 0.0,
+            },
         ];
         let mut sim = HydroSim::new(
             machine,
@@ -202,9 +214,8 @@ mod tests {
         let sim = build(Placement::Host);
         let dir = std::env::temp_dir().join(format!("rbamr_vtk_{}", std::process::id()));
         let n = sim.write_vtk_dump(&dir).expect("dump");
-        let expected: usize = (0..sim.hierarchy().num_levels())
-            .map(|l| sim.hierarchy().level(l).local().len())
-            .sum();
+        let expected: usize =
+            (0..sim.hierarchy().num_levels()).map(|l| sim.hierarchy().level(l).local().len()).sum();
         assert_eq!(n, expected);
         let index = std::fs::read_to_string(dir.join("dump.visit")).unwrap();
         assert!(index.starts_with(&format!("!NBLOCKS {n}")));
@@ -229,8 +240,20 @@ mod tests {
             let mut config = HydroConfig { max_patch_size: 8, ..HydroConfig::default() };
             config.regrid.max_patch_size = 8;
             let regions = vec![
-                RegionInit { rect: (0.0, 0.0, 0.5, 1.0), density: 1.0, energy: 2.5, xvel: 0.0, yvel: 0.0 },
-                RegionInit { rect: (0.5, 0.0, 1.0, 1.0), density: 0.125, energy: 2.0, xvel: 0.0, yvel: 0.0 },
+                RegionInit {
+                    rect: (0.0, 0.0, 0.5, 1.0),
+                    density: 1.0,
+                    energy: 2.5,
+                    xvel: 0.0,
+                    yvel: 0.0,
+                },
+                RegionInit {
+                    rect: (0.5, 0.0, 1.0, 1.0),
+                    density: 0.125,
+                    energy: 2.0,
+                    xvel: 0.0,
+                    yvel: 0.0,
+                },
             ];
             let mut sim = HydroSim::new(
                 Machine::ipa_cpu_node(),

@@ -300,24 +300,21 @@ mod tests {
     fn compute_regions_resolve() {
         let interior = GBox::from_coords(0, 0, 8, 8);
         assert_eq!(ComputeRegion::Interior.cell_box(interior), interior);
-        assert_eq!(
-            ComputeRegion::Grown(1).cell_box(interior),
-            GBox::from_coords(-1, -1, 9, 9)
-        );
-        assert_eq!(
-            ComputeRegion::GhostBox.cell_box(interior),
-            GBox::from_coords(-2, -2, 10, 10)
-        );
+        assert_eq!(ComputeRegion::Grown(1).cell_box(interior), GBox::from_coords(-1, -1, 9, 9));
+        assert_eq!(ComputeRegion::GhostBox.cell_box(interior), GBox::from_coords(-2, -2, 10, 10));
         // Grown clamps at the ghost width.
-        assert_eq!(
-            ComputeRegion::Grown(99).cell_box(interior),
-            GBox::from_coords(-2, -2, 10, 10)
-        );
+        assert_eq!(ComputeRegion::Grown(99).cell_box(interior), GBox::from_coords(-2, -2, 10, 10));
     }
 
     #[test]
     fn summary_merge_and_total() {
-        let a = Summary { volume: 1.0, mass: 2.0, internal_energy: 3.0, kinetic_energy: 4.0, pressure: 5.0 };
+        let a = Summary {
+            volume: 1.0,
+            mass: 2.0,
+            internal_energy: 3.0,
+            kinetic_energy: 4.0,
+            pressure: 5.0,
+        };
         let b = a;
         let m = a.merged(&b);
         assert_eq!(m.mass, 4.0);

@@ -89,7 +89,13 @@ fn blast_preserves_fourfold_symmetry() {
     // y<->(N-1-y) through full AMR steps (sweep alternation included).
     let regions = vec![
         RegionInit { rect: (0.0, 0.0, 1.0, 1.0), density: 1.0, energy: 1e-2, xvel: 0.0, yvel: 0.0 },
-        RegionInit { rect: (0.375, 0.375, 0.625, 0.625), density: 1.0, energy: 5.0, xvel: 0.0, yvel: 0.0 },
+        RegionInit {
+            rect: (0.375, 0.375, 0.625, 0.625),
+            density: 1.0,
+            energy: 5.0,
+            xvel: 0.0,
+            yvel: 0.0,
+        },
     ];
     let n = 32i64;
     let mut sim = sim_with(regions, n, 2);
@@ -108,14 +114,8 @@ fn blast_preserves_fourfold_symmetry() {
     for y in 0..n {
         for x in 0..n {
             let v = read(x, y);
-            assert!(
-                (v - read(n - 1 - x, y)).abs() < 1e-10,
-                "x-mirror broken at ({x},{y})"
-            );
-            assert!(
-                (v - read(x, n - 1 - y)).abs() < 1e-10,
-                "y-mirror broken at ({x},{y})"
-            );
+            assert!((v - read(n - 1 - x, y)).abs() < 1e-10, "x-mirror broken at ({x},{y})");
+            assert!((v - read(x, n - 1 - y)).abs() < 1e-10, "y-mirror broken at ({x},{y})");
         }
     }
 }
@@ -156,7 +156,13 @@ fn dt_respects_cfl_under_refinement() {
     // refinement ratio (the synchronized-stepping CFL constraint).
     let regions = vec![
         RegionInit { rect: (0.0, 0.0, 0.5, 1.0), density: 1.0, energy: 2.5, xvel: 0.0, yvel: 0.0 },
-        RegionInit { rect: (0.5, 0.0, 1.0, 1.0), density: 0.125, energy: 2.0, xvel: 0.0, yvel: 0.0 },
+        RegionInit {
+            rect: (0.5, 0.0, 1.0, 1.0),
+            density: 0.125,
+            energy: 2.0,
+            xvel: 0.0,
+            yvel: 0.0,
+        },
     ];
     let mut coarse_only = sim_with(regions.clone(), 32, 1);
     let mut refined = sim_with(regions, 32, 2);

@@ -40,18 +40,9 @@ fn matched_patches(seed: u64) -> (Patch, Fields, Patch, Fields, Device) {
         let positive = v < 7; // densities/energies/EOS fields stay positive
         let len = host_patch.host::<f64>(var).as_slice().len();
         let image: Vec<f64> = (0..len)
-            .map(|_| {
-                if positive {
-                    rng.gen_range(0.2..2.0)
-                } else {
-                    rng.gen_range(-1.0..1.0)
-                }
-            })
+            .map(|_| if positive { rng.gen_range(0.2..2.0) } else { rng.gen_range(-1.0..1.0) })
             .collect();
-        host_patch
-            .host_mut::<f64>(var)
-            .as_mut_slice()
-            .copy_from_slice(&image);
+        host_patch.host_mut::<f64>(var).as_mut_slice().copy_from_slice(&image);
         dev_patch
             .data_mut(var)
             .as_any_mut()

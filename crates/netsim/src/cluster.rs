@@ -88,9 +88,7 @@ impl Cluster {
     /// (per-category max over ranks — the slowest rank paces each BSP
     /// phase).
     pub fn job_time<R>(results: &[RankResult<R>]) -> TimeBreakdown {
-        results
-            .iter()
-            .fold(TimeBreakdown::default(), |acc, r| acc.max_per_category(&r.time))
+        results.iter().fold(TimeBreakdown::default(), |acc, r| acc.max_per_category(&r.time))
     }
 }
 

@@ -3,6 +3,7 @@
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use rbamr_perfmodel::{Category, Clock, CostModel};
+use rbamr_telemetry::Recorder;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
@@ -71,11 +72,47 @@ pub struct Comm {
     clock: Clock,
     cost: Arc<CostModel>,
     collective_seq: std::sync::atomic::AtomicU64,
+    recorder: Recorder,
 }
 
 impl Comm {
-    pub(crate) fn new(rank: usize, shared: Arc<Shared>, clock: Clock, cost: Arc<CostModel>) -> Self {
-        Self { rank, shared, clock, cost, collective_seq: std::sync::atomic::AtomicU64::new(0) }
+    pub(crate) fn new(
+        rank: usize,
+        shared: Arc<Shared>,
+        clock: Clock,
+        cost: Arc<CostModel>,
+    ) -> Self {
+        Self {
+            rank,
+            shared,
+            clock,
+            cost,
+            collective_seq: std::sync::atomic::AtomicU64::new(0),
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attach a telemetry recorder: sends/receives/collectives report
+    /// message counts and bytes (split by tag kind, the top four tag
+    /// bits) and collectives record spans.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
+    /// The attached recorder (disabled if never set).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    fn count_message(&self, dir: &str, tag: u64, bytes: u64) {
+        if !self.recorder.is_enabled() {
+            return;
+        }
+        self.recorder.count(&format!("net.{dir}s"), 1);
+        self.recorder.count(&format!("net.{dir}_bytes"), bytes);
+        let kind = tag >> 60;
+        self.recorder.count(&format!("net.{dir}s.kind{kind}"), 1);
+        self.recorder.count(&format!("net.{dir}_bytes.kind{kind}"), bytes);
     }
 
     /// This rank's id, `0..size`.
@@ -109,6 +146,7 @@ impl Comm {
     pub fn send(&self, dst: usize, tag: u64, payload: Bytes) {
         assert!(dst < self.shared.size, "send: rank {dst} out of range");
         assert_ne!(dst, self.rank, "send: rank {} sent to itself", self.rank);
+        self.count_message("send", tag, payload.len() as u64);
         let mb = &self.shared.mailboxes[dst];
         mb.queues.lock().entry((self.rank, tag)).or_default().push_back(payload);
         mb.ready.notify_all();
@@ -132,6 +170,7 @@ impl Comm {
                     let bytes = payload.len() as u64;
                     drop(queues);
                     self.clock.advance(category, self.cost.message(bytes));
+                    self.count_message("recv", tag, bytes);
                     return payload;
                 }
             }
@@ -144,7 +183,16 @@ impl Comm {
         }
     }
 
-    fn collective(&self, v: f64, op: fn(f64, f64) -> f64, bytes: u64, category: Category) -> f64 {
+    fn collective(
+        &self,
+        name: &'static str,
+        v: f64,
+        op: fn(f64, f64) -> f64,
+        bytes: u64,
+        category: Category,
+    ) -> f64 {
+        let _span = self.recorder.is_enabled().then(|| self.recorder.span(name, category));
+        self.recorder.count("net.collectives", 1);
         let nranks = self.shared.size as u32;
         self.clock.advance(category, self.cost.allreduce(nranks, bytes));
         if self.shared.size == 1 {
@@ -164,11 +212,7 @@ impl Comm {
         let gen = st.generation;
         while st.generation == gen {
             let timed_out = coll.done.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out();
-            assert!(
-                !timed_out,
-                "deadlock: rank {} waited >60s in a collective",
-                self.rank
-            );
+            assert!(!timed_out, "deadlock: rank {} waited >60s in a collective", self.rank);
         }
         st.result
     }
@@ -176,12 +220,12 @@ impl Comm {
     /// Global minimum over all ranks — the dt reduction, "the only
     /// global reduction" in the application (paper Section V-B).
     pub fn allreduce_min(&self, v: f64, category: Category) -> f64 {
-        self.collective(v, f64::min, 8, category)
+        self.collective("allreduce-min", v, f64::min, 8, category)
     }
 
     /// Global maximum over all ranks.
     pub fn allreduce_max(&self, v: f64, category: Category) -> f64 {
-        self.collective(v, f64::max, 8, category)
+        self.collective("allreduce-max", v, f64::max, 8, category)
     }
 
     /// Global sum over all ranks (used by conservation diagnostics).
@@ -190,12 +234,12 @@ impl Comm {
     /// non-deterministic; diagnostics tolerate roundoff-level variation
     /// exactly as MPI_SUM does.
     pub fn allreduce_sum(&self, v: f64, category: Category) -> f64 {
-        self.collective(v, |a, b| a + b, 8, category)
+        self.collective("allreduce-sum", v, |a, b| a + b, 8, category)
     }
 
     /// Synchronise all ranks.
     pub fn barrier(&self, category: Category) {
-        self.collective(0.0, |_, _| 0.0, 0, category);
+        self.collective("barrier", 0.0, |_, _| 0.0, 0, category);
     }
 
     fn next_collective_tag(&self) -> u64 {
@@ -210,6 +254,8 @@ impl Comm {
     /// indexed by rank, at the root; `None` elsewhere). Cost: the root
     /// is charged one message per remote rank.
     pub fn gather(&self, root: usize, payload: Bytes, category: Category) -> Option<Vec<Bytes>> {
+        let _span = self.recorder.is_enabled().then(|| self.recorder.span("gather", category));
+        self.recorder.count("net.collectives", 1);
         let tag = self.next_collective_tag();
         if self.rank == root {
             let mut parts = Vec::with_capacity(self.shared.size);
@@ -234,6 +280,8 @@ impl Comm {
     /// # Panics
     /// Panics if the root passes `None` or a non-root passes `Some`.
     pub fn broadcast(&self, root: usize, payload: Option<Bytes>, category: Category) -> Bytes {
+        let _span = self.recorder.is_enabled().then(|| self.recorder.span("broadcast", category));
+        self.recorder.count("net.collectives", 1);
         let tag = self.next_collective_tag();
         if self.rank == root {
             let payload = payload.expect("broadcast: root must supply a payload");
@@ -367,17 +415,15 @@ mod tests {
 
     #[test]
     fn collective_cost_scales_with_log_ranks() {
-        let t4 = cluster()
-            .run(4, |comm| {
-                comm.barrier(Category::Timestep);
-                comm.clock().total()
-            })[0]
+        let t4 = cluster().run(4, |comm| {
+            comm.barrier(Category::Timestep);
+            comm.clock().total()
+        })[0]
             .value;
-        let t2 = cluster()
-            .run(2, |comm| {
-                comm.barrier(Category::Timestep);
-                comm.clock().total()
-            })[0]
+        let t2 = cluster().run(2, |comm| {
+            comm.barrier(Category::Timestep);
+            comm.clock().total()
+        })[0]
             .value;
         assert!((t4 / t2 - 2.0).abs() < 1e-9, "log2(4)/log2(2) = 2, got {}", t4 / t2);
     }

@@ -38,6 +38,23 @@ impl TimeBreakdown {
         }
     }
 
+    /// Record `seconds` against one category. Lets derived breakdowns
+    /// (e.g. span-based reconstructions in `rbamr-telemetry`) be built
+    /// outside the `Clock` without exposing the backing array.
+    pub fn add(&mut self, c: Category, seconds: f64) {
+        self.seconds[c.index()] += seconds;
+    }
+
+    /// Component-wise difference `self - earlier`, clamped at zero —
+    /// the elapsed breakdown between two snapshots of one clock.
+    pub fn since(&self, earlier: &TimeBreakdown) -> TimeBreakdown {
+        let mut out = *self;
+        for i in 0..6 {
+            out.seconds[i] = (out.seconds[i] - earlier.seconds[i]).max(0.0);
+        }
+        out
+    }
+
     /// Component-wise sum of two breakdowns.
     pub fn merged(&self, other: &TimeBreakdown) -> TimeBreakdown {
         let mut out = *self;

@@ -233,19 +233,13 @@ impl Machine {
     /// The device model, panicking with a clear message if this machine
     /// has none.
     pub fn device(&self) -> &DeviceModel {
-        self.device
-            .as_ref()
-            .unwrap_or_else(|| panic!("machine {} has no accelerator", self.name))
+        self.device.as_ref().unwrap_or_else(|| panic!("machine {} has no accelerator", self.name))
     }
 
     /// Render the Table I row for this machine (used by the
     /// `table1_machines` bench binary).
     pub fn table_row(&self) -> String {
-        let acc = self
-            .device
-            .as_ref()
-            .map(|d| d.name.clone())
-            .unwrap_or_else(|| "-".into());
+        let acc = self.device.as_ref().map(|d| d.name.clone()).unwrap_or_else(|| "-".into());
         format!(
             "{:<18} {:<34} {:<22} {:>5} {:>6} {:>6}  {}",
             self.name,

@@ -204,15 +204,7 @@ pub fn parse_deck(text: &str) -> Result<Deck, DeckError> {
         });
     }
 
-    Ok(Deck {
-        extent,
-        cells: (x_cells, y_cells),
-        regions,
-        max_levels,
-        end_time,
-        end_step,
-        ignored,
-    })
+    Ok(Deck { extent, cells: (x_cells, y_cells), regions, max_levels, end_time, end_step, ignored })
 }
 
 /// The canonical Sod deck, as shipped with CloverLeaf-family codes.
@@ -304,10 +296,7 @@ mod tests {
     #[test]
     fn errors_are_specific() {
         assert_eq!(parse_deck("x_cells=8"), Err(DeckError::MissingBlock));
-        assert_eq!(
-            parse_deck("*clover\n x_cells=8\n*endclover"),
-            Err(DeckError::NoStates)
-        );
+        assert_eq!(parse_deck("*clover\n x_cells=8\n*endclover"), Err(DeckError::NoStates));
         assert!(matches!(
             parse_deck("*clover\n state 1 density=abc\n*endclover"),
             Err(DeckError::BadValue(_, _))
@@ -318,7 +307,9 @@ mod tests {
         ));
         // Non-background state without geometry.
         assert!(matches!(
-            parse_deck("*clover\n state 1 density=1 energy=1\n state 2 density=2 energy=2\n*endclover"),
+            parse_deck(
+                "*clover\n state 1 density=1 energy=1\n state 2 density=2 energy=2\n*endclover"
+            ),
             Err(DeckError::BadLine(_))
         ));
     }

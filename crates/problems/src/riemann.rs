@@ -100,12 +100,14 @@ impl ExactRiemann {
             let c = (g * s.p / s.rho).sqrt();
             if p_star > s.p {
                 // Left shock.
-                let sl = s.u - c * ((g + 1.0) / (2.0 * g) * p_star / s.p + (g - 1.0) / (2.0 * g)).sqrt();
+                let sl =
+                    s.u - c * ((g + 1.0) / (2.0 * g) * p_star / s.p + (g - 1.0) / (2.0 * g)).sqrt();
                 if xi < sl {
                     s
                 } else {
                     let ratio = p_star / s.p;
-                    let rho = s.rho * ((ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
+                    let rho = s.rho
+                        * ((ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
                     State1D { rho, u: u_star, p: p_star }
                 }
             } else {
@@ -133,12 +135,14 @@ impl ExactRiemann {
             let c = (g * s.p / s.rho).sqrt();
             if p_star > s.p {
                 // Right shock.
-                let sr = s.u + c * ((g + 1.0) / (2.0 * g) * p_star / s.p + (g - 1.0) / (2.0 * g)).sqrt();
+                let sr =
+                    s.u + c * ((g + 1.0) / (2.0 * g) * p_star / s.p + (g - 1.0) / (2.0 * g)).sqrt();
                 if xi > sr {
                     s
                 } else {
                     let ratio = p_star / s.p;
-                    let rho = s.rho * ((ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
+                    let rho = s.rho
+                        * ((ratio + (g - 1.0) / (g + 1.0)) / ((g - 1.0) / (g + 1.0) * ratio + 1.0));
                     State1D { rho, u: u_star, p: p_star }
                 }
             } else {

@@ -9,7 +9,13 @@ use rbamr_hydro::RegionInit;
 pub fn sedov_regions(extent: f64, hot_half_width: f64, hot_energy: f64) -> Vec<RegionInit> {
     let c = extent / 2.0;
     vec![
-        RegionInit { rect: (0.0, 0.0, extent, extent), density: 1.0, energy: 1e-3, xvel: 0.0, yvel: 0.0 },
+        RegionInit {
+            rect: (0.0, 0.0, extent, extent),
+            density: 1.0,
+            energy: 1e-3,
+            xvel: 0.0,
+            yvel: 0.0,
+        },
         RegionInit {
             rect: (c - hot_half_width, c - hot_half_width, c + hot_half_width, c + hot_half_width),
             density: 1.0,

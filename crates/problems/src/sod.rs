@@ -13,7 +13,13 @@ pub const SOD_GAMMA: f64 = 1.4;
 pub fn sod_regions() -> Vec<RegionInit> {
     vec![
         RegionInit { rect: (0.0, 0.0, 0.5, 1.0), density: 1.0, energy: 2.5, xvel: 0.0, yvel: 0.0 },
-        RegionInit { rect: (0.5, 0.0, 1.0, 1.0), density: 0.125, energy: 2.0, xvel: 0.0, yvel: 0.0 },
+        RegionInit {
+            rect: (0.5, 0.0, 1.0, 1.0),
+            density: 0.125,
+            energy: 2.0,
+            xvel: 0.0,
+            yvel: 0.0,
+        },
     ]
 }
 
@@ -31,10 +37,8 @@ pub fn sod_exact() -> ExactRiemann {
 pub fn sod_l1_error(profile: &[(f64, f64)], t: f64) -> f64 {
     assert!(!profile.is_empty(), "empty profile");
     let exact = sod_exact();
-    let sum: f64 = profile
-        .iter()
-        .map(|&(x, rho)| (rho - exact.sample((x - 0.5) / t).rho).abs())
-        .sum();
+    let sum: f64 =
+        profile.iter().map(|&(x, rho)| (rho - exact.sample((x - 0.5) / t).rho).abs()).sum();
     sum / profile.len() as f64
 }
 

@@ -225,8 +225,8 @@ impl WeakScalingModel {
             0.0
         };
         let cluster = boxes_per_rank * f64::from(nodes) * c.cluster_seconds_per_box;
-        let transfer = total_cells * 4.0 * 16.0 / dev.mem_bandwidth
-            + total_patches * 8.0 * dev.kernel_latency;
+        let transfer =
+            total_cells * 4.0 * 16.0 / dev.mem_bandwidth + total_patches * 8.0 * dev.kernel_latency;
         let regrid = (flag + exchange + cluster + transfer) / c.regrid_interval;
 
         ComponentTimes { hydro, timestep, sync, regrid }

@@ -20,9 +20,21 @@ pub fn triple_point_regions() -> Vec<RegionInit> {
     let e = |p: f64, rho: f64| p / (0.4 * rho);
     vec![
         // Left driver: rho = 1, p = 1.
-        RegionInit { rect: (0.0, 0.0, 1.0, 3.0), density: 1.0, energy: e(1.0, 1.0), xvel: 0.0, yvel: 0.0 },
+        RegionInit {
+            rect: (0.0, 0.0, 1.0, 3.0),
+            density: 1.0,
+            energy: e(1.0, 1.0),
+            xvel: 0.0,
+            yvel: 0.0,
+        },
         // Lower right: rho = 1, p = 0.1.
-        RegionInit { rect: (1.0, 0.0, 7.0, 1.5), density: 1.0, energy: e(0.1, 1.0), xvel: 0.0, yvel: 0.0 },
+        RegionInit {
+            rect: (1.0, 0.0, 7.0, 1.5),
+            density: 1.0,
+            energy: e(0.1, 1.0),
+            xvel: 0.0,
+            yvel: 0.0,
+        },
         // Upper right: rho = 0.125, p = 0.1.
         RegionInit {
             rect: (1.0, 1.5, 7.0, 3.0),
@@ -42,10 +54,7 @@ mod tests {
     fn three_regions_tile_the_domain() {
         let r = triple_point_regions();
         assert_eq!(r.len(), 3);
-        let area: f64 = r
-            .iter()
-            .map(|r| (r.rect.2 - r.rect.0) * (r.rect.3 - r.rect.1))
-            .sum();
+        let area: f64 = r.iter().map(|r| (r.rect.2 - r.rect.0) * (r.rect.3 - r.rect.1)).sum();
         assert!((area - 21.0).abs() < 1e-12);
     }
 

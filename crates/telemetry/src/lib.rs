@@ -1,0 +1,36 @@
+//! # rbamr-telemetry
+//!
+//! Observability layer for the whole stack: lightweight spans recorded
+//! against the **virtual** clock (so traces are deterministic — the
+//! same run always produces byte-identical output), named monotonic
+//! counters and peak gauges, and exporters for Chrome trace-event JSON
+//! (`chrome://tracing` / Perfetto), a flat JSON metrics snapshot, and
+//! an aligned text report reproducing the paper's Fig. 11 percentage
+//! breakdown from real spans.
+//!
+//! A [`Recorder`] is a cheaply cloneable per-rank handle threaded
+//! alongside the existing `Clock`. [`Recorder::disabled()`] is a no-op
+//! handle: every operation short-circuits on a `None`, so untouched
+//! call sites pay essentially nothing.
+//!
+//! ```
+//! use rbamr_perfmodel::{Category, Clock};
+//! use rbamr_telemetry::Recorder;
+//!
+//! let clock = Clock::new();
+//! let rec = Recorder::new(0, clock.clone());
+//! {
+//!     let _step = rec.span("step", Category::Other);
+//!     clock.advance(Category::HydroKernel, 1.0);
+//!     rec.count("device.kernel_launches", 1);
+//! }
+//! assert_eq!(rec.counter("device.kernel_launches"), 1);
+//! let json = rbamr_telemetry::chrome_trace(&[rec]);
+//! assert!(json.contains("\"ph\":\"X\""));
+//! ```
+
+mod export;
+mod recorder;
+
+pub use export::{chrome_trace, fig11_report, metrics_json, MetricsSnapshot};
+pub use recorder::{Recorder, SpanEvent, SpanGuard};

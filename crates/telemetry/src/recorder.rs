@@ -1,0 +1,282 @@
+//! The per-rank recorder: span guards against the virtual clock,
+//! monotonic counters, and peak gauges.
+
+use parking_lot::Mutex;
+use rbamr_perfmodel::{Category, Clock, TimeBreakdown};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One completed (or in-flight) span. Begin/end are full virtual-clock
+/// snapshots: the difference is the *exact* per-category time charged
+/// while the span was open, so breakdowns reconstructed from spans
+/// carry no sampling error.
+#[derive(Clone, Debug)]
+pub struct SpanEvent {
+    /// Static span name (e.g. `"halo-fill"`).
+    pub name: &'static str,
+    /// Nominal phase of the span (its track colour in a trace viewer).
+    pub category: Category,
+    /// Optional numeric argument (typically an AMR level number).
+    pub arg: Option<i64>,
+    /// Nesting depth at begin: 0 = top-level.
+    pub depth: usize,
+    /// Monotonic per-recorder sequence number (total order of begins).
+    pub seq: u64,
+    /// Clock snapshot when the span opened.
+    pub begin: TimeBreakdown,
+    /// Clock snapshot when the guard dropped (== `begin` while open).
+    pub end: TimeBreakdown,
+}
+
+impl SpanEvent {
+    /// Virtual time elapsed inside the span, per category.
+    pub fn elapsed(&self) -> TimeBreakdown {
+        self.end.since(&self.begin)
+    }
+}
+
+#[derive(Default)]
+struct State {
+    spans: Vec<SpanEvent>,
+    depth: usize,
+    next_seq: u64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+}
+
+struct Inner {
+    rank: usize,
+    clock: Clock,
+    state: Mutex<State>,
+}
+
+/// Cheaply cloneable per-rank telemetry handle. Clones share the same
+/// underlying store, so the device, the network layer, and the
+/// integrator can all record into one rank-local stream.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// An enabled recorder for `rank`, timestamping against `clock`.
+    pub fn new(rank: usize, clock: Clock) -> Self {
+        Self { inner: Some(Arc::new(Inner { rank, clock, state: Mutex::new(State::default()) })) }
+    }
+
+    /// The no-op recorder: every operation short-circuits, so
+    /// uninstrumented configurations pay only an `Option` check.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The rank this recorder belongs to (0 when disabled).
+    pub fn rank(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| i.rank)
+    }
+
+    /// Open a span; it closes (and records its end snapshot) when the
+    /// returned guard drops.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span(&self, name: &'static str, category: Category) -> SpanGuard {
+        self.begin_span(name, category, None)
+    }
+
+    /// Open a span carrying a numeric argument (e.g. an AMR level).
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span_arg(&self, name: &'static str, category: Category, arg: i64) -> SpanGuard {
+        self.begin_span(name, category, Some(arg))
+    }
+
+    fn begin_span(&self, name: &'static str, category: Category, arg: Option<i64>) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { inner: None, index: 0 };
+        };
+        let begin = inner.clock.snapshot();
+        let mut state = inner.state.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let depth = state.depth;
+        state.depth += 1;
+        let index = state.spans.len();
+        state.spans.push(SpanEvent { name, category, arg, depth, seq, begin, end: begin });
+        SpanGuard { inner: Some(inner.clone()), index }
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    pub fn count(&self, name: &str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.state.lock();
+        if let Some(v) = state.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            state.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    /// Raise the named gauge to `value` if it is a new peak.
+    pub fn gauge_max(&self, name: &str, value: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.state.lock();
+        if let Some(v) = state.gauges.get_mut(name) {
+            *v = (*v).max(value);
+        } else {
+            state.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    /// Current value of one counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.as_ref().and_then(|i| i.state.lock().counters.get(name).copied()).unwrap_or(0)
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.inner.as_ref().map_or_else(BTreeMap::new, |i| i.state.lock().counters.clone())
+    }
+
+    /// Snapshot of all gauges.
+    pub fn gauges(&self) -> BTreeMap<String, u64> {
+        self.inner.as_ref().map_or_else(BTreeMap::new, |i| i.state.lock().gauges.clone())
+    }
+
+    /// Snapshot of all spans recorded so far, in begin order.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| i.state.lock().spans.clone())
+    }
+
+    /// Snapshot of the recorder's clock.
+    pub fn clock_snapshot(&self) -> TimeBreakdown {
+        self.inner.as_ref().map_or_else(TimeBreakdown::default, |i| i.clock.snapshot())
+    }
+
+    /// Per-category virtual time reconstructed from **top-level**
+    /// spans only (nested spans are already contained in their
+    /// parents). Because every span stores exact clock snapshots, this
+    /// equals the raw `Clock` breakdown wherever instrumentation
+    /// covers the charged code — comparing the two measures coverage.
+    pub fn span_breakdown(&self) -> TimeBreakdown {
+        let mut out = TimeBreakdown::default();
+        let Some(inner) = &self.inner else { return out };
+        for span in inner.state.lock().spans.iter().filter(|s| s.depth == 0) {
+            out = out.merged(&span.elapsed());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Recorder(disabled)"),
+            Some(i) => f
+                .debug_struct("Recorder")
+                .field("rank", &i.rank)
+                .field("spans", &i.state.lock().spans.len())
+                .finish(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Recorder::span`]; records the end snapshot
+/// and pops the nesting depth on drop.
+pub struct SpanGuard {
+    inner: Option<Arc<Inner>>,
+    index: usize,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = &self.inner else { return };
+        let end = inner.clock.snapshot();
+        let mut state = inner.state.lock();
+        state.depth = state.depth.saturating_sub(1);
+        if let Some(span) = state.spans.get_mut(self.index) {
+            span.end = end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        {
+            let _g = rec.span("step", Category::Other);
+            rec.count("x", 3);
+            rec.gauge_max("g", 9);
+        }
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.counter("x"), 0);
+        assert!(rec.spans().is_empty());
+        assert_eq!(rec.span_breakdown().total(), 0.0);
+    }
+
+    #[test]
+    fn spans_nest_and_snapshot_the_clock() {
+        let clock = Clock::new();
+        let rec = Recorder::new(3, clock.clone());
+        {
+            let _outer = rec.span("step", Category::Other);
+            clock.advance(Category::HydroKernel, 1.0);
+            {
+                let _inner = rec.span_arg("halo-fill", Category::HaloExchange, 1);
+                clock.advance(Category::HaloExchange, 0.5);
+            }
+            clock.advance(Category::Timestep, 0.25);
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "step");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[1].name, "halo-fill");
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].arg, Some(1));
+        assert!(spans[0].seq < spans[1].seq);
+        assert_eq!(spans[0].elapsed().total(), 1.75);
+        assert_eq!(spans[1].elapsed().get(Category::HaloExchange), 0.5);
+        // Top-level reconstruction matches the raw clock exactly.
+        assert_eq!(rec.span_breakdown(), clock.snapshot());
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let rec = Recorder::new(0, Clock::new());
+        rec.count("net.send_bytes", 100);
+        rec.count("net.send_bytes", 28);
+        rec.gauge_max("device.peak_bytes", 10);
+        rec.gauge_max("device.peak_bytes", 7);
+        assert_eq!(rec.counter("net.send_bytes"), 128);
+        assert_eq!(rec.gauges()["device.peak_bytes"], 10);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let rec = Recorder::new(0, Clock::new());
+        let other = rec.clone();
+        other.count("k", 2);
+        assert_eq!(rec.counter("k"), 2);
+    }
+
+    #[test]
+    fn uncovered_clock_time_is_visible() {
+        let clock = Clock::new();
+        let rec = Recorder::new(0, clock.clone());
+        clock.advance(Category::Regrid, 5.0); // charged outside any span
+        {
+            let _g = rec.span("step", Category::Other);
+            clock.advance(Category::HydroKernel, 1.0);
+        }
+        let spans = rec.span_breakdown();
+        assert_eq!(spans.get(Category::HydroKernel), 1.0);
+        assert_eq!(spans.get(Category::Regrid), 0.0);
+        assert_eq!(clock.snapshot().get(Category::Regrid), 5.0);
+    }
+}

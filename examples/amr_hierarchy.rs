@@ -8,12 +8,12 @@
 //! cargo run --release --example amr_hierarchy
 //! ```
 
+use rbamr::amr::ops::ConservativeCellRefine;
 use rbamr::amr::regrid::{CellTagger, TransferSpec};
 use rbamr::amr::{
-    balance, GridGeometry, HostDataFactory, PatchHierarchy, Regridder, RegridParams, TagBitmap,
+    balance, GridGeometry, HostDataFactory, PatchHierarchy, RegridParams, Regridder, TagBitmap,
     VariableRegistry,
 };
-use rbamr::amr::ops::ConservativeCellRefine;
 use rbamr::geometry::{BoxList, Centring, GBox, IntVector};
 use std::sync::Arc;
 
@@ -37,9 +37,8 @@ impl CellTagger for MovingFront {
                         if level > 0 {
                             return 0;
                         }
-                        let d = ((q.x as f64 - centre.0).powi(2)
-                            + (q.y as f64 - centre.1).powi(2))
-                        .sqrt();
+                        let d = ((q.x as f64 - centre.0).powi(2) + (q.y as f64 - centre.1).powi(2))
+                            .sqrt();
                         i32::from((d - radius).abs() < 2.5)
                     })
                     .collect();

@@ -194,9 +194,7 @@ fn main() {
                     println!("wrote {n} VTK files to {}", dir.display());
                 }
             } else {
-                let n = sim
-                    .write_vtk_dump_distributed(dir, &comm)
-                    .expect("vtk dump failed");
+                let n = sim.write_vtk_dump_distributed(dir, &comm).expect("vtk dump failed");
                 if comm.rank() == 0 {
                     println!("wrote {n} VTK files to {}", dir.display());
                 }

@@ -80,10 +80,8 @@ fn main() {
     println!("max |host - device| density divergence: {max_div:.3e}");
 
     let exact = sod_exact();
-    let exact_profile: Vec<(f64, f64)> = host_profile
-        .iter()
-        .map(|&(x, _)| (x, exact.sample((x - 0.5) / host.time()).rho))
-        .collect();
+    let exact_profile: Vec<(f64, f64)> =
+        host_profile.iter().map(|&(x, _)| (x, exact.sample((x - 0.5) / host.time()).rho)).collect();
     ascii_profile(&host_profile, &exact_profile);
 
     let err_host = sod_l1_error(&host_profile, host.time());

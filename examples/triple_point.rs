@@ -65,9 +65,7 @@ fn main() {
         }
         let summary = sim.summary(Some(&comm));
         let local_cells: i64 = (0..sim.hierarchy().num_levels())
-            .map(|l| {
-                sim.hierarchy().level(l).local().iter().map(|p| p.num_cells()).sum::<i64>()
-            })
+            .map(|l| sim.hierarchy().level(l).local().iter().map(|p| p.num_cells()).sum::<i64>())
             .sum();
         // Rank 0 renders the hierarchy.
         let render = if comm.rank() == 0 {

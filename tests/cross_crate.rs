@@ -17,16 +17,21 @@ use rbamr::perfmodel::{Category, Clock, Machine};
 use rbamr::problems::sod::{sod_l1_error, sod_regions};
 
 fn config(max_patch: i64) -> HydroConfig {
-    let mut c = HydroConfig {
-        regrid_interval: 4,
-        max_patch_size: max_patch,
-        ..HydroConfig::default()
-    };
+    let mut c =
+        HydroConfig { regrid_interval: 4, max_patch_size: max_patch, ..HydroConfig::default() };
     c.regrid.max_patch_size = max_patch;
     c
 }
 
-fn sod(placement: Placement, n: i64, levels: usize, max_patch: i64, rank: usize, nranks: usize, clock: Clock) -> HydroSim {
+fn sod(
+    placement: Placement,
+    n: i64,
+    levels: usize,
+    max_patch: i64,
+    rank: usize,
+    nranks: usize,
+    clock: Clock,
+) -> HydroSim {
     let machine = match placement {
         Placement::Host => Machine::ipa_cpu_node(),
         _ => Machine::ipa_gpu(),
@@ -109,14 +114,17 @@ fn device_distributed_matches_host_distributed() {
     let dev = run_distributed(Placement::Device, 2, 48, 6);
     assert!(((host.mass - dev.mass) / host.mass).abs() < 1e-12);
     assert!(((host.total_energy() - dev.total_energy()) / host.total_energy()).abs() < 1e-12);
-    assert!(((host.kinetic_energy - dev.kinetic_energy) / host.kinetic_energy.max(1e-30)).abs() < 1e-9);
+    assert!(
+        ((host.kinetic_energy - dev.kinetic_energy) / host.kinetic_energy.max(1e-30)).abs() < 1e-9
+    );
 }
 
 #[test]
 fn distributed_device_build_is_resident() {
     let cluster = Cluster::new(Machine::ipa_gpu());
     let results = cluster.run(2, |comm| {
-        let mut sim = sod(Placement::Device, 32, 1, 16, comm.rank(), comm.size(), comm.clock().clone());
+        let mut sim =
+            sod(Placement::Device, 32, 1, 16, comm.rank(), comm.size(), comm.clock().clone());
         sim.initialize(Some(&comm));
         sim.step(Some(&comm)); // warm-up (no regrid at interval 4)
         let device = sim.device().unwrap().clone();
@@ -147,11 +155,7 @@ fn sod_converges_to_exact_riemann() {
         errors.push(sod_l1_error(&profile, sim.time()));
     }
     assert!(errors[0] < 0.05, "coarse L1 error too large: {}", errors[0]);
-    assert!(
-        errors[1] < errors[0] * 0.75,
-        "no convergence: {:?}",
-        errors
-    );
+    assert!(errors[1] < errors[0] * 0.75, "no convergence: {:?}", errors);
 }
 
 #[test]
@@ -262,7 +266,8 @@ fn regridding_is_rank_count_invariant() {
     };
     let cluster = Cluster::new(Machine::ipa_cpu_node());
     let results = cluster.run(4, |comm| {
-        let mut sim = sod(Placement::Host, 48, 2, 16, comm.rank(), comm.size(), comm.clock().clone());
+        let mut sim =
+            sod(Placement::Host, 48, 2, 16, comm.rank(), comm.size(), comm.clock().clone());
         sim.initialize(Some(&comm));
         sim.hierarchy().level(1).global_boxes().to_vec()
     });

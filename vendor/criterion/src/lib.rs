@@ -1,0 +1,173 @@
+//! Minimal offline stand-in for the `criterion` API surface this
+//! workspace uses. Each benchmark is timed with `std::time::Instant`
+//! over a calibrated inner loop and reported as mean/min per
+//! iteration. When invoked by `cargo test` (`--test` flag) every
+//! benchmark body runs exactly once as a smoke test.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier `function-name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.report(Duration::ZERO, Duration::ZERO, 0);
+            return;
+        }
+        // Calibrate the per-sample iteration count to ~5 ms.
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let sample = start.elapsed() / iters as u32;
+            total += sample;
+            best = best.min(sample);
+        }
+        self.report(total / self.samples as u32, best, iters);
+    }
+
+    fn report(&self, mean: Duration, best: Duration, iters: u128) {
+        if self.test_mode {
+            println!("(test mode: ran once)");
+        } else {
+            println!("mean {mean:>12.2?}  min {best:>12.2?}  ({}x{iters} iters)", self.samples);
+        }
+    }
+}
+
+fn in_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Top-level handle; one per generated `main`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        print!("{id:<48} ");
+        let mut b = Bencher { test_mode: in_test_mode(), samples: 10 };
+        f(&mut b);
+        self
+    }
+}
+
+/// Group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        print!("{:<48} ", format!("{}/{}", self.name, id.id));
+        let mut b = Bencher { test_mode: in_test_mode(), samples: self.sample_size };
+        f(&mut b, input);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        print!("{:<48} ", format!("{}/{}", self.name, id.into().id));
+        let mut b = Bencher { test_mode: in_test_mode(), samples: self.sample_size };
+        f(&mut b);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_bodies() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("f", 1), &1, |b, _| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

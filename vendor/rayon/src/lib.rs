@@ -1,0 +1,226 @@
+//! Minimal offline shim for the `rayon` API surface this workspace
+//! uses. Everything executes **serially** on the calling thread —
+//! the simulator charges device time through its own cost model, so
+//! host-side parallelism is an optimisation, not a semantic
+//! requirement. The adapter types mirror rayon's names so call sites
+//! (`into_par_iter`, `par_chunks_mut`, `par_iter`, …) compile
+//! unchanged against either implementation.
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Serial stand-in for a rayon parallel iterator. Wraps an ordinary
+/// iterator and exposes the subset of the `ParallelIterator` /
+/// `IndexedParallelIterator` combinators the workspace calls.
+pub struct Par<I> {
+    iter: I,
+}
+
+impl<I: Iterator> Par<I> {
+    pub fn for_each<F>(self, mut f: F)
+    where
+        F: FnMut(I::Item),
+    {
+        for item in self.iter {
+            f(item);
+        }
+    }
+
+    pub fn map<R, F>(self, f: F) -> Par<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> R,
+    {
+        Par { iter: self.iter.map(f) }
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par { iter: self.iter.enumerate() }
+    }
+
+    pub fn skip(self, n: usize) -> Par<std::iter::Skip<I>> {
+        Par { iter: self.iter.skip(n) }
+    }
+
+    pub fn take(self, n: usize) -> Par<std::iter::Take<I>> {
+        Par { iter: self.iter.take(n) }
+    }
+
+    pub fn filter<F>(self, f: F) -> Par<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        Par { iter: self.iter.filter(f) }
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item>,
+    {
+        self.iter.sum()
+    }
+
+    pub fn any<F>(mut self, f: F) -> bool
+    where
+        F: FnMut(I::Item) -> bool,
+    {
+        self.iter.any(f)
+    }
+
+    pub fn count(self) -> usize {
+        self.iter.count()
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.iter.collect()
+    }
+
+    /// Rayon's two-argument reduce: fold from a caller-supplied
+    /// identity (std's one-argument `Iterator::reduce` differs).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.iter.fold(identity(), op)
+    }
+
+    pub fn min_by<F>(self, f: F) -> Option<I::Item>
+    where
+        F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.iter.min_by(f)
+    }
+
+    pub fn max_by<F>(self, f: F) -> Option<I::Item>
+    where
+        F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering,
+    {
+        self.iter.max_by(f)
+    }
+}
+
+/// Conversion into a (serial) "parallel" iterator; blanket over any
+/// `IntoIterator`, which covers ranges, vectors, and slices.
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> Par<T::IntoIter> {
+        Par { iter: self.into_iter() }
+    }
+}
+
+/// `par_iter` on shared collections.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par { iter: self.iter() }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par { iter: self.iter() }
+    }
+}
+
+/// `par_iter_mut` on exclusive collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: 'a;
+    type Iter: Iterator<Item = Self::Item>;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        Par { iter: self.iter_mut() }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        Par { iter: self.iter_mut() }
+    }
+}
+
+/// Chunked views of shared slices.
+pub trait ParallelSlice<T> {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par { iter: self.chunks(chunk_size) }
+    }
+}
+
+/// Chunked views of exclusive slices.
+pub trait ParallelSliceMut<T> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par { iter: self.chunks_mut(chunk_size) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_sum_and_reduce() {
+        let s: i64 = (0i64..10).into_par_iter().map(|x| x * x).sum();
+        assert_eq!(s, 285);
+        let m = (0usize..5)
+            .into_par_iter()
+            .map(|i| [3.0, 1.0, 4.0, 1.5, 9.0][i])
+            .reduce(|| f64::INFINITY, f64::min);
+        assert_eq!(m, 1.0);
+    }
+
+    #[test]
+    fn chunked_mutation_with_skip_take() {
+        let mut v = vec![0i32; 12];
+        v.par_chunks_mut(4).skip(1).take(1).enumerate().for_each(|(i, row)| {
+            for x in row.iter_mut() {
+                *x = i as i32 + 1;
+            }
+        });
+        assert_eq!(v, [0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn ref_iters() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x += i as i32);
+        assert_eq!(v, [1, 3, 5]);
+        assert!(v.par_iter().any(|&x| x == 5));
+    }
+}

@@ -1,0 +1,13 @@
+//! Minimal offline shim for serde: the trait names exist so
+//! `#[derive(Serialize, Deserialize)]` attributes and trait bounds
+//! compile, but no serialisation machinery is provided — the
+//! workspace's persistent formats are hand-rolled byte/JSON writers.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,16 @@
+//! No-op `#[derive(Serialize, Deserialize)]` macros for the vendored
+//! serde shim. The workspace only uses the derives as declarations of
+//! intent (nothing serialises through serde at runtime — the on-disk
+//! formats are hand-rolled), so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
