@@ -22,12 +22,16 @@ pub fn partition_sfc(boxes: &[GBox], nranks: usize) -> Vec<usize> {
     if boxes.is_empty() {
         return Vec::new();
     }
-    // Order boxes by the Morton key of their centre.
+    // Order boxes by the Morton key of their centre. Floor division
+    // (`div_euclid`), not the truncating `/`: truncation rounds toward
+    // zero, so centroids of boxes straddling the origin get pulled
+    // across the Morton mid-plane and the curve order inverts for
+    // negative index spaces.
     let mut order: Vec<usize> = (0..boxes.len()).collect();
     order.sort_by_key(|&i| {
         let c = boxes[i];
-        let cx = (c.lo.x + c.hi.x) / 2;
-        let cy = (c.lo.y + c.hi.y) / 2;
+        let cx = (c.lo.x + c.hi.x).div_euclid(2);
+        let cy = (c.lo.y + c.hi.y).div_euclid(2);
         (morton_key(cx, cy), i)
     });
 
@@ -176,6 +180,37 @@ mod tests {
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
         partition_sfc(&tiles(2, 4), 0);
+    }
+
+    #[test]
+    fn origin_straddling_boxes_keep_morton_order() {
+        // Regression: the centroid of A = [-2,1)x[0,3) is (-0.5, 1.5).
+        // Truncating division rounded its x to 0 — across the Morton
+        // mid-plane — which sorted A *after* the much more negative B
+        // and flipped the rank assignment. Floor division keeps the
+        // centroid at (-1, 1), before B = [-10,-8)x[20,22) on the curve.
+        let a = GBox::from_coords(-2, 0, 1, 3);
+        let b = GBox::from_coords(-10, 20, -8, 22);
+        let owners = partition_sfc(&[a, b], 2);
+        assert_eq!(owners, vec![0, 1], "curve order inverted across the origin");
+    }
+
+    #[test]
+    fn negative_index_space_stays_compact() {
+        // A tile grid shifted to straddle the origin with odd-sum
+        // centroids: each of 4 ranks must still get one quadrant.
+        let boxes: Vec<GBox> = tiles(4, 7)
+            .iter()
+            .map(|t| GBox::new(t.lo - IntVector::uniform(14), t.hi - IntVector::uniform(14)))
+            .collect();
+        let owners = partition_sfc(&boxes, 4);
+        for r in 0..4usize {
+            let mine: Vec<GBox> =
+                boxes.iter().zip(&owners).filter(|(_, &o)| o == r).map(|(b, _)| *b).collect();
+            let bound = mine.iter().fold(GBox::EMPTY, |a, &b| a.bounding(b));
+            let covered: i64 = mine.iter().map(|b| b.num_cells()).sum();
+            assert_eq!(bound.num_cells(), covered, "rank {r} tiles not compact: {mine:?}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! l−2 in any direction unless the cell is at the physical boundary of
 //! the domain."
 
-use rbamr_geometry::{BoxList, GBox, IntVector};
+use rbamr_geometry::{BoxIndex, BoxList, GBox, IntVector};
 
 /// Align a level-`l` box outward to the refinement lattice so it starts
 /// and ends on level-`l-1` cell corners.
@@ -58,17 +58,29 @@ pub fn allowed_region(
 
 /// Clip candidate boxes to an allowed region, splitting where needed.
 /// Output boxes are disjoint pieces of the inputs, all inside `allowed`.
+///
+/// A [`BoxIndex`] over the allowed components limits each input box to
+/// the components it actually meets; candidates come back in component
+/// order, so the output is identical to intersecting against every
+/// component in turn.
 pub fn clip_to_region(boxes: &[GBox], allowed: &BoxList) -> Vec<GBox> {
+    let ix = BoxIndex::new(allowed.boxes(), IntVector::ZERO);
+    let mut cand = Vec::new();
     let mut out = Vec::new();
     for &b in boxes {
-        let clipped = allowed.intersect_box(b);
-        out.extend(clipped.boxes().iter().copied());
+        ix.query_into(b, &mut cand);
+        out.extend(cand.iter().map(|&i| allowed.boxes()[i].intersect(b)));
     }
     out
 }
 
 /// Check the paper's nesting condition: every box of `fine` (level
 /// `l+1` index space) lies within the allowed region.
+///
+/// Containment is decided by subtracting only the allowed components a
+/// [`BoxIndex`] reports as intersecting the fine box — a disjoint
+/// component cannot remove anything, so the verdict matches the full
+/// [`BoxList::contains_box`] scan.
 pub fn is_properly_nested(
     fine_boxes: &[GBox],
     coarse_coverage: &BoxList,
@@ -77,7 +89,26 @@ pub fn is_properly_nested(
     ratio: IntVector,
 ) -> bool {
     let allowed = allowed_region(coarse_coverage, coarse_domain, buffer, ratio);
-    fine_boxes.iter().all(|b| allowed.contains_box(*b))
+    let ix = BoxIndex::new(allowed.boxes(), IntVector::ZERO);
+    let mut cand = Vec::new();
+    let mut remainder = Vec::new();
+    let mut next = Vec::new();
+    fine_boxes.iter().all(|&b| {
+        ix.query_into(b, &mut cand);
+        remainder.clear();
+        remainder.push(b);
+        for &i in &cand {
+            next.clear();
+            for piece in remainder.drain(..) {
+                piece.subtract_into(allowed.boxes()[i], &mut next);
+            }
+            std::mem::swap(&mut remainder, &mut next);
+            if remainder.is_empty() {
+                return true;
+            }
+        }
+        remainder.iter().all(|p| p.is_empty())
+    })
 }
 
 #[cfg(test)]

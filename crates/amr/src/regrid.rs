@@ -21,7 +21,7 @@ use crate::ops::RefineOperator;
 use crate::schedule::{regrid_tag, REGRID_COPY, REGRID_SCRATCH};
 use crate::tagging::TagBitmap;
 use crate::variable::{VariableId, VariableRegistry};
-use rbamr_geometry::{copy_overlap, BoxList, BoxOverlap, GBox, IntVector};
+use rbamr_geometry::{copy_overlap, BoxIndex, BoxList, BoxOverlap, GBox, IntVector};
 use rbamr_netsim::Comm;
 use rbamr_perfmodel::Category;
 use std::sync::Arc;
@@ -235,6 +235,19 @@ impl Regridder {
             Vec::new()
         };
 
+        // Candidate discovery for the transfer planning, as in the
+        // schedule builds: one index over the coarse level (queried with
+        // each new patch's scratch region) and one over the old level
+        // (queried with each new patch's data box), both carrying one
+        // cell of centring slack. Queries return ascending indices, so
+        // plan order matches the replaced all-pairs scans exactly.
+        let coarse_index =
+            BoxIndex::new(hierarchy.level(target - 1).global_boxes(), IntVector::ONE);
+        let old_index = BoxIndex::new(&old_boxes, IntVector::ONE);
+        let mut coarse_cand = Vec::new();
+        let mut old_cand = Vec::new();
+        let mut candidate_pairs: u64 = 0;
+
         for spec in specs {
             let var = registry.get(spec.var);
             let centring = var.centring;
@@ -248,7 +261,10 @@ impl Regridder {
                 let scratch_data_box = centring.data_box(scratch_box);
 
                 let coarse = hierarchy.level(target - 1);
-                for (cidx, &cb) in coarse.global_boxes().iter().enumerate() {
+                coarse_index.query_into(scratch_data_box, &mut coarse_cand);
+                candidate_pairs += coarse_cand.len() as u64;
+                for &cidx in &coarse_cand {
+                    let cb = coarse.global_boxes()[cidx];
                     let c_rank = coarse.owner_of(cidx);
                     if c_rank != rank || nrank == rank {
                         continue;
@@ -269,7 +285,10 @@ impl Regridder {
                     comm.send(nrank, regrid_tag(REGRID_SCRATCH, spec.var, nidx, cidx), payload);
                 }
 
-                for (oidx, (&ob, &o_rank)) in old_boxes.iter().zip(&old_owners).enumerate() {
+                old_index.query_into(fine_fill, &mut old_cand);
+                candidate_pairs += old_cand.len() as u64;
+                for &oidx in &old_cand {
+                    let (ob, o_rank) = (old_boxes[oidx], old_owners[oidx]);
                     if o_rank != rank || nrank == rank {
                         continue;
                     }
@@ -300,7 +319,10 @@ impl Regridder {
                 let mut covered = BoxList::new();
                 {
                     let coarse = hierarchy.level(target - 1);
-                    for (cidx, &cb) in coarse.global_boxes().iter().enumerate() {
+                    coarse_index.query_into(scratch_data_box, &mut coarse_cand);
+                    candidate_pairs += coarse_cand.len() as u64;
+                    for &cidx in &coarse_cand {
+                        let cb = coarse.global_boxes()[cidx];
                         let fill = scratch_data_box.intersect(centring.data_box(cb));
                         if fill.is_empty() {
                             continue;
@@ -343,7 +365,10 @@ impl Regridder {
                 );
 
                 // Overwrite with old data wherever the old level had it.
-                for (oidx, (&ob, &o_rank)) in old_boxes.iter().zip(&old_owners).enumerate() {
+                old_index.query_into(fine_fill, &mut old_cand);
+                candidate_pairs += old_cand.len() as u64;
+                for &oidx in &old_cand {
+                    let (ob, o_rank) = (old_boxes[oidx], old_owners[oidx]);
                     let ov = copy_overlap(nb, ob, centring);
                     if ov.is_empty() {
                         continue;
@@ -367,6 +392,10 @@ impl Regridder {
             }
         }
 
+        let rec = hierarchy.recorder();
+        if rec.is_enabled() {
+            rec.count("regrid.candidate_pairs", candidate_pairs);
+        }
         hierarchy.install_level(target, new_level);
     }
 }
@@ -389,7 +418,9 @@ fn exchange_tags(comm: &Comm, local: &[IntVector]) -> Vec<IntVector> {
     } else {
         None
     };
-    let all = comm.broadcast(0, merged, Category::Regrid);
+    // Rank 0 always holds `Some` here (it is the gather root), every
+    // other rank `None`, so the broadcast cannot misfire.
+    let all = comm.broadcast(0, merged, Category::Regrid).expect("tag exchange broadcast");
     let mut out = Vec::with_capacity(all.len() / 16);
     for chunk in all.chunks_exact(16) {
         let x = i64::from_le_bytes(chunk[..8].try_into().expect("tag stream"));

@@ -27,7 +27,7 @@ use crate::ops::{CoarsenOperator, RefineOperator};
 use crate::patchdata::PatchData;
 use crate::variable::{VariableId, VariableRegistry};
 use rbamr_geometry::{
-    copy_overlap, ghost_overlaps, BoxList, BoxOverlap, Centring, GBox, IntVector,
+    copy_overlap, ghost_overlaps, BoxIndex, BoxList, BoxOverlap, Centring, GBox, IntVector,
 };
 use rbamr_netsim::Comm;
 use rbamr_perfmodel::Category;
@@ -70,9 +70,22 @@ fn cell_cover(b: GBox, centring: Centring) -> GBox {
 /// Message tag: unique per (kind, var, dst patch, src patch) within a
 /// schedule execution. The top four bits carry the message kind so the
 /// schedules, the regridder and the netsim collectives never collide.
+///
+/// The packing limits are hard `assert!`s, not `debug_assert!`s: a
+/// release build that silently wrapped a 2^20-patch level into
+/// colliding tags would corrupt halo exchanges without any diagnostic.
+///
+/// # Panics
+/// Panics if any field exceeds its 20-bit range or `kind >= 15`
+/// (kind 15 is reserved for netsim collectives).
 fn tag(kind: u64, var: VariableId, dst_idx: usize, src_idx: usize) -> u64 {
-    debug_assert!(dst_idx < (1 << 20) && src_idx < (1 << 20) && var.0 < (1 << 20));
-    debug_assert!(kind < 15, "kind 15 is reserved for netsim collectives");
+    assert!(
+        dst_idx < (1 << 20) && src_idx < (1 << 20) && var.0 < (1 << 20),
+        "message tag overflow: (var {}, dst {dst_idx}, src {src_idx}) exceeds the \
+         20-bit-per-field packing",
+        var.0
+    );
+    assert!(kind < 15, "kind 15 is reserved for netsim collectives");
     (kind << 60) | ((var.0 as u64) << 40) | ((dst_idx as u64) << 20) | src_idx as u64
 }
 
@@ -112,7 +125,6 @@ struct CopyPlan {
 struct SendPlan {
     var: VariableId,
     src_idx: usize,
-    #[allow(dead_code)] // retained for diagnostics/debugging
     dst_idx: usize,
     dst_rank: usize,
     overlap: BoxOverlap,
@@ -170,12 +182,40 @@ impl RefineSchedule {
     /// Coarse-fine interpolation is planned when `level_no > 0` and the
     /// spec has a refine operator. The schedule is valid until the next
     /// regrid of this or the coarser level.
+    ///
+    /// Source discovery goes through a [`BoxIndex`] (O(log N + k) per
+    /// destination), so metadata cost is O(N log N) in the patch count
+    /// rather than the all-pairs O(N²).
     pub fn new(
         hierarchy: &PatchHierarchy,
         registry: &VariableRegistry,
         level_no: usize,
         specs: &[FillSpec],
     ) -> Self {
+        Self::build(hierarchy, registry, level_no, specs, true)
+    }
+
+    /// Build the schedule with the all-pairs O(N²) scan the indexed
+    /// build replaced. Retained as the test oracle: the proptests
+    /// assert [`RefineSchedule::plan_digest`] is identical for both
+    /// builds on arbitrary hierarchies.
+    pub fn new_bruteforce(
+        hierarchy: &PatchHierarchy,
+        registry: &VariableRegistry,
+        level_no: usize,
+        specs: &[FillSpec],
+    ) -> Self {
+        Self::build(hierarchy, registry, level_no, specs, false)
+    }
+
+    fn build(
+        hierarchy: &PatchHierarchy,
+        registry: &VariableRegistry,
+        level_no: usize,
+        specs: &[FillSpec],
+        indexed: bool,
+    ) -> Self {
+        let build_start = std::time::Instant::now();
         let rank = hierarchy.rank();
         let level = hierarchy.level(level_no);
         let boxes = level.global_boxes();
@@ -187,16 +227,46 @@ impl RefineSchedule {
         let mut interps = Vec::new();
         let mut physical = Vec::new();
 
+        // Candidate-source discovery. The stored boxes carry one cell
+        // of slack so centring-adjusted data boxes (which extend one
+        // layer past the cell box on the upper side) are still caught;
+        // queries grow by the ghost width. The query result is a
+        // superset of the overlapping pairs in ascending index order,
+        // so the plans below come out identical to the brute-force
+        // scan's — empty overlaps are skipped either way.
+        let same_index = indexed.then(|| BoxIndex::new(boxes, IntVector::ONE));
+        let all_same: Vec<usize> = if indexed { Vec::new() } else { (0..boxes.len()).collect() };
+        let needs_coarse = level_no > 0 && specs.iter().any(|s| s.refine_op.is_some());
+        let coarse_index = (indexed && needs_coarse)
+            .then(|| BoxIndex::new(hierarchy.level(level_no - 1).global_boxes(), IntVector::ONE));
+        let all_coarse: Vec<usize> = if !indexed && needs_coarse {
+            (0..hierarchy.level(level_no - 1).global_boxes().len()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut candidate_pairs: u64 = 0;
+        let mut same_cand = Vec::new();
+        let mut coarse_cand = Vec::new();
+
         for spec in specs {
             let var = registry.get(spec.var);
             let (centring, ghosts) = (var.centring, var.ghosts);
             for (dst_idx, &dst_box) in boxes.iter().enumerate() {
                 let dst_rank = level.owner_of(dst_idx);
                 // --- Same-level copies -------------------------------
-                for (src_idx, &src_box) in boxes.iter().enumerate() {
+                let sources: &[usize] = match &same_index {
+                    Some(ix) => {
+                        ix.query_into(dst_box.grow(ghosts + IntVector::ONE), &mut same_cand);
+                        &same_cand
+                    }
+                    None => &all_same,
+                };
+                candidate_pairs += sources.len() as u64;
+                for &src_idx in sources {
                     if src_idx == dst_idx {
                         continue;
                     }
+                    let src_box = boxes[src_idx];
                     let src_rank = level.owner_of(src_idx);
                     if dst_rank != rank && src_rank != rank {
                         continue;
@@ -249,9 +319,13 @@ impl RefineSchedule {
                 let in_domain = domain.intersect_box(ghost_cells);
                 let mut want = data_region(&in_domain, centring);
                 want.subtract_box(centring.data_box(dst_box));
-                for (src_idx, &src_box) in boxes.iter().enumerate() {
+                // Only sources near the ghost region can cover any of
+                // it; subtracting a disjoint data box is a no-op, so
+                // restricting to the candidates leaves `want` bitwise
+                // identical to the all-boxes subtraction.
+                for &src_idx in sources {
                     if src_idx != dst_idx {
-                        want.subtract_box(centring.data_box(src_box));
+                        want.subtract_box(centring.data_box(boxes[src_idx]));
                     }
                 }
                 want.coalesce();
@@ -272,7 +346,16 @@ impl RefineSchedule {
                 let mut local_sources = Vec::new();
                 let mut remote_sources = Vec::new();
                 let mut covered = BoxList::new();
-                for (cidx, &cbox) in coarse_level.global_boxes().iter().enumerate() {
+                let coarse_sources: &[usize] = match &coarse_index {
+                    Some(ix) => {
+                        ix.query_into(scratch_data_box, &mut coarse_cand);
+                        &coarse_cand
+                    }
+                    None => &all_coarse,
+                };
+                candidate_pairs += coarse_sources.len() as u64;
+                for &cidx in coarse_sources {
+                    let cbox = coarse_level.global_boxes()[cidx];
                     let c_rank = coarse_level.owner_of(cidx);
                     if dst_rank != rank && c_rank != rank {
                         continue;
@@ -329,6 +412,15 @@ impl RefineSchedule {
             }
         }
 
+        let rec = hierarchy.recorder();
+        if rec.is_enabled() {
+            rec.count("schedule.builds", 1);
+            rec.count("schedule.candidate_pairs", candidate_pairs);
+            // Host metadata cost: wall-clock, not the virtual device
+            // clock — schedule construction never touches the perfmodel.
+            rec.count("schedule.build_ns", build_start.elapsed().as_nanos() as u64);
+        }
+
         Self {
             level_no,
             vars: specs.iter().map(|s| s.var).collect(),
@@ -339,6 +431,48 @@ impl RefineSchedule {
             physical,
             domain_box,
         }
+    }
+
+    /// Canonical rendering of every plan in this schedule, sorted.
+    ///
+    /// Two schedules with equal digests execute the same copies, sends,
+    /// recvs, interpolations and physical fills. The proptests compare
+    /// digests of the indexed and brute-force builds.
+    pub fn plan_digest(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &self.copies {
+            out.push(format!("copy v{} {}<-{} {:?}", p.var.0, p.dst_idx, p.src_idx, p.overlap));
+        }
+        for p in &self.sends {
+            out.push(format!(
+                "send k{} v{} {}@r{}<-{} {:?}",
+                p.kind, p.var.0, p.dst_idx, p.dst_rank, p.src_idx, p.overlap
+            ));
+        }
+        for p in &self.recvs {
+            out.push(format!(
+                "recv k{} v{} {}<-{}@r{} {:?}",
+                p.kind, p.var.0, p.dst_idx, p.src_idx, p.src_rank, p.overlap
+            ));
+        }
+        for p in &self.interps {
+            out.push(format!(
+                "interp v{} {} op {} fill {:?} scratch {} local {:?} remote {:?} covered {:?}",
+                p.var.0,
+                p.dst_idx,
+                p.op.name(),
+                p.fill,
+                p.scratch_box,
+                p.local_sources,
+                p.remote_sources,
+                p.covered
+            ));
+        }
+        for (dst_idx, var, boxes) in &self.physical {
+            out.push(format!("phys v{} {} {:?}", var.0, dst_idx, boxes));
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Total values moved by same-level plans (diagnostics/tests).
@@ -511,6 +645,9 @@ impl CoarsenSchedule {
     /// Build the schedule projecting `fine_level_no` onto
     /// `fine_level_no - 1`.
     ///
+    /// Coarse-destination discovery goes through a [`BoxIndex`] over
+    /// the coarse boxes, queried with each fine box's coarsened shadow.
+    ///
     /// # Panics
     /// Panics if `fine_level_no == 0`.
     pub fn new(
@@ -519,11 +656,40 @@ impl CoarsenSchedule {
         fine_level_no: usize,
         specs: &[CoarsenSpec],
     ) -> Self {
+        Self::build(hierarchy, registry, fine_level_no, specs, true)
+    }
+
+    /// All-pairs O(N²) build, retained as the test oracle (see
+    /// [`RefineSchedule::new_bruteforce`]).
+    pub fn new_bruteforce(
+        hierarchy: &PatchHierarchy,
+        registry: &VariableRegistry,
+        fine_level_no: usize,
+        specs: &[CoarsenSpec],
+    ) -> Self {
+        Self::build(hierarchy, registry, fine_level_no, specs, false)
+    }
+
+    fn build(
+        hierarchy: &PatchHierarchy,
+        registry: &VariableRegistry,
+        fine_level_no: usize,
+        specs: &[CoarsenSpec],
+        indexed: bool,
+    ) -> Self {
         assert!(fine_level_no > 0, "CoarsenSchedule: level 0 has no coarser level");
+        let build_start = std::time::Instant::now();
         let rank = hierarchy.rank();
         let fine = hierarchy.level(fine_level_no);
         let coarse = hierarchy.level(fine_level_no - 1);
         let ratio = hierarchy.ratio_to_coarser(fine_level_no);
+        // Cell-box intersection only, so no centring slack is needed:
+        // the candidates are exactly the coarse boxes the shadow meets.
+        let coarse_index = indexed.then(|| BoxIndex::new(coarse.global_boxes(), IntVector::ZERO));
+        let all_coarse: Vec<usize> =
+            if indexed { Vec::new() } else { (0..coarse.global_boxes().len()).collect() };
+        let mut candidate_pairs: u64 = 0;
+        let mut coarse_cand = Vec::new();
         let mut plans = Vec::new();
         for spec in specs {
             let var = registry.get(spec.var);
@@ -538,7 +704,16 @@ impl CoarsenSchedule {
             for (fidx, &fbox) in fine.global_boxes().iter().enumerate() {
                 let f_rank = fine.owner_of(fidx);
                 let shadow = fbox.coarsen(ratio);
-                for (cidx, &cbox) in coarse.global_boxes().iter().enumerate() {
+                let targets: &[usize] = match &coarse_index {
+                    Some(ix) => {
+                        ix.query_into(shadow, &mut coarse_cand);
+                        &coarse_cand
+                    }
+                    None => &all_coarse,
+                };
+                candidate_pairs += targets.len() as u64;
+                for &cidx in targets {
+                    let cbox = coarse.global_boxes()[cidx];
                     let c_rank = coarse.owner_of(cidx);
                     if f_rank != rank && c_rank != rank {
                         continue;
@@ -560,7 +735,37 @@ impl CoarsenSchedule {
                 }
             }
         }
+        let rec = hierarchy.recorder();
+        if rec.is_enabled() {
+            rec.count("schedule.builds", 1);
+            rec.count("schedule.candidate_pairs", candidate_pairs);
+            rec.count("schedule.build_ns", build_start.elapsed().as_nanos() as u64);
+        }
         Self { fine_level_no, plans }
+    }
+
+    /// Canonical rendering of every sync plan, sorted (see
+    /// [`RefineSchedule::plan_digest`]).
+    pub fn plan_digest(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .plans
+            .iter()
+            .map(|p| {
+                format!(
+                    "sync v{} aux {:?} op {} f{}@r{} -> c{}@r{} region {}",
+                    p.var.0,
+                    p.aux.iter().map(|a| a.0).collect::<Vec<_>>(),
+                    p.op.name(),
+                    p.fine_idx,
+                    p.fine_rank,
+                    p.coarse_idx,
+                    p.coarse_rank,
+                    p.region
+                )
+            })
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Number of projection jobs (diagnostics).
@@ -908,5 +1113,38 @@ mod tests {
         let t3 = tag(KIND_COARSE_FINE, VariableId(3), 7, 9);
         let t4 = tag(KIND_SAME_LEVEL, VariableId(4), 7, 9);
         assert!(t1 != t2 && t1 != t3 && t1 != t4 && t2 != t3);
+    }
+
+    // The packing limits must hold in *release* builds too (they were
+    // once debug_assert!s, which vanish under --release and let tags
+    // silently collide). `cargo test --release` exercises these.
+    #[test]
+    #[should_panic(expected = "message tag overflow")]
+    fn tag_rejects_dst_index_overflow() {
+        tag(KIND_SAME_LEVEL, VariableId(0), 1 << 20, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "message tag overflow")]
+    fn tag_rejects_src_index_overflow() {
+        tag(KIND_SAME_LEVEL, VariableId(0), 0, 1 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "message tag overflow")]
+    fn tag_rejects_variable_overflow() {
+        tag(KIND_SAME_LEVEL, VariableId(1 << 20), 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for netsim collectives")]
+    fn tag_rejects_reserved_kind() {
+        tag(15, VariableId(0), 0, 0);
+    }
+
+    #[test]
+    fn tag_accepts_the_limits() {
+        // The maximal legal fields pack without panicking.
+        tag(14, VariableId((1 << 20) - 1), (1 << 20) - 1, (1 << 20) - 1);
     }
 }

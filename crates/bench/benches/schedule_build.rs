@@ -1,0 +1,38 @@
+//! Criterion benchmark of communication-schedule construction: the
+//! spatial-index build (`RefineSchedule::new`) against the retained
+//! all-pairs oracle (`new_bruteforce`) on two-level hierarchies of 64
+//! to 4096 fine patches, viewed from rank 0 of a 4-rank job.
+//!
+//! The indexed build is O(N log N) in the patch count; the oracle is
+//! O(N²). The gap is the regrid-time metadata overhead the paper's
+//! Fig. 11 shows growing with scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rbamr_amr::ops::ConservativeCellRefine;
+use rbamr_amr::schedule::FillSpec;
+use rbamr_amr::RefineSchedule;
+use rbamr_bench::schedule_bench_hierarchy;
+use std::sync::Arc;
+
+fn bench_schedule_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule-build");
+    group.sample_size(10);
+    for &patches in &[64usize, 256, 1024, 4096] {
+        let (h, reg, var) = schedule_bench_hierarchy(patches, 0, 4);
+        let specs = [FillSpec { var, refine_op: Some(Arc::new(ConservativeCellRefine)) }];
+        group.bench_with_input(BenchmarkId::new("indexed", patches), &patches, |b, _| {
+            b.iter(|| RefineSchedule::new(&h, &reg, 1, &specs));
+        });
+        // The oracle is quadratic: skip its largest rung so the suite
+        // stays quick.
+        if patches <= 1024 {
+            group.bench_with_input(BenchmarkId::new("bruteforce", patches), &patches, |b, _| {
+                b.iter(|| RefineSchedule::new_bruteforce(&h, &reg, 1, &specs));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule_build);
+criterion_main!(benches);

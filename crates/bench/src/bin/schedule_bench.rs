@@ -1,0 +1,84 @@
+//! Schedule-build scaling: indexed vs brute-force metadata cost.
+//!
+//! Measures wall-clock construction time of a ghost-fill
+//! [`RefineSchedule`] (same-level + coarse-fine planning) at 64, 256,
+//! 1024 and 4096 fine patches, comparing the spatial-index build
+//! against the retained all-pairs oracle. This is the quadratic
+//! metadata overhead behind the regrid-cost growth in the paper's
+//! Fig. 11.
+//!
+//! ```text
+//! cargo run --release -p rbamr-bench --bin schedule_bench [-- --smoke] [--json PATH]
+//! ```
+//!
+//! `--smoke` restricts the sweep to 64/256 patches with one repetition
+//! (CI). `--json PATH` writes the measurements for the perf trajectory.
+
+use rbamr_amr::ops::ConservativeCellRefine;
+use rbamr_amr::schedule::FillSpec;
+use rbamr_amr::RefineSchedule;
+use rbamr_bench::{path_arg, schedule_bench_hierarchy};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `reps` runs of `f`.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let json_path = path_arg("--json");
+    let (sizes, reps): (&[usize], usize) =
+        if smoke { (&[64, 256], 1) } else { (&[64, 256, 1024, 4096], 5) };
+
+    println!("Schedule-build scaling: indexed vs brute-force (rank 0 of 4)");
+    println!("{:>8} {:>14} {:>14} {:>9}", "patches", "indexed(us)", "brute(us)", "speedup");
+    println!("{}", "-".repeat(49));
+
+    let mut rows = Vec::new();
+    for &patches in sizes {
+        let (h, reg, var) = schedule_bench_hierarchy(patches, 0, 4);
+        let specs = [FillSpec { var, refine_op: Some(Arc::new(ConservativeCellRefine)) }];
+        // Warm-up (allocator, page faults), then measure.
+        RefineSchedule::new(&h, &reg, 1, &specs);
+        let indexed = median_ns(reps, || {
+            RefineSchedule::new(&h, &reg, 1, &specs);
+        });
+        let brute = median_ns(reps, || {
+            RefineSchedule::new_bruteforce(&h, &reg, 1, &specs);
+        });
+        let speedup = brute as f64 / indexed as f64;
+        println!(
+            "{:>8} {:>14.1} {:>14.1} {:>8.2}x",
+            patches,
+            indexed as f64 / 1e3,
+            brute as f64 / 1e3,
+            speedup
+        );
+        rows.push((patches, indexed, brute, speedup));
+    }
+
+    if let Some(path) = json_path {
+        let entries: Vec<String> = rows
+            .iter()
+            .map(|(p, i, b, s)| {
+                format!(
+                    "  {{\"patches\": {p}, \"indexed_ns\": {i}, \"brute_ns\": {b}, \
+                     \"speedup\": {s:.3}}}"
+                )
+            })
+            .collect();
+        let body = format!("[\n{}\n]\n", entries.join(",\n"));
+        std::fs::write(&path, body).expect("schedule_bench: write json");
+        println!("\nwrote {}", path.display());
+    }
+}

@@ -205,6 +205,58 @@ pub fn path_arg(flag: &str) -> Option<std::path::PathBuf> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(std::path::PathBuf::from)
 }
 
+/// Build the two-level hierarchy the schedule-build benchmarks use:
+/// `fine_patches` (a perfect square with even side) 4×4-cell patches
+/// tiling a square refined region, over a fully tiled coarse level with
+/// one quarter as many 4×4 patches, owners round-robin over `nranks`.
+/// Returns the hierarchy as seen from `rank`, plus a registry holding
+/// one cell-centred variable with two ghost cells.
+///
+/// # Panics
+/// Panics if `fine_patches` is not a perfect square with an even side.
+pub fn schedule_bench_hierarchy(
+    fine_patches: usize,
+    rank: usize,
+    nranks: usize,
+) -> (rbamr_amr::PatchHierarchy, rbamr_amr::VariableRegistry, rbamr_amr::VariableId) {
+    use rbamr_amr::{GridGeometry, HostDataFactory, PatchHierarchy, VariableRegistry};
+    use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
+    let side = (fine_patches as f64).sqrt().round() as i64;
+    assert!(
+        side * side == fine_patches as i64 && side % 2 == 0,
+        "fine_patches must be a perfect square with an even side"
+    );
+    let tiles = |n: i64, size: i64| -> Vec<GBox> {
+        let mut out = Vec::with_capacity((n * n) as usize);
+        for j in 0..n {
+            for i in 0..n {
+                let lo = IntVector::new(i * size, j * size);
+                out.push(GBox::new(lo, lo + IntVector::uniform(size)));
+            }
+        }
+        out
+    };
+    let mut reg = VariableRegistry::new(std::sync::Arc::new(HostDataFactory::new()));
+    let var = reg.register("q", Centring::Cell, IntVector::uniform(2));
+    // Coarse level: 2*side cells per axis in 4x4 tiles; fine level
+    // refines the full domain (ratio 2) into side^2 4x4 tiles.
+    let mut h = PatchHierarchy::new(
+        GridGeometry::unit(1.0),
+        BoxList::from_box(GBox::from_coords(0, 0, 2 * side, 2 * side)),
+        IntVector::uniform(2),
+        2,
+        rank,
+        nranks,
+    );
+    let coarse = tiles(side / 2, 4);
+    let coarse_owners: Vec<usize> = (0..coarse.len()).map(|i| i % nranks).collect();
+    h.set_level(0, coarse, coarse_owners, &reg);
+    let fine = tiles(side, 4);
+    let fine_owners: Vec<usize> = (0..fine.len()).map(|i| i % nranks).collect();
+    h.set_level(1, fine, fine_owners, &reg);
+    (h, reg, var)
+}
+
 /// The Figure 9/10 resolution ladder: coarse zone counts from ~3,125 to
 /// 6.4 million (square grids, quadrupling per rung as in the paper).
 /// The two largest rungs only run with `--full`.

@@ -1,0 +1,240 @@
+//! Spatial box index: "which boxes intersect this region?" in
+//! O(log N + k) instead of O(N).
+//!
+//! Every communication schedule and every regrid in the `amr` crate
+//! asks the same question — which patches of a level overlap a given
+//! ghost, scratch or transfer region — and the level metadata is
+//! globally replicated, so the question used to be answered by scanning
+//! all N boxes for each of N destinations. That quadratic metadata
+//! cost is exactly the regridding overhead the paper's Fig. 11 shows
+//! growing with scale; production frameworks (e.g. AMReX) answer it
+//! with hashed or sorted spatial indices instead.
+//!
+//! [`BoxIndex`] is the sorted variant: boxes are ordered along the
+//! Morton space-filling curve of their centroids (the same curve the
+//! load balancer uses, so spatially adjacent boxes are adjacent in the
+//! array), and an implicit bounding-box tree over that order prunes
+//! whole subtrees whose bounds miss the query region. Queries return
+//! original box indices in ascending order, so a plan built from index
+//! candidates is *identical* — not merely equivalent — to one built
+//! from the brute-force scan (the `amr` proptests assert this).
+
+use crate::gbox::GBox;
+use crate::ivec::IntVector;
+use crate::sfc::morton_key;
+
+/// A static spatial index over a set of boxes.
+///
+/// Built once from a level's (replicated) box array; queries never
+/// mutate. The optional `ghost` growth is applied to every stored box
+/// at build time, so a single index answers "which boxes come within
+/// `ghost` cells of region R" without growing every query.
+#[derive(Clone, Debug)]
+pub struct BoxIndex {
+    /// Grown boxes in Morton order, paired with their original index.
+    entries: Vec<(GBox, u32)>,
+    /// Implicit binary tree: `tree[1]` is the root, node `i` has
+    /// children `2i` and `2i+1`, and `tree[cap + j]` bounds
+    /// `entries[j]`. Padding leaves are [`GBox::EMPTY`] and prune
+    /// themselves (nothing intersects an empty box).
+    tree: Vec<GBox>,
+    /// Leaf offset: the number of leaves, rounded up to a power of two.
+    cap: usize,
+}
+
+impl BoxIndex {
+    /// Build an index over `boxes`, each grown by `ghost` cells per
+    /// side. Empty input boxes are never reported (they cannot
+    /// intersect anything, even grown).
+    ///
+    /// Cost: O(N log N) for the Morton sort.
+    ///
+    /// # Panics
+    /// Panics if any `ghost` component is negative.
+    pub fn new(boxes: &[GBox], ghost: IntVector) -> Self {
+        assert!(ghost.all_ge(IntVector::ZERO), "BoxIndex: negative ghost width");
+        assert!(boxes.len() <= u32::MAX as usize, "BoxIndex: too many boxes");
+        let mut entries: Vec<(GBox, u32)> = boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, &b)| (b.grow(ghost), i as u32))
+            .collect();
+        entries.sort_by_key(|&(b, i)| {
+            // Floor (not truncating) division: centroids of boxes
+            // straddling the origin must stay on their side of the
+            // Morton split.
+            let cx = (b.lo.x + b.hi.x).div_euclid(2);
+            let cy = (b.lo.y + b.hi.y).div_euclid(2);
+            (morton_key(cx, cy), i)
+        });
+        let cap = entries.len().next_power_of_two().max(1);
+        let mut tree = vec![GBox::EMPTY; 2 * cap];
+        for (j, &(b, _)) in entries.iter().enumerate() {
+            tree[cap + j] = b;
+        }
+        for i in (1..cap).rev() {
+            tree[i] = tree[2 * i].bounding(tree[2 * i + 1]);
+        }
+        Self { entries, tree, cap }
+    }
+
+    /// Number of (non-empty) boxes in the index.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the index holds no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Indices of all stored (grown) boxes intersecting `region`,
+    /// ascending. Convenience wrapper over [`BoxIndex::query_into`].
+    pub fn query(&self, region: GBox) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.query_into(region, &mut out);
+        out
+    }
+
+    /// Collect into `out` (cleared first) the original indices of all
+    /// stored boxes intersecting `region`, in ascending index order —
+    /// the same order a brute-force scan visits them.
+    ///
+    /// Cost: O(log N + k) expected for k results — the Morton order
+    /// keeps spatially close boxes in contiguous subtrees, so the
+    /// descent prunes all but O(log N) off-path nodes.
+    pub fn query_into(&self, region: GBox, out: &mut Vec<usize>) {
+        out.clear();
+        if region.is_empty() || self.entries.is_empty() {
+            return;
+        }
+        // Explicit-stack descent; depth is log2(cap) <= 32.
+        let mut stack = [0usize; 64];
+        let mut top = 0;
+        stack[top] = 1;
+        top += 1;
+        while top > 0 {
+            top -= 1;
+            let node = stack[top];
+            if !self.tree[node].intersects(region) {
+                continue;
+            }
+            if node >= self.cap {
+                out.push(self.entries[node - self.cap].1 as usize);
+            } else {
+                stack[top] = 2 * node;
+                stack[top + 1] = 2 * node + 1;
+                top += 2;
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// Reference implementation: linear scan over the stored (grown)
+    /// boxes. The schedules keep this as their test oracle.
+    pub fn query_bruteforce(&self, region: GBox) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .entries
+            .iter()
+            .filter(|(b, _)| b.intersects(region))
+            .map(|&(_, i)| i as usize)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x0: i64, y0: i64, x1: i64, y1: i64) -> GBox {
+        GBox::from_coords(x0, y0, x1, y1)
+    }
+
+    fn tiles(n: i64, size: i64, origin: IntVector) -> Vec<GBox> {
+        let mut out = Vec::new();
+        for j in 0..n {
+            for i in 0..n {
+                let lo = origin + IntVector::new(i * size, j * size);
+                out.push(GBox::new(lo, lo + IntVector::uniform(size)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn finds_exactly_the_intersecting_set() {
+        let boxes = tiles(4, 8, IntVector::ZERO);
+        let ix = BoxIndex::new(&boxes, IntVector::ZERO);
+        assert_eq!(ix.len(), 16);
+        // A region covering the lower-left 2x2 tiles plus one cell of
+        // the next ring.
+        let q = b(0, 0, 17, 17);
+        let expect: Vec<usize> = (0..boxes.len()).filter(|&i| boxes[i].intersects(q)).collect();
+        assert_eq!(ix.query(q), expect);
+        assert_eq!(ix.query(q), ix.query_bruteforce(q));
+    }
+
+    #[test]
+    fn touching_edges_and_corners_do_not_count_without_ghosts() {
+        // [0,8)² and [8,16)² share an edge coordinate but no cell.
+        let boxes = vec![b(0, 0, 8, 8), b(8, 0, 16, 8), b(8, 8, 16, 16)];
+        let ix = BoxIndex::new(&boxes, IntVector::ZERO);
+        // Query exactly box 0: the edge-adjacent box 1 and the
+        // corner-adjacent box 2 must not appear.
+        assert_eq!(ix.query(b(0, 0, 8, 8)), vec![0]);
+        // One cell across the edge picks up box 1 only.
+        assert_eq!(ix.query(b(7, 0, 9, 8)), vec![0, 1]);
+        // One cell across the corner picks up everything it touches.
+        assert_eq!(ix.query(b(7, 7, 9, 9)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ghost_width_only_overlaps_are_found() {
+        // Two boxes separated by a 1-cell gap: a ghost width of 2
+        // reaches across the gap into the neighbour, ghost 1 only
+        // reaches the empty gap cell, ghost 0 sees nothing.
+        let boxes = vec![b(0, 0, 4, 4), b(5, 0, 9, 4)];
+        let bare = BoxIndex::new(&boxes, IntVector::ZERO);
+        assert_eq!(bare.query(b(0, 0, 4, 4)), vec![0]);
+        let near = BoxIndex::new(&boxes, IntVector::ONE);
+        assert_eq!(near.query(b(0, 0, 4, 4)), vec![0]);
+        let grown = BoxIndex::new(&boxes, IntVector::uniform(2));
+        assert_eq!(grown.query(b(0, 0, 4, 4)), vec![0, 1]);
+        // The gap cell itself intersects both grown boxes.
+        assert_eq!(grown.query(b(4, 0, 5, 4)), vec![0, 1]);
+        // A region clear of both grown boxes finds nothing.
+        assert!(grown.query(b(20, 20, 24, 24)).is_empty());
+    }
+
+    #[test]
+    fn empty_inputs_and_queries() {
+        let ix = BoxIndex::new(&[], IntVector::ZERO);
+        assert!(ix.is_empty());
+        assert!(ix.query(b(0, 0, 100, 100)).is_empty());
+        // Empty boxes are dropped even though growing them would make
+        // them non-empty.
+        let ix = BoxIndex::new(&[GBox::EMPTY, b(0, 0, 2, 2)], IntVector::uniform(3));
+        assert_eq!(ix.len(), 1);
+        assert_eq!(ix.query(b(-1, -1, 0, 0)), vec![1]);
+        assert!(ix.query(GBox::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn negative_index_space() {
+        let boxes = tiles(4, 7, IntVector::uniform(-14));
+        let ix = BoxIndex::new(&boxes, IntVector::ONE);
+        for &q in &[b(-14, -14, -7, -7), b(-1, -1, 1, 1), b(-20, -20, 20, 20)] {
+            assert_eq!(ix.query(q), ix.query_bruteforce(q), "query {q}");
+        }
+    }
+
+    #[test]
+    fn duplicate_and_nested_boxes() {
+        let boxes = vec![b(0, 0, 8, 8), b(0, 0, 8, 8), b(2, 2, 4, 4)];
+        let ix = BoxIndex::new(&boxes, IntVector::ZERO);
+        assert_eq!(ix.query(b(3, 3, 4, 4)), vec![0, 1, 2]);
+    }
+}

@@ -5,8 +5,11 @@
 //! [`IntVector`] (a 2D integer vector), [`GBox`] (a logically rectangular
 //! region of index space), [`BoxList`] (a set of boxes closed under union
 //! and difference), centring conversions between cell-, node- and
-//! side-centred index spaces, ghost-region/overlap computation, and a
-//! Morton space-filling curve used for load balancing.
+//! side-centred index spaces, ghost-region/overlap computation, a
+//! Morton space-filling curve used for load balancing, and a
+//! Morton-sorted spatial box index ([`BoxIndex`]) answering "which
+//! boxes intersect region R" in O(log N + k) for the schedule and
+//! regrid metadata paths.
 //!
 //! All boxes use an **inclusive lower / exclusive upper** convention: the
 //! box `[lo, hi)` contains the cells with `lo.x <= i < hi.x` and
@@ -19,6 +22,7 @@
 pub mod boxlist;
 pub mod centring;
 pub mod gbox;
+pub mod index;
 pub mod ivec;
 pub mod overlap;
 pub mod sfc;
@@ -26,6 +30,7 @@ pub mod sfc;
 pub use boxlist::BoxList;
 pub use centring::Centring;
 pub use gbox::GBox;
+pub use index::BoxIndex;
 pub use ivec::IntVector;
 pub use overlap::{copy_overlap, ghost_overlaps, BoxOverlap};
 pub use sfc::morton_key;

@@ -136,4 +136,20 @@ proptest! {
             }
         }
     }
+
+    /// The spatial index returns exactly the brute-force intersecting
+    /// set, for any box population, ghost width and query region.
+    #[test]
+    fn box_index_matches_bruteforce(
+        boxes in proptest::collection::vec(arb_box(), 0..40),
+        q in arb_box(),
+        g in 0i64..4,
+    ) {
+        let ix = rbamr_geometry::BoxIndex::new(&boxes, IntVector::uniform(g));
+        let expect: Vec<usize> = (0..boxes.len())
+            .filter(|&i| boxes[i].grow(IntVector::uniform(g)).intersects(q))
+            .collect();
+        prop_assert_eq!(ix.query(q), expect.clone());
+        prop_assert_eq!(ix.query_bruteforce(q), expect);
+    }
 }

@@ -13,6 +13,40 @@ use std::time::Duration;
 /// silently; failing loudly is strictly more useful in a test suite.
 const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// Misuse of the communication API detected at a single rank.
+///
+/// Returned as `Err` instead of panicking: a panic in one rank thread
+/// poisons the whole simulated job (every other rank then dies on the
+/// deadlock timeout), whereas an error lets the caller report the bug.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The broadcast root passed `None` instead of a payload.
+    MissingRootPayload {
+        /// The root rank of the offending broadcast.
+        root: usize,
+    },
+    /// A non-root rank passed `Some(payload)` to a broadcast.
+    UnexpectedPayload {
+        /// The offending rank.
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingRootPayload { root } => {
+                write!(f, "broadcast: root rank {root} must supply a payload")
+            }
+            Self::UnexpectedPayload { rank } => {
+                write!(f, "broadcast: non-root rank {rank} supplied a payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
 type MailboxKey = (usize, u64); // (source rank, tag)
 
 struct Mailbox {
@@ -277,23 +311,36 @@ impl Comm {
     /// else passes `None` and receives the root's bytes. Cost: each
     /// non-root rank is charged one message.
     ///
-    /// # Panics
-    /// Panics if the root passes `None` or a non-root passes `Some`.
-    pub fn broadcast(&self, root: usize, payload: Option<Bytes>, category: Category) -> Bytes {
+    /// # Errors
+    /// [`CommError::MissingRootPayload`] if the root passes `None`,
+    /// [`CommError::UnexpectedPayload`] if a non-root passes `Some`.
+    /// The collective tag is consumed either way, so a rank that
+    /// reports (rather than propagates) the error stays aligned with
+    /// the other ranks' collective sequence.
+    pub fn broadcast(
+        &self,
+        root: usize,
+        payload: Option<Bytes>,
+        category: Category,
+    ) -> Result<Bytes, CommError> {
         let _span = self.recorder.is_enabled().then(|| self.recorder.span("broadcast", category));
         self.recorder.count("net.collectives", 1);
         let tag = self.next_collective_tag();
         if self.rank == root {
-            let payload = payload.expect("broadcast: root must supply a payload");
+            let Some(payload) = payload else {
+                return Err(CommError::MissingRootPayload { root });
+            };
             for dst in 0..self.shared.size {
                 if dst != self.rank {
                     self.send(dst, tag, payload.clone());
                 }
             }
-            payload
+            Ok(payload)
         } else {
-            assert!(payload.is_none(), "broadcast: non-root rank supplied a payload");
-            self.recv(root, tag, category)
+            if payload.is_some() {
+                return Err(CommError::UnexpectedPayload { rank: self.rank });
+            }
+            Ok(self.recv(root, tag, category))
         }
     }
 }
@@ -426,6 +473,41 @@ mod tests {
         })[0]
             .value;
         assert!((t4 / t2 - 2.0).abs() < 1e-9, "log2(4)/log2(2) = 2, got {}", t4 / t2);
+    }
+
+    #[test]
+    fn gather_then_broadcast() {
+        let results = cluster().run(3, |comm| {
+            let mine = Bytes::from(vec![comm.rank() as u8]);
+            let gathered = comm.gather(0, mine, Category::Regrid);
+            let merged = gathered.map(|parts| {
+                let mut all = Vec::new();
+                for p in parts {
+                    all.extend_from_slice(&p);
+                }
+                Bytes::from(all)
+            });
+            comm.broadcast(0, merged, Category::Regrid).expect("well-formed broadcast")
+        });
+        for r in &results {
+            assert_eq!(&r.value[..], &[0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn broadcast_root_without_payload_is_an_error() {
+        let results = cluster().run(1, |comm| comm.broadcast(0, None, Category::Regrid));
+        assert_eq!(results[0].value, Err(CommError::MissingRootPayload { root: 0 }));
+    }
+
+    #[test]
+    fn broadcast_nonroot_with_payload_is_an_error() {
+        // The root's sends are buffered, so the misbehaving non-root
+        // erroring out does not deadlock the job.
+        let results = cluster()
+            .run(2, |comm| comm.broadcast(0, Some(Bytes::from_static(b"x")), Category::Regrid));
+        assert_eq!(results[0].value, Ok(Bytes::from_static(b"x")));
+        assert_eq!(results[1].value, Err(CommError::UnexpectedPayload { rank: 1 }));
     }
 
     #[test]

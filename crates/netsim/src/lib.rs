@@ -22,4 +22,4 @@ pub mod cluster;
 pub mod comm;
 
 pub use cluster::{Cluster, RankResult};
-pub use comm::Comm;
+pub use comm::{Comm, CommError};

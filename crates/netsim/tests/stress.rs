@@ -103,7 +103,7 @@ fn gather_broadcast_roundtrip_under_load() {
             } else {
                 None
             };
-            let bcast = comm.broadcast(0, merged, Category::Regrid);
+            let bcast = comm.broadcast(0, merged, Category::Regrid).expect("valid broadcast");
             all_ok &= bcast.len() == comm.size() * 2;
         }
         all_ok
