@@ -236,6 +236,13 @@ impl PatchHierarchy {
         self.levels.truncate(num);
     }
 
+    /// Structure digest of level `l` (see
+    /// [`PatchLevel::structure_digest`]): identical on every rank, and
+    /// changed by any box, owner, or ordering change on the level.
+    pub fn structure_digest(&self, l: usize) -> u64 {
+        self.levels[l].structure_digest()
+    }
+
     /// Total cells over all levels (globally).
     pub fn total_cells(&self) -> i64 {
         self.levels.iter().map(|l| l.num_cells()).sum()

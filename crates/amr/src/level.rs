@@ -2,7 +2,7 @@
 
 use crate::patch::{Patch, PatchId};
 use crate::variable::VariableRegistry;
-use rbamr_geometry::{BoxList, GBox, IntVector};
+use rbamr_geometry::{BoxList, Fnv64, GBox, IntVector, UnorderedDigest};
 
 /// One refinement level of the hierarchy: the global description of all
 /// its patches (replicated on every rank, SAMRAI-style) plus the
@@ -19,6 +19,41 @@ pub struct PatchLevel {
     domain: BoxList,
     /// Locally owned patches, carrying data.
     local: Vec<Patch>,
+    /// Digest of the level structure (boxes, owners, ratio, domain),
+    /// computed once at construction. See [`PatchLevel::structure_digest`].
+    structure_digest: u64,
+}
+
+/// Digest of a level structure: level number, ratio, domain, and the
+/// indexed (box, owner) records combined order-independently. Every rank
+/// computes the identical value from the replicated metadata — the rank
+/// itself is deliberately *not* part of the digest.
+fn compute_structure_digest(
+    level_no: usize,
+    ratio: IntVector,
+    boxes: &[GBox],
+    owners: &[usize],
+    domain: &BoxList,
+) -> u64 {
+    let mut items = UnorderedDigest::new();
+    for (index, (b, o)) in boxes.iter().zip(owners).enumerate() {
+        // Bind the index: schedule plans address patches by global
+        // index, so a permutation of the same boxes is a different
+        // structure even though the multiset is unchanged.
+        let mut f = Fnv64::new();
+        f.write_usize(index);
+        f.write_gbox(*b);
+        f.write_usize(*o);
+        items.add(f.finish());
+    }
+    let mut f = Fnv64::new();
+    f.write_usize(level_no);
+    f.write_ivec(ratio);
+    for b in domain.iter() {
+        f.write_gbox(*b);
+    }
+    f.write_u64(items.finish());
+    f.finish()
 }
 
 impl PatchLevel {
@@ -54,7 +89,8 @@ impl PatchLevel {
             .filter(|(_, (_, &o))| o == my_rank)
             .map(|(index, (&b, &o))| Patch::new(PatchId { level: level_no, index }, b, o, registry))
             .collect();
-        Self { level_no, ratio, global_boxes: boxes, owners, domain, local }
+        let structure_digest = compute_structure_digest(level_no, ratio, &boxes, &owners, &domain);
+        Self { level_no, ratio, global_boxes: boxes, owners, domain, local, structure_digest }
     }
 
     /// The level number (0 = coarsest).
@@ -80,6 +116,21 @@ impl PatchLevel {
     /// Owner rank of the global patch `index`.
     pub fn owner_of(&self, index: usize) -> usize {
         self.owners[index]
+    }
+
+    /// Owner rank of every global patch, indexed like
+    /// [`PatchLevel::global_boxes`].
+    pub fn owners(&self) -> &[usize] {
+        &self.owners
+    }
+
+    /// A 64-bit digest of the level's structure: boxes, owners, ratio,
+    /// level number, and domain. Identical on every rank (it is computed
+    /// from the replicated metadata only); any change to a box, an
+    /// owner, or the patch ordering changes the digest. Used to key
+    /// cached communication schedules.
+    pub fn structure_digest(&self) -> u64 {
+        self.structure_digest
     }
 
     /// Number of patches on the level (globally).
@@ -179,5 +230,26 @@ mod tests {
         let r = registry();
         let boxes = vec![GBox::from_coords(0, 0, 32, 8)];
         PatchLevel::new(0, IntVector::ONE, boxes, vec![0], domain(), 0, &r);
+    }
+
+    #[test]
+    fn structure_digest_is_rank_independent_and_structure_sensitive() {
+        let r = registry();
+        let boxes = vec![GBox::from_coords(0, 0, 8, 8), GBox::from_coords(8, 0, 16, 8)];
+        let mk = |boxes: Vec<GBox>, owners: Vec<usize>, rank: usize| {
+            PatchLevel::new(0, IntVector::ONE, boxes, owners, domain(), rank, &r)
+        };
+        let base = mk(boxes.clone(), vec![0, 1], 0);
+        // Same structure seen from another rank: identical digest.
+        let other_rank = mk(boxes.clone(), vec![0, 1], 1);
+        assert_eq!(base.structure_digest(), other_rank.structure_digest());
+        // Owner change, box change, and permutation all alter it.
+        let owners_changed = mk(boxes.clone(), vec![1, 0], 0);
+        assert_ne!(base.structure_digest(), owners_changed.structure_digest());
+        let boxes_changed =
+            mk(vec![GBox::from_coords(0, 0, 8, 8), GBox::from_coords(8, 0, 16, 16)], vec![0, 1], 0);
+        assert_ne!(base.structure_digest(), boxes_changed.structure_digest());
+        let permuted = mk(vec![boxes[1], boxes[0]], vec![1, 0], 0);
+        assert_ne!(base.structure_digest(), permuted.structure_digest());
     }
 }

@@ -59,8 +59,8 @@ pub use level::PatchLevel;
 pub use ops::{CoarsenOperator, RefineOperator};
 pub use patch::{Patch, PatchId};
 pub use patchdata::{Element, PatchData};
-pub use regrid::{RegridParams, Regridder};
-pub use schedule::{CoarsenSchedule, RefineSchedule};
+pub use regrid::{RegridOutcome, RegridParams, Regridder};
+pub use schedule::{BuildStrategy, CoarsenSchedule, RefineSchedule, ScheduleBuild, ScheduleCache};
 pub use stats::{hierarchy_stats, HierarchyStats};
 pub use tagging::TagBitmap;
 pub use variable::{DataFactory, Variable, VariableId, VariableRegistry};

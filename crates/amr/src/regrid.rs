@@ -71,6 +71,36 @@ impl Default for RegridParams {
     }
 }
 
+/// What a regrid pass did to the hierarchy, reported per level so
+/// callers can skip work for levels whose structure survived.
+#[derive(Clone, Debug)]
+pub struct RegridOutcome {
+    /// Number of levels in the new hierarchy.
+    pub num_levels: usize,
+    /// Indexed by level number (`len() == num_levels`): `true` when the
+    /// level's structure (boxes, owners, or their ordering) changed.
+    /// Level 0 is never regridded, so `levels_changed[0]` is always
+    /// `false`.
+    pub levels_changed: Vec<bool>,
+    /// Cells flagged for refinement across all planning passes, after
+    /// the global tag exchange (identical on every rank).
+    pub tags_flagged: u64,
+}
+
+impl RegridOutcome {
+    /// Did any surviving level change structure?
+    pub fn any_changed(&self) -> bool {
+        self.levels_changed.iter().any(|&c| c)
+    }
+
+    /// Are `level`'s communication schedules stale — did the level
+    /// itself, or the coarser level its fills interpolate from, change
+    /// structure?
+    pub fn schedules_stale(&self, level: usize) -> bool {
+        self.levels_changed[level] || (level > 0 && self.levels_changed[level - 1])
+    }
+}
+
 /// The regridding driver.
 pub struct Regridder {
     params: RegridParams,
@@ -97,8 +127,13 @@ impl Regridder {
     ///
     /// Flags with `tagger`, clusters, load balances, rebuilds the levels
     /// and transfers the solution (`specs`). Charges `Category::Regrid`
-    /// on data movement. Returns the number of levels in the new
-    /// hierarchy.
+    /// on data movement.
+    ///
+    /// A level whose planned structure (boxes and owners) reproduces the
+    /// existing one is left entirely in place — no rebuild, no data
+    /// transfer (the transfer would be the identity) — and reported as
+    /// unchanged in the returned [`RegridOutcome`], so callers can keep
+    /// (or cache-fetch) its communication schedules.
     pub fn regrid(
         &self,
         hierarchy: &mut PatchHierarchy,
@@ -107,7 +142,7 @@ impl Regridder {
         specs: &[TransferSpec],
         comm: Option<&Comm>,
         time: f64,
-    ) -> usize {
+    ) -> RegridOutcome {
         let rec = hierarchy.recorder().clone();
         let _span = rec.is_enabled().then(|| rec.span("regrid", Category::Regrid));
         let max_levels = hierarchy.max_levels();
@@ -117,6 +152,7 @@ impl Regridder {
         // Nesting footprints to merge into coarser plans, indexed by the
         // tag level they apply to.
         let mut nesting_cover: Vec<BoxList> = vec![BoxList::new(); max_levels];
+        let mut tags_flagged: u64 = 0;
 
         // --- Plan, from second finest down to coarsest ----------------
         for target in (1..=finest_target).rev() {
@@ -140,6 +176,7 @@ impl Regridder {
             if let Some(comm) = comm {
                 cells = exchange_tags(comm, &cells);
             }
+            tags_flagged += cells.len() as u64;
 
             // Cluster in tag-level index space.
             let clustered = cluster_tags(&cells, &self.params.cluster);
@@ -181,6 +218,7 @@ impl Regridder {
         // --- Rebuild + transfer, coarsest first ------------------------
         let nranks = hierarchy.nranks();
         let mut new_num_levels = 1;
+        let mut levels_changed = vec![false; max_levels];
         #[allow(clippy::needless_range_loop)] // target is a level number, not a plain index
         for target in 1..=finest_target {
             let boxes = planned[target].take().unwrap_or_default();
@@ -189,14 +227,28 @@ impl Regridder {
             }
             let owners = partition_sfc(&boxes, nranks);
             rec.count("regrid.patches", boxes.len() as u64);
-            self.rebuild_level(hierarchy, registry, target, boxes, owners, specs, comm, time);
+            let unchanged = target <= hierarchy.finest_level()
+                && hierarchy.level(target).global_boxes() == boxes.as_slice()
+                && hierarchy.level(target).owners() == owners.as_slice();
+            if unchanged {
+                // The full rebuild against an identical old level is the
+                // identity (refine-from-coarse then overwrite everywhere
+                // from the old data): keep the level and its data in
+                // place, just restamp the time the rebuild would set.
+                rec.count("regrid.levels_unchanged", 1);
+                hierarchy.level_mut(target).set_time(time);
+            } else {
+                self.rebuild_level(hierarchy, registry, target, boxes, owners, specs, comm, time);
+                levels_changed[target] = true;
+            }
             new_num_levels = target + 1;
         }
         hierarchy.truncate_levels(new_num_levels);
         if let Some(comm) = comm {
             comm.barrier(Category::Regrid);
         }
-        new_num_levels
+        levels_changed.truncate(new_num_levels);
+        RegridOutcome { num_levels: new_num_levels, levels_changed, tags_flagged }
     }
 
     /// Build the new level `target`, initialise its data (refine from
@@ -496,7 +548,7 @@ mod tests {
         }
         let tagger = BoxTagger { region: b(10, 10, 16, 16) };
         let rg = Regridder::new(RegridParams::default());
-        let levels = rg.regrid(
+        let outcome = rg.regrid(
             &mut h,
             &reg,
             &tagger,
@@ -504,7 +556,10 @@ mod tests {
             None,
             0.0,
         );
-        assert_eq!(levels, 2);
+        assert_eq!(outcome.num_levels, 2);
+        assert_eq!(outcome.levels_changed, vec![false, true]);
+        assert!(outcome.tags_flagged > 0);
+        assert!(outcome.schedules_stale(1));
         let lvl1 = h.level(1);
         // Tagged region (plus buffer) is covered, refined.
         let covered = lvl1.covered();
@@ -525,7 +580,7 @@ mod tests {
         assert_eq!(h.num_levels(), 2);
         let tagger = BoxTagger { region: GBox::EMPTY };
         let rg = Regridder::new(RegridParams::default());
-        let levels = rg.regrid(
+        let outcome = rg.regrid(
             &mut h,
             &reg,
             &tagger,
@@ -533,8 +588,38 @@ mod tests {
             None,
             0.0,
         );
-        assert_eq!(levels, 1);
+        assert_eq!(outcome.num_levels, 1);
+        assert_eq!(outcome.levels_changed, vec![false]);
         assert_eq!(h.num_levels(), 1);
+    }
+
+    #[test]
+    fn structure_preserving_regrid_keeps_the_level_in_place() {
+        let (mut h, reg, var) = setup();
+        let tagger = BoxTagger { region: b(10, 10, 16, 16) };
+        let rg = Regridder::new(RegridParams::default());
+        let specs = [TransferSpec { var, refine_op: Arc::new(ConservativeCellRefine) }];
+        let first = rg.regrid(&mut h, &reg, &tagger, &specs, None, 0.0);
+        assert_eq!(first.levels_changed, vec![false, true]);
+        let boxes_before = h.level(1).global_boxes().to_vec();
+        let digest_before = h.structure_digest(1);
+        // Scribble on the fine data: an unchanged regrid must not touch it.
+        {
+            let p = h.level_mut(1).local_by_index_mut(0).unwrap();
+            p.host_mut::<f64>(var).fill(123.0);
+        }
+        // Same tags again: identical plan, level kept in place.
+        let second = rg.regrid(&mut h, &reg, &tagger, &specs, None, 1.0);
+        assert_eq!(second.num_levels, 2);
+        assert_eq!(second.levels_changed, vec![false, false]);
+        assert!(!second.any_changed());
+        assert!(!second.schedules_stale(1));
+        assert_eq!(h.level(1).global_boxes(), boxes_before.as_slice());
+        assert_eq!(h.structure_digest(1), digest_before);
+        let p = h.level(1).local_by_index(0).unwrap();
+        let probe = p.cell_box().lo;
+        assert_eq!(p.host::<f64>(var).at(probe), 123.0, "unchanged level lost its data");
+        assert_eq!(p.data(var).time(), 1.0, "unchanged level time not restamped");
     }
 
     #[test]
@@ -601,7 +686,7 @@ mod tests {
             }
         }
         let rg = Regridder::new(RegridParams::default());
-        let levels = rg.regrid(
+        let outcome = rg.regrid(
             &mut h,
             &reg,
             &CentreTagger,
@@ -609,7 +694,7 @@ mod tests {
             None,
             0.0,
         );
-        assert_eq!(levels, 3);
+        assert_eq!(outcome.num_levels, 3);
         // Level 2 nests in level 1 with the paper's one-cell buffer.
         let fine_boxes: Vec<GBox> = h.level(2).global_boxes().to_vec();
         let coverage = h.level(1).covered();

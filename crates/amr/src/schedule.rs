@@ -20,6 +20,13 @@
 //! replicated level metadata, so send and receive plans agree without
 //! negotiation; message tags encode `(kind, variable, destination patch,
 //! source patch)` and are therefore unique per schedule execution.
+//!
+//! [`ScheduleBuild`] is the sanctioned build entry point: it selects the
+//! overlap-discovery strategy ([`BuildStrategy`]) and optionally routes
+//! the build through a [`ScheduleCache`], which keys finished schedules
+//! on the level-structure digests and a spec fingerprint so a regrid
+//! that reproduces the previous box structure (the common case once the
+//! hierarchy converges) reuses the schedules instead of rebuilding them.
 
 use crate::boundary::PhysicalBoundary;
 use crate::hierarchy::PatchHierarchy;
@@ -51,6 +58,345 @@ pub struct CoarsenSpec {
     /// Auxiliary fine variables the operator reads (e.g. density for
     /// mass weighting), in the order the operator expects.
     pub aux: Vec<VariableId>,
+}
+
+impl std::fmt::Debug for FillSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FillSpec")
+            .field("var", &self.var)
+            .field("refine_op", &self.refine_op.as_ref().map(|op| op.name()))
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for CoarsenSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoarsenSpec")
+            .field("var", &self.var)
+            .field("op", &self.op.name())
+            .field("aux", &self.aux)
+            .finish()
+    }
+}
+
+// Spec equality and hashing identify an operator by its registered
+// name — the same identity `plan_digest` renders — so two specs naming
+// the same variable and operator are interchangeable for caching even
+// when they hold distinct `Arc`s.
+
+impl PartialEq for FillSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.var == other.var
+            && match (&self.refine_op, &other.refine_op) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.name() == b.name(),
+                _ => false,
+            }
+    }
+}
+
+impl Eq for FillSpec {}
+
+impl std::hash::Hash for FillSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.var.hash(state);
+        match &self.refine_op {
+            None => state.write_u8(0),
+            Some(op) => {
+                state.write_u8(1);
+                op.name().hash(state);
+            }
+        }
+    }
+}
+
+impl PartialEq for CoarsenSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.var == other.var && self.op.name() == other.op.name() && self.aux == other.aux
+    }
+}
+
+impl Eq for CoarsenSpec {}
+
+impl std::hash::Hash for CoarsenSpec {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.var.hash(state);
+        self.op.name().hash(state);
+        self.aux.hash(state);
+    }
+}
+
+/// Order-dependent fingerprint of a spec list (spec order determines
+/// plan and message-stream order, so it is part of the cache key).
+fn specs_fingerprint<T: std::hash::Hash>(specs: &[T]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    specs.hash(&mut h);
+    h.finish()
+}
+
+/// How a schedule's overlap discovery runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildStrategy {
+    /// Morton [`BoxIndex`] discovery, O(N log N + k) — the production
+    /// path.
+    Indexed,
+    /// All-pairs O(N²) scan. Retained purely as the property-test
+    /// oracle; never cached.
+    BruteForceOracle,
+}
+
+/// Identity of a cached schedule: the level structures it was planned
+/// against, the spec set, and the rank (plans are rank-relative — they
+/// split into copies vs sends vs recvs by owner comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct ScheduleKey {
+    rank: usize,
+    level_no: usize,
+    level_digest: u64,
+    /// Digest of the coarser level when the schedule reads it (refine
+    /// with interpolation, every coarsen); 0 otherwise.
+    coarser_digest: u64,
+    spec_fp: u64,
+}
+
+impl ScheduleKey {
+    fn refine(hierarchy: &PatchHierarchy, level_no: usize, specs: &[FillSpec]) -> Self {
+        // Matches the build: coarse metadata is only consulted when the
+        // level has a coarser one and some spec interpolates.
+        let needs_coarse = level_no > 0 && specs.iter().any(|s| s.refine_op.is_some());
+        Self {
+            rank: hierarchy.rank(),
+            level_no,
+            level_digest: hierarchy.structure_digest(level_no),
+            coarser_digest: if needs_coarse { hierarchy.structure_digest(level_no - 1) } else { 0 },
+            spec_fp: specs_fingerprint(specs),
+        }
+    }
+
+    fn coarsen(hierarchy: &PatchHierarchy, fine_level_no: usize, specs: &[CoarsenSpec]) -> Self {
+        assert!(fine_level_no > 0, "CoarsenSchedule: level 0 has no coarser level");
+        Self {
+            rank: hierarchy.rank(),
+            level_no: fine_level_no,
+            level_digest: hierarchy.structure_digest(fine_level_no),
+            coarser_digest: hierarchy.structure_digest(fine_level_no - 1),
+            spec_fp: specs_fingerprint(specs),
+        }
+    }
+}
+
+/// Structure-keyed cache of built schedules.
+///
+/// Keys bind the digests of every level a schedule was planned against
+/// (see [`crate::PatchLevel::structure_digest`]), the spec-set
+/// fingerprint, and the rank, so a lookup can only hit when the cached
+/// plans are byte-for-byte what a fresh build would produce. Entries are
+/// `Arc`-shared: a hit is an `Arc` clone, no copying.
+///
+/// Invalidation is automatic — a regrid that changes a level's boxes,
+/// owners, or ordering changes the digest and subsequent lookups miss;
+/// stale entries age out via the [`ScheduleCache::MAX_ENTRIES`] bound
+/// (the maps are cleared wholesale when full; steady-state AMR runs hold
+/// a handful of live keys, so eviction refinement is not worth state).
+#[derive(Default)]
+pub struct ScheduleCache {
+    refine: std::collections::HashMap<ScheduleKey, Arc<RefineSchedule>>,
+    coarsen: std::collections::HashMap<ScheduleKey, Arc<CoarsenSchedule>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ScheduleCache {
+    /// Bound on cached schedules per kind before the cache clears
+    /// itself.
+    pub const MAX_ENTRIES: usize = 512;
+
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached schedules (both kinds).
+    pub fn len(&self) -> usize {
+        self.refine.len() + self.coarsen.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.refine.is_empty() && self.coarsen.is_empty()
+    }
+
+    /// Drop every cached schedule (lifetime hit/miss counters survive).
+    pub fn clear(&mut self) {
+        self.refine.clear();
+        self.coarsen.clear();
+    }
+
+    /// Lifetime lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lifetime hit rate in [0, 1]; 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The sanctioned schedule-build entry point: strategy selection plus
+/// the cache hook.
+///
+/// ```ignore
+/// let mut cache = ScheduleCache::new();
+/// let sched = ScheduleBuild::with_cache(&mut cache).refine(&h, &reg, 1, &specs);
+/// ```
+///
+/// Cache lookups are only attempted for [`BuildStrategy::Indexed`]; the
+/// brute-force oracle always builds fresh (its point is to be an
+/// independent reference).
+pub struct ScheduleBuild<'c> {
+    /// Overlap-discovery strategy.
+    pub strategy: BuildStrategy,
+    /// When set, built schedules are cached and structure-preserving
+    /// rebuilds become `Arc` clones.
+    pub cache: Option<&'c mut ScheduleCache>,
+}
+
+impl ScheduleBuild<'static> {
+    /// Indexed build, no caching.
+    pub fn indexed() -> Self {
+        Self { strategy: BuildStrategy::Indexed, cache: None }
+    }
+
+    /// A specific strategy, no caching.
+    pub fn new(strategy: BuildStrategy) -> Self {
+        Self { strategy, cache: None }
+    }
+}
+
+impl<'c> ScheduleBuild<'c> {
+    /// Indexed build through `cache`.
+    pub fn with_cache(cache: &'c mut ScheduleCache) -> Self {
+        Self { strategy: BuildStrategy::Indexed, cache: Some(cache) }
+    }
+
+    fn indexed_discovery(&self) -> bool {
+        self.strategy == BuildStrategy::Indexed
+    }
+
+    /// Build (or fetch) the ghost-fill schedule for `level_no`.
+    pub fn refine(
+        &mut self,
+        hierarchy: &PatchHierarchy,
+        registry: &VariableRegistry,
+        level_no: usize,
+        specs: &[FillSpec],
+    ) -> Arc<RefineSchedule> {
+        let key = (self.cache.is_some() && self.indexed_discovery())
+            .then(|| ScheduleKey::refine(hierarchy, level_no, specs));
+        if let (Some(cache), Some(key)) = (self.cache.as_deref_mut(), key) {
+            if let Some(hit) = cache.refine.get(&key) {
+                cache.hits += 1;
+                count_if_enabled(hierarchy, "schedule.cache_hits");
+                return Arc::clone(hit);
+            }
+        }
+        let built = Arc::new(RefineSchedule::build(
+            hierarchy,
+            registry,
+            level_no,
+            specs,
+            self.indexed_discovery(),
+        ));
+        if let (Some(cache), Some(key)) = (self.cache.as_deref_mut(), key) {
+            cache.misses += 1;
+            count_if_enabled(hierarchy, "schedule.cache_misses");
+            if cache.refine.len() >= ScheduleCache::MAX_ENTRIES {
+                cache.refine.clear();
+            }
+            cache.refine.insert(key, Arc::clone(&built));
+        }
+        built
+    }
+
+    /// Build (or fetch) the synchronisation schedule projecting
+    /// `fine_level_no` onto `fine_level_no - 1`.
+    ///
+    /// # Panics
+    /// Panics if `fine_level_no == 0`.
+    pub fn coarsen(
+        &mut self,
+        hierarchy: &PatchHierarchy,
+        registry: &VariableRegistry,
+        fine_level_no: usize,
+        specs: &[CoarsenSpec],
+    ) -> Arc<CoarsenSchedule> {
+        let key = (self.cache.is_some() && self.indexed_discovery())
+            .then(|| ScheduleKey::coarsen(hierarchy, fine_level_no, specs));
+        if let (Some(cache), Some(key)) = (self.cache.as_deref_mut(), key) {
+            if let Some(hit) = cache.coarsen.get(&key) {
+                cache.hits += 1;
+                count_if_enabled(hierarchy, "schedule.cache_hits");
+                return Arc::clone(hit);
+            }
+        }
+        let built = Arc::new(CoarsenSchedule::build(
+            hierarchy,
+            registry,
+            fine_level_no,
+            specs,
+            self.indexed_discovery(),
+        ));
+        if let (Some(cache), Some(key)) = (self.cache.as_deref_mut(), key) {
+            cache.misses += 1;
+            count_if_enabled(hierarchy, "schedule.cache_misses");
+            if cache.coarsen.len() >= ScheduleCache::MAX_ENTRIES {
+                cache.coarsen.clear();
+            }
+            cache.coarsen.insert(key, Arc::clone(&built));
+        }
+        built
+    }
+}
+
+fn count_if_enabled(hierarchy: &PatchHierarchy, name: &'static str) {
+    let rec = hierarchy.recorder();
+    if rec.is_enabled() {
+        rec.count(name, 1);
+    }
+}
+
+/// Shared build-telemetry epilogue of both schedule builds.
+fn record_build_telemetry(
+    hierarchy: &PatchHierarchy,
+    candidate_pairs: u64,
+    build_start: std::time::Instant,
+) {
+    let rec = hierarchy.recorder();
+    if rec.is_enabled() {
+        rec.count("schedule.builds", 1);
+        rec.count("schedule.candidate_pairs", candidate_pairs);
+        // Host metadata cost: wall-clock, not the virtual device
+        // clock — schedule construction never touches the perfmodel.
+        rec.count("schedule.build_ns", build_start.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Shared digest finaliser: canonical order for plan renderings.
+fn sorted_digest(mut lines: Vec<String>) -> Vec<String> {
+    lines.sort_unstable();
+    lines
 }
 
 /// The union of `centring.data_box(b)` over a region's boxes.
@@ -186,6 +532,10 @@ impl RefineSchedule {
     /// Source discovery goes through a [`BoxIndex`] (O(log N + k) per
     /// destination), so metadata cost is O(N log N) in the patch count
     /// rather than the all-pairs O(N²).
+    ///
+    /// Thin wrapper kept for the tests and simple callers; production
+    /// code should build through [`ScheduleBuild`], which adds the
+    /// structure-keyed [`ScheduleCache`].
     pub fn new(
         hierarchy: &PatchHierarchy,
         registry: &VariableRegistry,
@@ -198,7 +548,8 @@ impl RefineSchedule {
     /// Build the schedule with the all-pairs O(N²) scan the indexed
     /// build replaced. Retained as the test oracle: the proptests
     /// assert [`RefineSchedule::plan_digest`] is identical for both
-    /// builds on arbitrary hierarchies.
+    /// builds on arbitrary hierarchies. Thin wrapper over
+    /// [`BuildStrategy::BruteForceOracle`].
     pub fn new_bruteforce(
         hierarchy: &PatchHierarchy,
         registry: &VariableRegistry,
@@ -412,14 +763,7 @@ impl RefineSchedule {
             }
         }
 
-        let rec = hierarchy.recorder();
-        if rec.is_enabled() {
-            rec.count("schedule.builds", 1);
-            rec.count("schedule.candidate_pairs", candidate_pairs);
-            // Host metadata cost: wall-clock, not the virtual device
-            // clock — schedule construction never touches the perfmodel.
-            rec.count("schedule.build_ns", build_start.elapsed().as_nanos() as u64);
-        }
+        record_build_telemetry(hierarchy, candidate_pairs, build_start);
 
         Self {
             level_no,
@@ -471,8 +815,7 @@ impl RefineSchedule {
         for (dst_idx, var, boxes) in &self.physical {
             out.push(format!("phys v{} {} {:?}", var.0, dst_idx, boxes));
         }
-        out.sort_unstable();
-        out
+        sorted_digest(out)
     }
 
     /// Total values moved by same-level plans (diagnostics/tests).
@@ -648,6 +991,9 @@ impl CoarsenSchedule {
     /// Coarse-destination discovery goes through a [`BoxIndex`] over
     /// the coarse boxes, queried with each fine box's coarsened shadow.
     ///
+    /// Thin wrapper kept for the tests and simple callers; production
+    /// code should build through [`ScheduleBuild`].
+    ///
     /// # Panics
     /// Panics if `fine_level_no == 0`.
     pub fn new(
@@ -735,19 +1081,14 @@ impl CoarsenSchedule {
                 }
             }
         }
-        let rec = hierarchy.recorder();
-        if rec.is_enabled() {
-            rec.count("schedule.builds", 1);
-            rec.count("schedule.candidate_pairs", candidate_pairs);
-            rec.count("schedule.build_ns", build_start.elapsed().as_nanos() as u64);
-        }
+        record_build_telemetry(hierarchy, candidate_pairs, build_start);
         Self { fine_level_no, plans }
     }
 
     /// Canonical rendering of every sync plan, sorted (see
     /// [`RefineSchedule::plan_digest`]).
     pub fn plan_digest(&self) -> Vec<String> {
-        let mut out: Vec<String> = self
+        let out: Vec<String> = self
             .plans
             .iter()
             .map(|p| {
@@ -764,8 +1105,7 @@ impl CoarsenSchedule {
                 )
             })
             .collect();
-        out.sort_unstable();
-        out
+        sorted_digest(out)
     }
 
     /// Number of projection jobs (diagnostics).
@@ -1146,5 +1486,106 @@ mod tests {
     fn tag_accepts_the_limits() {
         // The maximal legal fields pack without panicking.
         tag(14, VariableId((1 << 20) - 1), (1 << 20) - 1, (1 << 20) - 1);
+    }
+
+    #[test]
+    fn spec_equality_and_hash_track_operator_identity() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash_of = |s: &FillSpec| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        let v = VariableId(0);
+        let bare = FillSpec { var: v, refine_op: None };
+        let cons = FillSpec { var: v, refine_op: Some(Arc::new(ConservativeCellRefine)) };
+        let cons2 = FillSpec { var: v, refine_op: Some(Arc::new(ConservativeCellRefine)) };
+        let lin = FillSpec { var: v, refine_op: Some(Arc::new(LinearNodeRefine)) };
+        assert_eq!(cons, cons2); // distinct Arcs, same operator name
+        assert_eq!(hash_of(&cons), hash_of(&cons2));
+        assert_ne!(cons, lin);
+        assert_ne!(cons, bare);
+        assert_ne!(bare, FillSpec { var: VariableId(1), refine_op: None });
+        let sync = CoarsenSpec { var: v, op: Arc::new(VolumeWeightedCoarsen), aux: vec![] };
+        let sync2 = CoarsenSpec { var: v, op: Arc::new(VolumeWeightedCoarsen), aux: vec![] };
+        assert_eq!(sync, sync2);
+        assert_ne!(
+            sync,
+            CoarsenSpec { var: v, op: Arc::new(VolumeWeightedCoarsen), aux: vec![VariableId(1)] }
+        );
+    }
+
+    fn two_level_setup() -> (PatchHierarchy, VariableRegistry, VariableId) {
+        let (mut h, reg, var) = setup();
+        h.set_level(0, vec![b(0, 0, 16, 16)], vec![0], &reg);
+        h.set_level(1, vec![b(8, 8, 24, 24)], vec![0], &reg);
+        (h, reg, var)
+    }
+
+    #[test]
+    fn cache_hits_on_identical_structure_and_misses_on_change() {
+        let (mut h, reg, var) = two_level_setup();
+        let specs = [FillSpec { var, refine_op: Some(Arc::new(ConservativeCellRefine)) }];
+        let mut cache = ScheduleCache::new();
+        let first = ScheduleBuild::with_cache(&mut cache).refine(&h, &reg, 1, &specs);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        // Same structure: Arc-identical hit.
+        let second = ScheduleBuild::with_cache(&mut cache).refine(&h, &reg, 1, &specs);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.hit_rate(), 0.5);
+        // Replacing the fine level with a different box misses and
+        // matches a fresh build.
+        h.set_level(1, vec![b(8, 8, 20, 24)], vec![0], &reg);
+        let third = ScheduleBuild::with_cache(&mut cache).refine(&h, &reg, 1, &specs);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(third.plan_digest(), RefineSchedule::new(&h, &reg, 1, &specs).plan_digest());
+    }
+
+    #[test]
+    fn cache_distinguishes_spec_sets_and_kinds() {
+        let (h, reg, var) = two_level_setup();
+        let mut cache = ScheduleCache::new();
+        let with_op = [FillSpec { var, refine_op: Some(Arc::new(ConservativeCellRefine)) }];
+        let without = [FillSpec { var, refine_op: None }];
+        ScheduleBuild::with_cache(&mut cache).refine(&h, &reg, 1, &with_op);
+        ScheduleBuild::with_cache(&mut cache).refine(&h, &reg, 1, &without);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        let sync = [CoarsenSpec { var, op: Arc::new(VolumeWeightedCoarsen), aux: vec![] }];
+        ScheduleBuild::with_cache(&mut cache).coarsen(&h, &reg, 1, &sync);
+        assert_eq!((cache.hits(), cache.misses()), (0, 3));
+        assert_eq!(cache.len(), 3);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 3); // counters survive clear
+    }
+
+    #[test]
+    fn bruteforce_oracle_bypasses_the_cache() {
+        let (h, reg, var) = two_level_setup();
+        let specs = [FillSpec { var, refine_op: None }];
+        let mut cache = ScheduleCache::new();
+        let mut build =
+            ScheduleBuild { strategy: BuildStrategy::BruteForceOracle, cache: Some(&mut cache) };
+        let a = build.refine(&h, &reg, 0, &specs);
+        let bsched = build.refine(&h, &reg, 0, &specs);
+        assert!(!Arc::ptr_eq(&a, &bsched));
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn cache_level_zero_refine_ignores_finer_levels() {
+        // A level-0 fill never reads level 1, so regridding level 1
+        // must not invalidate it.
+        let (mut h, reg, var) = two_level_setup();
+        let specs = [FillSpec { var, refine_op: None }];
+        let mut cache = ScheduleCache::new();
+        let a = ScheduleBuild::with_cache(&mut cache).refine(&h, &reg, 0, &specs);
+        h.set_level(1, vec![b(0, 0, 16, 8)], vec![0], &reg);
+        let bsched = ScheduleBuild::with_cache(&mut cache).refine(&h, &reg, 0, &specs);
+        assert!(Arc::ptr_eq(&a, &bsched));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
 }

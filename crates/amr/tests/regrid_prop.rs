@@ -86,7 +86,7 @@ proptest! {
         params.max_patch_size = max_patch;
         let regridder = Regridder::new(params);
         let tagger = SeedTagger { seeds: seeds.clone() };
-        let levels = regridder.regrid(
+        let outcome = regridder.regrid(
             &mut h,
             &reg,
             &tagger,
@@ -94,7 +94,9 @@ proptest! {
             None,
             0.0,
         );
-        prop_assert!(levels >= 2, "tags must create at least one fine level");
+        prop_assert!(outcome.num_levels >= 2, "tags must create at least one fine level");
+        prop_assert_eq!(outcome.levels_changed.len(), outcome.num_levels);
+        prop_assert!(!outcome.levels_changed[0], "level 0 is never regridded");
 
         // 1. Every tagged cell is covered by level 1 (refined).
         let covered = h.level(1).covered();
@@ -162,10 +164,15 @@ proptest! {
         let stable: Vec<Vec<GBox>> = (0..h.num_levels())
             .map(|l| h.level(l).global_boxes().to_vec())
             .collect();
-        regridder.regrid(&mut h, &reg, &tagger, &specs, None, 0.0);
+        let digests: Vec<u64> = (0..h.num_levels()).map(|l| h.structure_digest(l)).collect();
+        let outcome = regridder.regrid(&mut h, &reg, &tagger, &specs, None, 0.0);
         let after: Vec<Vec<GBox>> = (0..h.num_levels())
             .map(|l| h.level(l).global_boxes().to_vec())
             .collect();
         prop_assert_eq!(stable, after);
+        // The fixed point is visible in the outcome and the digests.
+        prop_assert!(!outcome.any_changed(), "fixed point must report no change");
+        let digests_after: Vec<u64> = (0..h.num_levels()).map(|l| h.structure_digest(l)).collect();
+        prop_assert_eq!(digests, digests_after);
     }
 }

@@ -9,15 +9,27 @@
 //!
 //! ```text
 //! cargo run --release -p rbamr-bench --bin schedule_bench [-- --smoke] [--json PATH]
+//! cargo run --release -p rbamr-bench --bin schedule_bench -- --steady-regrid [--smoke] [--json PATH]
 //! ```
 //!
 //! `--smoke` restricts the sweep to 64/256 patches with one repetition
 //! (CI). `--json PATH` writes the measurements for the perf trajectory.
+//!
+//! `--steady-regrid` instead exercises the structure-keyed schedule
+//! cache on the Sod deck: converge the hierarchy, then regrid
+//! repeatedly with an unchanged structure and compare the regrid-path
+//! schedule-build time against a `schedule_caching = false` twin. The
+//! run asserts a 100% cache hit-rate (zero rebuilds) after convergence
+//! and at least a 5x reduction in build time.
 
 use rbamr_amr::ops::ConservativeCellRefine;
 use rbamr_amr::schedule::FillSpec;
 use rbamr_amr::RefineSchedule;
-use rbamr_bench::{path_arg, schedule_bench_hierarchy};
+use rbamr_bench::{path_arg, schedule_bench_hierarchy, sod_config};
+use rbamr_hydro::{HydroSim, Placement};
+use rbamr_perfmodel::{Clock, Machine};
+use rbamr_problems::sod_regions;
+use rbamr_telemetry::Recorder;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -34,9 +46,111 @@ fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
     samples[samples.len() / 2]
 }
 
+/// Per-mode counter deltas of the steady-regrid window.
+struct SteadyStats {
+    builds: u64,
+    build_ns: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// Converge a Sod hierarchy, then run `regrids` structure-preserving
+/// regrids and return the schedule counter deltas over that window.
+fn run_steady(caching: bool, nx: i64, levels: usize, regrids: usize) -> SteadyStats {
+    let mut config = sod_config(16);
+    config.schedule_caching = caching;
+    let clock = Clock::new();
+    let mut sim = HydroSim::new(
+        Machine::ipa_cpu_node(),
+        Placement::Host,
+        clock.clone(),
+        (1.0, 1.0),
+        (nx, nx),
+        levels,
+        2,
+        config,
+        sod_regions(),
+        0,
+        1,
+    );
+    let rec = Recorder::new(0, clock);
+    sim.set_recorder(rec.clone());
+    sim.initialize(None);
+    // Convergence: the state is not advanced, so regridding reaches a
+    // structural fixed point within a few passes.
+    let converged = (0..10).any(|_| !sim.regrid(None).any_changed());
+    assert!(converged, "steady-regrid: hierarchy failed to converge");
+
+    let builds = rec.counter("schedule.builds");
+    let build_ns = rec.counter("schedule.build_ns");
+    let hits = rec.counter("schedule.cache_hits");
+    let misses = rec.counter("schedule.cache_misses");
+    for _ in 0..regrids {
+        let outcome = sim.regrid(None);
+        assert!(!outcome.any_changed(), "steady-regrid: structure moved at a fixed point");
+    }
+    SteadyStats {
+        builds: rec.counter("schedule.builds") - builds,
+        build_ns: rec.counter("schedule.build_ns") - build_ns,
+        hits: rec.counter("schedule.cache_hits") - hits,
+        misses: rec.counter("schedule.cache_misses") - misses,
+    }
+}
+
+fn steady_regrid_mode(smoke: bool, json_path: Option<std::path::PathBuf>) {
+    let (nx, levels, regrids) = if smoke { (32, 2, 8) } else { (64, 3, 32) };
+    println!("Steady-regrid schedule caching: Sod {nx}x{nx}, {levels} levels, {regrids} regrids");
+
+    let cached = run_steady(true, nx, levels, regrids);
+    let uncached = run_steady(false, nx, levels, regrids);
+
+    let lookups = cached.hits + cached.misses;
+    let hit_rate = cached.hits as f64 / lookups.max(1) as f64;
+    let reduction = uncached.build_ns as f64 / cached.build_ns.max(1) as f64;
+    println!(
+        "  cached:   {} builds, {} ns build time, {}/{} lookups hit",
+        cached.builds, cached.build_ns, cached.hits, lookups
+    );
+    println!("  uncached: {} builds, {} ns build time", uncached.builds, uncached.build_ns);
+    println!("  hit rate {:.1}%  build-time reduction {reduction:.1}x", hit_rate * 100.0);
+
+    if let Some(path) = json_path {
+        let body = format!(
+            "{{\n  \"mode\": \"steady-regrid\",\n  \"nx\": {nx},\n  \"levels\": {levels},\n  \
+             \"steady_regrids\": {regrids},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+             \"hit_rate\": {hit_rate:.4},\n  \"cached_builds\": {},\n  \
+             \"cached_build_ns\": {},\n  \"uncached_builds\": {},\n  \
+             \"uncached_build_ns\": {},\n  \"build_time_reduction\": {reduction:.3}\n}}\n",
+            cached.hits,
+            cached.misses,
+            cached.builds,
+            cached.build_ns,
+            uncached.builds,
+            uncached.build_ns,
+        );
+        std::fs::write(&path, body).expect("schedule_bench: write json");
+        println!("wrote {}", path.display());
+    }
+
+    // Acceptance gates (CI smoke relies on these panicking on failure).
+    assert!(cached.hits > 0, "steady regrids must hit the cache");
+    assert_eq!(cached.misses, 0, "steady regrids must not miss: hit rate {hit_rate}");
+    assert_eq!(cached.builds, 0, "steady regrids must perform zero schedule rebuilds");
+    assert!(uncached.builds > 0, "the uncached twin must rebuild every regrid");
+    assert!(
+        reduction >= 5.0,
+        "schedule caching must cut regrid-path build time >= 5x (got {reduction:.2}x)"
+    );
+    println!("steady-regrid: PASS");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let json_path = path_arg("--json");
+    if std::env::args().any(|a| a == "--steady-regrid") {
+        steady_regrid_mode(smoke, json_path);
+        return;
+    }
     let (sizes, reps): (&[usize], usize) =
         if smoke { (&[64, 256], 1) } else { (&[64, 256, 1024, 4096], 5) };
 

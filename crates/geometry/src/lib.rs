@@ -9,7 +9,9 @@
 //! Morton space-filling curve used for load balancing, and a
 //! Morton-sorted spatial box index ([`BoxIndex`]) answering "which
 //! boxes intersect region R" in O(log N + k) for the schedule and
-//! regrid metadata paths.
+//! regrid metadata paths, and deterministic structure digests
+//! ([`Fnv64`], [`UnorderedDigest`]) used to key cached communication
+//! schedules on level structure.
 //!
 //! All boxes use an **inclusive lower / exclusive upper** convention: the
 //! box `[lo, hi)` contains the cells with `lo.x <= i < hi.x` and
@@ -21,6 +23,7 @@
 
 pub mod boxlist;
 pub mod centring;
+pub mod digest;
 pub mod gbox;
 pub mod index;
 pub mod ivec;
@@ -29,6 +32,7 @@ pub mod sfc;
 
 pub use boxlist::BoxList;
 pub use centring::Centring;
+pub use digest::{mix64, Fnv64, UnorderedDigest};
 pub use gbox::GBox;
 pub use index::BoxIndex;
 pub use ivec::IntVector;

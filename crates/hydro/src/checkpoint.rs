@@ -264,6 +264,38 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// The acceptance case for the structure-keyed schedule cache
+    /// across a restore: restoring a checkpoint whose structure the
+    /// cache has already seen resolves schedules as hits, and the
+    /// resulting plans are digest-identical to the originals.
+    #[test]
+    fn restore_hits_the_schedule_cache_with_identical_plans() {
+        let mut sim = build(Placement::Host);
+        sim.run_steps(6, None);
+        let db = sim.save_checkpoint();
+        let original = sim.start_fill_digests();
+
+        let mut resumed = build(Placement::Host);
+        resumed.restore_checkpoint(&db);
+        // Level 0 never regrids, so at minimum its schedules come out
+        // of the cache even if finer structure moved since construction.
+        assert!(resumed.schedule_cache().hits() > 0, "restore must reuse cached schedules");
+        assert_eq!(resumed.start_fill_digests(), original, "restored plans must match originals");
+
+        // A second restore reproduces the structure exactly: every
+        // schedule lookup hits and nothing is rebuilt.
+        let hits = resumed.schedule_cache().hits();
+        let misses = resumed.schedule_cache().misses();
+        resumed.restore_checkpoint(&db);
+        assert_eq!(
+            resumed.schedule_cache().misses(),
+            misses,
+            "identical structure must not rebuild any schedule"
+        );
+        assert!(resumed.schedule_cache().hits() > hits);
+        assert_eq!(resumed.start_fill_digests(), original);
+    }
+
     #[test]
     fn checkpoint_stores_hierarchy_structure() {
         let mut sim = build(Placement::Host);
