@@ -30,6 +30,8 @@
 //! * [`cluster`] — Berger–Rigoutsos point clustering.
 //! * [`nesting`] — proper-nesting calculus.
 //! * [`balance`] — spatial load balancing.
+//! * [`partition`] — partitioned level metadata: owned + ghosted views
+//!   and the digest-verified exchange.
 //! * [`regrid`] — the flag → cluster → rebuild → transfer driver.
 //! * [`restart`] — a minimal restart database (Figure 2's
 //!   `getFromRestart`/`putToRestart`).
@@ -42,6 +44,7 @@ pub mod hostdata;
 pub mod level;
 pub mod nesting;
 pub mod ops;
+pub mod partition;
 pub mod patch;
 pub mod patchdata;
 pub mod regrid;
@@ -55,11 +58,17 @@ pub use boundary::PhysicalBoundary;
 pub use cluster::{cluster_tags, ClusterParams};
 pub use hierarchy::{GridGeometry, PatchHierarchy};
 pub use hostdata::{HostData, HostDataFactory};
-pub use level::PatchLevel;
+pub use level::{LevelRecords, PatchLevel};
 pub use ops::{CoarsenOperator, RefineOperator};
+pub use partition::{
+    exchange_level_view, interest_for_level, verify_level_digest, view_from_global,
+    InterestMargins, InterestSpec, LevelView, MetadataDivergence, MetadataMode,
+};
 pub use patch::{Patch, PatchId};
 pub use patchdata::{Element, PatchData};
-pub use regrid::{RegridOutcome, RegridParams, Regridder};
+pub use regrid::{
+    partition_hierarchy_metadata, refresh_partitioned_view, RegridOutcome, RegridParams, Regridder,
+};
 pub use schedule::{BuildStrategy, CoarsenSchedule, RefineSchedule, ScheduleBuild, ScheduleCache};
 pub use stats::{hierarchy_stats, HierarchyStats};
 pub use tagging::TagBitmap;

@@ -18,6 +18,10 @@ use crate::cluster::{cluster_tags, split_to_max, ClusterParams};
 use crate::hierarchy::PatchHierarchy;
 use crate::level::PatchLevel;
 use crate::ops::RefineOperator;
+use crate::partition::{
+    exchange_level_view, finalize_structure_digest, interest_for_level, structure_items_digest,
+    view_from_global, BoxRecord, InterestMargins, MetadataMode,
+};
 use crate::schedule::{regrid_tag, REGRID_COPY, REGRID_SCRATCH};
 use crate::tagging::TagBitmap;
 use crate::variable::{VariableId, VariableRegistry};
@@ -58,6 +62,17 @@ pub struct RegridParams {
     pub tag_buffer: i64,
     /// Maximum patch extent on the *new* (fine) level, in fine cells.
     pub max_patch_size: i64,
+    /// How rebuilt levels hold their metadata. `Replicated` (the
+    /// default) installs full box arrays on every rank; `Partitioned`
+    /// installs owned + ghosted [`crate::partition::LevelView`]s,
+    /// re-exchanging adjacent views (digest-verified) around each
+    /// rebuild so the solution transfer and later schedule builds see
+    /// every record they need.
+    pub metadata_mode: MetadataMode,
+    /// Interest margins for partitioned views. `margins.stencil + 2`
+    /// must be at least the widest refine-operator stencil so the
+    /// coarse view retains every scratch source the transfer reads.
+    pub margins: InterestMargins,
 }
 
 impl Default for RegridParams {
@@ -67,6 +82,8 @@ impl Default for RegridParams {
             nesting_buffer: 1,
             tag_buffer: 1,
             max_patch_size: 1 << 30,
+            metadata_mode: MetadataMode::default(),
+            margins: InterestMargins::default(),
         }
     }
 }
@@ -217,6 +234,8 @@ impl Regridder {
 
         // --- Rebuild + transfer, coarsest first ------------------------
         let nranks = hierarchy.nranks();
+        let rank = hierarchy.rank();
+        let partitioned = self.params.metadata_mode == MetadataMode::Partitioned;
         let mut new_num_levels = 1;
         let mut levels_changed = vec![false; max_levels];
         #[allow(clippy::needless_range_loop)] // target is a level number, not a plain index
@@ -228,8 +247,7 @@ impl Regridder {
             let owners = partition_sfc(&boxes, nranks);
             rec.count("regrid.patches", boxes.len() as u64);
             let unchanged = target <= hierarchy.finest_level()
-                && hierarchy.level(target).global_boxes() == boxes.as_slice()
-                && hierarchy.level(target).owners() == owners.as_slice();
+                && structure_matches(hierarchy, target, &boxes, &owners);
             if unchanged {
                 // The full rebuild against an identical old level is the
                 // identity (refine-from-coarse then overwrite everywhere
@@ -238,12 +256,48 @@ impl Regridder {
                 rec.count("regrid.levels_unchanged", 1);
                 hierarchy.level_mut(target).set_time(time);
             } else {
-                self.rebuild_level(hierarchy, registry, target, boxes, owners, specs, comm, time);
+                // Planned structure of the next finer level, if one
+                // will exist — it seeds the new level's interest.
+                let finer_plan = (target < finest_target)
+                    .then(|| planned[target + 1].as_deref())
+                    .flatten()
+                    .filter(|b| !b.is_empty())
+                    .map(|b| (b.to_vec(), partition_sfc(b, nranks)));
+                if partitioned {
+                    // The transfer reads the coarse level around every
+                    // new patch and the old level under every new patch:
+                    // widen and re-exchange those views first. Plan and
+                    // digest comparison are rank-invariant, so every
+                    // rank reaches these collectives together.
+                    self.refresh_view(hierarchy, target - 1, Some((&boxes, &owners)), &[], comm);
+                    if target <= hierarchy.finest_level() {
+                        let new_owned: Vec<GBox> = boxes
+                            .iter()
+                            .zip(&owners)
+                            .filter(|&(_, &o)| o == rank)
+                            .map(|(&b, _)| b)
+                            .collect();
+                        self.refresh_view(hierarchy, target, None, &new_owned, comm);
+                    }
+                }
+                self.rebuild_level(
+                    hierarchy, registry, target, boxes, owners, finer_plan, specs, comm, time,
+                );
                 levels_changed[target] = true;
             }
             new_num_levels = target + 1;
         }
         hierarchy.truncate_levels(new_num_levels);
+        if partitioned {
+            // Settle every surviving view against the final structure —
+            // unchanged levels whose neighbours changed (or vanished)
+            // retain different records now. Each refresh is a
+            // digest-verified exchange, so this doubles as the
+            // post-regrid metadata handshake.
+            for l in 0..new_num_levels {
+                self.refresh_view(hierarchy, l, None, &[], comm);
+            }
+        }
         if let Some(comm) = comm {
             comm.barrier(Category::Regrid);
         }
@@ -262,6 +316,7 @@ impl Regridder {
         target: usize,
         boxes: Vec<GBox>,
         owners: Vec<usize>,
+        finer_plan: Option<(Vec<GBox>, Vec<usize>)>,
         specs: &[TransferSpec],
         comm: Option<&Comm>,
         time: f64,
@@ -279,22 +334,28 @@ impl Regridder {
         );
 
         let old_exists = target <= hierarchy.finest_level();
-        let old_boxes: Vec<GBox> =
-            if old_exists { hierarchy.level(target).global_boxes().to_vec() } else { Vec::new() };
-        let old_owners: Vec<usize> = if old_exists {
-            (0..old_boxes.len()).map(|i| hierarchy.level(target).owner_of(i)).collect()
+        // Old and coarse metadata as held records: the full arrays under
+        // replicated metadata, the owned + ghosted view (refreshed by
+        // the caller to cover every new patch) under partitioned.
+        let old_recs: Vec<BoxRecord> = if old_exists {
+            hierarchy.level(target).records().iter().collect()
         } else {
             Vec::new()
         };
+        let old_boxes: Vec<GBox> = old_recs.iter().map(|&(_, b, _)| b).collect();
+        let coarse_recs: Vec<BoxRecord> = hierarchy.level(target - 1).records().iter().collect();
+        let coarse_boxes: Vec<GBox> = coarse_recs.iter().map(|&(_, b, _)| b).collect();
 
         // Candidate discovery for the transfer planning, as in the
-        // schedule builds: one index over the coarse level (queried with
-        // each new patch's scratch region) and one over the old level
-        // (queried with each new patch's data box), both carrying one
-        // cell of centring slack. Queries return ascending indices, so
-        // plan order matches the replaced all-pairs scans exactly.
-        let coarse_index =
-            BoxIndex::new(hierarchy.level(target - 1).global_boxes(), IntVector::ONE);
+        // schedule builds: one index over the coarse records (queried
+        // with each new patch's scratch region) and one over the old
+        // records (queried with each new patch's data box), both
+        // carrying one cell of centring slack. Query positions map back
+        // to global indices through the collected record triples, and
+        // the transfer tags carry the global indices, so both sides of
+        // each send/recv pair name it identically whatever subset of
+        // records each rank holds.
+        let coarse_index = BoxIndex::new(&coarse_boxes, IntVector::ONE);
         let old_index = BoxIndex::new(&old_boxes, IntVector::ONE);
         let mut coarse_cand = Vec::new();
         let mut old_cand = Vec::new();
@@ -312,12 +373,10 @@ impl Regridder {
                 let scratch_box = fine_cover.coarsen(ratio).grow(spec.refine_op.stencil_width());
                 let scratch_data_box = centring.data_box(scratch_box);
 
-                let coarse = hierarchy.level(target - 1);
                 coarse_index.query_into(scratch_data_box, &mut coarse_cand);
                 candidate_pairs += coarse_cand.len() as u64;
-                for &cidx in &coarse_cand {
-                    let cb = coarse.global_boxes()[cidx];
-                    let c_rank = coarse.owner_of(cidx);
+                for &cpos in &coarse_cand {
+                    let (cidx, cb, c_rank) = coarse_recs[cpos];
                     if c_rank != rank || nrank == rank {
                         continue;
                     }
@@ -331,16 +390,16 @@ impl Regridder {
                         centring,
                     };
                     let comm = comm.expect("regrid: remote coarse sources need a Comm");
-                    let coarse_mut = hierarchy.level(target - 1);
-                    let src = coarse_mut.local_by_index(cidx).expect("owner mismatch");
+                    let coarse = hierarchy.level(target - 1);
+                    let src = coarse.local_by_index(cidx).expect("owner mismatch");
                     let payload = src.data(spec.var).pack(&ov);
                     comm.send(nrank, regrid_tag(REGRID_SCRATCH, spec.var, nidx, cidx), payload);
                 }
 
                 old_index.query_into(fine_fill, &mut old_cand);
                 candidate_pairs += old_cand.len() as u64;
-                for &oidx in &old_cand {
-                    let (ob, o_rank) = (old_boxes[oidx], old_owners[oidx]);
+                for &opos in &old_cand {
+                    let (oidx, ob, o_rank) = old_recs[opos];
                     if o_rank != rank || nrank == rank {
                         continue;
                     }
@@ -373,8 +432,8 @@ impl Regridder {
                     let coarse = hierarchy.level(target - 1);
                     coarse_index.query_into(scratch_data_box, &mut coarse_cand);
                     candidate_pairs += coarse_cand.len() as u64;
-                    for &cidx in &coarse_cand {
-                        let cb = coarse.global_boxes()[cidx];
+                    for &cpos in &coarse_cand {
+                        let (cidx, cb, c_rank) = coarse_recs[cpos];
                         let fill = scratch_data_box.intersect(centring.data_box(cb));
                         if fill.is_empty() {
                             continue;
@@ -385,13 +444,13 @@ impl Regridder {
                             shift: IntVector::ZERO,
                             centring,
                         };
-                        if coarse.owner_of(cidx) == rank {
+                        if c_rank == rank {
                             let src = coarse.local_by_index(cidx).expect("owner mismatch");
                             scratch.copy_from(src.data(spec.var), &ov);
                         } else {
                             let comm = comm.expect("regrid: remote coarse sources need a Comm");
                             let payload = comm.recv(
-                                coarse.owner_of(cidx),
+                                c_rank,
                                 regrid_tag(REGRID_SCRATCH, spec.var, nidx, cidx),
                                 Category::Regrid,
                             );
@@ -419,8 +478,8 @@ impl Regridder {
                 // Overwrite with old data wherever the old level had it.
                 old_index.query_into(fine_fill, &mut old_cand);
                 candidate_pairs += old_cand.len() as u64;
-                for &oidx in &old_cand {
-                    let (ob, o_rank) = (old_boxes[oidx], old_owners[oidx]);
+                for &opos in &old_cand {
+                    let (oidx, ob, o_rank) = old_recs[opos];
                     let ov = copy_overlap(nb, ob, centring);
                     if ov.is_empty() {
                         continue;
@@ -448,8 +507,155 @@ impl Regridder {
         if rec.is_enabled() {
             rec.count("regrid.candidate_pairs", candidate_pairs);
         }
+        if self.params.metadata_mode == MetadataMode::Partitioned {
+            // Install the level holding a partitioned view. The full
+            // planned structure is transiently known on every rank (the
+            // plan is replicated), so the view is carved locally; the
+            // post-regrid refresh pass re-exchanges and digest-verifies
+            // it against every peer's owned records.
+            let new_owned: Vec<GBox> =
+                boxes.iter().zip(&owners).filter(|&(_, &o)| o == rank).map(|(&b, _)| b).collect();
+            let coarser_owned = owned_boxes_of(hierarchy.level(target - 1), rank);
+            let finer: Option<(Vec<GBox>, IntVector)> = finer_plan.map(|(fb, fo)| {
+                (
+                    fb.iter().zip(&fo).filter(|&(_, &o)| o == rank).map(|(&b, _)| b).collect(),
+                    hierarchy.ratio_to_coarser(target + 1),
+                )
+            });
+            let spec = interest_for_level(
+                &new_owned,
+                Some((&coarser_owned, ratio)),
+                finer.as_ref().map(|(b, r)| (b.as_slice(), *r)),
+                self.params.margins,
+            );
+            let domain = hierarchy.level_domain(target);
+            let view = view_from_global(target, ratio, &domain, &boxes, &owners, rank, &spec);
+            new_level.adopt_view(view, rank);
+        }
         hierarchy.install_level(target, new_level);
     }
+
+    /// [`refresh_partitioned_view`] with this driver's margins.
+    fn refresh_view(
+        &self,
+        hierarchy: &mut PatchHierarchy,
+        level_no: usize,
+        finer_override: Option<(&[GBox], &[usize])>,
+        extra_interest: &[GBox],
+        comm: Option<&Comm>,
+    ) {
+        refresh_partitioned_view(
+            hierarchy,
+            level_no,
+            finer_override,
+            extra_interest,
+            self.params.margins,
+            comm,
+        );
+    }
+}
+
+/// Re-exchange (or first build) `level_no`'s partitioned view so it
+/// reflects the current — or, via `finer_override`, the planned —
+/// adjacent structure, widened by the `extra_interest` footprints a
+/// solution transfer is about to read under. Owned records travel by
+/// allgatherv and the result is digest-verified before adoption; a
+/// replicated level is converted in place, its local patches and data
+/// untouched.
+///
+/// # Panics
+/// Panics with the typed [`crate::partition::MetadataDivergence`]
+/// message if verification fails — every rank fails together, so no
+/// rank plans against a divergent view.
+pub fn refresh_partitioned_view(
+    hierarchy: &mut PatchHierarchy,
+    level_no: usize,
+    finer_override: Option<(&[GBox], &[usize])>,
+    extra_interest: &[GBox],
+    margins: InterestMargins,
+    comm: Option<&Comm>,
+) {
+    let rank = hierarchy.rank();
+    let owned: Vec<BoxRecord> =
+        hierarchy.level(level_no).records().iter().filter(|&(_, _, o)| o == rank).collect();
+    let owned_boxes: Vec<GBox> = owned.iter().map(|&(_, b, _)| b).collect();
+    let coarser: Option<(Vec<GBox>, IntVector)> = (level_no > 0).then(|| {
+        (owned_boxes_of(hierarchy.level(level_no - 1), rank), hierarchy.ratio_to_coarser(level_no))
+    });
+    let finer: Option<(Vec<GBox>, IntVector)> = match finer_override {
+        Some((fb, fo)) => Some((
+            fb.iter().zip(fo).filter(|&(_, &o)| o == rank).map(|(&b, _)| b).collect(),
+            hierarchy.ratio_to_coarser(level_no + 1),
+        )),
+        None => (level_no < hierarchy.finest_level()).then(|| {
+            (
+                owned_boxes_of(hierarchy.level(level_no + 1), rank),
+                hierarchy.ratio_to_coarser(level_no + 1),
+            )
+        }),
+    };
+    let mut spec = interest_for_level(
+        &owned_boxes,
+        coarser.as_ref().map(|(b, r)| (b.as_slice(), *r)),
+        finer.as_ref().map(|(b, r)| (b.as_slice(), *r)),
+        margins,
+    );
+    let g = IntVector::uniform(margins.ghost + 2);
+    for &b in extra_interest {
+        spec.interest.add(b.grow(g));
+    }
+    let domain = hierarchy.level_domain(level_no);
+    let ratio = hierarchy.level(level_no).ratio();
+    let view = exchange_level_view(comm, level_no, ratio, &domain, &owned, &spec, rank)
+        .unwrap_or_else(|e| panic!("regrid: {e}"));
+    hierarchy.level_mut(level_no).adopt_view(view, rank);
+}
+
+/// Convert every level of the hierarchy to partitioned metadata — or
+/// refresh existing views — coarsest first, each level's exchange
+/// digest-verified. Local patches and their data are untouched, so a
+/// running simulation can switch its metadata in place.
+pub fn partition_hierarchy_metadata(
+    hierarchy: &mut PatchHierarchy,
+    margins: InterestMargins,
+    comm: Option<&Comm>,
+) {
+    for l in 0..hierarchy.num_levels() {
+        refresh_partitioned_view(hierarchy, l, None, &[], margins, comm);
+    }
+}
+
+/// Does `hierarchy.level(target)` already have exactly this planned
+/// structure? Replicated levels compare the full arrays; partitioned
+/// levels (which hold only a partial view) compare the structure digest
+/// the plan finalizes to — the same rank-invariant commitment the
+/// exchange verifies against.
+fn structure_matches(
+    hierarchy: &PatchHierarchy,
+    target: usize,
+    boxes: &[GBox],
+    owners: &[usize],
+) -> bool {
+    let level = hierarchy.level(target);
+    if level.is_partitioned() {
+        let items = structure_items_digest(
+            boxes.iter().zip(owners).enumerate().map(|(i, (&b, &o))| (i, b, o)),
+        );
+        let digest = finalize_structure_digest(
+            target,
+            level.ratio(),
+            &hierarchy.level_domain(target),
+            &items,
+        );
+        digest == level.structure_digest()
+    } else {
+        level.global_boxes() == boxes && level.owners() == owners
+    }
+}
+
+/// Boxes of the records `rank` owns on `level`, ascending by index.
+fn owned_boxes_of(level: &PatchLevel, rank: usize) -> Vec<GBox> {
+    level.records().iter().filter(|&(_, _, o)| o == rank).map(|(_, b, _)| b).collect()
 }
 
 /// All-ranks exchange of tagged cells: every rank contributes its local

@@ -139,11 +139,20 @@ fn specs_fingerprint<T: std::hash::Hash>(specs: &[T]) -> u64 {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BuildStrategy {
     /// Morton [`BoxIndex`] discovery, O(N log N + k) — the production
-    /// path.
+    /// path over replicated metadata.
     Indexed,
     /// All-pairs O(N²) scan. Retained purely as the property-test
     /// oracle; never cached.
     BruteForceOracle,
+    /// Owner-computes planning over partitioned level views: the same
+    /// indexed discovery, but iterating only the records this rank
+    /// retains (owned + interest neighborhood), so each rank plans only
+    /// transfers it owns an endpoint of. Requires the hierarchy's
+    /// levels to hold partitioned views (a replicated level simply
+    /// degenerates to [`BuildStrategy::Indexed`]). Cached like the
+    /// indexed build: view digests equal replicated digests, so keys
+    /// agree across modes.
+    Partitioned,
 }
 
 /// Identity of a cached schedule: the level structures it was planned
@@ -262,9 +271,9 @@ impl ScheduleCache {
 /// let sched = ScheduleBuild::with_cache(&mut cache).refine(&h, &reg, 1, &specs);
 /// ```
 ///
-/// Cache lookups are only attempted for [`BuildStrategy::Indexed`]; the
-/// brute-force oracle always builds fresh (its point is to be an
-/// independent reference).
+/// Cache lookups are attempted for [`BuildStrategy::Indexed`] and
+/// [`BuildStrategy::Partitioned`]; the brute-force oracle always builds
+/// fresh (its point is to be an independent reference).
 pub struct ScheduleBuild<'c> {
     /// Overlap-discovery strategy.
     pub strategy: BuildStrategy,
@@ -292,7 +301,7 @@ impl<'c> ScheduleBuild<'c> {
     }
 
     fn indexed_discovery(&self) -> bool {
-        self.strategy == BuildStrategy::Indexed
+        matches!(self.strategy, BuildStrategy::Indexed | BuildStrategy::Partitioned)
     }
 
     /// Build (or fetch) the ghost-fill schedule for `level_no`.
@@ -569,7 +578,14 @@ impl RefineSchedule {
         let build_start = std::time::Instant::now();
         let rank = hierarchy.rank();
         let level = hierarchy.level(level_no);
-        let boxes = level.global_boxes();
+        // Plan against the level's records: every record in replicated
+        // mode, the owned + interest neighborhood of a partitioned
+        // view. Records are in ascending global-index order in both
+        // modes, so the relative candidate order — and with it the
+        // aggregated message stream layout — is identical on every rank
+        // that plans a given pair.
+        let recs = level.records();
+        let boxes = recs.boxes();
         let domain = level.domain();
         let domain_box = domain.bounding();
         let mut copies = Vec::new();
@@ -582,16 +598,17 @@ impl RefineSchedule {
         // of slack so centring-adjusted data boxes (which extend one
         // layer past the cell box on the upper side) are still caught;
         // queries grow by the ghost width. The query result is a
-        // superset of the overlapping pairs in ascending index order,
-        // so the plans below come out identical to the brute-force
-        // scan's — empty overlaps are skipped either way.
+        // superset of the overlapping pairs in ascending position
+        // order, so the plans below come out identical to the
+        // brute-force scan's — empty overlaps are skipped either way.
         let same_index = indexed.then(|| BoxIndex::new(boxes, IntVector::ONE));
         let all_same: Vec<usize> = if indexed { Vec::new() } else { (0..boxes.len()).collect() };
         let needs_coarse = level_no > 0 && specs.iter().any(|s| s.refine_op.is_some());
+        let coarse_recs = (level_no > 0).then(|| hierarchy.level(level_no - 1).records());
         let coarse_index = (indexed && needs_coarse)
-            .then(|| BoxIndex::new(hierarchy.level(level_no - 1).global_boxes(), IntVector::ONE));
+            .then(|| BoxIndex::new(coarse_recs.as_ref().unwrap().boxes(), IntVector::ONE));
         let all_coarse: Vec<usize> = if !indexed && needs_coarse {
-            (0..hierarchy.level(level_no - 1).global_boxes().len()).collect()
+            (0..coarse_recs.as_ref().unwrap().len()).collect()
         } else {
             Vec::new()
         };
@@ -602,8 +619,9 @@ impl RefineSchedule {
         for spec in specs {
             let var = registry.get(spec.var);
             let (centring, ghosts) = (var.centring, var.ghosts);
-            for (dst_idx, &dst_box) in boxes.iter().enumerate() {
-                let dst_rank = level.owner_of(dst_idx);
+            for (dst_pos, &dst_box) in boxes.iter().enumerate() {
+                let dst_idx = recs.global_index(dst_pos);
+                let dst_rank = recs.owner_at(dst_pos);
                 // --- Same-level copies -------------------------------
                 let sources: &[usize] = match &same_index {
                     Some(ix) => {
@@ -613,12 +631,13 @@ impl RefineSchedule {
                     None => &all_same,
                 };
                 candidate_pairs += sources.len() as u64;
-                for &src_idx in sources {
-                    if src_idx == dst_idx {
+                for &src_pos in sources {
+                    if src_pos == dst_pos {
                         continue;
                     }
-                    let src_box = boxes[src_idx];
-                    let src_rank = level.owner_of(src_idx);
+                    let src_box = boxes[src_pos];
+                    let src_idx = recs.global_index(src_pos);
+                    let src_rank = recs.owner_at(src_pos);
                     if dst_rank != rank && src_rank != rank {
                         continue;
                     }
@@ -673,10 +692,14 @@ impl RefineSchedule {
                 // Only sources near the ghost region can cover any of
                 // it; subtracting a disjoint data box is a no-op, so
                 // restricting to the candidates leaves `want` bitwise
-                // identical to the all-boxes subtraction.
-                for &src_idx in sources {
-                    if src_idx != dst_idx {
-                        want.subtract_box(centring.data_box(boxes[src_idx]));
+                // identical to the all-boxes subtraction. (In
+                // partitioned mode the interest closure guarantees a
+                // rank planning for this destination — as its owner or
+                // as a coarse-data sender — holds every record near it,
+                // so both sides compute the same `want`.)
+                for &src_pos in sources {
+                    if src_pos != dst_pos {
+                        want.subtract_box(centring.data_box(boxes[src_pos]));
                     }
                 }
                 want.coalesce();
@@ -686,7 +709,7 @@ impl RefineSchedule {
 
                 // Scratch region on the coarse level.
                 let ratio = hierarchy.ratio_to_coarser(level_no);
-                let coarse_level = hierarchy.level(level_no - 1);
+                let crecs = coarse_recs.as_ref().unwrap();
                 let fine_cover = want
                     .boxes()
                     .iter()
@@ -705,9 +728,10 @@ impl RefineSchedule {
                     None => &all_coarse,
                 };
                 candidate_pairs += coarse_sources.len() as u64;
-                for &cidx in coarse_sources {
-                    let cbox = coarse_level.global_boxes()[cidx];
-                    let c_rank = coarse_level.owner_of(cidx);
+                for &cpos in coarse_sources {
+                    let cbox = crecs.box_at(cpos);
+                    let cidx = crecs.global_index(cpos);
+                    let c_rank = crecs.owner_at(cpos);
                     if dst_rank != rank && c_rank != rank {
                         continue;
                     }
@@ -1026,14 +1050,13 @@ impl CoarsenSchedule {
         assert!(fine_level_no > 0, "CoarsenSchedule: level 0 has no coarser level");
         let build_start = std::time::Instant::now();
         let rank = hierarchy.rank();
-        let fine = hierarchy.level(fine_level_no);
-        let coarse = hierarchy.level(fine_level_no - 1);
+        let fine = hierarchy.level(fine_level_no).records();
+        let coarse = hierarchy.level(fine_level_no - 1).records();
         let ratio = hierarchy.ratio_to_coarser(fine_level_no);
         // Cell-box intersection only, so no centring slack is needed:
         // the candidates are exactly the coarse boxes the shadow meets.
-        let coarse_index = indexed.then(|| BoxIndex::new(coarse.global_boxes(), IntVector::ZERO));
-        let all_coarse: Vec<usize> =
-            if indexed { Vec::new() } else { (0..coarse.global_boxes().len()).collect() };
+        let coarse_index = indexed.then(|| BoxIndex::new(coarse.boxes(), IntVector::ZERO));
+        let all_coarse: Vec<usize> = if indexed { Vec::new() } else { (0..coarse.len()).collect() };
         let mut candidate_pairs: u64 = 0;
         let mut coarse_cand = Vec::new();
         let mut plans = Vec::new();
@@ -1047,8 +1070,9 @@ impl CoarsenSchedule {
                 spec.op.num_aux()
             );
             let _ = var;
-            for (fidx, &fbox) in fine.global_boxes().iter().enumerate() {
-                let f_rank = fine.owner_of(fidx);
+            for (fpos, &fbox) in fine.boxes().iter().enumerate() {
+                let fidx = fine.global_index(fpos);
+                let f_rank = fine.owner_at(fpos);
                 let shadow = fbox.coarsen(ratio);
                 let targets: &[usize] = match &coarse_index {
                     Some(ix) => {
@@ -1058,9 +1082,10 @@ impl CoarsenSchedule {
                     None => &all_coarse,
                 };
                 candidate_pairs += targets.len() as u64;
-                for &cidx in targets {
-                    let cbox = coarse.global_boxes()[cidx];
-                    let c_rank = coarse.owner_of(cidx);
+                for &cpos in targets {
+                    let cbox = coarse.box_at(cpos);
+                    let cidx = coarse.global_index(cpos);
+                    let c_rank = coarse.owner_at(cpos);
                     if f_rank != rank && c_rank != rank {
                         continue;
                     }

@@ -33,8 +33,13 @@ fn masked_tiles(mask: u64, n: i64, size: i64) -> Vec<GBox> {
     out
 }
 
+/// Default 24 cases; `PROPTEST_CASES` scales up in CI.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(24)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
 
     #[test]
     fn indexed_schedule_matches_bruteforce(

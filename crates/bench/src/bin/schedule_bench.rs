@@ -10,6 +10,7 @@
 //! ```text
 //! cargo run --release -p rbamr-bench --bin schedule_bench [-- --smoke] [--json PATH]
 //! cargo run --release -p rbamr-bench --bin schedule_bench -- --steady-regrid [--smoke] [--json PATH]
+//! cargo run --release -p rbamr-bench --bin schedule_bench -- --partitioned [--smoke] [--json PATH]
 //! ```
 //!
 //! `--smoke` restricts the sweep to 64/256 patches with one repetition
@@ -21,12 +22,24 @@
 //! schedule-build time against a `schedule_caching = false` twin. The
 //! run asserts a 100% cache hit-rate (zero rebuilds) after convergence
 //! and at least a 5x reduction in build time.
+//!
+//! `--partitioned` measures the partitioned-metadata path on a
+//! simulated cluster (8 and 16 ranks): each rank converts to an owned +
+//! ghosted view through the digest-verified exchange, then plans with
+//! the owner-computes `Partitioned` strategy. Reports worst-rank
+//! retained metadata bytes against the replicated footprint and the
+//! level-1 build time of both paths, asserting plan-digest agreement
+//! with the replicated build and sublinear per-rank retention.
 
 use rbamr_amr::ops::ConservativeCellRefine;
+use rbamr_amr::partition::RECORD_BYTES;
 use rbamr_amr::schedule::FillSpec;
-use rbamr_amr::RefineSchedule;
-use rbamr_bench::{path_arg, schedule_bench_hierarchy, sod_config};
+use rbamr_amr::{
+    partition_hierarchy_metadata, BuildStrategy, InterestMargins, RefineSchedule, ScheduleBuild,
+};
+use rbamr_bench::{path_arg, schedule_bench_hierarchy, schedule_bench_hierarchy_sfc, sod_config};
 use rbamr_hydro::{HydroSim, Placement};
+use rbamr_netsim::Cluster;
 use rbamr_perfmodel::{Clock, Machine};
 use rbamr_problems::sod_regions;
 use rbamr_telemetry::Recorder;
@@ -144,9 +157,167 @@ fn steady_regrid_mode(smoke: bool, json_path: Option<std::path::PathBuf>) {
     println!("steady-regrid: PASS");
 }
 
+/// Per-rank measurements from one partitioned-metadata configuration.
+struct PartitionedRow {
+    nranks: usize,
+    patches: usize,
+    global_records: usize,
+    replicated_bytes: usize,
+    max_partitioned_bytes: usize,
+    indexed_ns: u128,
+    partitioned_ns: u128,
+}
+
+/// `--partitioned`: owner-computes planning over owned + ghosted views
+/// versus the replicated twin, with a live digest-verified exchange on
+/// a simulated cluster. Reports per-rank metadata bytes and level-1
+/// build time; asserts every rank's partitioned plans digest-match the
+/// replicated build (and the brute-force oracle at the smallest size),
+/// and that per-rank retention at the largest size is sublinear in the
+/// global patch count.
+fn partitioned_mode(smoke: bool, json_path: Option<std::path::PathBuf>) {
+    // Retention only separates from the replicated footprint once the
+    // level dwarfs the ghost margins, so the smoke sweep keeps a large
+    // top size rather than a small one.
+    let sizes: &[usize] = if smoke { &[64, 1024] } else { &[64, 256, 1024, 4096] };
+    let reps = if smoke { 1 } else { 3 };
+    let rank_counts: &[usize] = if smoke { &[8] } else { &[8, 16] };
+
+    println!("Partitioned metadata: per-rank retention + build time vs replicated");
+    println!(
+        "{:>6} {:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "ranks", "patches", "records", "repl(B)", "part-max(B)", "indexed(us)", "part(us)"
+    );
+    println!("{}", "-".repeat(78));
+
+    let mut rows: Vec<PartitionedRow> = Vec::new();
+    for &nranks in rank_counts {
+        for &patches in sizes {
+            let cluster = Cluster::new(Machine::ipa_cpu_node());
+            let results = cluster.run(nranks, |comm| {
+                let rank = comm.rank();
+                let (h_rep, reg, var) = schedule_bench_hierarchy_sfc(patches, rank, comm.size());
+                let (mut h_part, _, _) = schedule_bench_hierarchy_sfc(patches, rank, comm.size());
+                // The production conversion: interest carving + allgatherv
+                // exchange + digest-verified handshake.
+                partition_hierarchy_metadata(&mut h_part, InterestMargins::default(), Some(&comm));
+                let specs = [FillSpec { var, refine_op: Some(Arc::new(ConservativeCellRefine)) }];
+                for level in 0..2 {
+                    let part = ScheduleBuild::new(BuildStrategy::Partitioned)
+                        .refine(&h_part, &reg, level, &specs);
+                    let indexed = RefineSchedule::new(&h_rep, &reg, level, &specs);
+                    assert_eq!(
+                        part.plan_digest(),
+                        indexed.plan_digest(),
+                        "rank {rank}: partitioned plan diverges at level {level}, \
+                         {patches} patches"
+                    );
+                    if patches <= 64 {
+                        let oracle = RefineSchedule::new_bruteforce(&h_rep, &reg, level, &specs);
+                        assert_eq!(part.plan_digest(), oracle.plan_digest());
+                    }
+                }
+                let indexed_ns = median_ns(reps, || {
+                    RefineSchedule::new(&h_rep, &reg, 1, &specs);
+                });
+                let partitioned_ns = median_ns(reps, || {
+                    ScheduleBuild::new(BuildStrategy::Partitioned).refine(&h_part, &reg, 1, &specs);
+                });
+                let part_bytes: usize = (0..2)
+                    .map(|l| h_part.level(l).view().expect("partitioned view").metadata_bytes())
+                    .sum();
+                let global_records: usize =
+                    (0..2).map(|l| h_rep.level(l).global_boxes().len()).sum();
+                (part_bytes, global_records, indexed_ns, partitioned_ns)
+            });
+            let global_records = results[0].value.1;
+            let replicated_bytes = global_records * RECORD_BYTES;
+            let max_partitioned_bytes = results.iter().map(|r| r.value.0).max().unwrap();
+            let mut idx_ns: Vec<u128> = results.iter().map(|r| r.value.2).collect();
+            let mut part_ns: Vec<u128> = results.iter().map(|r| r.value.3).collect();
+            idx_ns.sort_unstable();
+            part_ns.sort_unstable();
+            let row = PartitionedRow {
+                nranks,
+                patches,
+                global_records,
+                replicated_bytes,
+                max_partitioned_bytes,
+                indexed_ns: idx_ns[idx_ns.len() / 2],
+                partitioned_ns: part_ns[part_ns.len() / 2],
+            };
+            println!(
+                "{:>6} {:>8} {:>10} {:>12} {:>12} {:>12.1} {:>12.1}",
+                row.nranks,
+                row.patches,
+                row.global_records,
+                row.replicated_bytes,
+                row.max_partitioned_bytes,
+                row.indexed_ns as f64 / 1e3,
+                row.partitioned_ns as f64 / 1e3,
+            );
+            rows.push(row);
+        }
+    }
+
+    if let Some(path) = json_path {
+        let entries: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "  {{\"nranks\": {}, \"patches\": {}, \"global_records\": {}, \
+                     \"replicated_bytes\": {}, \"max_partitioned_bytes\": {}, \
+                     \"indexed_ns\": {}, \"partitioned_ns\": {}}}",
+                    r.nranks,
+                    r.patches,
+                    r.global_records,
+                    r.replicated_bytes,
+                    r.max_partitioned_bytes,
+                    r.indexed_ns,
+                    r.partitioned_ns
+                )
+            })
+            .collect();
+        let body = format!("[\n{}\n]\n", entries.join(",\n"));
+        std::fs::write(&path, body).expect("schedule_bench: write json");
+        println!("\nwrote {}", path.display());
+    }
+
+    // Acceptance gates (plan-digest agreement already asserted on every
+    // rank inside the cluster): at the largest size every rank count
+    // must retain well under the replicated footprint, and growing the
+    // global patch count 4x must grow worst-rank retention strictly
+    // slower (sublinear scaling).
+    let largest = *sizes.last().unwrap();
+    let smallest = sizes[0];
+    for &nranks in rank_counts {
+        let big = rows.iter().find(|r| r.nranks == nranks && r.patches == largest).unwrap();
+        let small = rows.iter().find(|r| r.nranks == nranks && r.patches == smallest).unwrap();
+        assert!(
+            2 * big.max_partitioned_bytes < big.replicated_bytes,
+            "{nranks} ranks, {largest} patches: partitioned retention \
+             {} B is not well under replicated {} B",
+            big.max_partitioned_bytes,
+            big.replicated_bytes
+        );
+        let growth = big.max_partitioned_bytes as f64 / small.max_partitioned_bytes as f64;
+        let global_growth = big.global_records as f64 / small.global_records as f64;
+        assert!(
+            growth < global_growth,
+            "{nranks} ranks: retention grew {growth:.2}x against a \
+             {global_growth:.2}x global growth — not sublinear"
+        );
+    }
+    println!("partitioned: PASS");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let json_path = path_arg("--json");
+    if std::env::args().any(|a| a == "--partitioned") {
+        partitioned_mode(smoke, json_path);
+        return;
+    }
     if std::env::args().any(|a| a == "--steady-regrid") {
         steady_regrid_mode(smoke, json_path);
         return;

@@ -219,6 +219,30 @@ pub fn schedule_bench_hierarchy(
     rank: usize,
     nranks: usize,
 ) -> (rbamr_amr::PatchHierarchy, rbamr_amr::VariableRegistry, rbamr_amr::VariableId) {
+    bench_hierarchy(fine_patches, rank, nranks, |boxes, n| {
+        (0..boxes.len()).map(|i| i % n).collect()
+    })
+}
+
+/// As [`schedule_bench_hierarchy`], with owners assigned by the
+/// production space-filling-curve partitioner
+/// ([`rbamr_amr::balance::partition_sfc`]) instead of round-robin, so
+/// each rank owns a compact block. Used by the partitioned-metadata
+/// benchmark, where per-rank retention depends on ownership locality.
+pub fn schedule_bench_hierarchy_sfc(
+    fine_patches: usize,
+    rank: usize,
+    nranks: usize,
+) -> (rbamr_amr::PatchHierarchy, rbamr_amr::VariableRegistry, rbamr_amr::VariableId) {
+    bench_hierarchy(fine_patches, rank, nranks, rbamr_amr::balance::partition_sfc)
+}
+
+fn bench_hierarchy(
+    fine_patches: usize,
+    rank: usize,
+    nranks: usize,
+    owners: impl Fn(&[rbamr_geometry::GBox], usize) -> Vec<usize>,
+) -> (rbamr_amr::PatchHierarchy, rbamr_amr::VariableRegistry, rbamr_amr::VariableId) {
     use rbamr_amr::{GridGeometry, HostDataFactory, PatchHierarchy, VariableRegistry};
     use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
     let side = (fine_patches as f64).sqrt().round() as i64;
@@ -249,10 +273,10 @@ pub fn schedule_bench_hierarchy(
         nranks,
     );
     let coarse = tiles(side / 2, 4);
-    let coarse_owners: Vec<usize> = (0..coarse.len()).map(|i| i % nranks).collect();
+    let coarse_owners = owners(&coarse, nranks);
     h.set_level(0, coarse, coarse_owners, &reg);
     let fine = tiles(side, 4);
-    let fine_owners: Vec<usize> = (0..fine.len()).map(|i| i % nranks).collect();
+    let fine_owners = owners(&fine, nranks);
     h.set_level(1, fine, fine_owners, &reg);
     (h, reg, var)
 }

@@ -21,9 +21,9 @@ use rbamr_amr::patchdata::PatchData as _;
 use rbamr_amr::regrid::TransferSpec;
 use rbamr_amr::schedule::{CoarsenSpec, FillSpec};
 use rbamr_amr::{
-    balance, CoarsenSchedule, GridGeometry, HostDataFactory, PatchHierarchy, RefineOperator,
-    RefineSchedule, RegridOutcome, RegridParams, Regridder, ScheduleBuild, ScheduleCache,
-    VariableId, VariableRegistry,
+    balance, partition_hierarchy_metadata, BuildStrategy, CoarsenSchedule, GridGeometry,
+    HostDataFactory, MetadataMode, PatchHierarchy, RefineOperator, RefineSchedule, RegridOutcome,
+    RegridParams, Regridder, ScheduleBuild, ScheduleCache, VariableId, VariableRegistry,
 };
 use rbamr_device::Device;
 use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
@@ -70,6 +70,12 @@ pub struct HydroConfig {
     /// rebuild every schedule on every regrid (the always-rebuild
     /// baseline the benchmarks compare against).
     pub schedule_caching: bool,
+    /// How level metadata is held across ranks. `Replicated` (the
+    /// default) keeps every level's full box array on every rank;
+    /// `Partitioned` holds owned + ghosted views, converted in place at
+    /// [`HydroSim::initialize`] and maintained (digest-verified) across
+    /// regrids. Field output is bitwise identical between the modes.
+    pub metadata_mode: MetadataMode,
 }
 
 impl Default for HydroConfig {
@@ -84,6 +90,7 @@ impl Default for HydroConfig {
             regrid: RegridParams::default(),
             max_patch_size: 1 << 30,
             schedule_caching: true,
+            metadata_mode: MetadataMode::default(),
         }
     }
 }
@@ -313,6 +320,11 @@ impl HydroSim {
 
     /// Rebuild schedules and re-prime derived fields after a restore.
     pub(crate) fn reprime_after_restart(&mut self) {
+        if self.config.metadata_mode == MetadataMode::Partitioned {
+            // Restore rebuilds levels replicated (restart is
+            // single-rank); convert back before schedules are rebuilt.
+            partition_hierarchy_metadata(&mut self.hierarchy, self.config.regrid.margins, None);
+        }
         self.rebuild_schedules();
         self.fill_start(None);
         self.eos_and_viscosity();
@@ -350,6 +362,11 @@ impl HydroSim {
         } else {
             ScheduleBuild::indexed()
         };
+        if self.config.metadata_mode == MetadataMode::Partitioned {
+            // Owner-computes planning over the held records; plans (and
+            // so cache keys) are digest-identical to the indexed build.
+            build.strategy = BuildStrategy::Partitioned;
+        }
         let f = &self.fields;
         let start_vars = [f.density0, f.energy0, f.xvel0, f.yvel0];
         // After the Lagrangian phase: the advected velocities AND the
@@ -442,6 +459,48 @@ impl HydroSim {
         self.fill_schedules.iter().map(|s| s.start.plan_digest()).collect()
     }
 
+    /// Switch how level metadata is held ([`MetadataMode`]). Must be
+    /// called before [`HydroSim::initialize`]: initialisation performs
+    /// the replicated → partitioned conversion exchange.
+    pub fn set_metadata_mode(&mut self, mode: MetadataMode) {
+        self.config.metadata_mode = mode;
+    }
+
+    /// Order-independent digest over every local patch's packed field
+    /// bytes (bound to level, patch index and variable), rank-local.
+    /// Two runs whose digests agree on every rank hold bitwise
+    /// identical resident state — the cross-crate tests use this to
+    /// show `metadata_mode` does not perturb the solution.
+    pub fn local_state_digest(&self) -> u64 {
+        use rbamr_geometry::{BoxOverlap, Fnv64, UnorderedDigest};
+        let mut set = UnorderedDigest::new();
+        for l in 0..self.hierarchy.num_levels() {
+            for patch in self.hierarchy.level(l).local() {
+                for v in 0..self.registry.len() {
+                    let var = VariableId(v);
+                    let data = patch.data(var);
+                    let ov = BoxOverlap {
+                        dst_boxes: BoxList::from_box(data.data_box()),
+                        shift: IntVector::ZERO,
+                        centring: data.centring(),
+                    };
+                    let bytes = data.pack(&ov);
+                    let mut f = Fnv64::new();
+                    f.write_usize(l);
+                    f.write_usize(patch.id().index);
+                    f.write_usize(v);
+                    for chunk in bytes.chunks(8) {
+                        let mut w = [0u8; 8];
+                        w[..chunk.len()].copy_from_slice(chunk);
+                        f.write_u64(u64::from_le_bytes(w));
+                    }
+                    set.add(f.finish());
+                }
+            }
+        }
+        set.finish()
+    }
+
     /// Initialise the hierarchy: set the initial state on level 0, then
     /// repeatedly flag/cluster/rebuild until all levels exist (the
     /// paper: "when the simulation is initialised, the error estimation
@@ -451,6 +510,12 @@ impl HydroSim {
     pub fn initialize(&mut self, comm: Option<&Comm>) {
         let rec = self.recorder.clone();
         let _span = rec.is_enabled().then(|| rec.span("initialize", Category::Other));
+        if self.config.metadata_mode == MetadataMode::Partitioned {
+            // Convert the level-0 metadata to partitioned views before
+            // the first regrid; the regrids below keep every level
+            // partitioned from then on.
+            partition_hierarchy_metadata(&mut self.hierarchy, self.config.regrid.margins, comm);
+        }
         self.apply_initial_state();
         for _ in 0..self.hierarchy.max_levels() - 1 {
             let before = self.hierarchy.num_levels();
@@ -716,7 +781,9 @@ impl HydroSim {
     /// unchanged levels' schedules resolve as cache hits rather than
     /// being rebuilt.
     pub fn regrid(&mut self, comm: Option<&Comm>) -> RegridOutcome {
-        let regridder = Regridder::new(self.config.regrid.clone());
+        let mut params = self.config.regrid.clone();
+        params.metadata_mode = self.config.metadata_mode;
+        let regridder = Regridder::new(params);
         let f = self.fields;
         let specs: Vec<TransferSpec> = [f.density0, f.energy0, f.xvel0, f.yvel0]
             .into_iter()

@@ -47,4 +47,5 @@ pub use copyback_integrator::CopyBackPatchIntegrator;
 pub use device_integrator::DevicePatchIntegrator;
 pub use host_integrator::HostPatchIntegrator;
 pub use integrator::{HydroConfig, HydroSim, Placement, StepStats};
+pub use rbamr_amr::MetadataMode;
 pub use state::{Fields, FlagThresholds, PatchIntegrator, RegionInit, Summary};

@@ -81,9 +81,39 @@ impl Collective {
     }
 }
 
+struct WordsState {
+    arrived: usize,
+    generation: u64,
+    acc: [u64; 3],
+    result: [u64; 3],
+}
+
+/// Rendezvous state for the 3-word digest allreduce. Kept separate from
+/// the f64 [`Collective`] so a digest reduction and a scalar reduction
+/// can never share (and corrupt) one accumulator.
+struct WordsCollective {
+    state: Mutex<WordsState>,
+    done: Condvar,
+}
+
+impl WordsCollective {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(WordsState {
+                arrived: 0,
+                generation: 0,
+                acc: [0; 3],
+                result: [0; 3],
+            }),
+            done: Condvar::new(),
+        }
+    }
+}
+
 pub(crate) struct Shared {
     mailboxes: Vec<Mailbox>,
     collective: Collective,
+    digest: WordsCollective,
     size: usize,
 }
 
@@ -92,6 +122,7 @@ impl Shared {
         Arc::new(Self {
             mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
             collective: Collective::new(),
+            digest: WordsCollective::new(),
             size,
         })
     }
@@ -227,6 +258,7 @@ impl Comm {
     ) -> f64 {
         let _span = self.recorder.is_enabled().then(|| self.recorder.span(name, category));
         self.recorder.count("net.collectives", 1);
+        self.recorder.count("net.collective_bytes", bytes);
         let nranks = self.shared.size as u32;
         self.clock.advance(category, self.cost.allreduce(nranks, bytes));
         if self.shared.size == 1 {
@@ -276,6 +308,49 @@ impl Comm {
         self.collective("barrier", 0.0, |_, _| 0.0, 0, category);
     }
 
+    /// Allreduce of order-independent digest channel words
+    /// `[sum, xor, count]` (the wire form of
+    /// `rbamr_geometry::digest::UnorderedDigest`): channel 0 and 2
+    /// combine by wrapping addition, channel 1 by xor. Merging per-rank
+    /// partial digests this way yields the digest a single rank would
+    /// compute over the union of all items — the consistency handshake
+    /// for partitioned level metadata. The combine is commutative and
+    /// associative, so rank-arrival order cannot change the result.
+    pub fn allreduce_digest(&self, words: [u64; 3], category: Category) -> [u64; 3] {
+        let _span =
+            self.recorder.is_enabled().then(|| self.recorder.span("allreduce-digest", category));
+        self.recorder.count("net.collectives", 1);
+        self.recorder.count("net.collective_bytes", 24);
+        let nranks = self.shared.size as u32;
+        self.clock.advance(category, self.cost.allreduce(nranks, 24));
+        if self.shared.size == 1 {
+            return words;
+        }
+        let coll = &self.shared.digest;
+        let mut st = coll.state.lock();
+        if st.arrived == 0 {
+            st.acc = words;
+        } else {
+            st.acc[0] = st.acc[0].wrapping_add(words[0]);
+            st.acc[1] ^= words[1];
+            st.acc[2] = st.acc[2].wrapping_add(words[2]);
+        }
+        st.arrived += 1;
+        if st.arrived == self.shared.size {
+            st.result = st.acc;
+            st.arrived = 0;
+            st.generation += 1;
+            coll.done.notify_all();
+            return st.result;
+        }
+        let gen = st.generation;
+        while st.generation == gen {
+            let timed_out = coll.done.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out();
+            assert!(!timed_out, "deadlock: rank {} waited >60s in allreduce-digest", self.rank);
+        }
+        st.result
+    }
+
     fn next_collective_tag(&self) -> u64 {
         // All ranks execute collectives in the same order, so local
         // counters agree. The top four bits (kind 15) keep these tags
@@ -300,8 +375,11 @@ impl Comm {
                     parts.push(self.recv(src, tag, category));
                 }
             }
+            let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
+            self.recorder.count("net.collective_bytes", total);
             Some(parts)
         } else {
+            self.recorder.count("net.collective_bytes", payload.len() as u64);
             self.send(root, tag, payload);
             None
         }
@@ -330,6 +408,7 @@ impl Comm {
             let Some(payload) = payload else {
                 return Err(CommError::MissingRootPayload { root });
             };
+            self.recorder.count("net.collective_bytes", payload.len() as u64);
             for dst in 0..self.shared.size {
                 if dst != self.rank {
                     self.send(dst, tag, payload.clone());
@@ -340,8 +419,41 @@ impl Comm {
             if payload.is_some() {
                 return Err(CommError::UnexpectedPayload { rank: self.rank });
             }
-            Ok(self.recv(root, tag, category))
+            let payload = self.recv(root, tag, category);
+            self.recorder.count("net.collective_bytes", payload.len() as u64);
+            Ok(payload)
         }
+    }
+
+    /// All-to-all gather of variable-length payloads: every rank
+    /// contributes its bytes and receives every rank's contribution,
+    /// indexed by rank (this rank's own slot included). The collective
+    /// that fetches partitioned level metadata: each rank publishes its
+    /// owned box records and assembles the global view locally.
+    ///
+    /// Implemented as a buffered send to every peer followed by one
+    /// receive per peer in rank order; each rank is charged one message
+    /// per remote contribution it receives.
+    pub fn allgatherv(&self, payload: Bytes, category: Category) -> Vec<Bytes> {
+        let _span = self.recorder.is_enabled().then(|| self.recorder.span("allgatherv", category));
+        self.recorder.count("net.collectives", 1);
+        let tag = self.next_collective_tag();
+        for dst in 0..self.shared.size {
+            if dst != self.rank {
+                self.send(dst, tag, payload.clone());
+            }
+        }
+        let mut parts = Vec::with_capacity(self.shared.size);
+        for src in 0..self.shared.size {
+            if src == self.rank {
+                parts.push(payload.clone());
+            } else {
+                parts.push(self.recv(src, tag, category));
+            }
+        }
+        let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
+        self.recorder.count("net.collective_bytes", total);
+        parts
     }
 }
 
@@ -518,5 +630,134 @@ mod tests {
                 comm.send(0, 0, Bytes::new());
             }
         });
+    }
+
+    #[test]
+    fn allgatherv_returns_every_payload_in_rank_order() {
+        let results = cluster().run(4, |comm| {
+            // Variable lengths: rank r contributes r+1 bytes of value r.
+            let mine = Bytes::from(vec![comm.rank() as u8; comm.rank() + 1]);
+            comm.allgatherv(mine, Category::Regrid)
+        });
+        for r in &results {
+            assert_eq!(r.value.len(), 4);
+            for (src, part) in r.value.iter().enumerate() {
+                assert_eq!(&part[..], vec![src as u8; src + 1].as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_single_rank_is_identity() {
+        let results = cluster().run(1, |comm| {
+            let parts = comm.allgatherv(Bytes::from_static(b"solo"), Category::Regrid);
+            (parts, comm.clock().total())
+        });
+        assert_eq!(results[0].value.0, vec![Bytes::from_static(b"solo")]);
+        assert_eq!(results[0].value.1, 0.0);
+    }
+
+    #[test]
+    fn allreduce_digest_combines_channels_commutatively() {
+        let results = cluster().run(4, |comm| {
+            let r = comm.rank() as u64;
+            // Distinct per-rank channel words, including wrap-prone sums.
+            comm.allreduce_digest([u64::MAX - r, 1u64 << r, r + 1], Category::Regrid)
+        });
+        let mut sum = 0u64;
+        let mut xor = 0u64;
+        let mut count = 0u64;
+        for r in 0..4u64 {
+            sum = sum.wrapping_add(u64::MAX - r);
+            xor ^= 1u64 << r;
+            count = count.wrapping_add(r + 1);
+        }
+        for r in &results {
+            assert_eq!(r.value, [sum, xor, count]);
+        }
+    }
+
+    #[test]
+    fn allreduce_digest_single_rank_is_identity() {
+        let results = cluster().run(1, |comm| comm.allreduce_digest([7, 8, 9], Category::Regrid));
+        assert_eq!(results[0].value, [7, 8, 9]);
+    }
+
+    #[test]
+    fn repeated_digest_allreduces_do_not_cross_talk() {
+        let results = cluster().run(3, |comm| {
+            (0..8u64)
+                .map(|round| comm.allreduce_digest([round, comm.rank() as u64, 1], Category::Other))
+                .collect::<Vec<_>>()
+        });
+        for r in &results {
+            for (round, words) in r.value.iter().enumerate() {
+                assert_eq!(*words, [3 * round as u64, 1 ^ 2, 3]); // xor over ranks 0..3
+            }
+        }
+    }
+
+    #[test]
+    fn collectives_count_logical_payload_bytes() {
+        // Every collective must account the logical payload bytes it
+        // moved for this rank in net.collective_bytes, symmetric enough
+        // that a job-wide audit sees each rank's own contribution
+        // (previously allreduce/barrier recorded no bytes at all and
+        // gather/broadcast totals were only visible through one side's
+        // kind-15 point-to-point counters).
+        let results = cluster().run(3, |comm| {
+            let clock = comm.clock().clone();
+            let mut comm = comm;
+            let rec = Recorder::new(comm.rank(), clock);
+            comm.set_recorder(rec.clone());
+            let mine = Bytes::from(vec![comm.rank() as u8; comm.rank() + 1]); // 1, 2, 3 bytes
+            comm.allreduce_sum(1.0, Category::Timestep); // 8
+            comm.barrier(Category::Other); // 0
+            comm.allreduce_digest([1, 2, 3], Category::Regrid); // 24
+            comm.gather(0, mine.clone(), Category::Regrid); // root: 6, others: own len
+            comm.broadcast(
+                0,
+                (comm.rank() == 0).then(|| Bytes::from_static(b"abcde")),
+                Category::Regrid,
+            )
+            .expect("well-formed broadcast"); // 5 everywhere
+            comm.allgatherv(mine, Category::HaloExchange); // 6 everywhere
+            (rec.counter("net.collectives"), rec.counter("net.collective_bytes"))
+        });
+        let base = 8 + 24 + 5 + 6; // allreduce + digest + broadcast + allgatherv (barrier: 0)
+        assert_eq!(results[0].value, (6, base + 6)); // gather root sees all 6 bytes
+        assert_eq!(results[1].value, (6, base + 2)); // non-root contributes its 2
+        assert_eq!(results[2].value, (6, base + 3));
+    }
+
+    #[test]
+    fn collective_point_to_point_traffic_lands_in_kind15() {
+        let results = cluster().run(2, |comm| {
+            let clock = comm.clock().clone();
+            let mut comm = comm;
+            let rec = Recorder::new(comm.rank(), clock);
+            comm.set_recorder(rec.clone());
+            comm.allgatherv(Bytes::from(vec![comm.rank() as u8; 4]), Category::Regrid);
+            (rec.counter("net.send_bytes.kind15"), rec.counter("net.recv_bytes.kind15"))
+        });
+        // Each rank sends its 4 bytes to the one peer and receives the
+        // peer's 4 bytes.
+        assert_eq!(results[0].value, (4, 4));
+        assert_eq!(results[1].value, (4, 4));
+    }
+
+    #[test]
+    fn collective_categories_charge_the_declared_category() {
+        let results = cluster().run(2, |comm| {
+            comm.allreduce_min(1.0, Category::Timestep);
+            comm.allgatherv(Bytes::from_static(b"xy"), Category::Regrid);
+            let snap = comm.clock().snapshot();
+            (snap.get(Category::Timestep), snap.get(Category::Regrid), snap.get(Category::Other))
+        });
+        for r in &results {
+            assert!(r.value.0 > 0.0, "allreduce must charge Timestep");
+            assert!(r.value.1 > 0.0, "allgatherv recv must charge Regrid");
+            assert_eq!(r.value.2, 0.0, "no Other-category traffic was issued");
+        }
     }
 }

@@ -5,7 +5,10 @@
 //! `DESIGN.md`: every rank is an OS thread executing the same program,
 //! communicating through typed mailboxes ([`Comm::send`] /
 //! [`Comm::recv`]) and collectives ([`Comm::allreduce_min`],
-//! [`Comm::barrier`], …). CleverLeaf's timestep is bulk-synchronous
+//! [`Comm::barrier`], [`Comm::allgatherv`] — the variable-payload
+//! gather behind partitioned-metadata exchange — and
+//! [`Comm::allreduce_digest`], its 3-word agreement handshake).
+//! CleverLeaf's timestep is bulk-synchronous
 //! (halo fill → global dt reduction → advance → periodic regrid), so this
 //! model is semantically exact for the reproduced application.
 //!

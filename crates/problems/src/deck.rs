@@ -24,7 +24,7 @@
 //! does. Unknown keys are ignored with a warning list so real decks
 //! (which carry visualisation frequencies etc.) still parse.
 
-use rbamr_hydro::RegionInit;
+use rbamr_hydro::{MetadataMode, RegionInit};
 
 /// A parsed deck.
 #[derive(Clone, Debug, PartialEq)]
@@ -41,6 +41,10 @@ pub struct Deck {
     pub end_time: Option<f64>,
     /// Stop after this many steps, if given.
     pub end_step: Option<usize>,
+    /// How ranks hold level metadata: `metadata_mode=replicated` (the
+    /// default) or `metadata_mode=partitioned` (owned + ghosted views
+    /// with digest-verified exchange).
+    pub metadata_mode: MetadataMode,
     /// Keys the parser did not understand (ignored, reported).
     pub ignored: Vec<String>,
 }
@@ -94,6 +98,7 @@ pub fn parse_deck(text: &str) -> Result<Deck, DeckError> {
     let mut max_levels = 1usize;
     let mut end_time = None;
     let mut end_step = None;
+    let mut metadata_mode = MetadataMode::default();
     let mut ignored = Vec::new();
 
     for raw in text.lines() {
@@ -170,6 +175,13 @@ pub fn parse_deck(text: &str) -> Result<Deck, DeckError> {
                 "max_levels" => max_levels = ival()? as usize,
                 "end_time" => end_time = Some(fval()?),
                 "end_step" => end_step = Some(ival()? as usize),
+                "metadata_mode" => {
+                    metadata_mode = match v.to_ascii_lowercase().as_str() {
+                        "replicated" => MetadataMode::Replicated,
+                        "partitioned" => MetadataMode::Partitioned,
+                        _ => return Err(DeckError::BadValue(k.into(), v.into())),
+                    }
+                }
                 other => ignored.push(other.to_owned()),
             }
         }
@@ -204,7 +216,16 @@ pub fn parse_deck(text: &str) -> Result<Deck, DeckError> {
         });
     }
 
-    Ok(Deck { extent, cells: (x_cells, y_cells), regions, max_levels, end_time, end_step, ignored })
+    Ok(Deck {
+        extent,
+        cells: (x_cells, y_cells),
+        regions,
+        max_levels,
+        end_time,
+        end_step,
+        metadata_mode,
+        ignored,
+    })
 }
 
 /// The canonical Sod deck, as shipped with CloverLeaf-family codes.
@@ -263,6 +284,30 @@ mod tests {
         let deck = parse_deck(text).expect("deck");
         assert_eq!(deck.cells, (8, 8));
         assert_eq!(deck.ignored, vec!["visit_frequency", "profiler_on"]);
+    }
+
+    #[test]
+    fn metadata_mode_key_parses_and_rejects_garbage() {
+        let text = |mode: &str| {
+            format!(
+                "*clover\n state 1 density=1.0 energy=1.0\n x_cells=8 y_cells=8\n \
+                 metadata_mode={mode}\n*endclover\n"
+            )
+        };
+        assert_eq!(
+            parse_deck(&text("partitioned")).expect("deck").metadata_mode,
+            MetadataMode::Partitioned
+        );
+        assert_eq!(
+            parse_deck(&text("replicated")).expect("deck").metadata_mode,
+            MetadataMode::Replicated
+        );
+        // Absent defaults to replicated.
+        assert_eq!(parse_deck(sod_deck()).expect("deck").metadata_mode, MetadataMode::Replicated);
+        assert_eq!(
+            parse_deck(&text("sharded")),
+            Err(DeckError::BadValue("metadata_mode".into(), "sharded".into()))
+        );
     }
 
     #[test]

@@ -255,6 +255,50 @@ fn distributed_triple_point_conserves_mass_and_energy() {
 }
 
 #[test]
+fn partitioned_metadata_matches_replicated_bitwise() {
+    // The same Sod run under `metadata_mode = partitioned` — owned +
+    // ghosted views, owner-computes planning, digest-verified exchange
+    // — must be indistinguishable from the replicated oracle: bitwise
+    // identical local field state, identical `RegridOutcome`s from a
+    // live regrid, identical structure digests.
+    use rbamr::amr::MetadataMode;
+    let run = |nranks: usize, mode: MetadataMode| {
+        let cluster = Cluster::new(Machine::ipa_cpu_node());
+        cluster.run(nranks, move |comm| {
+            let mut sim =
+                sod(Placement::Host, 48, 2, 16, comm.rank(), comm.size(), comm.clock().clone());
+            sim.set_metadata_mode(mode);
+            sim.initialize(Some(&comm));
+            for _ in 0..8 {
+                sim.step(Some(&comm)); // regrid_interval 4: live regrids
+            }
+            let outcome = sim.regrid(Some(&comm));
+            let digests: Vec<u64> = (0..sim.hierarchy().num_levels())
+                .map(|l| sim.hierarchy().structure_digest(l))
+                .collect();
+            (
+                sim.local_state_digest(),
+                digests,
+                outcome.num_levels,
+                outcome.levels_changed,
+                outcome.tags_flagged,
+            )
+        })
+    };
+    for nranks in [1usize, 4] {
+        let rep = run(nranks, MetadataMode::Replicated);
+        let part = run(nranks, MetadataMode::Partitioned);
+        for (a, b) in rep.iter().zip(&part) {
+            assert_eq!(a.value.0, b.value.0, "rank {}: field state diverges", a.rank);
+            assert_eq!(a.value.1, b.value.1, "rank {}: structure digests diverge", a.rank);
+            assert_eq!(a.value.2, b.value.2, "rank {}: outcome num_levels", a.rank);
+            assert_eq!(a.value.3, b.value.3, "rank {}: outcome levels_changed", a.rank);
+            assert_eq!(a.value.4, b.value.4, "rank {}: outcome tags_flagged", a.rank);
+        }
+    }
+}
+
+#[test]
 fn regridding_is_rank_count_invariant() {
     // The hierarchy structure (clustered boxes) produced by the
     // distributed regrid — gathering tags through the collective path —
