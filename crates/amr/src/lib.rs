@@ -61,15 +61,18 @@ pub use hostdata::{HostData, HostDataFactory};
 pub use level::{LevelRecords, PatchLevel};
 pub use ops::{CoarsenOperator, RefineOperator};
 pub use partition::{
-    exchange_level_view, interest_for_level, verify_level_digest, view_from_global,
+    exchange_level_view, interest_for_level, verify_level_digest, view_from_global, ExchangeError,
     InterestMargins, InterestSpec, LevelView, MetadataDivergence, MetadataMode,
 };
 pub use patch::{Patch, PatchId};
-pub use patchdata::{Element, PatchData};
+pub use patchdata::{Element, PatchData, PatchDataError};
 pub use regrid::{
-    partition_hierarchy_metadata, refresh_partitioned_view, RegridOutcome, RegridParams, Regridder,
+    partition_hierarchy_metadata, refresh_partitioned_view, try_partition_hierarchy_metadata,
+    try_refresh_partitioned_view, RegridError, RegridOutcome, RegridParams, Regridder,
 };
-pub use schedule::{BuildStrategy, CoarsenSchedule, RefineSchedule, ScheduleBuild, ScheduleCache};
+pub use schedule::{
+    BuildStrategy, CoarsenSchedule, RefineSchedule, ScheduleBuild, ScheduleCache, ScheduleError,
+};
 pub use stats::{hierarchy_stats, HierarchyStats};
 pub use tagging::TagBitmap;
 pub use variable::{DataFactory, Variable, VariableId, VariableRegistry};

@@ -54,7 +54,7 @@
 use crate::level::PatchLevel;
 use bytes::Bytes;
 use rbamr_geometry::{BoxList, Fnv64, GBox, IntVector, UnorderedDigest};
-use rbamr_netsim::Comm;
+use rbamr_netsim::{Comm, CommError, FaultKind};
 use rbamr_perfmodel::Category;
 
 /// Where level box arrays live.
@@ -110,6 +110,41 @@ impl std::fmt::Display for MetadataDivergence {
 }
 
 impl std::error::Error for MetadataDivergence {}
+
+/// A partitioned-metadata exchange failure: either the transport
+/// faulted mid-collective or the digest handshake detected divergent
+/// views. Both are raised without hanging — the exchange runs through
+/// its full communication pattern before reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExchangeError {
+    /// A collective in the exchange surfaced a transport fault.
+    Comm(CommError),
+    /// The handshake detected divergent metadata.
+    Divergence(MetadataDivergence),
+}
+
+impl std::fmt::Display for ExchangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Comm(e) => write!(f, "metadata exchange transport fault: {e}"),
+            Self::Divergence(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ExchangeError {}
+
+impl From<CommError> for ExchangeError {
+    fn from(e: CommError) -> Self {
+        Self::Comm(e)
+    }
+}
+
+impl From<MetadataDivergence> for ExchangeError {
+    fn from(e: MetadataDivergence) -> Self {
+        Self::Divergence(e)
+    }
+}
 
 /// Hash of one indexed `(box, owner)` record. The index is bound in
 /// because schedule plans address patches by global index: a
@@ -405,9 +440,19 @@ fn structural_error(sorted: &[BoxRecord]) -> Option<String> {
 /// neighborhood. With `comm == None` (or one rank) the exchange is the
 /// identity and the view is complete.
 ///
+/// An attached fault injector ([`Comm::fault_injector`]) with a
+/// [`FaultKind::MetadataCorrupt`] rule flips one bit of one assembled
+/// record's box *after* the exchange and *before* verification,
+/// simulating in-flight metadata corruption; the digest handshake then
+/// raises the divergence collectively. The exchange always runs through
+/// its full communication pattern — a transport fault on one rank never
+/// leaves a peer stranded mid-collective.
+///
 /// # Errors
-/// [`MetadataDivergence`] if any rank's assembled records disagree with
-/// the collective digest; the error is raised on every rank.
+/// [`ExchangeError::Divergence`] if any rank's assembled records
+/// disagree with the collective digest (raised on every rank);
+/// [`ExchangeError::Comm`] on the rank(s) where the transport itself
+/// faulted.
 pub fn exchange_level_view(
     comm: Option<&Comm>,
     level_no: usize,
@@ -416,29 +461,17 @@ pub fn exchange_level_view(
     owned: &[BoxRecord],
     spec: &InterestSpec,
     my_rank: usize,
-) -> Result<LevelView, MetadataDivergence> {
-    exchange_level_view_with_tamper(comm, level_no, ratio, domain, owned, spec, my_rank, |_| {})
-}
-
-/// [`exchange_level_view`] with a fault-injection seam: `tamper` runs on
-/// the assembled record list *after* the exchange and *before*
-/// verification, simulating a rank whose received metadata was
-/// corrupted. Production callers pass a no-op; tests use it to prove
-/// the handshake turns corruption into a collective typed error.
-#[allow(clippy::too_many_arguments)]
-pub fn exchange_level_view_with_tamper(
-    comm: Option<&Comm>,
-    level_no: usize,
-    ratio: IntVector,
-    domain: &BoxList,
-    owned: &[BoxRecord],
-    spec: &InterestSpec,
-    my_rank: usize,
-    tamper: impl FnOnce(&mut Vec<BoxRecord>),
-) -> Result<LevelView, MetadataDivergence> {
+) -> Result<LevelView, ExchangeError> {
+    let mut comm_err: Option<CommError> = None;
     let partial = structure_items_digest(owned.iter().copied());
     let words = match comm {
-        Some(c) => c.allreduce_digest(partial.to_words(), Category::Regrid),
+        Some(c) => match c.try_allreduce_digest(partial.to_words(), Category::Regrid) {
+            Ok(w) => w,
+            Err(e) => {
+                comm_err.get_or_insert(e);
+                partial.to_words()
+            }
+        },
         None => partial.to_words(),
     };
     let combined = UnorderedDigest::from_words(words);
@@ -446,15 +479,44 @@ pub fn exchange_level_view_with_tamper(
 
     let mut all: Vec<BoxRecord> = Vec::new();
     match comm {
-        Some(c) => {
-            let parts = c.allgatherv(serialize_records(owned), Category::Regrid);
-            for part in &parts {
-                parse_records(part, &mut all);
+        Some(c) => match c.try_allgatherv(serialize_records(owned), Category::Regrid) {
+            Ok(parts) => {
+                for part in &parts {
+                    parse_records(part, &mut all);
+                }
             }
-        }
+            Err(e) => {
+                // The collective completed (run-through) but this rank's
+                // assembly is unusable; keep only the owned records so
+                // the digest check below fails locally and the agreement
+                // reduction tells every peer.
+                comm_err.get_or_insert(e);
+                all.extend_from_slice(owned);
+            }
+        },
         None => all.extend_from_slice(owned),
     }
-    tamper(&mut all);
+
+    // Deterministic fault injection: corrupt one assembled record.
+    if let Some(inj) = comm.and_then(|c| c.fault_injector()) {
+        if let Some(site) = inj.should_fire(FaultKind::MetadataCorrupt) {
+            if let Some(c) = comm {
+                c.recorder().count("fault.injected", 1);
+            }
+            if !all.is_empty() {
+                let w = inj.decision_word(FaultKind::MetadataCorrupt, site.occurrence);
+                let pick = (w as usize) % all.len();
+                let rec = &mut all[pick];
+                let bit = 1i64 << ((w >> 8) % 8);
+                match (w >> 16) % 4 {
+                    0 => rec.1.lo.x ^= bit,
+                    1 => rec.1.lo.y ^= bit,
+                    2 => rec.1.hi.x ^= bit,
+                    _ => rec.1.hi.y ^= bit,
+                }
+            }
+        }
+    }
     all.sort_unstable_by_key(|r| r.0);
 
     let observed_items = structure_items_digest(all.iter().copied());
@@ -471,20 +533,33 @@ pub fn exchange_level_view_with_tamper(
     // Agreement reduction: every rank learns the collective verdict, so
     // a divergent rank cannot silently plan while its peers error out
     // (or vice versa).
-    let locally_ok = local_error.is_none();
+    let locally_ok = comm_err.is_none() && local_error.is_none();
     let all_ok = match comm {
-        Some(c) => c.allreduce_min(if locally_ok { 1.0 } else { 0.0 }, Category::Regrid) >= 0.5,
+        Some(c) => {
+            match c.try_allreduce_min(if locally_ok { 1.0 } else { 0.0 }, Category::Regrid) {
+                Ok(v) => v >= 0.5,
+                Err(e) => {
+                    // Collective faults are symmetric: every rank takes
+                    // this branch together.
+                    comm_err.get_or_insert(e);
+                    false
+                }
+            }
+        }
         None => locally_ok,
     };
+    if let Some(e) = comm_err {
+        return Err(ExchangeError::Comm(e));
+    }
     if !all_ok {
-        return Err(MetadataDivergence {
+        return Err(ExchangeError::Divergence(MetadataDivergence {
             level_no,
             expected_digest: expected,
             observed_digest: observed,
             rank: my_rank,
             detail: local_error
                 .unwrap_or_else(|| "a peer rank assembled divergent metadata".into()),
-        });
+        }));
     }
 
     let global_cells = all.iter().map(|(_, b, _)| b.num_cells()).sum();
@@ -692,22 +767,31 @@ mod tests {
     }
 
     #[test]
-    fn single_rank_tamper_is_a_typed_error() {
-        let owned: Vec<BoxRecord> = vec![(0, tile(0, 0), 0)];
-        let spec = InterestSpec::default();
-        let err = exchange_level_view_with_tamper(
-            None,
-            0,
-            IntVector::ONE,
-            &domain(),
-            &owned,
-            &spec,
-            0,
-            |records| records[0].1 = tile(3, 3),
-        )
-        .unwrap_err();
-        assert_eq!(err.level_no, 0);
-        assert_ne!(err.expected_digest, err.observed_digest);
+    fn injected_metadata_corruption_is_a_typed_error() {
+        use rbamr_netsim::{Cluster, FaultPlan, FaultRule};
+        let plan =
+            FaultPlan { seed: 7, rules: vec![FaultRule::once(FaultKind::MetadataCorrupt, 0)] };
+        let cluster = Cluster::new(rbamr_perfmodel::Machine::ipa_cpu_node()).with_fault_plan(plan);
+        let results = cluster.run(1, |comm| {
+            let owned: Vec<BoxRecord> = vec![(0, tile(0, 0), 0), (1, tile(1, 1), 0)];
+            let spec = InterestSpec::default();
+            exchange_level_view(
+                Some(&comm),
+                0,
+                IntVector::ONE,
+                &domain(),
+                &owned,
+                &spec,
+                comm.rank(),
+            )
+        });
+        match results[0].value.as_ref().expect_err("corruption must surface") {
+            ExchangeError::Divergence(err) => {
+                assert_eq!(err.level_no, 0);
+                assert_ne!(err.expected_digest, err.observed_digest);
+            }
+            other => panic!("expected divergence, got {other}"),
+        }
     }
 
     #[test]

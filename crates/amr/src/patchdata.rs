@@ -38,6 +38,41 @@ impl Element for i32 {
     }
 }
 
+/// A failure while packing or unpacking patch data for transfer.
+///
+/// Host-side implementations are infallible; the device implementation
+/// maps injected allocation/transfer faults here so the schedule layer
+/// can run through the step and fail at the collective commit instead
+/// of panicking mid-exchange.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PatchDataError {
+    /// A staging allocation on the device failed.
+    Allocation {
+        /// The device error message.
+        detail: String,
+    },
+    /// A host↔device staging transfer failed.
+    Transfer {
+        /// The device error message.
+        detail: String,
+    },
+    /// The incoming stream was marked faulty by the sender (it detected
+    /// a fault mid-pack and shipped a placeholder to stay in lock-step).
+    RemoteFault,
+}
+
+impl std::fmt::Display for PatchDataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Allocation { detail } => write!(f, "pack/unpack staging allocation: {detail}"),
+            Self::Transfer { detail } => write!(f, "pack/unpack staging transfer: {detail}"),
+            Self::RemoteFault => write!(f, "sender shipped a faulty stream placeholder"),
+        }
+    }
+}
+
+impl std::error::Error for PatchDataError {}
+
 /// One simulation quantity on one patch — the reproduction of SAMRAI's
 /// `PatchData` interface (paper Figure 2).
 ///
@@ -108,6 +143,21 @@ pub trait PatchData: Send {
     /// Unpack a stream produced by a matching [`PatchData::pack`] into
     /// the overlap region (`unpackStream`).
     fn unpack(&mut self, overlap: &BoxOverlap, stream: &[u8]);
+
+    /// Fault-aware [`PatchData::pack`]: implementations whose packing
+    /// can fail (the device path, under fault injection) surface a
+    /// typed error instead of panicking. The default wraps the
+    /// infallible `pack`.
+    fn try_pack(&self, overlap: &BoxOverlap) -> Result<Bytes, PatchDataError> {
+        Ok(self.pack(overlap))
+    }
+
+    /// Fault-aware [`PatchData::unpack`]; the default wraps the
+    /// infallible `unpack`.
+    fn try_unpack(&mut self, overlap: &BoxOverlap, stream: &[u8]) -> Result<(), PatchDataError> {
+        self.unpack(overlap, stream);
+        Ok(())
+    }
 
     /// Clamp-extend values into cells not covered by `covered` (used on
     /// interpolation scratch at physical-domain corners, where no

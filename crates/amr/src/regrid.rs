@@ -20,13 +20,14 @@ use crate::level::PatchLevel;
 use crate::ops::RefineOperator;
 use crate::partition::{
     exchange_level_view, finalize_structure_digest, interest_for_level, structure_items_digest,
-    view_from_global, BoxRecord, InterestMargins, MetadataMode,
+    view_from_global, BoxRecord, ExchangeError, InterestMargins, MetadataDivergence, MetadataMode,
 };
+use crate::patchdata::PatchDataError;
 use crate::schedule::{regrid_tag, REGRID_COPY, REGRID_SCRATCH};
 use crate::tagging::TagBitmap;
 use crate::variable::{VariableId, VariableRegistry};
 use rbamr_geometry::{copy_overlap, BoxIndex, BoxList, BoxOverlap, GBox, IntVector};
-use rbamr_netsim::Comm;
+use rbamr_netsim::{Comm, CommError};
 use rbamr_perfmodel::Category;
 use std::sync::Arc;
 
@@ -118,6 +119,59 @@ impl RegridOutcome {
     }
 }
 
+/// A regrid pass failed on an injected (or simulated) fault. The pass
+/// runs through its full communication pattern before reporting —
+/// failure verdicts that could diverge across ranks are made collective
+/// first — so an error here never leaves a peer stranded mid-exchange.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegridError {
+    /// A point-to-point or collective transport fault.
+    Comm(CommError),
+    /// The partitioned-metadata handshake detected divergent views.
+    Divergence(MetadataDivergence),
+    /// Packing or unpacking solution-transfer data failed.
+    Data(PatchDataError),
+}
+
+impl std::fmt::Display for RegridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Comm(e) => write!(f, "regrid transport fault: {e}"),
+            Self::Divergence(e) => write!(f, "regrid metadata fault: {e}"),
+            Self::Data(e) => write!(f, "regrid data fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegridError {}
+
+impl From<CommError> for RegridError {
+    fn from(e: CommError) -> Self {
+        Self::Comm(e)
+    }
+}
+
+impl From<MetadataDivergence> for RegridError {
+    fn from(e: MetadataDivergence) -> Self {
+        Self::Divergence(e)
+    }
+}
+
+impl From<PatchDataError> for RegridError {
+    fn from(e: PatchDataError) -> Self {
+        Self::Data(e)
+    }
+}
+
+impl From<ExchangeError> for RegridError {
+    fn from(e: ExchangeError) -> Self {
+        match e {
+            ExchangeError::Comm(c) => Self::Comm(c),
+            ExchangeError::Divergence(d) => Self::Divergence(d),
+        }
+    }
+}
+
 /// The regridding driver.
 pub struct Regridder {
     params: RegridParams,
@@ -160,6 +214,30 @@ impl Regridder {
         comm: Option<&Comm>,
         time: f64,
     ) -> RegridOutcome {
+        self.try_regrid(hierarchy, registry, tagger, specs, comm, time)
+            .unwrap_or_else(|e| panic!("regrid: unhandled injected fault: {e}"))
+    }
+
+    /// Fault-aware [`Regridder::regrid`]: injected transport, metadata,
+    /// or device faults surface as a typed [`RegridError`] instead of a
+    /// panic. Fault verdicts that could diverge across ranks (tag
+    /// exchange, metadata handshake) are made collective before any rank
+    /// acts on them, so every rank either completes the pass or errors —
+    /// never a hang.
+    ///
+    /// # Errors
+    /// [`RegridError`] on the fault; the hierarchy may hold partially
+    /// rebuilt levels and must be restored from a checkpoint before the
+    /// next use.
+    pub fn try_regrid(
+        &self,
+        hierarchy: &mut PatchHierarchy,
+        registry: &VariableRegistry,
+        tagger: &dyn CellTagger,
+        specs: &[TransferSpec],
+        comm: Option<&Comm>,
+        time: f64,
+    ) -> Result<RegridOutcome, RegridError> {
         let rec = hierarchy.recorder().clone();
         let _span = rec.is_enabled().then(|| rec.span("regrid", Category::Regrid));
         let max_levels = hierarchy.max_levels();
@@ -189,9 +267,11 @@ impl Regridder {
                 bitmaps.iter().flat_map(|bm| bm.tagged_cells()).collect();
             rec.count("regrid.tags_flagged", cells.len() as u64);
 
-            // Exchange tags globally (clustering is replicated).
+            // Exchange tags globally (clustering is replicated). The
+            // exchange's failure verdict is collective, so on error
+            // every rank returns together here.
             if let Some(comm) = comm {
-                cells = exchange_tags(comm, &cells);
+                cells = try_exchange_tags(comm, &cells)?;
             }
             tags_flagged += cells.len() as u64;
 
@@ -238,6 +318,11 @@ impl Regridder {
         let partitioned = self.params.metadata_mode == MetadataMode::Partitioned;
         let mut new_num_levels = 1;
         let mut levels_changed = vec![false; max_levels];
+        // Data-plane faults (pack/unpack/p2p) are rank-local: record the
+        // first and keep the pass in lock-step — the structure decisions
+        // are rank-invariant, so every rank still reaches every
+        // collective. Only collectively-agreed failures return early.
+        let mut first_err: Option<RegridError> = None;
         #[allow(clippy::needless_range_loop)] // target is a level number, not a plain index
         for target in 1..=finest_target {
             let boxes = planned[target].take().unwrap_or_default();
@@ -269,7 +354,13 @@ impl Regridder {
                     // widen and re-exchange those views first. Plan and
                     // digest comparison are rank-invariant, so every
                     // rank reaches these collectives together.
-                    self.refresh_view(hierarchy, target - 1, Some((&boxes, &owners)), &[], comm);
+                    self.try_refresh_view(
+                        hierarchy,
+                        target - 1,
+                        Some((&boxes, &owners)),
+                        &[],
+                        comm,
+                    )?;
                     if target <= hierarchy.finest_level() {
                         let new_owned: Vec<GBox> = boxes
                             .iter()
@@ -277,12 +368,14 @@ impl Regridder {
                             .filter(|&(_, &o)| o == rank)
                             .map(|(&b, _)| b)
                             .collect();
-                        self.refresh_view(hierarchy, target, None, &new_owned, comm);
+                        self.try_refresh_view(hierarchy, target, None, &new_owned, comm)?;
                     }
                 }
-                self.rebuild_level(
+                if let Err(e) = self.rebuild_level(
                     hierarchy, registry, target, boxes, owners, finer_plan, specs, comm, time,
-                );
+                ) {
+                    first_err.get_or_insert(e);
+                }
                 levels_changed[target] = true;
             }
             new_num_levels = target + 1;
@@ -295,19 +388,28 @@ impl Regridder {
             // digest-verified exchange, so this doubles as the
             // post-regrid metadata handshake.
             for l in 0..new_num_levels {
-                self.refresh_view(hierarchy, l, None, &[], comm);
+                self.try_refresh_view(hierarchy, l, None, &[], comm)?;
             }
         }
         if let Some(comm) = comm {
-            comm.barrier(Category::Regrid);
+            comm.try_barrier(Category::Regrid)?;
         }
         levels_changed.truncate(new_num_levels);
-        RegridOutcome { num_levels: new_num_levels, levels_changed, tags_flagged }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(RegridOutcome { num_levels: new_num_levels, levels_changed, tags_flagged }),
+        }
     }
 
     /// Build the new level `target`, initialise its data (refine from
     /// the level below, then overwrite from the old level where it
     /// overlapped), and install it.
+    ///
+    /// Runs through the full transfer pattern even after a fault — a
+    /// failed pack sends a correctly-sized zero placeholder, a failed
+    /// receive skips its unpack — so the level is always installed with
+    /// the agreed structure and every peer's sends/receives complete.
+    /// The first fault is reported at the end.
     #[allow(clippy::too_many_arguments)]
     fn rebuild_level(
         &self,
@@ -320,7 +422,8 @@ impl Regridder {
         specs: &[TransferSpec],
         comm: Option<&Comm>,
         time: f64,
-    ) {
+    ) -> Result<(), RegridError> {
+        let mut first_err: Option<RegridError> = None;
         let rank = hierarchy.rank();
         let ratio = hierarchy.ratio_to_coarser(target);
         let mut new_level = PatchLevel::new(
@@ -392,7 +495,14 @@ impl Regridder {
                     let comm = comm.expect("regrid: remote coarse sources need a Comm");
                     let coarse = hierarchy.level(target - 1);
                     let src = coarse.local_by_index(cidx).expect("owner mismatch");
-                    let payload = src.data(spec.var).pack(&ov);
+                    let data = src.data(spec.var);
+                    let payload = match data.try_pack(&ov) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            first_err.get_or_insert(e.into());
+                            bytes::Bytes::from(vec![0u8; data.stream_size(&ov)])
+                        }
+                    };
                     comm.send(nrank, regrid_tag(REGRID_SCRATCH, spec.var, nidx, cidx), payload);
                 }
 
@@ -410,7 +520,14 @@ impl Regridder {
                     let comm = comm.expect("regrid: remote old data needs a Comm");
                     let old_level = hierarchy.level(target);
                     let src = old_level.local_by_index(oidx).expect("owner mismatch");
-                    let payload = src.data(spec.var).pack(&ov);
+                    let data = src.data(spec.var);
+                    let payload = match data.try_pack(&ov) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            first_err.get_or_insert(e.into());
+                            bytes::Bytes::from(vec![0u8; data.stream_size(&ov)])
+                        }
+                    };
                     comm.send(nrank, regrid_tag(REGRID_COPY, spec.var, nidx, oidx), payload);
                 }
             }
@@ -449,12 +566,20 @@ impl Regridder {
                             scratch.copy_from(src.data(spec.var), &ov);
                         } else {
                             let comm = comm.expect("regrid: remote coarse sources need a Comm");
-                            let payload = comm.recv(
+                            match comm.try_recv(
                                 c_rank,
                                 regrid_tag(REGRID_SCRATCH, spec.var, nidx, cidx),
                                 Category::Regrid,
-                            );
-                            scratch.unpack(&ov, &payload);
+                            ) {
+                                Ok(payload) => {
+                                    if let Err(e) = scratch.try_unpack(&ov, &payload) {
+                                        first_err.get_or_insert(e.into());
+                                    }
+                                }
+                                Err(e) => {
+                                    first_err.get_or_insert(e.into());
+                                }
+                            }
                         }
                     }
                 }
@@ -491,12 +616,20 @@ impl Regridder {
                         dst_data.copy_from(src.data(spec.var), &ov);
                     } else {
                         let comm = comm.expect("regrid: remote old data needs a Comm");
-                        let payload = comm.recv(
+                        match comm.try_recv(
                             o_rank,
                             regrid_tag(REGRID_COPY, spec.var, nidx, oidx),
                             Category::Regrid,
-                        );
-                        dst_data.unpack(&ov, &payload);
+                        ) {
+                            Ok(payload) => {
+                                if let Err(e) = dst_data.try_unpack(&ov, &payload) {
+                                    first_err.get_or_insert(e.into());
+                                }
+                            }
+                            Err(e) => {
+                                first_err.get_or_insert(e.into());
+                            }
+                        }
                     }
                 }
                 dst.data_mut(spec.var).set_time(time);
@@ -533,25 +666,29 @@ impl Regridder {
             new_level.adopt_view(view, rank);
         }
         hierarchy.install_level(target, new_level);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
-    /// [`refresh_partitioned_view`] with this driver's margins.
-    fn refresh_view(
+    /// [`try_refresh_partitioned_view`] with this driver's margins.
+    fn try_refresh_view(
         &self,
         hierarchy: &mut PatchHierarchy,
         level_no: usize,
         finer_override: Option<(&[GBox], &[usize])>,
         extra_interest: &[GBox],
         comm: Option<&Comm>,
-    ) {
-        refresh_partitioned_view(
+    ) -> Result<(), ExchangeError> {
+        try_refresh_partitioned_view(
             hierarchy,
             level_no,
             finer_override,
             extra_interest,
             self.params.margins,
             comm,
-        );
+        )
     }
 }
 
@@ -575,6 +712,24 @@ pub fn refresh_partitioned_view(
     margins: InterestMargins,
     comm: Option<&Comm>,
 ) {
+    try_refresh_partitioned_view(hierarchy, level_no, finer_override, extra_interest, margins, comm)
+        .unwrap_or_else(|e| panic!("regrid: {e}"))
+}
+
+/// Fault-aware [`refresh_partitioned_view`]: verification and transport
+/// faults surface as a typed [`ExchangeError`] instead of a panic. The
+/// verdict is collective — every rank returns `Err` together.
+///
+/// # Errors
+/// [`ExchangeError`] when the digest-verified exchange fails.
+pub fn try_refresh_partitioned_view(
+    hierarchy: &mut PatchHierarchy,
+    level_no: usize,
+    finer_override: Option<(&[GBox], &[usize])>,
+    extra_interest: &[GBox],
+    margins: InterestMargins,
+    comm: Option<&Comm>,
+) -> Result<(), ExchangeError> {
     let rank = hierarchy.rank();
     let owned: Vec<BoxRecord> =
         hierarchy.level(level_no).records().iter().filter(|&(_, _, o)| o == rank).collect();
@@ -606,9 +761,9 @@ pub fn refresh_partitioned_view(
     }
     let domain = hierarchy.level_domain(level_no);
     let ratio = hierarchy.level(level_no).ratio();
-    let view = exchange_level_view(comm, level_no, ratio, &domain, &owned, &spec, rank)
-        .unwrap_or_else(|e| panic!("regrid: {e}"));
+    let view = exchange_level_view(comm, level_no, ratio, &domain, &owned, &spec, rank)?;
     hierarchy.level_mut(level_no).adopt_view(view, rank);
+    Ok(())
 }
 
 /// Convert every level of the hierarchy to partitioned metadata — or
@@ -620,9 +775,27 @@ pub fn partition_hierarchy_metadata(
     margins: InterestMargins,
     comm: Option<&Comm>,
 ) {
+    try_partition_hierarchy_metadata(hierarchy, margins, comm)
+        .unwrap_or_else(|e| panic!("partition: {e}"));
+}
+
+/// Fault-aware [`partition_hierarchy_metadata`]: the first level whose
+/// digest-verified exchange fails surfaces as a typed
+/// [`ExchangeError`]. Each level's verdict is collective, so every rank
+/// aborts at the same level together — a restore/recovery path can call
+/// this under fault injection without risking divergent communication.
+///
+/// # Errors
+/// [`ExchangeError`] from the first failing level exchange.
+pub fn try_partition_hierarchy_metadata(
+    hierarchy: &mut PatchHierarchy,
+    margins: InterestMargins,
+    comm: Option<&Comm>,
+) -> Result<(), ExchangeError> {
     for l in 0..hierarchy.num_levels() {
-        refresh_partitioned_view(hierarchy, l, None, &[], margins, comm);
+        try_refresh_partitioned_view(hierarchy, l, None, &[], margins, comm)?;
     }
+    Ok(())
 }
 
 /// Does `hierarchy.level(target)` already have exactly this planned
@@ -660,32 +833,68 @@ fn owned_boxes_of(level: &PatchLevel, rank: usize) -> Vec<GBox> {
 
 /// All-ranks exchange of tagged cells: every rank contributes its local
 /// tags and receives the union (rank 0 gathers, then broadcasts).
-fn exchange_tags(comm: &Comm, local: &[IntVector]) -> Vec<IntVector> {
+///
+/// Clustering must be replicated — every rank needs the *same* tag set
+/// — so any rank's transport fault is turned into a collective verdict
+/// by a final agreement reduction: either every rank returns the same
+/// merged tags, or every rank returns `Err` together. A fault on the
+/// gather corrupts the union identically on all ranks (rank 0's merged
+/// stream is what everyone receives) but still fails the agreement; a
+/// fault on the broadcast leaves one rank with divergent tags, which the
+/// agreement likewise surfaces before anyone clusters against them.
+fn try_exchange_tags(comm: &Comm, local: &[IntVector]) -> Result<Vec<IntVector>, CommError> {
+    let mut first_err: Option<CommError> = None;
     let mut payload = Vec::with_capacity(local.len() * 16);
     for p in local {
         payload.extend_from_slice(&p.x.to_le_bytes());
         payload.extend_from_slice(&p.y.to_le_bytes());
     }
-    let gathered = comm.gather(0, bytes::Bytes::from(payload), Category::Regrid);
-    let merged = if let Some(parts) = gathered {
+    let gathered = match comm.try_gather(0, bytes::Bytes::from(payload), Category::Regrid) {
+        Ok(g) => g,
+        Err(e) => {
+            first_err.get_or_insert(e);
+            // The gather completed (run-through); rank 0 lost the parts
+            // and broadcasts an empty union to stay in lock-step.
+            (comm.rank() == 0).then(Vec::new)
+        }
+    };
+    let merged = if comm.rank() == 0 {
         let mut all = Vec::new();
-        for part in parts {
+        for part in gathered.unwrap_or_default() {
             all.extend_from_slice(&part);
         }
         Some(bytes::Bytes::from(all))
     } else {
         None
     };
-    // Rank 0 always holds `Some` here (it is the gather root), every
-    // other rank `None`, so the broadcast cannot misfire.
-    let all = comm.broadcast(0, merged, Category::Regrid).expect("tag exchange broadcast");
+    let all = match comm.broadcast(0, merged, Category::Regrid) {
+        Ok(b) => b,
+        Err(e) => {
+            first_err.get_or_insert(e);
+            bytes::Bytes::new()
+        }
+    };
+    // Agreement: every rank learns whether any rank faulted, so no rank
+    // clusters against tags its peers do not share.
+    let locally_ok = first_err.is_none();
+    let all_ok = match comm.try_allreduce_min(if locally_ok { 1.0 } else { 0.0 }, Category::Regrid)
+    {
+        Ok(v) => v >= 0.5,
+        Err(e) => {
+            first_err.get_or_insert(e);
+            false
+        }
+    };
+    if !all_ok {
+        return Err(first_err.unwrap_or(CommError::CollectiveFault { name: "tag-exchange" }));
+    }
     let mut out = Vec::with_capacity(all.len() / 16);
     for chunk in all.chunks_exact(16) {
         let x = i64::from_le_bytes(chunk[..8].try_into().expect("tag stream"));
         let y = i64::from_le_bytes(chunk[8..].try_into().expect("tag stream"));
         out.push(IntVector::new(x, y));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

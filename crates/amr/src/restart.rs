@@ -13,6 +13,86 @@ use crate::patchdata::PatchData;
 use rbamr_geometry::{Centring, GBox, IntVector};
 use std::collections::BTreeMap;
 
+/// A corrupt, truncated, or inconsistent restart stream.
+///
+/// Every decode path reports through this type instead of panicking: a
+/// damaged checkpoint file must surface as a recoverable error so the
+/// resilience driver can fall back to an older checkpoint (or report
+/// cleanly) rather than killing the job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The stream ended before a value was fully read.
+    ShortStream {
+        /// Byte offset at which more data was expected.
+        at: usize,
+    },
+    /// Bytes remain after the root database was decoded.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// An unknown value-type tag.
+    UnknownTag {
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A key was not valid UTF-8.
+    BadUtf8 {
+        /// Byte offset of the string.
+        at: usize,
+    },
+    /// A required key is missing from the database.
+    MissingKey {
+        /// The key.
+        key: String,
+    },
+    /// A key exists but holds the wrong type or shape.
+    Malformed {
+        /// The key.
+        key: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Reading the checkpoint file failed.
+    Io {
+        /// The I/O error rendered as text (keeps this type `Eq`).
+        detail: String,
+    },
+    /// A communication or data-movement fault interrupted a distributed
+    /// restore (the database itself was well-formed).
+    Exchange {
+        /// The underlying fault, rendered as text.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ShortStream { at } => write!(f, "restore: stream truncated at byte {at}"),
+            Self::TrailingBytes { extra } => {
+                write!(f, "restore: {extra} trailing bytes after the root database")
+            }
+            Self::UnknownTag { tag } => write!(f, "restore: unknown value tag {tag}"),
+            Self::BadUtf8 { at } => write!(f, "restore: invalid utf-8 key at byte {at}"),
+            Self::MissingKey { key } => write!(f, "restore: missing key {key:?}"),
+            Self::Malformed { key, expected } => {
+                write!(f, "restore: key {key:?} is not a well-formed {expected}")
+            }
+            Self::Io { detail } => write!(f, "restore: i/o failure: {detail}"),
+            Self::Exchange { detail } => write!(f, "restore: exchange fault: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<std::io::Error> for RestoreError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io { detail: e.to_string() }
+    }
+}
+
 /// A value in the database.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Value {
@@ -123,30 +203,49 @@ pub fn put_host_data(data: &HostData<f64>, db: &mut Database) {
 /// Reconstruct host data from a database (`getFromRestart`).
 ///
 /// # Panics
-/// Panics on missing or malformed entries — a corrupt checkpoint.
+/// Panics on missing or malformed entries — callers handling possibly
+/// corrupt checkpoints use [`try_get_host_data`] instead.
 pub fn get_host_data(db: &Database) -> HostData<f64> {
-    let b = db.get("box").and_then(|v| match v {
-        Value::VecI64(v) if v.len() == 4 => Some(GBox::from_coords(v[0], v[1], v[2], v[3])),
-        _ => None,
-    });
-    let g = db.get("ghosts").and_then(|v| match v {
-        Value::VecI64(v) if v.len() == 2 => Some(IntVector::new(v[0], v[1])),
-        _ => None,
-    });
+    try_get_host_data(db).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fault-tolerant [`get_host_data`]: every missing or malformed entry
+/// surfaces as a typed [`RestoreError`].
+pub fn try_get_host_data(db: &Database) -> Result<HostData<f64>, RestoreError> {
+    let missing = |key: &str| RestoreError::MissingKey { key: key.to_owned() };
+    let malformed = |key: &str, expected: &'static str| RestoreError::Malformed {
+        key: key.to_owned(),
+        expected,
+    };
+    let cell_box = match db.get("box").ok_or_else(|| missing("box"))? {
+        Value::VecI64(v) if v.len() == 4 => GBox::from_coords(v[0], v[1], v[2], v[3]),
+        _ => return Err(malformed("box", "4-element integer array")),
+    };
+    let ghosts = match db.get("ghosts").ok_or_else(|| missing("ghosts"))? {
+        Value::VecI64(v) if v.len() == 2 => IntVector::new(v[0], v[1]),
+        _ => return Err(malformed("ghosts", "2-element integer array")),
+    };
     let centring = match db.get_i64("centring") {
         Some(0) => Centring::Cell,
         Some(1) => Centring::Node,
         Some(c @ (2 | 3)) => Centring::Side((c - 2) as usize),
-        other => panic!("restart: bad centring {other:?}"),
+        Some(_) => return Err(malformed("centring", "centring code 0..=3")),
+        None => return Err(missing("centring")),
     };
-    let cell_box = b.expect("restart: missing box");
-    let ghosts = g.expect("restart: missing ghosts");
+    if cell_box.is_empty() {
+        return Err(malformed("box", "non-empty cell box"));
+    }
+    if ghosts.x < 0 || ghosts.y < 0 {
+        return Err(malformed("ghosts", "non-negative ghost width"));
+    }
     let mut data = HostData::new(cell_box, ghosts, centring);
-    let values = db.get_vec_f64("values").expect("restart: missing values");
-    assert_eq!(values.len(), data.as_slice().len(), "restart: value count mismatch");
+    let values = db.get_vec_f64("values").ok_or_else(|| missing("values"))?;
+    if values.len() != data.as_slice().len() {
+        return Err(malformed("values", "value array matching the data box"));
+    }
     data.as_mut_slice().copy_from_slice(values);
     data.set_time(db.get_f64("time").unwrap_or(0.0));
-    data
+    Ok(data)
 }
 
 /// Binary wire/file format for databases: a tiny self-describing
@@ -162,13 +261,17 @@ impl Database {
 
     /// Deserialise from bytes produced by [`Database::to_bytes`].
     ///
-    /// # Panics
-    /// Panics on malformed input — a corrupt checkpoint file.
-    pub fn from_bytes(bytes: &[u8]) -> Database {
+    /// # Errors
+    /// A typed [`RestoreError`] on truncated, trailing, or otherwise
+    /// malformed input — corrupt checkpoints must be recoverable, not
+    /// fatal.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Database, RestoreError> {
         let mut cursor = 0usize;
-        let db = read_db(bytes, &mut cursor);
-        assert_eq!(cursor, bytes.len(), "restart: trailing bytes in stream");
-        db
+        let db = read_db(bytes, &mut cursor)?;
+        if cursor != bytes.len() {
+            return Err(RestoreError::TrailingBytes { extra: bytes.len() - cursor });
+        }
+        Ok(db)
     }
 
     /// Write the database to a file.
@@ -182,9 +285,10 @@ impl Database {
     /// Read a database from a file written by [`Database::save`].
     ///
     /// # Errors
-    /// Propagates I/O errors; panics on corrupt content.
-    pub fn load(path: &std::path::Path) -> std::io::Result<Database> {
-        Ok(Database::from_bytes(&std::fs::read(path)?))
+    /// [`RestoreError::Io`] when the file cannot be read; decode errors
+    /// on corrupt content.
+    pub fn load(path: &std::path::Path) -> Result<Database, RestoreError> {
+        Database::from_bytes(&std::fs::read(path)?)
     }
 }
 
@@ -232,48 +336,72 @@ fn write_db(db: &Database, out: &mut Vec<u8>) {
     }
 }
 
-fn read_u64(bytes: &[u8], cursor: &mut usize) -> u64 {
-    let v =
-        u64::from_le_bytes(bytes[*cursor..*cursor + 8].try_into().expect("restart: short stream"));
-    *cursor += 8;
-    v
+fn read_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64, RestoreError> {
+    let end = cursor.checked_add(8).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(RestoreError::ShortStream { at: *cursor });
+    };
+    let v = u64::from_le_bytes(bytes[*cursor..end].try_into().unwrap());
+    *cursor = end;
+    Ok(v)
 }
 
-fn read_str(bytes: &[u8], cursor: &mut usize) -> String {
-    let len = read_u64(bytes, cursor) as usize;
-    let s = std::str::from_utf8(&bytes[*cursor..*cursor + len]).expect("restart: bad utf8");
-    *cursor += len;
-    s.to_owned()
+fn read_str(bytes: &[u8], cursor: &mut usize) -> Result<String, RestoreError> {
+    let len = read_u64(bytes, cursor)? as usize;
+    let end = cursor.checked_add(len).filter(|&e| e <= bytes.len());
+    let Some(end) = end else {
+        return Err(RestoreError::ShortStream { at: *cursor });
+    };
+    let s = std::str::from_utf8(&bytes[*cursor..end])
+        .map_err(|_| RestoreError::BadUtf8 { at: *cursor })?;
+    *cursor = end;
+    Ok(s.to_owned())
 }
 
-fn read_db(bytes: &[u8], cursor: &mut usize) -> Database {
-    let n = read_u64(bytes, cursor);
+fn read_db(bytes: &[u8], cursor: &mut usize) -> Result<Database, RestoreError> {
+    let n = read_u64(bytes, cursor)?;
     let mut db = Database::new();
     for _ in 0..n {
-        let key = read_str(bytes, cursor);
-        let tag = bytes[*cursor];
+        let key = read_str(bytes, cursor)?;
+        let Some(&tag) = bytes.get(*cursor) else {
+            return Err(RestoreError::ShortStream { at: *cursor });
+        };
         *cursor += 1;
         let value = match tag {
-            0 => {
-                let v = f64::from_bits(read_u64(bytes, cursor));
-                Value::F64(v)
-            }
-            1 => Value::I64(read_u64(bytes, cursor) as i64),
-            2 => Value::Str(read_str(bytes, cursor)),
+            0 => Value::F64(f64::from_bits(read_u64(bytes, cursor)?)),
+            1 => Value::I64(read_u64(bytes, cursor)? as i64),
+            2 => Value::Str(read_str(bytes, cursor)?),
             3 => {
-                let len = read_u64(bytes, cursor) as usize;
-                Value::VecF64((0..len).map(|_| f64::from_bits(read_u64(bytes, cursor))).collect())
+                let len = read_u64(bytes, cursor)? as usize;
+                // Pre-check against the remaining bytes so a corrupted
+                // (huge) length fails cleanly instead of attempting an
+                // absurd allocation.
+                if bytes.len() - *cursor < len.saturating_mul(8) {
+                    return Err(RestoreError::ShortStream { at: *cursor });
+                }
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(f64::from_bits(read_u64(bytes, cursor)?));
+                }
+                Value::VecF64(v)
             }
             4 => {
-                let len = read_u64(bytes, cursor) as usize;
-                Value::VecI64((0..len).map(|_| read_u64(bytes, cursor) as i64).collect())
+                let len = read_u64(bytes, cursor)? as usize;
+                if bytes.len() - *cursor < len.saturating_mul(8) {
+                    return Err(RestoreError::ShortStream { at: *cursor });
+                }
+                let mut v = Vec::with_capacity(len);
+                for _ in 0..len {
+                    v.push(read_u64(bytes, cursor)? as i64);
+                }
+                Value::VecI64(v)
             }
-            5 => Value::Db(read_db(bytes, cursor)),
-            other => panic!("restart: unknown tag {other}"),
+            5 => Value::Db(read_db(bytes, cursor)?),
+            other => return Err(RestoreError::UnknownTag { tag: other }),
         };
         db.put(&key, value);
     }
-    db
+    Ok(db)
 }
 
 #[cfg(test)]
@@ -333,7 +461,7 @@ mod tests {
         db.child("nested").put("deep", Value::F64(7.0));
         db.child("nested").child("deeper").put("x", Value::I64(1));
         let bytes = db.to_bytes();
-        let back = Database::from_bytes(&bytes);
+        let back = Database::from_bytes(&bytes).unwrap();
         assert_eq!(back, db);
     }
 
@@ -349,12 +477,69 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "trailing bytes")]
-    fn corrupt_stream_rejected() {
+    fn trailing_bytes_are_a_typed_error() {
         let db = Database::new();
         let mut bytes = db.to_bytes();
         bytes.push(0xFF);
-        Database::from_bytes(&bytes);
+        assert_eq!(Database::from_bytes(&bytes), Err(RestoreError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let mut db = Database::new();
+        db.put("dt", Value::F64(0.25));
+        db.put("name", Value::Str("sod".into()));
+        db.put("xs", Value::VecF64(vec![1.0, 2.0]));
+        db.put("is", Value::VecI64(vec![3, 4]));
+        db.child("nested").put("x", Value::I64(7));
+        let bytes = db.to_bytes();
+        for cut in 0..bytes.len() {
+            let err =
+                Database::from_bytes(&bytes[..cut]).expect_err("truncated stream must not decode");
+            assert!(
+                matches!(err, RestoreError::ShortStream { .. }),
+                "cut at {cut}: expected ShortStream, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected_or_decodes_cleanly() {
+        let mut db = Database::new();
+        db.put("dt", Value::F64(0.25));
+        db.put("name", Value::Str("sod".into()));
+        db.put("xs", Value::VecF64(vec![1.0, 2.0]));
+        db.child("nested").put("x", Value::I64(7));
+        let bytes = db.to_bytes();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[pos] ^= 1 << bit;
+                // A flip may corrupt a value without breaking framing
+                // (then it decodes, possibly to different content) or
+                // break framing (then it must be a typed error, never a
+                // panic). Either way the call below must return.
+                let _ = Database::from_bytes(&flipped);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_a_typed_error() {
+        let mut db = Database::new();
+        db.put("k", Value::I64(1));
+        let mut bytes = db.to_bytes();
+        // Layout: count u64, key len u64, key "k", tag byte.
+        let tag_at = 8 + 8 + 1;
+        bytes[tag_at] = 9;
+        assert_eq!(Database::from_bytes(&bytes), Err(RestoreError::UnknownTag { tag: 9 }));
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = Database::load(std::path::Path::new("/nonexistent/rbamr_restart_missing.bin"))
+            .expect_err("missing file must not load");
+        assert!(matches!(err, RestoreError::Io { .. }));
     }
 
     #[test]

@@ -31,14 +31,54 @@
 use crate::boundary::PhysicalBoundary;
 use crate::hierarchy::PatchHierarchy;
 use crate::ops::{CoarsenOperator, RefineOperator};
-use crate::patchdata::PatchData;
+use crate::patchdata::{PatchData, PatchDataError};
 use crate::variable::{VariableId, VariableRegistry};
 use rbamr_geometry::{
     copy_overlap, ghost_overlaps, BoxIndex, BoxList, BoxOverlap, Centring, GBox, IntVector,
 };
-use rbamr_netsim::Comm;
+use rbamr_netsim::{Comm, CommError};
 use rbamr_perfmodel::Category;
 use std::sync::Arc;
+
+/// A fault detected while executing a schedule.
+///
+/// Schedule execution is *run-through*: the first fault is recorded and
+/// the rest of the communication pattern still executes (placeholder
+/// payloads keep senders and receivers in lock-step), so every rank
+/// finishes the exchange and the step can fail collectively at its
+/// commit point instead of deadlocking mid-pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A message-level fault (drop/corrupt/collective) from the
+    /// communicator.
+    Comm(CommError),
+    /// A pack/unpack fault from the data layer (device allocation or
+    /// staging-transfer failure).
+    Data(PatchDataError),
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Comm(e) => write!(f, "schedule comm fault: {e}"),
+            Self::Data(e) => write!(f, "schedule data fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+impl From<CommError> for ScheduleError {
+    fn from(e: CommError) -> Self {
+        Self::Comm(e)
+    }
+}
+
+impl From<PatchDataError> for ScheduleError {
+    fn from(e: PatchDataError) -> Self {
+        Self::Data(e)
+    }
+}
 
 /// What to fill for one variable in a refine schedule.
 pub struct FillSpec {
@@ -857,6 +897,10 @@ impl RefineSchedule {
     ///
     /// `comm` is required when the schedule contains remote plans;
     /// single-rank runs pass `None`. Time is charged to `category`.
+    ///
+    /// # Panics
+    /// Panics on an injected fault — fault-aware callers use
+    /// [`RefineSchedule::try_fill`] and roll the step back instead.
     pub fn fill(
         &self,
         hierarchy: &mut PatchHierarchy,
@@ -866,6 +910,24 @@ impl RefineSchedule {
         time: f64,
         category: Category,
     ) {
+        self.try_fill(hierarchy, registry, physical, comm, time, category)
+            .unwrap_or_else(|e| panic!("refine fill: unhandled injected fault: {e}"));
+    }
+
+    /// Fault-aware [`RefineSchedule::fill`]: a detected fault is
+    /// reported after the whole communication pattern has executed
+    /// (faulty plans fill with placeholder bytes), so no rank is left
+    /// blocked on this rank's messages. On `Err` the filled data is
+    /// unusable and the caller must roll back.
+    pub fn try_fill(
+        &self,
+        hierarchy: &mut PatchHierarchy,
+        registry: &VariableRegistry,
+        physical: &dyn PhysicalBoundary,
+        comm: Option<&Comm>,
+        time: f64,
+        category: Category,
+    ) -> Result<(), ScheduleError> {
         let _span = hierarchy.recorder().is_enabled().then(|| {
             let rec = hierarchy.recorder();
             rec.count("amr.refine_fills", 1);
@@ -889,12 +951,16 @@ impl RefineSchedule {
         //    order is identical on every rank — it is derived from the
         //    globally replicated level metadata — so sender packing
         //    order and receiver slicing order agree by construction.
+        let mut first_err: Option<ScheduleError> = None;
         let mut cf_stash: std::collections::HashMap<(VariableId, usize, usize), bytes::Bytes> =
             std::collections::HashMap::new();
         if !self.sends.is_empty() || !self.recvs.is_empty() {
             let comm = comm.expect("RefineSchedule: remote plans need a Comm");
             let agg_tag = (KIND_AGG_FILL << 60) | self.level_no as u64;
-            // Pack per destination rank, in plan order.
+            // Pack per destination rank, in plan order. A pack fault
+            // appends a placeholder of the exact stream size so the
+            // receiver's slicing stays aligned; the bad values are
+            // discarded with the step at rollback.
             let mut outgoing: std::collections::BTreeMap<usize, Vec<u8>> =
                 std::collections::BTreeMap::new();
             for plan in &self.sends {
@@ -907,20 +973,39 @@ impl RefineSchedule {
                 let src = &mut src_level.local_mut()[pos];
                 let data = src.data_mut(plan.var);
                 data.set_transfer_category(category);
-                let payload = data.pack(&plan.overlap);
-                outgoing.entry(plan.dst_rank).or_default().extend_from_slice(&payload);
+                let size = data.stream_size(&plan.overlap);
+                match data.try_pack(&plan.overlap) {
+                    Ok(payload) => {
+                        outgoing.entry(plan.dst_rank).or_default().extend_from_slice(&payload);
+                    }
+                    Err(e) => {
+                        let v = outgoing.entry(plan.dst_rank).or_default();
+                        let padded = v.len() + size;
+                        v.resize(padded, 0u8);
+                        first_err.get_or_insert(ScheduleError::Data(e));
+                    }
+                }
             }
             for (dst_rank, stream) in outgoing {
                 comm.send(dst_rank, agg_tag, bytes::Bytes::from(stream));
             }
             // Receive one stream per source rank and slice it in plan
-            // order.
-            let mut incoming: std::collections::HashMap<usize, (bytes::Bytes, usize)> =
+            // order. A faulty stream (dropped/corrupt frame) is noted
+            // and its plans are skipped — the frame was consumed, so
+            // later messages still line up.
+            let mut incoming: std::collections::HashMap<usize, (Option<bytes::Bytes>, usize)> =
                 std::collections::HashMap::new();
             for plan in &self.recvs {
-                let (stream, cursor) = incoming
-                    .entry(plan.src_rank)
-                    .or_insert_with(|| (comm.recv(plan.src_rank, agg_tag, category), 0));
+                let (stream, cursor) = incoming.entry(plan.src_rank).or_insert_with(|| match comm
+                    .try_recv(plan.src_rank, agg_tag, category)
+                {
+                    Ok(b) => (Some(b), 0),
+                    Err(e) => {
+                        first_err.get_or_insert(ScheduleError::Comm(e));
+                        (None, 0)
+                    }
+                });
+                let Some(stream) = stream else { continue };
                 let level = hierarchy.level(self.level_no);
                 let pos = local_pos(level, plan.dst_idx);
                 let dst = &level.local()[pos];
@@ -935,7 +1020,9 @@ impl RefineSchedule {
                     let dst = &mut level.local_mut()[pos];
                     let data = dst.data_mut(plan.var);
                     data.set_transfer_category(category);
-                    data.unpack(&plan.overlap, &slice);
+                    if let Err(e) = data.try_unpack(&plan.overlap, &slice) {
+                        first_err.get_or_insert(ScheduleError::Data(e));
+                    }
                 }
             }
         }
@@ -954,10 +1041,16 @@ impl RefineSchedule {
                 }
             }
             for (cidx, ov) in &plan.remote_sources {
-                let payload = cf_stash
-                    .remove(&(plan.var, plan.dst_idx, *cidx))
-                    .expect("coarse-fine payload missing from aggregated stream");
-                scratch.unpack(ov, &payload);
+                // A payload can be missing only when its stream was
+                // faulty (recorded above); skip — the scratch holds
+                // stale values and the step rolls back anyway.
+                let Some(payload) = cf_stash.remove(&(plan.var, plan.dst_idx, *cidx)) else {
+                    debug_assert!(first_err.is_some(), "payload missing without a recorded fault");
+                    continue;
+                };
+                if let Err(e) = scratch.try_unpack(ov, &payload) {
+                    first_err.get_or_insert(ScheduleError::Data(e));
+                }
             }
             extend_scratch(scratch.as_mut(), &plan.covered);
             let ratio = hierarchy.ratio_to_coarser(self.level_no);
@@ -985,6 +1078,10 @@ impl RefineSchedule {
             for &v in &self.vars {
                 p.data_mut(v).set_time(time);
             }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 }
@@ -1140,6 +1237,10 @@ impl CoarsenSchedule {
 
     /// Execute the synchronisation. Time is charged to `category`
     /// (the paper's "Synchronisation" component).
+    ///
+    /// # Panics
+    /// Panics on an injected fault — fault-aware callers use
+    /// [`CoarsenSchedule::try_run`] and roll the step back instead.
     pub fn run(
         &self,
         hierarchy: &mut PatchHierarchy,
@@ -1147,6 +1248,19 @@ impl CoarsenSchedule {
         comm: Option<&Comm>,
         category: Category,
     ) {
+        self.try_run(hierarchy, registry, comm, category)
+            .unwrap_or_else(|e| panic!("coarsen sync: unhandled injected fault: {e}"));
+    }
+
+    /// Fault-aware [`CoarsenSchedule::run`] with run-through semantics
+    /// (see [`RefineSchedule::try_fill`]).
+    pub fn try_run(
+        &self,
+        hierarchy: &mut PatchHierarchy,
+        registry: &VariableRegistry,
+        comm: Option<&Comm>,
+        category: Category,
+    ) -> Result<(), ScheduleError> {
         let _span = hierarchy.recorder().is_enabled().then(|| {
             let rec = hierarchy.recorder();
             rec.count("amr.coarsen_syncs", 1);
@@ -1154,6 +1268,7 @@ impl CoarsenSchedule {
         });
         let rank = hierarchy.rank();
         let ratio = hierarchy.ratio_to_coarser(self.fine_level_no);
+        let mut first_err: Option<ScheduleError> = None;
         // Phase 1: fine owners coarsen into scratch and either apply
         // locally or append to the aggregated per-rank stream (one
         // message per rank pair; plan order is globally deterministic).
@@ -1180,8 +1295,19 @@ impl CoarsenSchedule {
                 local_results.push((plan.coarse_idx, plan, scratch));
             } else {
                 let ov = copy_overlap(plan.region, plan.region, centring);
-                let payload = scratch.pack(&ov);
-                outgoing.entry(plan.coarse_rank).or_default().extend_from_slice(&payload);
+                match scratch.try_pack(&ov) {
+                    Ok(payload) => {
+                        outgoing.entry(plan.coarse_rank).or_default().extend_from_slice(&payload);
+                    }
+                    Err(e) => {
+                        // Placeholder of the exact stream size keeps the
+                        // receiver's slicing aligned (see try_fill).
+                        let v = outgoing.entry(plan.coarse_rank).or_default();
+                        let padded = v.len() + scratch.stream_size(&ov);
+                        v.resize(padded, 0u8);
+                        first_err.get_or_insert(ScheduleError::Data(e));
+                    }
+                }
             }
         }
         if let Some(comm) = comm {
@@ -1204,9 +1330,9 @@ impl CoarsenSchedule {
             data.copy_from(scratch.as_ref(), &ov);
         }
         // Phase 3: receive the aggregated remote results and slice them
-        // in plan order.
+        // in plan order. Faulty streams are skipped (see try_fill).
         let agg_tag = (KIND_AGG_SYNC << 60) | self.fine_level_no as u64;
-        let mut incoming: std::collections::HashMap<usize, (bytes::Bytes, usize)> =
+        let mut incoming: std::collections::HashMap<usize, (Option<bytes::Bytes>, usize)> =
             std::collections::HashMap::new();
         for plan in &self.plans {
             if plan.coarse_rank != rank || plan.fine_rank == rank {
@@ -1219,9 +1345,16 @@ impl CoarsenSchedule {
                 shift: IntVector::ZERO,
                 centring,
             };
-            let (stream, cursor) = incoming
-                .entry(plan.fine_rank)
-                .or_insert_with(|| (comm.recv(plan.fine_rank, agg_tag, category), 0));
+            let (stream, cursor) = incoming.entry(plan.fine_rank).or_insert_with(|| {
+                match comm.try_recv(plan.fine_rank, agg_tag, category) {
+                    Ok(b) => (Some(b), 0),
+                    Err(e) => {
+                        first_err.get_or_insert(ScheduleError::Comm(e));
+                        (None, 0)
+                    }
+                }
+            });
+            let Some(stream) = stream else { continue };
             let size = ov.num_values() as usize * 8;
             let payload = stream.slice(*cursor..*cursor + size);
             *cursor += size;
@@ -1230,7 +1363,13 @@ impl CoarsenSchedule {
             let dst = &mut coarse.local_mut()[pos];
             let data = dst.data_mut(plan.var);
             data.set_transfer_category(category);
-            data.unpack(&ov, &payload);
+            if let Err(e) = data.try_unpack(&ov, &payload) {
+                first_err.get_or_insert(ScheduleError::Data(e));
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 }

@@ -10,7 +10,7 @@
 
 use proptest::prelude::*;
 use rbamr_amr::ops::{ConservativeCellRefine, LinearNodeRefine, VolumeWeightedCoarsen};
-use rbamr_amr::partition::{exchange_level_view_with_tamper, BoxRecord};
+use rbamr_amr::partition::{BoxRecord, ExchangeError};
 use rbamr_amr::regrid::{CellTagger, TransferSpec};
 use rbamr_amr::schedule::{CoarsenSpec, FillSpec};
 use rbamr_amr::tagging::TagBitmap;
@@ -327,48 +327,65 @@ fn regrids_keep_partitioned_twin_identical() {
     }
 }
 
-/// One rank's corrupted exchange surfaces as a typed divergence error
-/// on *every* rank — no hang, no silently divergent view.
+/// One rank's injected metadata corruption surfaces as a typed
+/// divergence error on *every* rank — no hang, no silently divergent
+/// view — and the same seed reproduces the same fault sites.
 #[test]
-fn tampered_exchange_fails_on_every_rank() {
+fn corrupted_exchange_fails_on_every_rank() {
+    use rbamr_netsim::{FaultKind, FaultPlan, FaultRule};
     let nranks = 4;
-    let cluster = Cluster::new(Machine::ipa_cpu_node());
-    let results = cluster.run(nranks, |comm| {
-        let rank = comm.rank();
-        let boxes = masked_tiles(0xffff, 4, 8);
-        let owners: Vec<usize> = (0..boxes.len()).map(|i| i % comm.size()).collect();
-        let owned: Vec<BoxRecord> = boxes
-            .iter()
-            .zip(&owners)
-            .enumerate()
-            .filter(|&(_, (_, &o))| o == rank)
-            .map(|(i, (&bx, &o))| (i, bx, o))
-            .collect();
-        let owned_boxes: Vec<GBox> = owned.iter().map(|&(_, bx, _)| bx).collect();
-        let spec = interest_for_level(&owned_boxes, None, None, InterestMargins::default());
-        let domain = BoxList::from_box(b(0, 0, 32, 32));
-        exchange_level_view_with_tamper(
-            Some(&comm),
-            0,
-            IntVector::ONE,
-            &domain,
-            &owned,
-            &spec,
-            rank,
-            |recs: &mut Vec<BoxRecord>| {
-                if rank == 2 {
-                    // Corrupt one received record's box.
-                    recs[0].1 = recs[0].1.grow(IntVector::ONE);
+    let plan = FaultPlan {
+        seed: 0xC0FFEE,
+        rules: vec![FaultRule::once_on(FaultKind::MetadataCorrupt, 2, 0)],
+    };
+    let run_once = || {
+        let cluster = Cluster::new(Machine::ipa_cpu_node()).with_fault_plan(plan.clone());
+        cluster.run(nranks, |comm| {
+            let rank = comm.rank();
+            let boxes = masked_tiles(0xffff, 4, 8);
+            let owners: Vec<usize> = (0..boxes.len()).map(|i| i % comm.size()).collect();
+            let owned: Vec<BoxRecord> = boxes
+                .iter()
+                .zip(&owners)
+                .enumerate()
+                .filter(|&(_, (_, &o))| o == rank)
+                .map(|(i, (&bx, &o))| (i, bx, o))
+                .collect();
+            let owned_boxes: Vec<GBox> = owned.iter().map(|&(_, bx, _)| bx).collect();
+            let spec = interest_for_level(&owned_boxes, None, None, InterestMargins::default());
+            let domain = BoxList::from_box(b(0, 0, 32, 32));
+            let out = rbamr_amr::exchange_level_view(
+                Some(&comm),
+                0,
+                IntVector::ONE,
+                &domain,
+                &owned,
+                &spec,
+                rank,
+            );
+            (out, comm.fault_injector().expect("injector attached").report())
+        })
+    };
+    let first = run_once();
+    for r in &first {
+        let (out, _) = &r.value;
+        match out.as_ref().expect_err("corrupted exchange must fail on every rank") {
+            ExchangeError::Divergence(err) => {
+                assert_eq!(err.level_no, 0);
+                if r.rank == 2 {
+                    assert_ne!(
+                        err.observed_digest, err.expected_digest,
+                        "rank 2 saw the corruption"
+                    );
                 }
-            },
-        )
-    });
-    for r in &results {
-        let err = r.value.as_ref().expect_err("tampered exchange must fail on every rank");
-        assert_eq!(err.level_no, 0);
-        if r.rank == 2 {
-            assert_ne!(err.observed_digest, err.expected_digest, "rank 2 saw the corruption");
+            }
+            other => panic!("expected divergence, got {other}"),
         }
+    }
+    // Determinism: the same seed reproduces identical fault reports.
+    let second = run_once();
+    for (a, c) in first.iter().zip(&second) {
+        assert_eq!(a.value.1, c.value.1, "rank {}: fault reports must reproduce", a.rank);
     }
 }
 
@@ -403,26 +420,20 @@ fn exchange_edge_cases() {
         }
     }
 
-    // Single-rank tamper: typed error even with no peers to disagree with.
-    let cluster = Cluster::new(Machine::ipa_cpu_node());
+    // Single-rank injected corruption: typed error even with no peers
+    // to disagree with.
+    use rbamr_netsim::{FaultKind, FaultPlan, FaultRule};
+    let plan = FaultPlan { seed: 11, rules: vec![FaultRule::once(FaultKind::MetadataCorrupt, 0)] };
+    let cluster = Cluster::new(Machine::ipa_cpu_node()).with_fault_plan(plan);
     let results = cluster.run(1, |comm| {
         let boxes = vec![b(0, 0, 16, 16), b(16, 0, 32, 16)];
         let owned: Vec<BoxRecord> = boxes.iter().enumerate().map(|(i, &bx)| (i, bx, 0)).collect();
         let spec = interest_for_level(&boxes, None, None, InterestMargins::default());
         let domain = BoxList::from_box(b(0, 0, 32, 32));
-        exchange_level_view_with_tamper(
-            Some(&comm),
-            0,
-            IntVector::ONE,
-            &domain,
-            &owned,
-            &spec,
-            0,
-            |recs: &mut Vec<BoxRecord>| {
-                recs.pop();
-            },
-        )
+        rbamr_amr::exchange_level_view(Some(&comm), 0, IntVector::ONE, &domain, &owned, &spec, 0)
     });
-    let err = results[0].value.as_ref().expect_err("single-rank tamper must fail");
-    assert_eq!(err.rank, 0);
+    match results[0].value.as_ref().expect_err("single-rank corruption must fail") {
+        ExchangeError::Divergence(err) => assert_eq!(err.rank, 0),
+        other => panic!("expected divergence, got {other}"),
+    }
 }

@@ -1,0 +1,480 @@
+//! Chaos harness: seeded fault schedules against the resilient Sod run.
+//!
+//! Runs 21 deterministic fault schedules (plus per-placement fault-free
+//! baselines) on a small Sod deck at 2 ranks and checks, per schedule:
+//!
+//! * **recoverable** schedules complete and their per-rank final-state
+//!   digests are bitwise identical to the fault-free baseline at the
+//!   same placement;
+//! * **degrading** schedules (persistent device faults) complete after
+//!   walking Device → DeviceCopyBack → Host, and their digests match
+//!   the *host* baseline (the last degradation step trades the device
+//!   for survival, and host physics is the reference);
+//! * **unrecoverable** schedules end in a typed
+//!   [`ResilienceError::RetriesExhausted`] on *every* rank;
+//! * every schedule, rerun with the same seed, reproduces identical
+//!   fault sites, recovery counters and digests.
+//!
+//! The run emits a JSON artifact (default `target/chaos_bench.json`,
+//! override with `--json <path>`) for CI to archive, and exits
+//! non-zero if any gate fails.
+
+use rbamr_hydro::{
+    Placement, RecoveryPolicy, RecoveryStats, ResilienceError, ResilientSim, SimSpec,
+};
+use rbamr_netsim::{Cluster, FaultKind, FaultPlan, FaultReport, FaultRule};
+use rbamr_perfmodel::Machine;
+use rbamr_problems::deck::parse_deck;
+use rbamr_telemetry::Recorder;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const RANKS: usize = 2;
+const STEPS: usize = 8;
+
+/// The Sod deck driving every chaos run, carrying the resilience keys.
+const CHAOS_DECK: &str = "
+*clover
+ state 1 density=0.125 energy=2.0
+ state 2 density=1.0 energy=2.5 geometry=rectangle xmin=0.0 xmax=0.5 ymin=0.0 ymax=1.0
+ x_cells=24
+ y_cells=24
+ max_levels=2
+ end_step=8
+ checkpoint_interval=5
+ max_retries=4
+*endclover
+";
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Expectation {
+    /// Completes; digests match the same-placement baseline.
+    Recoverable,
+    /// Completes by degrading to the host; digests match the host
+    /// baseline.
+    DegradesToHost,
+    /// Every rank reports `RetriesExhausted`.
+    Unrecoverable,
+}
+
+impl Expectation {
+    fn name(self) -> &'static str {
+        match self {
+            Self::Recoverable => "recoverable",
+            Self::DegradesToHost => "degrades_to_host",
+            Self::Unrecoverable => "unrecoverable",
+        }
+    }
+}
+
+struct Schedule {
+    name: &'static str,
+    seed: u64,
+    placement: Placement,
+    rules: Vec<FaultRule>,
+    expectation: Expectation,
+}
+
+/// The ≥20 seeded fault schedules. Occurrence indices are chosen to
+/// land inside the run (the 2-rank 8-step Sod run evaluates ~50+
+/// point-to-point and ~34 collective sites per rank).
+fn schedules() -> Vec<Schedule> {
+    use Expectation::{DegradesToHost, Recoverable, Unrecoverable};
+    use FaultKind::{AllocFail, CollectiveFault, CopyFail, MsgCorrupt, MsgDelay, MsgDrop};
+    let host = Placement::Host;
+    let device = Placement::Device;
+    let mut out = Vec::new();
+    let mut add = |name, seed, placement, rules, expectation| {
+        out.push(Schedule { name, seed, placement, rules, expectation });
+    };
+
+    // Transient collective faults at different points of the run.
+    add(
+        "collective_early_r0",
+        101,
+        host,
+        vec![FaultRule::once_on(CollectiveFault, 0, 2)],
+        Recoverable,
+    );
+    add(
+        "collective_mid_r0",
+        102,
+        host,
+        vec![FaultRule::once_on(CollectiveFault, 0, 12)],
+        Recoverable,
+    );
+    add(
+        "collective_late_r1",
+        103,
+        host,
+        vec![FaultRule::once_on(CollectiveFault, 1, 25)],
+        Recoverable,
+    );
+    add("collective_both_ranks", 104, host, vec![FaultRule::once(CollectiveFault, 8)], Recoverable);
+    add(
+        "collective_double_r0",
+        105,
+        host,
+        vec![FaultRule::once_on(CollectiveFault, 0, 6), FaultRule::once_on(CollectiveFault, 0, 20)],
+        Recoverable,
+    );
+
+    // Transient point-to-point faults.
+    add("msg_drop_early_r0", 201, host, vec![FaultRule::once_on(MsgDrop, 0, 5)], Recoverable);
+    add("msg_drop_late_r0", 202, host, vec![FaultRule::once_on(MsgDrop, 0, 40)], Recoverable);
+    add("msg_corrupt_r1", 203, host, vec![FaultRule::once_on(MsgCorrupt, 1, 30)], Recoverable);
+    add("msg_corrupt_both", 204, host, vec![FaultRule::once(MsgCorrupt, 15)], Recoverable);
+    add(
+        "msg_drop_burst_r1",
+        205,
+        host,
+        vec![FaultRule {
+            kind: MsgDrop,
+            ranks: Some(vec![1]),
+            after: 20,
+            count: 3,
+            probability: 1.0,
+        }],
+        Recoverable,
+    );
+
+    // Delays perturb virtual time only — no error, no rollback.
+    add(
+        "msg_delay_persistent",
+        301,
+        host,
+        vec![FaultRule {
+            kind: MsgDelay,
+            ranks: None,
+            after: 0,
+            count: u64::MAX,
+            probability: 1.0,
+        }],
+        Recoverable,
+    );
+    add(
+        "msg_delay_random",
+        302,
+        host,
+        vec![FaultRule {
+            kind: MsgDelay,
+            ranks: None,
+            after: 0,
+            count: u64::MAX,
+            probability: 0.3,
+        }],
+        Recoverable,
+    );
+
+    // Mixed transient schedules.
+    add(
+        "mixed_drop_collective",
+        401,
+        host,
+        vec![FaultRule::once_on(MsgDrop, 0, 10), FaultRule::once_on(CollectiveFault, 1, 22)],
+        Recoverable,
+    );
+    add(
+        "mixed_corrupt_drop",
+        402,
+        host,
+        vec![FaultRule::once_on(MsgCorrupt, 1, 45), FaultRule::once_on(MsgDrop, 1, 60)],
+        Recoverable,
+    );
+    // A random 10% corruption rate over a bounded window: rollbacks
+    // advance the occurrence counters past the window, so recovery
+    // always out-runs it (an unbounded 10% rate would statistically
+    // corrupt every retry, including the restores, and exhaust the
+    // budget).
+    add(
+        "random_corrupt_p10_window",
+        403,
+        host,
+        vec![FaultRule { kind: MsgCorrupt, ranks: None, after: 10, count: 30, probability: 0.1 }],
+        Recoverable,
+    );
+
+    // Transient device faults retry in place (strikes stay below the
+    // degradation threshold), so the device digest gate still applies.
+    add(
+        "alloc_fail_transient",
+        501,
+        device,
+        vec![FaultRule::once_on(AllocFail, 0, 50)],
+        Recoverable,
+    );
+    add("copy_fail_transient", 502, device, vec![FaultRule::once_on(CopyFail, 0, 30)], Recoverable);
+
+    // Persistent device faults force the full degradation walk.
+    add(
+        "alloc_fail_persistent",
+        601,
+        device,
+        vec![FaultRule::persistent(AllocFail, 0, 0)],
+        DegradesToHost,
+    );
+    add(
+        "copy_fail_persistent",
+        602,
+        device,
+        vec![FaultRule::persistent(CopyFail, 0, 0)],
+        DegradesToHost,
+    );
+
+    // Persistent collective faults cannot be out-run by rollbacks.
+    add(
+        "collective_persistent_r0",
+        701,
+        host,
+        vec![FaultRule::persistent(CollectiveFault, 0, 0)],
+        Unrecoverable,
+    );
+    add(
+        "collective_persistent_r1",
+        702,
+        host,
+        vec![FaultRule::persistent(CollectiveFault, 1, 0)],
+        Unrecoverable,
+    );
+
+    out
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct RankOutcome {
+    digest: u64,
+    stats: RecoveryStats,
+    report: FaultReport,
+    placement: Placement,
+}
+
+type RunResult = Vec<Result<RankOutcome, ResilienceError>>;
+
+fn run(placement: Placement, plan: FaultPlan, policy: RecoveryPolicy) -> RunResult {
+    let deck = parse_deck(CHAOS_DECK).expect("chaos deck parses");
+    let machine = match placement {
+        Placement::Host => Machine::ipa_cpu_node(),
+        _ => Machine::ipa_gpu(),
+    };
+    let mut out: Vec<_> = Cluster::new(machine.clone())
+        .with_deadlock_timeout(Duration::from_secs(10))
+        .with_fault_plan(plan)
+        .run(RANKS, move |comm| {
+            let rank = comm.rank();
+            let mut config = rbamr_hydro::HydroConfig {
+                regrid_interval: 5,
+                max_patch_size: 8,
+                metadata_mode: deck.metadata_mode,
+                ..rbamr_hydro::HydroConfig::default()
+            };
+            config.regrid.cluster.min_size = 4;
+            let spec = SimSpec {
+                machine: machine.clone(),
+                placement,
+                extent: deck.extent,
+                coarse_cells: deck.cells,
+                max_levels: deck.max_levels,
+                ratio: 2,
+                config,
+                regions: deck.regions.clone(),
+                rank,
+                nranks: RANKS,
+            };
+            let recorder = Recorder::new(rank, comm.clock().clone());
+            let mut sim = ResilientSim::new(spec, policy, recorder, Some(&comm))?;
+            sim.run_steps(deck.end_step.unwrap_or(STEPS), Some(&comm))?;
+            let report = comm.fault_injector().expect("cluster ranks carry injectors").report();
+            Ok(RankOutcome {
+                digest: sim.sim().state_field_digest(),
+                stats: sim.stats(),
+                report,
+                placement: sim.placement(),
+            })
+        })
+        .into_iter()
+        .map(|r| (r.rank, r.value))
+        .collect();
+    out.sort_by_key(|(rank, _)| *rank);
+    out.into_iter().map(|(_, v)| v).collect()
+}
+
+fn policy_from_deck() -> RecoveryPolicy {
+    let deck = parse_deck(CHAOS_DECK).expect("chaos deck parses");
+    RecoveryPolicy {
+        checkpoint_interval: deck.checkpoint_interval.unwrap_or(5),
+        max_retries: deck.max_retries.unwrap_or(8),
+        backoff_base: 0.05,
+        ..RecoveryPolicy::default()
+    }
+}
+
+fn main() {
+    let json_path = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1))
+            .map_or_else(|| std::path::PathBuf::from("target/chaos_bench.json"), Into::into)
+    };
+    let policy = policy_from_deck();
+
+    println!("chaos_bench: {RANKS} ranks, {STEPS} steps, policy {policy:?}");
+    let baseline_host = run(Placement::Host, FaultPlan::none(), policy);
+    let baseline_device = run(Placement::Device, FaultPlan::none(), policy);
+    let baseline_digest = |placement: Placement, rank: usize| -> u64 {
+        let base = match placement {
+            Placement::Host => &baseline_host,
+            _ => &baseline_device,
+        };
+        base[rank].as_ref().expect("baselines are fault-free").digest
+    };
+
+    let mut failures = 0usize;
+    let mut rows = Vec::new();
+    for s in schedules() {
+        let plan = FaultPlan::new(s.seed, s.rules.clone());
+        let first = run(s.placement, plan.clone(), policy);
+        let second = run(s.placement, plan, policy);
+
+        let deterministic = (0..RANKS).all(|r| match (&first[r], &second[r]) {
+            (Ok(a), Ok(b)) => a == b,
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        });
+        let fired: u64 =
+            first.iter().filter_map(|r| r.as_ref().ok()).map(|o| o.report.total_fired()).sum();
+
+        let (ok, detail) = check(&s, &first, baseline_digest);
+        let verdict = if ok && deterministic { "pass" } else { "FAIL" };
+        if !(ok && deterministic) {
+            failures += 1;
+        }
+        println!(
+            "  [{verdict}] {:28} seed={:<4} {:12} fired={fired:<3} {detail}{}",
+            s.name,
+            s.seed,
+            s.expectation.name(),
+            if deterministic { "" } else { " NONDETERMINISTIC-RERUN" },
+        );
+        rows.push(json_row(&s, &first, deterministic, ok, &detail));
+    }
+
+    let json = format!(
+        "{{\n  \"ranks\": {RANKS},\n  \"steps\": {STEPS},\n  \"schedules\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Some(dir) = json_path.parent() {
+        std::fs::create_dir_all(dir).expect("chaos: create artifact dir");
+    }
+    std::fs::write(&json_path, json).expect("chaos: write artifact");
+    println!("artifact: {}", json_path.display());
+
+    if failures > 0 {
+        eprintln!("chaos_bench: {failures} schedule(s) failed");
+        std::process::exit(1);
+    }
+    println!("chaos_bench: all {} schedules pass", schedules().len());
+}
+
+/// Check one schedule's outcome against its expectation. Returns
+/// (pass, human detail).
+fn check(
+    s: &Schedule,
+    result: &RunResult,
+    baseline_digest: impl Fn(Placement, usize) -> u64,
+) -> (bool, String) {
+    match s.expectation {
+        Expectation::Recoverable => {
+            for (rank, r) in result.iter().enumerate() {
+                let Ok(o) = r else {
+                    return (false, format!("rank {rank} failed: {}", r.as_ref().unwrap_err()));
+                };
+                if o.digest != baseline_digest(s.placement, rank) {
+                    return (false, format!("rank {rank} digest diverges from fault-free"));
+                }
+                if o.stats.degradations != 0 {
+                    return (false, format!("rank {rank} degraded unexpectedly"));
+                }
+            }
+            let rollbacks = result[0].as_ref().unwrap().stats.rollbacks;
+            (true, format!("rollbacks={rollbacks} digests match baseline"))
+        }
+        Expectation::DegradesToHost => {
+            for (rank, r) in result.iter().enumerate() {
+                let Ok(o) = r else {
+                    return (false, format!("rank {rank} failed: {}", r.as_ref().unwrap_err()));
+                };
+                if o.placement != Placement::Host {
+                    return (false, format!("rank {rank} ended at {:?}, not Host", o.placement));
+                }
+                if o.digest != baseline_digest(Placement::Host, rank) {
+                    return (false, format!("rank {rank} digest diverges from host baseline"));
+                }
+            }
+            let stats = result[0].as_ref().unwrap().stats;
+            (
+                true,
+                format!(
+                    "degradations={} degraded_steps={}",
+                    stats.degradations, stats.degraded_steps
+                ),
+            )
+        }
+        Expectation::Unrecoverable => {
+            for (rank, r) in result.iter().enumerate() {
+                match r {
+                    Ok(_) => return (false, format!("rank {rank} completed unexpectedly")),
+                    Err(ResilienceError::RetriesExhausted { attempts, .. }) => {
+                        if *attempts == 0 {
+                            return (false, format!("rank {rank} gave up without retrying"));
+                        }
+                    }
+                }
+            }
+            (true, "typed RetriesExhausted on every rank".into())
+        }
+    }
+}
+
+fn json_row(
+    s: &Schedule,
+    result: &RunResult,
+    deterministic: bool,
+    pass: bool,
+    detail: &str,
+) -> String {
+    let mut ranks = Vec::new();
+    for (rank, r) in result.iter().enumerate() {
+        let row = match r {
+            Ok(o) => format!(
+                "{{\"rank\": {rank}, \"outcome\": \"completed\", \"digest\": \"{:016x}\", \
+                 \"rollbacks\": {}, \"degradations\": {}, \"degraded_steps\": {}, \
+                 \"checkpoints\": {}, \"faults_fired\": {}}}",
+                o.digest,
+                o.stats.rollbacks,
+                o.stats.degradations,
+                o.stats.degraded_steps,
+                o.stats.checkpoints,
+                o.report.total_fired(),
+            ),
+            Err(ResilienceError::RetriesExhausted { step, attempts, .. }) => format!(
+                "{{\"rank\": {rank}, \"outcome\": \"retries_exhausted\", \
+                 \"checkpoint_step\": {step}, \"attempts\": {attempts}}}"
+            ),
+        };
+        ranks.push(row);
+    }
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "    {{\"name\": \"{}\", \"seed\": {}, \"placement\": \"{:?}\", \
+         \"expectation\": \"{}\", \"pass\": {pass}, \"deterministic\": {deterministic}, \
+         \"detail\": \"{detail}\", \"ranks\": [{}]}}",
+        s.name,
+        s.seed,
+        s.placement,
+        s.expectation.name(),
+        ranks.join(", "),
+    );
+    out
+}

@@ -30,6 +30,7 @@ pub use memory::{DeviceBuffer, DeviceError};
 pub use stream::{Event, Stream};
 
 use parking_lot::Mutex;
+use rbamr_fault::{FaultInjector, FaultKind};
 use rbamr_perfmodel::{Category, Clock, CostModel, KernelShape, Machine};
 use rbamr_telemetry::Recorder;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -80,6 +81,13 @@ struct DeviceInner {
     id: u64,
     /// Serialises "stream 0" semantics where needed.
     _default_stream: Mutex<()>,
+    /// Seeded fault injector, shared with the rank's communicator.
+    injector: Mutex<Option<Arc<FaultInjector>>>,
+    /// CUDA-style sticky error: a fault injected on an infallible path
+    /// (factory allocation, spill transfer) is latched here and the
+    /// operation completes with valid data; the resilience driver polls
+    /// [`Device::take_injected_fault`] at phase boundaries.
+    pending_fault: Mutex<Option<DeviceError>>,
 }
 
 static NEXT_DEVICE_ID: AtomicU64 = AtomicU64::new(0);
@@ -124,6 +132,8 @@ impl Device {
                 telemetry_on: AtomicBool::new(false),
                 id: NEXT_DEVICE_ID.fetch_add(1, Ordering::Relaxed),
                 _default_stream: Mutex::new(()),
+                injector: Mutex::new(None),
+                pending_fault: Mutex::new(None),
             }),
         }
     }
@@ -175,6 +185,47 @@ impl Device {
         }
     }
 
+    /// Attach a seeded fault injector (usually the same one wired into
+    /// the rank's communicator): allocations and transfers consult it
+    /// for injected out-of-memory and copy faults.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.inner.injector.lock() = Some(injector);
+    }
+
+    /// The attached fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.inner.injector.lock().clone()
+    }
+
+    /// Take (and clear) the latched sticky fault, if an injected fault
+    /// fired on an infallible path since the last poll. The resilience
+    /// driver checks this at phase boundaries; the data written by the
+    /// faulting op itself is valid (the fault is synthetic), so rolling
+    /// back to the last checkpoint is always safe.
+    pub fn take_injected_fault(&self) -> Option<DeviceError> {
+        self.inner.pending_fault.lock().take()
+    }
+
+    /// Evaluate the injector for `kind`; counts `fault.injected` when
+    /// it fires.
+    fn injected(&self, kind: FaultKind) -> bool {
+        let fired = match &*self.inner.injector.lock() {
+            Some(inj) => inj.should_fire(kind).is_some(),
+            None => false,
+        };
+        if fired {
+            if let Some(rec) = self.telemetry() {
+                rec.count("fault.injected", 1);
+            }
+        }
+        fired
+    }
+
+    /// Latch `err` as the sticky fault (first one wins).
+    fn latch_fault(&self, err: DeviceError) {
+        self.inner.pending_fault.lock().get_or_insert(err);
+    }
+
     /// Enable or disable transfer/compute overlap — the paper's Section
     /// VI future work ("overlapping data transfer and computation").
     /// When enabled, PCIe transfers hide behind kernel time accumulated
@@ -218,12 +269,29 @@ impl Device {
     ///
     /// # Errors
     /// Returns [`DeviceError::OutOfMemory`] if the allocation would
-    /// exceed the modelled device capacity (6 GB for the K20x).
+    /// exceed the modelled device capacity (6 GB for the K20x), or if
+    /// an attached fault injector simulates exhaustion at this
+    /// allocation site.
     pub fn try_alloc<T: memory::DeviceCopy>(
         &self,
         len: usize,
     ) -> Result<DeviceBuffer<T>, DeviceError> {
         let bytes = (len * std::mem::size_of::<T>()) as u64;
+        if self.injected(FaultKind::AllocFail) {
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                in_use: self.inner.allocated.load(Ordering::Relaxed),
+                capacity: self.inner.cost.machine().device().memory_bytes,
+            });
+        }
+        self.alloc_impl(len, bytes)
+    }
+
+    fn alloc_impl<T: memory::DeviceCopy>(
+        &self,
+        len: usize,
+        bytes: u64,
+    ) -> Result<DeviceBuffer<T>, DeviceError> {
         let capacity = self.inner.cost.machine().device().memory_bytes;
         let prev = self.inner.allocated.fetch_add(bytes, Ordering::Relaxed);
         if prev + bytes > capacity {
@@ -239,11 +307,24 @@ impl Device {
         Ok(DeviceBuffer::new_zeroed(len, self.clone()))
     }
 
-    /// Allocate, panicking on exhaustion (most call sites size buffers
-    /// from problem configuration and treat exhaustion as fatal, exactly
-    /// as `cudaMalloc` failure was fatal in the original code).
+    /// Allocate, panicking on genuine exhaustion (most call sites size
+    /// buffers from problem configuration and treat exhaustion as fatal,
+    /// exactly as `cudaMalloc` failure was fatal in the original code).
+    ///
+    /// An *injected* allocation fault does not panic: it is latched as a
+    /// sticky error (see [`Device::take_injected_fault`]) and the
+    /// allocation proceeds, mirroring how a CUDA sticky error leaves the
+    /// API callable while poisoning the context.
     pub fn alloc<T: memory::DeviceCopy>(&self, len: usize) -> DeviceBuffer<T> {
-        self.try_alloc(len).unwrap_or_else(|e| panic!("device allocation failed: {e}"))
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        if self.injected(FaultKind::AllocFail) {
+            self.latch_fault(DeviceError::OutOfMemory {
+                requested: bytes,
+                in_use: self.inner.allocated.load(Ordering::Relaxed),
+                capacity: self.inner.cost.machine().device().memory_bytes,
+            });
+        }
+        self.alloc_impl(len, bytes).unwrap_or_else(|e| panic!("device allocation failed: {e}"))
     }
 
     pub(crate) fn release_bytes(&self, bytes: u64) {
@@ -254,9 +335,49 @@ impl Device {
     /// (H2D). Advances the clock by the modelled PCIe cost, attributed
     /// to `category`.
     ///
+    /// An injected copy fault is latched as a sticky error (see
+    /// [`Device::take_injected_fault`]); the copy itself still happens.
+    ///
     /// # Panics
     /// Panics if the destination range is out of bounds.
     pub fn upload<T: memory::DeviceCopy>(
+        &self,
+        dst: &mut DeviceBuffer<T>,
+        offset: usize,
+        src: &[T],
+        category: Category,
+    ) {
+        if self.injected(FaultKind::CopyFail) {
+            self.latch_fault(DeviceError::TransferFault {
+                direction: "h2d",
+                bytes: std::mem::size_of_val(src) as u64,
+            });
+        }
+        self.upload_impl(dst, offset, src, category);
+    }
+
+    /// [`Device::upload`] surfacing an injected copy fault as a typed
+    /// error instead of latching it. The copy is not performed on
+    /// failure (a failed `cudaMemcpy` leaves the destination
+    /// undefined).
+    pub fn try_upload<T: memory::DeviceCopy>(
+        &self,
+        dst: &mut DeviceBuffer<T>,
+        offset: usize,
+        src: &[T],
+        category: Category,
+    ) -> Result<(), DeviceError> {
+        if self.injected(FaultKind::CopyFail) {
+            return Err(DeviceError::TransferFault {
+                direction: "h2d",
+                bytes: std::mem::size_of_val(src) as u64,
+            });
+        }
+        self.upload_impl(dst, offset, src, category);
+        Ok(())
+    }
+
+    fn upload_impl<T: memory::DeviceCopy>(
         &self,
         dst: &mut DeviceBuffer<T>,
         offset: usize,
@@ -279,9 +400,48 @@ impl Device {
     /// Copy from the device buffer starting at element `offset` into
     /// `dst` (D2H). Advances the clock by the modelled PCIe cost.
     ///
+    /// An injected copy fault is latched as a sticky error (see
+    /// [`Device::take_injected_fault`]); the copy itself still happens.
+    ///
     /// # Panics
     /// Panics if the source range is out of bounds.
     pub fn download<T: memory::DeviceCopy>(
+        &self,
+        src: &DeviceBuffer<T>,
+        offset: usize,
+        dst: &mut [T],
+        category: Category,
+    ) {
+        if self.injected(FaultKind::CopyFail) {
+            self.latch_fault(DeviceError::TransferFault {
+                direction: "d2h",
+                bytes: std::mem::size_of_val(dst) as u64,
+            });
+        }
+        self.download_impl(src, offset, dst, category);
+    }
+
+    /// [`Device::download`] surfacing an injected copy fault as a typed
+    /// error instead of latching it. The copy is not performed on
+    /// failure.
+    pub fn try_download<T: memory::DeviceCopy>(
+        &self,
+        src: &DeviceBuffer<T>,
+        offset: usize,
+        dst: &mut [T],
+        category: Category,
+    ) -> Result<(), DeviceError> {
+        if self.injected(FaultKind::CopyFail) {
+            return Err(DeviceError::TransferFault {
+                direction: "d2h",
+                bytes: std::mem::size_of_val(dst) as u64,
+            });
+        }
+        self.download_impl(src, offset, dst, category);
+        Ok(())
+    }
+
+    fn download_impl<T: memory::DeviceCopy>(
         &self,
         src: &DeviceBuffer<T>,
         offset: usize,
@@ -430,6 +590,7 @@ mod tests {
         let err = dev.try_alloc::<u8>((cap / 2 + 1) as usize).unwrap_err();
         match err {
             DeviceError::OutOfMemory { capacity, .. } => assert_eq!(capacity, cap),
+            other => panic!("expected OutOfMemory, got {other}"),
         }
         drop(a);
         assert_eq!(dev.stats().allocated_bytes, 0);
@@ -528,5 +689,59 @@ mod tests {
     #[should_panic(expected = "has no accelerator")]
     fn cpu_only_machine_rejected() {
         let _ = Device::new(Machine::ipa_cpu_node(), Clock::new());
+    }
+
+    #[test]
+    fn injected_alloc_fault_is_a_typed_error_on_try_alloc() {
+        use rbamr_fault::{FaultPlan, FaultRule};
+        let dev = Device::k20x();
+        let plan = FaultPlan::new(3, vec![FaultRule::once(rbamr_fault::FaultKind::AllocFail, 1)]);
+        dev.set_fault_injector(rbamr_fault::FaultInjector::new(Arc::new(plan), 0));
+        let _a = dev.try_alloc::<f64>(8).expect("occurrence 0 is clean");
+        let err = dev.try_alloc::<f64>(8).unwrap_err();
+        assert!(matches!(err, DeviceError::OutOfMemory { requested: 64, .. }), "got {err}");
+        let _b = dev.try_alloc::<f64>(8).expect("one-shot rule stops firing");
+        // The failed allocation must not leak accounting.
+        assert_eq!(dev.stats().allocated_bytes, 2 * 64);
+    }
+
+    #[test]
+    fn injected_fault_on_infallible_paths_is_sticky_not_fatal() {
+        use rbamr_fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+        let dev = Device::k20x();
+        let plan = FaultPlan::new(
+            5,
+            vec![FaultRule::once(FaultKind::AllocFail, 0), FaultRule::once(FaultKind::CopyFail, 1)],
+        );
+        dev.set_fault_injector(FaultInjector::new(Arc::new(plan), 0));
+        // Injected alloc fault: latched, allocation still succeeds.
+        let mut buf = dev.alloc::<f64>(4);
+        let latched = dev.take_injected_fault().expect("alloc fault latched");
+        assert!(matches!(latched, DeviceError::OutOfMemory { .. }));
+        assert!(dev.take_injected_fault().is_none(), "take clears the latch");
+        // Copy occurrence 0 clean, occurrence 1 latched — data intact.
+        dev.upload(&mut buf, 0, &[1.0, 2.0], Category::Other);
+        dev.upload(&mut buf, 2, &[3.0, 4.0], Category::Other);
+        let latched = dev.take_injected_fault().expect("copy fault latched");
+        assert!(matches!(latched, DeviceError::TransferFault { direction: "h2d", .. }));
+        let mut out = vec![0.0; 4];
+        dev.download(&buf, 0, &mut out, Category::Other);
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0], "sticky faults never corrupt data");
+    }
+
+    #[test]
+    fn try_transfer_surfaces_injected_copy_fault() {
+        use rbamr_fault::{FaultInjector, FaultKind, FaultPlan, FaultRule};
+        let dev = Device::k20x();
+        let plan = FaultPlan::new(8, vec![FaultRule::once(FaultKind::CopyFail, 0)]);
+        dev.set_fault_injector(FaultInjector::new(Arc::new(plan), 0));
+        let buf = dev.alloc::<f64>(4);
+        let mut out = vec![7.0; 4];
+        let err = dev.try_download(&buf, 0, &mut out, Category::Other).unwrap_err();
+        assert_eq!(err, DeviceError::TransferFault { direction: "d2h", bytes: 32 });
+        assert_eq!(out, vec![7.0; 4], "failed copy leaves the destination untouched");
+        assert!(dev.try_download(&buf, 0, &mut out, Category::Other).is_ok());
+        assert_eq!(out, vec![0.0; 4]);
+        assert!(dev.take_injected_fault().is_none(), "try paths do not latch");
     }
 }

@@ -19,7 +19,8 @@ impl DeviceCopy for u8 {}
 /// Errors from device operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceError {
-    /// The allocation would exceed the modelled device memory capacity.
+    /// The allocation would exceed the modelled device memory capacity
+    /// (or a fault injector simulated exhaustion).
     OutOfMemory {
         /// Bytes requested.
         requested: u64,
@@ -27,6 +28,14 @@ pub enum DeviceError {
         in_use: u64,
         /// Device capacity in bytes.
         capacity: u64,
+    },
+    /// A host↔device transfer failed (injected fault — the simulated
+    /// analogue of a `cudaMemcpy` error).
+    TransferFault {
+        /// `"h2d"` or `"d2h"`.
+        direction: &'static str,
+        /// Size of the failed transfer.
+        bytes: u64,
     },
 }
 
@@ -37,6 +46,9 @@ impl fmt::Display for DeviceError {
                 f,
                 "device out of memory: requested {requested} B with {in_use} B in use of {capacity} B"
             ),
+            DeviceError::TransferFault { direction, bytes } => {
+                write!(f, "device {direction} transfer of {bytes} B failed (injected fault)")
+            }
         }
     }
 }

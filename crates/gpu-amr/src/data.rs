@@ -3,7 +3,7 @@
 
 use crate::pack::{copy_region, pack_region, region_threads, unpack_region};
 use bytes::Bytes;
-use rbamr_amr::patchdata::{validate_overlap, Element, PatchData};
+use rbamr_amr::patchdata::{validate_overlap, Element, PatchData, PatchDataError};
 use rbamr_amr::variable::{DataFactory, Variable};
 use rbamr_device::memory::DeviceCopy;
 use rbamr_device::{Device, DeviceBuffer, Stream};
@@ -284,6 +284,83 @@ impl<T: DeviceElement> PatchData for DeviceData<T> {
             v.write_to(&mut out);
         }
         Bytes::from(out)
+    }
+
+    fn try_pack(&self, overlap: &BoxOverlap) -> Result<Bytes, PatchDataError> {
+        let device = self.buf.device().clone();
+        let total = overlap.num_values() as usize;
+        device.recorder().count("pack.bytes", (total * T::BYTES) as u64);
+        let mut staging = device
+            .try_alloc::<T>(total)
+            .map_err(|e| PatchDataError::Allocation { detail: e.to_string() })?;
+        if total > 0 {
+            let shape = KernelShape::streaming(total as i64, 2, 0);
+            self.stream.submit();
+            let (src_buf, src_dbox) = (&self.buf, self.dbox);
+            let staging_ref = &mut staging;
+            device.launch_named(&self.stream, "pack", self.category, shape, |k| {
+                let src_slice = src_buf.as_slice(&k);
+                let out = staging_ref.as_mut_slice(&k);
+                let mut offset = 0usize;
+                for fill in overlap.dst_boxes.boxes() {
+                    let n = region_threads(*fill);
+                    pack_region(
+                        &mut out[offset..offset + n],
+                        src_slice,
+                        src_dbox,
+                        *fill,
+                        overlap.shift,
+                    );
+                    offset += n;
+                }
+            });
+        }
+        let mut tmp = vec![T::default(); total];
+        device
+            .try_download(&staging, 0, &mut tmp, self.category)
+            .map_err(|e| PatchDataError::Transfer { detail: e.to_string() })?;
+        let mut out = Vec::with_capacity(total * T::BYTES);
+        for v in tmp {
+            v.write_to(&mut out);
+        }
+        Ok(Bytes::from(out))
+    }
+
+    fn try_unpack(&mut self, overlap: &BoxOverlap, stream: &[u8]) -> Result<(), PatchDataError> {
+        assert_eq!(stream.len(), self.stream_size(overlap), "unpack: stream length mismatch");
+        let device = self.buf.device().clone();
+        let total = overlap.num_values() as usize;
+        device.recorder().count("unpack.bytes", (total * T::BYTES) as u64);
+        let mut host = Vec::with_capacity(total);
+        let mut cursor = 0usize;
+        for _ in 0..total {
+            host.push(T::read_from(&stream[cursor..]));
+            cursor += T::BYTES;
+        }
+        let mut staging = device
+            .try_alloc::<T>(total)
+            .map_err(|e| PatchDataError::Allocation { detail: e.to_string() })?;
+        device
+            .try_upload(&mut staging, 0, &host, self.category)
+            .map_err(|e| PatchDataError::Transfer { detail: e.to_string() })?;
+        let dst_dbox = self.dbox;
+        if total > 0 {
+            let shape = KernelShape::streaming(total as i64, 2, 0);
+            self.stream.submit();
+            let dst_buf = &mut self.buf;
+            let staging_ref = &staging;
+            device.launch_named(&self.stream, "unpack", self.category, shape, |k| {
+                let input = staging_ref.as_slice(&k);
+                let dst_slice = dst_buf.as_mut_slice(&k);
+                let mut offset = 0usize;
+                for fill in overlap.dst_boxes.boxes() {
+                    let n = region_threads(*fill);
+                    unpack_region(dst_slice, dst_dbox, &input[offset..offset + n], *fill);
+                    offset += n;
+                }
+            });
+        }
+        Ok(())
     }
 
     fn extend_uncovered(&mut self, covered: &rbamr_geometry::BoxList) {

@@ -2,19 +2,28 @@
 //! the restart database from the paper's Figure 2 interface
 //! (`putToRestart`/`getFromRestart`).
 //!
-//! A checkpoint stores the hierarchy structure (level boxes and owners)
-//! and the full state arrays of every locally owned patch. On the
-//! device build, writing a checkpoint is one of the three sanctioned
+//! A checkpoint stores the hierarchy structure and the full state
+//! arrays of every locally owned patch; in distributed runs each rank
+//! holds one database covering its owned records, and restore
+//! reassembles the global structure with an allgather. On the device
+//! build, writing a checkpoint is one of the three sanctioned
 //! full-array D2H transfers (initialisation, visualisation, restart);
 //! restoring uploads once per field.
+//!
+//! Restore is *fault-aware*: it returns a typed [`RestoreError`]
+//! instead of panicking, and in distributed runs its communication
+//! pattern runs through faults in lock-step (an agreement reduction
+//! sits between the structure exchange and the ghost-fill priming, so
+//! no rank ever fills against a structure its peers failed to
+//! assemble). That makes it safe to call from the recovery driver while
+//! fault injection is live.
 
 use crate::integrator::HydroSim;
 use crate::state::Fields;
 use rbamr_amr::patchdata::PatchData;
-use rbamr_amr::restart::{Database, Value};
-use rbamr_amr::HostData;
-use rbamr_geometry::GBox;
-use rbamr_gpu_amr::DeviceData;
+use rbamr_amr::restart::{Database, RestoreError, Value};
+use rbamr_geometry::{BoxList, BoxOverlap, GBox, IntVector};
+use rbamr_netsim::Comm;
 use rbamr_perfmodel::Category;
 
 /// The state fields a checkpoint persists (everything else is
@@ -23,36 +32,87 @@ fn checkpoint_fields(f: &Fields) -> [(&'static str, rbamr_amr::VariableId); 4] {
     [("density0", f.density0), ("energy0", f.energy0), ("xvel0", f.xvel0), ("yvel0", f.yvel0)]
 }
 
-/// Read a patch's full data array, from either placement.
-fn read_values(data: &dyn PatchData) -> Vec<f64> {
-    if let Some(h) = data.as_any().downcast_ref::<HostData<f64>>() {
-        h.as_slice().to_vec()
-    } else if let Some(d) = data.as_any().downcast_ref::<DeviceData<f64>>() {
-        d.download_all(Category::Other)
-    } else {
-        panic!("checkpoint: unsupported data placement");
+/// The full-array overlap of a patch datum — both placements serialise
+/// through the same `pack`/`unpack` streams the halo exchange uses.
+fn full_overlap(data: &dyn PatchData) -> BoxOverlap {
+    BoxOverlap {
+        dst_boxes: BoxList::from_box(data.data_box()),
+        shift: IntVector::ZERO,
+        centring: data.centring(),
     }
 }
 
+/// Read a patch's full data array, from either placement. On the
+/// device placements this is a sanctioned full-array D2H transfer; an
+/// injected transfer fault latches on the device and is drained by the
+/// caller's next [`rbamr_device::Device::take_injected_fault`] poll.
+fn read_values(data: &dyn PatchData) -> Vec<f64> {
+    let bytes = data.pack(&full_overlap(data));
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk"))).collect()
+}
+
 /// Write a patch's full data array, to either placement.
-fn write_values(data: &mut dyn PatchData, values: &[f64]) {
-    if let Some(h) = data.as_any_mut().downcast_mut::<HostData<f64>>() {
-        assert_eq!(values.len(), h.as_slice().len(), "checkpoint: size mismatch");
-        h.as_mut_slice().copy_from_slice(values);
-    } else if let Some(d) = data.as_any_mut().downcast_mut::<DeviceData<f64>>() {
-        d.upload_all(values, Category::Other);
-    } else {
-        panic!("checkpoint: unsupported data placement");
+fn try_write_values(
+    data: &mut dyn PatchData,
+    values: &[f64],
+    key: &str,
+) -> Result<(), RestoreError> {
+    let ov = full_overlap(data);
+    let expected = data.stream_size(&ov) / std::mem::size_of::<f64>();
+    if values.len() != expected {
+        return Err(RestoreError::Malformed {
+            key: key.to_owned(),
+            expected: "field array of the patch's size",
+        });
     }
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    // The "device fault" prefix is what `SimError::from(RestoreError)`
+    // keys on to classify the failure for the degradation policy.
+    data.try_unpack(&ov, &bytes)
+        .map_err(|e| RestoreError::Exchange { detail: format!("device fault: {e}") })
+}
+
+/// Per-level structure records as stored in a checkpoint: six `i64`
+/// words per owned record — `index, lo.x, lo.y, hi.x, hi.y, owner`.
+const RECORD_WORDS: usize = 6;
+
+fn decode_records(words: &[i64], nranks: usize) -> Result<(Vec<GBox>, Vec<usize>), RestoreError> {
+    let malformed = |expected| RestoreError::Malformed { key: "records".to_owned(), expected };
+    if !words.len().is_multiple_of(RECORD_WORDS) {
+        return Err(malformed("multiple of 6 words per record"));
+    }
+    let mut recs: Vec<(i64, GBox, usize)> = words
+        .chunks_exact(RECORD_WORDS)
+        .map(|c| (c[0], GBox::from_coords(c[1], c[2], c[3], c[4]), c[5] as usize))
+        .collect();
+    recs.sort_by_key(|&(i, _, _)| i);
+    let mut boxes = Vec::with_capacity(recs.len());
+    let mut owners = Vec::with_capacity(recs.len());
+    for (i, (idx, b, o)) in recs.into_iter().enumerate() {
+        if idx != i as i64 {
+            return Err(malformed("contiguous patch indices"));
+        }
+        if o >= nranks {
+            return Err(malformed("owner within the job size"));
+        }
+        boxes.push(b);
+        owners.push(o);
+    }
+    Ok((boxes, owners))
 }
 
 impl HydroSim {
     /// Serialise the simulation state into a restart database.
     ///
-    /// Single-rank only (a distributed checkpoint would be one database
-    /// per rank; the reproduction keeps the serial form).
+    /// Each rank serialises its owned structure records and patch data;
+    /// single-rank databases therefore contain the whole simulation,
+    /// and distributed runs hold one database per rank (restore
+    /// reassembles the global structure).
     pub fn save_checkpoint(&self) -> Database {
-        assert_eq!(self.hierarchy().nranks(), 1, "save_checkpoint: single-rank only");
+        let rank = self.hierarchy().rank() as i64;
         let mut db = Database::new();
         db.put("time", Value::F64(self.time()));
         db.put("step", Value::I64(self.steps_taken() as i64));
@@ -63,10 +123,18 @@ impl HydroSim {
             let level = self.hierarchy().level(l);
             let ldb = db.child(&format!("level_{l}"));
             let mut flat = Vec::new();
-            for b in level.global_boxes() {
-                flat.extend_from_slice(&[b.lo.x, b.lo.y, b.hi.x, b.hi.y]);
+            for patch in level.local() {
+                let b = patch.cell_box();
+                flat.extend_from_slice(&[
+                    patch.id().index as i64,
+                    b.lo.x,
+                    b.lo.y,
+                    b.hi.x,
+                    b.hi.y,
+                    rank,
+                ]);
             }
-            ldb.put("boxes", Value::VecI64(flat));
+            ldb.put("records", Value::VecI64(flat));
             for patch in level.local() {
                 let pdb = ldb.child(&format!("patch_{}", patch.id().index));
                 for (name, var) in checkpoint_fields(&fields) {
@@ -80,55 +148,182 @@ impl HydroSim {
     /// Restore a checkpoint into this simulation.
     ///
     /// `self` must have been constructed with the same domain, physics
-    /// configuration and placement as the checkpointed run (the
+    /// configuration and job layout as the checkpointed run (the
     /// database stores state, not configuration — matching SAMRAI,
-    /// where the input deck travels separately). Rebuilds the level
-    /// structure, loads the state arrays, and re-primes the derived
-    /// fields.
+    /// where the input deck travels separately). Panicking wrapper over
+    /// [`HydroSim::try_restore_checkpoint`].
     ///
     /// # Panics
-    /// Panics on malformed databases or mismatched configuration.
-    pub fn restore_checkpoint(&mut self, db: &Database) {
-        assert_eq!(self.hierarchy().nranks(), 1, "restore_checkpoint: single-rank only");
-        let num_levels = db.get_i64("num_levels").expect("restart: num_levels") as usize;
-        assert!(
-            num_levels <= self.hierarchy().max_levels(),
-            "restart: checkpoint has more levels than this configuration allows"
-        );
-        let fields = *self.fields();
-        // Rebuild the level structure.
-        for l in 0..num_levels {
-            let ldb = db.get_db(&format!("level_{l}")).expect("restart: missing level");
-            let flat = match ldb.get("boxes") {
-                Some(Value::VecI64(v)) => v.clone(),
-                _ => panic!("restart: malformed boxes"),
-            };
-            let boxes: Vec<GBox> =
-                flat.chunks_exact(4).map(|c| GBox::from_coords(c[0], c[1], c[2], c[3])).collect();
-            let owners = vec![0; boxes.len()];
-            self.set_level_for_restart(l, boxes, owners);
+    /// Panics on malformed databases or injected faults.
+    pub fn restore_checkpoint(&mut self, db: &Database, comm: Option<&Comm>) {
+        self.try_restore_checkpoint(db, comm).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fault-aware restore: rebuilds the level structure (allgathering
+    /// the per-rank records in distributed runs), loads the state
+    /// arrays, and re-primes the derived fields.
+    ///
+    /// Run-through discipline: every level's structure exchange
+    /// executes on every rank regardless of earlier errors, then an
+    /// agreement reduction commits the assembled structure before any
+    /// rank touches its hierarchy — a fault aborts every rank together,
+    /// so the subsequent re-priming fills never run against divergent
+    /// structure.
+    ///
+    /// # Errors
+    /// A typed [`RestoreError`] for malformed databases
+    /// (missing/misshapen keys) or injected transport faults. On `Err`
+    /// the simulation state is unspecified; recovery rebuilds a fresh
+    /// simulation and retries.
+    pub fn try_restore_checkpoint(
+        &mut self,
+        db: &Database,
+        comm: Option<&Comm>,
+    ) -> Result<(), RestoreError> {
+        let num_levels = db
+            .get_i64("num_levels")
+            .ok_or_else(|| RestoreError::MissingKey { key: "num_levels".to_owned() })?
+            as usize;
+        if num_levels > self.hierarchy().max_levels() || num_levels == 0 {
+            return Err(RestoreError::Malformed {
+                key: "num_levels".to_owned(),
+                expected: "between 1 and this configuration's max_levels",
+            });
         }
-        self.truncate_levels_for_restart(num_levels);
-        // Load patch data.
+        let nranks = self.hierarchy().nranks();
+        let mut first_err: Option<RestoreError> = None;
+
+        // Phase 1: assemble every level's global structure. The
+        // allgather runs for every level on every rank even after an
+        // error, keeping the communication pattern rank-invariant.
+        let mut structures: Vec<Option<(Vec<GBox>, Vec<usize>)>> = Vec::with_capacity(num_levels);
         for l in 0..num_levels {
-            let ldb = db.get_db(&format!("level_{l}")).expect("restart: missing level");
-            let level = self.hierarchy_mut().level_mut(l);
-            for patch in level.local_mut() {
-                let pdb = ldb
-                    .get_db(&format!("patch_{}", patch.id().index))
-                    .expect("restart: missing patch");
-                for (name, var) in checkpoint_fields(&fields) {
-                    let values = pdb.get_vec_f64(name).expect("restart: missing field");
-                    write_values(patch.data_mut(var), values);
+            let own: Vec<i64> = match db.get_db(&format!("level_{l}")) {
+                Some(ldb) => match ldb.get("records") {
+                    Some(Value::VecI64(v)) => v.clone(),
+                    Some(_) => {
+                        first_err.get_or_insert(RestoreError::Malformed {
+                            key: "records".to_owned(),
+                            expected: "integer array",
+                        });
+                        Vec::new()
+                    }
+                    None => {
+                        first_err
+                            .get_or_insert(RestoreError::MissingKey { key: "records".to_owned() });
+                        Vec::new()
+                    }
+                },
+                None => {
+                    first_err.get_or_insert(RestoreError::MissingKey { key: format!("level_{l}") });
+                    Vec::new()
+                }
+            };
+            let all: Vec<i64> = if let Some(comm) = comm {
+                let mut payload = Vec::with_capacity(own.len() * 8);
+                for w in &own {
+                    payload.extend_from_slice(&w.to_le_bytes());
+                }
+                match comm.try_allgatherv(bytes::Bytes::from(payload), Category::Other) {
+                    Ok(parts) => parts
+                        .iter()
+                        .flat_map(|p| p.chunks_exact(8))
+                        .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                        .collect(),
+                    Err(e) => {
+                        first_err.get_or_insert(RestoreError::Exchange { detail: e.to_string() });
+                        own
+                    }
+                }
+            } else {
+                own
+            };
+            match decode_records(&all, nranks) {
+                Ok(s) => structures.push(Some(s)),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                    structures.push(None);
                 }
             }
         }
+
+        // Agreement: commit the structure on every rank, or abort on
+        // every rank, before anyone rebuilds its hierarchy. Without
+        // this a rank that failed assembly would skip the re-priming
+        // fills its peers run, and the job would deadlock.
+        if let Some(comm) = comm {
+            let ok = if first_err.is_none() { 1.0 } else { 0.0 };
+            match comm.try_allreduce_min(ok, Category::Other) {
+                Ok(all_ok) if all_ok >= 1.0 => {}
+                Ok(_) => {
+                    return Err(first_err.unwrap_or_else(|| RestoreError::Exchange {
+                        detail: "a peer rank failed to assemble the checkpoint structure".into(),
+                    }))
+                }
+                Err(e) => {
+                    return Err(
+                        first_err.unwrap_or(RestoreError::Exchange { detail: e.to_string() })
+                    )
+                }
+            }
+        } else if let Some(e) = first_err.take() {
+            return Err(e);
+        }
+
+        // Phase 2 (local): apply the structure and load patch data.
+        // Data-load errors are recorded and carried through — the
+        // re-priming below still runs its full communication pattern.
+        let fields = *self.fields();
+        for (l, s) in structures.into_iter().enumerate() {
+            let (boxes, owners) = s.expect("structure committed by the agreement above");
+            self.set_level_for_restart(l, boxes, owners);
+        }
+        self.truncate_levels_for_restart(num_levels);
+        for l in 0..num_levels {
+            let Some(ldb) = db.get_db(&format!("level_{l}")) else {
+                continue; // recorded in phase 1; unreachable past the agreement
+            };
+            let level = self.hierarchy_mut().level_mut(l);
+            for patch in level.local_mut() {
+                let key = format!("patch_{}", patch.id().index);
+                let Some(pdb) = ldb.get_db(&key) else {
+                    first_err.get_or_insert(RestoreError::MissingKey { key });
+                    continue;
+                };
+                for (name, var) in checkpoint_fields(&fields) {
+                    let Some(values) = pdb.get_vec_f64(name) else {
+                        first_err.get_or_insert(RestoreError::MissingKey { key: name.to_owned() });
+                        continue;
+                    };
+                    if let Err(e) = try_write_values(patch.data_mut(var), values, name) {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+        }
+
         // Restore integration state and re-prime derived fields.
-        let time = db.get_f64("time").expect("restart: time");
-        let step = db.get_i64("step").expect("restart: step") as usize;
-        let prev_dt = db.get_f64("prev_dt").expect("restart: prev_dt");
-        self.set_progress_for_restart(time, step, prev_dt);
-        self.reprime_after_restart();
+        let time =
+            db.get_f64("time").ok_or_else(|| RestoreError::MissingKey { key: "time".to_owned() });
+        let step =
+            db.get_i64("step").ok_or_else(|| RestoreError::MissingKey { key: "step".to_owned() });
+        let prev_dt = db
+            .get_f64("prev_dt")
+            .ok_or_else(|| RestoreError::MissingKey { key: "prev_dt".to_owned() });
+        match (time, step, prev_dt) {
+            (Ok(t), Ok(s), Ok(p)) => self.set_progress_for_restart(t, s as usize, p),
+            (t, s, p) => {
+                let e = [t.err(), s.err(), p.err()].into_iter().flatten().next();
+                first_err.get_or_insert(e.expect("at least one error"));
+            }
+        }
+        if let Err(e) = self.reprime_after_restart(comm) {
+            first_err.get_or_insert(e);
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     /// Write a checkpoint file ([`Database::save`] of
@@ -144,10 +339,10 @@ impl HydroSim {
     /// [`HydroSim::save_checkpoint_file`].
     ///
     /// # Errors
-    /// Propagates I/O errors; panics on corrupt content.
-    pub fn restore_checkpoint_file(&mut self, path: &std::path::Path) -> std::io::Result<()> {
-        self.restore_checkpoint(&Database::load(path)?);
-        Ok(())
+    /// A typed [`RestoreError`] for I/O failures, truncated or
+    /// corrupted files, and malformed content — never a panic.
+    pub fn restore_checkpoint_file(&mut self, path: &std::path::Path) -> Result<(), RestoreError> {
+        self.try_restore_checkpoint(&Database::load(path)?, None)
     }
 }
 
@@ -155,6 +350,7 @@ impl HydroSim {
 mod tests {
     use crate::integrator::{HydroConfig, HydroSim, Placement};
     use crate::state::RegionInit;
+    use rbamr_amr::restart::RestoreError;
     use rbamr_perfmodel::{Clock, Machine};
 
     fn sod_regions() -> Vec<RegionInit> {
@@ -213,7 +409,7 @@ mod tests {
         }
         let db = first.save_checkpoint();
         let mut resumed = build(placement);
-        resumed.restore_checkpoint(&db);
+        resumed.restore_checkpoint(&db, None);
         assert_eq!(resumed.steps_taken(), 6);
         assert!((resumed.time() - first.time()).abs() < 1e-15);
         for _ in 0..6 {
@@ -264,6 +460,89 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// Restore into a *fresh* (never-initialised) simulation must match
+    /// restore into an initialised one bitwise — the recovery driver
+    /// rebuilds its simulation from scratch on every rollback.
+    #[test]
+    fn restore_into_uninitialized_sim_is_exact() {
+        let mut sim = build(Placement::Host);
+        sim.run_steps(5, None);
+        let db = sim.save_checkpoint();
+
+        let mut warm = build(Placement::Host);
+        warm.restore_checkpoint(&db, None);
+        let config = HydroConfig { regrid_interval: 5, ..HydroConfig::default() };
+        let mut cold = HydroSim::new(
+            Machine::ipa_cpu_node(),
+            Placement::Host,
+            Clock::new(),
+            (1.0, 1.0),
+            (32, 32),
+            2,
+            2,
+            config,
+            sod_regions(),
+            0,
+            1,
+        );
+        cold.restore_checkpoint(&db, None);
+        assert_eq!(cold.steps_taken(), warm.steps_taken());
+        assert_eq!(cold.state_field_digest(), warm.state_field_digest());
+        warm.step(None);
+        cold.step(None);
+        assert_eq!(cold.state_field_digest(), warm.state_field_digest());
+    }
+
+    /// A corrupted checkpoint surfaces as a typed error, never a panic.
+    #[test]
+    fn malformed_checkpoint_is_a_typed_error() {
+        use rbamr_amr::restart::{Database, Value};
+        let mut sim = build(Placement::Host);
+        sim.run_steps(3, None);
+        let mut resumed = build(Placement::Host);
+
+        // Missing everything.
+        assert_eq!(
+            resumed.try_restore_checkpoint(&Database::new(), None),
+            Err(RestoreError::MissingKey { key: "num_levels".to_owned() })
+        );
+
+        // Absurd level count.
+        let mut db = sim.save_checkpoint();
+        db.put("num_levels", Value::I64(99));
+        assert!(matches!(
+            resumed.try_restore_checkpoint(&db, None),
+            Err(RestoreError::Malformed { .. })
+        ));
+
+        // Field array of the wrong size.
+        let mut db = sim.save_checkpoint();
+        db.child("level_0").child("patch_0").put("density0", Value::VecF64(vec![1.0; 3]));
+        assert_eq!(
+            resumed.try_restore_checkpoint(&db, None),
+            Err(RestoreError::Malformed {
+                key: "density0".to_owned(),
+                expected: "field array of the patch's size",
+            })
+        );
+
+        // Non-contiguous record indices.
+        let mut db = sim.save_checkpoint();
+        let words = match db.get_db("level_0").unwrap().get("records") {
+            Some(Value::VecI64(v)) => {
+                let mut w = v.clone();
+                w[0] += 7;
+                w
+            }
+            _ => panic!("records"),
+        };
+        db.child("level_0").put("records", Value::VecI64(words));
+        assert!(matches!(
+            resumed.try_restore_checkpoint(&db, None),
+            Err(RestoreError::Malformed { .. })
+        ));
+    }
+
     /// The acceptance case for the structure-keyed schedule cache
     /// across a restore: restoring a checkpoint whose structure the
     /// cache has already seen resolves schedules as hits, and the
@@ -276,7 +555,7 @@ mod tests {
         let original = sim.start_fill_digests();
 
         let mut resumed = build(Placement::Host);
-        resumed.restore_checkpoint(&db);
+        resumed.restore_checkpoint(&db, None);
         // Level 0 never regrids, so at minimum its schedules come out
         // of the cache even if finer structure moved since construction.
         assert!(resumed.schedule_cache().hits() > 0, "restore must reuse cached schedules");
@@ -286,7 +565,7 @@ mod tests {
         // schedule lookup hits and nothing is rebuilt.
         let hits = resumed.schedule_cache().hits();
         let misses = resumed.schedule_cache().misses();
-        resumed.restore_checkpoint(&db);
+        resumed.restore_checkpoint(&db, None);
         assert_eq!(
             resumed.schedule_cache().misses(),
             misses,

@@ -19,16 +19,18 @@ use rbamr_amr::hostdata::HostCostHook;
 use rbamr_amr::ops as host_ops;
 use rbamr_amr::patchdata::PatchData as _;
 use rbamr_amr::regrid::TransferSpec;
+use rbamr_amr::restart::RestoreError;
 use rbamr_amr::schedule::{CoarsenSpec, FillSpec};
 use rbamr_amr::{
-    balance, partition_hierarchy_metadata, BuildStrategy, CoarsenSchedule, GridGeometry,
-    HostDataFactory, MetadataMode, PatchHierarchy, RefineOperator, RefineSchedule, RegridOutcome,
-    RegridParams, Regridder, ScheduleBuild, ScheduleCache, VariableId, VariableRegistry,
+    balance, try_partition_hierarchy_metadata, BuildStrategy, CoarsenSchedule, GridGeometry,
+    HostDataFactory, MetadataMode, PatchHierarchy, RefineOperator, RefineSchedule, RegridError,
+    RegridOutcome, RegridParams, Regridder, ScheduleBuild, ScheduleCache, ScheduleError,
+    VariableId, VariableRegistry,
 };
 use rbamr_device::Device;
 use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
 use rbamr_gpu_amr::{ops as dev_ops, DeviceDataFactory};
-use rbamr_netsim::Comm;
+use rbamr_netsim::{Comm, CommError};
 use rbamr_perfmodel::{Category, Clock, CostModel, Machine};
 use std::sync::Arc;
 
@@ -108,6 +110,89 @@ pub struct StepStats {
     pub levels: usize,
     /// Total cells over all levels (global).
     pub total_cells: i64,
+}
+
+/// Why a step (or initialisation) could not be committed. The variant
+/// is the *global* verdict: [`HydroSim::try_step_capped`] ends in a
+/// commit collective that agrees on success and, on failure, on the
+/// worst failure kind across ranks — so every rank returns the same
+/// variant and a recovery driver makes identical decisions everywhere.
+///
+/// * `Comm` — a transport or metadata fault. Retry after rollback.
+/// * `Device` — a device allocation or transfer fault. Retrying may
+///   help for a transient fault; a persistent one calls for degrading
+///   the placement (device → copy-back → host).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A communication-layer fault (message drop/corruption, collective
+    /// fault, metadata divergence) spoiled the step.
+    Comm {
+        /// The first locally observed fault, or a note that the fault
+        /// was reported by a peer rank.
+        detail: String,
+    },
+    /// A device fault (injected OOM or transfer failure) spoiled the
+    /// step.
+    Device {
+        /// The first locally observed fault, or a note that the fault
+        /// was reported by a peer rank.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Comm { detail } => write!(f, "step aborted by a communication fault: {detail}"),
+            Self::Device { detail } => write!(f, "step aborted by a device fault: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<CommError> for SimError {
+    fn from(e: CommError) -> Self {
+        Self::Comm { detail: e.to_string() }
+    }
+}
+
+impl From<ScheduleError> for SimError {
+    fn from(e: ScheduleError) -> Self {
+        match e {
+            ScheduleError::Comm(c) => Self::Comm { detail: c.to_string() },
+            ScheduleError::Data(d) => Self::Device { detail: d.to_string() },
+        }
+    }
+}
+
+impl From<RegridError> for SimError {
+    fn from(e: RegridError) -> Self {
+        match e {
+            RegridError::Comm(c) => Self::Comm { detail: c.to_string() },
+            RegridError::Divergence(d) => Self::Comm { detail: d.to_string() },
+            RegridError::Data(d) => Self::Device { detail: d.to_string() },
+        }
+    }
+}
+
+impl From<rbamr_device::DeviceError> for SimError {
+    fn from(e: rbamr_device::DeviceError) -> Self {
+        Self::Device { detail: e.to_string() }
+    }
+}
+
+impl From<RestoreError> for SimError {
+    fn from(e: RestoreError) -> Self {
+        match &e {
+            // Restore tags device-side upload faults so the recovery
+            // driver's degradation policy sees them as device failures.
+            RestoreError::Exchange { detail } if detail.starts_with("device fault") => {
+                Self::Device { detail: detail.clone() }
+            }
+            _ => Self::Comm { detail: e.to_string() },
+        }
+    }
 }
 
 /// The CleverLeaf simulation object.
@@ -319,15 +404,27 @@ impl HydroSim {
     }
 
     /// Rebuild schedules and re-prime derived fields after a restore.
-    pub(crate) fn reprime_after_restart(&mut self) {
+    ///
+    /// # Errors
+    /// [`RestoreError::Exchange`] when a fault interrupts the metadata
+    /// conversion or the priming ghost fill. The metadata verdict is
+    /// collective (every rank aborts together); a fill fault is
+    /// rank-local but runs through, so the communication pattern stays
+    /// aligned and the caller's commit reduction can make it symmetric.
+    pub(crate) fn reprime_after_restart(
+        &mut self,
+        comm: Option<&Comm>,
+    ) -> Result<(), RestoreError> {
         if self.config.metadata_mode == MetadataMode::Partitioned {
-            // Restore rebuilds levels replicated (restart is
-            // single-rank); convert back before schedules are rebuilt.
-            partition_hierarchy_metadata(&mut self.hierarchy, self.config.regrid.margins, None);
+            // Restore rebuilds levels replicated; convert back before
+            // schedules are rebuilt.
+            try_partition_hierarchy_metadata(&mut self.hierarchy, self.config.regrid.margins, comm)
+                .map_err(|e| RestoreError::Exchange { detail: e.to_string() })?;
         }
         self.rebuild_schedules();
-        self.fill_start(None);
+        let refill = self.try_fill_start(comm);
         self.eos_and_viscosity();
+        refill.map_err(|e| RestoreError::Exchange { detail: e.to_string() })
     }
 
     fn refine_op_for(&self, var: VariableId) -> Arc<dyn RefineOperator> {
@@ -472,12 +569,28 @@ impl HydroSim {
     /// identical resident state — the cross-crate tests use this to
     /// show `metadata_mode` does not perturb the solution.
     pub fn local_state_digest(&self) -> u64 {
+        let vars: Vec<VariableId> = (0..self.registry.len()).map(VariableId).collect();
+        self.digest_of_vars(&vars)
+    }
+
+    /// As [`HydroSim::local_state_digest`], restricted to the four
+    /// persisted state fields (density, energy, velocities). Recovery
+    /// gates compare this one: a rollback restores the persisted state
+    /// and *recomputes* derived and work arrays, so only the persisted
+    /// fields are meaningful to compare bitwise against a fault-free
+    /// run.
+    pub fn state_field_digest(&self) -> u64 {
+        let f = self.fields;
+        self.digest_of_vars(&[f.density0, f.energy0, f.xvel0, f.yvel0])
+    }
+
+    fn digest_of_vars(&self, vars: &[VariableId]) -> u64 {
         use rbamr_geometry::{BoxOverlap, Fnv64, UnorderedDigest};
         let mut set = UnorderedDigest::new();
         for l in 0..self.hierarchy.num_levels() {
             for patch in self.hierarchy.level(l).local() {
-                for v in 0..self.registry.len() {
-                    let var = VariableId(v);
+                for &var in vars {
+                    let v = var.0;
                     let data = patch.data(var);
                     let ov = BoxOverlap {
                         dst_boxes: BoxList::from_box(data.data_box()),
@@ -508,29 +621,53 @@ impl HydroSim {
     /// hierarchy"), re-imposing the analytic initial condition on every
     /// new level.
     pub fn initialize(&mut self, comm: Option<&Comm>) {
+        self.try_initialize(comm)
+            .unwrap_or_else(|e| panic!("initialize: unhandled injected fault: {e}"));
+    }
+
+    /// Fault-aware [`HydroSim::initialize`]: injected faults surface as
+    /// a typed [`SimError`] instead of a panic. Like
+    /// [`HydroSim::try_step_capped`], the pass runs through — a fault
+    /// never removes communication, so ranks stay lock-step — and ends
+    /// in a commit collective, so every rank returns the same verdict.
+    ///
+    /// # Errors
+    /// The globally agreed [`SimError`] when any rank observed a fault.
+    pub fn try_initialize(&mut self, comm: Option<&Comm>) -> Result<(), SimError> {
         let rec = self.recorder.clone();
         let _span = rec.is_enabled().then(|| rec.span("initialize", Category::Other));
+        let mut first: Option<SimError> = None;
         if self.config.metadata_mode == MetadataMode::Partitioned {
             // Convert the level-0 metadata to partitioned views before
             // the first regrid; the regrids below keep every level
-            // partitioned from then on.
-            partition_hierarchy_metadata(&mut self.hierarchy, self.config.regrid.margins, comm);
+            // partitioned from then on. The exchange verdict is
+            // collective, so this early return is symmetric.
+            try_partition_hierarchy_metadata(&mut self.hierarchy, self.config.regrid.margins, comm)
+                .map_err(|e| SimError::Comm { detail: e.to_string() })?;
         }
         self.apply_initial_state();
         for _ in 0..self.hierarchy.max_levels() - 1 {
             let before = self.hierarchy.num_levels();
             // Ghost values must be valid before flagging: gradients at
             // patch borders would otherwise see uninitialised zeros.
-            self.fill_start(comm);
-            self.regrid(comm);
+            if let Err(e) = self.try_fill_start(comm) {
+                first.get_or_insert(e);
+            }
+            if let Err(e) = self.try_regrid(comm) {
+                first.get_or_insert(e);
+            }
             self.apply_initial_state();
             if self.hierarchy.num_levels() == before {
                 break;
             }
         }
         // Prime the EOS fields so diagnostics and the first dt are valid.
-        self.fill_start(comm);
+        if let Err(e) = self.try_fill_start(comm) {
+            first.get_or_insert(e);
+        }
         self.eos_and_viscosity();
+        self.poll_device(&mut first);
+        self.commit(comm, first)
     }
 
     fn apply_initial_state(&mut self) {
@@ -551,22 +688,37 @@ impl HydroSim {
         }
     }
 
-    fn fill(&mut self, which: impl Fn(&LevelSchedules) -> &RefineSchedule, comm: Option<&Comm>) {
+    /// Run one ghost-fill pass over every level, run-through: a level
+    /// whose schedule faults still leaves the remaining levels' fills
+    /// (and their sends to peers) executed, so the cross-rank
+    /// communication pattern is identical whether or not a fault fired.
+    fn try_fill(
+        &mut self,
+        which: impl Fn(&LevelSchedules) -> &RefineSchedule,
+        comm: Option<&Comm>,
+    ) -> Result<(), SimError> {
+        let mut first: Option<SimError> = None;
         for l in 0..self.hierarchy.num_levels() {
             let sched = which(&self.fill_schedules[l]);
-            sched.fill(
+            if let Err(e) = sched.try_fill(
                 &mut self.hierarchy,
                 &self.registry,
                 &self.boundary,
                 comm,
                 self.time,
                 Category::HaloExchange,
-            );
+            ) {
+                first.get_or_insert(e.into());
+            }
+        }
+        match first {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
-    fn fill_start(&mut self, comm: Option<&Comm>) {
-        self.fill(|s| &s.start, comm);
+    fn try_fill_start(&mut self, comm: Option<&Comm>) -> Result<(), SimError> {
+        self.try_fill(|s| &s.start, comm)
     }
 
     fn each_patch(
@@ -592,7 +744,13 @@ impl HydroSim {
 
     /// Compute the global dt: local CFL minimum, growth-limited, then
     /// the MPI allreduce (the application's only global reduction).
-    fn compute_dt(&mut self, comm: Option<&Comm>) -> f64 {
+    ///
+    /// Run-through: a faulted reduction records the error and falls
+    /// back to the local value — the step continues (and is later
+    /// rejected by the commit collective) rather than aborting
+    /// mid-pattern. A non-finite dt without a recorded fault is still a
+    /// hard bug and panics.
+    fn try_compute_dt(&mut self, comm: Option<&Comm>, first: &mut Option<SimError>) -> f64 {
         let cfl = self.config.cfl;
         let mut dt_local = f64::INFINITY;
         for l in 0..self.hierarchy.num_levels() {
@@ -604,9 +762,19 @@ impl HydroSim {
         }
         let mut dt = dt_local.min(self.config.dt_max).min(self.prev_dt * self.config.max_dt_growth);
         if let Some(comm) = comm {
-            dt = comm.allreduce_min(dt, Category::Timestep);
+            match comm.try_allreduce_min(dt, Category::Timestep) {
+                Ok(v) => dt = v,
+                Err(e) => {
+                    first.get_or_insert(e.into());
+                }
+            }
         }
-        assert!(dt.is_finite() && dt > 0.0, "non-finite dt {dt}");
+        if !(dt.is_finite() && dt > 0.0) {
+            assert!(first.is_some(), "non-finite dt {dt} without an injected fault");
+            // Keep the doomed step numerically alive; the commit
+            // collective will reject it and the driver rolls back.
+            dt = self.config.dt_max;
+        }
         dt
     }
 
@@ -619,16 +787,47 @@ impl HydroSim {
     /// by [`HydroSim::run_to_time`] to land exactly on the end time,
     /// as the paper's experiments "always run to the same physical end
     /// time").
+    ///
+    /// # Panics
+    /// Panics on an injected fault; fault-tolerant callers use
+    /// [`HydroSim::try_step_capped`] instead.
     pub fn step_capped(&mut self, comm: Option<&Comm>, dt_cap: Option<f64>) -> StepStats {
+        self.try_step_capped(comm, dt_cap)
+            .unwrap_or_else(|e| panic!("step: unhandled injected fault: {e}"))
+    }
+
+    /// Fault-aware [`HydroSim::step_capped`] — the tentpole of the
+    /// recovery design. The step *runs through*: a fault never removes
+    /// communication (dropped/corrupt frames are consumed, faulted
+    /// collectives complete their rendezvous), so every rank executes
+    /// the step's full communication pattern in lock-step whether or
+    /// not it observed a fault. The first local error is recorded and
+    /// carried to the end, where a commit collective (an all-reduce of
+    /// the ok flag plus the worst failure kind) turns rank-local
+    /// observations into one global verdict: `Ok` on every rank, or the
+    /// same [`SimError`] variant on every rank. On `Err` the
+    /// simulation state is *spoiled* — the caller must roll back to a
+    /// checkpoint (see `resilience`).
+    ///
+    /// # Errors
+    /// The globally agreed [`SimError`] when any rank observed a fault.
+    pub fn try_step_capped(
+        &mut self,
+        comm: Option<&Comm>,
+        dt_cap: Option<f64>,
+    ) -> Result<StepStats, SimError> {
         let gamma = self.config.gamma;
         let rec = self.recorder.clone();
         let _step_span =
             rec.is_enabled().then(|| rec.span_arg("step", Category::Other, self.step as i64));
+        let mut first: Option<SimError> = None;
 
         // --- Timestep phase ------------------------------------------
         {
             let _s = rec.is_enabled().then(|| rec.span("fill-start", Category::HaloExchange));
-            self.fill_start(comm);
+            if let Err(e) = self.try_fill_start(comm) {
+                first.get_or_insert(e);
+            }
         }
         {
             let _s = rec.is_enabled().then(|| rec.span("eos-viscosity", Category::HydroKernel));
@@ -636,7 +835,7 @@ impl HydroSim {
         }
         let mut dt = {
             let _s = rec.is_enabled().then(|| rec.span("dt-reduction", Category::Timestep));
-            self.compute_dt(comm)
+            self.try_compute_dt(comm, &mut first)
         };
         if let Some(cap) = dt_cap {
             assert!(cap > 0.0, "step_capped: non-positive dt cap");
@@ -651,34 +850,46 @@ impl HydroSim {
             self.each_patch(|ig, p, f, _dx| ig.revert(p, f));
             self.each_patch(|ig, p, f, dx| ig.accelerate(p, f, dx, dt));
             self.each_patch(|ig, p, f, dx| ig.pdv(p, f, dx, dt, false));
-            self.fill(|s| &s.post_accel, comm);
+            if let Err(e) = self.try_fill(|s| &s.post_accel, comm) {
+                first.get_or_insert(e);
+            }
             self.each_patch(|ig, p, f, dx| ig.flux_calc(p, f, dx, dt));
         }
+        self.poll_device(&mut first);
 
         // --- Advection phase (alternating sweep order) ---------------
         {
             let _s = rec.is_enabled().then(|| rec.span("advection", Category::HydroKernel));
             let dirs = if self.step.is_multiple_of(2) { [0usize, 1] } else { [1, 0] };
             self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[0], 1));
-            self.fill(|s| &s.post_sweep1[dirs[0]], comm);
+            if let Err(e) = self.try_fill(|s| &s.post_sweep1[dirs[0]], comm) {
+                first.get_or_insert(e);
+            }
             self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[0], 1));
-            self.fill(|s| &s.mid_sweeps, comm);
+            if let Err(e) = self.try_fill(|s| &s.mid_sweeps, comm) {
+                first.get_or_insert(e);
+            }
             self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[1], 2));
-            self.fill(|s| &s.post_sweep2[dirs[1]], comm);
+            if let Err(e) = self.try_fill(|s| &s.post_sweep2[dirs[1]], comm) {
+                first.get_or_insert(e);
+            }
             self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[1], 2));
             self.each_patch(|ig, p, f, _dx| ig.reset(p, f));
         }
+        self.poll_device(&mut first);
 
         // --- Synchronisation: project fine onto coarse ----------------
         {
             let _s = rec.is_enabled().then(|| rec.span("synchronize", Category::Synchronize));
             for l in (1..self.hierarchy.num_levels()).rev() {
-                self.sync_schedules[l - 1].run(
+                if let Err(e) = self.sync_schedules[l - 1].try_run(
                     &mut self.hierarchy,
                     &self.registry,
                     comm,
                     Category::Synchronize,
-                );
+                ) {
+                    first.get_or_insert(e.into());
+                }
             }
         }
 
@@ -690,8 +901,14 @@ impl HydroSim {
         if self.config.regrid_interval > 0 && self.step.is_multiple_of(self.config.regrid_interval)
         {
             let _s = rec.is_enabled().then(|| rec.span("regrid-phase", Category::Regrid));
-            self.regrid(comm);
+            if let Err(e) = self.try_regrid(comm) {
+                first.get_or_insert(e);
+            }
         }
+        self.poll_device(&mut first);
+
+        // --- Commit: one global verdict per step ---------------------
+        self.commit(comm, first)?;
 
         if rec.is_enabled() {
             rec.count("hydro.steps", 1);
@@ -708,23 +925,81 @@ impl HydroSim {
             rec.count("hydro.cells_advanced", local_cells as u64);
         }
 
-        StepStats {
+        Ok(StepStats {
             step: self.step - 1,
             dt,
             time: self.time,
             levels: self.hierarchy.num_levels(),
             total_cells: self.hierarchy.total_cells(),
+        })
+    }
+
+    /// Drain the device's sticky fault latch (the simulated analogue of
+    /// polling a CUDA error at a phase boundary) into the step's first
+    /// recorded error.
+    fn poll_device(&self, first: &mut Option<SimError>) {
+        if let Some(device) = &self.device {
+            if let Some(e) = device.take_injected_fault() {
+                first.get_or_insert(e.into());
+            }
+        }
+    }
+
+    /// The per-step commit collective: agree globally on whether the
+    /// pass ran clean and, if not, on the *worst* failure kind across
+    /// ranks, so every rank returns the same [`SimError`] variant and a
+    /// recovery driver makes identical rollback/degradation decisions
+    /// everywhere. A fault in the commit collective itself is symmetric
+    /// (the rendezvous carries the poison flag to every rank) and is
+    /// reported as a `Comm` verdict.
+    pub(crate) fn commit(
+        &self,
+        comm: Option<&Comm>,
+        first: Option<SimError>,
+    ) -> Result<(), SimError> {
+        let Some(comm) = comm else {
+            return match first {
+                Some(e) => Err(e),
+                None => Ok(()),
+            };
+        };
+        let ok = if first.is_none() { 1.0 } else { 0.0 };
+        let reason = match &first {
+            None => 0.0,
+            Some(SimError::Comm { .. }) => 1.0,
+            Some(SimError::Device { .. }) => 2.0,
+        };
+        let agreed = comm.try_allreduce_min(ok, Category::Other).and_then(|all_ok| {
+            comm.try_allreduce_max(reason, Category::Other).map(|worst| (all_ok, worst))
+        });
+        // Reuse the local error's inner detail rather than re-rendering
+        // the whole error, so repeated commits don't nest prefixes.
+        let inner = |e: SimError| match e {
+            SimError::Comm { detail } | SimError::Device { detail } => detail,
+        };
+        match agreed {
+            Ok((all_ok, _)) if all_ok >= 1.0 => Ok(()),
+            Ok((_, worst)) => {
+                let detail =
+                    first.map(inner).unwrap_or_else(|| "a peer rank reported a fault".into());
+                Err(if worst >= 2.0 {
+                    SimError::Device { detail }
+                } else {
+                    SimError::Comm { detail }
+                })
+            }
+            Err(e) => Err(SimError::Comm { detail: first.map_or_else(|| e.to_string(), inner) }),
         }
     }
 
     /// Run `n` steps; returns the last step's stats.
     pub fn run_steps(&mut self, n: usize, comm: Option<&Comm>) -> StepStats {
         assert!(n > 0, "run_steps: need at least one step");
-        let mut last = None;
-        for _ in 0..n {
-            last = Some(self.step(comm));
+        let mut last = self.step(comm);
+        for _ in 1..n {
+            last = self.step(comm);
         }
-        last.expect("n > 0")
+        last
     }
 
     /// Run until exactly `t_end`: the final step's dt is clipped so the
@@ -781,6 +1056,20 @@ impl HydroSim {
     /// unchanged levels' schedules resolve as cache hits rather than
     /// being rebuilt.
     pub fn regrid(&mut self, comm: Option<&Comm>) -> RegridOutcome {
+        self.try_regrid(comm).unwrap_or_else(|e| panic!("regrid: unhandled injected fault: {e}"))
+    }
+
+    /// Fault-aware [`HydroSim::regrid`]: injected faults surface as a
+    /// typed [`SimError`]. Schedules are rebuilt from whatever
+    /// structure the regrid left — structure decisions are
+    /// rank-invariant even under data-plane faults, and collective
+    /// verdicts abort every rank at the same point, so the rebuilt
+    /// schedules stay consistent across ranks either way.
+    ///
+    /// # Errors
+    /// [`SimError`] when the regrid's transport, metadata verification
+    /// or patch-data transfer faulted.
+    pub fn try_regrid(&mut self, comm: Option<&Comm>) -> Result<RegridOutcome, SimError> {
         let mut params = self.config.regrid.clone();
         params.metadata_mode = self.config.metadata_mode;
         let regridder = Regridder::new(params);
@@ -794,10 +1083,16 @@ impl HydroSim {
             fields: &self.fields,
             thresholds: self.config.thresholds,
         };
-        let outcome =
-            regridder.regrid(&mut self.hierarchy, &self.registry, &tagger, &specs, comm, self.time);
+        let outcome = regridder.try_regrid(
+            &mut self.hierarchy,
+            &self.registry,
+            &tagger,
+            &specs,
+            comm,
+            self.time,
+        );
         self.rebuild_schedules();
-        outcome
+        outcome.map_err(SimError::from)
     }
 
     /// Conservation diagnostics over the whole hierarchy, excluding

@@ -40,12 +40,14 @@ pub mod host_integrator;
 pub mod integrator;
 pub mod kernels;
 pub mod output;
+pub mod resilience;
 pub mod state;
 
 pub use boundary::ReflectiveBoundary;
 pub use copyback_integrator::CopyBackPatchIntegrator;
 pub use device_integrator::DevicePatchIntegrator;
 pub use host_integrator::HostPatchIntegrator;
-pub use integrator::{HydroConfig, HydroSim, Placement, StepStats};
+pub use integrator::{HydroConfig, HydroSim, Placement, SimError, StepStats};
 pub use rbamr_amr::MetadataMode;
+pub use resilience::{RecoveryPolicy, RecoveryStats, ResilienceError, ResilientSim, SimSpec};
 pub use state::{Fields, FlagThresholds, PatchIntegrator, RegionInit, Summary};

@@ -1,0 +1,385 @@
+//! Checkpoint-rollback recovery with graceful device degradation — the
+//! resilience driver over [`HydroSim`]'s fault-aware stepping.
+//!
+//! # The recovery state machine
+//!
+//! ```text
+//!            ┌─────────────── Ok ────────────────┐
+//!            ▼                                   │
+//!   ┌─── STEPPING ── Err(SimError) ──► ROLLBACK ─┘
+//!   │  (periodic checkpoint              │ attempts > max_retries
+//!   │   every `checkpoint_interval`      ▼
+//!   │   committed steps)            RetriesExhausted (typed, on
+//!   │                                every rank — the verdict is
+//!   │   degrade_after consecutive     collective by construction)
+//!   │   Device verdicts:
+//!   └── Device → DeviceCopyBack → Host
+//! ```
+//!
+//! Every decision the driver makes — retry, degrade, give up — is a
+//! function of the *global* step verdict ([`HydroSim::try_step_capped`]
+//! ends in a commit collective), so all ranks walk the state machine in
+//! lock-step without any extra coordination.
+//!
+//! A rollback rebuilds the simulation from its [`SimSpec`] at the
+//! current (possibly degraded) placement and restores the last adopted
+//! checkpoint; an exponential backoff is charged to the rank's virtual
+//! clock between attempts, modelling the wall-clock cost of real
+//! retry/degradation cycles. Checkpoint adoption is itself collective:
+//! a save spoiled by an injected device fault is discarded on every
+//! rank and the previous checkpoint stays live.
+//!
+//! Degrading `Device → DeviceCopyBack` preserves bitwise physics (the
+//! copy-back build runs identical kernels with a different transfer
+//! discipline); the final `→ Host` stage trades bitwise identity for
+//! survival, which is why it is the last resort.
+
+use crate::integrator::{HydroConfig, HydroSim, Placement, SimError, StepStats};
+use crate::state::RegionInit;
+use rbamr_amr::restart::Database;
+use rbamr_netsim::Comm;
+use rbamr_perfmodel::{Category, Clock, Machine};
+
+/// Everything needed to (re)build a [`HydroSim`] from scratch — the
+/// constructor arguments of [`HydroSim::new`], kept so a rollback can
+/// produce a fresh simulation at any placement.
+#[derive(Clone)]
+pub struct SimSpec {
+    /// The modelled platform.
+    pub machine: Machine,
+    /// The preferred (undegraded) data placement.
+    pub placement: Placement,
+    /// Physical domain extent.
+    pub extent: (f64, f64),
+    /// Level-0 resolution.
+    pub coarse_cells: (i64, i64),
+    /// Maximum AMR levels.
+    pub max_levels: usize,
+    /// Refinement ratio.
+    pub ratio: i64,
+    /// Physics and regridding configuration.
+    pub config: HydroConfig,
+    /// Initial-condition regions.
+    pub regions: Vec<RegionInit>,
+    /// This rank.
+    pub rank: usize,
+    /// Job size.
+    pub nranks: usize,
+}
+
+impl SimSpec {
+    /// Build a fresh simulation at `placement` on `clock`.
+    pub fn build(&self, placement: Placement, clock: Clock) -> HydroSim {
+        HydroSim::new(
+            self.machine.clone(),
+            placement,
+            clock,
+            self.extent,
+            self.coarse_cells,
+            self.max_levels,
+            self.ratio,
+            self.config.clone(),
+            self.regions.clone(),
+            self.rank,
+            self.nranks,
+        )
+    }
+}
+
+/// Knobs of the recovery state machine.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryPolicy {
+    /// Adopt a checkpoint every this many committed steps (0 disables
+    /// periodic checkpoints; the post-initialisation checkpoint is
+    /// always taken).
+    pub checkpoint_interval: usize,
+    /// Consecutive failed attempts before the run gives up with
+    /// [`ResilienceError::RetriesExhausted`].
+    pub max_retries: usize,
+    /// Consecutive `Device`-verdict failures at one placement before
+    /// degrading to the next placement in the chain.
+    pub degrade_after: usize,
+    /// First retry's virtual-clock backoff in seconds; doubles per
+    /// consecutive attempt.
+    pub backoff_base: f64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self { checkpoint_interval: 5, max_retries: 8, degrade_after: 2, backoff_base: 0.5 }
+    }
+}
+
+/// What recovery has done so far (mirrored on the telemetry counters
+/// `recovery.rollbacks`, `recovery.degraded_steps`,
+/// `recovery.checkpoints` and `recovery.degradations`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Rollback-and-retry cycles performed.
+    pub rollbacks: u64,
+    /// Steps committed while running below the preferred placement.
+    pub degraded_steps: u64,
+    /// Checkpoints adopted (including the initial one).
+    pub checkpoints: u64,
+    /// Placement degradations taken.
+    pub degradations: u64,
+}
+
+/// The run is over: recovery could not commit further progress.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResilienceError {
+    /// `max_retries` consecutive attempts failed. The step verdicts
+    /// driving this are collective, so every rank reports this error
+    /// together, with the same counters.
+    RetriesExhausted {
+        /// The last committed step (the checkpoint the rollbacks
+        /// targeted).
+        step: usize,
+        /// Consecutive failed attempts.
+        attempts: usize,
+        /// The final attempt's verdict.
+        last: SimError,
+    },
+}
+
+impl std::fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::RetriesExhausted { step, attempts, last } => {
+                write!(f, "recovery exhausted after {attempts} attempts at step {step}: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+/// A [`HydroSim`] wrapped in checkpoint-rollback recovery.
+pub struct ResilientSim {
+    spec: SimSpec,
+    policy: RecoveryPolicy,
+    /// Current placement — `spec.placement` until degradation.
+    placement: Placement,
+    sim: HydroSim,
+    clock: Clock,
+    /// The last adopted (collectively committed) checkpoint.
+    checkpoint: Database,
+    /// The step the checkpoint was taken at.
+    checkpoint_step: usize,
+    /// Consecutive failed attempts since the last committed step.
+    attempts: usize,
+    /// Consecutive `Device` verdicts at the current placement.
+    device_strikes: usize,
+    stats: RecoveryStats,
+    recorder: rbamr_telemetry::Recorder,
+}
+
+impl ResilientSim {
+    /// Build, initialise and take the first checkpoint, retrying under
+    /// the policy if initialisation itself is hit by faults.
+    ///
+    /// # Errors
+    /// [`ResilienceError::RetriesExhausted`] when initialisation cannot
+    /// be committed within the retry budget.
+    pub fn new(
+        spec: SimSpec,
+        policy: RecoveryPolicy,
+        recorder: rbamr_telemetry::Recorder,
+        comm: Option<&Comm>,
+    ) -> Result<Self, ResilienceError> {
+        let clock = comm.map_or_else(Clock::new, |c| c.clock().clone());
+        let mut this = Self {
+            placement: spec.placement,
+            sim: spec.build(spec.placement, clock.clone()),
+            spec,
+            policy,
+            clock,
+            checkpoint: Database::new(),
+            checkpoint_step: 0,
+            attempts: 0,
+            device_strikes: 0,
+            stats: RecoveryStats::default(),
+            recorder,
+        };
+        this.wire(comm);
+        loop {
+            let attempt =
+                this.sim.try_initialize(comm).and_then(|()| this.try_adopt_checkpoint(comm));
+            match attempt {
+                Ok(()) => {
+                    this.attempts = 0;
+                    this.device_strikes = 0;
+                    return Ok(this);
+                }
+                // No checkpoint exists yet, so "rollback" is a clean
+                // rebuild-and-reinitialise at the (possibly degraded)
+                // placement.
+                Err(e) => {
+                    this.note_failure(e)?;
+                    this.stats.rollbacks += 1;
+                    this.recorder.count("recovery.rollbacks", 1);
+                    this.rebuild(comm);
+                }
+            }
+        }
+    }
+
+    /// The wrapped simulation (diagnostics).
+    pub fn sim(&self) -> &HydroSim {
+        &self.sim
+    }
+
+    /// The current placement (shows degradation).
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// What recovery has done so far.
+    pub fn stats(&self) -> RecoveryStats {
+        self.stats
+    }
+
+    /// Advance one step past the furthest committed point,
+    /// transparently rolling back, replaying and retrying (and
+    /// degrading the placement) on faults. A rollback rewinds the
+    /// simulation to the last checkpoint, so this keeps stepping until
+    /// the replay has caught back up — the returned stats are always
+    /// for a step the simulation had never committed before.
+    ///
+    /// # Errors
+    /// [`ResilienceError::RetriesExhausted`] when the retry budget is
+    /// spent; the verdict is identical on every rank.
+    pub fn step(&mut self, comm: Option<&Comm>) -> Result<StepStats, ResilienceError> {
+        let goal = self.sim.steps_taken() + 1;
+        loop {
+            match self.sim.try_step_capped(comm, None) {
+                Ok(stats) => {
+                    self.attempts = 0;
+                    self.device_strikes = 0;
+                    if self.placement != self.spec.placement {
+                        self.stats.degraded_steps += 1;
+                        self.recorder.count("recovery.degraded_steps", 1);
+                    }
+                    if self.policy.checkpoint_interval > 0
+                        && self.sim.steps_taken().is_multiple_of(self.policy.checkpoint_interval)
+                    {
+                        // A spoiled save is discarded collectively and
+                        // the previous checkpoint stays live — not a
+                        // step failure.
+                        let _ = self.try_adopt_checkpoint(comm);
+                    }
+                    if self.sim.steps_taken() >= goal {
+                        return Ok(stats);
+                    }
+                }
+                Err(e) => self.recover(e, comm)?,
+            }
+        }
+    }
+
+    /// Run `n` committed steps.
+    ///
+    /// # Errors
+    /// As [`ResilientSim::step`].
+    pub fn run_steps(
+        &mut self,
+        n: usize,
+        comm: Option<&Comm>,
+    ) -> Result<StepStats, ResilienceError> {
+        assert!(n > 0, "run_steps: need at least one step");
+        let mut last = self.step(comm)?;
+        for _ in 1..n {
+            last = self.step(comm)?;
+        }
+        Ok(last)
+    }
+
+    /// Attach the rank's fault injector and recorder to a (re)built
+    /// simulation.
+    fn wire(&mut self, comm: Option<&Comm>) {
+        self.sim.set_recorder(self.recorder.clone());
+        if let (Some(device), Some(injector)) =
+            (self.sim.device(), comm.and_then(|c| c.fault_injector()))
+        {
+            device.set_fault_injector(std::sync::Arc::clone(injector));
+        }
+    }
+
+    /// Rebuild a fresh simulation at the current placement, on the same
+    /// clock (backoff and retry time keep accumulating on one
+    /// timeline).
+    fn rebuild(&mut self, comm: Option<&Comm>) {
+        self.sim = self.spec.build(self.placement, self.clock.clone());
+        self.wire(comm);
+    }
+
+    /// Save a checkpoint and adopt it collectively: a save spoiled by a
+    /// device fault on *any* rank is discarded on *every* rank.
+    fn try_adopt_checkpoint(&mut self, comm: Option<&Comm>) -> Result<(), SimError> {
+        let db = self.sim.save_checkpoint();
+        let mut local: Option<SimError> = None;
+        if let Some(device) = self.sim.device() {
+            if let Some(e) = device.take_injected_fault() {
+                local = Some(e.into());
+            }
+        }
+        self.sim.commit(comm, local)?;
+        self.checkpoint = db;
+        self.checkpoint_step = self.sim.steps_taken();
+        self.stats.checkpoints += 1;
+        self.recorder.count("recovery.checkpoints", 1);
+        Ok(())
+    }
+
+    /// Book-keep one failed attempt: count it, give up if the budget is
+    /// spent, degrade the placement on repeated device verdicts, and
+    /// charge the exponential backoff to the virtual clock.
+    fn note_failure(&mut self, e: SimError) -> Result<(), ResilienceError> {
+        self.attempts += 1;
+        if self.attempts > self.policy.max_retries {
+            return Err(ResilienceError::RetriesExhausted {
+                step: self.checkpoint_step,
+                attempts: self.attempts - 1,
+                last: e,
+            });
+        }
+        if matches!(e, SimError::Device { .. }) {
+            self.device_strikes += 1;
+            if self.device_strikes >= self.policy.degrade_after {
+                let next = match self.placement {
+                    Placement::Device => Some(Placement::DeviceCopyBack),
+                    Placement::DeviceCopyBack => Some(Placement::Host),
+                    Placement::Host => None,
+                };
+                if let Some(next) = next {
+                    self.placement = next;
+                    self.device_strikes = 0;
+                    self.stats.degradations += 1;
+                    self.recorder.count("recovery.degradations", 1);
+                }
+            }
+        } else {
+            self.device_strikes = 0;
+        }
+        let backoff = self.policy.backoff_base * (1u64 << (self.attempts - 1).min(16)) as f64;
+        self.clock.advance(Category::Other, backoff);
+        Ok(())
+    }
+
+    /// One rollback-and-retry cycle: book-keep the failure, rebuild at
+    /// the current placement and restore the last checkpoint. Restore
+    /// is fault-aware and its verdict is made collective here, so a
+    /// faulted restore simply counts as the next failed attempt on
+    /// every rank.
+    fn recover(&mut self, e: SimError, comm: Option<&Comm>) -> Result<(), ResilienceError> {
+        self.note_failure(e)?;
+        self.stats.rollbacks += 1;
+        self.recorder.count("recovery.rollbacks", 1);
+        self.rebuild(comm);
+        let restored = self.sim.try_restore_checkpoint(&self.checkpoint, comm);
+        match self.sim.commit(comm, restored.err().map(SimError::from)) {
+            Ok(()) => Ok(()),
+            Err(e2) => self.recover(e2, comm),
+        }
+    }
+}

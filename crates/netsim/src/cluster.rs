@@ -1,8 +1,10 @@
 //! Job launcher: run N ranks of the same program.
 
-use crate::comm::{Comm, Shared};
+use crate::comm::{Comm, Shared, DEFAULT_DEADLOCK_TIMEOUT};
+use rbamr_fault::{FaultInjector, FaultPlan};
 use rbamr_perfmodel::{Clock, CostModel, Machine, TimeBreakdown};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// What one rank produced: its closure's return value and its final
 /// virtual-time breakdown.
@@ -26,13 +28,32 @@ pub struct RankResult<R> {
 pub struct Cluster {
     machine: Machine,
     cost: Arc<CostModel>,
+    deadlock_timeout: Duration,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Cluster {
     /// A cluster of ranks on the given machine model.
     pub fn new(machine: Machine) -> Self {
         let cost = Arc::new(CostModel::new(machine.clone()));
-        Self { machine, cost }
+        Self { machine, cost, deadlock_timeout: DEFAULT_DEADLOCK_TIMEOUT, fault_plan: None }
+    }
+
+    /// Override the deadlock timeout (default 60 s). Fault tests use a
+    /// short timeout so an accidental hang fails in milliseconds, with
+    /// the per-rank pending-op diagnostic, instead of stalling CI.
+    pub fn with_deadlock_timeout(mut self, timeout: Duration) -> Self {
+        self.deadlock_timeout = timeout;
+        self
+    }
+
+    /// Attach a seeded fault plan: every rank launched by
+    /// [`Cluster::run`] gets a [`FaultInjector`] for the plan, wired
+    /// into its [`Comm`] (and retrievable via
+    /// [`Comm::fault_injector`] to also wire into the rank's device).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(Arc::new(plan));
+        self
     }
 
     /// The machine model.
@@ -62,16 +83,20 @@ impl Cluster {
         F: Fn(Comm) -> R + Sync,
     {
         assert!(nranks > 0, "Cluster::run: need at least one rank");
-        let shared = Shared::new(nranks);
+        let shared = Shared::new(nranks, self.deadlock_timeout);
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..nranks)
                 .map(|rank| {
                     let shared = Arc::clone(&shared);
                     let cost = Arc::clone(&self.cost);
+                    let plan = self.fault_plan.clone();
                     let f = &f;
                     scope.spawn(move || {
                         let clock = Clock::new();
-                        let comm = Comm::new(rank, shared, clock.clone(), cost);
+                        let mut comm = Comm::new(rank, shared, clock.clone(), cost);
+                        if let Some(plan) = plan {
+                            comm.set_fault_injector(FaultInjector::new(plan, rank));
+                        }
                         let value = f(comm);
                         RankResult { rank, value, time: clock.snapshot() }
                     })

@@ -2,22 +2,36 @@
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
+use rbamr_fault::{FaultInjector, FaultKind};
 use rbamr_perfmodel::{Category, Clock, CostModel};
 use rbamr_telemetry::Recorder;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// How long a blocking receive or collective may wait (wall-clock)
-/// before the runtime declares a deadlock and panics. Real MPI hangs
-/// silently; failing loudly is strictly more useful in a test suite.
-const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+/// Default wall-clock budget for a blocking receive or collective
+/// before the runtime declares a deadlock and panics (with a per-rank
+/// diagnostic of who is blocked where). Real MPI hangs silently;
+/// failing loudly is strictly more useful in a test suite. Fault tests
+/// shrink this via [`crate::Cluster::with_deadlock_timeout`].
+pub const DEFAULT_DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
 
-/// Misuse of the communication API detected at a single rank.
+/// Frame flags carried in the first byte of every point-to-point
+/// message. The fault layer marks injected drop/corrupt frames so the
+/// receiver stays in lock-step (the frame is consumed) while the
+/// payload is detected as faulty — the simulated analogue of a
+/// checksum mismatch or a lost-packet NACK.
+const FLAG_OK: u8 = 0;
+const FLAG_DROPPED: u8 = 1;
+const FLAG_CORRUPT: u8 = 2;
+
+/// A communication failure observed by one rank.
 ///
 /// Returned as `Err` instead of panicking: a panic in one rank thread
 /// poisons the whole simulated job (every other rank then dies on the
-/// deadlock timeout), whereas an error lets the caller report the bug.
+/// deadlock timeout), whereas an error lets the caller run through the
+/// rest of the step's communication pattern and fail collectively at
+/// the step commit.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CommError {
     /// The broadcast root passed `None` instead of a payload.
@@ -30,6 +44,31 @@ pub enum CommError {
         /// The offending rank.
         rank: usize,
     },
+    /// A point-to-point message was lost on the wire (injected fault):
+    /// the frame arrived empty and flagged.
+    MessageDropped {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank (the observer).
+        dst: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// A point-to-point payload arrived corrupted (injected fault).
+    MessageCorrupt {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank (the observer).
+        dst: usize,
+        /// Message tag.
+        tag: u64,
+    },
+    /// A collective failed; every participating rank observes this
+    /// same error for the same collective.
+    CollectiveFault {
+        /// The collective's name (`"allreduce-min"`, `"barrier"`, …).
+        name: &'static str,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -40,6 +79,15 @@ impl std::fmt::Display for CommError {
             }
             Self::UnexpectedPayload { rank } => {
                 write!(f, "broadcast: non-root rank {rank} supplied a payload")
+            }
+            Self::MessageDropped { src, dst, tag } => {
+                write!(f, "message {src}->{dst} tag {tag:#x} dropped (injected fault)")
+            }
+            Self::MessageCorrupt { src, dst, tag } => {
+                write!(f, "message {src}->{dst} tag {tag:#x} corrupt (injected fault)")
+            }
+            Self::CollectiveFault { name } => {
+                write!(f, "collective {name} failed (injected fault)")
             }
         }
     }
@@ -65,6 +113,12 @@ struct CollectiveState {
     generation: u64,
     acc: f64,
     result: f64,
+    /// OR of the participants' injected-fault decisions for the
+    /// in-progress round.
+    fault: bool,
+    /// The fault flag of the completed round — read by the waiters, so
+    /// an injected collective fault surfaces on *every* rank.
+    result_fault: bool,
 }
 
 struct Collective {
@@ -75,7 +129,14 @@ struct Collective {
 impl Collective {
     fn new() -> Self {
         Self {
-            state: Mutex::new(CollectiveState { arrived: 0, generation: 0, acc: 0.0, result: 0.0 }),
+            state: Mutex::new(CollectiveState {
+                arrived: 0,
+                generation: 0,
+                acc: 0.0,
+                result: 0.0,
+                fault: false,
+                result_fault: false,
+            }),
             done: Condvar::new(),
         }
     }
@@ -86,6 +147,8 @@ struct WordsState {
     generation: u64,
     acc: [u64; 3],
     result: [u64; 3],
+    fault: bool,
+    result_fault: bool,
 }
 
 /// Rendezvous state for the 3-word digest allreduce. Kept separate from
@@ -104,6 +167,8 @@ impl WordsCollective {
                 generation: 0,
                 acc: [0; 3],
                 result: [0; 3],
+                fault: false,
+                result_fault: false,
             }),
             done: Condvar::new(),
         }
@@ -115,16 +180,56 @@ pub(crate) struct Shared {
     collective: Collective,
     digest: WordsCollective,
     size: usize,
+    timeout: Duration,
+    /// What each rank is currently blocked in (`None` when running) —
+    /// dumped when a deadlock timeout fires so the report names every
+    /// stuck rank's pending op, not just the one that noticed.
+    pending: Vec<Mutex<Option<String>>>,
 }
 
 impl Shared {
-    pub(crate) fn new(size: usize) -> Arc<Self> {
+    pub(crate) fn new(size: usize, timeout: Duration) -> Arc<Self> {
         Arc::new(Self {
             mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
             collective: Collective::new(),
             digest: WordsCollective::new(),
             size,
+            timeout,
+            pending: (0..size).map(|_| Mutex::new(None)).collect(),
         })
+    }
+
+    /// Per-rank diagnostic of pending (blocked) operations.
+    fn dump_pending(&self) -> String {
+        let mut out = String::from("pending operations per rank:\n");
+        for (rank, slot) in self.pending.iter().enumerate() {
+            let entry = slot.lock();
+            match entry.as_deref() {
+                Some(op) => out.push_str(&format!("  rank {rank}: blocked in {op}\n")),
+                None => out.push_str(&format!("  rank {rank}: not blocked\n")),
+            }
+        }
+        out
+    }
+}
+
+/// RAII guard registering what this rank is blocked in; cleared when
+/// the wait returns.
+struct PendingGuard<'a> {
+    shared: &'a Shared,
+    rank: usize,
+}
+
+impl<'a> PendingGuard<'a> {
+    fn enter(shared: &'a Shared, rank: usize, what: String) -> Self {
+        *shared.pending[rank].lock() = Some(what);
+        Self { shared, rank }
+    }
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        *self.shared.pending[self.rank].lock() = None;
     }
 }
 
@@ -138,6 +243,7 @@ pub struct Comm {
     cost: Arc<CostModel>,
     collective_seq: std::sync::atomic::AtomicU64,
     recorder: Recorder,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Comm {
@@ -154,6 +260,7 @@ impl Comm {
             cost,
             collective_seq: std::sync::atomic::AtomicU64::new(0),
             recorder: Recorder::disabled(),
+            injector: None,
         }
     }
 
@@ -167,6 +274,20 @@ impl Comm {
     /// The attached recorder (disabled if never set).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Attach a fault injector: sends, receives and collectives consult
+    /// it for seeded drop/corrupt/delay/collective faults. Every fired
+    /// fault counts `fault.injected` on the recorder.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// The attached fault injector, if any — shared with the rank's
+    /// device and read back by chaos harnesses for reproducibility
+    /// checks.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
     }
 
     fn count_message(&self, dir: &str, tag: u64, bytes: u64) {
@@ -200,9 +321,37 @@ impl Comm {
         &self.cost
     }
 
+    /// Decide the frame flag (and possibly mutated body) for an
+    /// outgoing payload: injected drops empty the body, injected
+    /// corruption flips one deterministic bit. Both mark the frame so
+    /// the receiver detects the fault without desynchronising.
+    fn frame_for_send(&self, payload: Bytes) -> (u8, Bytes) {
+        let Some(inj) = &self.injector else { return (FLAG_OK, payload) };
+        if inj.should_fire(FaultKind::MsgDrop).is_some() {
+            self.recorder.count("fault.injected", 1);
+            return (FLAG_DROPPED, Bytes::new());
+        }
+        if let Some(site) = inj.should_fire(FaultKind::MsgCorrupt) {
+            self.recorder.count("fault.injected", 1);
+            if payload.is_empty() {
+                return (FLAG_CORRUPT, payload);
+            }
+            let w = inj.decision_word(FaultKind::MsgCorrupt, site.occurrence);
+            let mut body = payload.to_vec();
+            let idx = (w as usize) % body.len();
+            body[idx] ^= 1 << ((w >> 8) % 8);
+            return (FLAG_CORRUPT, Bytes::from(body));
+        }
+        (FLAG_OK, payload)
+    }
+
     /// Post a message to `dst` with a user-chosen `tag`. Non-blocking
     /// (buffered send); virtual transfer time is charged on the
     /// receiving side so a message's cost is counted exactly once.
+    ///
+    /// An attached fault injector may drop or corrupt the payload on
+    /// the wire; the flagged frame still arrives, so the receiver
+    /// detects the fault from [`Comm::try_recv`] without hanging.
     ///
     /// # Panics
     /// Panics if `dst` is out of range or is this rank itself (self
@@ -212,39 +361,167 @@ impl Comm {
         assert!(dst < self.shared.size, "send: rank {dst} out of range");
         assert_ne!(dst, self.rank, "send: rank {} sent to itself", self.rank);
         self.count_message("send", tag, payload.len() as u64);
+        let (flag, body) = self.frame_for_send(payload);
+        let mut framed = Vec::with_capacity(body.len() + 1);
+        framed.push(flag);
+        framed.extend_from_slice(&body);
         let mb = &self.shared.mailboxes[dst];
-        mb.queues.lock().entry((self.rank, tag)).or_default().push_back(payload);
+        mb.queues.lock().entry((self.rank, tag)).or_default().push_back(Bytes::from(framed));
         mb.ready.notify_all();
+    }
+
+    /// Pop the next frame from `src`/`tag`, blocking until it arrives.
+    ///
+    /// # Panics
+    /// Panics after the deadlock timeout, dumping every rank's pending
+    /// operation.
+    fn blocking_pop(&self, src: usize, tag: u64, category: Category) -> Bytes {
+        let mb = &self.shared.mailboxes[self.rank];
+        let mut queues = mb.queues.lock();
+        loop {
+            if let Some(q) = queues.get_mut(&(src, tag)) {
+                if let Some(frame) = q.pop_front() {
+                    return frame;
+                }
+            }
+            let _pending = PendingGuard::enter(
+                &self.shared,
+                self.rank,
+                format!("recv(src={src}, tag={tag:#x}, category={category:?})"),
+            );
+            let timed_out = mb.ready.wait_for(&mut queues, self.shared.timeout).timed_out();
+            if timed_out {
+                panic!(
+                    "deadlock: rank {} waited {:?} for a message from {src} tag {tag:#x}\n{}",
+                    self.rank,
+                    self.shared.timeout,
+                    self.shared.dump_pending()
+                );
+            }
+        }
     }
 
     /// Blocking receive of the next message from `src` with `tag`.
     /// Charges this rank's clock with the modelled message cost,
     /// attributed to `category`.
     ///
+    /// # Errors
+    /// [`CommError::MessageDropped`] / [`CommError::MessageCorrupt`]
+    /// when the frame carries an injected fault. The frame is consumed
+    /// either way, so the caller can keep receiving later messages (the
+    /// run-through recovery discipline).
+    ///
     /// # Panics
-    /// Panics after 60 s of wall-clock inactivity (deadlock), or if
-    /// `src` is invalid.
-    pub fn recv(&self, src: usize, tag: u64, category: Category) -> Bytes {
+    /// Panics after the deadlock timeout (dumping every rank's pending
+    /// op), or if `src` is invalid.
+    pub fn try_recv(&self, src: usize, tag: u64, category: Category) -> Result<Bytes, CommError> {
         assert!(src < self.shared.size, "recv: rank {src} out of range");
         assert_ne!(src, self.rank, "recv: rank {} received from itself", self.rank);
-        let mb = &self.shared.mailboxes[self.rank];
-        let mut queues = mb.queues.lock();
-        loop {
-            if let Some(q) = queues.get_mut(&(src, tag)) {
-                if let Some(payload) = q.pop_front() {
-                    let bytes = payload.len() as u64;
-                    drop(queues);
-                    self.clock.advance(category, self.cost.message(bytes));
-                    self.count_message("recv", tag, bytes);
-                    return payload;
-                }
+        let frame = self.blocking_pop(src, tag, category);
+        assert!(!frame.is_empty(), "recv: malformed frame (missing flag byte)");
+        let flag = frame[0];
+        let payload = frame.slice(1..);
+        let bytes = payload.len() as u64;
+        if let Some(inj) = &self.injector {
+            if let Some(site) = inj.should_fire(FaultKind::MsgDelay) {
+                self.recorder.count("fault.injected", 1);
+                // A deterministic 1-8x message-cost stall: congestion,
+                // retransmission, a slow NIC — no data harm done.
+                let w = inj.decision_word(FaultKind::MsgDelay, site.occurrence);
+                let factor = 1 + (w % 8);
+                self.clock.advance(category, self.cost.message(bytes) * factor as f64);
             }
-            let timed_out = mb.ready.wait_for(&mut queues, DEADLOCK_TIMEOUT).timed_out();
-            assert!(
-                !timed_out,
-                "deadlock: rank {} waited >60s for a message from {src} tag {tag}",
-                self.rank
+        }
+        self.clock.advance(category, self.cost.message(bytes));
+        self.count_message("recv", tag, bytes);
+        match flag {
+            FLAG_OK => Ok(payload),
+            FLAG_DROPPED => Err(CommError::MessageDropped { src, dst: self.rank, tag }),
+            FLAG_CORRUPT => Err(CommError::MessageCorrupt { src, dst: self.rank, tag }),
+            other => panic!("recv: unknown frame flag {other}"),
+        }
+    }
+
+    /// Blocking receive for fault-free paths.
+    ///
+    /// # Panics
+    /// Panics on an injected fault — callers that can encounter
+    /// injected faults use [`Comm::try_recv`] and propagate the typed
+    /// error instead.
+    pub fn recv(&self, src: usize, tag: u64, category: Category) -> Bytes {
+        self.try_recv(src, tag, category)
+            .unwrap_or_else(|e| panic!("recv: unhandled injected fault: {e}"))
+    }
+
+    fn try_collective(
+        &self,
+        name: &'static str,
+        v: f64,
+        op: fn(f64, f64) -> f64,
+        bytes: u64,
+        category: Category,
+    ) -> Result<f64, CommError> {
+        let _span = self.recorder.is_enabled().then(|| self.recorder.span(name, category));
+        self.recorder.count("net.collectives", 1);
+        self.recorder.count("net.collective_bytes", bytes);
+        let nranks = self.shared.size as u32;
+        self.clock.advance(category, self.cost.allreduce(nranks, bytes));
+        let injected =
+            self.injector.as_ref().and_then(|i| i.should_fire(FaultKind::CollectiveFault));
+        if injected.is_some() {
+            self.recorder.count("fault.injected", 1);
+        }
+        if self.shared.size == 1 {
+            return if injected.is_some() {
+                Err(CommError::CollectiveFault { name })
+            } else {
+                Ok(v)
+            };
+        }
+        let coll = &self.shared.collective;
+        let mut st = coll.state.lock();
+        if st.arrived == 0 {
+            st.acc = v;
+            st.fault = injected.is_some();
+        } else {
+            st.acc = op(st.acc, v);
+            st.fault |= injected.is_some();
+        }
+        st.arrived += 1;
+        if st.arrived == self.shared.size {
+            st.result = st.acc;
+            st.result_fault = st.fault;
+            st.arrived = 0;
+            st.fault = false;
+            st.generation += 1;
+            coll.done.notify_all();
+            return if st.result_fault {
+                Err(CommError::CollectiveFault { name })
+            } else {
+                Ok(st.result)
+            };
+        }
+        let gen = st.generation;
+        while st.generation == gen {
+            let _pending = PendingGuard::enter(
+                &self.shared,
+                self.rank,
+                format!("{name} (category={category:?})"),
             );
+            let timed_out = coll.done.wait_for(&mut st, self.shared.timeout).timed_out();
+            if timed_out {
+                panic!(
+                    "deadlock: rank {} waited {:?} in {name}\n{}",
+                    self.rank,
+                    self.shared.timeout,
+                    self.shared.dump_pending()
+                );
+            }
+        }
+        if st.result_fault {
+            Err(CommError::CollectiveFault { name })
+        } else {
+            Ok(st.result)
         }
     }
 
@@ -256,31 +533,8 @@ impl Comm {
         bytes: u64,
         category: Category,
     ) -> f64 {
-        let _span = self.recorder.is_enabled().then(|| self.recorder.span(name, category));
-        self.recorder.count("net.collectives", 1);
-        self.recorder.count("net.collective_bytes", bytes);
-        let nranks = self.shared.size as u32;
-        self.clock.advance(category, self.cost.allreduce(nranks, bytes));
-        if self.shared.size == 1 {
-            return v;
-        }
-        let coll = &self.shared.collective;
-        let mut st = coll.state.lock();
-        st.acc = if st.arrived == 0 { v } else { op(st.acc, v) };
-        st.arrived += 1;
-        if st.arrived == self.shared.size {
-            st.result = st.acc;
-            st.arrived = 0;
-            st.generation += 1;
-            coll.done.notify_all();
-            return st.result;
-        }
-        let gen = st.generation;
-        while st.generation == gen {
-            let timed_out = coll.done.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out();
-            assert!(!timed_out, "deadlock: rank {} waited >60s in a collective", self.rank);
-        }
-        st.result
+        self.try_collective(name, v, op, bytes, category)
+            .unwrap_or_else(|e| panic!("{name}: unhandled injected fault: {e}"))
     }
 
     /// Global minimum over all ranks — the dt reduction, "the only
@@ -289,9 +543,21 @@ impl Comm {
         self.collective("allreduce-min", v, f64::min, 8, category)
     }
 
+    /// Fault-aware [`Comm::allreduce_min`]: an injected collective
+    /// fault surfaces as the same [`CommError::CollectiveFault`] on
+    /// every participating rank.
+    pub fn try_allreduce_min(&self, v: f64, category: Category) -> Result<f64, CommError> {
+        self.try_collective("allreduce-min", v, f64::min, 8, category)
+    }
+
     /// Global maximum over all ranks.
     pub fn allreduce_max(&self, v: f64, category: Category) -> f64 {
         self.collective("allreduce-max", v, f64::max, 8, category)
+    }
+
+    /// Fault-aware [`Comm::allreduce_max`].
+    pub fn try_allreduce_max(&self, v: f64, category: Category) -> Result<f64, CommError> {
+        self.try_collective("allreduce-max", v, f64::max, 8, category)
     }
 
     /// Global sum over all ranks (used by conservation diagnostics).
@@ -303,9 +569,91 @@ impl Comm {
         self.collective("allreduce-sum", v, |a, b| a + b, 8, category)
     }
 
+    /// Fault-aware [`Comm::allreduce_sum`].
+    pub fn try_allreduce_sum(&self, v: f64, category: Category) -> Result<f64, CommError> {
+        self.try_collective("allreduce-sum", v, |a, b| a + b, 8, category)
+    }
+
     /// Synchronise all ranks.
     pub fn barrier(&self, category: Category) {
         self.collective("barrier", 0.0, |_, _| 0.0, 0, category);
+    }
+
+    /// Fault-aware [`Comm::barrier`].
+    pub fn try_barrier(&self, category: Category) -> Result<(), CommError> {
+        self.try_collective("barrier", 0.0, |_, _| 0.0, 0, category).map(|_| ())
+    }
+
+    fn try_digest_collective(
+        &self,
+        words: [u64; 3],
+        category: Category,
+    ) -> Result<[u64; 3], CommError> {
+        let _span =
+            self.recorder.is_enabled().then(|| self.recorder.span("allreduce-digest", category));
+        self.recorder.count("net.collectives", 1);
+        self.recorder.count("net.collective_bytes", 24);
+        let nranks = self.shared.size as u32;
+        self.clock.advance(category, self.cost.allreduce(nranks, 24));
+        let injected =
+            self.injector.as_ref().and_then(|i| i.should_fire(FaultKind::CollectiveFault));
+        if injected.is_some() {
+            self.recorder.count("fault.injected", 1);
+        }
+        if self.shared.size == 1 {
+            return if injected.is_some() {
+                Err(CommError::CollectiveFault { name: "allreduce-digest" })
+            } else {
+                Ok(words)
+            };
+        }
+        let coll = &self.shared.digest;
+        let mut st = coll.state.lock();
+        if st.arrived == 0 {
+            st.acc = words;
+            st.fault = injected.is_some();
+        } else {
+            st.acc[0] = st.acc[0].wrapping_add(words[0]);
+            st.acc[1] ^= words[1];
+            st.acc[2] = st.acc[2].wrapping_add(words[2]);
+            st.fault |= injected.is_some();
+        }
+        st.arrived += 1;
+        if st.arrived == self.shared.size {
+            st.result = st.acc;
+            st.result_fault = st.fault;
+            st.arrived = 0;
+            st.fault = false;
+            st.generation += 1;
+            coll.done.notify_all();
+            return if st.result_fault {
+                Err(CommError::CollectiveFault { name: "allreduce-digest" })
+            } else {
+                Ok(st.result)
+            };
+        }
+        let gen = st.generation;
+        while st.generation == gen {
+            let _pending = PendingGuard::enter(
+                &self.shared,
+                self.rank,
+                format!("allreduce-digest (category={category:?})"),
+            );
+            let timed_out = coll.done.wait_for(&mut st, self.shared.timeout).timed_out();
+            if timed_out {
+                panic!(
+                    "deadlock: rank {} waited {:?} in allreduce-digest\n{}",
+                    self.rank,
+                    self.shared.timeout,
+                    self.shared.dump_pending()
+                );
+            }
+        }
+        if st.result_fault {
+            Err(CommError::CollectiveFault { name: "allreduce-digest" })
+        } else {
+            Ok(st.result)
+        }
     }
 
     /// Allreduce of order-independent digest channel words
@@ -317,38 +665,17 @@ impl Comm {
     /// for partitioned level metadata. The combine is commutative and
     /// associative, so rank-arrival order cannot change the result.
     pub fn allreduce_digest(&self, words: [u64; 3], category: Category) -> [u64; 3] {
-        let _span =
-            self.recorder.is_enabled().then(|| self.recorder.span("allreduce-digest", category));
-        self.recorder.count("net.collectives", 1);
-        self.recorder.count("net.collective_bytes", 24);
-        let nranks = self.shared.size as u32;
-        self.clock.advance(category, self.cost.allreduce(nranks, 24));
-        if self.shared.size == 1 {
-            return words;
-        }
-        let coll = &self.shared.digest;
-        let mut st = coll.state.lock();
-        if st.arrived == 0 {
-            st.acc = words;
-        } else {
-            st.acc[0] = st.acc[0].wrapping_add(words[0]);
-            st.acc[1] ^= words[1];
-            st.acc[2] = st.acc[2].wrapping_add(words[2]);
-        }
-        st.arrived += 1;
-        if st.arrived == self.shared.size {
-            st.result = st.acc;
-            st.arrived = 0;
-            st.generation += 1;
-            coll.done.notify_all();
-            return st.result;
-        }
-        let gen = st.generation;
-        while st.generation == gen {
-            let timed_out = coll.done.wait_for(&mut st, DEADLOCK_TIMEOUT).timed_out();
-            assert!(!timed_out, "deadlock: rank {} waited >60s in allreduce-digest", self.rank);
-        }
-        st.result
+        self.try_digest_collective(words, category)
+            .unwrap_or_else(|e| panic!("allreduce-digest: unhandled injected fault: {e}"))
+    }
+
+    /// Fault-aware [`Comm::allreduce_digest`].
+    pub fn try_allreduce_digest(
+        &self,
+        words: [u64; 3],
+        category: Category,
+    ) -> Result<[u64; 3], CommError> {
+        self.try_digest_collective(words, category)
     }
 
     fn next_collective_tag(&self) -> u64 {
@@ -362,26 +689,53 @@ impl Comm {
     /// Gather every rank's payload at `root` (returns `Some(payloads)`,
     /// indexed by rank, at the root; `None` elsewhere). Cost: the root
     /// is charged one message per remote rank.
+    ///
+    /// # Panics
+    /// Panics on an injected fault — use [`Comm::try_gather`] on paths
+    /// where faults may be injected.
     pub fn gather(&self, root: usize, payload: Bytes, category: Category) -> Option<Vec<Bytes>> {
+        self.try_gather(root, payload, category)
+            .unwrap_or_else(|e| panic!("gather: unhandled injected fault: {e}"))
+    }
+
+    /// Fault-aware [`Comm::gather`]: the root receives from every rank
+    /// even when a frame is faulty (run-through), then reports the
+    /// first fault.
+    pub fn try_gather(
+        &self,
+        root: usize,
+        payload: Bytes,
+        category: Category,
+    ) -> Result<Option<Vec<Bytes>>, CommError> {
         let _span = self.recorder.is_enabled().then(|| self.recorder.span("gather", category));
         self.recorder.count("net.collectives", 1);
         let tag = self.next_collective_tag();
         if self.rank == root {
             let mut parts = Vec::with_capacity(self.shared.size);
+            let mut first_err = None;
             for src in 0..self.shared.size {
                 if src == self.rank {
                     parts.push(payload.clone());
                 } else {
-                    parts.push(self.recv(src, tag, category));
+                    match self.try_recv(src, tag, category) {
+                        Ok(p) => parts.push(p),
+                        Err(e) => {
+                            parts.push(Bytes::new());
+                            first_err.get_or_insert(e);
+                        }
+                    }
                 }
             }
             let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
             self.recorder.count("net.collective_bytes", total);
-            Some(parts)
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(Some(parts)),
+            }
         } else {
             self.recorder.count("net.collective_bytes", payload.len() as u64);
             self.send(root, tag, payload);
-            None
+            Ok(None)
         }
     }
 
@@ -391,10 +745,11 @@ impl Comm {
     ///
     /// # Errors
     /// [`CommError::MissingRootPayload`] if the root passes `None`,
-    /// [`CommError::UnexpectedPayload`] if a non-root passes `Some`.
-    /// The collective tag is consumed either way, so a rank that
-    /// reports (rather than propagates) the error stays aligned with
-    /// the other ranks' collective sequence.
+    /// [`CommError::UnexpectedPayload`] if a non-root passes `Some`,
+    /// [`CommError::MessageDropped`] / [`CommError::MessageCorrupt`] on
+    /// an injected wire fault. The collective tag is consumed either
+    /// way, so a rank that reports (rather than propagates) the error
+    /// stays aligned with the other ranks' collective sequence.
     pub fn broadcast(
         &self,
         root: usize,
@@ -419,7 +774,7 @@ impl Comm {
             if payload.is_some() {
                 return Err(CommError::UnexpectedPayload { rank: self.rank });
             }
-            let payload = self.recv(root, tag, category);
+            let payload = self.try_recv(root, tag, category)?;
             self.recorder.count("net.collective_bytes", payload.len() as u64);
             Ok(payload)
         }
@@ -434,7 +789,23 @@ impl Comm {
     /// Implemented as a buffered send to every peer followed by one
     /// receive per peer in rank order; each rank is charged one message
     /// per remote contribution it receives.
+    ///
+    /// # Panics
+    /// Panics on an injected fault — use [`Comm::try_allgatherv`] on
+    /// paths where faults may be injected.
     pub fn allgatherv(&self, payload: Bytes, category: Category) -> Vec<Bytes> {
+        self.try_allgatherv(payload, category)
+            .unwrap_or_else(|e| panic!("allgatherv: unhandled injected fault: {e}"))
+    }
+
+    /// Fault-aware [`Comm::allgatherv`]: receives from every peer even
+    /// when a frame is faulty (run-through), then reports the first
+    /// fault.
+    pub fn try_allgatherv(
+        &self,
+        payload: Bytes,
+        category: Category,
+    ) -> Result<Vec<Bytes>, CommError> {
         let _span = self.recorder.is_enabled().then(|| self.recorder.span("allgatherv", category));
         self.recorder.count("net.collectives", 1);
         let tag = self.next_collective_tag();
@@ -444,16 +815,26 @@ impl Comm {
             }
         }
         let mut parts = Vec::with_capacity(self.shared.size);
+        let mut first_err = None;
         for src in 0..self.shared.size {
             if src == self.rank {
                 parts.push(payload.clone());
             } else {
-                parts.push(self.recv(src, tag, category));
+                match self.try_recv(src, tag, category) {
+                    Ok(p) => parts.push(p),
+                    Err(e) => {
+                        parts.push(Bytes::new());
+                        first_err.get_or_insert(e);
+                    }
+                }
             }
         }
         let total: u64 = parts.iter().map(|p| p.len() as u64).sum();
         self.recorder.count("net.collective_bytes", total);
-        parts
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(parts),
+        }
     }
 }
 
@@ -461,6 +842,7 @@ impl Comm {
 mod tests {
     use super::*;
     use crate::cluster::Cluster;
+    use rbamr_fault::{FaultPlan, FaultRule};
     use rbamr_perfmodel::Machine;
 
     fn cluster() -> Cluster {
@@ -599,10 +981,13 @@ mod tests {
                 }
                 Bytes::from(all)
             });
-            comm.broadcast(0, merged, Category::Regrid).expect("well-formed broadcast")
+            comm.broadcast(0, merged, Category::Regrid)
         });
         for r in &results {
-            assert_eq!(&r.value[..], &[0, 1, 2]);
+            // Propagate the typed result out of the rank closure; no
+            // rank may observe an error on this well-formed broadcast.
+            let payload = r.value.as_ref().expect("fault-free broadcast succeeds");
+            assert_eq!(&payload[..], &[0, 1, 2]);
         }
     }
 
@@ -715,12 +1100,12 @@ mod tests {
             comm.barrier(Category::Other); // 0
             comm.allreduce_digest([1, 2, 3], Category::Regrid); // 24
             comm.gather(0, mine.clone(), Category::Regrid); // root: 6, others: own len
-            comm.broadcast(
+            let bcast = comm.broadcast(
                 0,
                 (comm.rank() == 0).then(|| Bytes::from_static(b"abcde")),
                 Category::Regrid,
-            )
-            .expect("well-formed broadcast"); // 5 everywhere
+            ); // 5 everywhere
+            assert!(bcast.is_ok(), "fault-free broadcast succeeds");
             comm.allgatherv(mine, Category::HaloExchange); // 6 everywhere
             (rec.counter("net.collectives"), rec.counter("net.collective_bytes"))
         });
@@ -759,5 +1144,151 @@ mod tests {
             assert!(r.value.1 > 0.0, "allgatherv recv must charge Regrid");
             assert_eq!(r.value.2, 0.0, "no Other-category traffic was issued");
         }
+    }
+
+    // ---- fault injection --------------------------------------------
+
+    #[test]
+    fn injected_drop_surfaces_as_typed_error_without_hanging() {
+        let plan = FaultPlan::new(7, vec![FaultRule::once_on(FaultKind::MsgDrop, 0, 0)]);
+        let results = cluster().with_fault_plan(plan).run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, Bytes::from_static(b"doomed"));
+                comm.send(1, 4, Bytes::from_static(b"fine"));
+                (Ok(Bytes::new()), Ok(Bytes::new()))
+            } else {
+                // The dropped frame is consumed; the next message still
+                // arrives — run-through, no desync.
+                (comm.try_recv(0, 3, Category::Other), comm.try_recv(0, 4, Category::Other))
+            }
+        });
+        let (first, second) = &results[1].value;
+        assert_eq!(first, &Err(CommError::MessageDropped { src: 0, dst: 1, tag: 3 }));
+        assert_eq!(second.as_ref().map(|b| &b[..]), Ok(&b"fine"[..]));
+    }
+
+    #[test]
+    fn injected_corruption_flips_payload_and_flags_frame() {
+        let plan = FaultPlan::new(9, vec![FaultRule::once_on(FaultKind::MsgCorrupt, 0, 0)]);
+        let results = cluster().with_fault_plan(plan).run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 5, Bytes::from_static(b"payload"));
+                Ok(Bytes::new())
+            } else {
+                comm.try_recv(0, 5, Category::Other)
+            }
+        });
+        assert_eq!(results[1].value, Err(CommError::MessageCorrupt { src: 0, dst: 1, tag: 5 }));
+    }
+
+    #[test]
+    fn injected_collective_fault_is_symmetric() {
+        let plan = FaultPlan::new(11, vec![FaultRule::once_on(FaultKind::CollectiveFault, 1, 0)]);
+        let results = cluster().with_fault_plan(plan).run(3, |comm| {
+            let bad = comm.try_allreduce_min(comm.rank() as f64, Category::Timestep);
+            let good = comm.try_allreduce_min(comm.rank() as f64, Category::Timestep);
+            (bad, good)
+        });
+        for r in &results {
+            assert_eq!(
+                r.value.0,
+                Err(CommError::CollectiveFault { name: "allreduce-min" }),
+                "every rank observes the same collective fault"
+            );
+            assert_eq!(r.value.1, Ok(0.0), "the next collective is clean");
+        }
+    }
+
+    #[test]
+    fn injected_delay_charges_extra_time_but_keeps_data() {
+        let run = |with_delay: bool| {
+            let mut c = cluster();
+            if with_delay {
+                c = c.with_fault_plan(FaultPlan::new(
+                    13,
+                    vec![FaultRule::once_on(FaultKind::MsgDelay, 1, 0)],
+                ));
+            }
+            c.run(2, |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 2, Bytes::from(vec![7u8; 4096]));
+                    (Bytes::new(), 0.0)
+                } else {
+                    let p = comm.recv(0, 2, Category::HaloExchange);
+                    (p, comm.clock().total())
+                }
+            })
+        };
+        let plain = run(false);
+        let delayed = run(true);
+        assert_eq!(plain[1].value.0, delayed[1].value.0, "delay must not harm the payload");
+        assert!(
+            delayed[1].value.1 > plain[1].value.1,
+            "delay must charge extra virtual time ({} vs {})",
+            delayed[1].value.1,
+            plain[1].value.1
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_fault_reports() {
+        let plan = || {
+            FaultPlan::new(
+                21,
+                vec![FaultRule {
+                    kind: FaultKind::MsgDrop,
+                    ranks: None,
+                    after: 0,
+                    count: u64::MAX,
+                    probability: 0.4,
+                }],
+            )
+        };
+        let run = || {
+            cluster().with_fault_plan(plan()).run(2, |comm| {
+                let mut errs = 0usize;
+                if comm.rank() == 0 {
+                    for i in 0..32u64 {
+                        comm.send(1, i, Bytes::from_static(b"x"));
+                    }
+                } else {
+                    for i in 0..32u64 {
+                        if comm.try_recv(0, i, Category::Other).is_err() {
+                            errs += 1;
+                        }
+                    }
+                }
+                let report = comm.fault_injector().expect("injector attached").report();
+                (errs, report)
+            })
+        };
+        let a = run();
+        let b = run();
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.value, rb.value, "rank {} reports differ across reruns", ra.rank);
+        }
+        assert!(a[1].value.0 > 0, "p=0.4 over 32 messages fires at least once");
+    }
+
+    #[test]
+    fn deadlock_diagnostic_names_blocked_ranks() {
+        let caught = std::panic::catch_unwind(|| {
+            cluster().with_deadlock_timeout(Duration::from_millis(200)).run(2, |comm| {
+                if comm.rank() == 0 {
+                    // Never sent: rank 0 blocks until the timeout.
+                    comm.recv(1, 99, Category::HaloExchange);
+                }
+            });
+        });
+        let err = caught.expect_err("deadlock must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("deadlock"), "got: {msg}");
+        assert!(msg.contains("pending operations per rank"), "got: {msg}");
+        assert!(msg.contains("rank 0: blocked in recv(src=1, tag=0x63"), "got: {msg}");
+        assert!(msg.contains("rank 1: not blocked"), "got: {msg}");
     }
 }

@@ -26,3 +26,4 @@ pub mod comm;
 
 pub use cluster::{Cluster, RankResult};
 pub use comm::{Comm, CommError};
+pub use rbamr_fault::{FaultInjector, FaultKind, FaultPlan, FaultReport, FaultRule, FaultSite};

@@ -45,6 +45,15 @@ pub struct Deck {
     /// default) or `metadata_mode=partitioned` (owned + ghosted views
     /// with digest-verified exchange).
     pub metadata_mode: MetadataMode,
+    /// Seed for deterministic fault injection (`fault_seed=…`), if the
+    /// run should be a chaos run.
+    pub fault_seed: Option<u64>,
+    /// Committed steps between recovery checkpoints
+    /// (`checkpoint_interval=…`), if overriding the policy default.
+    pub checkpoint_interval: Option<usize>,
+    /// Rollback-and-retry budget (`max_retries=…`), if overriding the
+    /// policy default.
+    pub max_retries: Option<usize>,
     /// Keys the parser did not understand (ignored, reported).
     pub ignored: Vec<String>,
 }
@@ -99,6 +108,9 @@ pub fn parse_deck(text: &str) -> Result<Deck, DeckError> {
     let mut end_time = None;
     let mut end_step = None;
     let mut metadata_mode = MetadataMode::default();
+    let mut fault_seed = None;
+    let mut checkpoint_interval = None;
+    let mut max_retries = None;
     let mut ignored = Vec::new();
 
     for raw in text.lines() {
@@ -182,6 +194,18 @@ pub fn parse_deck(text: &str) -> Result<Deck, DeckError> {
                         _ => return Err(DeckError::BadValue(k.into(), v.into())),
                     }
                 }
+                "fault_seed" => {
+                    fault_seed =
+                        Some(v.parse().map_err(|_| DeckError::BadValue(k.into(), v.into()))?);
+                }
+                "checkpoint_interval" => {
+                    checkpoint_interval =
+                        Some(v.parse().map_err(|_| DeckError::BadValue(k.into(), v.into()))?);
+                }
+                "max_retries" => {
+                    max_retries =
+                        Some(v.parse().map_err(|_| DeckError::BadValue(k.into(), v.into()))?);
+                }
                 other => ignored.push(other.to_owned()),
             }
         }
@@ -224,6 +248,9 @@ pub fn parse_deck(text: &str) -> Result<Deck, DeckError> {
         end_time,
         end_step,
         metadata_mode,
+        fault_seed,
+        checkpoint_interval,
+        max_retries,
         ignored,
     })
 }
@@ -307,6 +334,30 @@ mod tests {
         assert_eq!(
             parse_deck(&text("sharded")),
             Err(DeckError::BadValue("metadata_mode".into(), "sharded".into()))
+        );
+    }
+
+    #[test]
+    fn resilience_keys_parse_and_default_to_none() {
+        let text = "*clover\n state 1 density=1.0 energy=1.0\n x_cells=8 y_cells=8\n \
+                    fault_seed=42 checkpoint_interval=5 max_retries=3\n*endclover\n";
+        let deck = parse_deck(text).expect("deck");
+        assert_eq!(deck.fault_seed, Some(42));
+        assert_eq!(deck.checkpoint_interval, Some(5));
+        assert_eq!(deck.max_retries, Some(3));
+        assert!(deck.ignored.is_empty());
+
+        let plain = parse_deck(sod_deck()).expect("deck");
+        assert_eq!(plain.fault_seed, None);
+        assert_eq!(plain.checkpoint_interval, None);
+        assert_eq!(plain.max_retries, None);
+
+        assert_eq!(
+            parse_deck(
+                "*clover\n state 1 density=1 energy=1\n x_cells=8 y_cells=8\n \
+                 fault_seed=banana\n*endclover"
+            ),
+            Err(DeckError::BadValue("fault_seed".into(), "banana".into()))
         );
     }
 

@@ -48,7 +48,7 @@ fn main() {
     // Checkpoint, resume in a fresh simulation, continue.
     let db = sim.save_checkpoint();
     let mut resumed = build();
-    resumed.restore_checkpoint(&db);
+    resumed.restore_checkpoint(&db, None);
     for _ in 0..15 {
         resumed.step(None);
     }
