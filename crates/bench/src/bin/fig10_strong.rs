@@ -18,6 +18,7 @@ use rbamr_bench::{csv_dir_arg, fmt_secs, measure_profile, sod_sim, write_csv, St
 use rbamr_hydro::Placement;
 use rbamr_netsim::Cluster;
 use rbamr_perfmodel::Machine;
+use rbamr_telemetry::{MetricsSnapshot, Recorder};
 
 const PAPER_STEPS: usize = 1000;
 const REGRID_INTERVAL: usize = 10;
@@ -31,7 +32,9 @@ fn run_config(placement: Placement, machine: Machine, ranks: usize, nx: i64, ny:
     // Enough patches to feed every rank (~4 level-0 patches per rank),
     // as SAMRAI's gridding parameters would be chosen for the job size.
     let max_patch = (nx as f64 / (ranks as f64).sqrt() / 2.0).clamp(32.0, 512.0) as i64;
-    let results = cluster.run(ranks, |comm| {
+    let results = cluster.run(ranks, |mut comm| {
+        let rec = Recorder::new(comm.rank(), comm.clock().clone());
+        comm.set_recorder(rec.clone());
         let mut sim = sod_sim(
             machine.clone(),
             placement,
@@ -43,16 +46,29 @@ fn run_config(placement: Placement, machine: Machine, ranks: usize, nx: i64, ny:
             comm.rank(),
             comm.size(),
         );
+        sim.set_recorder(rec.clone());
         sim.initialize(Some(&comm));
         let steps = if nx >= 1024 { 2 } else { 3 };
-        measure_profile(&mut sim, Some(&comm), steps)
+        (measure_profile(&mut sim, Some(&comm), steps), rec)
     });
+    // The same telemetry honesty check fig11_weak runs: the
+    // span-derived breakdown must agree with the raw clock within 1%
+    // of total runtime on every category.
+    let recorders: Vec<Recorder> = results
+        .iter()
+        .map(|r: &rbamr_netsim::RankResult<(StepProfile, Recorder)>| r.value.1.clone())
+        .collect();
+    let snap = MetricsSnapshot::from_recorders(&recorders);
+    assert!(
+        snap.agreement_within(0.01),
+        "span-derived breakdown disagrees with the clock by more than 1% \
+         (coverage {:.4}): instrumentation has a gap",
+        snap.coverage()
+    );
     // BSP: the slowest rank paces the job.
     results
         .iter()
-        .map(|r: &rbamr_netsim::RankResult<StepProfile>| {
-            r.value.projected_runtime(PAPER_STEPS, REGRID_INTERVAL)
-        })
+        .map(|r| r.value.0.projected_runtime(PAPER_STEPS, REGRID_INTERVAL))
         .fold(0.0, f64::max)
 }
 

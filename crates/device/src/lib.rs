@@ -495,7 +495,9 @@ impl Device {
         let _span = rec.as_ref().map(|r| r.span(name, category));
         if let Some(rec) = &rec {
             rec.count("device.kernel_launches", 1);
-            rec.count(&format!("device.kernel_launches.{name}"), 1);
+            // Static label pieces: no per-launch string allocation on
+            // the hot path; the full name is composed at snapshot time.
+            rec.count_scoped("device.kernel_launches.", name, 1);
         }
         let kernel_cost = self.inner.cost.device_kernel(shape);
         self.inner.clock.advance(category, kernel_cost);

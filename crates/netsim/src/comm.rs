@@ -242,8 +242,28 @@ pub struct Comm {
     clock: Clock,
     cost: Arc<CostModel>,
     collective_seq: std::sync::atomic::AtomicU64,
+    /// Local rendezvous counter: all ranks execute rendezvous
+    /// collectives in the same order, so equal values across ranks
+    /// identify the same rendezvous — the identity causal edge events
+    /// are matched on.
+    rendezvous_seq: std::sync::atomic::AtomicU64,
+    /// Occurrence counters per `(peer, tag)` channel for sent and
+    /// received messages. Mailboxes are FIFO per channel, so the n-th
+    /// send on a channel is the n-th receive — occurrence numbering
+    /// matches without any wire changes.
+    send_seq: Mutex<HashMap<(usize, u64), u64>>,
+    recv_seq: Mutex<HashMap<(usize, u64), u64>>,
     recorder: Recorder,
     injector: Option<Arc<FaultInjector>>,
+}
+
+/// Next occurrence number for a `(peer, tag)` channel.
+fn next_occurrence(map: &Mutex<HashMap<(usize, u64), u64>>, peer: usize, tag: u64) -> u64 {
+    let mut m = map.lock();
+    let slot = m.entry((peer, tag)).or_insert(0);
+    let occ = *slot;
+    *slot += 1;
+    occ
 }
 
 impl Comm {
@@ -259,6 +279,9 @@ impl Comm {
             clock,
             cost,
             collective_seq: std::sync::atomic::AtomicU64::new(0),
+            rendezvous_seq: std::sync::atomic::AtomicU64::new(0),
+            send_seq: Mutex::new(HashMap::new()),
+            recv_seq: Mutex::new(HashMap::new()),
             recorder: Recorder::disabled(),
             injector: None,
         }
@@ -290,15 +313,27 @@ impl Comm {
         self.injector.as_ref()
     }
 
-    fn count_message(&self, dir: &str, tag: u64, bytes: u64) {
+    fn count_message(&self, is_send: bool, tag: u64, bytes: u64) {
         if !self.recorder.is_enabled() {
             return;
         }
-        self.recorder.count(&format!("net.{dir}s"), 1);
-        self.recorder.count(&format!("net.{dir}_bytes"), bytes);
-        let kind = tag >> 60;
-        self.recorder.count(&format!("net.{dir}s.kind{kind}"), 1);
-        self.recorder.count(&format!("net.{dir}_bytes.kind{kind}"), bytes);
+        // Static label table: the hot path composes counter names from
+        // `&'static str` pieces, deferring all string formatting to
+        // snapshot time.
+        const KIND: [&str; 16] =
+            ["0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15"];
+        let kind = KIND[(tag >> 60) as usize];
+        if is_send {
+            self.recorder.count_scoped("net.sends", "", 1);
+            self.recorder.count_scoped("net.send_bytes", "", bytes);
+            self.recorder.count_scoped("net.sends.kind", kind, 1);
+            self.recorder.count_scoped("net.send_bytes.kind", kind, bytes);
+        } else {
+            self.recorder.count_scoped("net.recvs", "", 1);
+            self.recorder.count_scoped("net.recv_bytes", "", bytes);
+            self.recorder.count_scoped("net.recvs.kind", kind, 1);
+            self.recorder.count_scoped("net.recv_bytes.kind", kind, bytes);
+        }
     }
 
     /// This rank's id, `0..size`.
@@ -360,7 +395,11 @@ impl Comm {
     pub fn send(&self, dst: usize, tag: u64, payload: Bytes) {
         assert!(dst < self.shared.size, "send: rank {dst} out of range");
         assert_ne!(dst, self.rank, "send: rank {} sent to itself", self.rank);
-        self.count_message("send", tag, payload.len() as u64);
+        self.count_message(true, tag, payload.len() as u64);
+        if self.recorder.is_enabled() {
+            let occ = next_occurrence(&self.send_seq, dst, tag);
+            self.recorder.edge_send(dst, tag, occ, payload.len() as u64, Category::Other);
+        }
         let (flag, body) = self.frame_for_send(payload);
         let mut framed = Vec::with_capacity(body.len() + 1);
         framed.push(flag);
@@ -422,6 +461,7 @@ impl Comm {
         let flag = frame[0];
         let payload = frame.slice(1..);
         let bytes = payload.len() as u64;
+        let mut transfer = self.cost.message(bytes);
         if let Some(inj) = &self.injector {
             if let Some(site) = inj.should_fire(FaultKind::MsgDelay) {
                 self.recorder.count("fault.injected", 1);
@@ -429,11 +469,15 @@ impl Comm {
                 // retransmission, a slow NIC — no data harm done.
                 let w = inj.decision_word(FaultKind::MsgDelay, site.occurrence);
                 let factor = 1 + (w % 8);
-                self.clock.advance(category, self.cost.message(bytes) * factor as f64);
+                transfer += self.cost.message(bytes) * factor as f64;
             }
         }
-        self.clock.advance(category, self.cost.message(bytes));
-        self.count_message("recv", tag, bytes);
+        self.clock.advance(category, transfer);
+        self.count_message(false, tag, bytes);
+        if self.recorder.is_enabled() {
+            let occ = next_occurrence(&self.recv_seq, src, tag);
+            self.recorder.edge_recv(src, tag, occ, bytes, transfer, category);
+        }
         match flag {
             FLAG_OK => Ok(payload),
             FLAG_DROPPED => Err(CommError::MessageDropped { src, dst: self.rank, tag }),
@@ -465,7 +509,10 @@ impl Comm {
         self.recorder.count("net.collectives", 1);
         self.recorder.count("net.collective_bytes", bytes);
         let nranks = self.shared.size as u32;
-        self.clock.advance(category, self.cost.allreduce(nranks, bytes));
+        let cost = self.cost.allreduce(nranks, bytes);
+        self.clock.advance(category, cost);
+        let cseq = self.rendezvous_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.recorder.edge_collective(name, cseq, bytes, cost, category);
         let injected =
             self.injector.as_ref().and_then(|i| i.should_fire(FaultKind::CollectiveFault));
         if injected.is_some() {
@@ -594,7 +641,10 @@ impl Comm {
         self.recorder.count("net.collectives", 1);
         self.recorder.count("net.collective_bytes", 24);
         let nranks = self.shared.size as u32;
-        self.clock.advance(category, self.cost.allreduce(nranks, 24));
+        let cost = self.cost.allreduce(nranks, 24);
+        self.clock.advance(category, cost);
+        let cseq = self.rendezvous_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.recorder.edge_collective("allreduce-digest", cseq, 24, cost, category);
         let injected =
             self.injector.as_ref().and_then(|i| i.should_fire(FaultKind::CollectiveFault));
         if injected.is_some() {
@@ -1144,6 +1194,78 @@ mod tests {
             assert!(r.value.1 > 0.0, "allgatherv recv must charge Regrid");
             assert_eq!(r.value.2, 0.0, "no Other-category traffic was issued");
         }
+    }
+
+    #[test]
+    fn edge_events_match_across_ranks_and_feed_causal_analysis() {
+        let results = cluster().run(2, |comm| {
+            let clock = comm.clock().clone();
+            let mut comm = comm;
+            let rec = Recorder::new(comm.rank(), clock);
+            comm.set_recorder(rec.clone());
+            if comm.rank() == 0 {
+                comm.send(1, 7, Bytes::from(vec![0u8; 512]));
+                comm.recv(1, 8, Category::HaloExchange);
+            } else {
+                comm.send(0, 8, Bytes::from(vec![1u8; 256]));
+                comm.recv(0, 7, Category::HaloExchange);
+            }
+            comm.allreduce_min(comm.rank() as f64, Category::Timestep);
+            rec
+        });
+        let recs: Vec<Recorder> = results.into_iter().map(|r| r.value).collect();
+        for rec in &recs {
+            assert_eq!(rec.counter("net.edge.sends"), 1);
+            assert_eq!(rec.counter("net.edge.recvs"), 1);
+            assert_eq!(rec.counter("net.edge.collectives"), 1);
+            // Plain message counters survive the scoped-counter rework.
+            assert_eq!(rec.counter("net.sends"), 1);
+            assert_eq!(rec.counter("net.recvs"), 1);
+        }
+        let analysis = rbamr_telemetry::analyze(&recs).expect("matched DAG");
+        assert_eq!(analysis.edges_matched, 2);
+        assert_eq!(analysis.unmatched_sends, 0);
+        for rb in &analysis.ranks {
+            assert!(
+                (rb.buckets.total() - analysis.makespan).abs() <= 1e-9 * analysis.makespan,
+                "buckets must sum to the makespan"
+            );
+        }
+        let json = rbamr_telemetry::chrome_trace(&recs);
+        assert!(json.contains("\"ph\":\"s\""), "flow start events present");
+        assert!(json.contains("\"ph\":\"f\""), "flow finish events present");
+    }
+
+    #[test]
+    fn occurrence_numbers_disambiguate_same_tag_messages() {
+        let results = cluster().run(2, |comm| {
+            let clock = comm.clock().clone();
+            let mut comm = comm;
+            let rec = Recorder::new(comm.rank(), clock);
+            comm.set_recorder(rec.clone());
+            if comm.rank() == 0 {
+                for i in 0..3u8 {
+                    comm.send(1, 1, Bytes::from(vec![i]));
+                }
+            } else {
+                for _ in 0..3 {
+                    comm.recv(0, 1, Category::Other);
+                }
+            }
+            rec
+        });
+        let recs: Vec<Recorder> = results.into_iter().map(|r| r.value).collect();
+        let sends: Vec<_> = recs[0].edges();
+        let recvs: Vec<_> = recs[1].edges();
+        assert_eq!(sends.len(), 3);
+        assert_eq!(recvs.len(), 3);
+        for (s, r) in sends.iter().zip(&recvs) {
+            assert_eq!(s.channel_key(), r.channel_key());
+            assert_eq!(s.flow_id(), r.flow_id());
+        }
+        // FIFO per channel: occurrences are 0, 1, 2 on both sides.
+        assert_eq!(sends.iter().map(|e| e.occurrence).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(recvs.iter().map(|e| e.occurrence).collect::<Vec<_>>(), [0, 1, 2]);
     }
 
     // ---- fault injection --------------------------------------------

@@ -3,7 +3,7 @@
 //! are timestamped by the virtual clock and maps are ordered — so the
 //! same simulation always produces byte-identical artifacts.
 
-use crate::recorder::Recorder;
+use crate::recorder::{EdgeEvent, EdgeKind, Recorder};
 use rbamr_perfmodel::{Category, TimeBreakdown};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -72,6 +72,73 @@ pub fn chrome_trace(recorders: &[Recorder]) -> String {
                 let _ = write!(out, ",\"level\":{arg}");
             }
             out.push_str("}}");
+        }
+    }
+    // Message-flow events: an arrow from each send (`ph:"s"`) to its
+    // matching recv (`ph:"f"`, binding to the enclosing slice), plus a
+    // multi-point flow tying together the ranks of one rendezvous
+    // collective. Perfetto renders these as arrows between tracks.
+    let mut collectives: BTreeMap<u64, Vec<(usize, EdgeEvent)>> = BTreeMap::new();
+    for rec in &recs {
+        let rank = rec.rank();
+        for edge in rec.edges() {
+            match edge.kind {
+                EdgeKind::Send => {
+                    let _ = write!(
+                        out,
+                        ",\n{{\"name\":\"msg\",\"cat\":\"{}\",\"ph\":\"s\",\"ts\":{},\
+                         \"pid\":0,\"tid\":{rank},\"id\":{},\
+                         \"args\":{{\"seq\":{},\"bytes\":{}}}}}",
+                        edge.category.name(),
+                        micros(edge.time.total()),
+                        edge.flow_id(),
+                        edge.ctx.seq,
+                        edge.bytes,
+                    );
+                }
+                EdgeKind::Recv => {
+                    let _ = write!(
+                        out,
+                        ",\n{{\"name\":\"msg\",\"cat\":\"{}\",\"ph\":\"f\",\"bp\":\"e\",\
+                         \"ts\":{},\"pid\":0,\"tid\":{rank},\"id\":{},\
+                         \"args\":{{\"seq\":{},\"bytes\":{}}}}}",
+                        edge.category.name(),
+                        micros(edge.time.total()),
+                        edge.flow_id(),
+                        edge.ctx.seq,
+                        edge.bytes,
+                    );
+                }
+                EdgeKind::Collective => {
+                    collectives.entry(edge.tag).or_default().push((rank, edge));
+                }
+            }
+        }
+    }
+    for group in collectives.values() {
+        if group.len() < 2 {
+            continue;
+        }
+        for (i, (rank, edge)) in group.iter().enumerate() {
+            let (ph, bind) = if i == 0 {
+                ("s", "")
+            } else if i + 1 == group.len() {
+                ("f", ",\"bp\":\"e\"")
+            } else {
+                ("t", "")
+            };
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\"{bind},\"ts\":{},\
+                 \"pid\":0,\"tid\":{rank},\"id\":{},\
+                 \"args\":{{\"seq\":{},\"bytes\":{}}}}}",
+                escape_json(edge.name),
+                edge.category.name(),
+                micros(edge.time.total()),
+                edge.flow_id(),
+                edge.ctx.seq,
+                edge.bytes,
+            );
         }
     }
     out.push_str("\n]}\n");
@@ -349,6 +416,265 @@ mod tests {
         // Fully instrumented: both columns render the same totals.
         let lines: Vec<&str> = report.lines().collect();
         assert_eq!(lines.len(), 7); // header + 5 series + total
+    }
+
+    #[test]
+    fn flow_events_pair_sends_and_recvs() {
+        let make = || {
+            let ca = Clock::new();
+            let a = Recorder::new(0, ca.clone());
+            let cb = Clock::new();
+            let b = Recorder::new(1, cb.clone());
+            a.edge_send(1, 5, 0, 256, Category::HaloExchange);
+            cb.advance(Category::HaloExchange, 0.125);
+            b.edge_recv(0, 5, 0, 256, 0.125, Category::HaloExchange);
+            a.edge_collective("allreduce-min", 0, 8, 0.01, Category::Timestep);
+            b.edge_collective("allreduce-min", 0, 8, 0.01, Category::Timestep);
+            vec![a, b]
+        };
+        let json = chrome_trace(&make());
+        assert_eq!(json, chrome_trace(&make()));
+        // One send start, one recv finish, same flow id.
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 2); // msg + collective
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 2);
+        let id = make()[0].edges()[0].flow_id();
+        assert_eq!(json.matches(&format!("\"id\":{id}")).count(), 2);
+        assert!(json.contains("\"name\":\"allreduce-min\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_special_characters_in_labels() {
+        assert_eq!(escape_json("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+        assert_eq!(escape_json("ctrl\u{1}"), "ctrl\\u0001");
+        let clock = Clock::new();
+        let rec = Recorder::new(0, clock.clone());
+        {
+            let _s = rec.span("weird \"label\" with \\slashes\\", Category::Other);
+            clock.advance(Category::Other, 1.0);
+        }
+        let json = chrome_trace(&[rec]);
+        assert!(json.contains("weird \\\"label\\\" with \\\\slashes\\\\"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The escaped output parses back to the original label.
+        let parsed = parse_json(&json);
+        let events = parsed.get("traceEvents").as_arr();
+        let found =
+            events.iter().any(|e| e.get("name").as_str() == "weird \"label\" with \\slashes\\");
+        assert!(found, "escaped label did not roundtrip");
+    }
+
+    #[test]
+    fn metrics_json_roundtrips_through_a_parser() {
+        let recs = [scripted_recorder(0), scripted_recorder(1)];
+        let parsed = parse_json(&metrics_json(&recs));
+        let ranks = parsed.get("ranks").as_arr();
+        assert_eq!(ranks.len(), 2);
+        assert_eq!(ranks[0].get("rank").as_num(), 0.0);
+        assert_eq!(ranks[1].get("rank").as_num(), 1.0);
+        assert_eq!(ranks[0].get("counters").get("net.send_bytes").as_num(), 4096.0);
+        let total = parsed.get("total");
+        assert_eq!(total.get("counters").get("net.send_bytes").as_num(), 8192.0);
+        let clock_total = total.get("clock").get("total").as_num();
+        assert!((clock_total - 2.0 * recs[0].clock_snapshot().total()).abs() < 1e-6);
+        assert!((total.get("coverage").as_num() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fig11_percentages_sum_to_100() {
+        let rec = scripted_recorder(0);
+        let report = fig11_report(&rec.clock_snapshot(), &rec.span_breakdown());
+        let lines: Vec<&str> = report.lines().collect();
+        let mut clock_pct = 0.0;
+        let mut span_pct = 0.0;
+        // Rows 1..=5: the four Fig. 11 series plus Other.
+        for line in &lines[1..6] {
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let pcts: Vec<f64> = tokens
+                .iter()
+                .filter(|t| t.ends_with('%'))
+                .map(|t| t.trim_end_matches('%').parse().unwrap())
+                .collect();
+            assert_eq!(pcts.len(), 2, "row missing a percentage: {line}");
+            clock_pct += pcts[0];
+            span_pct += pcts[1];
+        }
+        assert!((clock_pct - 100.0).abs() <= 0.1, "clock % sum {clock_pct}");
+        assert!((span_pct - 100.0).abs() <= 0.1, "span % sum {span_pct}");
+    }
+
+    /// Minimal JSON value + recursive-descent parser, test-only: the
+    /// workspace has no vendored JSON crate, and round-tripping our
+    /// hand-rolled output through an independent reader is the point.
+    #[derive(Debug, PartialEq)]
+    enum Json {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Json>),
+        Obj(BTreeMap<String, Json>),
+    }
+
+    impl Json {
+        fn get(&self, key: &str) -> &Json {
+            match self {
+                Json::Obj(m) => m.get(key).unwrap_or_else(|| panic!("missing key {key}")),
+                other => panic!("get({key}) on non-object {other:?}"),
+            }
+        }
+        fn as_arr(&self) -> &[Json] {
+            match self {
+                Json::Arr(v) => v,
+                other => panic!("not an array: {other:?}"),
+            }
+        }
+        fn as_num(&self) -> f64 {
+            match self {
+                Json::Num(n) => *n,
+                other => panic!("not a number: {other:?}"),
+            }
+        }
+        fn as_str(&self) -> &str {
+            match self {
+                Json::Str(s) => s,
+                other => panic!("not a string: {other:?}"),
+            }
+        }
+    }
+
+    fn parse_json(s: &str) -> Json {
+        let mut p = Parser { b: s.as_bytes(), i: 0 };
+        let v = p.value();
+        p.ws();
+        assert_eq!(p.i, p.b.len(), "trailing garbage after JSON value");
+        v
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn expect(&mut self, c: u8) {
+            self.ws();
+            assert_eq!(self.b[self.i], c, "expected {} at byte {}", c as char, self.i);
+            self.i += 1;
+        }
+        fn value(&mut self) -> Json {
+            self.ws();
+            match self.b[self.i] {
+                b'{' => {
+                    self.i += 1;
+                    let mut m = BTreeMap::new();
+                    self.ws();
+                    if self.b[self.i] == b'}' {
+                        self.i += 1;
+                        return Json::Obj(m);
+                    }
+                    loop {
+                        self.ws();
+                        let k = self.string();
+                        self.expect(b':');
+                        m.insert(k, self.value());
+                        self.ws();
+                        match self.b[self.i] {
+                            b',' => self.i += 1,
+                            b'}' => {
+                                self.i += 1;
+                                return Json::Obj(m);
+                            }
+                            c => panic!("bad object separator {}", c as char),
+                        }
+                    }
+                }
+                b'[' => {
+                    self.i += 1;
+                    let mut v = Vec::new();
+                    self.ws();
+                    if self.b[self.i] == b']' {
+                        self.i += 1;
+                        return Json::Arr(v);
+                    }
+                    loop {
+                        v.push(self.value());
+                        self.ws();
+                        match self.b[self.i] {
+                            b',' => self.i += 1,
+                            b']' => {
+                                self.i += 1;
+                                return Json::Arr(v);
+                            }
+                            c => panic!("bad array separator {}", c as char),
+                        }
+                    }
+                }
+                b'"' => Json::Str(self.string()),
+                b't' => {
+                    self.i += 4;
+                    Json::Bool(true)
+                }
+                b'f' => {
+                    self.i += 5;
+                    Json::Bool(false)
+                }
+                b'n' => {
+                    self.i += 4;
+                    Json::Null
+                }
+                _ => {
+                    let start = self.i;
+                    while self.i < self.b.len()
+                        && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                    {
+                        self.i += 1;
+                    }
+                    Json::Num(std::str::from_utf8(&self.b[start..self.i]).unwrap().parse().unwrap())
+                }
+            }
+        }
+        fn string(&mut self) -> String {
+            assert_eq!(self.b[self.i], b'"');
+            self.i += 1;
+            let mut out = Vec::new();
+            loop {
+                let c = self.b[self.i];
+                self.i += 1;
+                match c {
+                    b'"' => break,
+                    b'\\' => {
+                        let e = self.b[self.i];
+                        self.i += 1;
+                        match e {
+                            b'"' => out.push(b'"'),
+                            b'\\' => out.push(b'\\'),
+                            b'/' => out.push(b'/'),
+                            b'n' => out.push(b'\n'),
+                            b't' => out.push(b'\t'),
+                            b'r' => out.push(b'\r'),
+                            b'u' => {
+                                let hex = std::str::from_utf8(&self.b[self.i..self.i + 4]).unwrap();
+                                self.i += 4;
+                                let cp = u32::from_str_radix(hex, 16).unwrap();
+                                let mut buf = [0u8; 4];
+                                let s = char::from_u32(cp).unwrap().encode_utf8(&mut buf);
+                                out.extend_from_slice(s.as_bytes());
+                            }
+                            c => panic!("bad escape \\{}", c as char),
+                        }
+                    }
+                    c => out.push(c),
+                }
+            }
+            String::from_utf8(out).unwrap()
+        }
     }
 
     #[test]

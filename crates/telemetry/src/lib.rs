@@ -8,6 +8,14 @@
 //! an aligned text report reproducing the paper's Fig. 11 percentage
 //! breakdown from real spans.
 //!
+//! On top of the per-rank streams, [`EdgeEvent`]s record every network
+//! transfer (send, recv, rendezvous collective) with enough identity
+//! to match them across ranks; [`causal::analyze`] merges all ranks
+//! into a causal DAG, attributes wall time into compute /
+//! exposed-comm / late-sender-wait / imbalance buckets, and extracts
+//! the critical path. [`chrome_trace`] emits the matched edges as
+//! flow events so message arrows render in Perfetto.
+//!
 //! A [`Recorder`] is a cheaply cloneable per-rank handle threaded
 //! alongside the existing `Clock`. [`Recorder::disabled()`] is a no-op
 //! handle: every operation short-circuits on a `None`, so untouched
@@ -29,8 +37,10 @@
 //! assert!(json.contains("\"ph\":\"X\""));
 //! ```
 
+pub mod causal;
 mod export;
 mod recorder;
 
+pub use causal::{analyze, report_text, Buckets, CausalAnalysis, CausalError, CriticalPath};
 pub use export::{chrome_trace, fig11_report, metrics_json, MetricsSnapshot};
-pub use recorder::{Recorder, SpanEvent, SpanGuard};
+pub use recorder::{EdgeEvent, EdgeKind, Recorder, SpanEvent, SpanGuard, TraceCtx};

@@ -20,12 +20,111 @@ pub struct SpanEvent {
     pub arg: Option<i64>,
     /// Nesting depth at begin: 0 = top-level.
     pub depth: usize,
-    /// Monotonic per-recorder sequence number (total order of begins).
+    /// Monotonic per-recorder sequence number (total order of begins,
+    /// shared with [`EdgeEvent`]s).
     pub seq: u64,
+    /// Index (into [`Recorder::spans`]) of the enclosing span open when
+    /// this one began, if any. Parent chains let the causal analysis
+    /// attribute any event to its phase without time-interval guesswork.
+    pub parent: Option<usize>,
     /// Clock snapshot when the span opened.
     pub begin: TimeBreakdown,
     /// Clock snapshot when the guard dropped (== `begin` while open).
     pub end: TimeBreakdown,
+}
+
+/// What kind of communication dependency an [`EdgeEvent`] records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// A point-to-point message leaving this rank.
+    Send,
+    /// A point-to-point message arriving at this rank.
+    Recv,
+    /// Arrival at an all-ranks rendezvous collective (allreduce,
+    /// barrier, digest). One event per participating rank, matched by
+    /// the shared collective sequence number carried in `tag`.
+    Collective,
+}
+
+/// The causal trace context of one communication event: which rank
+/// produced it, under which open span, at which local sequence number.
+/// This is the identity threaded through every `netsim` transfer; the
+/// matching rule (channel + occurrence for point-to-point, collective
+/// sequence for rendezvous) is what lets per-rank streams be merged
+/// into one cross-rank DAG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The recording rank.
+    pub rank: usize,
+    /// Index of the innermost open span at record time, if any.
+    pub span: Option<usize>,
+    /// The event's recorder-local sequence number.
+    pub seq: u64,
+}
+
+/// One matched communication edge endpoint, recorded against the
+/// virtual clock. A `Send` on rank *a* and the `Recv` with the same
+/// `(src, dst, tag, occurrence)` key on rank *b* form one cross-rank
+/// edge of the causal DAG; `Collective` events with the same `tag`
+/// (the rendezvous sequence number) form an all-ranks barrier node.
+#[derive(Clone, Debug)]
+pub struct EdgeEvent {
+    /// Send / Recv / Collective.
+    pub kind: EdgeKind,
+    /// Peer rank: destination for `Send`, source for `Recv`; unused
+    /// (`usize::MAX`) for `Collective`.
+    pub peer: usize,
+    /// Message tag for point-to-point; the shared rendezvous sequence
+    /// number for `Collective`.
+    pub tag: u64,
+    /// Which occurrence on the `(src, dst, tag)` channel this message
+    /// is (mailboxes are FIFO per channel, so sender and receiver
+    /// number occurrences identically). Zero for collectives.
+    pub occurrence: u64,
+    /// Logical payload bytes.
+    pub bytes: u64,
+    /// Virtual seconds this operation charged to the local clock
+    /// (transfer cost at a recv, the modelled collective cost at a
+    /// rendezvous; zero for buffered sends).
+    pub cost: f64,
+    /// Display name (`"send"`, `"recv"`, or the collective's name).
+    pub name: &'static str,
+    /// Category the charge was attributed to.
+    pub category: Category,
+    /// Trace context: rank, innermost open span, local sequence.
+    pub ctx: TraceCtx,
+    /// Clock snapshot when the event was recorded (post-charge).
+    pub time: TimeBreakdown,
+}
+
+impl EdgeEvent {
+    /// The `(src, dst, tag, occurrence)` channel key of a
+    /// point-to-point edge, or `None` for collectives.
+    pub fn channel_key(&self) -> Option<(usize, usize, u64, u64)> {
+        match self.kind {
+            EdgeKind::Send => Some((self.ctx.rank, self.peer, self.tag, self.occurrence)),
+            EdgeKind::Recv => Some((self.peer, self.ctx.rank, self.tag, self.occurrence)),
+            EdgeKind::Collective => None,
+        }
+    }
+
+    /// A stable 64-bit id for this edge's pairing key, used as the
+    /// Chrome-trace flow-event id so both endpoints bind to the same
+    /// arrow. FNV-1a over the key words; deterministic by construction.
+    pub fn flow_id(&self) -> u64 {
+        let words = match self.channel_key() {
+            Some((src, dst, tag, occ)) => [src as u64, dst as u64, tag, occ],
+            None => [u64::MAX, u64::MAX, self.tag, 0],
+        };
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in words {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
 }
 
 impl SpanEvent {
@@ -38,9 +137,18 @@ impl SpanEvent {
 #[derive(Default)]
 struct State {
     spans: Vec<SpanEvent>,
+    edges: Vec<EdgeEvent>,
+    /// Indices (into `spans`) of the currently open spans, innermost
+    /// last.
+    open: Vec<usize>,
     depth: usize,
     next_seq: u64,
     counters: BTreeMap<String, u64>,
+    /// Counters addressed by a `(prefix, suffix)` pair of static
+    /// strings — the hot-path form: incrementing never allocates; the
+    /// composed `"{prefix}{suffix}"` name is only materialised when a
+    /// snapshot is taken.
+    scoped_counters: BTreeMap<(&'static str, &'static str), u64>,
     gauges: BTreeMap<String, u64>,
 }
 
@@ -103,8 +211,96 @@ impl Recorder {
         let depth = state.depth;
         state.depth += 1;
         let index = state.spans.len();
-        state.spans.push(SpanEvent { name, category, arg, depth, seq, begin, end: begin });
+        let parent = state.open.last().copied();
+        state.open.push(index);
+        state.spans.push(SpanEvent { name, category, arg, depth, seq, parent, begin, end: begin });
         SpanGuard { inner: Some(inner.clone()), index }
+    }
+
+    /// Record a communication edge event at the current clock time.
+    /// Returns the event's [`TraceCtx`] (None when disabled). Counts
+    /// `net.edge.sends` / `net.edge.recvs` / `net.edge.collectives`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn edge(
+        &self,
+        kind: EdgeKind,
+        name: &'static str,
+        peer: usize,
+        tag: u64,
+        occurrence: u64,
+        bytes: u64,
+        cost: f64,
+        category: Category,
+    ) -> Option<TraceCtx> {
+        let inner = self.inner.as_ref()?;
+        let time = inner.clock.snapshot();
+        let mut state = inner.state.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let ctx = TraceCtx { rank: inner.rank, span: state.open.last().copied(), seq };
+        state.edges.push(EdgeEvent {
+            kind,
+            peer,
+            tag,
+            occurrence,
+            bytes,
+            cost,
+            name,
+            category,
+            ctx,
+            time,
+        });
+        let counter = match kind {
+            EdgeKind::Send => ("net.edge.", "sends"),
+            EdgeKind::Recv => ("net.edge.", "recvs"),
+            EdgeKind::Collective => ("net.edge.", "collectives"),
+        };
+        *state.scoped_counters.entry(counter).or_insert(0) += 1;
+        Some(ctx)
+    }
+
+    /// Record the sending endpoint of a point-to-point edge.
+    pub fn edge_send(
+        &self,
+        dst: usize,
+        tag: u64,
+        occurrence: u64,
+        bytes: u64,
+        category: Category,
+    ) -> Option<TraceCtx> {
+        self.edge(EdgeKind::Send, "send", dst, tag, occurrence, bytes, 0.0, category)
+    }
+
+    /// Record the receiving endpoint of a point-to-point edge; `cost`
+    /// is the virtual transfer time the receive charged locally.
+    pub fn edge_recv(
+        &self,
+        src: usize,
+        tag: u64,
+        occurrence: u64,
+        bytes: u64,
+        cost: f64,
+        category: Category,
+    ) -> Option<TraceCtx> {
+        self.edge(EdgeKind::Recv, "recv", src, tag, occurrence, bytes, cost, category)
+    }
+
+    /// Record arrival at rendezvous collective number `cseq` (all
+    /// participating ranks record the same `cseq` for one collective).
+    pub fn edge_collective(
+        &self,
+        name: &'static str,
+        cseq: u64,
+        bytes: u64,
+        cost: f64,
+        category: Category,
+    ) -> Option<TraceCtx> {
+        self.edge(EdgeKind::Collective, name, usize::MAX, cseq, 0, bytes, cost, category)
+    }
+
+    /// Snapshot of all edge events recorded so far, in record order.
+    pub fn edges(&self) -> Vec<EdgeEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| i.state.lock().edges.clone())
     }
 
     /// Add `delta` to the named monotonic counter.
@@ -118,6 +314,17 @@ impl Recorder {
         }
     }
 
+    /// Add `delta` to the counter named `"{prefix}{suffix}"` without
+    /// composing the name — the hot-path form for per-kernel / per-kind
+    /// counters. The composed name only materialises in snapshots
+    /// ([`Recorder::counters`] / [`Recorder::counter`]), so call sites
+    /// in kernel-launch and message loops never allocate.
+    pub fn count_scoped(&self, prefix: &'static str, suffix: &'static str, delta: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.state.lock();
+        *state.scoped_counters.entry((prefix, suffix)).or_insert(0) += delta;
+    }
+
     /// Raise the named gauge to `value` if it is a new peak.
     pub fn gauge_max(&self, name: &str, value: u64) {
         let Some(inner) = &self.inner else { return };
@@ -129,14 +336,34 @@ impl Recorder {
         }
     }
 
-    /// Current value of one counter (0 if never incremented).
+    /// Current value of one counter (0 if never incremented). Scoped
+    /// counters are visible under their composed `"{prefix}{suffix}"`
+    /// name.
     pub fn counter(&self, name: &str) -> u64 {
-        self.inner.as_ref().and_then(|i| i.state.lock().counters.get(name).copied()).unwrap_or(0)
+        let Some(inner) = &self.inner else { return 0 };
+        let state = inner.state.lock();
+        if let Some(v) = state.counters.get(name) {
+            return *v;
+        }
+        state
+            .scoped_counters
+            .iter()
+            .find(|((p, s), _)| {
+                p.len() + s.len() == name.len() && name.starts_with(p) && name.ends_with(s)
+            })
+            .map_or(0, |(_, v)| *v)
     }
 
-    /// Snapshot of all counters.
+    /// Snapshot of all counters, scoped counters composed into their
+    /// full `"{prefix}{suffix}"` names.
     pub fn counters(&self) -> BTreeMap<String, u64> {
-        self.inner.as_ref().map_or_else(BTreeMap::new, |i| i.state.lock().counters.clone())
+        let Some(inner) = &self.inner else { return BTreeMap::new() };
+        let state = inner.state.lock();
+        let mut out = state.counters.clone();
+        for ((prefix, suffix), v) in &state.scoped_counters {
+            *out.entry(format!("{prefix}{suffix}")).or_insert(0) += v;
+        }
+        out
     }
 
     /// Snapshot of all gauges.
@@ -195,6 +422,11 @@ impl Drop for SpanGuard {
         let end = inner.clock.snapshot();
         let mut state = inner.state.lock();
         state.depth = state.depth.saturating_sub(1);
+        // Guards normally drop LIFO; search from the back so an
+        // out-of-order drop still removes the right entry.
+        if let Some(pos) = state.open.iter().rposition(|&i| i == self.index) {
+            state.open.remove(pos);
+        }
         if let Some(span) = state.spans.get_mut(self.index) {
             span.end = end;
         }
@@ -263,6 +495,85 @@ mod tests {
         let other = rec.clone();
         other.count("k", 2);
         assert_eq!(rec.counter("k"), 2);
+    }
+
+    #[test]
+    fn edges_carry_context_and_match_keys() {
+        let clock = Clock::new();
+        let rec = Recorder::new(1, clock.clone());
+        {
+            let _step = rec.span("step", Category::Other);
+            clock.advance(Category::HaloExchange, 0.5);
+            let ctx = rec.edge_send(3, 42, 0, 128, Category::HaloExchange).unwrap();
+            assert_eq!(ctx.rank, 1);
+            assert_eq!(ctx.span, Some(0));
+            rec.edge_recv(2, 42, 0, 64, 0.25, Category::HaloExchange);
+            rec.edge_collective("allreduce-min", 7, 8, 0.125, Category::Timestep);
+        }
+        let edges = rec.edges();
+        assert_eq!(edges.len(), 3);
+        assert_eq!(edges[0].channel_key(), Some((1, 3, 42, 0)));
+        assert_eq!(edges[1].channel_key(), Some((2, 1, 42, 0)));
+        assert_eq!(edges[2].channel_key(), None);
+        assert_eq!(edges[1].cost, 0.25);
+        assert_eq!(edges[0].time.get(Category::HaloExchange), 0.5);
+        // Sequence numbers interleave with span begins.
+        assert!(edges[0].ctx.seq > rec.spans()[0].seq);
+        assert_eq!(rec.counter("net.edge.sends"), 1);
+        assert_eq!(rec.counter("net.edge.recvs"), 1);
+        assert_eq!(rec.counter("net.edge.collectives"), 1);
+        // A send and its matching recv produce the same flow id.
+        let other = Recorder::new(3, Clock::new());
+        other.edge_recv(1, 42, 0, 128, 0.1, Category::HaloExchange);
+        assert_eq!(other.edges()[0].flow_id(), edges[0].flow_id());
+        assert_ne!(edges[0].flow_id(), edges[1].flow_id());
+    }
+
+    #[test]
+    fn span_parents_track_nesting() {
+        let clock = Clock::new();
+        let rec = Recorder::new(0, clock.clone());
+        {
+            let _a = rec.span("step", Category::Other);
+            {
+                let _b = rec.span("lagrangian", Category::HydroKernel);
+                let ctx = rec.edge_send(1, 0, 0, 8, Category::HaloExchange).unwrap();
+                assert_eq!(ctx.span, Some(1));
+            }
+            {
+                let _c = rec.span("advection", Category::HydroKernel);
+            }
+            let ctx = rec.edge_send(1, 0, 1, 8, Category::HaloExchange).unwrap();
+            assert_eq!(ctx.span, Some(0));
+        }
+        let spans = rec.spans();
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(0));
+        // Outside all spans: no context.
+        let ctx = rec.edge_send(1, 0, 2, 8, Category::HaloExchange).unwrap();
+        assert_eq!(ctx.span, None);
+    }
+
+    #[test]
+    fn scoped_counters_compose_names_in_snapshots() {
+        let rec = Recorder::new(0, Clock::new());
+        rec.count_scoped("device.kernel_launches.", "pack", 2);
+        rec.count_scoped("device.kernel_launches.", "pack", 1);
+        rec.count_scoped("net.sends.kind", "15", 4);
+        rec.count("device.kernel_launches.unpack", 9);
+        assert_eq!(rec.counter("device.kernel_launches.pack"), 3);
+        assert_eq!(rec.counter("net.sends.kind15"), 4);
+        assert_eq!(rec.counter("device.kernel_launches.unpack"), 9);
+        let all = rec.counters();
+        assert_eq!(all["device.kernel_launches.pack"], 3);
+        assert_eq!(all["net.sends.kind15"], 4);
+        // Disabled recorder: all scoped ops are no-ops.
+        let off = Recorder::disabled();
+        off.count_scoped("a", "b", 1);
+        assert_eq!(off.counter("ab"), 0);
+        assert!(off.edges().is_empty());
+        assert!(off.edge_send(0, 0, 0, 0, Category::Other).is_none());
     }
 
     #[test]

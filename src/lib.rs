@@ -65,3 +65,7 @@ pub use rbamr_hydro as hydro;
 
 /// Test problems and the weak-scaling workload model.
 pub use rbamr_problems as problems;
+
+/// Spans, counters, cross-rank edge events, causal critical-path
+/// attribution, and trace/metrics exporters.
+pub use rbamr_telemetry as telemetry;

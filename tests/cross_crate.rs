@@ -298,6 +298,77 @@ fn partitioned_metadata_matches_replicated_bitwise() {
     }
 }
 
+/// Run a 2-rank Sod deck with full telemetry attached and return the
+/// per-rank recorders.
+fn traced_sod_run() -> Vec<rbamr::telemetry::Recorder> {
+    use rbamr::telemetry::Recorder;
+    let cluster = Cluster::new(Machine::ipa_gpu());
+    let results = cluster.run(2, |mut comm| {
+        let rec = Recorder::new(comm.rank(), comm.clock().clone());
+        comm.set_recorder(rec.clone());
+        let mut sim =
+            sod(Placement::Device, 48, 2, 16, comm.rank(), comm.size(), comm.clock().clone());
+        sim.set_recorder(rec.clone());
+        sim.initialize(Some(&comm));
+        for _ in 0..6 {
+            sim.step(Some(&comm)); // regrid_interval 4: one live regrid
+        }
+        rec
+    });
+    results.into_iter().map(|r| r.value).collect()
+}
+
+#[test]
+fn causal_trace_of_distributed_sod_is_deterministic() {
+    // Same seed (there is none — everything is virtual) → byte-identical
+    // Chrome trace and causal bucket report.
+    use rbamr::telemetry::{analyze, chrome_trace, report_text};
+    let a = traced_sod_run();
+    let b = traced_sod_run();
+    assert_eq!(chrome_trace(&a), chrome_trace(&b), "chrome trace is not deterministic");
+    let ra = report_text(&analyze(&a).expect("causal DAG must build"));
+    let rb = report_text(&analyze(&b).expect("causal DAG must build"));
+    assert_eq!(ra, rb, "causal report is not deterministic");
+}
+
+#[test]
+fn causal_buckets_account_for_distributed_sod_wall_time() {
+    // The tentpole's accounting identity on a real run: every recv edge
+    // matched, per-rank buckets sum to the makespan, and per-step
+    // per-rank buckets sum to the step window within 1%.
+    use rbamr::telemetry::analyze;
+    let recs = traced_sod_run();
+    let analysis = analyze(&recs).expect("causal DAG must build");
+    assert!(analysis.edges_matched > 0, "distributed Sod must exchange messages");
+    assert_eq!(analysis.unmatched_sends, 0);
+    for rb in &analysis.ranks {
+        let err = (rb.buckets.total() - analysis.makespan).abs();
+        assert!(
+            err <= 0.01 * analysis.makespan,
+            "rank {}: buckets sum {} vs makespan {}",
+            rb.rank,
+            rb.buckets.total(),
+            analysis.makespan
+        );
+    }
+    assert!(!analysis.steps.is_empty(), "step spans must be attributed");
+    for step in &analysis.steps {
+        for (rank, buckets) in &step.ranks {
+            let err = (buckets.total() - step.window).abs();
+            assert!(
+                err <= 0.01 * step.window.max(1e-12),
+                "step {} rank {rank}: buckets sum {} vs window {}",
+                step.step,
+                buckets.total(),
+                step.window
+            );
+        }
+    }
+    // The critical path decomposes the makespan exactly.
+    let cp = &analysis.critical_path;
+    assert!((cp.compute + cp.comm - analysis.makespan).abs() <= 1e-9 * analysis.makespan);
+}
+
 #[test]
 fn regridding_is_rank_count_invariant() {
     // The hierarchy structure (clustered boxes) produced by the
