@@ -13,7 +13,12 @@
 //! * **unrecoverable** schedules end in a typed
 //!   [`ResilienceError::RetriesExhausted`] on *every* rank;
 //! * every schedule, rerun with the same seed, reproduces identical
-//!   fault sites, recovery counters and digests.
+//!   fault sites, recovery counters and digests;
+//! * **delay** schedules (`MsgDelay`) are pure virtual-clock charges:
+//!   they must inflate the job's *virtual* seconds versus the
+//!   fault-free baseline while leaving *wall* time unaffected (gated
+//!   against a generous multiple of the baseline wall time — a real
+//!   sleep in the transport path would blow through it immediately).
 //!
 //! The run emits a JSON artifact (default `target/chaos_bench.json`,
 //! override with `--json <path>`) for CI to archive, and exits
@@ -250,13 +255,24 @@ struct RankOutcome {
 
 type RunResult = Vec<Result<RankOutcome, ResilienceError>>;
 
-fn run(placement: Placement, plan: FaultPlan, policy: RecoveryPolicy) -> RunResult {
+/// One chaos run plus its timing observables. Wall and virtual time
+/// stay *out* of the determinism comparison (wall time is inherently
+/// noisy; virtual time is only gated for the delay schedules).
+struct ChaosRun {
+    outcome: RunResult,
+    wall: Duration,
+    /// Job virtual time (per-category max over ranks, summed).
+    virtual_total: f64,
+}
+
+fn run(placement: Placement, plan: FaultPlan, policy: RecoveryPolicy) -> ChaosRun {
     let deck = parse_deck(CHAOS_DECK).expect("chaos deck parses");
     let machine = match placement {
         Placement::Host => Machine::ipa_cpu_node(),
         _ => Machine::ipa_gpu(),
     };
-    let mut out: Vec<_> = Cluster::new(machine.clone())
+    let started = std::time::Instant::now();
+    let results = Cluster::new(machine.clone())
         .with_deadlock_timeout(Duration::from_secs(10))
         .with_fault_plan(plan)
         .run(RANKS, move |comm| {
@@ -290,12 +306,12 @@ fn run(placement: Placement, plan: FaultPlan, policy: RecoveryPolicy) -> RunResu
                 report,
                 placement: sim.placement(),
             })
-        })
-        .into_iter()
-        .map(|r| (r.rank, r.value))
-        .collect();
+        });
+    let wall = started.elapsed();
+    let virtual_total = Cluster::job_time(&results).total();
+    let mut out: Vec<_> = results.into_iter().map(|r| (r.rank, r.value)).collect();
     out.sort_by_key(|(rank, _)| *rank);
-    out.into_iter().map(|(_, v)| v).collect()
+    ChaosRun { outcome: out.into_iter().map(|(_, v)| v).collect(), wall, virtual_total }
 }
 
 fn policy_from_deck() -> RecoveryPolicy {
@@ -323,8 +339,8 @@ fn main() {
     let baseline_device = run(Placement::Device, FaultPlan::none(), policy);
     let baseline_digest = |placement: Placement, rank: usize| -> u64 {
         let base = match placement {
-            Placement::Host => &baseline_host,
-            _ => &baseline_device,
+            Placement::Host => &baseline_host.outcome,
+            _ => &baseline_device.outcome,
         };
         base[rank].as_ref().expect("baselines are fault-free").digest
     };
@@ -336,15 +352,50 @@ fn main() {
         let first = run(s.placement, plan.clone(), policy);
         let second = run(s.placement, plan, policy);
 
-        let deterministic = (0..RANKS).all(|r| match (&first[r], &second[r]) {
+        let deterministic = (0..RANKS).all(|r| match (&first.outcome[r], &second.outcome[r]) {
             (Ok(a), Ok(b)) => a == b,
             (Err(a), Err(b)) => a == b,
             _ => false,
         });
-        let fired: u64 =
-            first.iter().filter_map(|r| r.as_ref().ok()).map(|o| o.report.total_fired()).sum();
+        let fired: u64 = first
+            .outcome
+            .iter()
+            .filter_map(|r| r.as_ref().ok())
+            .map(|o| o.report.total_fired())
+            .sum();
 
-        let (ok, detail) = check(&s, &first, baseline_digest);
+        let (mut ok, mut detail) = check(&s, &first.outcome, baseline_digest);
+        // Delay faults must be pure virtual-clock charges: virtual
+        // seconds inflate versus the fault-free baseline, wall time
+        // does not. A sleep smuggled into the transport path would
+        // fire here on hundreds of delayed messages per run.
+        if ok && s.rules.iter().any(|r| r.kind == FaultKind::MsgDelay) {
+            let baseline = match s.placement {
+                Placement::Host => &baseline_host,
+                _ => &baseline_device,
+            };
+            let wall_budget = baseline.wall * 10 + Duration::from_secs(2);
+            if first.virtual_total <= baseline.virtual_total {
+                ok = false;
+                detail = format!(
+                    "delay did not inflate virtual time ({} vs baseline {})",
+                    first.virtual_total, baseline.virtual_total
+                );
+            } else if first.wall > wall_budget {
+                ok = false;
+                detail = format!(
+                    "delay inflated wall time ({:?} vs budget {wall_budget:?}) — \
+                     delays must charge virtual time only",
+                    first.wall
+                );
+            } else {
+                let _ = write!(
+                    detail,
+                    " delay-gate: virtual {:.3}s > {:.3}s, wall {:?} within budget",
+                    first.virtual_total, baseline.virtual_total, first.wall
+                );
+            }
+        }
         let verdict = if ok && deterministic { "pass" } else { "FAIL" };
         if !(ok && deterministic) {
             failures += 1;
@@ -436,15 +487,9 @@ fn check(
     }
 }
 
-fn json_row(
-    s: &Schedule,
-    result: &RunResult,
-    deterministic: bool,
-    pass: bool,
-    detail: &str,
-) -> String {
+fn json_row(s: &Schedule, run: &ChaosRun, deterministic: bool, pass: bool, detail: &str) -> String {
     let mut ranks = Vec::new();
-    for (rank, r) in result.iter().enumerate() {
+    for (rank, r) in run.outcome.iter().enumerate() {
         let row = match r {
             Ok(o) => format!(
                 "{{\"rank\": {rank}, \"outcome\": \"completed\", \"digest\": \"{:016x}\", \
@@ -469,11 +514,14 @@ fn json_row(
         out,
         "    {{\"name\": \"{}\", \"seed\": {}, \"placement\": \"{:?}\", \
          \"expectation\": \"{}\", \"pass\": {pass}, \"deterministic\": {deterministic}, \
+         \"wall_ms\": {}, \"virtual_seconds\": {:.6}, \
          \"detail\": \"{detail}\", \"ranks\": [{}]}}",
         s.name,
         s.seed,
         s.placement,
         s.expectation.name(),
+        run.wall.as_millis(),
+        run.virtual_total,
         ranks.join(", "),
     );
     out

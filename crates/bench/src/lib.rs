@@ -199,6 +199,18 @@ pub fn metrics_path_arg() -> Option<std::path::PathBuf> {
     path_arg("--metrics")
 }
 
+/// Peak resident set size of this process in KiB (`VmHWM` from
+/// `/proc/self/status`). Returns `None` off Linux or when the field is
+/// unreadable. Note this is a *process-lifetime high-water mark*: it
+/// never decreases, so comparing two configurations requires running
+/// each in a fresh process (see `fig11_weak --scale-smoke`).
+pub fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:")?.trim().strip_suffix("kB")?.trim().parse().ok())
+}
+
 /// Parse an optional `<flag> <path>` pair from the process arguments.
 pub fn path_arg(flag: &str) -> Option<std::path::PathBuf> {
     let args: Vec<String> = std::env::args().collect();

@@ -19,31 +19,91 @@ pub struct RankResult<R> {
     pub time: TimeBreakdown,
 }
 
+/// How simulated ranks are executed by [`Cluster::run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Event-driven cooperative scheduler (default): M simulated ranks
+    /// multiplexed on N worker slots, every blocking communication op
+    /// yields its slot, deadlocks detected structurally (instantly,
+    /// no wall-clock timeout). Scales to thousands of simulated ranks
+    /// on one box. See [`crate::sched`].
+    #[default]
+    EventDriven,
+    /// Legacy thread-per-rank engine: every rank is a freely scheduled
+    /// OS thread, deadlocks detected by wall-clock timeout. Kept as
+    /// the equivalence-test oracle; collapses near a few dozen ranks.
+    ThreadPerRank,
+}
+
 /// A simulated cluster: a machine description plus a rank launcher.
 ///
-/// `Cluster::run` is the `mpirun` analogue: it spawns one thread per
-/// rank, hands each a [`Comm`] bound to a fresh virtual [`Clock`], runs
-/// the closure, and joins. Panics in any rank propagate (the job
-/// "aborts").
+/// `Cluster::run` is the `mpirun` analogue: it spawns one carrier
+/// thread per rank, hands each a [`Comm`] bound to a fresh virtual
+/// [`Clock`], runs the closure, and joins. With the default
+/// [`Engine::EventDriven`] only [`Cluster::with_workers`] carriers are
+/// runnable at once — the rest are parked cooperatively, which is what
+/// lets one box simulate thousands of ranks. Panics in any rank
+/// propagate (the job "aborts"): the panicking rank's own payload is
+/// re-raised and every peer fails fast with a typed
+/// [`crate::PeerPanicked`] instead of waiting out a deadlock timeout.
 pub struct Cluster {
     machine: Machine,
     cost: Arc<CostModel>,
     deadlock_timeout: Duration,
     fault_plan: Option<Arc<FaultPlan>>,
+    engine: Engine,
+    workers: Option<usize>,
+    stack_size: Option<usize>,
 }
 
 impl Cluster {
     /// A cluster of ranks on the given machine model.
     pub fn new(machine: Machine) -> Self {
         let cost = Arc::new(CostModel::new(machine.clone()));
-        Self { machine, cost, deadlock_timeout: DEFAULT_DEADLOCK_TIMEOUT, fault_plan: None }
+        Self {
+            machine,
+            cost,
+            deadlock_timeout: DEFAULT_DEADLOCK_TIMEOUT,
+            fault_plan: None,
+            engine: Engine::default(),
+            workers: None,
+            stack_size: None,
+        }
     }
 
-    /// Override the deadlock timeout (default 60 s). Fault tests use a
-    /// short timeout so an accidental hang fails in milliseconds, with
-    /// the per-rank pending-op diagnostic, instead of stalling CI.
+    /// Override the deadlock timeout (default 60 s). Only meaningful
+    /// for [`Engine::ThreadPerRank`]; the default event-driven engine
+    /// detects deadlocks structurally and ignores it. Fault tests on
+    /// the oracle engine use a short timeout so an accidental hang
+    /// fails in milliseconds, with the per-rank pending-op diagnostic,
+    /// instead of stalling CI.
     pub fn with_deadlock_timeout(mut self, timeout: Duration) -> Self {
         self.deadlock_timeout = timeout;
+        self
+    }
+
+    /// Select the execution engine (default [`Engine::EventDriven`]).
+    /// Overridable at runtime via `RBAMR_NETSIM_ENGINE=threads|sched`
+    /// for A/B debugging without recompiling.
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Bound how many simulated ranks are runnable at once on the
+    /// event-driven engine (default: available parallelism).
+    /// `RBAMR_NETSIM_WORKERS` overrides at runtime. With one worker
+    /// the schedule is a fully deterministic round-robin.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Per-rank carrier-thread stack size in bytes (default: the std
+    /// default, overridable at runtime via `RBAMR_NETSIM_STACK_KB`).
+    /// Thousand-rank jobs shrink this to keep virtual memory bounded.
+    pub fn with_stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = Some(bytes);
         self
     }
 
@@ -66,6 +126,31 @@ impl Cluster {
         &self.cost
     }
 
+    fn resolve_engine(&self) -> Engine {
+        match std::env::var("RBAMR_NETSIM_ENGINE").as_deref() {
+            Ok("threads") | Ok("thread-per-rank") => Engine::ThreadPerRank,
+            Ok("sched") | Ok("event-driven") => Engine::EventDriven,
+            _ => self.engine,
+        }
+    }
+
+    fn resolve_workers(&self, nranks: usize) -> usize {
+        let configured = std::env::var("RBAMR_NETSIM_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .or(self.workers)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        configured.clamp(1, nranks)
+    }
+
+    fn resolve_stack_size(&self) -> Option<usize> {
+        std::env::var("RBAMR_NETSIM_STACK_KB")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|kb| kb * 1024)
+            .or(self.stack_size)
+    }
+
     /// Run `nranks` copies of `f` concurrently and collect their
     /// results, ordered by rank.
     ///
@@ -76,37 +161,84 @@ impl Cluster {
     /// see [`TimeBreakdown::max_per_category`]).
     ///
     /// # Panics
-    /// Panics if `nranks == 0` or any rank panics.
+    /// Panics if `nranks == 0` or any rank panics. When a rank panics,
+    /// the job is poisoned: peers parked in communication fail fast
+    /// (typed [`crate::PeerPanicked`]) and the *origin* rank's own
+    /// panic payload is the one re-raised here.
     pub fn run<R, F>(&self, nranks: usize, f: F) -> Vec<RankResult<R>>
     where
         R: Send,
         F: Fn(Comm) -> R + Sync,
     {
         assert!(nranks > 0, "Cluster::run: need at least one rank");
-        let shared = Shared::new(nranks, self.deadlock_timeout);
-        std::thread::scope(|scope| {
+        let shared = match self.resolve_engine() {
+            Engine::EventDriven => Shared::new_event_driven(nranks, self.resolve_workers(nranks)),
+            Engine::ThreadPerRank => Shared::new_thread_per_rank(nranks, self.deadlock_timeout),
+        };
+        let stack_size = self.resolve_stack_size();
+        type Carried<R> = Result<RankResult<R>, Box<dyn std::any::Any + Send + 'static>>;
+        let mut outcomes: Vec<Carried<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..nranks)
                 .map(|rank| {
                     let shared = Arc::clone(&shared);
                     let cost = Arc::clone(&self.cost);
                     let plan = self.fault_plan.clone();
                     let f = &f;
-                    scope.spawn(move || {
-                        let clock = Clock::new();
-                        let mut comm = Comm::new(rank, shared, clock.clone(), cost);
-                        if let Some(plan) = plan {
-                            comm.set_fault_injector(FaultInjector::new(plan, rank));
-                        }
-                        let value = f(comm);
-                        RankResult { rank, value, time: clock.snapshot() }
-                    })
+                    let mut builder = std::thread::Builder::new().name(format!("rank{rank}"));
+                    if let Some(bytes) = stack_size {
+                        builder = builder.stack_size(bytes);
+                    }
+                    builder
+                        .spawn_scoped(scope, move || -> Carried<R> {
+                            let clock = Clock::new();
+                            let mut comm =
+                                Comm::new(rank, Arc::clone(&shared), clock.clone(), cost);
+                            if let Some(plan) = plan {
+                                comm.set_fault_injector(FaultInjector::new(plan, rank));
+                            }
+                            // Park until the engine grants this rank a
+                            // run slot (immediate on thread-per-rank).
+                            if let Err(poisoned) = shared.task_started(rank) {
+                                return Err(Box::new(poisoned));
+                            }
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(comm)))
+                            {
+                                Ok(value) => {
+                                    let result = RankResult { rank, value, time: clock.snapshot() };
+                                    shared.task_finished(rank);
+                                    Ok(result)
+                                }
+                                Err(payload) => {
+                                    shared.task_panicked(rank);
+                                    Err(payload)
+                                }
+                            }
+                        })
+                        .expect("spawn rank carrier thread")
                 })
                 .collect();
-            handles
+            handles.into_iter().map(|h| h.join().unwrap_or_else(Err)).collect()
+        });
+        if outcomes.iter().all(|o| o.is_ok()) {
+            return outcomes
                 .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect()
-        })
+                .map(|o| o.unwrap_or_else(|_| unreachable!("checked Ok above")))
+                .collect();
+        }
+        // At least one rank panicked: re-raise the origin rank's own
+        // payload (the first poisoner), not a peer's secondary
+        // PeerPanicked, so the test-visible failure is the root cause.
+        let origin = shared.poison_origin();
+        let panicked: Vec<usize> =
+            outcomes.iter().enumerate().filter(|(_, o)| o.is_err()).map(|(rank, _)| rank).collect();
+        let chosen = origin
+            .filter(|o| panicked.contains(o))
+            .or_else(|| panicked.first().copied())
+            .expect("at least one rank panicked");
+        match outcomes.swap_remove(chosen) {
+            Err(payload) => std::panic::resume_unwind(payload),
+            Ok(_) => unreachable!("chosen rank verified Err above"),
+        }
     }
 
     /// Combine per-rank breakdowns into the job's elapsed breakdown
@@ -159,5 +291,37 @@ mod tests {
             }
             // Rank 0 returns immediately; no communication so no deadlock.
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank exploded")]
+    fn rank_panics_propagate_on_oracle_engine() {
+        Cluster::new(Machine::ipa_cpu_node()).with_engine(Engine::ThreadPerRank).run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("rank exploded");
+            }
+        });
+    }
+
+    #[test]
+    fn worker_limit_still_runs_every_rank() {
+        // More ranks than worker slots: the scheduler multiplexes.
+        let results = Cluster::new(Machine::ipa_cpu_node())
+            .with_workers(2)
+            .run(16, |comm| comm.allreduce_sum(1.0, Category::Other));
+        for r in &results {
+            assert_eq!(r.value, 16.0);
+        }
+    }
+
+    #[test]
+    fn tiny_stacks_are_enough_for_comm_only_ranks() {
+        let results = Cluster::new(Machine::ipa_cpu_node())
+            .with_workers(4)
+            .with_stack_size(256 * 1024)
+            .run(64, |comm| comm.allreduce_max(comm.rank() as f64, Category::Other));
+        for r in &results {
+            assert_eq!(r.value, 63.0);
+        }
     }
 }

@@ -1,20 +1,60 @@
 //! The per-rank communicator.
 
+use crate::sched::Scheduler;
+use crate::threads::ThreadsEngine;
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::Mutex;
 use rbamr_fault::{FaultInjector, FaultKind};
 use rbamr_perfmodel::{Category, Clock, CostModel};
 use rbamr_telemetry::Recorder;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Default wall-clock budget for a blocking receive or collective
-/// before the runtime declares a deadlock and panics (with a per-rank
-/// diagnostic of who is blocked where). Real MPI hangs silently;
-/// failing loudly is strictly more useful in a test suite. Fault tests
-/// shrink this via [`crate::Cluster::with_deadlock_timeout`].
+/// Default wall-clock budget for a blocking receive or collective on
+/// the legacy thread-per-rank engine before the runtime declares a
+/// deadlock and panics (with a per-rank diagnostic of who is blocked
+/// where). Real MPI hangs silently; failing loudly is strictly more
+/// useful in a test suite. The default event-driven engine detects
+/// deadlocks *structurally* (instantly, no timeout — see
+/// [`crate::sched`]), so this only paces the oracle engine. Fault
+/// tests shrink it via [`crate::Cluster::with_deadlock_timeout`].
 pub const DEFAULT_DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Typed panic payload and error cause raised on every surviving rank
+/// when a peer rank panics: the job is poisoned, all parked waiters
+/// wake immediately, and `Cluster::run` re-propagates the *origin*
+/// rank's original panic. Before poisoning existed, peers of a
+/// panicking rank sat parked until the 60 s deadlock timeout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeerPanicked {
+    /// The rank whose panic poisoned the job.
+    pub origin: usize,
+}
+
+impl std::fmt::Display for PeerPanicked {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peer rank {} panicked; job poisoned", self.origin)
+    }
+}
+
+impl std::error::Error for PeerPanicked {}
+
+/// Message-tag layout: the top four bits (63..=60) of every tag carry
+/// the message *kind* — an application-chosen channel class used to
+/// split telemetry counters (`net.sends.kind{k}`); kind 15 is reserved
+/// for collective plumbing ([`Comm::gather`] / [`Comm::broadcast`] /
+/// [`Comm::allgatherv`] internal point-to-point traffic). The
+/// remaining 60 bits are free for the application. A `u64 >> 60` can
+/// never exceed 15, so every kind has a label; the debug assertion
+/// documents (and the `.get()` fallback enforces) that invariant
+/// against future layout changes.
+#[inline]
+pub(crate) fn tag_kind(tag: u64) -> usize {
+    let kind = (tag >> 60) as usize;
+    debug_assert!(kind < 16, "tag {tag:#x}: kind bits out of range");
+    kind
+}
 
 /// Frame flags carried in the first byte of every point-to-point
 /// message. The fault layer marks injected drop/corrupt frames so the
@@ -69,6 +109,14 @@ pub enum CommError {
         /// The collective's name (`"allreduce-min"`, `"barrier"`, …).
         name: &'static str,
     },
+    /// A peer rank panicked and poisoned the job; this rank's pending
+    /// or subsequent communication fails fast instead of waiting out a
+    /// deadlock timeout. The origin rank's own panic is what
+    /// `Cluster::run` re-propagates.
+    PeerPanicked {
+        /// The rank whose panic poisoned the job.
+        origin: usize,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -89,147 +137,130 @@ impl std::fmt::Display for CommError {
             Self::CollectiveFault { name } => {
                 write!(f, "collective {name} failed (injected fault)")
             }
+            Self::PeerPanicked { origin } => {
+                write!(f, "peer rank {origin} panicked; job poisoned")
+            }
         }
     }
 }
 
 impl std::error::Error for CommError {}
 
-type MailboxKey = (usize, u64); // (source rank, tag)
-
-struct Mailbox {
-    queues: Mutex<HashMap<MailboxKey, VecDeque<Bytes>>>,
-    ready: Condvar,
-}
-
-impl Mailbox {
-    fn new() -> Self {
-        Self { queues: Mutex::new(HashMap::new()), ready: Condvar::new() }
-    }
-}
-
-struct CollectiveState {
-    arrived: usize,
-    generation: u64,
-    acc: f64,
-    result: f64,
-    /// OR of the participants' injected-fault decisions for the
-    /// in-progress round.
-    fault: bool,
-    /// The fault flag of the completed round — read by the waiters, so
-    /// an injected collective fault surfaces on *every* rank.
-    result_fault: bool,
-}
-
-struct Collective {
-    state: Mutex<CollectiveState>,
-    done: Condvar,
-}
-
-impl Collective {
-    fn new() -> Self {
-        Self {
-            state: Mutex::new(CollectiveState {
-                arrived: 0,
-                generation: 0,
-                acc: 0.0,
-                result: 0.0,
-                fault: false,
-                result_fault: false,
-            }),
-            done: Condvar::new(),
-        }
-    }
-}
-
-struct WordsState {
-    arrived: usize,
-    generation: u64,
-    acc: [u64; 3],
-    result: [u64; 3],
-    fault: bool,
-    result_fault: bool,
-}
-
-/// Rendezvous state for the 3-word digest allreduce. Kept separate from
-/// the f64 [`Collective`] so a digest reduction and a scalar reduction
-/// can never share (and corrupt) one accumulator.
-struct WordsCollective {
-    state: Mutex<WordsState>,
-    done: Condvar,
-}
-
-impl WordsCollective {
-    fn new() -> Self {
-        Self {
-            state: Mutex::new(WordsState {
-                arrived: 0,
-                generation: 0,
-                acc: [0; 3],
-                result: [0; 3],
-                fault: false,
-                result_fault: false,
-            }),
-            done: Condvar::new(),
-        }
-    }
+/// The execution engine behind a job's shared communication state.
+/// `Comm` is engine-agnostic: all telemetry, cost charging, framing
+/// and fault injection happen above this dispatch, so both engines
+/// produce bitwise-identical results and metrics.
+enum EngineImpl {
+    /// Event-driven cooperative scheduler (default): M ranks
+    /// multiplexed on N worker slots, structural deadlock detection.
+    Sched(Scheduler),
+    /// Legacy thread-per-rank engine (test oracle): freely scheduled
+    /// OS threads, wall-clock-timeout deadlock detection.
+    Threads(ThreadsEngine),
 }
 
 pub(crate) struct Shared {
-    mailboxes: Vec<Mailbox>,
-    collective: Collective,
-    digest: WordsCollective,
     size: usize,
-    timeout: Duration,
-    /// What each rank is currently blocked in (`None` when running) —
-    /// dumped when a deadlock timeout fires so the report names every
-    /// stuck rank's pending op, not just the one that noticed.
-    pending: Vec<Mutex<Option<String>>>,
+    engine: EngineImpl,
 }
 
 impl Shared {
-    pub(crate) fn new(size: usize, timeout: Duration) -> Arc<Self> {
-        Arc::new(Self {
-            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
-            collective: Collective::new(),
-            digest: WordsCollective::new(),
-            size,
-            timeout,
-            pending: (0..size).map(|_| Mutex::new(None)).collect(),
-        })
+    /// Shared state for the event-driven engine: `workers` bounds how
+    /// many ranks hold run slots concurrently.
+    pub(crate) fn new_event_driven(size: usize, workers: usize) -> Arc<Self> {
+        Arc::new(Self { size, engine: EngineImpl::Sched(Scheduler::new(size, workers)) })
     }
 
-    /// Per-rank diagnostic of pending (blocked) operations.
-    fn dump_pending(&self) -> String {
-        let mut out = String::from("pending operations per rank:\n");
-        for (rank, slot) in self.pending.iter().enumerate() {
-            let entry = slot.lock();
-            match entry.as_deref() {
-                Some(op) => out.push_str(&format!("  rank {rank}: blocked in {op}\n")),
-                None => out.push_str(&format!("  rank {rank}: not blocked\n")),
-            }
+    /// Shared state for the legacy thread-per-rank oracle engine.
+    pub(crate) fn new_thread_per_rank(size: usize, timeout: Duration) -> Arc<Self> {
+        Arc::new(Self { size, engine: EngineImpl::Threads(ThreadsEngine::new(size, timeout)) })
+    }
+
+    /// Gate a rank's carrier thread until the engine grants it a run
+    /// slot (no-op on the thread-per-rank engine).
+    pub(crate) fn task_started(&self, rank: usize) -> Result<(), PeerPanicked> {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.task_started(rank),
+            EngineImpl::Threads(t) => t.task_started(rank),
         }
-        out
     }
-}
 
-/// RAII guard registering what this rank is blocked in; cleared when
-/// the wait returns.
-struct PendingGuard<'a> {
-    shared: &'a Shared,
-    rank: usize,
-}
-
-impl<'a> PendingGuard<'a> {
-    fn enter(shared: &'a Shared, rank: usize, what: String) -> Self {
-        *shared.pending[rank].lock() = Some(what);
-        Self { shared, rank }
+    /// The rank's closure returned normally.
+    pub(crate) fn task_finished(&self, rank: usize) {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.task_finished(rank),
+            EngineImpl::Threads(t) => t.task_finished(rank),
+        }
     }
-}
 
-impl Drop for PendingGuard<'_> {
-    fn drop(&mut self) {
-        *self.shared.pending[self.rank].lock() = None;
+    /// The rank's closure panicked: poison the job so peers fail fast.
+    pub(crate) fn task_panicked(&self, rank: usize) {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.task_panicked(rank),
+            EngineImpl::Threads(t) => t.task_panicked(rank),
+        }
+    }
+
+    /// The first rank whose (non-deadlock) panic poisoned the job.
+    pub(crate) fn poison_origin(&self) -> Option<usize> {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.poison_origin(),
+            EngineImpl::Threads(t) => t.poison_origin(),
+        }
+    }
+
+    fn push_frame(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        frame: Bytes,
+    ) -> Result<(), PeerPanicked> {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.push_frame(src, dst, tag, frame),
+            EngineImpl::Threads(t) => t.push_frame(src, dst, tag, frame),
+        }
+    }
+
+    fn pop_frame(
+        &self,
+        rank: usize,
+        src: usize,
+        tag: u64,
+        category: Category,
+    ) -> Result<Bytes, PeerPanicked> {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.pop_frame(rank, src, tag, category),
+            EngineImpl::Threads(t) => t.pop_frame(rank, src, tag, category),
+        }
+    }
+
+    fn rendezvous_f64(
+        &self,
+        rank: usize,
+        name: &'static str,
+        category: Category,
+        v: f64,
+        op: fn(f64, f64) -> f64,
+        fault: bool,
+    ) -> Result<(f64, bool), PeerPanicked> {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.rendezvous_f64(rank, name, category, v, op, fault),
+            EngineImpl::Threads(t) => t.rendezvous_f64(rank, name, category, v, op, fault),
+        }
+    }
+
+    fn rendezvous_words(
+        &self,
+        rank: usize,
+        category: Category,
+        words: [u64; 3],
+        fault: bool,
+    ) -> Result<([u64; 3], bool), PeerPanicked> {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.rendezvous_words(rank, category, words, fault),
+            EngineImpl::Threads(t) => t.rendezvous_words(rank, category, words, fault),
+        }
     }
 }
 
@@ -255,6 +286,18 @@ pub struct Comm {
     recv_seq: Mutex<HashMap<(usize, u64), u64>>,
     recorder: Recorder,
     injector: Option<Arc<FaultInjector>>,
+}
+
+/// Escalate a typed comm error on an infallible-path wrapper: a
+/// poisoned job re-panics with the typed [`PeerPanicked`] payload (the
+/// origin rank's own panic stays the job's primary failure), anything
+/// else is an unhandled injected fault — a bug in the caller's fault
+/// discipline.
+fn escalate(op: &str, e: CommError) -> ! {
+    match e {
+        CommError::PeerPanicked { origin } => std::panic::panic_any(PeerPanicked { origin }),
+        e => panic!("{op}: unhandled injected fault: {e}"),
+    }
 }
 
 /// Next occurrence number for a `(peer, tag)` channel.
@@ -319,10 +362,12 @@ impl Comm {
         }
         // Static label table: the hot path composes counter names from
         // `&'static str` pieces, deferring all string formatting to
-        // snapshot time.
+        // snapshot time. See [`tag_kind`] for the tag layout; the
+        // `.get()` fallback keeps this panic-free even if the kind
+        // extraction ever goes out of range.
         const KIND: [&str; 16] =
             ["0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15"];
-        let kind = KIND[(tag >> 60) as usize];
+        let kind = KIND.get(tag_kind(tag)).copied().unwrap_or("invalid");
         if is_send {
             self.recorder.count_scoped("net.sends", "", 1);
             self.recorder.count_scoped("net.send_bytes", "", bytes);
@@ -391,7 +436,8 @@ impl Comm {
     /// # Panics
     /// Panics if `dst` is out of range or is this rank itself (self
     /// messages indicate a schedule bug — local copies must not go
-    /// through the network layer).
+    /// through the network layer), or with a [`PeerPanicked`] payload
+    /// if the job was poisoned by a peer's panic.
     pub fn send(&self, dst: usize, tag: u64, payload: Bytes) {
         assert!(dst < self.shared.size, "send: rank {dst} out of range");
         assert_ne!(dst, self.rank, "send: rank {} sent to itself", self.rank);
@@ -404,39 +450,8 @@ impl Comm {
         let mut framed = Vec::with_capacity(body.len() + 1);
         framed.push(flag);
         framed.extend_from_slice(&body);
-        let mb = &self.shared.mailboxes[dst];
-        mb.queues.lock().entry((self.rank, tag)).or_default().push_back(Bytes::from(framed));
-        mb.ready.notify_all();
-    }
-
-    /// Pop the next frame from `src`/`tag`, blocking until it arrives.
-    ///
-    /// # Panics
-    /// Panics after the deadlock timeout, dumping every rank's pending
-    /// operation.
-    fn blocking_pop(&self, src: usize, tag: u64, category: Category) -> Bytes {
-        let mb = &self.shared.mailboxes[self.rank];
-        let mut queues = mb.queues.lock();
-        loop {
-            if let Some(q) = queues.get_mut(&(src, tag)) {
-                if let Some(frame) = q.pop_front() {
-                    return frame;
-                }
-            }
-            let _pending = PendingGuard::enter(
-                &self.shared,
-                self.rank,
-                format!("recv(src={src}, tag={tag:#x}, category={category:?})"),
-            );
-            let timed_out = mb.ready.wait_for(&mut queues, self.shared.timeout).timed_out();
-            if timed_out {
-                panic!(
-                    "deadlock: rank {} waited {:?} for a message from {src} tag {tag:#x}\n{}",
-                    self.rank,
-                    self.shared.timeout,
-                    self.shared.dump_pending()
-                );
-            }
+        if let Err(p) = self.shared.push_frame(self.rank, dst, tag, Bytes::from(framed)) {
+            std::panic::panic_any(p);
         }
     }
 
@@ -448,15 +463,20 @@ impl Comm {
     /// [`CommError::MessageDropped`] / [`CommError::MessageCorrupt`]
     /// when the frame carries an injected fault. The frame is consumed
     /// either way, so the caller can keep receiving later messages (the
-    /// run-through recovery discipline).
+    /// run-through recovery discipline). [`CommError::PeerPanicked`]
+    /// when a peer's panic poisoned the job while this rank waited.
     ///
     /// # Panics
-    /// Panics after the deadlock timeout (dumping every rank's pending
-    /// op), or if `src` is invalid.
+    /// Panics on deadlock (structural detection on the event-driven
+    /// engine, wall-clock timeout on the thread-per-rank oracle; both
+    /// dump every rank's pending op), or if `src` is invalid.
     pub fn try_recv(&self, src: usize, tag: u64, category: Category) -> Result<Bytes, CommError> {
         assert!(src < self.shared.size, "recv: rank {src} out of range");
         assert_ne!(src, self.rank, "recv: rank {} received from itself", self.rank);
-        let frame = self.blocking_pop(src, tag, category);
+        let frame = match self.shared.pop_frame(self.rank, src, tag, category) {
+            Ok(frame) => frame,
+            Err(p) => return Err(CommError::PeerPanicked { origin: p.origin }),
+        };
         assert!(!frame.is_empty(), "recv: malformed frame (missing flag byte)");
         let flag = frame[0];
         let payload = frame.slice(1..);
@@ -493,8 +513,7 @@ impl Comm {
     /// injected faults use [`Comm::try_recv`] and propagate the typed
     /// error instead.
     pub fn recv(&self, src: usize, tag: u64, category: Category) -> Bytes {
-        self.try_recv(src, tag, category)
-            .unwrap_or_else(|e| panic!("recv: unhandled injected fault: {e}"))
+        self.try_recv(src, tag, category).unwrap_or_else(|e| escalate("recv", e))
     }
 
     fn try_collective(
@@ -525,50 +544,21 @@ impl Comm {
                 Ok(v)
             };
         }
-        let coll = &self.shared.collective;
-        let mut st = coll.state.lock();
-        if st.arrived == 0 {
-            st.acc = v;
-            st.fault = injected.is_some();
-        } else {
-            st.acc = op(st.acc, v);
-            st.fault |= injected.is_some();
-        }
-        st.arrived += 1;
-        if st.arrived == self.shared.size {
-            st.result = st.acc;
-            st.result_fault = st.fault;
-            st.arrived = 0;
-            st.fault = false;
-            st.generation += 1;
-            coll.done.notify_all();
-            return if st.result_fault {
-                Err(CommError::CollectiveFault { name })
-            } else {
-                Ok(st.result)
-            };
-        }
-        let gen = st.generation;
-        while st.generation == gen {
-            let _pending = PendingGuard::enter(
-                &self.shared,
-                self.rank,
-                format!("{name} (category={category:?})"),
-            );
-            let timed_out = coll.done.wait_for(&mut st, self.shared.timeout).timed_out();
-            if timed_out {
-                panic!(
-                    "deadlock: rank {} waited {:?} in {name}\n{}",
-                    self.rank,
-                    self.shared.timeout,
-                    self.shared.dump_pending()
-                );
-            }
-        }
-        if st.result_fault {
+        let (result, result_fault) = match self.shared.rendezvous_f64(
+            self.rank,
+            name,
+            category,
+            v,
+            op,
+            injected.is_some(),
+        ) {
+            Ok(out) => out,
+            Err(p) => return Err(CommError::PeerPanicked { origin: p.origin }),
+        };
+        if result_fault {
             Err(CommError::CollectiveFault { name })
         } else {
-            Ok(st.result)
+            Ok(result)
         }
     }
 
@@ -580,8 +570,7 @@ impl Comm {
         bytes: u64,
         category: Category,
     ) -> f64 {
-        self.try_collective(name, v, op, bytes, category)
-            .unwrap_or_else(|e| panic!("{name}: unhandled injected fault: {e}"))
+        self.try_collective(name, v, op, bytes, category).unwrap_or_else(|e| escalate(name, e))
     }
 
     /// Global minimum over all ranks — the dt reduction, "the only
@@ -657,52 +646,15 @@ impl Comm {
                 Ok(words)
             };
         }
-        let coll = &self.shared.digest;
-        let mut st = coll.state.lock();
-        if st.arrived == 0 {
-            st.acc = words;
-            st.fault = injected.is_some();
-        } else {
-            st.acc[0] = st.acc[0].wrapping_add(words[0]);
-            st.acc[1] ^= words[1];
-            st.acc[2] = st.acc[2].wrapping_add(words[2]);
-            st.fault |= injected.is_some();
-        }
-        st.arrived += 1;
-        if st.arrived == self.shared.size {
-            st.result = st.acc;
-            st.result_fault = st.fault;
-            st.arrived = 0;
-            st.fault = false;
-            st.generation += 1;
-            coll.done.notify_all();
-            return if st.result_fault {
-                Err(CommError::CollectiveFault { name: "allreduce-digest" })
-            } else {
-                Ok(st.result)
+        let (result, result_fault) =
+            match self.shared.rendezvous_words(self.rank, category, words, injected.is_some()) {
+                Ok(out) => out,
+                Err(p) => return Err(CommError::PeerPanicked { origin: p.origin }),
             };
-        }
-        let gen = st.generation;
-        while st.generation == gen {
-            let _pending = PendingGuard::enter(
-                &self.shared,
-                self.rank,
-                format!("allreduce-digest (category={category:?})"),
-            );
-            let timed_out = coll.done.wait_for(&mut st, self.shared.timeout).timed_out();
-            if timed_out {
-                panic!(
-                    "deadlock: rank {} waited {:?} in allreduce-digest\n{}",
-                    self.rank,
-                    self.shared.timeout,
-                    self.shared.dump_pending()
-                );
-            }
-        }
-        if st.result_fault {
+        if result_fault {
             Err(CommError::CollectiveFault { name: "allreduce-digest" })
         } else {
-            Ok(st.result)
+            Ok(result)
         }
     }
 
@@ -716,7 +668,7 @@ impl Comm {
     /// associative, so rank-arrival order cannot change the result.
     pub fn allreduce_digest(&self, words: [u64; 3], category: Category) -> [u64; 3] {
         self.try_digest_collective(words, category)
-            .unwrap_or_else(|e| panic!("allreduce-digest: unhandled injected fault: {e}"))
+            .unwrap_or_else(|e| escalate("allreduce-digest", e))
     }
 
     /// Fault-aware [`Comm::allreduce_digest`].
@@ -744,8 +696,7 @@ impl Comm {
     /// Panics on an injected fault — use [`Comm::try_gather`] on paths
     /// where faults may be injected.
     pub fn gather(&self, root: usize, payload: Bytes, category: Category) -> Option<Vec<Bytes>> {
-        self.try_gather(root, payload, category)
-            .unwrap_or_else(|e| panic!("gather: unhandled injected fault: {e}"))
+        self.try_gather(root, payload, category).unwrap_or_else(|e| escalate("gather", e))
     }
 
     /// Fault-aware [`Comm::gather`]: the root receives from every rank
@@ -844,8 +795,7 @@ impl Comm {
     /// Panics on an injected fault — use [`Comm::try_allgatherv`] on
     /// paths where faults may be injected.
     pub fn allgatherv(&self, payload: Bytes, category: Category) -> Vec<Bytes> {
-        self.try_allgatherv(payload, category)
-            .unwrap_or_else(|e| panic!("allgatherv: unhandled injected fault: {e}"))
+        self.try_allgatherv(payload, category).unwrap_or_else(|e| escalate("allgatherv", e))
     }
 
     /// Fault-aware [`Comm::allgatherv`]: receives from every peer even
@@ -1392,25 +1342,160 @@ mod tests {
         assert!(a[1].value.0 > 0, "p=0.4 over 32 messages fires at least once");
     }
 
+    fn panic_message(err: &Box<dyn std::any::Any + Send>) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
     #[test]
     fn deadlock_diagnostic_names_blocked_ranks() {
+        // Default (event-driven) engine: rank 1 exits while rank 0
+        // waits on a never-sent message — detected structurally, no
+        // timeout involved, same per-rank diagnostic as the oracle.
         let caught = std::panic::catch_unwind(|| {
-            cluster().with_deadlock_timeout(Duration::from_millis(200)).run(2, |comm| {
+            cluster().run(2, |comm| {
                 if comm.rank() == 0 {
-                    // Never sent: rank 0 blocks until the timeout.
                     comm.recv(1, 99, Category::HaloExchange);
                 }
             });
         });
         let err = caught.expect_err("deadlock must panic");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-            .unwrap_or_default();
+        let msg = panic_message(&err);
         assert!(msg.contains("deadlock"), "got: {msg}");
         assert!(msg.contains("pending operations per rank"), "got: {msg}");
         assert!(msg.contains("rank 0: blocked in recv(src=1, tag=0x63"), "got: {msg}");
         assert!(msg.contains("rank 1: not blocked"), "got: {msg}");
+    }
+
+    #[test]
+    fn oracle_engine_deadlock_diagnostic_names_blocked_ranks() {
+        // Thread-per-rank oracle keeps the wall-clock-timeout detector;
+        // the diagnostic format is shared with the structural one.
+        let caught = std::panic::catch_unwind(|| {
+            cluster()
+                .with_engine(crate::Engine::ThreadPerRank)
+                .with_deadlock_timeout(Duration::from_millis(200))
+                .run(2, |comm| {
+                    if comm.rank() == 0 {
+                        comm.recv(1, 99, Category::HaloExchange);
+                    }
+                });
+        });
+        let err = caught.expect_err("deadlock must panic");
+        let msg = panic_message(&err);
+        assert!(msg.contains("deadlock"), "got: {msg}");
+        assert!(msg.contains("pending operations per rank"), "got: {msg}");
+        assert!(msg.contains("rank 0: blocked in recv(src=1, tag=0x63"), "got: {msg}");
+        assert!(msg.contains("rank 1: not blocked"), "got: {msg}");
+    }
+
+    #[test]
+    fn structural_deadlock_is_detected_instantly() {
+        // The default deadlock timeout is 60 s; if this test finishes
+        // quickly the detection was structural, not timeout-based.
+        let start = std::time::Instant::now();
+        let caught = std::panic::catch_unwind(|| {
+            cluster().run(3, |comm| {
+                if comm.rank() == 0 {
+                    comm.barrier(Category::Timestep); // ranks 1, 2 never join
+                }
+            });
+        });
+        let err = caught.expect_err("abandoned collective must deadlock");
+        let msg = panic_message(&err);
+        assert!(msg.contains("deadlock"), "got: {msg}");
+        assert!(msg.contains("barrier (category=Timestep)"), "got: {msg}");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "structural detection must not wait out the 60 s timeout"
+        );
+    }
+
+    #[test]
+    fn extreme_tag_uses_kind15_without_panicking() {
+        // Kind bits are the top four bits of the tag: u64::MAX is
+        // kind 15, and no tag value can index out of the label table.
+        let results = cluster().run(2, |comm| {
+            let clock = comm.clock().clone();
+            let mut comm = comm;
+            let rec = Recorder::new(comm.rank(), clock);
+            comm.set_recorder(rec.clone());
+            if comm.rank() == 0 {
+                comm.send(1, u64::MAX, Bytes::from_static(b"top"));
+            } else {
+                comm.recv(0, u64::MAX, Category::Other);
+            }
+            (rec.counter("net.sends.kind15"), rec.counter("net.recvs.kind15"))
+        });
+        assert_eq!(results[0].value.0, 1);
+        assert_eq!(results[1].value.1, 1);
+    }
+
+    #[test]
+    fn peer_panic_poisons_job_and_propagates_original_payload() {
+        // Rank 0 panics while ranks 1 and 2 are parked in recv; before
+        // poisoning existed they would sit until the 60 s deadlock
+        // timeout. Now they fail fast and the job re-raises the origin
+        // rank's own panic payload.
+        let start = std::time::Instant::now();
+        let caught = std::panic::catch_unwind(|| {
+            cluster().run(3, |comm| {
+                if comm.rank() == 0 {
+                    panic!("original explosion");
+                }
+                comm.recv(0, 1, Category::Other);
+            });
+        });
+        let err = caught.expect_err("job must abort");
+        let msg = panic_message(&err);
+        assert!(msg.contains("original explosion"), "got: {msg}");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "peers must fail fast, not wait out the deadlock timeout"
+        );
+    }
+
+    #[test]
+    fn peer_panic_surfaces_as_typed_error_on_try_paths() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let observed = Arc::new(AtomicBool::new(false));
+        let obs = Arc::clone(&observed);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster().run(2, move |comm| {
+                if comm.rank() == 0 {
+                    // Handshake first so rank 1 is already blocked in
+                    // its own receive when the panic poisons the job.
+                    comm.recv(1, 9, Category::Other);
+                    panic!("boom");
+                }
+                comm.send(0, 9, Bytes::from_static(b"go"));
+                if comm.try_recv(0, 1, Category::Other)
+                    == Err(CommError::PeerPanicked { origin: 0 })
+                {
+                    obs.store(true, Ordering::SeqCst);
+                }
+            });
+        }));
+        assert!(caught.is_err(), "origin panic still aborts the job");
+        assert!(observed.load(Ordering::SeqCst), "try path observes the typed PeerPanicked error");
+    }
+
+    #[test]
+    fn oracle_engine_peer_panic_also_fails_fast() {
+        let start = std::time::Instant::now();
+        let caught = std::panic::catch_unwind(|| {
+            cluster().with_engine(crate::Engine::ThreadPerRank).run(2, |comm| {
+                if comm.rank() == 1 {
+                    panic!("oracle explosion");
+                }
+                comm.recv(1, 1, Category::Other);
+            });
+        });
+        let err = caught.expect_err("job must abort");
+        let msg = panic_message(&err);
+        assert!(msg.contains("oracle explosion"), "got: {msg}");
+        assert!(start.elapsed() < Duration::from_secs(30));
     }
 }

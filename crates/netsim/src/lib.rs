@@ -2,8 +2,8 @@
 //!
 //! The paper runs CleverLeaf with "a combination of MPI and CUDA" on up
 //! to 4,096 nodes. This crate is the MPI substitution documented in
-//! `DESIGN.md`: every rank is an OS thread executing the same program,
-//! communicating through typed mailboxes ([`Comm::send`] /
+//! `DESIGN.md`: every rank executes the same program, communicating
+//! through typed mailboxes ([`Comm::send`] /
 //! [`Comm::recv`]) and collectives ([`Comm::allreduce_min`],
 //! [`Comm::barrier`], [`Comm::allgatherv`] — the variable-payload
 //! gather behind partitioned-metadata exchange — and
@@ -12,6 +12,16 @@
 //! (halo fill → global dt reduction → advance → periodic regrid), so this
 //! model is semantically exact for the reproduced application.
 //!
+//! Rank execution is event-driven by default ([`Engine::EventDriven`],
+//! see [`sched`]): M simulated ranks are multiplexed over N worker
+//! slots, and every blocking communication op cooperatively yields its
+//! slot — which is what lets one box simulate thousands of ranks (the
+//! paper's 4,096-node Titan regime) instead of collapsing under one OS
+//! thread per rank. The legacy thread-per-rank engine
+//! ([`Engine::ThreadPerRank`]) survives as the equivalence-test
+//! oracle; both engines are required (and property-tested) to produce
+//! bitwise-identical results, causal edge streams, and virtual clocks.
+//!
 //! Every communication operation also advances the calling rank's
 //! virtual [`rbamr_perfmodel::Clock`] using the bound machine's
 //! [`rbamr_perfmodel::CostModel`]:
@@ -19,11 +29,14 @@
 //! (`latency + bytes/bandwidth`), collectives are charged
 //! `ceil(log2 P)` message steps to every participant. This is what turns
 //! a run on this single box into the strong/weak-scaling curves of
-//! Figures 10 and 11.
+//! Figures 10 and 11. Virtual time never depends on wall-clock
+//! scheduling, so the engine choice cannot change any metric.
 
 pub mod cluster;
 pub mod comm;
+pub mod sched;
+mod threads;
 
-pub use cluster::{Cluster, RankResult};
-pub use comm::{Comm, CommError};
+pub use cluster::{Cluster, Engine, RankResult};
+pub use comm::{Comm, CommError, PeerPanicked};
 pub use rbamr_fault::{FaultInjector, FaultKind, FaultPlan, FaultReport, FaultRule, FaultSite};

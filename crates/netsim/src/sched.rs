@@ -1,0 +1,472 @@
+//! Event-driven cooperative rank scheduler.
+//!
+//! The default execution engine behind [`Cluster::run`]: M simulated
+//! ranks are multiplexed over N worker *slots* instead of running as M
+//! concurrently-schedulable OS threads. Each rank still owns a (cheap,
+//! mostly-parked) carrier thread for its stack, but only `workers`
+//! of them hold a run slot at any instant; every blocking operation —
+//! a mailbox wait, a rendezvous barrier — releases the slot and yields
+//! back to the scheduler, which hands it to the next runnable rank.
+//! Virtual time is entirely unaffected: the clock is charged by the
+//! cost model in `Comm`, never by wall-clock waiting, so an
+//! event-driven run produces bitwise-identical results, edge streams,
+//! and virtual-seconds metrics to the thread-per-rank oracle.
+//!
+//! This is what lets `netsim` scale to thousands of simulated ranks on
+//! one box (the paper's Titan weak-scaling regime): runnable
+//! parallelism is bounded by `workers`, memory by `ranks × stack`, and
+//! deadlock detection is *structural* instead of timeout-based.
+//!
+//! ## Task states
+//!
+//! ```text
+//!          refill (slot free)
+//!   Ready ───────────────────▶ Running ──▶ Finished
+//!     ▲                          │
+//!     │  wake (message arrives,  │ block (mailbox empty /
+//!     │  rendezvous completes)   ▼  rendezvous incomplete)
+//!     └────────────────────── Blocked
+//! ```
+//!
+//! ## Structural deadlock detection
+//!
+//! All wakeups are *eager* and happen under the single scheduler lock:
+//! a send marks its blocked receiver Ready in the same critical
+//! section that enqueues the frame, and a completing rendezvous marks
+//! every waiter Ready before anyone observes the result. Therefore
+//! the predicate
+//!
+//! ```text
+//! running == 0  &&  runnable.is_empty()  &&  live > 0
+//! ```
+//!
+//! holds *iff* the job is truly deadlocked: every live rank is blocked
+//! on an event that only another (blocked or finished) rank could
+//! produce. No wall-clock timeout is involved, so a loaded CI machine
+//! can never produce a false positive, and a real deadlock is reported
+//! instantly with the same per-rank pending-operation dump the
+//! timeout-based engine printed.
+
+use crate::comm::PeerPanicked;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use rbamr_perfmodel::Category;
+use std::collections::{HashMap, VecDeque};
+
+/// What a blocked task is waiting for. Descriptions are formatted
+/// lazily (only when a deadlock dump is actually printed) to keep the
+/// block path allocation-free.
+pub(crate) enum Wait {
+    /// Blocked in `recv` on an exact `(src, tag)` channel.
+    Recv { src: usize, tag: u64, category: Category },
+    /// Blocked in an f64 rendezvous collective (`allreduce-*`,
+    /// `barrier`).
+    Collective { name: &'static str, category: Category },
+    /// Blocked in the 3-word digest rendezvous.
+    Digest { category: Category },
+}
+
+impl Wait {
+    /// Human-readable pending-op description; format is shared with the
+    /// thread-per-rank engine so deadlock diagnostics read identically.
+    fn describe(&self) -> String {
+        match self {
+            Wait::Recv { src, tag, category } => {
+                format!("recv(src={src}, tag={tag:#x}, category={category:?})")
+            }
+            Wait::Collective { name, category } => format!("{name} (category={category:?})"),
+            Wait::Digest { category } => format!("allreduce-digest (category={category:?})"),
+        }
+    }
+}
+
+enum TaskState {
+    /// Runnable, queued for a slot.
+    Ready,
+    /// Holds one of the `workers` run slots.
+    Running,
+    /// Waiting for an event; holds no slot.
+    Blocked(Wait),
+    /// Returned or panicked; holds no slot, never runs again.
+    Finished,
+}
+
+/// Rendezvous accumulator for the f64 collectives. Same protocol as
+/// the thread-per-rank engine: `generation` bumps when a round
+/// completes, `result`/`result_fault` hold the completed round's
+/// output (safe to read late — the next round cannot complete until
+/// this rank arrives at it).
+struct CollState {
+    arrived: usize,
+    generation: u64,
+    acc: f64,
+    result: f64,
+    fault: bool,
+    result_fault: bool,
+}
+
+/// Rendezvous accumulator for the 3-word digest allreduce (sum / xor /
+/// sum channels), kept separate so a digest and a scalar reduction can
+/// never share an accumulator.
+struct WordsState {
+    arrived: usize,
+    generation: u64,
+    acc: [u64; 3],
+    result: [u64; 3],
+    fault: bool,
+    result_fault: bool,
+}
+
+struct SchedState {
+    tasks: Vec<TaskState>,
+    /// Ready tasks in FIFO order; with `workers == 1` this makes the
+    /// whole job a deterministic round-robin.
+    runnable: VecDeque<usize>,
+    /// Tasks currently in `Running`.
+    running: usize,
+    /// Maximum concurrent `Running` tasks.
+    workers: usize,
+    /// Tasks not yet `Finished`.
+    live: usize,
+    /// First rank that panicked with a non-deadlock payload; set once.
+    poisoned: Option<usize>,
+    /// Structural-deadlock diagnostic, set once when detected.
+    deadlock: Option<std::sync::Arc<String>>,
+    /// `mailboxes[dst]` holds the per-`(src, tag)` FIFO frame queues.
+    mailboxes: Vec<HashMap<(usize, u64), VecDeque<Bytes>>>,
+    coll: CollState,
+    digest: WordsState,
+}
+
+/// The event-driven engine: one global state lock plus one condvar per
+/// rank (a rank only ever waits on its own condvar, so wakeups are
+/// targeted; std requires one mutex per condvar, not vice versa).
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cvs: Vec<Condvar>,
+}
+
+impl Scheduler {
+    pub(crate) fn new(size: usize, workers: usize) -> Self {
+        let workers = workers.clamp(1, size.max(1));
+        let mut state = SchedState {
+            tasks: (0..size).map(|_| TaskState::Ready).collect(),
+            runnable: (0..size).collect(),
+            running: 0,
+            workers,
+            live: size,
+            poisoned: None,
+            deadlock: None,
+            mailboxes: (0..size).map(|_| HashMap::new()).collect(),
+            coll: CollState {
+                arrived: 0,
+                generation: 0,
+                acc: 0.0,
+                result: 0.0,
+                fault: false,
+                result_fault: false,
+            },
+            digest: WordsState {
+                arrived: 0,
+                generation: 0,
+                acc: [0; 3],
+                result: [0; 3],
+                fault: false,
+                result_fault: false,
+            },
+        };
+        let cvs: Vec<Condvar> = (0..size).map(|_| Condvar::new()).collect();
+        // Grant the initial slots in rank order before any carrier
+        // thread arrives; carriers park in `task_started` until their
+        // rank is granted.
+        Self::refill(&mut state, &cvs);
+        Self { state: Mutex::new(state), cvs }
+    }
+
+    /// Grant free run slots to queued Ready tasks, FIFO.
+    fn refill(state: &mut SchedState, cvs: &[Condvar]) {
+        while state.running < state.workers {
+            let Some(next) = state.runnable.pop_front() else { break };
+            debug_assert!(matches!(state.tasks[next], TaskState::Ready));
+            state.tasks[next] = TaskState::Running;
+            state.running += 1;
+            cvs[next].notify_one();
+        }
+    }
+
+    /// Per-rank diagnostic of pending (blocked) operations; format is
+    /// identical to the thread-per-rank engine's dump.
+    fn dump_pending(state: &SchedState) -> String {
+        let mut out = String::from("pending operations per rank:\n");
+        for (rank, task) in state.tasks.iter().enumerate() {
+            match task {
+                TaskState::Blocked(wait) => {
+                    out.push_str(&format!("  rank {rank}: blocked in {}\n", wait.describe()))
+                }
+                _ => out.push_str(&format!("  rank {rank}: not blocked\n")),
+            }
+        }
+        out
+    }
+
+    /// Declare a structural deadlock if no task can ever run again:
+    /// nothing running, nothing runnable, yet live ranks remain. Sound
+    /// because every wakeup is eager and under this same lock — see the
+    /// module docs.
+    fn check_structural_deadlock(state: &mut SchedState, cvs: &[Condvar]) {
+        if state.running == 0
+            && state.runnable.is_empty()
+            && state.live > 0
+            && state.poisoned.is_none()
+            && state.deadlock.is_none()
+        {
+            state.deadlock = Some(std::sync::Arc::new(Self::dump_pending(state)));
+            for cv in cvs {
+                cv.notify_all();
+            }
+        }
+    }
+
+    /// Mark a task Ready (if Blocked) and queue it for a slot.
+    fn wake(state: &mut SchedState, cvs: &[Condvar], rank: usize) {
+        if matches!(state.tasks[rank], TaskState::Blocked(_)) {
+            state.tasks[rank] = TaskState::Ready;
+            state.runnable.push_back(rank);
+            Self::refill(state, cvs);
+        }
+    }
+
+    /// Release this task's slot, record what it waits for, and park
+    /// until re-granted a slot. Returns `Err` if a peer panicked while
+    /// we were parked; panics (with the full per-rank dump) if the wait
+    /// completes a structural deadlock.
+    fn block(
+        &self,
+        guard: &mut MutexGuard<'_, SchedState>,
+        rank: usize,
+        wait: Wait,
+    ) -> Result<(), PeerPanicked> {
+        guard.tasks[rank] = TaskState::Blocked(wait);
+        guard.running -= 1;
+        Self::refill(guard, &self.cvs);
+        Self::check_structural_deadlock(guard, &self.cvs);
+        loop {
+            if let Some(origin) = guard.poisoned {
+                return Err(PeerPanicked { origin });
+            }
+            if let Some(diag) = &guard.deadlock {
+                let mine = match &guard.tasks[rank] {
+                    TaskState::Blocked(wait) => wait.describe(),
+                    _ => String::from("<unblocked>"),
+                };
+                panic!(
+                    "deadlock: rank {rank} blocked in {mine} and no live rank can make \
+                     progress (structural detection, no messages in flight)\n{diag}"
+                );
+            }
+            if matches!(guard.tasks[rank], TaskState::Running) {
+                return Ok(());
+            }
+            self.cvs[rank].wait(guard);
+        }
+    }
+
+    /// Park the carrier until its rank is granted its first run slot.
+    pub(crate) fn task_started(&self, rank: usize) -> Result<(), PeerPanicked> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(origin) = st.poisoned {
+                return Err(PeerPanicked { origin });
+            }
+            if matches!(st.tasks[rank], TaskState::Running) {
+                return Ok(());
+            }
+            self.cvs[rank].wait(&mut st);
+        }
+    }
+
+    /// The rank's closure returned: release its slot and re-check for
+    /// deadlock (a rank exiting while peers wait on it is the classic
+    /// "peer finished without sending" hang).
+    pub(crate) fn task_finished(&self, rank: usize) {
+        let mut st = self.state.lock();
+        if matches!(st.tasks[rank], TaskState::Running) {
+            st.running -= 1;
+        }
+        st.tasks[rank] = TaskState::Finished;
+        st.live -= 1;
+        Self::refill(&mut st, &self.cvs);
+        Self::check_structural_deadlock(&mut st, &self.cvs);
+    }
+
+    /// The rank's closure panicked: poison the job so every peer fails
+    /// fast with [`PeerPanicked`] instead of waiting out a timeout.
+    /// Deadlock panics don't poison — those peers are already dying
+    /// with their own deadlock diagnostics.
+    pub(crate) fn task_panicked(&self, rank: usize) {
+        let mut st = self.state.lock();
+        if matches!(st.tasks[rank], TaskState::Running) {
+            st.running -= 1;
+        }
+        st.tasks[rank] = TaskState::Finished;
+        st.live -= 1;
+        if st.poisoned.is_none() && st.deadlock.is_none() {
+            st.poisoned = Some(rank);
+            for cv in &self.cvs {
+                cv.notify_all();
+            }
+        }
+        Self::refill(&mut st, &self.cvs);
+    }
+
+    /// The first rank that panicked (with a non-deadlock payload), if
+    /// any — `Cluster::run` propagates *that* rank's payload.
+    pub(crate) fn poison_origin(&self) -> Option<usize> {
+        self.state.lock().poisoned
+    }
+
+    /// Deliver a frame to `dst`'s mailbox and eagerly wake `dst` if it
+    /// is blocked on exactly this `(src, tag)` channel.
+    pub(crate) fn push_frame(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        frame: Bytes,
+    ) -> Result<(), PeerPanicked> {
+        let mut st = self.state.lock();
+        if let Some(origin) = st.poisoned {
+            return Err(PeerPanicked { origin });
+        }
+        st.mailboxes[dst].entry((src, tag)).or_default().push_back(frame);
+        if let TaskState::Blocked(Wait::Recv { src: wsrc, tag: wtag, .. }) = &st.tasks[dst] {
+            if *wsrc == src && *wtag == tag {
+                Self::wake(&mut st, &self.cvs, dst);
+            }
+        }
+        Ok(())
+    }
+
+    /// Pop the next frame from `src`/`tag`, yielding the run slot while
+    /// the queue is empty.
+    pub(crate) fn pop_frame(
+        &self,
+        rank: usize,
+        src: usize,
+        tag: u64,
+        category: Category,
+    ) -> Result<Bytes, PeerPanicked> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(origin) = st.poisoned {
+                return Err(PeerPanicked { origin });
+            }
+            if let Some(frame) = st.mailboxes[rank].get_mut(&(src, tag)).and_then(|q| q.pop_front())
+            {
+                return Ok(frame);
+            }
+            self.block(&mut st, rank, Wait::Recv { src, tag, category })?;
+        }
+    }
+
+    /// f64 rendezvous collective: accumulate in arrival order, last
+    /// arriver publishes the result and wakes every waiter; returns
+    /// `(result, fault_flag)` for the completed round.
+    pub(crate) fn rendezvous_f64(
+        &self,
+        rank: usize,
+        name: &'static str,
+        category: Category,
+        v: f64,
+        op: fn(f64, f64) -> f64,
+        fault: bool,
+    ) -> Result<(f64, bool), PeerPanicked> {
+        let size = self.cvs.len();
+        let mut st = self.state.lock();
+        if let Some(origin) = st.poisoned {
+            return Err(PeerPanicked { origin });
+        }
+        if st.coll.arrived == 0 {
+            st.coll.acc = v;
+            st.coll.fault = fault;
+        } else {
+            st.coll.acc = op(st.coll.acc, v);
+            st.coll.fault |= fault;
+        }
+        st.coll.arrived += 1;
+        if st.coll.arrived == size {
+            st.coll.result = st.coll.acc;
+            st.coll.result_fault = st.coll.fault;
+            st.coll.arrived = 0;
+            st.coll.fault = false;
+            st.coll.generation += 1;
+            let out = (st.coll.result, st.coll.result_fault);
+            let waiters: Vec<usize> = st
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t, TaskState::Blocked(Wait::Collective { .. })))
+                .map(|(r, _)| r)
+                .collect();
+            for w in waiters {
+                Self::wake(&mut st, &self.cvs, w);
+            }
+            return Ok(out);
+        }
+        let gen = st.coll.generation;
+        while st.coll.generation == gen {
+            self.block(&mut st, rank, Wait::Collective { name, category })?;
+        }
+        Ok((st.coll.result, st.coll.result_fault))
+    }
+
+    /// 3-word digest rendezvous (wrapping-sum / xor / wrapping-sum
+    /// channels); same protocol as [`Scheduler::rendezvous_f64`].
+    pub(crate) fn rendezvous_words(
+        &self,
+        rank: usize,
+        category: Category,
+        words: [u64; 3],
+        fault: bool,
+    ) -> Result<([u64; 3], bool), PeerPanicked> {
+        let size = self.cvs.len();
+        let mut st = self.state.lock();
+        if let Some(origin) = st.poisoned {
+            return Err(PeerPanicked { origin });
+        }
+        if st.digest.arrived == 0 {
+            st.digest.acc = words;
+            st.digest.fault = fault;
+        } else {
+            st.digest.acc[0] = st.digest.acc[0].wrapping_add(words[0]);
+            st.digest.acc[1] ^= words[1];
+            st.digest.acc[2] = st.digest.acc[2].wrapping_add(words[2]);
+            st.digest.fault |= fault;
+        }
+        st.digest.arrived += 1;
+        if st.digest.arrived == size {
+            st.digest.result = st.digest.acc;
+            st.digest.result_fault = st.digest.fault;
+            st.digest.arrived = 0;
+            st.digest.fault = false;
+            st.digest.generation += 1;
+            let out = (st.digest.result, st.digest.result_fault);
+            let waiters: Vec<usize> = st
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| matches!(t, TaskState::Blocked(Wait::Digest { .. })))
+                .map(|(r, _)| r)
+                .collect();
+            for w in waiters {
+                Self::wake(&mut st, &self.cvs, w);
+            }
+            return Ok(out);
+        }
+        let gen = st.digest.generation;
+        while st.digest.generation == gen {
+            self.block(&mut st, rank, Wait::Digest { category })?;
+        }
+        Ok((st.digest.result, st.digest.result_fault))
+    }
+}

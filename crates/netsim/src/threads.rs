@@ -1,0 +1,343 @@
+//! Legacy thread-per-rank execution engine.
+//!
+//! The original `netsim` model: every simulated rank is a freely
+//! scheduled OS thread, mailbox and rendezvous waits park on condition
+//! variables, and deadlocks are detected by a wall-clock timeout. It
+//! collapses near a few dozen ranks (thread limits, O(ranks) stacks,
+//! timeout false-positives on loaded machines) — the event-driven
+//! [`crate::sched::Scheduler`] replaced it as the default — but it is
+//! kept as the *oracle*: the equivalence proptests run every random
+//! communication script on both engines and require byte-identical
+//! results, edge streams, and virtual clocks.
+//!
+//! Unlike the original, a rank panic now poisons the shared state so
+//! peers fail fast with [`PeerPanicked`] instead of waiting out the
+//! deadlock timeout.
+
+use crate::comm::PeerPanicked;
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use rbamr_perfmodel::Category;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+type MailboxKey = (usize, u64); // (source rank, tag)
+
+struct Mailbox {
+    queues: Mutex<HashMap<MailboxKey, VecDeque<Bytes>>>,
+    ready: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Self {
+        Self { queues: Mutex::new(HashMap::new()), ready: Condvar::new() }
+    }
+}
+
+struct CollectiveState {
+    arrived: usize,
+    generation: u64,
+    acc: f64,
+    result: f64,
+    /// OR of the participants' injected-fault decisions for the
+    /// in-progress round.
+    fault: bool,
+    /// The fault flag of the completed round — read by the waiters, so
+    /// an injected collective fault surfaces on *every* rank.
+    result_fault: bool,
+}
+
+struct Collective {
+    state: Mutex<CollectiveState>,
+    done: Condvar,
+}
+
+impl Collective {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(CollectiveState {
+                arrived: 0,
+                generation: 0,
+                acc: 0.0,
+                result: 0.0,
+                fault: false,
+                result_fault: false,
+            }),
+            done: Condvar::new(),
+        }
+    }
+}
+
+struct WordsState {
+    arrived: usize,
+    generation: u64,
+    acc: [u64; 3],
+    result: [u64; 3],
+    fault: bool,
+    result_fault: bool,
+}
+
+/// Rendezvous state for the 3-word digest allreduce. Kept separate from
+/// the f64 [`Collective`] so a digest reduction and a scalar reduction
+/// can never share (and corrupt) one accumulator.
+struct WordsCollective {
+    state: Mutex<WordsState>,
+    done: Condvar,
+}
+
+impl WordsCollective {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(WordsState {
+                arrived: 0,
+                generation: 0,
+                acc: [0; 3],
+                result: [0; 3],
+                fault: false,
+                result_fault: false,
+            }),
+            done: Condvar::new(),
+        }
+    }
+}
+
+pub(crate) struct ThreadsEngine {
+    mailboxes: Vec<Mailbox>,
+    collective: Collective,
+    digest: WordsCollective,
+    size: usize,
+    timeout: Duration,
+    /// What each rank is currently blocked in (`None` when running) —
+    /// dumped when a deadlock timeout fires so the report names every
+    /// stuck rank's pending op, not just the one that noticed.
+    pending: Vec<Mutex<Option<String>>>,
+    /// First rank that panicked; peers observe it and fail fast.
+    poisoned: Mutex<Option<usize>>,
+}
+
+/// RAII guard registering what this rank is blocked in; cleared when
+/// the wait returns.
+struct PendingGuard<'a> {
+    engine: &'a ThreadsEngine,
+    rank: usize,
+}
+
+impl<'a> PendingGuard<'a> {
+    fn enter(engine: &'a ThreadsEngine, rank: usize, what: String) -> Self {
+        *engine.pending[rank].lock() = Some(what);
+        Self { engine, rank }
+    }
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        *self.engine.pending[self.rank].lock() = None;
+    }
+}
+
+impl ThreadsEngine {
+    pub(crate) fn new(size: usize, timeout: Duration) -> Self {
+        Self {
+            mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
+            collective: Collective::new(),
+            digest: WordsCollective::new(),
+            size,
+            timeout,
+            pending: (0..size).map(|_| Mutex::new(None)).collect(),
+            poisoned: Mutex::new(None),
+        }
+    }
+
+    /// Per-rank diagnostic of pending (blocked) operations.
+    fn dump_pending(&self) -> String {
+        let mut out = String::from("pending operations per rank:\n");
+        for (rank, slot) in self.pending.iter().enumerate() {
+            let entry = slot.lock();
+            match entry.as_deref() {
+                Some(op) => out.push_str(&format!("  rank {rank}: blocked in {op}\n")),
+                None => out.push_str(&format!("  rank {rank}: not blocked\n")),
+            }
+        }
+        out
+    }
+
+    fn poison_check(&self) -> Result<(), PeerPanicked> {
+        match *self.poisoned.lock() {
+            Some(origin) => Err(PeerPanicked { origin }),
+            None => Ok(()),
+        }
+    }
+
+    /// Ranks are freely scheduled OS threads: nothing to wait for.
+    pub(crate) fn task_started(&self, _rank: usize) -> Result<(), PeerPanicked> {
+        self.poison_check()
+    }
+
+    pub(crate) fn task_finished(&self, _rank: usize) {}
+
+    /// Poison the shared state and wake every parked waiter so peers
+    /// fail fast with [`PeerPanicked`] instead of timing out.
+    pub(crate) fn task_panicked(&self, rank: usize) {
+        {
+            let mut poisoned = self.poisoned.lock();
+            if poisoned.is_none() {
+                *poisoned = Some(rank);
+            }
+        }
+        for mb in &self.mailboxes {
+            mb.ready.notify_all();
+        }
+        self.collective.done.notify_all();
+        self.digest.done.notify_all();
+    }
+
+    pub(crate) fn poison_origin(&self) -> Option<usize> {
+        *self.poisoned.lock()
+    }
+
+    pub(crate) fn push_frame(
+        &self,
+        src: usize,
+        dst: usize,
+        tag: u64,
+        frame: Bytes,
+    ) -> Result<(), PeerPanicked> {
+        self.poison_check()?;
+        let mb = &self.mailboxes[dst];
+        mb.queues.lock().entry((src, tag)).or_default().push_back(frame);
+        mb.ready.notify_all();
+        Ok(())
+    }
+
+    /// Pop the next frame from `src`/`tag`, blocking until it arrives.
+    ///
+    /// # Panics
+    /// Panics after the deadlock timeout, dumping every rank's pending
+    /// operation.
+    pub(crate) fn pop_frame(
+        &self,
+        rank: usize,
+        src: usize,
+        tag: u64,
+        category: Category,
+    ) -> Result<Bytes, PeerPanicked> {
+        let mb = &self.mailboxes[rank];
+        let mut queues = mb.queues.lock();
+        loop {
+            self.poison_check()?;
+            if let Some(q) = queues.get_mut(&(src, tag)) {
+                if let Some(frame) = q.pop_front() {
+                    return Ok(frame);
+                }
+            }
+            let _pending = PendingGuard::enter(
+                self,
+                rank,
+                format!("recv(src={src}, tag={tag:#x}, category={category:?})"),
+            );
+            let timed_out = mb.ready.wait_for(&mut queues, self.timeout).timed_out();
+            if timed_out {
+                panic!(
+                    "deadlock: rank {rank} waited {:?} for a message from {src} tag {tag:#x}\n{}",
+                    self.timeout,
+                    self.dump_pending()
+                );
+            }
+        }
+    }
+
+    pub(crate) fn rendezvous_f64(
+        &self,
+        rank: usize,
+        name: &'static str,
+        category: Category,
+        v: f64,
+        op: fn(f64, f64) -> f64,
+        fault: bool,
+    ) -> Result<(f64, bool), PeerPanicked> {
+        let coll = &self.collective;
+        let mut st = coll.state.lock();
+        self.poison_check()?;
+        if st.arrived == 0 {
+            st.acc = v;
+            st.fault = fault;
+        } else {
+            st.acc = op(st.acc, v);
+            st.fault |= fault;
+        }
+        st.arrived += 1;
+        if st.arrived == self.size {
+            st.result = st.acc;
+            st.result_fault = st.fault;
+            st.arrived = 0;
+            st.fault = false;
+            st.generation += 1;
+            coll.done.notify_all();
+            return Ok((st.result, st.result_fault));
+        }
+        let gen = st.generation;
+        while st.generation == gen {
+            self.poison_check()?;
+            let _pending =
+                PendingGuard::enter(self, rank, format!("{name} (category={category:?})"));
+            let timed_out = coll.done.wait_for(&mut st, self.timeout).timed_out();
+            if timed_out {
+                panic!(
+                    "deadlock: rank {rank} waited {:?} in {name}\n{}",
+                    self.timeout,
+                    self.dump_pending()
+                );
+            }
+        }
+        Ok((st.result, st.result_fault))
+    }
+
+    pub(crate) fn rendezvous_words(
+        &self,
+        rank: usize,
+        category: Category,
+        words: [u64; 3],
+        fault: bool,
+    ) -> Result<([u64; 3], bool), PeerPanicked> {
+        let coll = &self.digest;
+        let mut st = coll.state.lock();
+        self.poison_check()?;
+        if st.arrived == 0 {
+            st.acc = words;
+            st.fault = fault;
+        } else {
+            st.acc[0] = st.acc[0].wrapping_add(words[0]);
+            st.acc[1] ^= words[1];
+            st.acc[2] = st.acc[2].wrapping_add(words[2]);
+            st.fault |= fault;
+        }
+        st.arrived += 1;
+        if st.arrived == self.size {
+            st.result = st.acc;
+            st.result_fault = st.fault;
+            st.arrived = 0;
+            st.fault = false;
+            st.generation += 1;
+            coll.done.notify_all();
+            return Ok((st.result, st.result_fault));
+        }
+        let gen = st.generation;
+        while st.generation == gen {
+            self.poison_check()?;
+            let _pending = PendingGuard::enter(
+                self,
+                rank,
+                format!("allreduce-digest (category={category:?})"),
+            );
+            let timed_out = coll.done.wait_for(&mut st, self.timeout).timed_out();
+            if timed_out {
+                panic!(
+                    "deadlock: rank {rank} waited {:?} in allreduce-digest\n{}",
+                    self.timeout,
+                    self.dump_pending()
+                );
+            }
+        }
+        Ok((st.result, st.result_fault))
+    }
+}

@@ -133,6 +133,34 @@ fn message_costs_scale_with_size() {
     assert!(ratio > 50.0 && ratio < 1000.0, "cost ratio {ratio}");
 }
 
+#[test]
+fn thousand_rank_ring_with_collectives() {
+    // The scaling regime the event-driven scheduler exists for: 1,024
+    // simulated ranks on one box (the thread-per-rank engine would
+    // park 1,024 OS threads and risk timeout false-positives here).
+    // Small carrier stacks keep the memory footprint bounded.
+    let n: usize = 1024;
+    let results = Cluster::new(Machine::ipa_cpu_node())
+        .with_workers(4)
+        .with_stack_size(192 * 1024)
+        .run(n, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send(next, 0, Bytes::from(vec![comm.rank() as u8; 8]));
+            let got = comm.recv(prev, 0, Category::HaloExchange);
+            assert_eq!(got[0], prev as u8);
+            let dt = comm.allreduce_min(comm.rank() as f64 + 0.5, Category::Timestep);
+            let hi = comm.allreduce_max(comm.rank() as f64, Category::Other);
+            comm.barrier(Category::Other);
+            (dt, hi)
+        });
+    assert_eq!(results.len(), n);
+    for r in &results {
+        assert_eq!(r.value, (0.5, (n - 1) as f64));
+        assert!(r.time.total() > 0.0, "every rank charged virtual comm time");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
