@@ -1,0 +1,30 @@
+use bytes::Bytes;
+use rbamr_netsim::Cluster;
+use rbamr_perfmodel::{Category, Machine};
+
+#[test]
+fn poison_with_queued_ready_ranks() {
+    for _ in 0..50 {
+        let caught = std::panic::catch_unwind(|| {
+            Cluster::new(Machine::ipa_cpu_node()).with_workers(2).run(8, |comm| {
+                let r = comm.rank();
+                if r < 7 {
+                    // All of 0..6 block receiving from rank 7.
+                    let _ = comm.recv(7, r as u64, Category::HaloExchange);
+                } else {
+                    for dst in 0..7usize {
+                        comm.send(dst, dst as u64, Bytes::from(vec![1u8; 4]));
+                    }
+                    panic!("boom-origin");
+                }
+            });
+        });
+        let err = caught.expect_err("must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| format!("non-string payload"));
+        assert!(msg.contains("boom-origin"), "wrong payload propagated: {msg}");
+    }
+}
