@@ -404,24 +404,64 @@ fn serialize_records(records: &[BoxRecord]) -> Bytes {
     Bytes::from(buf)
 }
 
+/// Parse the `r`-th record of a serialized payload.
+fn parse_record(payload: &[u8], r: usize) -> BoxRecord {
+    let word =
+        |i: usize| i64::from_le_bytes(payload[r * RECORD_BYTES + i * 8..][..8].try_into().unwrap());
+    let lo = IntVector::new(word(1), word(2));
+    let hi = IntVector::new(word(3), word(4));
+    (word(0) as usize, GBox::new(lo, hi), word(5) as usize)
+}
+
+#[cfg(test)]
 fn parse_records(payload: &[u8], out: &mut Vec<BoxRecord>) {
     assert_eq!(payload.len() % RECORD_BYTES, 0, "malformed box-record payload");
-    let word = |i: usize| i64::from_le_bytes(payload[i * 8..i * 8 + 8].try_into().unwrap());
     for r in 0..payload.len() / RECORD_BYTES {
-        let k = r * 6;
-        let lo = IntVector::new(word(k + 1), word(k + 2));
-        let hi = IntVector::new(word(k + 3), word(k + 4));
-        out.push((word(k) as usize, GBox::new(lo, hi), word(k + 5) as usize));
+        out.push(parse_record(payload, r));
     }
 }
 
-/// Structural sanity of an assembled record list (sorted by index):
+/// Visit every record of the serialized `parts` in stream order,
+/// applying the corruption decision `(stream position, decision word)`
+/// before the record is observed. This is the streaming replacement for
+/// materializing the concatenated global record list: each record is
+/// decoded from the (zero-copy) wire segments on the fly.
+fn visit_records(parts: &[Bytes], corrupt: Option<(usize, u64)>, mut f: impl FnMut(BoxRecord)) {
+    let mut pos = 0usize;
+    for part in parts {
+        assert_eq!(part.len() % RECORD_BYTES, 0, "malformed box-record payload");
+        for r in 0..part.len() / RECORD_BYTES {
+            let mut rec = parse_record(part, r);
+            if let Some((pick, w)) = corrupt {
+                if pos == pick {
+                    corrupt_record(&mut rec, w);
+                }
+            }
+            f(rec);
+            pos += 1;
+        }
+    }
+}
+
+/// Deterministic single-bit corruption of a record's box, driven by the
+/// injector's decision word (see [`FaultKind::MetadataCorrupt`]).
+fn corrupt_record(rec: &mut BoxRecord, w: u64) {
+    let bit = 1i64 << ((w >> 8) % 8);
+    match (w >> 16) % 4 {
+        0 => rec.1.lo.x ^= bit,
+        1 => rec.1.lo.y ^= bit,
+        2 => rec.1.hi.x ^= bit,
+        _ => rec.1.hi.y ^= bit,
+    }
+}
+
+/// Structural sanity of an assembled index set (sorted ascending):
 /// indices must be exactly `0..len`. Returns a description of the first
 /// violation.
-fn structural_error(sorted: &[BoxRecord]) -> Option<String> {
-    for (expect, &(index, _, _)) in sorted.iter().enumerate() {
+fn structural_error(sorted: &[usize]) -> Option<String> {
+    for (expect, &index) in sorted.iter().enumerate() {
         if index != expect {
-            return Some(if sorted.iter().filter(|r| r.0 == index).count() > 1 {
+            return Some(if sorted.iter().filter(|&&i| i == index).count() > 1 {
                 format!("duplicate global index {index}")
             } else {
                 format!("global indices are not dense: expected {expect}, found {index}")
@@ -434,11 +474,12 @@ fn structural_error(sorted: &[BoxRecord]) -> Option<String> {
 /// Exchange owned box records into a verified [`LevelView`].
 ///
 /// Each rank contributes its owned `(index, box, owner)` records; the
-/// transiently-complete list is digest-verified against the allreduced
-/// combination of every rank's owned partials (the handshake described
-/// in the module docs) and then filtered down to the rank's interest
-/// neighborhood. With `comm == None` (or one rank) the exchange is the
-/// identity and the view is complete.
+/// received wire segments are *streamed* — digest-verified against the
+/// allreduced combination of every rank's owned partials (the handshake
+/// described in the module docs) and filtered against the interest
+/// neighborhood record-by-record, without ever materializing the
+/// concatenated global record list. With `comm == None` (or one rank)
+/// the exchange is the identity and the view is complete.
 ///
 /// An attached fault injector ([`Comm::fault_injector`]) with a
 /// [`FaultKind::MetadataCorrupt`] rule flips one bit of one assembled
@@ -477,53 +518,81 @@ pub fn exchange_level_view(
     let combined = UnorderedDigest::from_words(words);
     let expected = finalize_structure_digest(level_no, ratio, domain, &combined);
 
-    let mut all: Vec<BoxRecord> = Vec::new();
-    match comm {
-        Some(c) => match c.try_allgatherv(serialize_records(owned), Category::Regrid) {
-            Ok(parts) => {
-                for part in &parts {
-                    parse_records(part, &mut all);
-                }
-            }
+    // The global record list is never materialized: the serialized
+    // wire segments are streamed twice (digest + retention, then the
+    // seed-halo closure), so the only per-record allocation a rank pays
+    // for is its own retained neighborhood.
+    let my_bytes = serialize_records(owned);
+    let parts: Vec<Bytes> = match comm {
+        Some(c) => match c.try_allgatherv(my_bytes.clone(), Category::Regrid) {
+            Ok(parts) => parts,
             Err(e) => {
                 // The collective completed (run-through) but this rank's
                 // assembly is unusable; keep only the owned records so
                 // the digest check below fails locally and the agreement
                 // reduction tells every peer.
                 comm_err.get_or_insert(e);
-                all.extend_from_slice(owned);
+                vec![my_bytes]
             }
         },
-        None => all.extend_from_slice(owned),
-    }
+        None => vec![my_bytes],
+    };
+    let total: usize = parts.iter().map(|p| p.len() / RECORD_BYTES).sum();
 
-    // Deterministic fault injection: corrupt one assembled record.
+    // Deterministic fault injection: corrupt one streamed record.
+    let mut corrupt: Option<(usize, u64)> = None;
     if let Some(inj) = comm.and_then(|c| c.fault_injector()) {
         if let Some(site) = inj.should_fire(FaultKind::MetadataCorrupt) {
             if let Some(c) = comm {
                 c.recorder().count("fault.injected", 1);
             }
-            if !all.is_empty() {
+            if total > 0 {
                 let w = inj.decision_word(FaultKind::MetadataCorrupt, site.occurrence);
-                let pick = (w as usize) % all.len();
-                let rec = &mut all[pick];
-                let bit = 1i64 << ((w >> 8) % 8);
-                match (w >> 16) % 4 {
-                    0 => rec.1.lo.x ^= bit,
-                    1 => rec.1.lo.y ^= bit,
-                    2 => rec.1.hi.x ^= bit,
-                    _ => rec.1.hi.y ^= bit,
-                }
+                corrupt = Some(((w as usize) % total, w));
             }
         }
     }
-    all.sort_unstable_by_key(|r| r.0);
 
-    let observed_items = structure_items_digest(all.iter().copied());
+    // Pass 1: digest, accounting, index collection, plain retention
+    // (owned / interest / seed), and the seed-halo region.
+    let plainly_kept = |b: GBox, o: usize| {
+        o == my_rank
+            || intersects_list(&spec.interest, b)
+            || intersects_list(&spec.closure_seeds, b)
+    };
+    let mut indices: Vec<usize> = Vec::with_capacity(total);
+    let mut observed_items = UnorderedDigest::new();
+    let mut global_cells: i64 = 0;
+    let mut seed_halo = BoxList::new();
+    let mut retained: Vec<BoxRecord> = Vec::new();
+    visit_records(&parts, corrupt, |(index, b, o)| {
+        indices.push(index);
+        observed_items.add(structure_item_hash(index, b, o));
+        global_cells += b.num_cells();
+        if intersects_list(&spec.closure_seeds, b) {
+            seed_halo.add(b.grow(spec.closure_margin));
+        }
+        if plainly_kept(b, o) {
+            retained.push((index, b, o));
+        }
+    });
+    // Pass 2: the closure — records within a seed's halo are retained
+    // too, and a seed later in the stream can capture an earlier
+    // record, so this cannot fold into pass 1.
+    if !seed_halo.is_empty() {
+        visit_records(&parts, corrupt, |(index, b, o)| {
+            if !plainly_kept(b, o) && intersects_list(&seed_halo, b) {
+                retained.push((index, b, o));
+            }
+        });
+    }
+    retained.sort_unstable_by_key(|r| r.0);
+
     let observed = finalize_structure_digest(level_no, ratio, domain, &observed_items);
     let local_error = if observed != expected {
+        indices.sort_unstable();
         Some(
-            structural_error(&all)
+            structural_error(&indices)
                 .unwrap_or_else(|| "assembled records disagree with the owned partials".into()),
         )
     } else {
@@ -562,11 +631,15 @@ pub fn exchange_level_view(
         }));
     }
 
-    let global_cells = all.iter().map(|(_, b, _)| b.num_cells()).sum();
-    let num_global = all.len();
-    let retained = retain_records(&all, my_rank, spec);
     let (indices, boxes, owners) = split_records(retained);
-    Ok(LevelView { indices, boxes, owners, num_global, global_cells, global_digest: expected })
+    Ok(LevelView {
+        indices,
+        boxes,
+        owners,
+        num_global: total,
+        global_cells,
+        global_digest: expected,
+    })
 }
 
 /// Build a rank's [`LevelView`] from transiently-complete global
@@ -813,9 +886,7 @@ mod tests {
 
     #[test]
     fn structural_errors_are_described() {
-        let dup = vec![(0, tile(0, 0), 0), (0, tile(1, 0), 0)];
-        assert!(structural_error(&dup).unwrap().contains("duplicate"));
-        let gap = vec![(0, tile(0, 0), 0), (2, tile(1, 0), 0)];
-        assert!(structural_error(&gap).unwrap().contains("not dense"));
+        assert!(structural_error(&[0, 0]).unwrap().contains("duplicate"));
+        assert!(structural_error(&[0, 2]).unwrap().contains("not dense"));
     }
 }

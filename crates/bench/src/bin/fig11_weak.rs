@@ -21,15 +21,20 @@
 //!
 //! Two extra modes exercise the event-driven rank scheduler at scale:
 //!
-//! * `--ranks N` runs the real triple-point problem on `N` simulated
-//!   ranks (small per-rank workload, 2 steps) and prints one
-//!   `SCALE_JSON {...}` line with wall time and the process peak-RSS
-//!   (`VmHWM`).
-//! * `--scale-smoke [--json <path>]` re-executes this binary as a child
-//!   process at 256 and then 1,024 ranks (`VmHWM` is a process-lifetime
-//!   high-water mark, so each rank count needs a fresh process), gates
-//!   per-rank memory sublinearity and wall-clock budgets, and writes a
-//!   combined JSON artifact for CI.
+//! * `--ranks N [--metadata replicated|partitioned]` runs the real
+//!   triple-point problem on `N` simulated ranks (small per-rank
+//!   workload, 2 steps) under the requested metadata mode and prints
+//!   one `SCALE_JSON {...}` line with wall time and the process
+//!   peak-RSS (`VmHWM`).
+//! * `--scale-smoke [--metadata ...] [--json <path>]` re-executes this
+//!   binary as a child process at 256 and then 1,024 ranks (`VmHWM` is
+//!   a process-lifetime high-water mark, so each rank count needs a
+//!   fresh process), gates per-rank memory sublinearity and wall-clock
+//!   budgets, and writes a combined JSON artifact for CI. With
+//!   `--metadata partitioned` it additionally runs a replicated
+//!   1,024-rank comparison child, requires partitioned metadata to win
+//!   on peak per-rank RSS, and gates the per-`allgatherv` frame count
+//!   of the log-depth collectives in process.
 
 use rbamr_bench::{
     csv_dir_arg, measure_profile, metrics_path_arg, path_arg, trace_path_arg, vm_hwm_kb, write_csv,
@@ -147,27 +152,50 @@ impl RealRun {
 /// that every rank owns real patches and sends real halos.
 const SCALE_COARSE_PER_RANK: i64 = 256;
 
+fn metadata_name(mode: MetadataMode) -> &'static str {
+    match mode {
+        MetadataMode::Replicated => "replicated",
+        MetadataMode::Partitioned => "partitioned",
+    }
+}
+
+fn metadata_arg(args: &[String]) -> MetadataMode {
+    match args.iter().position(|a| a == "--metadata") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("replicated") => MetadataMode::Replicated,
+            Some("partitioned") => MetadataMode::Partitioned,
+            other => panic!("usage: --metadata replicated|partitioned (got {other:?})"),
+        },
+        None => MetadataMode::Replicated,
+    }
+}
+
 /// One `--ranks N` run: the real triple-point problem at `N` simulated
 /// ranks, weak-scaled workload. Prints a machine-readable `SCALE_JSON`
 /// line for the `--scale-smoke` parent.
 ///
-/// Metadata stays replicated here: at ~256 coarse cells per rank the
-/// replicated box lists are a few hundred KiB process-wide, while the
-/// partitioned conversion's `allgatherv` is all-to-all (N·(N-1)
-/// frames per level refresh), which at 1,024 ranks dominates both peak
-/// RSS and wall time — see the ROADMAP item on scalable collectives.
-/// What this mode gates is the *rank execution model*.
-fn scale_run(ranks: usize) {
+/// Both metadata modes are viable here since the log-depth collectives
+/// landed: the partitioned conversion's `allgatherv` costs
+/// O(N log N) frames per level refresh instead of the old all-to-all
+/// N·(N-1), so each rank durably holds only its interest neighborhood
+/// instead of the replicated global box list. The replicated mode
+/// gates the *rank execution model*; the partitioned mode additionally
+/// gates the metadata memory win.
+fn scale_run(ranks: usize, mode: MetadataMode) {
     let started = std::time::Instant::now();
     let total_coarse = SCALE_COARSE_PER_RANK * ranks as i64;
     let ny = ((total_coarse as f64 / (7.0 / 3.0)).sqrt()).round() as i64;
     let nx = ny * 7 / 3;
-    println!("fig11_weak --ranks {ranks}: triple point, {nx}x{ny} coarse, {LEVELS} levels");
+    println!(
+        "fig11_weak --ranks {ranks}: triple point, {nx}x{ny} coarse, {LEVELS} levels, \
+         {} metadata",
+        metadata_name(mode)
+    );
     let results = Cluster::new(Machine::titan()).with_stack_size(1 << 20).run(ranks, move |comm| {
         let mut config = HydroConfig {
             regrid_interval: 0,
             max_patch_size: 16,
-            metadata_mode: MetadataMode::Replicated,
+            metadata_mode: mode,
             ..HydroConfig::default()
         };
         config.regrid.max_patch_size = 16;
@@ -195,8 +223,10 @@ fn scale_run(ranks: usize) {
     let stored_cells = results[0].value;
     let hwm = vm_hwm_kb().unwrap_or(0);
     println!(
-        "SCALE_JSON {{\"ranks\": {ranks}, \"wall_ms\": {}, \"vm_hwm_kb\": {hwm}, \
-         \"stored_cells\": {stored_cells}, \"virtual_seconds\": {virtual_seconds:.6}}}",
+        "SCALE_JSON {{\"ranks\": {ranks}, \"metadata\": \"{}\", \"wall_ms\": {}, \
+         \"vm_hwm_kb\": {hwm}, \"stored_cells\": {stored_cells}, \
+         \"virtual_seconds\": {virtual_seconds:.6}}}",
+        metadata_name(mode),
         wall.as_millis(),
     );
 }
@@ -209,10 +239,10 @@ struct ScaleSample {
     json: String,
 }
 
-fn scale_child(ranks: usize) -> ScaleSample {
+fn scale_child(ranks: usize, mode: MetadataMode) -> ScaleSample {
     let exe = std::env::current_exe().expect("scale-smoke: current_exe");
     let out = std::process::Command::new(exe)
-        .args(["--ranks", &ranks.to_string()])
+        .args(["--ranks", &ranks.to_string(), "--metadata", metadata_name(mode)])
         .output()
         .expect("scale-smoke: spawn child");
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -237,9 +267,47 @@ fn scale_child(ranks: usize) -> ScaleSample {
     ScaleSample { ranks, wall_ms: field("wall_ms"), vm_hwm_kb: field("vm_hwm_kb"), json }
 }
 
+/// In-process gate on collective frame complexity: one small
+/// `allgatherv` at 1,024 ranks under the default (log-depth) algorithm
+/// must cost O(N log N) frames, not the flat fan's N·(N-1). The
+/// `net.sends` counters include every collective-internal frame, so
+/// summing them over the ranks counts the wire traffic exactly.
+fn frames_gate(failures: &mut Vec<String>) -> (u64, u64) {
+    use bytes::Bytes;
+    use rbamr_telemetry::Recorder;
+    let n: usize = 1024;
+    let results = Cluster::new(Machine::titan()).with_workers(4).with_stack_size(192 * 1024).run(
+        n,
+        |mut comm| {
+            let rec = Recorder::new(comm.rank(), comm.clock().clone());
+            comm.set_recorder(rec.clone());
+            let parts = comm.allgatherv(Bytes::from(vec![comm.rank() as u8; 8]), Category::Regrid);
+            assert_eq!(parts.len(), comm.size());
+            rec.counter("net.sends")
+        },
+    );
+    let frames: u64 = results.iter().map(|r| r.value).sum();
+    let bound = (n * (n.ilog2() as usize + 2)) as u64;
+    let flat = (n * (n - 1)) as u64;
+    println!(
+        "  frames gate: {frames} frames for one allgatherv at {n} ranks \
+         (log-depth bound {bound}, flat fan {flat})"
+    );
+    if frames > bound {
+        failures.push(format!(
+            "allgatherv frame count not log-depth: {frames} frames at {n} ranks > {bound} \
+             (flat all-to-all is {flat})"
+        ));
+    }
+    (frames, bound)
+}
+
 /// CI gate: the event-driven scheduler must hold per-rank memory
-/// sublinear and wall time bounded as simulated ranks quadruple.
-fn scale_smoke() {
+/// sublinear and wall time bounded as simulated ranks quadruple. Under
+/// partitioned metadata, the mode must additionally *win* on peak
+/// per-rank RSS against a replicated run at 1,024 ranks, and the
+/// collectives behind the exchange must be log-depth.
+fn scale_smoke(mode: MetadataMode) {
     // Wall budgets are ~5x the measured values on a single-core CI-class
     // box (release build: 3.0 s at 256 ranks, 26 s at 1,024), so they
     // catch order-of-magnitude regressions — a return to
@@ -251,10 +319,14 @@ fn scale_smoke() {
     // cooperative scheduler with 1 MiB carrier stacks stays well under.
     const PER_RANK_KB_CEILING: u64 = 1024;
 
-    println!("fig11_weak --scale-smoke: 256 -> 1,024 simulated ranks (fresh child per count)");
-    let small = scale_child(256);
+    println!(
+        "fig11_weak --scale-smoke: 256 -> 1,024 simulated ranks, {} metadata \
+         (fresh child per count)",
+        metadata_name(mode)
+    );
+    let small = scale_child(256, mode);
     println!("  256 ranks: wall {} ms, VmHWM {} KiB", small.wall_ms, small.vm_hwm_kb);
-    let large = scale_child(1024);
+    let large = scale_child(1024, mode);
     println!("  1024 ranks: wall {} ms, VmHWM {} KiB", large.wall_ms, large.vm_hwm_kb);
 
     let mut failures = Vec::new();
@@ -285,16 +357,49 @@ fn scale_smoke() {
         }
     }
 
+    // Partitioned metadata must *win* on peak per-rank RSS against a
+    // replicated run of the identical workload at 1,024 ranks, and the
+    // exchange's collectives must be log-depth on the wire.
+    let mut runs = vec![small.json.clone(), large.json.clone()];
+    let mut extra_fields = String::new();
+    if mode == MetadataMode::Partitioned {
+        let repl = scale_child(1024, MetadataMode::Replicated);
+        println!(
+            "  1024 ranks (replicated comparison): wall {} ms, VmHWM {} KiB",
+            repl.wall_ms, repl.vm_hwm_kb
+        );
+        if large.vm_hwm_kb >= repl.vm_hwm_kb {
+            failures.push(format!(
+                "partitioned metadata does not beat replicated on peak RSS at 1024 ranks: \
+                 {} KiB >= {} KiB",
+                large.vm_hwm_kb, repl.vm_hwm_kb
+            ));
+        } else {
+            println!(
+                "  partitioned beats replicated on peak RSS: {} KiB < {} KiB ({:.1}% saved)",
+                large.vm_hwm_kb,
+                repl.vm_hwm_kb,
+                (1.0 - large.vm_hwm_kb as f64 / repl.vm_hwm_kb as f64) * 100.0
+            );
+        }
+        let (frames, bound) = frames_gate(&mut failures);
+        extra_fields = format!(
+            ",\n  \"allgatherv_frames_1024\": {frames},\n  \"allgatherv_frame_bound\": {bound}"
+        );
+        runs.push(repl.json.clone());
+    }
+
     let json_path =
         path_arg("--json").unwrap_or_else(|| std::path::PathBuf::from("target/scale_smoke.json"));
     let json = format!(
-        "{{\n  \"pass\": {},\n  \"per_rank_growth_limit\": 1.5,\n  \"per_rank_kb_ceiling\": \
-         {PER_RANK_KB_CEILING},\n  \"wall_budgets_ms\": [{WALL_BUDGET_256_MS}, \
-         {WALL_BUDGET_1024_MS}],\n  \"failures\": [{}],\n  \"runs\": [\n    {},\n    {}\n  ]\n}}\n",
+        "{{\n  \"pass\": {},\n  \"metadata\": \"{}\",\n  \"per_rank_growth_limit\": 1.5,\n  \
+         \"per_rank_kb_ceiling\": {PER_RANK_KB_CEILING},\n  \"wall_budgets_ms\": \
+         [{WALL_BUDGET_256_MS}, {WALL_BUDGET_1024_MS}]{extra_fields},\n  \"failures\": [{}],\n  \
+         \"runs\": [\n    {}\n  ]\n}}\n",
         failures.is_empty(),
+        metadata_name(mode),
         failures.iter().map(|f| format!("\"{f}\"")).collect::<Vec<_>>().join(", "),
-        small.json,
-        large.json,
+        runs.join(",\n    "),
     );
     if let Some(dir) = json_path.parent() {
         std::fs::create_dir_all(dir).expect("scale-smoke: create artifact dir");
@@ -321,11 +426,11 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--ranks") {
         let ranks =
             args.get(i + 1).and_then(|v| v.parse().ok()).expect("usage: fig11_weak --ranks <N>");
-        scale_run(ranks);
+        scale_run(ranks, metadata_arg(&args));
         return;
     }
     if args.iter().any(|a| a == "--scale-smoke") {
-        scale_smoke();
+        scale_smoke(metadata_arg(&args));
         return;
     }
 

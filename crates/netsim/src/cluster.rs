@@ -1,5 +1,6 @@
 //! Job launcher: run N ranks of the same program.
 
+use crate::collectives::CollectiveAlgo;
 use crate::comm::{Comm, Shared, DEFAULT_DEADLOCK_TIMEOUT};
 use rbamr_fault::{FaultInjector, FaultPlan};
 use rbamr_perfmodel::{Clock, CostModel, Machine, TimeBreakdown};
@@ -54,6 +55,7 @@ pub struct Cluster {
     engine: Engine,
     workers: Option<usize>,
     stack_size: Option<usize>,
+    collectives: CollectiveAlgo,
 }
 
 impl Cluster {
@@ -68,6 +70,7 @@ impl Cluster {
             engine: Engine::default(),
             workers: None,
             stack_size: None,
+            collectives: CollectiveAlgo::default(),
         }
     }
 
@@ -104,6 +107,16 @@ impl Cluster {
     /// Thousand-rank jobs shrink this to keep virtual memory bounded.
     pub fn with_stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = Some(bytes);
+        self
+    }
+
+    /// Select the collective algorithm policy (default
+    /// [`CollectiveAlgo::RecursiveDoubling`]). Overridable at runtime
+    /// via `RBAMR_NETSIM_COLLECTIVES=flat|rd|tree` for A/B comparisons
+    /// without recompiling; equivalence tests pin
+    /// [`CollectiveAlgo::Flat`] as the oracle.
+    pub fn with_collectives(mut self, algo: CollectiveAlgo) -> Self {
+        self.collectives = algo;
         self
     }
 
@@ -151,6 +164,13 @@ impl Cluster {
             .or(self.stack_size)
     }
 
+    fn resolve_collectives(&self) -> CollectiveAlgo {
+        std::env::var("RBAMR_NETSIM_COLLECTIVES")
+            .ok()
+            .and_then(|v| CollectiveAlgo::parse(&v))
+            .unwrap_or(self.collectives)
+    }
+
     /// Run `nranks` copies of `f` concurrently and collect their
     /// results, ordered by rank.
     ///
@@ -176,6 +196,7 @@ impl Cluster {
             Engine::ThreadPerRank => Shared::new_thread_per_rank(nranks, self.deadlock_timeout),
         };
         let stack_size = self.resolve_stack_size();
+        let algo = self.resolve_collectives();
         type Carried<R> = Result<RankResult<R>, Box<dyn std::any::Any + Send + 'static>>;
         let mut outcomes: Vec<Carried<R>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..nranks)
@@ -192,7 +213,7 @@ impl Cluster {
                         .spawn_scoped(scope, move || -> Carried<R> {
                             let clock = Clock::new();
                             let mut comm =
-                                Comm::new(rank, Arc::clone(&shared), clock.clone(), cost);
+                                Comm::new(rank, Arc::clone(&shared), clock.clone(), cost, algo);
                             if let Some(plan) = plan {
                                 comm.set_fault_injector(FaultInjector::new(plan, rank));
                             }

@@ -1,5 +1,8 @@
 //! The per-rank communicator.
 
+use crate::collectives::{
+    self, f64_words, CollectiveAlgo, CollectiveOp, CollectiveOutput, ReduceSpec,
+};
 use crate::sched::Scheduler;
 use crate::threads::ThreadsEngine;
 use bytes::Bytes;
@@ -235,31 +238,18 @@ impl Shared {
         }
     }
 
-    fn rendezvous_f64(
+    fn rendezvous(
         &self,
         rank: usize,
         name: &'static str,
         category: Category,
-        v: f64,
-        op: fn(f64, f64) -> f64,
-        fault: bool,
-    ) -> Result<(f64, bool), PeerPanicked> {
-        match &self.engine {
-            EngineImpl::Sched(s) => s.rendezvous_f64(rank, name, category, v, op, fault),
-            EngineImpl::Threads(t) => t.rendezvous_f64(rank, name, category, v, op, fault),
-        }
-    }
-
-    fn rendezvous_words(
-        &self,
-        rank: usize,
-        category: Category,
         words: [u64; 3],
+        combine: fn(&mut [u64; 3], [u64; 3]),
         fault: bool,
     ) -> Result<([u64; 3], bool), PeerPanicked> {
         match &self.engine {
-            EngineImpl::Sched(s) => s.rendezvous_words(rank, category, words, fault),
-            EngineImpl::Threads(t) => t.rendezvous_words(rank, category, words, fault),
+            EngineImpl::Sched(s) => s.rendezvous(rank, name, category, words, combine, fault),
+            EngineImpl::Threads(t) => t.rendezvous(rank, name, category, words, combine, fault),
         }
     }
 }
@@ -272,6 +262,7 @@ pub struct Comm {
     shared: Arc<Shared>,
     clock: Clock,
     cost: Arc<CostModel>,
+    algo: CollectiveAlgo,
     collective_seq: std::sync::atomic::AtomicU64,
     /// Local rendezvous counter: all ranks execute rendezvous
     /// collectives in the same order, so equal values across ranks
@@ -315,12 +306,14 @@ impl Comm {
         shared: Arc<Shared>,
         clock: Clock,
         cost: Arc<CostModel>,
+        algo: CollectiveAlgo,
     ) -> Self {
         Self {
             rank,
             shared,
             clock,
             cost,
+            algo,
             collective_seq: std::sync::atomic::AtomicU64::new(0),
             rendezvous_seq: std::sync::atomic::AtomicU64::new(0),
             send_seq: Mutex::new(HashMap::new()),
@@ -401,6 +394,12 @@ impl Comm {
         &self.cost
     }
 
+    /// The job-wide collective algorithm this communicator dispatches
+    /// on (see [`crate::Cluster::with_collectives`]).
+    pub fn collective_algo(&self) -> CollectiveAlgo {
+        self.algo
+    }
+
     /// Decide the frame flag (and possibly mutated body) for an
     /// outgoing payload: injected drops empty the body, injected
     /// corruption flips one deterministic bit. Both mark the frame so
@@ -439,6 +438,18 @@ impl Comm {
     /// through the network layer), or with a [`PeerPanicked`] payload
     /// if the job was poisoned by a peer's panic.
     pub fn send(&self, dst: usize, tag: u64, payload: Bytes) {
+        self.send_inner(dst, tag, payload, false);
+    }
+
+    /// Buffered send for reduce-internal collective frames: identical
+    /// to [`Comm::send`] except the wire-fault injector is never
+    /// consulted (a rendezvous reduce has no frames to drop either;
+    /// injected collective faults ride the frames as a taint byte).
+    pub(crate) fn send_exempt(&self, dst: usize, tag: u64, payload: Bytes) {
+        self.send_inner(dst, tag, payload, true);
+    }
+
+    fn send_inner(&self, dst: usize, tag: u64, payload: Bytes, exempt: bool) {
         assert!(dst < self.shared.size, "send: rank {dst} out of range");
         assert_ne!(dst, self.rank, "send: rank {} sent to itself", self.rank);
         self.count_message(true, tag, payload.len() as u64);
@@ -446,7 +457,7 @@ impl Comm {
             let occ = next_occurrence(&self.send_seq, dst, tag);
             self.recorder.edge_send(dst, tag, occ, payload.len() as u64, Category::Other);
         }
-        let (flag, body) = self.frame_for_send(payload);
+        let (flag, body) = if exempt { (FLAG_OK, payload) } else { self.frame_for_send(payload) };
         let mut framed = Vec::with_capacity(body.len() + 1);
         framed.push(flag);
         framed.extend_from_slice(&body);
@@ -471,6 +482,29 @@ impl Comm {
     /// engine, wall-clock timeout on the thread-per-rank oracle; both
     /// dump every rank's pending op), or if `src` is invalid.
     pub fn try_recv(&self, src: usize, tag: u64, category: Category) -> Result<Bytes, CommError> {
+        self.try_recv_inner(src, tag, category, false)
+    }
+
+    /// Blocking receive for reduce-internal collective frames:
+    /// identical to [`Comm::try_recv`] except the wire-fault injector
+    /// is never consulted, so the only possible error is
+    /// [`CommError::PeerPanicked`]. See [`Comm::send_exempt`].
+    pub(crate) fn recv_exempt(
+        &self,
+        src: usize,
+        tag: u64,
+        category: Category,
+    ) -> Result<Bytes, CommError> {
+        self.try_recv_inner(src, tag, category, true)
+    }
+
+    fn try_recv_inner(
+        &self,
+        src: usize,
+        tag: u64,
+        category: Category,
+        exempt: bool,
+    ) -> Result<Bytes, CommError> {
         assert!(src < self.shared.size, "recv: rank {src} out of range");
         assert_ne!(src, self.rank, "recv: rank {} received from itself", self.rank);
         let frame = match self.shared.pop_frame(self.rank, src, tag, category) {
@@ -482,14 +516,17 @@ impl Comm {
         let payload = frame.slice(1..);
         let bytes = payload.len() as u64;
         let mut transfer = self.cost.message(bytes);
-        if let Some(inj) = &self.injector {
-            if let Some(site) = inj.should_fire(FaultKind::MsgDelay) {
-                self.recorder.count("fault.injected", 1);
-                // A deterministic 1-8x message-cost stall: congestion,
-                // retransmission, a slow NIC — no data harm done.
-                let w = inj.decision_word(FaultKind::MsgDelay, site.occurrence);
-                let factor = 1 + (w % 8);
-                transfer += self.cost.message(bytes) * factor as f64;
+        if !exempt {
+            if let Some(inj) = &self.injector {
+                if let Some(site) = inj.should_fire(FaultKind::MsgDelay) {
+                    self.recorder.count("fault.injected", 1);
+                    // A deterministic 1-8x message-cost stall:
+                    // congestion, retransmission, a slow NIC — no data
+                    // harm done.
+                    let w = inj.decision_word(FaultKind::MsgDelay, site.occurrence);
+                    let factor = 1 + (w % 8);
+                    transfer += self.cost.message(bytes) * factor as f64;
+                }
             }
         }
         self.clock.advance(category, transfer);
@@ -516,22 +553,96 @@ impl Comm {
         self.try_recv(src, tag, category).unwrap_or_else(|e| escalate("recv", e))
     }
 
-    fn try_collective(
+    /// Run one collective under the job's configured
+    /// [`CollectiveAlgo`]. This is the single fallible entry point
+    /// behind every named collective on `Comm`: the op carries the
+    /// reduction/concatenation semantics, the policy picks the
+    /// algorithm, and the output variant mirrors the op. An injected
+    /// [`CommError::CollectiveFault`] on a reduction surfaces
+    /// symmetrically on every rank under every algorithm.
+    pub fn try_collective(
         &self,
-        name: &'static str,
-        v: f64,
-        op: fn(f64, f64) -> f64,
-        bytes: u64,
+        op: CollectiveOp,
         category: Category,
-    ) -> Result<f64, CommError> {
+    ) -> Result<CollectiveOutput, CommError> {
+        match op {
+            CollectiveOp::Reduce { spec, words } => {
+                self.try_reduce(spec, words, category).map(CollectiveOutput::Reduced)
+            }
+            CollectiveOp::AllGather { payload } => {
+                let _span =
+                    self.recorder.is_enabled().then(|| self.recorder.span("allgatherv", category));
+                self.recorder.count("net.collectives", 1);
+                match self.algo {
+                    CollectiveAlgo::Flat => self.flat_allgatherv(payload, category),
+                    CollectiveAlgo::RecursiveDoubling => {
+                        collectives::rd_allgatherv(self, payload, category)
+                    }
+                    CollectiveAlgo::RootedTree => {
+                        collectives::tree_allgatherv(self, payload, category)
+                    }
+                }
+                .map(CollectiveOutput::Gathered)
+            }
+            CollectiveOp::Gather { root, payload } => {
+                let _span =
+                    self.recorder.is_enabled().then(|| self.recorder.span("gather", category));
+                self.recorder.count("net.collectives", 1);
+                match self.algo {
+                    CollectiveAlgo::Flat => self.flat_gather(root, payload, category),
+                    _ => collectives::tree_gather(self, root, payload, category),
+                }
+                .map(CollectiveOutput::GatheredAtRoot)
+            }
+            CollectiveOp::Broadcast { root, payload } => {
+                let _span =
+                    self.recorder.is_enabled().then(|| self.recorder.span("broadcast", category));
+                self.recorder.count("net.collectives", 1);
+                match self.algo {
+                    CollectiveAlgo::Flat => self.flat_broadcast(root, payload, category),
+                    _ => collectives::tree_broadcast(self, root, payload, category),
+                }
+                .map(CollectiveOutput::Broadcast)
+            }
+        }
+    }
+
+    /// Blocking [`Comm::try_collective`] for fault-free paths.
+    ///
+    /// # Panics
+    /// Panics on any typed comm error — callers that can encounter
+    /// injected faults (or use the inherently fallible broadcast
+    /// payload contract) go through [`Comm::try_collective`].
+    pub fn collective(&self, op: CollectiveOp, category: Category) -> CollectiveOutput {
+        let name = op.name();
+        self.try_collective(op, category).unwrap_or_else(|e| escalate(name, e))
+    }
+
+    /// Allreduce of a 3-word state. Rendezvous-based under
+    /// [`CollectiveAlgo::Flat`] (and always for barriers);
+    /// message-based butterfly/tree otherwise, with the injected-fault
+    /// decision carried as a taint flag so every rank reports the same
+    /// [`CommError::CollectiveFault`].
+    fn try_reduce(
+        &self,
+        spec: ReduceSpec,
+        words: [u64; 3],
+        category: Category,
+    ) -> Result<[u64; 3], CommError> {
+        let name = spec.name;
         let _span = self.recorder.is_enabled().then(|| self.recorder.span(name, category));
         self.recorder.count("net.collectives", 1);
-        self.recorder.count("net.collective_bytes", bytes);
-        let nranks = self.shared.size as u32;
-        let cost = self.cost.allreduce(nranks, bytes);
-        self.clock.advance(category, cost);
-        let cseq = self.rendezvous_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.recorder.edge_collective(name, cseq, bytes, cost, category);
+        self.recorder.count("net.collective_bytes", spec.bytes);
+        // A barrier moves no data, so a log-depth exchange would only
+        // add empty frames: every algorithm runs it as a rendezvous.
+        let rendezvous = self.algo == CollectiveAlgo::Flat || spec.bytes == 0;
+        if rendezvous {
+            let nranks = self.shared.size as u32;
+            let cost = self.cost.allreduce(nranks, spec.bytes);
+            self.clock.advance(category, cost);
+            let cseq = self.rendezvous_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.recorder.edge_collective(name, cseq, spec.bytes, cost, category);
+        }
         let injected =
             self.injector.as_ref().and_then(|i| i.should_fire(FaultKind::CollectiveFault));
         if injected.is_some() {
@@ -541,121 +652,105 @@ impl Comm {
             return if injected.is_some() {
                 Err(CommError::CollectiveFault { name })
             } else {
-                Ok(v)
+                Ok(words)
             };
         }
-        let (result, result_fault) = match self.shared.rendezvous_f64(
-            self.rank,
-            name,
-            category,
-            v,
-            op,
-            injected.is_some(),
-        ) {
-            Ok(out) => out,
-            Err(p) => return Err(CommError::PeerPanicked { origin: p.origin }),
-        };
-        if result_fault {
-            Err(CommError::CollectiveFault { name })
-        } else {
-            Ok(result)
+        if rendezvous {
+            let (result, result_fault) = match self.shared.rendezvous(
+                self.rank,
+                name,
+                category,
+                words,
+                spec.combine,
+                injected.is_some(),
+            ) {
+                Ok(out) => out,
+                Err(p) => return Err(CommError::PeerPanicked { origin: p.origin }),
+            };
+            return if result_fault {
+                Err(CommError::CollectiveFault { name })
+            } else {
+                Ok(result)
+            };
+        }
+        match self.algo {
+            CollectiveAlgo::RecursiveDoubling => {
+                collectives::rd_reduce(self, spec, words, injected.is_some(), category)
+            }
+            CollectiveAlgo::RootedTree => {
+                collectives::tree_reduce(self, spec, words, injected.is_some(), category)
+            }
+            CollectiveAlgo::Flat => unreachable!("flat reduces take the rendezvous path"),
         }
     }
 
-    fn collective(
+    fn reduce_f64(&self, spec: ReduceSpec, v: f64, category: Category) -> f64 {
+        self.try_reduce_f64(spec, v, category).unwrap_or_else(|e| escalate(spec.name, e))
+    }
+
+    fn try_reduce_f64(
         &self,
-        name: &'static str,
+        spec: ReduceSpec,
         v: f64,
-        op: fn(f64, f64) -> f64,
-        bytes: u64,
         category: Category,
-    ) -> f64 {
-        self.try_collective(name, v, op, bytes, category).unwrap_or_else(|e| escalate(name, e))
+    ) -> Result<f64, CommError> {
+        self.try_reduce(spec, f64_words(v), category).map(|w| f64::from_bits(w[0]))
     }
 
     /// Global minimum over all ranks — the dt reduction, "the only
     /// global reduction" in the application (paper Section V-B).
+    ///
+    /// Thin wrapper over [`Comm::collective`] with
+    /// [`ReduceSpec::MIN_F64`]; prefer the generic entry point in new
+    /// code.
     pub fn allreduce_min(&self, v: f64, category: Category) -> f64 {
-        self.collective("allreduce-min", v, f64::min, 8, category)
+        self.reduce_f64(ReduceSpec::MIN_F64, v, category)
     }
 
     /// Fault-aware [`Comm::allreduce_min`]: an injected collective
     /// fault surfaces as the same [`CommError::CollectiveFault`] on
     /// every participating rank.
     pub fn try_allreduce_min(&self, v: f64, category: Category) -> Result<f64, CommError> {
-        self.try_collective("allreduce-min", v, f64::min, 8, category)
+        self.try_reduce_f64(ReduceSpec::MIN_F64, v, category)
     }
 
-    /// Global maximum over all ranks.
+    /// Global maximum over all ranks. Thin wrapper over
+    /// [`Comm::collective`] with [`ReduceSpec::MAX_F64`].
     pub fn allreduce_max(&self, v: f64, category: Category) -> f64 {
-        self.collective("allreduce-max", v, f64::max, 8, category)
+        self.reduce_f64(ReduceSpec::MAX_F64, v, category)
     }
 
     /// Fault-aware [`Comm::allreduce_max`].
     pub fn try_allreduce_max(&self, v: f64, category: Category) -> Result<f64, CommError> {
-        self.try_collective("allreduce-max", v, f64::max, 8, category)
+        self.try_reduce_f64(ReduceSpec::MAX_F64, v, category)
     }
 
     /// Global sum over all ranks (used by conservation diagnostics).
+    /// Thin wrapper over [`Comm::collective`] with
+    /// [`ReduceSpec::SUM_F64`].
     ///
-    /// The accumulation order is rank-arrival order, which is
-    /// non-deterministic; diagnostics tolerate roundoff-level variation
+    /// The accumulation order is algorithm- and arrival-order
+    /// dependent; diagnostics tolerate roundoff-level variation
     /// exactly as MPI_SUM does.
     pub fn allreduce_sum(&self, v: f64, category: Category) -> f64 {
-        self.collective("allreduce-sum", v, |a, b| a + b, 8, category)
+        self.reduce_f64(ReduceSpec::SUM_F64, v, category)
     }
 
     /// Fault-aware [`Comm::allreduce_sum`].
     pub fn try_allreduce_sum(&self, v: f64, category: Category) -> Result<f64, CommError> {
-        self.try_collective("allreduce-sum", v, |a, b| a + b, 8, category)
+        self.try_reduce_f64(ReduceSpec::SUM_F64, v, category)
     }
 
-    /// Synchronise all ranks.
+    /// Synchronise all ranks. Thin wrapper over [`Comm::collective`]
+    /// with [`ReduceSpec::BARRIER`] (a rendezvous under every
+    /// algorithm — there is no payload to pipeline).
     pub fn barrier(&self, category: Category) {
-        self.collective("barrier", 0.0, |_, _| 0.0, 0, category);
+        self.reduce_f64(ReduceSpec::BARRIER, 0.0, category);
     }
 
     /// Fault-aware [`Comm::barrier`].
     pub fn try_barrier(&self, category: Category) -> Result<(), CommError> {
-        self.try_collective("barrier", 0.0, |_, _| 0.0, 0, category).map(|_| ())
-    }
-
-    fn try_digest_collective(
-        &self,
-        words: [u64; 3],
-        category: Category,
-    ) -> Result<[u64; 3], CommError> {
-        let _span =
-            self.recorder.is_enabled().then(|| self.recorder.span("allreduce-digest", category));
-        self.recorder.count("net.collectives", 1);
-        self.recorder.count("net.collective_bytes", 24);
-        let nranks = self.shared.size as u32;
-        let cost = self.cost.allreduce(nranks, 24);
-        self.clock.advance(category, cost);
-        let cseq = self.rendezvous_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.recorder.edge_collective("allreduce-digest", cseq, 24, cost, category);
-        let injected =
-            self.injector.as_ref().and_then(|i| i.should_fire(FaultKind::CollectiveFault));
-        if injected.is_some() {
-            self.recorder.count("fault.injected", 1);
-        }
-        if self.shared.size == 1 {
-            return if injected.is_some() {
-                Err(CommError::CollectiveFault { name: "allreduce-digest" })
-            } else {
-                Ok(words)
-            };
-        }
-        let (result, result_fault) =
-            match self.shared.rendezvous_words(self.rank, category, words, injected.is_some()) {
-                Ok(out) => out,
-                Err(p) => return Err(CommError::PeerPanicked { origin: p.origin }),
-            };
-        if result_fault {
-            Err(CommError::CollectiveFault { name: "allreduce-digest" })
-        } else {
-            Ok(result)
-        }
+        self.try_reduce(ReduceSpec::BARRIER, [0; 3], category).map(|_| ())
     }
 
     /// Allreduce of order-independent digest channel words
@@ -665,9 +760,11 @@ impl Comm {
     /// partial digests this way yields the digest a single rank would
     /// compute over the union of all items — the consistency handshake
     /// for partitioned level metadata. The combine is commutative and
-    /// associative, so rank-arrival order cannot change the result.
+    /// associative, so no algorithm or arrival order can change the
+    /// result. Thin wrapper over [`Comm::collective`] with
+    /// [`ReduceSpec::DIGEST`].
     pub fn allreduce_digest(&self, words: [u64; 3], category: Category) -> [u64; 3] {
-        self.try_digest_collective(words, category)
+        self.try_reduce(ReduceSpec::DIGEST, words, category)
             .unwrap_or_else(|e| escalate("allreduce-digest", e))
     }
 
@@ -677,10 +774,10 @@ impl Comm {
         words: [u64; 3],
         category: Category,
     ) -> Result<[u64; 3], CommError> {
-        self.try_digest_collective(words, category)
+        self.try_reduce(ReduceSpec::DIGEST, words, category)
     }
 
-    fn next_collective_tag(&self) -> u64 {
+    pub(crate) fn next_collective_tag(&self) -> u64 {
         // All ranks execute collectives in the same order, so local
         // counters agree. The top four bits (kind 15) keep these tags
         // out of the application's tag space.
@@ -689,27 +786,40 @@ impl Comm {
     }
 
     /// Gather every rank's payload at `root` (returns `Some(payloads)`,
-    /// indexed by rank, at the root; `None` elsewhere). Cost: the root
-    /// is charged one message per remote rank.
+    /// indexed by rank, at the root; `None` elsewhere). A binomial tree
+    /// under the log-depth algorithms, a flat fan into the root under
+    /// [`CollectiveAlgo::Flat`]. Thin wrapper over
+    /// [`Comm::collective`] with [`CollectiveOp::Gather`].
     ///
     /// # Panics
     /// Panics on an injected fault — use [`Comm::try_gather`] on paths
     /// where faults may be injected.
     pub fn gather(&self, root: usize, payload: Bytes, category: Category) -> Option<Vec<Bytes>> {
-        self.try_gather(root, payload, category).unwrap_or_else(|e| escalate("gather", e))
+        self.collective(CollectiveOp::Gather { root, payload }, category).gathered_at_root()
     }
 
-    /// Fault-aware [`Comm::gather`]: the root receives from every rank
-    /// even when a frame is faulty (run-through), then reports the
-    /// first fault.
+    /// Fault-aware [`Comm::gather`]: every subtree is received even
+    /// when a frame is faulty (run-through), and the root reports the
+    /// first fault it saw — directly or as a taint from an upstream
+    /// receive.
     pub fn try_gather(
         &self,
         root: usize,
         payload: Bytes,
         category: Category,
     ) -> Result<Option<Vec<Bytes>>, CommError> {
-        let _span = self.recorder.is_enabled().then(|| self.recorder.span("gather", category));
-        self.recorder.count("net.collectives", 1);
+        self.try_collective(CollectiveOp::Gather { root, payload }, category)
+            .map(CollectiveOutput::gathered_at_root)
+    }
+
+    /// The original flat gather: every rank sends straight to the
+    /// root, which receives in rank order.
+    fn flat_gather(
+        &self,
+        root: usize,
+        payload: Bytes,
+        category: Category,
+    ) -> Result<Option<Vec<Bytes>>, CommError> {
         let tag = self.next_collective_tag();
         if self.rank == root {
             let mut parts = Vec::with_capacity(self.shared.size);
@@ -741,24 +851,38 @@ impl Comm {
     }
 
     /// Broadcast from `root`: the root passes `Some(payload)`, everyone
-    /// else passes `None` and receives the root's bytes. Cost: each
-    /// non-root rank is charged one message.
+    /// else passes `None` and receives the root's bytes. A binomial
+    /// tree under the log-depth algorithms, a flat fan out of the root
+    /// under [`CollectiveAlgo::Flat`]. Thin wrapper over
+    /// [`Comm::try_collective`] with [`CollectiveOp::Broadcast`].
     ///
     /// # Errors
     /// [`CommError::MissingRootPayload`] if the root passes `None`,
     /// [`CommError::UnexpectedPayload`] if a non-root passes `Some`,
     /// [`CommError::MessageDropped`] / [`CommError::MessageCorrupt`] on
-    /// an injected wire fault. The collective tag is consumed either
-    /// way, so a rank that reports (rather than propagates) the error
-    /// stays aligned with the other ranks' collective sequence.
+    /// an injected wire fault (a [`CommError::CollectiveFault`] when
+    /// the fault hit an upstream tree hop instead of this rank's own
+    /// receive). The collective tag is consumed either way, so a rank
+    /// that reports (rather than propagates) the error stays aligned
+    /// with the other ranks' collective sequence.
     pub fn broadcast(
         &self,
         root: usize,
         payload: Option<Bytes>,
         category: Category,
     ) -> Result<Bytes, CommError> {
-        let _span = self.recorder.is_enabled().then(|| self.recorder.span("broadcast", category));
-        self.recorder.count("net.collectives", 1);
+        self.try_collective(CollectiveOp::Broadcast { root, payload }, category)
+            .map(CollectiveOutput::broadcast)
+    }
+
+    /// The original flat broadcast: the root sends straight to every
+    /// rank.
+    fn flat_broadcast(
+        &self,
+        root: usize,
+        payload: Option<Bytes>,
+        category: Category,
+    ) -> Result<Bytes, CommError> {
         let tag = self.next_collective_tag();
         if self.rank == root {
             let Some(payload) = payload else {
@@ -787,27 +911,35 @@ impl Comm {
     /// that fetches partitioned level metadata: each rank publishes its
     /// owned box records and assembles the global view locally.
     ///
-    /// Implemented as a buffered send to every peer followed by one
-    /// receive per peer in rank order; each rank is charged one message
-    /// per remote contribution it receives.
+    /// A recursive-doubling butterfly (≈ N·⌈log₂N⌉ frames) or rooted
+    /// tree under the log-depth algorithms; the flat all-to-all fan
+    /// (N·(N−1) frames) under [`CollectiveAlgo::Flat`]. Thin wrapper
+    /// over [`Comm::collective`] with [`CollectiveOp::AllGather`].
     ///
     /// # Panics
     /// Panics on an injected fault — use [`Comm::try_allgatherv`] on
     /// paths where faults may be injected.
     pub fn allgatherv(&self, payload: Bytes, category: Category) -> Vec<Bytes> {
-        self.try_allgatherv(payload, category).unwrap_or_else(|e| escalate("allgatherv", e))
+        self.collective(CollectiveOp::AllGather { payload }, category).gathered()
     }
 
     /// Fault-aware [`Comm::allgatherv`]: receives from every peer even
     /// when a frame is faulty (run-through), then reports the first
-    /// fault.
+    /// locally observed fault (a [`CommError::CollectiveFault`] when
+    /// the fault hit another rank's exchange and reached this rank only
+    /// as a taint).
     pub fn try_allgatherv(
         &self,
         payload: Bytes,
         category: Category,
     ) -> Result<Vec<Bytes>, CommError> {
-        let _span = self.recorder.is_enabled().then(|| self.recorder.span("allgatherv", category));
-        self.recorder.count("net.collectives", 1);
+        self.try_collective(CollectiveOp::AllGather { payload }, category)
+            .map(CollectiveOutput::gathered)
+    }
+
+    /// The original flat allgatherv: a buffered send to every peer
+    /// followed by one receive per peer in rank order.
+    fn flat_allgatherv(&self, payload: Bytes, category: Category) -> Result<Vec<Bytes>, CommError> {
         let tag = self.next_collective_tag();
         for dst in 0..self.shared.size {
             if dst != self.rank {
@@ -1117,7 +1249,11 @@ mod tests {
 
     #[test]
     fn collective_point_to_point_traffic_lands_in_kind15() {
-        let results = cluster().run(2, |comm| {
+        // Pinned to Flat: the flat fan moves exactly the logical
+        // payload bytes per frame, so the kind-15 counters are the
+        // payload sizes. Log-depth algorithms add segment headers and
+        // taint bytes (covered by the cross-algo equivalence tests).
+        let results = cluster().with_collectives(CollectiveAlgo::Flat).run(2, |comm| {
             let clock = comm.clock().clone();
             let mut comm = comm;
             let rec = Recorder::new(comm.rank(), clock);
@@ -1148,7 +1284,10 @@ mod tests {
 
     #[test]
     fn edge_events_match_across_ranks_and_feed_causal_analysis() {
-        let results = cluster().run(2, |comm| {
+        // Pinned to Flat so the allreduce is a rendezvous emitting one
+        // collective edge and no frames; under the log-depth default
+        // it would emit send/recv edges instead.
+        let results = cluster().with_collectives(CollectiveAlgo::Flat).run(2, |comm| {
             let clock = comm.clock().clone();
             let mut comm = comm;
             let rec = Recorder::new(comm.rank(), clock);

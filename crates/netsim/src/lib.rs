@@ -22,21 +22,32 @@
 //! oracle; both engines are required (and property-tested) to produce
 //! bitwise-identical results, causal edge streams, and virtual clocks.
 //!
+//! Collectives are *algorithms* selected through [`collectives`]: the
+//! log-depth default (recursive doubling, with a rooted binomial tree
+//! and the flat O(N²) oracle as alternatives — see
+//! [`CollectiveAlgo`]), all reachable through the unified
+//! [`Comm::collective`] entry point that the named wrappers delegate
+//! to.
+//!
 //! Every communication operation also advances the calling rank's
 //! virtual [`rbamr_perfmodel::Clock`] using the bound machine's
 //! [`rbamr_perfmodel::CostModel`]:
 //! point-to-point messages are charged to the receiver
-//! (`latency + bytes/bandwidth`), collectives are charged
-//! `ceil(log2 P)` message steps to every participant. This is what turns
+//! (`latency + bytes/bandwidth`); rendezvous collectives are charged
+//! `ceil(log2 P)` message steps to every participant, while
+//! message-based collective algorithms charge their real per-frame
+//! receive costs. This is what turns
 //! a run on this single box into the strong/weak-scaling curves of
 //! Figures 10 and 11. Virtual time never depends on wall-clock
 //! scheduling, so the engine choice cannot change any metric.
 
 pub mod cluster;
+pub mod collectives;
 pub mod comm;
 pub mod sched;
 mod threads;
 
 pub use cluster::{Cluster, Engine, RankResult};
+pub use collectives::{CollectiveAlgo, CollectiveOp, CollectiveOutput, ReduceSpec};
 pub use comm::{Comm, CommError, PeerPanicked};
 pub use rbamr_fault::{FaultInjector, FaultKind, FaultPlan, FaultReport, FaultRule, FaultSite};

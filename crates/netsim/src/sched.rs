@@ -59,11 +59,9 @@ use std::collections::{HashMap, VecDeque};
 pub(crate) enum Wait {
     /// Blocked in `recv` on an exact `(src, tag)` channel.
     Recv { src: usize, tag: u64, category: Category },
-    /// Blocked in an f64 rendezvous collective (`allreduce-*`,
-    /// `barrier`).
+    /// Blocked in a rendezvous collective (`allreduce-*`, `barrier`,
+    /// `allreduce-digest`): the name carries which one for diagnostics.
     Collective { name: &'static str, category: Category },
-    /// Blocked in the 3-word digest rendezvous.
-    Digest { category: Category },
 }
 
 impl Wait {
@@ -75,7 +73,6 @@ impl Wait {
                 format!("recv(src={src}, tag={tag:#x}, category={category:?})")
             }
             Wait::Collective { name, category } => format!("{name} (category={category:?})"),
-            Wait::Digest { category } => format!("allreduce-digest (category={category:?})"),
         }
     }
 }
@@ -91,24 +88,14 @@ enum TaskState {
     Finished,
 }
 
-/// Rendezvous accumulator for the f64 collectives. Same protocol as
-/// the thread-per-rank engine: `generation` bumps when a round
-/// completes, `result`/`result_fault` hold the completed round's
-/// output (safe to read late — the next round cannot complete until
-/// this rank arrives at it).
+/// Rendezvous accumulator shared by every rendezvous collective (the
+/// f64 reductions pack their value into word 0 as bits; the digest uses
+/// all three words). Same protocol as the thread-per-rank engine:
+/// `generation` bumps when a round completes, `result`/`result_fault`
+/// hold the completed round's output (safe to read late — the next
+/// round cannot complete until this rank arrives at it, so one
+/// accumulator serves every collective kind without cross-talk).
 struct CollState {
-    arrived: usize,
-    generation: u64,
-    acc: f64,
-    result: f64,
-    fault: bool,
-    result_fault: bool,
-}
-
-/// Rendezvous accumulator for the 3-word digest allreduce (sum / xor /
-/// sum channels), kept separate so a digest and a scalar reduction can
-/// never share an accumulator.
-struct WordsState {
     arrived: usize,
     generation: u64,
     acc: [u64; 3],
@@ -135,7 +122,6 @@ struct SchedState {
     /// `mailboxes[dst]` holds the per-`(src, tag)` FIFO frame queues.
     mailboxes: Vec<HashMap<(usize, u64), VecDeque<Bytes>>>,
     coll: CollState,
-    digest: WordsState,
 }
 
 /// The event-driven engine: one global state lock plus one condvar per
@@ -159,14 +145,6 @@ impl Scheduler {
             deadlock: None,
             mailboxes: (0..size).map(|_| HashMap::new()).collect(),
             coll: CollState {
-                arrived: 0,
-                generation: 0,
-                acc: 0.0,
-                result: 0.0,
-                fault: false,
-                result_fault: false,
-            },
-            digest: WordsState {
                 arrived: 0,
                 generation: 0,
                 acc: [0; 3],
@@ -369,28 +347,31 @@ impl Scheduler {
         }
     }
 
-    /// f64 rendezvous collective: accumulate in arrival order, last
-    /// arriver publishes the result and wakes every waiter; returns
-    /// `(result, fault_flag)` for the completed round.
-    pub(crate) fn rendezvous_f64(
+    /// Rendezvous collective over 3-word states: accumulate in arrival
+    /// order with the caller's `combine`, last arriver publishes the
+    /// result and wakes every waiter; returns `(result, fault_flag)`
+    /// for the completed round. All ranks of a round pass the same
+    /// `combine` (they execute the same collective in the same order),
+    /// so one accumulator serves reductions, barriers, and digests.
+    pub(crate) fn rendezvous(
         &self,
         rank: usize,
         name: &'static str,
         category: Category,
-        v: f64,
-        op: fn(f64, f64) -> f64,
+        words: [u64; 3],
+        combine: fn(&mut [u64; 3], [u64; 3]),
         fault: bool,
-    ) -> Result<(f64, bool), PeerPanicked> {
+    ) -> Result<([u64; 3], bool), PeerPanicked> {
         let size = self.cvs.len();
         let mut st = self.state.lock();
         if let Some(origin) = st.poisoned {
             return Err(PeerPanicked { origin });
         }
         if st.coll.arrived == 0 {
-            st.coll.acc = v;
+            st.coll.acc = words;
             st.coll.fault = fault;
         } else {
-            st.coll.acc = op(st.coll.acc, v);
+            combine(&mut st.coll.acc, words);
             st.coll.fault |= fault;
         }
         st.coll.arrived += 1;
@@ -418,55 +399,5 @@ impl Scheduler {
             self.block(&mut st, rank, Wait::Collective { name, category })?;
         }
         Ok((st.coll.result, st.coll.result_fault))
-    }
-
-    /// 3-word digest rendezvous (wrapping-sum / xor / wrapping-sum
-    /// channels); same protocol as [`Scheduler::rendezvous_f64`].
-    pub(crate) fn rendezvous_words(
-        &self,
-        rank: usize,
-        category: Category,
-        words: [u64; 3],
-        fault: bool,
-    ) -> Result<([u64; 3], bool), PeerPanicked> {
-        let size = self.cvs.len();
-        let mut st = self.state.lock();
-        if let Some(origin) = st.poisoned {
-            return Err(PeerPanicked { origin });
-        }
-        if st.digest.arrived == 0 {
-            st.digest.acc = words;
-            st.digest.fault = fault;
-        } else {
-            st.digest.acc[0] = st.digest.acc[0].wrapping_add(words[0]);
-            st.digest.acc[1] ^= words[1];
-            st.digest.acc[2] = st.digest.acc[2].wrapping_add(words[2]);
-            st.digest.fault |= fault;
-        }
-        st.digest.arrived += 1;
-        if st.digest.arrived == size {
-            st.digest.result = st.digest.acc;
-            st.digest.result_fault = st.digest.fault;
-            st.digest.arrived = 0;
-            st.digest.fault = false;
-            st.digest.generation += 1;
-            let out = (st.digest.result, st.digest.result_fault);
-            let waiters: Vec<usize> = st
-                .tasks
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| matches!(t, TaskState::Blocked(Wait::Digest { .. })))
-                .map(|(r, _)| r)
-                .collect();
-            for w in waiters {
-                Self::wake(&mut st, &self.cvs, w);
-            }
-            return Ok(out);
-        }
-        let gen = st.digest.generation;
-        while st.digest.generation == gen {
-            self.block(&mut st, rank, Wait::Digest { category })?;
-        }
-        Ok((st.digest.result, st.digest.result_fault))
     }
 }

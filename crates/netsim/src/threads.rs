@@ -34,11 +34,16 @@ impl Mailbox {
     }
 }
 
+/// Rendezvous accumulator over 3-word states. f64 reductions pack the
+/// value's bit pattern into word 0; digests use all three channels. One
+/// accumulator serves every collective kind without cross-talk: the
+/// next round cannot complete until every waiter of this round has
+/// arrived, and all ranks issue collectives in the same program order.
 struct CollectiveState {
     arrived: usize,
     generation: u64,
-    acc: f64,
-    result: f64,
+    acc: [u64; 3],
+    result: [u64; 3],
     /// OR of the participants' injected-fault decisions for the
     /// in-progress round.
     fault: bool,
@@ -58,39 +63,6 @@ impl Collective {
             state: Mutex::new(CollectiveState {
                 arrived: 0,
                 generation: 0,
-                acc: 0.0,
-                result: 0.0,
-                fault: false,
-                result_fault: false,
-            }),
-            done: Condvar::new(),
-        }
-    }
-}
-
-struct WordsState {
-    arrived: usize,
-    generation: u64,
-    acc: [u64; 3],
-    result: [u64; 3],
-    fault: bool,
-    result_fault: bool,
-}
-
-/// Rendezvous state for the 3-word digest allreduce. Kept separate from
-/// the f64 [`Collective`] so a digest reduction and a scalar reduction
-/// can never share (and corrupt) one accumulator.
-struct WordsCollective {
-    state: Mutex<WordsState>,
-    done: Condvar,
-}
-
-impl WordsCollective {
-    fn new() -> Self {
-        Self {
-            state: Mutex::new(WordsState {
-                arrived: 0,
-                generation: 0,
                 acc: [0; 3],
                 result: [0; 3],
                 fault: false,
@@ -104,7 +76,6 @@ impl WordsCollective {
 pub(crate) struct ThreadsEngine {
     mailboxes: Vec<Mailbox>,
     collective: Collective,
-    digest: WordsCollective,
     size: usize,
     timeout: Duration,
     /// What each rank is currently blocked in (`None` when running) —
@@ -140,7 +111,6 @@ impl ThreadsEngine {
         Self {
             mailboxes: (0..size).map(|_| Mailbox::new()).collect(),
             collective: Collective::new(),
-            digest: WordsCollective::new(),
             size,
             timeout,
             pending: (0..size).map(|_| Mutex::new(None)).collect(),
@@ -188,7 +158,6 @@ impl ThreadsEngine {
             mb.ready.notify_all();
         }
         self.collective.done.notify_all();
-        self.digest.done.notify_all();
     }
 
     pub(crate) fn poison_origin(&self) -> Option<usize> {
@@ -246,23 +215,27 @@ impl ThreadsEngine {
         }
     }
 
-    pub(crate) fn rendezvous_f64(
+    /// Rendezvous collective over 3-word states: accumulate in arrival
+    /// order with the caller's `combine`, last arriver publishes the
+    /// result and wakes every waiter. All ranks of a round pass the
+    /// same `combine`, so one accumulator serves every collective kind.
+    pub(crate) fn rendezvous(
         &self,
         rank: usize,
         name: &'static str,
         category: Category,
-        v: f64,
-        op: fn(f64, f64) -> f64,
+        words: [u64; 3],
+        combine: fn(&mut [u64; 3], [u64; 3]),
         fault: bool,
-    ) -> Result<(f64, bool), PeerPanicked> {
+    ) -> Result<([u64; 3], bool), PeerPanicked> {
         let coll = &self.collective;
         let mut st = coll.state.lock();
         self.poison_check()?;
         if st.arrived == 0 {
-            st.acc = v;
+            st.acc = words;
             st.fault = fault;
         } else {
-            st.acc = op(st.acc, v);
+            combine(&mut st.acc, words);
             st.fault |= fault;
         }
         st.arrived += 1;
@@ -284,55 +257,6 @@ impl ThreadsEngine {
             if timed_out {
                 panic!(
                     "deadlock: rank {rank} waited {:?} in {name}\n{}",
-                    self.timeout,
-                    self.dump_pending()
-                );
-            }
-        }
-        Ok((st.result, st.result_fault))
-    }
-
-    pub(crate) fn rendezvous_words(
-        &self,
-        rank: usize,
-        category: Category,
-        words: [u64; 3],
-        fault: bool,
-    ) -> Result<([u64; 3], bool), PeerPanicked> {
-        let coll = &self.digest;
-        let mut st = coll.state.lock();
-        self.poison_check()?;
-        if st.arrived == 0 {
-            st.acc = words;
-            st.fault = fault;
-        } else {
-            st.acc[0] = st.acc[0].wrapping_add(words[0]);
-            st.acc[1] ^= words[1];
-            st.acc[2] = st.acc[2].wrapping_add(words[2]);
-            st.fault |= fault;
-        }
-        st.arrived += 1;
-        if st.arrived == self.size {
-            st.result = st.acc;
-            st.result_fault = st.fault;
-            st.arrived = 0;
-            st.fault = false;
-            st.generation += 1;
-            coll.done.notify_all();
-            return Ok((st.result, st.result_fault));
-        }
-        let gen = st.generation;
-        while st.generation == gen {
-            self.poison_check()?;
-            let _pending = PendingGuard::enter(
-                self,
-                rank,
-                format!("allreduce-digest (category={category:?})"),
-            );
-            let timed_out = coll.done.wait_for(&mut st, self.timeout).timed_out();
-            if timed_out {
-                panic!(
-                    "deadlock: rank {rank} waited {:?} in allreduce-digest\n{}",
                     self.timeout,
                     self.dump_pending()
                 );

@@ -161,6 +161,39 @@ fn thousand_rank_ring_with_collectives() {
     }
 }
 
+#[test]
+fn panic_origin_propagates_with_queued_ready_ranks() {
+    // Regression for a scheduler race: a rank that panics *after*
+    // filling peers' mailboxes leaves those peers queued as ready, and
+    // the poison notification must still beat them to delivery — every
+    // surviving rank has to observe the origin's payload, never a
+    // deadlock timeout or a bare PeerPanicked unwind. Repeated because
+    // the race only fires on some worker interleavings.
+    for _ in 0..50 {
+        let caught = std::panic::catch_unwind(|| {
+            Cluster::new(Machine::ipa_cpu_node()).with_workers(2).run(8, |comm| {
+                let r = comm.rank();
+                if r < 7 {
+                    // All of 0..6 block receiving from rank 7.
+                    let _ = comm.recv(7, r as u64, Category::HaloExchange);
+                } else {
+                    for dst in 0..7usize {
+                        comm.send(dst, dst as u64, Bytes::from(vec![1u8; 4]));
+                    }
+                    panic!("boom-origin");
+                }
+            });
+        });
+        let err = caught.expect_err("a rank panicked, so run() must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "non-string payload".to_string());
+        assert!(msg.contains("boom-origin"), "wrong payload propagated: {msg}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
