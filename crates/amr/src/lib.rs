@@ -71,7 +71,8 @@ pub use regrid::{
     try_refresh_partitioned_view, RegridError, RegridOutcome, RegridParams, Regridder,
 };
 pub use schedule::{
-    BuildStrategy, CoarsenSchedule, RefineSchedule, ScheduleBuild, ScheduleCache, ScheduleError,
+    BuildStrategy, CoarsenSchedule, PendingFill, RefineSchedule, ScheduleBuild, ScheduleCache,
+    ScheduleError,
 };
 pub use stats::{hierarchy_stats, HierarchyStats};
 pub use tagging::TagBitmap;

@@ -933,6 +933,46 @@ impl RefineSchedule {
             rec.count("amr.refine_fills", 1);
             rec.span_arg("refine-fill", category, self.level_no as i64)
         });
+        let pending = self.begin_inner(hierarchy, registry, comm, category);
+        pending.finish_inner(hierarchy, physical, comm, time, category)
+    }
+
+    /// Start the fill and return without consuming any incoming
+    /// messages: local copies run, outgoing messages are packed and
+    /// sent, and interpolation scratch is created with its *local*
+    /// coarse sources captured. The caller may then run independent
+    /// work — e.g. interior-region compute — while peer messages are in
+    /// flight, and complete the fill with [`PendingFill::finish`].
+    ///
+    /// Splitting is bitwise-equivalent to [`RefineSchedule::try_fill`]:
+    /// every value the begin half reads (same-level source regions,
+    /// coarse data boxes) is untouched between the two halves because
+    /// the finish half writes only ghost regions, and message
+    /// packing/slicing order is unchanged.
+    pub fn begin_fill<'a>(
+        &'a self,
+        hierarchy: &mut PatchHierarchy,
+        registry: &VariableRegistry,
+        comm: Option<&Comm>,
+        category: Category,
+    ) -> PendingFill<'a> {
+        let _span = hierarchy.recorder().is_enabled().then(|| {
+            let rec = hierarchy.recorder();
+            rec.count("amr.refine_fills", 1);
+            rec.span_arg("refine-fill-start", category, self.level_no as i64)
+        });
+        self.begin_inner(hierarchy, registry, comm, category)
+    }
+
+    /// The send half of the fill: stages 1 (local copies), 2a (pack +
+    /// send), and 3a (scratch creation + local coarse capture).
+    fn begin_inner<'a>(
+        &'a self,
+        hierarchy: &mut PatchHierarchy,
+        registry: &VariableRegistry,
+        comm: Option<&Comm>,
+        category: Category,
+    ) -> PendingFill<'a> {
         // 1. Same-level: local copies.
         let level = hierarchy.level_mut(self.level_no);
         for plan in &self.copies {
@@ -945,16 +985,15 @@ impl RefineSchedule {
             dst_data.copy_from(src.data(plan.var), &plan.overlap);
         }
 
-        // 2. Same-level + coarse-fine: remote messages. All traffic for
-        //    one destination rank is aggregated into a single message
-        //    (SAMRAI's per-processor MessageStream): plan construction
-        //    order is identical on every rank — it is derived from the
-        //    globally replicated level metadata — so sender packing
-        //    order and receiver slicing order agree by construction.
+        // 2a. Same-level + coarse-fine: outgoing messages. All traffic
+        //    for one destination rank is aggregated into a single
+        //    message (SAMRAI's per-processor MessageStream): plan
+        //    construction order is identical on every rank — it is
+        //    derived from the globally replicated level metadata — so
+        //    sender packing order and receiver slicing order agree by
+        //    construction.
         let mut first_err: Option<ScheduleError> = None;
-        let mut cf_stash: std::collections::HashMap<(VariableId, usize, usize), bytes::Bytes> =
-            std::collections::HashMap::new();
-        if !self.sends.is_empty() || !self.recvs.is_empty() {
+        if !self.sends.is_empty() {
             let comm = comm.expect("RefineSchedule: remote plans need a Comm");
             let agg_tag = (KIND_AGG_FILL << 60) | self.level_no as u64;
             // Pack per destination rank, in plan order. A pack fault
@@ -989,45 +1028,15 @@ impl RefineSchedule {
             for (dst_rank, stream) in outgoing {
                 comm.send(dst_rank, agg_tag, bytes::Bytes::from(stream));
             }
-            // Receive one stream per source rank and slice it in plan
-            // order. A faulty stream (dropped/corrupt frame) is noted
-            // and its plans are skipped — the frame was consumed, so
-            // later messages still line up.
-            let mut incoming: std::collections::HashMap<usize, (Option<bytes::Bytes>, usize)> =
-                std::collections::HashMap::new();
-            for plan in &self.recvs {
-                let (stream, cursor) = incoming.entry(plan.src_rank).or_insert_with(|| match comm
-                    .try_recv(plan.src_rank, agg_tag, category)
-                {
-                    Ok(b) => (Some(b), 0),
-                    Err(e) => {
-                        first_err.get_or_insert(ScheduleError::Comm(e));
-                        (None, 0)
-                    }
-                });
-                let Some(stream) = stream else { continue };
-                let level = hierarchy.level(self.level_no);
-                let pos = local_pos(level, plan.dst_idx);
-                let dst = &level.local()[pos];
-                let size = dst.data(plan.var).stream_size(&plan.overlap);
-                let slice = stream.slice(*cursor..*cursor + size);
-                *cursor += size;
-                if plan.kind == KIND_COARSE_FINE {
-                    cf_stash.insert((plan.var, plan.dst_idx, plan.src_idx), slice);
-                } else {
-                    let level = hierarchy.level_mut(self.level_no);
-                    let pos = local_pos(level, plan.dst_idx);
-                    let dst = &mut level.local_mut()[pos];
-                    let data = dst.data_mut(plan.var);
-                    data.set_transfer_category(category);
-                    if let Err(e) = data.try_unpack(&plan.overlap, &slice) {
-                        first_err.get_or_insert(ScheduleError::Data(e));
-                    }
-                }
-            }
         }
 
-        // 3. Coarse-fine interpolation through scratch.
+        // 3a. Interpolation scratch, with the *local* coarse sources
+        //    captured now. The reads are coarse data-box interiors —
+        //    never ghost regions — so nothing the finish half (or any
+        //    interior-only compute run between the halves) writes can
+        //    change them; capture-at-begin is bitwise-identical to
+        //    capture-at-finish.
+        let mut scratches = Vec::with_capacity(self.interps.len());
         for plan in &self.interps {
             let mut scratch = registry.make_one(plan.var, plan.scratch_box);
             scratch.set_transfer_category(category);
@@ -1040,6 +1049,111 @@ impl RefineSchedule {
                     scratch.copy_from(src.data(plan.var), ov);
                 }
             }
+            scratches.push(scratch);
+        }
+
+        PendingFill { sched: self, first_err, scratches }
+    }
+}
+
+/// An in-flight fill started by [`RefineSchedule::begin_fill`]: local
+/// copies are done, outgoing messages are posted, and interpolation
+/// scratch holds the captured local coarse sources. Dropping a
+/// `PendingFill` without calling [`PendingFill::finish`] leaves peers
+/// blocked on unconsumed messages — always finish, even on error paths.
+pub struct PendingFill<'a> {
+    sched: &'a RefineSchedule,
+    first_err: Option<ScheduleError>,
+    scratches: Vec<Box<dyn PatchData>>,
+}
+
+impl PendingFill<'_> {
+    /// The level this fill targets.
+    pub fn level_no(&self) -> usize {
+        self.sched.level_no
+    }
+
+    /// Complete the fill: consume incoming messages, interpolate
+    /// coarse-fine ghosts, apply physical boundaries, and stamp times.
+    /// Only ghost regions are written. Errors recorded by either half
+    /// are reported after the whole communication pattern has executed,
+    /// exactly as [`RefineSchedule::try_fill`] does.
+    pub fn finish(
+        self,
+        hierarchy: &mut PatchHierarchy,
+        physical: &dyn PhysicalBoundary,
+        comm: Option<&Comm>,
+        time: f64,
+        category: Category,
+    ) -> Result<(), ScheduleError> {
+        let _span = hierarchy.recorder().is_enabled().then(|| {
+            hierarchy.recorder().span_arg(
+                "refine-fill-finish",
+                category,
+                self.sched.level_no as i64,
+            )
+        });
+        self.finish_inner(hierarchy, physical, comm, time, category)
+    }
+
+    /// The receive half of the fill: stages 2b (recv + unpack), 3b
+    /// (remote scratch unpack + interpolate), 4 (physical boundaries),
+    /// and 5 (time stamps).
+    fn finish_inner(
+        self,
+        hierarchy: &mut PatchHierarchy,
+        physical: &dyn PhysicalBoundary,
+        comm: Option<&Comm>,
+        time: f64,
+        category: Category,
+    ) -> Result<(), ScheduleError> {
+        let sched = self.sched;
+        let mut first_err = self.first_err;
+        let mut cf_stash: std::collections::HashMap<(VariableId, usize, usize), bytes::Bytes> =
+            std::collections::HashMap::new();
+        if !sched.recvs.is_empty() {
+            let comm = comm.expect("RefineSchedule: remote plans need a Comm");
+            let agg_tag = (KIND_AGG_FILL << 60) | sched.level_no as u64;
+            // Receive one stream per source rank and slice it in plan
+            // order. A faulty stream (dropped/corrupt frame) is noted
+            // and its plans are skipped — the frame was consumed, so
+            // later messages still line up.
+            let mut incoming: std::collections::HashMap<usize, (Option<bytes::Bytes>, usize)> =
+                std::collections::HashMap::new();
+            for plan in &sched.recvs {
+                let (stream, cursor) = incoming.entry(plan.src_rank).or_insert_with(|| match comm
+                    .try_recv(plan.src_rank, agg_tag, category)
+                {
+                    Ok(b) => (Some(b), 0),
+                    Err(e) => {
+                        first_err.get_or_insert(ScheduleError::Comm(e));
+                        (None, 0)
+                    }
+                });
+                let Some(stream) = stream else { continue };
+                let level = hierarchy.level(sched.level_no);
+                let pos = local_pos(level, plan.dst_idx);
+                let dst = &level.local()[pos];
+                let size = dst.data(plan.var).stream_size(&plan.overlap);
+                let slice = stream.slice(*cursor..*cursor + size);
+                *cursor += size;
+                if plan.kind == KIND_COARSE_FINE {
+                    cf_stash.insert((plan.var, plan.dst_idx, plan.src_idx), slice);
+                } else {
+                    let level = hierarchy.level_mut(sched.level_no);
+                    let pos = local_pos(level, plan.dst_idx);
+                    let dst = &mut level.local_mut()[pos];
+                    let data = dst.data_mut(plan.var);
+                    data.set_transfer_category(category);
+                    if let Err(e) = data.try_unpack(&plan.overlap, &slice) {
+                        first_err.get_or_insert(ScheduleError::Data(e));
+                    }
+                }
+            }
+        }
+
+        // 3b. Coarse-fine interpolation through the captured scratch.
+        for (plan, mut scratch) in sched.interps.iter().zip(self.scratches) {
             for (cidx, ov) in &plan.remote_sources {
                 // A payload can be missing only when its stream was
                 // faulty (recorded above); skip — the scratch holds
@@ -1053,8 +1167,8 @@ impl RefineSchedule {
                 }
             }
             extend_scratch(scratch.as_mut(), &plan.covered);
-            let ratio = hierarchy.ratio_to_coarser(self.level_no);
-            let level = hierarchy.level_mut(self.level_no);
+            let ratio = hierarchy.ratio_to_coarser(sched.level_no);
+            let level = hierarchy.level_mut(sched.level_no);
             let pos = local_pos(level, plan.dst_idx);
             let dst = &mut level.local_mut()[pos];
             let dst_data = dst.data_mut(plan.var);
@@ -1064,18 +1178,18 @@ impl RefineSchedule {
 
         // 4. Physical boundaries, last (so corners overwrite interpolant
         //    values with the true boundary condition).
-        let domain_box = self.domain_box;
-        let level = hierarchy.level_mut(self.level_no);
-        for (dst_idx, var, boxes) in &self.physical {
+        let domain_box = sched.domain_box;
+        let level = hierarchy.level_mut(sched.level_no);
+        for (dst_idx, var, boxes) in &sched.physical {
             let pos = local_pos(level, *dst_idx);
             let patch = &mut level.local_mut()[pos];
             physical.fill(patch, *var, boxes, domain_box, time);
         }
 
         // 5. Stamp times.
-        let level = hierarchy.level_mut(self.level_no);
+        let level = hierarchy.level_mut(sched.level_no);
         for p in level.local_mut() {
-            for &v in &self.vars {
+            for &v in &sched.vars {
                 p.data_mut(v).set_time(time);
             }
         }

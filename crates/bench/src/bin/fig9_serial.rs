@@ -8,15 +8,33 @@
 //! speedup (paper: 1.99x at >= 200k) and the maximum (paper: 2.67x).
 //!
 //! ```text
-//! cargo run --release -p rbamr-bench --bin fig9_serial [-- --full]
+//! cargo run --release -p rbamr-bench --bin fig9_serial [-- --full] [--batched] [--json <path>]
 //! ```
 //!
 //! `--full` includes the 3.2M- and 6.4M-zone rungs (a few minutes of
 //! real compute); the default stops at 800k and is representative.
+//!
+//! `--batched` adds an ablation column: the same GPU runs with batched
+//! per-level launches. The run gates in-process that the batched
+//! executor's launch count per step stays within
+//! `levels x MAX_BATCHED_LAUNCHES_PER_LEVEL_STEP` — the launch-bound
+//! regime that per-patch launching (which scales with patch count)
+//! cannot satisfy at scale.
+//!
+//! `--json <path>` writes the table as a JSON artifact for CI.
 
-use rbamr_bench::{csv_dir_arg, fig9_resolutions, fmt_secs, measure_profile, sod_sim, write_csv};
-use rbamr_hydro::Placement;
+use rbamr_bench::{
+    csv_dir_arg, fig9_resolutions, fmt_secs, measure_profile, path_arg, sod_config, sod_sim,
+    write_csv,
+};
+use rbamr_hydro::{
+    batched::{BATCHED_KERNEL_NAMES, MAX_BATCHED_LAUNCHES_PER_LEVEL_STEP},
+    HydroSim, Placement,
+};
 use rbamr_perfmodel::{Clock, Machine};
+use rbamr_problems::sod::sod_regions;
+use rbamr_telemetry::Recorder;
+use std::fmt::Write as _;
 
 const PAPER_STEPS: usize = 1000;
 const REGRID_INTERVAL: usize = 10;
@@ -36,33 +54,134 @@ fn run_one(placement: Placement, nx: i64, ny: i64) -> (f64, i64) {
     (profile.projected_runtime(PAPER_STEPS, REGRID_INTERVAL), profile.total_cells)
 }
 
+/// The batched ablation: same GPU deck with batched per-level launches.
+/// Returns the projected runtime and the measured launches per step,
+/// gated in-process against the levels x phases bound.
+fn run_batched(nx: i64, ny: i64) -> (f64, f64) {
+    let mut config = sod_config(1024);
+    config.batched = true;
+    let mut sim = HydroSim::new(
+        Machine::ipa_gpu(),
+        Placement::Device,
+        Clock::new(),
+        (1.0, 1.0),
+        (nx, ny),
+        LEVELS,
+        2,
+        config,
+        sod_regions(),
+        0,
+        1,
+    );
+    let rec = Recorder::new(0, sim.clock().clone());
+    sim.set_recorder(rec.clone());
+    sim.initialize(None);
+    let steps = if nx >= 1024 { 2 } else { 4 };
+    // Count batched launches by name roster (halo-fill, sync, and
+    // regrid kernels launch under other names and are outside the
+    // batched executor's launch budget), and inline measure_profile so
+    // the counting window covers only pure hydro steps.
+    let batched_launches = |rec: &Recorder| -> u64 {
+        BATCHED_KERNEL_NAMES
+            .iter()
+            .map(|name| rec.counter(&format!("device.kernel_launches.{name}")))
+            .sum()
+    };
+    sim.step(None); // warm-up: first dt ramp (and batch-plan build)
+    let launches0 = batched_launches(&rec);
+    let before = sim.clock().snapshot();
+    for _ in 0..steps {
+        sim.step(None);
+    }
+    let after = sim.clock().snapshot();
+    let launches_per_step = (batched_launches(&rec) - launches0) as f64 / steps as f64;
+    let per_step = (after.total() - before.total()) / steps as f64;
+    let before_rg = sim.clock().snapshot();
+    sim.regrid(None);
+    let regrid = sim.clock().snapshot().total() - before_rg.total();
+    let projected = per_step * PAPER_STEPS as f64 + regrid * (PAPER_STEPS / REGRID_INTERVAL) as f64;
+
+    let bound = (LEVELS as u64 * MAX_BATCHED_LAUNCHES_PER_LEVEL_STEP) as f64;
+    assert!(
+        launches_per_step <= bound,
+        "{nx}x{ny}: batched run issued {launches_per_step:.0} launches/step, \
+         above the levels x phases bound {bound:.0}"
+    );
+    (projected, launches_per_step)
+}
+
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let batched = std::env::args().any(|a| a == "--batched");
     let sizes = fig9_resolutions(full);
     println!("Figure 9: serial performance, Sod, {PAPER_STEPS} steps, {LEVELS} levels, ratio 2");
     println!("(runtimes are modelled K20x / E5-2670 times; numerics run for real)\n");
-    println!(
-        "{:>12} {:>12} {:>14} {:>14} {:>9}",
-        "coarse zones", "total cells", "CPU runtime(s)", "GPU runtime(s)", "speedup"
-    );
-    println!("{}", "-".repeat(66));
+    if batched {
+        println!(
+            "{:>12} {:>12} {:>14} {:>14} {:>9} {:>14} {:>12}",
+            "coarse zones",
+            "total cells",
+            "CPU runtime(s)",
+            "GPU runtime(s)",
+            "speedup",
+            "batched(s)",
+            "launch/step"
+        );
+        println!("{}", "-".repeat(94));
+    } else {
+        println!(
+            "{:>12} {:>12} {:>14} {:>14} {:>9}",
+            "coarse zones", "total cells", "CPU runtime(s)", "GPU runtime(s)", "speedup"
+        );
+        println!("{}", "-".repeat(66));
+    }
 
     let mut small_ratios = Vec::new();
     let mut large_ratios = Vec::new();
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for &(nx, ny) in &sizes {
         let (cpu, cells) = run_one(Placement::Host, nx, ny);
         let (gpu, _) = run_one(Placement::Device, nx, ny);
         let speedup = cpu / gpu;
-        println!(
-            "{:>12} {:>12} {:>14} {:>14} {:>8.2}x",
-            nx * ny,
-            cells,
-            fmt_secs(cpu),
-            fmt_secs(gpu),
-            speedup
+        let mut row = vec![(nx * ny) as f64, cells as f64, cpu, gpu, speedup];
+        let mut json = format!(
+            "{{\"coarse_zones\": {}, \"total_cells\": {cells}, \"cpu_s\": {cpu:.6}, \
+             \"gpu_s\": {gpu:.6}, \"speedup\": {speedup:.4}",
+            nx * ny
         );
-        rows.push(vec![(nx * ny) as f64, cells as f64, cpu, gpu, speedup]);
+        if batched {
+            let (gpu_b, launches) = run_batched(nx, ny);
+            println!(
+                "{:>12} {:>12} {:>14} {:>14} {:>8.2}x {:>14} {:>12.1}",
+                nx * ny,
+                cells,
+                fmt_secs(cpu),
+                fmt_secs(gpu),
+                speedup,
+                fmt_secs(gpu_b),
+                launches
+            );
+            row.extend([gpu_b, cpu / gpu_b, launches]);
+            let _ = write!(
+                json,
+                ", \"gpu_batched_s\": {gpu_b:.6}, \"batched_speedup\": {:.4}, \
+                 \"batched_launches_per_step\": {launches:.1}",
+                cpu / gpu_b
+            );
+        } else {
+            println!(
+                "{:>12} {:>12} {:>14} {:>14} {:>8.2}x",
+                nx * ny,
+                cells,
+                fmt_secs(cpu),
+                fmt_secs(gpu),
+                speedup
+            );
+        }
+        json.push('}');
+        json_rows.push(json);
+        rows.push(row);
         if nx * ny < 200_000 {
             small_ratios.push(speedup);
         } else {
@@ -70,15 +189,28 @@ fn main() {
         }
     }
     if let Some(dir) = csv_dir_arg() {
-        let p = write_csv(
-            &dir,
-            "fig9_serial.csv",
-            "coarse_zones,total_cells,cpu_s,gpu_s,speedup",
-            &rows,
-        );
+        let header = if batched {
+            "coarse_zones,total_cells,cpu_s,gpu_s,speedup,gpu_batched_s,batched_speedup,\
+             batched_launches_per_step"
+        } else {
+            "coarse_zones,total_cells,cpu_s,gpu_s,speedup"
+        };
+        let p = write_csv(&dir, "fig9_serial.csv", header, &rows);
         println!("\nwrote {}", p.display());
     }
-    println!("{}", "-".repeat(66));
+    if let Some(path) = path_arg("--json") {
+        let json = format!(
+            "{{\n  \"steps\": {PAPER_STEPS},\n  \"levels\": {LEVELS},\n  \"batched\": {batched},\n  \
+             \"rows\": [\n    {}\n  ]\n}}\n",
+            json_rows.join(",\n    ")
+        );
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).expect("fig9: create artifact dir");
+        }
+        std::fs::write(&path, json).expect("fig9: write artifact");
+        println!("wrote {}", path.display());
+    }
+    println!("{}", "-".repeat(if batched { 94 } else { 66 }));
 
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     if !small_ratios.is_empty() {

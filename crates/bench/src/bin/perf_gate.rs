@@ -48,7 +48,11 @@ struct Combo {
 }
 
 fn run_combo(deck: &'static str, ranks: usize) -> Combo {
-    let (machine, placement) = match deck {
+    // `<deck>_batched` runs the same deck with batched per-level
+    // launches and comm/compute overlap.
+    let batched = deck.ends_with("_batched");
+    let base = deck.trim_end_matches("_batched");
+    let (machine, placement) = match base {
         "sod" => (Machine::ipa_gpu(), Placement::Device),
         _ => (Machine::titan(), Placement::Device),
     };
@@ -56,10 +60,11 @@ fn run_combo(deck: &'static str, ranks: usize) -> Combo {
     let results = cluster.run(ranks, |mut comm| {
         let rec = Recorder::new(comm.rank(), comm.clock().clone());
         comm.set_recorder(rec.clone());
-        let mut sim = match deck {
+        let mut sim = match base {
             "sod" => {
                 let mut config = sod_config(32);
                 config.regrid_interval = 2;
+                config.batched = batched;
                 HydroSim::new(
                     machine.clone(),
                     placement,
@@ -78,6 +83,7 @@ fn run_combo(deck: &'static str, ranks: usize) -> Combo {
                 let mut config = HydroConfig {
                     regrid_interval: 2,
                     max_patch_size: 16,
+                    batched,
                     ..HydroConfig::default()
                 };
                 config.regrid.max_patch_size = 16;
@@ -113,6 +119,17 @@ fn run_combo(deck: &'static str, ranks: usize) -> Combo {
     );
     let analysis =
         analyze(&recorders).unwrap_or_else(|e| panic!("{deck} r{ranks}: causal DAG failed: {e}"));
+    if std::env::var("PERF_GATE_DEBUG").is_ok() {
+        let mut by_cat: BTreeMap<String, f64> = BTreeMap::new();
+        for rec in &recorders {
+            for e in rec.edges() {
+                if e.name != "send" {
+                    *by_cat.entry(format!("{:?}.{}", e.category, e.name)).or_insert(0.0) += e.cost;
+                }
+            }
+        }
+        println!("  {deck} r{ranks} recv/collective cost by category: {by_cat:?}");
+    }
     for rb in &analysis.ranks {
         let err = (rb.buckets.total() - analysis.makespan).abs();
         assert!(
@@ -241,7 +258,7 @@ fn main() {
 
     let mut metrics = BTreeMap::new();
     let mut combos = Vec::new();
-    for deck in ["sod", "triple_point"] {
+    for deck in ["sod", "triple_point", "sod_batched", "triple_point_batched"] {
         for ranks in [1usize, 2, 4] {
             println!("running {deck} at {ranks} rank(s)...");
             let combo = run_combo(deck, ranks);
@@ -250,6 +267,34 @@ fn main() {
         }
     }
     let json = metrics_to_json(&metrics);
+
+    // Overlap gates, independent of the committed baseline: batching
+    // must hide >=30% of the exposed communication on the triple-point
+    // deck at 4 ranks and issue fewer kernel launches than per-patch
+    // launching on every deck at every rank count.
+    let get = |key: &str| *metrics.get(key).unwrap_or_else(|| panic!("missing metric {key}"));
+    let exposed = get("triple_point.r4.bucket.exposed_comm_s");
+    let exposed_batched = get("triple_point_batched.r4.bucket.exposed_comm_s");
+    assert!(
+        exposed_batched <= 0.7 * exposed,
+        "overlap gate: batched exposed_comm {exposed_batched:.3e}s is not >=30% below \
+         unbatched {exposed:.3e}s on triple_point at 4 ranks"
+    );
+    println!(
+        "overlap gate: triple_point r4 exposed_comm {exposed:.3e}s -> {exposed_batched:.3e}s \
+         ({:.0}% hidden)",
+        100.0 * (1.0 - exposed_batched / exposed)
+    );
+    for deck in ["sod", "triple_point"] {
+        for ranks in [1usize, 2, 4] {
+            let oracle = get(&format!("{deck}.r{ranks}.counter.device.kernel_launches"));
+            let batched = get(&format!("{deck}_batched.r{ranks}.counter.device.kernel_launches"));
+            assert!(
+                batched < oracle,
+                "launch gate: {deck} r{ranks}: batched issued {batched} launches, oracle {oracle}"
+            );
+        }
+    }
 
     if let Some(dir) = path_arg("--trace") {
         std::fs::create_dir_all(&dir).expect("trace: create dir");

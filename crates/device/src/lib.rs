@@ -27,7 +27,7 @@ pub mod stream;
 
 pub use launch::{Kernel, LaunchConfig};
 pub use memory::{DeviceBuffer, DeviceError};
-pub use stream::{Event, Stream};
+pub use stream::{Event, RecordPoint, Stream, StreamError};
 
 use parking_lot::Mutex;
 use rbamr_fault::{FaultInjector, FaultKind};
@@ -503,6 +503,47 @@ impl Device {
         self.inner.clock.advance(category, kernel_cost);
         self.bank_credit(kernel_cost);
         body(Kernel::new(self))
+    }
+
+    /// Record an event at `stream`'s current position
+    /// (`cudaEventRecord` on a fresh event) and count it under
+    /// `device.events_recorded`. The returned event carries the record
+    /// point — stream, device, and sequence — so later waits validate
+    /// against where the event was *recorded*, not merely created.
+    pub fn record_event(&self, stream: &Stream) -> Event {
+        let event = Event::new(self);
+        event.record(stream);
+        if let Some(rec) = self.telemetry() {
+            rec.count("device.events_recorded", 1);
+        }
+        event
+    }
+
+    /// Make `stream` wait on `event` (`cudaStreamWaitEvent`), surfacing
+    /// the ordering edge as telemetry: a `stream-wait` span plus
+    /// `device.stream_waits` and `device.stream_waits.<label>` counters.
+    /// The label names the dependency being enforced (e.g.
+    /// `halo-exchange` for a boundary batch gated on netsim completion,
+    /// `interior-batch` for a copy gated on compute).
+    ///
+    /// # Panics
+    /// Panics with the typed [`StreamError`] if the event was never
+    /// recorded or its record point lives on another device.
+    pub fn stream_wait(
+        &self,
+        stream: &Stream,
+        event: &Event,
+        label: &'static str,
+        category: Category,
+    ) {
+        if let Some(rec) = self.telemetry() {
+            let _span = rec.span("stream-wait", category);
+            rec.count("device.stream_waits", 1);
+            rec.count_scoped("device.stream_waits.", label, 1);
+        }
+        if let Err(e) = stream.try_wait_event(event) {
+            panic!("{e}");
+        }
     }
 
     /// Snapshot the transfer/allocation counters.

@@ -6,8 +6,10 @@
 //! streams and events do not change *what* happens — but they preserve
 //! the *structure* of the original host code (the `gpu-amr` operators
 //! mirror Figure 5a line for line) and they validate usage: waiting on
-//! an event that was never recorded is a programming error the real API
-//! would silently deadlock on; here it panics.
+//! an event that was never recorded, or on an event recorded on another
+//! device's stream, is a programming error the real API would silently
+//! deadlock or misorder on; here it is a typed [`StreamError`] and the
+//! infallible path panics with it.
 
 use crate::Device;
 use parking_lot::Mutex;
@@ -15,6 +17,42 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 static NEXT_STREAM_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A stream/event protocol violation.
+///
+/// The simulated device executes synchronously, so these never corrupt
+/// data — but each one corresponds to a real-API failure mode (deadlock
+/// or silent misordering), so they are surfaced as typed errors and the
+/// infallible [`Stream::wait_event`] panics with the error's message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// A stream waited on an event that was never recorded
+    /// (`cudaStreamWaitEvent` on a fresh `cudaEvent_t` deadlocks).
+    UnrecordedEvent { stream_id: u64 },
+    /// A stream waited on an event recorded on a stream that lives on a
+    /// *different* device — cross-device ordering the single-device
+    /// model cannot express. Before the record point carried its device
+    /// this passed validation silently whenever the event object itself
+    /// was created on the waiter's device.
+    CrossDeviceWait { stream_id: u64, stream_device: u64, event_device: u64 },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::UnrecordedEvent { stream_id } => {
+                write!(f, "stream {stream_id} waited on event that was never recorded")
+            }
+            StreamError::CrossDeviceWait { stream_id, stream_device, event_device } => write!(
+                f,
+                "stream {stream_id} (device {stream_device}) waited on an event from another \
+                 device (recorded on device {event_device})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
 
 /// An in-order execution queue on a device.
 #[derive(Clone)]
@@ -63,15 +101,36 @@ impl Stream {
     /// Make this stream wait for `event` (`cudaStreamWaitEvent`).
     ///
     /// # Panics
-    /// Panics if the event was never recorded — the real API would
-    /// deadlock or misorder; surfacing the bug loudly is strictly better.
+    /// Panics with the [`StreamError`] message if the event was never
+    /// recorded, or if its record point lives on a stream of a
+    /// different device — the real API would deadlock or misorder;
+    /// surfacing the bug loudly is strictly better.
     pub fn wait_event(&self, event: &Event) {
-        assert!(event.is_recorded(), "stream {} waited on event that was never recorded", self.id);
-        assert_eq!(
-            self.device_id, event.device_id,
-            "stream {} waited on an event from another device",
-            self.id
-        );
+        if let Err(e) = self.try_wait_event(event) {
+            panic!("{e}");
+        }
+    }
+
+    /// Validating [`Stream::wait_event`]: checks the event is recorded
+    /// and that the *record point's* stream lives on this stream's
+    /// device (not merely the device the event object was created on).
+    ///
+    /// # Errors
+    /// [`StreamError::UnrecordedEvent`] if the event was never
+    /// recorded; [`StreamError::CrossDeviceWait`] if it was recorded on
+    /// a stream of a different device.
+    pub fn try_wait_event(&self, event: &Event) -> Result<(), StreamError> {
+        let Some(point) = event.record_point() else {
+            return Err(StreamError::UnrecordedEvent { stream_id: self.id });
+        };
+        if point.device_id != self.device_id {
+            return Err(StreamError::CrossDeviceWait {
+                stream_id: self.id,
+                stream_device: self.device_id,
+                event_device: point.device_id,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -81,11 +140,22 @@ impl std::fmt::Debug for Stream {
     }
 }
 
+/// Where an [`Event`] was recorded: stream, device, and the stream's
+/// submission count at the record point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordPoint {
+    pub stream_id: u64,
+    pub device_id: u64,
+    pub seq: u64,
+}
+
 /// A marker in a stream's timeline (`cudaEvent_t`).
 pub struct Event {
     device_id: u64,
-    /// `(stream id, sequence)` at the record point, if recorded.
-    recorded_at: Mutex<Option<(u64, u64)>>,
+    /// The record point, if recorded. Carries the *recording stream's*
+    /// device so a cross-device wait is caught even if the event object
+    /// itself was created on the waiter's device.
+    recorded_at: Mutex<Option<RecordPoint>>,
 }
 
 impl Event {
@@ -104,7 +174,11 @@ impl Event {
             stream.device_id(),
             "event recorded on a stream from another device"
         );
-        *self.recorded_at.lock() = Some((stream.id(), stream.submitted()));
+        *self.recorded_at.lock() = Some(RecordPoint {
+            stream_id: stream.id(),
+            device_id: stream.device_id(),
+            seq: stream.submitted(),
+        });
     }
 
     /// True once the event has been recorded.
@@ -112,8 +186,8 @@ impl Event {
         self.recorded_at.lock().is_some()
     }
 
-    /// The `(stream id, sequence)` of the record point.
-    pub fn record_point(&self) -> Option<(u64, u64)> {
+    /// The record point, if recorded.
+    pub fn record_point(&self) -> Option<RecordPoint> {
         *self.recorded_at.lock()
     }
 }
@@ -145,7 +219,10 @@ mod tests {
         let ev = Event::new(&dev);
         ev.record(&fine);
         coarse.wait_event(&ev);
-        assert_eq!(ev.record_point(), Some((fine.id(), 1)));
+        assert_eq!(
+            ev.record_point(),
+            Some(RecordPoint { stream_id: fine.id(), device_id: dev.id(), seq: 1 })
+        );
     }
 
     #[test]
@@ -165,6 +242,46 @@ mod tests {
         let s = Stream::new(&a);
         let ev = Event::new(&b);
         ev.record(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "another device")]
+    fn cross_device_event_wait_panics() {
+        // The gap this closes: the event is created *and* recorded on
+        // device B — internally consistent, so `record` passes — but
+        // the wait comes from a stream on device A. Validating only the
+        // event's creation device would let this through.
+        let a = Device::k20x();
+        let b = Device::k20x();
+        let b_stream = Stream::new(&b);
+        let ev = Event::new(&b);
+        ev.record(&b_stream);
+        let a_stream = Stream::new(&a);
+        a_stream.wait_event(&ev);
+    }
+
+    #[test]
+    fn try_wait_event_returns_typed_errors() {
+        let a = Device::k20x();
+        let b = Device::k20x();
+        let a_stream = Stream::new(&a);
+        let ev = Event::new(&b);
+        assert_eq!(
+            a_stream.try_wait_event(&ev),
+            Err(StreamError::UnrecordedEvent { stream_id: a_stream.id() })
+        );
+        let b_stream = Stream::new(&b);
+        ev.record(&b_stream);
+        assert_eq!(
+            a_stream.try_wait_event(&ev),
+            Err(StreamError::CrossDeviceWait {
+                stream_id: a_stream.id(),
+                stream_device: a.id(),
+                event_device: b.id(),
+            })
+        );
+        let ok_stream = Stream::new(&b);
+        assert_eq!(ok_stream.try_wait_event(&ev), Ok(()));
     }
 
     #[test]

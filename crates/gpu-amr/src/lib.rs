@@ -22,10 +22,12 @@
 //! Every operator is tested for exact agreement with the host reference
 //! implementation in `rbamr-amr` on randomised data.
 
+pub mod batch;
 pub mod data;
 pub mod ops;
 pub mod pack;
 pub mod tags;
 
+pub use batch::{interior_core, split_region, BatchPlan, BatchPlanCache, PatchSlot};
 pub use data::{DeviceData, DeviceDataFactory};
 pub use tags::compress_tags;

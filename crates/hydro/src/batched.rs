@@ -1,0 +1,934 @@
+//! Batched per-level kernel launches with interior/boundary splitting.
+//!
+//! The per-patch oracle ([`crate::device_integrator`]) pays one launch
+//! per kernel per patch — the Figure 9 overhead that makes small grids
+//! launch-bound. This module issues **one launch per kernel per level**:
+//! the launch body loops over the level's patches (the logical element
+//! index of the level's [`BatchPlan`](rbamr_gpu_amr::BatchPlan) spans
+//! them all) and calls the *same* kernel functions on the same regions,
+//! so the arithmetic is bitwise identical to the oracle while the fixed
+//! launch latency is paid once per level.
+//!
+//! For communication/computation overlap, each phase can run as two
+//! passes: [`Pass::Interior`] computes only patch cores that a
+//! stencil-margin analysis proves cannot observe ghost cells (so it is
+//! safe to run while the halo exchange is in flight), and
+//! [`Pass::Boundary`] finishes the frame after the exchange lands.
+//! Margins grow along a window's kernel chain (`margin(k) = 6 + 4(k-1)`)
+//! so that, with a maximum stencil radius of 4 (2-cell van Leer upwind
+//! reach + centring conversions + slack):
+//!
+//! * an interior-pass kernel only reads cells earlier interior kernels
+//!   have already written (`m_k - r >= m_{k-1}`),
+//! * a boundary-pass kernel never reads cells a *later* kernel's
+//!   interior pass overwrote (`m_k - 1 + r < m_{k+1}`), and
+//! * no interior-pass read reaches a ghost cell the concurrent fill
+//!   writes (`m_1 - r >= 2`).
+//!
+//! A patch too small for a margin degrades gracefully: its interior is
+//! empty and the whole kernel runs in the boundary pass, i.e. in the
+//! oracle's unoverlapped order.
+
+use crate::device_integrator::split_dev;
+use crate::kernels as k;
+use crate::state::{ComputeRegion, Fields, GHOSTS};
+use rbamr_amr::patchdata::PatchData;
+use rbamr_amr::{Patch, VariableId};
+use rbamr_device::{DeviceBuffer, Kernel, Stream};
+use rbamr_geometry::{Centring, GBox, IntVector};
+use rbamr_gpu_amr::{interior_core, split_region, DeviceData};
+use rbamr_perfmodel::{Category, KernelShape};
+
+/// Which part of a phase a batched call executes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Pass {
+    /// The whole region in one launch (phases outside overlap windows).
+    Full,
+    /// Only patch cores deep enough that no read can observe a ghost
+    /// cell — safe while the halo exchange is in flight.
+    Interior,
+    /// The boundary frames, after the exchange completed.
+    Boundary,
+}
+
+/// First-kernel interior margin: stencil radius (4, with slack) plus 2
+/// so no interior read can land on a ghost or exchange-written cell.
+const MARGIN_BASE: i64 = 6;
+/// Margin growth per kernel ordinal: the maximum stencil radius, so
+/// each interior kernel reads only inside the previous one's core.
+const MARGIN_STEP: i64 = 4;
+
+/// Upper bound on batched launches per level per step — the in-process
+/// fig9 gate constant. Counting every kernel of the step's phase chain
+/// with both passes of the five overlap windows gives 82; 96 leaves
+/// headroom without ever permitting per-patch scaling.
+pub const MAX_BATCHED_LAUNCHES_PER_LEVEL_STEP: u64 = 96;
+
+/// Every kernel name the batched executor launches under. The names
+/// are shared with the per-patch oracle (so traces line up), but no
+/// halo-fill, sync, or regrid kernel uses them — in a batched run,
+/// summing the `device.kernel_launches.<name>` counters over this
+/// roster counts batched launches exactly.
+pub const BATCHED_KERNEL_NAMES: &[&str] = &[
+    "accelerate",
+    "advec-cell",
+    "advec-ener-flux",
+    "advec-ener-update",
+    "advec-mass-flux",
+    "advec-post-vol",
+    "advec-pre-vol",
+    "calc-dt",
+    "copy-field",
+    "flux-calc",
+    "ideal-gas-pressure",
+    "ideal-gas-soundspeed",
+    "mom-flux",
+    "mom-node-flux",
+    "mom-node-mass-post",
+    "mom-node-mass-pre",
+    "mom-save-vel",
+    "mom-vel-update",
+    "pdv-density",
+    "pdv-energy",
+    "revert-save",
+    "viscosity",
+];
+
+fn margin(ordinal: u32) -> i64 {
+    MARGIN_BASE + MARGIN_STEP * (i64::from(ordinal) - 1)
+}
+
+/// The region boxes kernel `ordinal` computes on `pass` for one patch,
+/// given its nominal (oracle) region. Union over passes covers the
+/// nominal region exactly once.
+fn pass_regions(
+    pass: Pass,
+    ordinal: u32,
+    cell_box: GBox,
+    centring: Centring,
+    nominal: GBox,
+) -> Vec<GBox> {
+    if nominal.is_empty() {
+        return Vec::new();
+    }
+    match pass {
+        Pass::Full => vec![nominal],
+        Pass::Interior | Pass::Boundary => {
+            let core = interior_core(cell_box, margin(ordinal));
+            if core.is_empty() {
+                return if pass == Pass::Boundary { vec![nominal] } else { Vec::new() };
+            }
+            let (inner, frames) = split_region(nominal, centring.data_box(core));
+            if pass == Pass::Interior {
+                if inner.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![inner]
+                }
+            } else {
+                frames.into_iter().filter(|b| !b.is_empty()).collect()
+            }
+        }
+    }
+}
+
+fn regions_for(
+    patches: &[Patch],
+    pass: Pass,
+    ordinal: u32,
+    centring: Centring,
+    nominal_of: impl Fn(&Patch) -> GBox,
+) -> Vec<Vec<GBox>> {
+    patches
+        .iter()
+        .map(|p| pass_regions(pass, ordinal, p.cell_box(), centring, nominal_of(p)))
+        .collect()
+}
+
+fn dev(data: &dyn PatchData) -> &DeviceData<f64> {
+    data.as_any().downcast_ref::<DeviceData<f64>>().expect("batched executor on non-device data")
+}
+
+/// One patch's device handles, split into output and input variables.
+type SplitHandles<'a> = (Vec<&'a mut DeviceData<f64>>, Vec<&'a DeviceData<f64>>);
+
+/// One batched launch: a single kernel invocation whose body loops the
+/// level's patches and applies `body` to each patch's region boxes.
+/// Skipped entirely (no launch, no latency) when every region is empty.
+#[allow(clippy::too_many_arguments)]
+fn batched_launch(
+    patches: &mut [Patch],
+    stream: &Stream,
+    name: &'static str,
+    category: Category,
+    vars: &[VariableId],
+    arrays: u32,
+    flops: u32,
+    regions: &[Vec<GBox>],
+    body: impl Fn(&Kernel<'_>, usize, &mut [f64], GBox, &[k::View<'_>], GBox),
+) {
+    let total: i64 = regions.iter().flatten().map(|b| b.num_cells()).sum();
+    if total == 0 {
+        return;
+    }
+    let mut all: Vec<Vec<&mut dyn PatchData>> =
+        patches.iter_mut().map(|p| p.data_many_mut(vars)).collect();
+    let mut handles: Vec<SplitHandles<'_>> = all.iter_mut().map(|d| split_dev(d, 1)).collect();
+    let device = handles[0].0[0].device().clone();
+    stream.submit();
+    let shape = KernelShape::streaming(total, arrays, flops);
+    device.launch_named(stream, name, category, shape, |kk| {
+        for (i, (outs, ins)) in handles.iter_mut().enumerate() {
+            if regions[i].is_empty() {
+                continue;
+            }
+            let views: Vec<k::View> =
+                ins.iter().map(|d| k::View::new(d.buffer().as_slice(&kk), d.data_box())).collect();
+            let obox = outs[0].data_box();
+            let out = outs[0].buffer_mut();
+            for r in &regions[i] {
+                body(&kk, i, out.as_mut_slice(&kk), obox, &views, *r);
+            }
+        }
+    });
+}
+
+/// Per-phase full-array PCIe round trips for the copy-back placement:
+/// the same variable lists as [`crate::CopyBackPatchIntegrator`], one
+/// round trip per patch per phase, batched per level.
+fn roundtrip(patches: &mut [Patch], vars: &[VariableId]) {
+    for p in patches.iter_mut() {
+        for &var in vars {
+            let d = p
+                .data_mut(var)
+                .as_any_mut()
+                .downcast_mut::<DeviceData<f64>>()
+                .expect("batched executor on non-device data");
+            let host = d.download_all(Category::HydroKernel);
+            d.upload_all(&host, Category::HydroKernel);
+        }
+    }
+}
+
+/// EOS + viscosity — the compute half of the `fill-start` overlap
+/// window. Kernel ordinals 1–3.
+pub(crate) fn eos_viscosity(
+    patches: &mut [Patch],
+    f: &Fields,
+    stream: &Stream,
+    copy_back: bool,
+    pass: Pass,
+    gamma: f64,
+    dx: (f64, f64),
+) {
+    if copy_back && pass != Pass::Boundary {
+        roundtrip(patches, &[f.pressure, f.soundspeed, f.density0, f.energy0]);
+        roundtrip(patches, &[f.viscosity, f.density0, f.soundspeed, f.xvel0, f.yvel0]);
+    }
+    let ghost = |p: &Patch| ComputeRegion::GhostBox.cell_box(p.cell_box());
+    let regs = regions_for(patches, pass, 1, Centring::Cell, ghost);
+    batched_launch(
+        patches,
+        stream,
+        "ideal-gas-pressure",
+        Category::HydroKernel,
+        &[f.pressure, f.density0, f.energy0],
+        3,
+        3,
+        &regs,
+        |_kk, _i, p, pbox, v, r| k::ideal_gas_pressure(p, pbox, v[0], v[1], r, gamma),
+    );
+    let regs = regions_for(patches, pass, 2, Centring::Cell, ghost);
+    batched_launch(
+        patches,
+        stream,
+        "ideal-gas-soundspeed",
+        Category::HydroKernel,
+        &[f.soundspeed, f.pressure, f.density0],
+        3,
+        5,
+        &regs,
+        |_kk, _i, ss, ssbox, v, r| k::ideal_gas_soundspeed(ss, ssbox, v[0], v[1], r, gamma),
+    );
+    let regs = regions_for(patches, pass, 3, Centring::Cell, |p| {
+        ComputeRegion::Grown(1).cell_box(p.cell_box())
+    });
+    batched_launch(
+        patches,
+        stream,
+        "viscosity",
+        Category::HydroKernel,
+        &[f.viscosity, f.density0, f.soundspeed, f.xvel0, f.yvel0],
+        5,
+        15,
+        &regs,
+        |_kk, _i, q, qbox, v, r| k::viscosity(q, qbox, v[0], v[1], v[2], v[3], r, dx),
+    );
+}
+
+/// Batched CFL reduction: every patch's minimum lands in one `n`-patch
+/// device buffer from a single launch, and one `8n`-byte transfer
+/// crosses PCIe per level instead of 8 bytes per patch. Returns the
+/// per-patch minima in patch order so the caller folds them exactly as
+/// the oracle does.
+pub(crate) fn calc_dt(
+    patches: &mut [Patch],
+    f: &Fields,
+    copy_back: bool,
+    dx: (f64, f64),
+    cfl: f64,
+) -> Vec<f64> {
+    if copy_back {
+        roundtrip(patches, &[f.density0, f.pressure, f.viscosity, f.soundspeed, f.xvel0, f.yvel0]);
+    }
+    if patches.is_empty() {
+        return Vec::new();
+    }
+    let device = dev(patches[0].data(f.density0)).device().clone();
+    let stream = Stream::new(&device);
+    stream.submit();
+    let n = patches.len();
+    let mut result = device.alloc::<f64>(n);
+    let total: i64 = patches.iter().map(|p| p.cell_box().num_cells()).sum();
+    let shape = KernelShape::streaming(total, 6, 20);
+    device.launch_named(&stream, "calc-dt", Category::Timestep, shape, |kk| {
+        for (i, p) in patches.iter().enumerate() {
+            let view = |var: VariableId| {
+                let d = dev(p.data(var));
+                k::View::new(d.buffer().as_slice(&kk), d.data_box())
+            };
+            let dt = k::calc_dt(
+                view(f.density0),
+                view(f.pressure),
+                view(f.viscosity),
+                view(f.soundspeed),
+                view(f.xvel0),
+                view(f.yvel0),
+                p.cell_box(),
+                dx,
+                cfl,
+            );
+            result.as_mut_slice(&kk)[i] = dt;
+        }
+    });
+    let mut host = vec![0.0f64; n];
+    device.download(&result, 0, &mut host, Category::Timestep);
+    host
+}
+
+/// The Lagrangian pre-fill chain — predictor PdV, predictor EOS,
+/// revert, accelerate, corrector PdV. No fill runs concurrently with
+/// these, so they batch as full-region launches (10 per level).
+pub(crate) fn lagrangian_pre(
+    patches: &mut [Patch],
+    f: &Fields,
+    stream: &Stream,
+    copy_back: bool,
+    gamma: f64,
+    dx: (f64, f64),
+    dt: f64,
+) {
+    pdv(patches, f, stream, copy_back, dx, dt, true);
+    // Predictor EOS on the half-stepped density/energy.
+    if copy_back {
+        roundtrip(patches, &[f.pressure, f.soundspeed, f.density1, f.energy1]);
+    }
+    let grown = |p: &Patch| ComputeRegion::Grown(1).cell_box(p.cell_box());
+    let regs = regions_for(patches, Pass::Full, 1, Centring::Cell, grown);
+    batched_launch(
+        patches,
+        stream,
+        "ideal-gas-pressure",
+        Category::HydroKernel,
+        &[f.pressure, f.density1, f.energy1],
+        3,
+        3,
+        &regs,
+        |_kk, _i, p, pbox, v, r| k::ideal_gas_pressure(p, pbox, v[0], v[1], r, gamma),
+    );
+    batched_launch(
+        patches,
+        stream,
+        "ideal-gas-soundspeed",
+        Category::HydroKernel,
+        &[f.soundspeed, f.pressure, f.density1],
+        3,
+        5,
+        &regs,
+        |_kk, _i, ss, ssbox, v, r| k::ideal_gas_soundspeed(ss, ssbox, v[0], v[1], r, gamma),
+    );
+    // Revert.
+    if copy_back {
+        roundtrip(patches, &[f.density1, f.energy1, f.density0, f.energy0]);
+    }
+    for (dst, src) in [(f.density1, f.density0), (f.energy1, f.energy0)] {
+        batched_launch(
+            patches,
+            stream,
+            "copy-field",
+            Category::HydroKernel,
+            &[dst, src],
+            2,
+            0,
+            &regs,
+            |_kk, _i, d, dbox, v, r| k::copy_field(d, dbox, v[0], r),
+        );
+    }
+    // Accelerate.
+    if copy_back {
+        roundtrip(
+            patches,
+            &[f.xvel1, f.yvel1, f.xvel0, f.yvel0, f.density0, f.pressure, f.viscosity],
+        );
+    }
+    let node = |p: &Patch| Centring::Node.data_box(p.cell_box());
+    let regs = regions_for(patches, Pass::Full, 1, Centring::Node, node);
+    for (axis, (v1, v0)) in [(0usize, (f.xvel1, f.xvel0)), (1, (f.yvel1, f.yvel0))] {
+        batched_launch(
+            patches,
+            stream,
+            "accelerate",
+            Category::HydroKernel,
+            &[v1, v0, f.density0, f.pressure, f.viscosity],
+            5,
+            20,
+            &regs,
+            |_kk, _i, out, nbox, v, r| {
+                k::accelerate(out, nbox, v[0], v[1], v[2], v[3], r, dt, dx, axis);
+            },
+        );
+    }
+    pdv(patches, f, stream, copy_back, dx, dt, false);
+}
+
+fn pdv(
+    patches: &mut [Patch],
+    f: &Fields,
+    stream: &Stream,
+    copy_back: bool,
+    dx: (f64, f64),
+    dt: f64,
+    predict: bool,
+) {
+    if copy_back {
+        roundtrip(
+            patches,
+            &[
+                f.energy1,
+                f.density1,
+                f.energy0,
+                f.density0,
+                f.pressure,
+                f.viscosity,
+                f.xvel0,
+                f.xvel1,
+                f.yvel0,
+                f.yvel1,
+            ],
+        );
+    }
+    let dt_eff = if predict { 0.5 * dt } else { dt };
+    let grown = |p: &Patch| ComputeRegion::Grown(1).cell_box(p.cell_box());
+    let regs = regions_for(patches, Pass::Full, 1, Centring::Cell, grown);
+    batched_launch(
+        patches,
+        stream,
+        "pdv-energy",
+        Category::HydroKernel,
+        &[
+            f.energy1,
+            f.energy0,
+            f.density0,
+            f.pressure,
+            f.viscosity,
+            f.xvel0,
+            f.xvel1,
+            f.yvel0,
+            f.yvel1,
+        ],
+        9,
+        30,
+        &regs,
+        |_kk, _i, e1, ebox, v, r| {
+            let (u1, v1) = if predict { (v[4], v[6]) } else { (v[5], v[7]) };
+            k::pdv_energy(e1, ebox, v[0], v[1], v[2], v[3], v[4], u1, v[6], v1, r, dt_eff, dx);
+        },
+    );
+    batched_launch(
+        patches,
+        stream,
+        "pdv-density",
+        Category::HydroKernel,
+        &[f.density1, f.density0, f.xvel0, f.xvel1, f.yvel0, f.yvel1],
+        6,
+        25,
+        &regs,
+        |_kk, _i, r1, rbox, v, r| {
+            let (u1, v1) = if predict { (v[1], v[3]) } else { (v[2], v[4]) };
+            k::pdv_density(r1, rbox, v[0], v[1], u1, v[3], v1, r, dt_eff, dx);
+        },
+    );
+}
+
+/// Volume fluxes — the compute half of the `post-accel` overlap window.
+/// Kernel ordinals 1–2.
+pub(crate) fn flux_calc(
+    patches: &mut [Patch],
+    f: &Fields,
+    stream: &Stream,
+    copy_back: bool,
+    pass: Pass,
+    dx: (f64, f64),
+    dt: f64,
+) {
+    if copy_back && pass != Pass::Boundary {
+        roundtrip(patches, &[f.vol_flux_x, f.vol_flux_y, f.xvel0, f.xvel1, f.yvel0, f.yvel1]);
+    }
+    for (ordinal, (axis, (flux, v0, v1))) in
+        [(0usize, (f.vol_flux_x, f.xvel0, f.xvel1)), (1, (f.vol_flux_y, f.yvel0, f.yvel1))]
+            .into_iter()
+            .enumerate()
+    {
+        let regs = regions_for(patches, pass, ordinal as u32 + 1, Centring::Side(axis), |p| {
+            Centring::Side(axis).data_box(p.cell_box().grow(IntVector::uniform(GHOSTS)))
+        });
+        batched_launch(
+            patches,
+            stream,
+            "flux-calc",
+            Category::HydroKernel,
+            &[flux, v0, v1],
+            3,
+            6,
+            &regs,
+            |_kk, _i, out, sbox, v, r| k::flux_calc(out, sbox, v[0], v[1], r, dt, dx, axis),
+        );
+    }
+}
+
+/// Staged pre-advection copies of energy1/density1 — the batched
+/// revert-save. Captured in two pieces across the passes of the
+/// `mid-sweeps` window: the interior piece *before* the fill finishes
+/// (legal: the fill only writes ghost cells) and the frame piece after,
+/// so each captured cell holds exactly the value the oracle captures.
+pub(crate) struct CellStash {
+    old_e: DeviceBuffer<f64>,
+    old_r: DeviceBuffer<f64>,
+    ebox: GBox,
+}
+
+/// Staged pre-update velocities for the momentum sweep. Full capture at
+/// the interior pass: no in-window kernel before the capture writes the
+/// velocities, and the concurrent fills never fill them.
+pub(crate) struct MomStash {
+    old: Vec<DeviceBuffer<f64>>,
+    vbox: GBox,
+}
+
+/// Cell advection — standalone (first sweep, `Pass::Full`) or the
+/// compute half of the `mid-sweeps` window. Kernel ordinals 1–7.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn advec_cell(
+    patches: &mut [Patch],
+    f: &Fields,
+    stream: &Stream,
+    copy_back: bool,
+    pass: Pass,
+    dx: (f64, f64),
+    dir: usize,
+    sweep: usize,
+    stash: &mut Vec<CellStash>,
+) {
+    let mass_flux = if dir == 0 { f.mass_flux_x } else { f.mass_flux_y };
+    let vol_flux = if dir == 0 { f.vol_flux_x } else { f.vol_flux_y };
+    if copy_back && pass != Pass::Boundary {
+        roundtrip(
+            patches,
+            &[f.density1, f.energy1, mass_flux, vol_flux, f.pre_vol, f.post_vol, f.ener_flux],
+        );
+    }
+    let ghost = |p: &Patch| ComputeRegion::GhostBox.cell_box(p.cell_box());
+    let regs = regions_for(patches, pass, 1, Centring::Cell, ghost);
+    batched_launch(
+        patches,
+        stream,
+        "advec-pre-vol",
+        Category::HydroKernel,
+        &[f.pre_vol, f.vol_flux_x, f.vol_flux_y],
+        3,
+        6,
+        &regs,
+        |_kk, _i, pre, cbox, v, r| k::advec_pre_vol(pre, cbox, v[0], v[1], r, dir, sweep, dx),
+    );
+    let regs = regions_for(patches, pass, 2, Centring::Cell, ghost);
+    batched_launch(
+        patches,
+        stream,
+        "advec-post-vol",
+        Category::HydroKernel,
+        &[f.post_vol, f.vol_flux_x, f.vol_flux_y],
+        3,
+        6,
+        &regs,
+        |_kk, _i, post, cbox, v, r| k::advec_post_vol(post, cbox, v[0], v[1], r, dir, sweep, dx),
+    );
+    let regs = regions_for(patches, pass, 3, Centring::Side(dir), |p| {
+        let face = Centring::Side(dir).data_box(p.cell_box().grow(IntVector::uniform(GHOSTS)));
+        face.intersect(p.data(mass_flux).data_box())
+    });
+    batched_launch(
+        patches,
+        stream,
+        "advec-mass-flux",
+        Category::HydroKernel,
+        &[mass_flux, vol_flux, f.density1, f.pre_vol],
+        4,
+        20,
+        &regs,
+        |_kk, _i, mf, sbox, v, r| k::advec_mass_flux(mf, sbox, v[0], v[1], v[2], r, dir),
+    );
+    let regs = regions_for(patches, pass, 4, Centring::Cell, |p| p.cell_box().grow(IntVector::ONE));
+    batched_launch(
+        patches,
+        stream,
+        "advec-ener-flux",
+        Category::HydroKernel,
+        &[f.ener_flux, mass_flux, f.energy1, f.density1, f.pre_vol],
+        5,
+        20,
+        &regs,
+        |_kk, _i, ef, cbox, v, r| k::advec_ener_flux(ef, cbox, v[0], v[1], v[2], v[3], r, dir),
+    );
+    // Revert-save (ordinal 5): stage pre-advection energy1/density1.
+    revert_save(patches, f, stream, pass, stash);
+    let interior = |p: &Patch| p.cell_box();
+    let regs = regions_for(patches, pass, 6, Centring::Cell, interior);
+    batched_launch(
+        patches,
+        stream,
+        "advec-cell",
+        Category::HydroKernel,
+        &[f.energy1, f.pre_vol, mass_flux, f.ener_flux],
+        6,
+        20,
+        &regs,
+        |kk, i, e1, ebox, v, r| {
+            let st = &stash[i];
+            let e_old = k::View::new(st.old_e.as_slice(kk), st.ebox);
+            let r_old = k::View::new(st.old_r.as_slice(kk), st.ebox);
+            k::advec_cell_energy(e1, ebox, e_old, r_old, v[0], v[1], v[2], r, dir);
+        },
+    );
+    let regs = regions_for(patches, pass, 7, Centring::Cell, interior);
+    batched_launch(
+        patches,
+        stream,
+        "advec-ener-update",
+        Category::HydroKernel,
+        &[f.density1, f.pre_vol, mass_flux, vol_flux],
+        5,
+        15,
+        &regs,
+        |kk, i, r1, rbox, v, r| {
+            let st = &stash[i];
+            let r_old = k::View::new(st.old_r.as_slice(kk), st.ebox);
+            k::advec_cell_density(r1, rbox, r_old, v[0], v[1], v[2], r, dir);
+        },
+    );
+    if pass != Pass::Interior {
+        stash.clear();
+    }
+}
+
+fn revert_save(
+    patches: &[Patch],
+    f: &Fields,
+    stream: &Stream,
+    pass: Pass,
+    stash: &mut Vec<CellStash>,
+) {
+    if patches.is_empty() {
+        return;
+    }
+    let m = margin(5);
+    let caps: Vec<Vec<GBox>> = patches
+        .iter()
+        .map(|p| {
+            let ebox = dev(p.data(f.energy1)).data_box();
+            match pass {
+                Pass::Full => vec![ebox],
+                Pass::Interior | Pass::Boundary => {
+                    let core = interior_core(p.cell_box(), m);
+                    if core.is_empty() {
+                        return if pass == Pass::Boundary { vec![ebox] } else { Vec::new() };
+                    }
+                    let (inner, frames) = split_region(ebox, Centring::Cell.data_box(core));
+                    if pass == Pass::Interior {
+                        if inner.is_empty() {
+                            Vec::new()
+                        } else {
+                            vec![inner]
+                        }
+                    } else {
+                        frames.into_iter().filter(|b| !b.is_empty()).collect()
+                    }
+                }
+            }
+        })
+        .collect();
+    let device = dev(patches[0].data(f.energy1)).device().clone();
+    if pass != Pass::Boundary {
+        stash.clear();
+        for p in patches.iter() {
+            let e1 = dev(p.data(f.energy1));
+            let r1 = dev(p.data(f.density1));
+            stash.push(CellStash {
+                old_e: device.alloc::<f64>(e1.buffer().len()),
+                old_r: device.alloc::<f64>(r1.buffer().len()),
+                ebox: e1.data_box(),
+            });
+        }
+    }
+    let total: i64 = caps.iter().flatten().map(|b| b.num_cells()).sum();
+    if total == 0 {
+        return;
+    }
+    stream.submit();
+    let shape = KernelShape::streaming(total * 2, 4, 0);
+    device.launch_named(stream, "revert-save", Category::HydroKernel, shape, |kk| {
+        for (i, p) in patches.iter().enumerate() {
+            if caps[i].is_empty() {
+                continue;
+            }
+            let e1 = dev(p.data(f.energy1));
+            let r1 = dev(p.data(f.density1));
+            let st = &mut stash[i];
+            for r in &caps[i] {
+                k::copy_field(
+                    st.old_e.as_mut_slice(&kk),
+                    st.ebox,
+                    k::View::new(e1.buffer().as_slice(&kk), e1.data_box()),
+                    *r,
+                );
+                k::copy_field(
+                    st.old_r.as_mut_slice(&kk),
+                    st.ebox,
+                    k::View::new(r1.buffer().as_slice(&kk), r1.data_box()),
+                    *r,
+                );
+            }
+        }
+    });
+}
+
+/// Momentum advection — the compute half of the `post-sweep` overlap
+/// windows. Kernel ordinals 1–9 (the two save-vel slots keep their
+/// ordinal so later margins stay monotone).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn advec_mom(
+    patches: &mut [Patch],
+    f: &Fields,
+    stream: &Stream,
+    copy_back: bool,
+    pass: Pass,
+    dir: usize,
+    stash: &mut Vec<MomStash>,
+) {
+    let mass_flux = if dir == 0 { f.mass_flux_x } else { f.mass_flux_y };
+    if copy_back && pass != Pass::Boundary {
+        roundtrip(
+            patches,
+            &[
+                f.xvel1,
+                f.yvel1,
+                f.density1,
+                mass_flux,
+                f.node_flux,
+                f.node_mass_post,
+                f.node_mass_pre,
+                f.mom_flux,
+                f.post_vol,
+                f.pre_vol,
+            ],
+        );
+    }
+    let node_region = |p: &Patch| Centring::Node.data_box(p.cell_box().grow(IntVector::ONE));
+    let regs = regions_for(patches, pass, 1, Centring::Node, node_region);
+    batched_launch(
+        patches,
+        stream,
+        "mom-node-flux",
+        Category::HydroKernel,
+        &[f.node_flux, mass_flux],
+        2,
+        4,
+        &regs,
+        |_kk, _i, nf, nbox, v, r| k::mom_node_flux(nf, nbox, v[0], r, dir),
+    );
+    let regs = regions_for(patches, pass, 2, Centring::Node, node_region);
+    batched_launch(
+        patches,
+        stream,
+        "mom-node-mass-post",
+        Category::HydroKernel,
+        &[f.node_mass_post, f.density1, f.post_vol],
+        3,
+        8,
+        &regs,
+        |_kk, _i, nm, nbox, v, r| k::mom_node_mass_post(nm, nbox, v[0], v[1], r),
+    );
+    let regs = regions_for(patches, pass, 3, Centring::Node, node_region);
+    batched_launch(
+        patches,
+        stream,
+        "mom-node-mass-pre",
+        Category::HydroKernel,
+        &[f.node_mass_pre, f.node_mass_post, f.node_flux],
+        3,
+        2,
+        &regs,
+        |_kk, _i, nm, nbox, v, r| k::mom_node_mass_pre(nm, nbox, v[0], v[1], r, dir),
+    );
+    if pass != Pass::Boundary {
+        stash.clear();
+        for p in patches.iter() {
+            let vbox = dev(p.data(f.xvel1)).data_box();
+            stash.push(MomStash { old: Vec::new(), vbox });
+        }
+    }
+    for (vi, vel) in [f.xvel1, f.yvel1].into_iter().enumerate() {
+        let base = 4 + 3 * vi as u32;
+        let regs = regions_for(patches, pass, base, Centring::Node, node_region);
+        batched_launch(
+            patches,
+            stream,
+            "mom-flux",
+            Category::HydroKernel,
+            &[f.mom_flux, vel, f.node_flux, f.node_mass_pre],
+            4,
+            25,
+            &regs,
+            |_kk, _i, mf, nbox, v, r| k::mom_flux(mf, nbox, v[0], v[1], v[2], r, dir),
+        );
+        // Save-vel (ordinal base+1): full capture of the untouched
+        // velocity at the interior (or full) pass.
+        if pass != Pass::Boundary && !patches.is_empty() {
+            let device = dev(patches[0].data(vel)).device().clone();
+            let total: i64 = stash.iter().map(|s| s.vbox.num_cells()).sum();
+            for (i, p) in patches.iter().enumerate() {
+                let v1 = dev(p.data(vel));
+                stash[i].old.push(device.alloc::<f64>(v1.buffer().len()));
+            }
+            stream.submit();
+            let shape = KernelShape::streaming(total, 2, 0);
+            device.launch_named(stream, "mom-save-vel", Category::HydroKernel, shape, |kk| {
+                for (i, p) in patches.iter().enumerate() {
+                    let v1 = dev(p.data(vel));
+                    stash[i].old[vi].as_mut_slice(&kk).copy_from_slice(v1.buffer().as_slice(&kk));
+                }
+            });
+        }
+        let regs = regions_for(patches, pass, base + 2, Centring::Node, |p| {
+            Centring::Node.data_box(p.cell_box())
+        });
+        batched_launch(
+            patches,
+            stream,
+            "mom-vel-update",
+            Category::HydroKernel,
+            &[vel, f.mom_flux, f.node_mass_pre, f.node_mass_post],
+            5,
+            10,
+            &regs,
+            |kk, i, out, obox, v, r| {
+                let st = &stash[i];
+                let v_old = k::View::new(st.old[vi].as_slice(kk), st.vbox);
+                k::mom_vel_update(out, obox, v_old, v[0], v[1], v[2], r, dir);
+            },
+        );
+    }
+    if pass != Pass::Interior {
+        stash.clear();
+    }
+}
+
+/// End-of-step field reset: four full-region batched copies.
+pub(crate) fn reset(patches: &mut [Patch], f: &Fields, stream: &Stream, copy_back: bool) {
+    if copy_back {
+        roundtrip(
+            patches,
+            &[f.density0, f.energy0, f.xvel0, f.yvel0, f.density1, f.energy1, f.xvel1, f.yvel1],
+        );
+    }
+    for (dst, src, node) in [
+        (f.density0, f.density1, false),
+        (f.energy0, f.energy1, false),
+        (f.xvel0, f.xvel1, true),
+        (f.yvel0, f.yvel1, true),
+    ] {
+        let regs = regions_for(patches, Pass::Full, 1, Centring::Cell, |p| {
+            if node {
+                Centring::Node.data_box(p.cell_box())
+            } else {
+                p.cell_box()
+            }
+        });
+        batched_launch(
+            patches,
+            stream,
+            "copy-field",
+            Category::HydroKernel,
+            &[dst, src],
+            2,
+            0,
+            &regs,
+            |_kk, _i, d, dbox, v, r| k::copy_field(d, dbox, v[0], r),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margins_are_monotone_with_stencil_gap() {
+        for ord in 1..12u32 {
+            assert_eq!(margin(ord + 1) - margin(ord), MARGIN_STEP);
+        }
+        assert!(margin(1) >= MARGIN_STEP + 2);
+    }
+
+    #[test]
+    fn passes_partition_the_nominal_region() {
+        let cell_box = GBox::from_coords(0, 0, 40, 40);
+        for centring in [Centring::Cell, Centring::Node, Centring::Side(0), Centring::Side(1)] {
+            let nominal = centring.data_box(cell_box.grow(IntVector::uniform(GHOSTS)));
+            for ordinal in [1u32, 3, 7, 9] {
+                let inner = pass_regions(Pass::Interior, ordinal, cell_box, centring, nominal);
+                let frames = pass_regions(Pass::Boundary, ordinal, cell_box, centring, nominal);
+                let full = pass_regions(Pass::Full, ordinal, cell_box, centring, nominal);
+                let cells = |v: &[GBox]| v.iter().map(|b| b.num_cells()).sum::<i64>();
+                assert_eq!(cells(&inner) + cells(&frames), cells(&full));
+                assert_eq!(cells(&full), nominal.num_cells());
+                for a in &inner {
+                    for b in &frames {
+                        assert!(a.intersect(*b).is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_patches_degrade_to_boundary_only() {
+        let cell_box = GBox::from_coords(0, 0, 8, 8);
+        let nominal = cell_box.grow(IntVector::uniform(GHOSTS));
+        let ord = 9; // deepest margin of the momentum chain
+        assert!(pass_regions(Pass::Interior, ord, cell_box, Centring::Cell, nominal).is_empty());
+        assert_eq!(
+            pass_regions(Pass::Boundary, ord, cell_box, Centring::Cell, nominal),
+            vec![nominal]
+        );
+    }
+}

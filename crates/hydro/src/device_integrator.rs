@@ -36,7 +36,7 @@ impl Default for DevicePatchIntegrator {
     }
 }
 
-fn split_dev<'a>(
+pub(crate) fn split_dev<'a>(
     datas: &'a mut [&mut dyn PatchData],
     n_out: usize,
 ) -> (Vec<&'a mut DeviceData<f64>>, Vec<&'a DeviceData<f64>>) {

@@ -10,6 +10,7 @@
 //! behind [`PatchIntegrator`], so the same driver runs the CPU baseline
 //! and the GPU-resident build — the paper's central design point.
 
+use crate::batched::{self, Pass};
 use crate::boundary::ReflectiveBoundary;
 use crate::device_integrator::DevicePatchIntegrator;
 use crate::host_integrator::HostPatchIntegrator;
@@ -27,9 +28,9 @@ use rbamr_amr::{
     RegridOutcome, RegridParams, Regridder, ScheduleBuild, ScheduleCache, ScheduleError,
     VariableId, VariableRegistry,
 };
-use rbamr_device::Device;
+use rbamr_device::{Device, Stream};
 use rbamr_geometry::{BoxList, Centring, GBox, IntVector};
-use rbamr_gpu_amr::{ops as dev_ops, DeviceDataFactory};
+use rbamr_gpu_amr::{ops as dev_ops, BatchPlanCache, DeviceDataFactory};
 use rbamr_netsim::{Comm, CommError};
 use rbamr_perfmodel::{Category, Clock, CostModel, Machine};
 use std::sync::Arc;
@@ -78,6 +79,14 @@ pub struct HydroConfig {
     /// [`HydroSim::initialize`] and maintained (digest-verified) across
     /// regrids. Field output is bitwise identical between the modes.
     pub metadata_mode: MetadataMode,
+    /// Batched per-level kernel launches with comm/compute overlap: one
+    /// launch per kernel per level (indexed through the level's cached
+    /// [`rbamr_gpu_amr::BatchPlan`] descriptor table) instead of one
+    /// per patch, and each halo-fill window split so interior-region
+    /// batches run while the exchange is in flight. Device placements
+    /// only (ignored on [`Placement::Host`]); field output is bitwise
+    /// identical to the per-patch path.
+    pub batched: bool,
 }
 
 impl Default for HydroConfig {
@@ -93,6 +102,7 @@ impl Default for HydroConfig {
             max_patch_size: 1 << 30,
             schedule_caching: true,
             metadata_mode: MetadataMode::default(),
+            batched: false,
         }
     }
 }
@@ -218,6 +228,11 @@ pub struct HydroSim {
     /// level's structure resolves its schedules as `Arc` clones instead
     /// of rebuilding the plans.
     schedule_cache: ScheduleCache,
+    /// Per-level batched-launch descriptor plans, keyed by the same
+    /// structure digest discipline as the schedule cache: a regrid that
+    /// preserves a level's boxes reuses the plan (and its one-time
+    /// device descriptor upload). Only consulted when `config.batched`.
+    batch_plans: BatchPlanCache,
     /// Telemetry handle; disabled unless wired via
     /// [`HydroSim::set_recorder`].
     recorder: rbamr_telemetry::Recorder,
@@ -318,6 +333,7 @@ impl HydroSim {
             fill_schedules: Vec::new(),
             sync_schedules: Vec::new(),
             schedule_cache: ScheduleCache::new(),
+            batch_plans: BatchPlanCache::new(),
             recorder: rbamr_telemetry::Recorder::disabled(),
         };
         sim.rebuild_schedules();
@@ -549,6 +565,116 @@ impl HydroSim {
         &self.schedule_cache
     }
 
+    /// The per-level batched-launch plan cache (hit/build diagnostics).
+    /// Empty unless the simulation runs with `config.batched`.
+    pub fn batch_plans(&self) -> &BatchPlanCache {
+        &self.batch_plans
+    }
+
+    /// Whether this step executes through the batched per-level path.
+    fn is_batched(&self) -> bool {
+        self.config.batched && self.device.is_some()
+    }
+
+    /// Refresh every level's [`rbamr_gpu_amr::BatchPlan`]: a cache hit
+    /// is a structure-key comparison; a miss rebuilds the descriptor
+    /// table and uploads it to the device (the only extra PCIe traffic
+    /// batching introduces).
+    fn refresh_batch_plans(&mut self) {
+        let device = self.device.clone().expect("batch plans need a device");
+        for l in 0..self.hierarchy.num_levels() {
+            let boxes: Vec<GBox> =
+                self.hierarchy.level(l).local().iter().map(|p| p.cell_box()).collect();
+            let plan = self.batch_plans.get_or_build(&device, l, &boxes);
+            debug_assert_eq!(plan.slots().len(), boxes.len());
+        }
+    }
+
+    /// Run one comm/compute-overlapped fill window over every level:
+    ///
+    /// 1. `begin_fill` on every level — interior copies, message
+    ///    packing/sends and local coarse-source capture all read their
+    ///    inputs *now*, so the exchanged bytes equal the oracle's.
+    /// 2. The interior batches (`Pass::Interior`) run on per-level
+    ///    streams while the messages are in flight; each stream records
+    ///    an event at the end of its batch, and the elapsed kernel time
+    ///    is banked as comm overlap credit (the receives in step 3
+    ///    charge only the exposed remainder).
+    /// 3. Per level, in order: `finish` consumes the level's messages,
+    ///    then the boundary batch (`Pass::Boundary`) is gated behind
+    ///    two explicit ordering edges — the exchange completion and the
+    ///    level's own interior batch — surfaced as `stream-wait`
+    ///    telemetry (`halo-exchange` / `interior-batch`).
+    ///
+    /// Interior regions are margin-proven not to observe any cell the
+    /// fill writes, so the window is bitwise-identical to fill-then-
+    /// compute (see [`crate::batched`] for the margin calculus).
+    fn batched_window(
+        &mut self,
+        comm: Option<&Comm>,
+        first: &mut Option<SimError>,
+        which: impl Fn(&LevelSchedules) -> &Arc<RefineSchedule>,
+        mut compute: impl FnMut(&mut Self, usize, Pass, &Stream),
+    ) {
+        let device = self.device.clone().expect("batched window needs a device");
+        let nlevels = self.hierarchy.num_levels();
+        let scheds: Vec<Arc<RefineSchedule>> =
+            self.fill_schedules.iter().map(|s| Arc::clone(which(s))).collect();
+        let mut pendings = Vec::with_capacity(nlevels);
+        for sched in &scheds {
+            pendings.push(sched.begin_fill(
+                &mut self.hierarchy,
+                &self.registry,
+                comm,
+                Category::HaloExchange,
+            ));
+        }
+        let t0 = self.clock.total();
+        let streams: Vec<Stream> = (0..nlevels).map(|_| Stream::new(&device)).collect();
+        let mut interior_done = Vec::with_capacity(nlevels);
+        for (l, stream) in streams.iter().enumerate() {
+            compute(self, l, Pass::Interior, stream);
+            interior_done.push(device.record_event(stream));
+        }
+        if let Some(comm) = comm {
+            comm.bank_overlap_credit(self.clock.total() - t0);
+        }
+        let exchange_stream = Stream::new(&device);
+        for (l, pending) in pendings.into_iter().enumerate() {
+            if let Err(e) = pending.finish(
+                &mut self.hierarchy,
+                &self.boundary,
+                comm,
+                self.time,
+                Category::HaloExchange,
+            ) {
+                first.get_or_insert(e.into());
+            }
+            exchange_stream.submit();
+            let exchanged = device.record_event(&exchange_stream);
+            device.stream_wait(&streams[l], &exchanged, "halo-exchange", Category::HaloExchange);
+            device.stream_wait(
+                &streams[l],
+                &interior_done[l],
+                "interior-batch",
+                Category::HydroKernel,
+            );
+            let boundary_start = self.clock.total();
+            compute(self, l, Pass::Boundary, &streams[l]);
+            // Level l's boundary compute runs while the exchanges of
+            // levels > l are still in flight: bank it as overlap
+            // credit for their receives.
+            if let Some(comm) = comm {
+                if l + 1 < nlevels {
+                    comm.bank_overlap_credit(self.clock.total() - boundary_start);
+                }
+            }
+        }
+        if let Some(comm) = comm {
+            comm.clear_overlap_credit();
+        }
+    }
+
     /// Plan digests of every level's start-of-step fill schedule, in
     /// level order. Used by tests to check that cached schedules are
     /// plan-identical to fresh builds (e.g. across a restart).
@@ -753,11 +879,25 @@ impl HydroSim {
     fn try_compute_dt(&mut self, comm: Option<&Comm>, first: &mut Option<SimError>) -> f64 {
         let cfl = self.config.cfl;
         let mut dt_local = f64::INFINITY;
-        for l in 0..self.hierarchy.num_levels() {
-            let dx = self.hierarchy.dx(l);
-            let level = self.hierarchy.level_mut(l);
-            for patch in level.local_mut() {
-                dt_local = dt_local.min(self.integrator.calc_dt(patch, &self.fields, dx, cfl));
+        if self.is_batched() {
+            // One launch and one 8n-byte download per level; the
+            // returned per-patch minima fold in the oracle's order.
+            let f = self.fields;
+            let copy_back = self.placement == Placement::DeviceCopyBack;
+            for l in 0..self.hierarchy.num_levels() {
+                let dx = self.hierarchy.dx(l);
+                let level = self.hierarchy.level_mut(l);
+                for dt in batched::calc_dt(level.local_mut(), &f, copy_back, dx, cfl) {
+                    dt_local = dt_local.min(dt);
+                }
+            }
+        } else {
+            for l in 0..self.hierarchy.num_levels() {
+                let dx = self.hierarchy.dx(l);
+                let level = self.hierarchy.level_mut(l);
+                for patch in level.local_mut() {
+                    dt_local = dt_local.min(self.integrator.calc_dt(patch, &self.fields, dx, cfl));
+                }
             }
         }
         let mut dt = dt_local.min(self.config.dt_max).min(self.prev_dt * self.config.max_dt_growth);
@@ -821,15 +961,30 @@ impl HydroSim {
         let _step_span =
             rec.is_enabled().then(|| rec.span_arg("step", Category::Other, self.step as i64));
         let mut first: Option<SimError> = None;
+        let batched = self.is_batched();
+        let f = self.fields;
+        let copy_back = self.placement == Placement::DeviceCopyBack;
 
         // --- Timestep phase ------------------------------------------
         {
             let _s = rec.is_enabled().then(|| rec.span("fill-start", Category::HaloExchange));
-            if let Err(e) = self.try_fill_start(comm) {
+            if batched {
+                self.refresh_batch_plans();
+                self.batched_window(
+                    comm,
+                    &mut first,
+                    |s| &s.start,
+                    |sim, l, pass, stream| {
+                        let dx = sim.hierarchy.dx(l);
+                        let patches = sim.hierarchy.level_mut(l).local_mut();
+                        batched::eos_viscosity(patches, &f, stream, copy_back, pass, gamma, dx);
+                    },
+                );
+            } else if let Err(e) = self.try_fill_start(comm) {
                 first.get_or_insert(e);
             }
         }
-        {
+        if !batched {
             let _s = rec.is_enabled().then(|| rec.span("eos-viscosity", Category::HydroKernel));
             self.eos_and_viscosity();
         }
@@ -845,15 +1000,35 @@ impl HydroSim {
         // --- Lagrangian phase ----------------------------------------
         {
             let _s = rec.is_enabled().then(|| rec.span("lagrangian", Category::HydroKernel));
-            self.each_patch(|ig, p, f, dx| ig.pdv(p, f, dx, dt, true));
-            self.each_patch(|ig, p, f, _dx| ig.ideal_gas(p, f, gamma, true));
-            self.each_patch(|ig, p, f, _dx| ig.revert(p, f));
-            self.each_patch(|ig, p, f, dx| ig.accelerate(p, f, dx, dt));
-            self.each_patch(|ig, p, f, dx| ig.pdv(p, f, dx, dt, false));
-            if let Err(e) = self.try_fill(|s| &s.post_accel, comm) {
-                first.get_or_insert(e);
+            if batched {
+                let device = self.device.clone().expect("batched path has a device");
+                let stream = Stream::new(&device);
+                for l in 0..self.hierarchy.num_levels() {
+                    let dx = self.hierarchy.dx(l);
+                    let patches = self.hierarchy.level_mut(l).local_mut();
+                    batched::lagrangian_pre(patches, &f, &stream, copy_back, gamma, dx, dt);
+                }
+                self.batched_window(
+                    comm,
+                    &mut first,
+                    |s| &s.post_accel,
+                    |sim, l, pass, stream| {
+                        let dx = sim.hierarchy.dx(l);
+                        let patches = sim.hierarchy.level_mut(l).local_mut();
+                        batched::flux_calc(patches, &f, stream, copy_back, pass, dx, dt);
+                    },
+                );
+            } else {
+                self.each_patch(|ig, p, f, dx| ig.pdv(p, f, dx, dt, true));
+                self.each_patch(|ig, p, f, _dx| ig.ideal_gas(p, f, gamma, true));
+                self.each_patch(|ig, p, f, _dx| ig.revert(p, f));
+                self.each_patch(|ig, p, f, dx| ig.accelerate(p, f, dx, dt));
+                self.each_patch(|ig, p, f, dx| ig.pdv(p, f, dx, dt, false));
+                if let Err(e) = self.try_fill(|s| &s.post_accel, comm) {
+                    first.get_or_insert(e);
+                }
+                self.each_patch(|ig, p, f, dx| ig.flux_calc(p, f, dx, dt));
             }
-            self.each_patch(|ig, p, f, dx| ig.flux_calc(p, f, dx, dt));
         }
         self.poll_device(&mut first);
 
@@ -861,20 +1036,106 @@ impl HydroSim {
         {
             let _s = rec.is_enabled().then(|| rec.span("advection", Category::HydroKernel));
             let dirs = if self.step.is_multiple_of(2) { [0usize, 1] } else { [1, 0] };
-            self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[0], 1));
-            if let Err(e) = self.try_fill(|s| &s.post_sweep1[dirs[0]], comm) {
-                first.get_or_insert(e);
+            if batched {
+                let device = self.device.clone().expect("batched path has a device");
+                let nlevels = self.hierarchy.num_levels();
+                let stream = Stream::new(&device);
+                let mut cell_stash: Vec<batched::CellStash> = Vec::new();
+                for l in 0..nlevels {
+                    let dx = self.hierarchy.dx(l);
+                    let patches = self.hierarchy.level_mut(l).local_mut();
+                    batched::advec_cell(
+                        patches,
+                        &f,
+                        &stream,
+                        copy_back,
+                        Pass::Full,
+                        dx,
+                        dirs[0],
+                        1,
+                        &mut cell_stash,
+                    );
+                }
+                let mut mom_stashes: Vec<Vec<batched::MomStash>> =
+                    (0..nlevels).map(|_| Vec::new()).collect();
+                self.batched_window(
+                    comm,
+                    &mut first,
+                    |s| &s.post_sweep1[dirs[0]],
+                    |sim, l, pass, stream| {
+                        let patches = sim.hierarchy.level_mut(l).local_mut();
+                        batched::advec_mom(
+                            patches,
+                            &f,
+                            stream,
+                            copy_back,
+                            pass,
+                            dirs[0],
+                            &mut mom_stashes[l],
+                        );
+                    },
+                );
+                let mut cell_stashes: Vec<Vec<batched::CellStash>> =
+                    (0..nlevels).map(|_| Vec::new()).collect();
+                self.batched_window(
+                    comm,
+                    &mut first,
+                    |s| &s.mid_sweeps,
+                    |sim, l, pass, stream| {
+                        let dx = sim.hierarchy.dx(l);
+                        let patches = sim.hierarchy.level_mut(l).local_mut();
+                        batched::advec_cell(
+                            patches,
+                            &f,
+                            stream,
+                            copy_back,
+                            pass,
+                            dx,
+                            dirs[1],
+                            2,
+                            &mut cell_stashes[l],
+                        );
+                    },
+                );
+                let mut mom_stashes: Vec<Vec<batched::MomStash>> =
+                    (0..nlevels).map(|_| Vec::new()).collect();
+                self.batched_window(
+                    comm,
+                    &mut first,
+                    |s| &s.post_sweep2[dirs[1]],
+                    |sim, l, pass, stream| {
+                        let patches = sim.hierarchy.level_mut(l).local_mut();
+                        batched::advec_mom(
+                            patches,
+                            &f,
+                            stream,
+                            copy_back,
+                            pass,
+                            dirs[1],
+                            &mut mom_stashes[l],
+                        );
+                    },
+                );
+                for l in 0..nlevels {
+                    let patches = self.hierarchy.level_mut(l).local_mut();
+                    batched::reset(patches, &f, &stream, copy_back);
+                }
+            } else {
+                self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[0], 1));
+                if let Err(e) = self.try_fill(|s| &s.post_sweep1[dirs[0]], comm) {
+                    first.get_or_insert(e);
+                }
+                self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[0], 1));
+                if let Err(e) = self.try_fill(|s| &s.mid_sweeps, comm) {
+                    first.get_or_insert(e);
+                }
+                self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[1], 2));
+                if let Err(e) = self.try_fill(|s| &s.post_sweep2[dirs[1]], comm) {
+                    first.get_or_insert(e);
+                }
+                self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[1], 2));
+                self.each_patch(|ig, p, f, _dx| ig.reset(p, f));
             }
-            self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[0], 1));
-            if let Err(e) = self.try_fill(|s| &s.mid_sweeps, comm) {
-                first.get_or_insert(e);
-            }
-            self.each_patch(|ig, p, f, dx| ig.advec_cell(p, f, dx, dirs[1], 2));
-            if let Err(e) = self.try_fill(|s| &s.post_sweep2[dirs[1]], comm) {
-                first.get_or_insert(e);
-            }
-            self.each_patch(|ig, p, f, dx| ig.advec_mom(p, f, dx, dirs[1], 2));
-            self.each_patch(|ig, p, f, _dx| ig.reset(p, f));
         }
         self.poll_device(&mut first);
 
@@ -1323,6 +1584,102 @@ mod tests {
         for (_, d) in &profile {
             assert!(d.is_finite() && *d > 0.0 && *d < 2.0, "unphysical density {d}");
         }
+    }
+
+    /// As [`sim`], with the batched executor toggled and the patch
+    /// size capped so levels hold many patches (the regime batching
+    /// exists for: launches scale with levels, not patches).
+    fn sim_batched(placement: Placement, cells: i64, levels: usize, batched: bool) -> HydroSim {
+        let machine = match placement {
+            Placement::Host => Machine::ipa_cpu_node(),
+            _ => Machine::ipa_gpu(),
+        };
+        let mut config = HydroConfig {
+            regrid_interval: 5,
+            batched,
+            max_patch_size: 8,
+            ..HydroConfig::default()
+        };
+        config.regrid.cluster.min_size = 4;
+        config.regrid.max_patch_size = 8;
+        let mut s = HydroSim::new(
+            machine,
+            placement,
+            Clock::new(),
+            (1.0, 1.0),
+            (cells, cells),
+            levels,
+            2,
+            config,
+            sod_regions(),
+            0,
+            1,
+        );
+        s.initialize(None);
+        s
+    }
+
+    /// The tentpole equivalence property, single-rank edition: the
+    /// batched + overlapped executor is bitwise identical to the
+    /// per-patch oracle — all fields, every step, through regrids —
+    /// while issuing strictly fewer kernel launches.
+    #[test]
+    fn batched_build_is_bitwise_identical_to_per_patch_oracle() {
+        let mut oracle = sim_batched(Placement::Device, 32, 2, false);
+        let mut batched = sim_batched(Placement::Device, 32, 2, true);
+        assert_eq!(oracle.local_state_digest(), batched.local_state_digest(), "after init");
+        let dev_o = oracle.device().unwrap().clone();
+        let dev_b = batched.device().unwrap().clone();
+        for step in 0..8 {
+            dev_o.reset_transfer_stats();
+            dev_b.reset_transfer_stats();
+            let so = oracle.step(None);
+            let sb = batched.step(None);
+            assert_eq!(so.dt.to_bits(), sb.dt.to_bits(), "dt diverged at step {step}");
+            assert_eq!(
+                oracle.local_state_digest(),
+                batched.local_state_digest(),
+                "state diverged at step {step}"
+            );
+            let (o, b) = (dev_o.stats(), dev_b.stats());
+            assert!(
+                b.kernel_launches < o.kernel_launches,
+                "step {step}: batched issued {} launches, oracle {}",
+                b.kernel_launches,
+                o.kernel_launches
+            );
+        }
+        assert!(batched.batch_plans().builds() > 0);
+        assert!(batched.batch_plans().hits() > 0, "steady structure must hit the plan cache");
+    }
+
+    /// Copy-back placement under batching: same physics, same per-step
+    /// PCIe byte totals as the per-patch copy-back oracle (round trips
+    /// are batched per level but move identical bytes).
+    #[test]
+    fn batched_copy_back_matches_oracle_bytes_and_physics() {
+        let mut oracle = sim_batched(Placement::DeviceCopyBack, 16, 1, false);
+        let mut batched = sim_batched(Placement::DeviceCopyBack, 16, 1, true);
+        let dev_o = oracle.device().unwrap().clone();
+        let dev_b = batched.device().unwrap().clone();
+        dev_o.reset_transfer_stats();
+        dev_b.reset_transfer_stats();
+        for _ in 0..3 {
+            oracle.step(None);
+            batched.step(None);
+        }
+        assert_eq!(oracle.local_state_digest(), batched.local_state_digest());
+        let (o, b) = (dev_o.stats(), dev_b.stats());
+        assert_eq!(o.d2h_bytes, b.d2h_bytes, "copy-back D2H bytes must match the oracle");
+        // H2D matches the oracle exactly except for the one-time batch
+        // descriptor uploads (the cost of batching itself).
+        let descriptors = batched.batch_plans().uploaded_bytes();
+        assert!(descriptors > 0);
+        assert_eq!(
+            o.h2d_bytes + descriptors,
+            b.h2d_bytes,
+            "copy-back H2D bytes must match the oracle modulo descriptor uploads"
+        );
     }
 
     #[test]

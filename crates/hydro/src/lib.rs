@@ -32,6 +32,7 @@
 //! variant — same role (shock spreading over ~2 cells), same memory
 //! traffic, simpler coefficients.
 
+pub mod batched;
 pub mod boundary;
 pub mod checkpoint;
 pub mod copyback_integrator;

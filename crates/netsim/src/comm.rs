@@ -277,6 +277,13 @@ pub struct Comm {
     recv_seq: Mutex<HashMap<(usize, u64), u64>>,
     recorder: Recorder,
     injector: Option<Arc<FaultInjector>>,
+    /// Communication/computation overlap credit (virtual seconds):
+    /// compute that provably ran while messages were in flight (e.g. an
+    /// interior-region batch between `begin_fill` and `finish`) is
+    /// banked here, and subsequent point-to-point receives charge only
+    /// the *exposed* remainder of their transfer cost. Zero unless a
+    /// caller banks — the unoverlapped paths are unaffected.
+    overlap_credit: Mutex<f64>,
 }
 
 /// Escalate a typed comm error on an infallible-path wrapper: a
@@ -320,7 +327,32 @@ impl Comm {
             recv_seq: Mutex::new(HashMap::new()),
             recorder: Recorder::disabled(),
             injector: None,
+            overlap_credit: Mutex::new(0.0),
         }
+    }
+
+    /// Bank `seconds` of compute that ran while messages were in flight
+    /// as overlap credit: subsequent point-to-point receives charge
+    /// only the exposed remainder of their transfer cost (the netsim
+    /// analogue of [`rbamr_device::Device`]'s transfer/compute overlap
+    /// credit). Callers bound the window with
+    /// [`Comm::clear_overlap_credit`].
+    pub fn bank_overlap_credit(&self, seconds: f64) {
+        if seconds > 0.0 {
+            *self.overlap_credit.lock() += seconds;
+        }
+    }
+
+    /// Drop any unconsumed overlap credit — called at the end of an
+    /// overlap window so leftover credit cannot hide unrelated,
+    /// genuinely serial communication.
+    pub fn clear_overlap_credit(&self) {
+        *self.overlap_credit.lock() = 0.0;
+    }
+
+    /// Unconsumed overlap credit (diagnostics).
+    pub fn overlap_credit(&self) -> f64 {
+        *self.overlap_credit.lock()
     }
 
     /// Attach a telemetry recorder: sends/receives/collectives report
@@ -528,6 +560,15 @@ impl Comm {
                     transfer += self.cost.message(bytes) * factor as f64;
                 }
             }
+        }
+        if !exempt {
+            // Consume banked comm/compute overlap credit: the part of
+            // the transfer that demonstrably overlapped compute is not
+            // charged (and not recorded as an exposed edge cost).
+            let mut credit = self.overlap_credit.lock();
+            let hidden = transfer.min(*credit);
+            *credit -= hidden;
+            transfer -= hidden;
         }
         self.clock.advance(category, transfer);
         self.count_message(false, tag, bytes);
