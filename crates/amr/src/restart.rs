@@ -64,6 +64,13 @@ pub enum RestoreError {
         /// The underlying fault, rendered as text.
         detail: String,
     },
+    /// The checkpoint container failed validation: bad magic, unsupported
+    /// container version, torn payload, or checksum mismatch. A torn or
+    /// bit-rotted file must never decode to a silently wrong database.
+    Corrupt {
+        /// What failed to validate.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RestoreError {
@@ -81,6 +88,7 @@ impl std::fmt::Display for RestoreError {
             }
             Self::Io { detail } => write!(f, "restore: i/o failure: {detail}"),
             Self::Exchange { detail } => write!(f, "restore: exchange fault: {detail}"),
+            Self::Corrupt { detail } => write!(f, "restore: corrupt checkpoint: {detail}"),
         }
     }
 }
@@ -274,22 +282,98 @@ impl Database {
         Ok(db)
     }
 
-    /// Write the database to a file.
+    /// Write the database to a file, atomically and self-validatingly.
+    ///
+    /// The payload is wrapped in a versioned container header carrying a
+    /// checksum, written to a temporary sibling file, fsynced, and then
+    /// renamed into place — a crash mid-write leaves either the old file
+    /// or no file, never a torn one, and a torn/bit-rotted file that does
+    /// appear is caught by [`Database::load`] as a typed
+    /// [`RestoreError::Corrupt`].
     ///
     /// # Errors
     /// Propagates I/O errors.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+        use std::io::Write;
+        let payload = self.to_bytes();
+        let mut out = Vec::with_capacity(FILE_HEADER_LEN + payload.len());
+        out.extend_from_slice(FILE_MAGIC);
+        out.extend_from_slice(&FILE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv64(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let result = (|| {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&out)?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        result
     }
 
     /// Read a database from a file written by [`Database::save`].
     ///
     /// # Errors
-    /// [`RestoreError::Io`] when the file cannot be read; decode errors
-    /// on corrupt content.
+    /// [`RestoreError::Io`] when the file cannot be read;
+    /// [`RestoreError::Corrupt`] when the container header or checksum
+    /// fails validation (torn write, bit rot, wrong file); decode errors
+    /// on corrupt content that somehow passes the checksum.
     pub fn load(path: &std::path::Path) -> Result<Database, RestoreError> {
-        Database::from_bytes(&std::fs::read(path)?)
+        let bytes = std::fs::read(path)?;
+        let corrupt = |detail: &str| RestoreError::Corrupt { detail: detail.to_owned() };
+        if bytes.len() < FILE_HEADER_LEN {
+            return Err(corrupt("file shorter than the container header"));
+        }
+        if &bytes[..8] != FILE_MAGIC {
+            return Err(corrupt("bad magic (not a checkpoint container)"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != FILE_VERSION {
+            return Err(RestoreError::Corrupt {
+                detail: format!("unsupported container version {version}"),
+            });
+        }
+        let payload_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let stored_sum = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+        let payload = &bytes[FILE_HEADER_LEN..];
+        if payload.len() != payload_len {
+            return Err(RestoreError::Corrupt {
+                detail: format!(
+                    "torn payload: header promises {payload_len} bytes, file holds {}",
+                    payload.len()
+                ),
+            });
+        }
+        if fnv64(payload) != stored_sum {
+            return Err(corrupt("payload checksum mismatch"));
+        }
+        Database::from_bytes(payload)
     }
+}
+
+/// Container magic for checkpoint files written by [`Database::save`].
+const FILE_MAGIC: &[u8; 8] = b"RBAMRDB\0";
+/// Container format version (bumped on any header/layout change).
+const FILE_VERSION: u32 = 1;
+/// magic (8) + version (4) + payload length (8) + checksum (8).
+const FILE_HEADER_LEN: usize = 28;
+
+/// FNV-1a over the payload — cheap, dependency-free, and plenty to catch
+/// torn writes and bit rot (this is integrity, not authentication).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 fn write_str(s: &str, out: &mut Vec<u8>) {
@@ -473,6 +557,63 @@ mod tests {
         db.save(&path).unwrap();
         let back = Database::load(&path).unwrap();
         assert_eq!(back, db);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_or_corrupted_file_is_a_typed_corrupt_error() {
+        let mut db = Database::new();
+        db.put("v", Value::VecF64((0..64).map(f64::from).collect()));
+        db.put("step", Value::I64(7));
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rbamr_restart_corrupt_{}.bin", std::process::id()));
+        db.save(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Torn write: every strict prefix must be rejected as Corrupt.
+        for cut in [0, 4, FILE_HEADER_LEN - 1, FILE_HEADER_LEN, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            let err = Database::load(&path).expect_err("torn file must not load");
+            assert!(matches!(err, RestoreError::Corrupt { .. }), "cut {cut}: got {err}");
+        }
+
+        // Payload bit rot: checksum must catch it.
+        let mut rotted = good.clone();
+        *rotted.last_mut().unwrap() ^= 0x40;
+        std::fs::write(&path, &rotted).unwrap();
+        assert!(matches!(
+            Database::load(&path).expect_err("rotted file must not load"),
+            RestoreError::Corrupt { .. }
+        ));
+
+        // Wrong magic and wrong version are both Corrupt.
+        let mut wrong_magic = good.clone();
+        wrong_magic[0] ^= 0xFF;
+        std::fs::write(&path, &wrong_magic).unwrap();
+        assert!(matches!(Database::load(&path).unwrap_err(), RestoreError::Corrupt { .. }));
+        let mut wrong_version = good.clone();
+        wrong_version[8] = 0xEE;
+        std::fs::write(&path, &wrong_version).unwrap();
+        assert!(matches!(Database::load(&path).unwrap_err(), RestoreError::Corrupt { .. }));
+
+        // The pristine bytes still load.
+        std::fs::write(&path, &good).unwrap();
+        assert_eq!(Database::load(&path).unwrap(), db);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_behind() {
+        let mut db = Database::new();
+        db.put("x", Value::I64(1));
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rbamr_restart_atomic_{}.bin", std::process::id()));
+        db.save(&path).unwrap();
+        let tmp = dir.join(format!(
+            "rbamr_restart_atomic_{pid}.bin.tmp.{pid}",
+            pid = std::process::id()
+        ));
+        assert!(!tmp.exists(), "temporary file must be renamed away");
         std::fs::remove_file(&path).ok();
     }
 

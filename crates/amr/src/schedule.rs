@@ -34,7 +34,7 @@ use crate::ops::{CoarsenOperator, RefineOperator};
 use crate::patchdata::{PatchData, PatchDataError};
 use crate::variable::{VariableId, VariableRegistry};
 use rbamr_geometry::{
-    copy_overlap, ghost_overlaps, BoxIndex, BoxList, BoxOverlap, Centring, GBox, IntVector,
+    ghost_overlaps, BoxIndex, BoxList, BoxOverlap, Centring, GBox, IntVector,
 };
 use rbamr_netsim::{Comm, CommError};
 use rbamr_perfmodel::Category;
@@ -659,6 +659,26 @@ impl RefineSchedule {
         for spec in specs {
             let var = registry.get(spec.var);
             let (centring, ghosts) = (var.centring, var.ghosts);
+            // Cell-centred source data boxes are disjoint, so every
+            // ghost cell has exactly one source and the apply order
+            // (local copies in stage 1, remote unpacks in stage 2b)
+            // cannot matter. Node- and side-centred data boxes share
+            // planes: a corner ghost node can be covered by an edge
+            // neighbour and a diagonal neighbour whose copies of the
+            // shared nodes are not guaranteed bitwise-equal (a regrid's
+            // refine-then-overwrite seeds boundary-node disagreement at
+            // truncation-error level). Overlapping writes would then
+            // resolve by apply order — which depends on which sources
+            // are local — and the filled values would vary with the
+            // rank layout. Instead every ghost value gets exactly one
+            // source: the first candidate in ascending record order
+            // claims its region, later candidates keep only what is
+            // unclaimed. Any rank planning a pair for a destination
+            // holds every record near it (interest closure, see the
+            // `want` subtraction below) and walks the candidates in the
+            // same order, so senders and receivers agree on the reduced
+            // regions.
+            let overlapping_centring = centring != Centring::Cell;
             for (dst_pos, &dst_box) in boxes.iter().enumerate() {
                 let dst_idx = recs.global_index(dst_pos);
                 let dst_rank = recs.owner_at(dst_pos);
@@ -671,19 +691,39 @@ impl RefineSchedule {
                     None => &all_same,
                 };
                 candidate_pairs += sources.len() as u64;
+                // Claim accumulation needs the full candidate walk, so
+                // an uninvolved rank skips the destination wholesale
+                // rather than pair by pair.
+                let involved = dst_rank == rank
+                    || sources.iter().any(|&s| s != dst_pos && recs.owner_at(s) == rank);
+                let mut claimed = BoxList::new();
                 for &src_pos in sources {
+                    if !involved {
+                        break;
+                    }
                     if src_pos == dst_pos {
                         continue;
                     }
                     let src_box = boxes[src_pos];
                     let src_idx = recs.global_index(src_pos);
                     let src_rank = recs.owner_at(src_pos);
-                    if dst_rank != rank && src_rank != rank {
+                    if !overlapping_centring && dst_rank != rank && src_rank != rank {
                         continue;
                     }
-                    let ov = ghost_overlaps(dst_box, ghosts, src_box, centring, IntVector::ZERO);
+                    let mut ov = ghost_overlaps(dst_box, ghosts, src_box, centring, IntVector::ZERO);
                     if ov.is_empty() {
                         continue;
+                    }
+                    if overlapping_centring {
+                        ov.dst_boxes.subtract(&claimed);
+                        ov.dst_boxes.coalesce();
+                        if ov.is_empty() {
+                            continue;
+                        }
+                        claimed.union(&ov.dst_boxes);
+                        if dst_rank != rank && src_rank != rank {
+                            continue;
+                        }
                     }
                     if dst_rank == rank && src_rank == rank {
                         copies.push(CopyPlan { var: spec.var, src_idx, dst_idx, overlap: ov });
@@ -768,11 +808,25 @@ impl RefineSchedule {
                     None => &all_coarse,
                 };
                 candidate_pairs += coarse_sources.len() as u64;
+                // The scratch is written by every coarse source whose
+                // data box meets it. Local captures land in stage 3a
+                // and remote unpacks in stage 3b, so — exactly as for
+                // the same-level copies above — node- and side-centred
+                // sources that share boundary values must be reduced to
+                // disjoint regions, or the scratch value at a shared
+                // node would depend on the rank layout. First candidate
+                // in record order claims; `covered` is the running
+                // union either way.
+                let cf_involved = dst_rank == rank
+                    || coarse_sources.iter().any(|&c| crecs.owner_at(c) == rank);
                 for &cpos in coarse_sources {
+                    if !cf_involved {
+                        break;
+                    }
                     let cbox = crecs.box_at(cpos);
                     let cidx = crecs.global_index(cpos);
                     let c_rank = crecs.owner_at(cpos);
-                    if dst_rank != rank && c_rank != rank {
+                    if !overlapping_centring && dst_rank != rank && c_rank != rank {
                         continue;
                     }
                     let src_data = centring.data_box(cbox);
@@ -780,13 +834,20 @@ impl RefineSchedule {
                     if fill.is_empty() {
                         continue;
                     }
-                    let ov = BoxOverlap {
-                        dst_boxes: BoxList::from_box(fill),
-                        shift: IntVector::ZERO,
-                        centring,
-                    };
+                    let mut fill = BoxList::from_box(fill);
+                    if overlapping_centring {
+                        fill.subtract(&covered);
+                        fill.coalesce();
+                        if fill.is_empty() {
+                            continue;
+                        }
+                    }
+                    covered.union(&fill);
+                    let ov = BoxOverlap { dst_boxes: fill, shift: IntVector::ZERO, centring };
+                    if dst_rank != rank && c_rank != rank {
+                        continue;
+                    }
                     if dst_rank == rank {
-                        covered.add(fill);
                         if c_rank == rank {
                             local_sources.push((cidx, ov));
                         } else {
@@ -1211,6 +1272,13 @@ struct SyncPlan {
     coarse_rank: usize,
     /// Coarse cell region receiving the projection.
     region: GBox,
+    /// Data region actually applied: `region`'s data box minus what
+    /// earlier fine sources (ascending record order) already claimed.
+    /// Node- and side-centred projections from adjacent fine patches
+    /// overlap on shared planes, and local results are applied before
+    /// remote ones, so without disjoint regions the coarse value at a
+    /// shared node would depend on the rank layout.
+    fill: BoxList,
 }
 
 /// Fine-to-coarse synchronisation schedule (SAMRAI `CoarsenSchedule`).
@@ -1280,7 +1348,18 @@ impl CoarsenSchedule {
                 spec.op.name(),
                 spec.op.num_aux()
             );
-            let _ = var;
+            let centring = var.centring;
+            // See `SyncPlan::fill`: for overlapping (non-cell) centrings
+            // the claims per coarse destination accumulate over the fine
+            // sources in ascending record order, so every rank walks all
+            // candidate pairs, not only its own. A claim from a record
+            // one rank holds and another does not can only reduce fills
+            // it actually overlaps, and overlapping fine sources are
+            // adjacent — inside every involved rank's interest
+            // neighborhood — so the reduced fills agree across ranks.
+            let overlapping_centring = centring != Centring::Cell;
+            let mut claims: std::collections::HashMap<usize, BoxList> =
+                std::collections::HashMap::new();
             for (fpos, &fbox) in fine.boxes().iter().enumerate() {
                 let fidx = fine.global_index(fpos);
                 let f_rank = fine.owner_at(fpos);
@@ -1297,11 +1376,24 @@ impl CoarsenSchedule {
                     let cbox = coarse.box_at(cpos);
                     let cidx = coarse.global_index(cpos);
                     let c_rank = coarse.owner_at(cpos);
-                    if f_rank != rank && c_rank != rank {
+                    if !overlapping_centring && f_rank != rank && c_rank != rank {
                         continue;
                     }
                     let region = shadow.intersect(cbox);
                     if region.is_empty() {
+                        continue;
+                    }
+                    let mut fill = BoxList::from_box(centring.data_box(region));
+                    if overlapping_centring {
+                        let claimed = claims.entry(cidx).or_default();
+                        fill.subtract(claimed);
+                        fill.coalesce();
+                        if fill.is_empty() {
+                            continue;
+                        }
+                        claimed.union(&fill);
+                    }
+                    if f_rank != rank && c_rank != rank {
                         continue;
                     }
                     plans.push(SyncPlan {
@@ -1313,6 +1405,7 @@ impl CoarsenSchedule {
                         fine_rank: f_rank,
                         coarse_rank: c_rank,
                         region,
+                        fill,
                     });
                 }
             }
@@ -1329,7 +1422,7 @@ impl CoarsenSchedule {
             .iter()
             .map(|p| {
                 format!(
-                    "sync v{} aux {:?} op {} f{}@r{} -> c{}@r{} region {}",
+                    "sync v{} aux {:?} op {} f{}@r{} -> c{}@r{} region {} fill {:?}",
                     p.var.0,
                     p.aux.iter().map(|a| a.0).collect::<Vec<_>>(),
                     p.op.name(),
@@ -1337,7 +1430,8 @@ impl CoarsenSchedule {
                     p.fine_rank,
                     p.coarse_idx,
                     p.coarse_rank,
-                    p.region
+                    p.region,
+                    p.fill
                 )
             })
             .collect();
@@ -1408,7 +1502,11 @@ impl CoarsenSchedule {
             if plan.coarse_rank == rank {
                 local_results.push((plan.coarse_idx, plan, scratch));
             } else {
-                let ov = copy_overlap(plan.region, plan.region, centring);
+                let ov = BoxOverlap {
+                    dst_boxes: plan.fill.clone(),
+                    shift: IntVector::ZERO,
+                    centring,
+                };
                 match scratch.try_pack(&ov) {
                     Ok(payload) => {
                         outgoing.entry(plan.coarse_rank).or_default().extend_from_slice(&payload);
@@ -1438,7 +1536,11 @@ impl CoarsenSchedule {
             let coarse = hierarchy.level_mut(self.fine_level_no - 1);
             let pos = local_pos(coarse, cidx);
             let dst = &mut coarse.local_mut()[pos];
-            let ov = copy_overlap(dst.cell_box(), plan.region, centring);
+            let ov = BoxOverlap {
+                dst_boxes: plan.fill.clone(),
+                shift: IntVector::ZERO,
+                centring,
+            };
             let data = dst.data_mut(plan.var);
             data.set_transfer_category(category);
             data.copy_from(scratch.as_ref(), &ov);
@@ -1455,7 +1557,7 @@ impl CoarsenSchedule {
             let comm = comm.expect("CoarsenSchedule: remote plans need a Comm");
             let centring = registry.get(plan.var).centring;
             let ov = BoxOverlap {
-                dst_boxes: BoxList::from_box(centring.data_box(plan.region)),
+                dst_boxes: plan.fill.clone(),
                 shift: IntVector::ZERO,
                 centring,
             };

@@ -1,7 +1,8 @@
 //! Chaos harness: seeded fault schedules against the resilient Sod run.
 //!
-//! Runs 25 deterministic fault schedules (plus per-placement fault-free
-//! baselines) on a small Sod deck at 2 ranks and checks, per schedule:
+//! Runs 29 deterministic fault schedules (plus per-placement fault-free
+//! baselines at both the full and the surviving rank count) on a small
+//! Sod deck at 2 ranks and checks, per schedule:
 //!
 //! * **recoverable** schedules complete and their per-rank final-state
 //!   digests are bitwise identical to the fault-free baseline at the
@@ -23,11 +24,19 @@
 //!   comm/compute overlap, so faults land while interior compute is in
 //!   flight; their recovered digests must match the *unbatched*
 //!   device baseline (batching is bitwise inert, even across
-//!   rollbacks).
+//!   rollbacks);
+//! * **shrinking** schedules (`RankKill`) permanently lose a rank —
+//!   at step 0, mid-run, on the regrid step, and inside the
+//!   checkpoint-adoption collective. The victim must report a typed
+//!   [`ResilienceError::Killed`]; the survivors must shrink, replay,
+//!   and finish bitwise identical to a fault-free baseline at the
+//!   *surviving* rank count.
 //!
 //! The run emits a JSON artifact (default `target/chaos_bench.json`,
-//! override with `--json <path>`) for CI to archive, and exits
-//! non-zero if any gate fails.
+//! override with `--json <path>`) with per-schedule recovery stats
+//! (rollbacks, shrinks, rank losses, degraded steps) for CI to
+//! archive, and exits non-zero if any gate fails — enumerating every
+//! failing schedule by name, not just the first.
 
 use rbamr_hydro::{
     Placement, RecoveryPolicy, RecoveryStats, ResilienceError, ResilientSim, SimSpec,
@@ -53,6 +62,7 @@ const CHAOS_DECK: &str = "
  end_step=8
  checkpoint_interval=5
  max_retries=4
+ min_ranks=1
 *endclover
 ";
 
@@ -65,6 +75,10 @@ enum Expectation {
     DegradesToHost,
     /// Every rank reports `RetriesExhausted`.
     Unrecoverable,
+    /// The victim reports `Killed`; the survivors shrink and finish
+    /// bitwise identical to the fault-free baseline at the surviving
+    /// rank count.
+    Shrinks { victim: usize, at_step: usize },
 }
 
 impl Expectation {
@@ -73,6 +87,7 @@ impl Expectation {
             Self::Recoverable => "recoverable",
             Self::DegradesToHost => "degrades_to_host",
             Self::Unrecoverable => "unrecoverable",
+            Self::Shrinks { .. } => "shrinks",
         }
     }
 }
@@ -204,7 +219,7 @@ fn schedules() -> Vec<Schedule> {
         "random_corrupt_p10_window",
         403,
         host,
-        vec![FaultRule { kind: MsgCorrupt, ranks: None, after: 10, count: 30, probability: 0.1 }],
+        vec![FaultRule { kind: MsgCorrupt, ranks: None, after: 25, count: 15, probability: 0.1 }],
         Recoverable,
     );
 
@@ -293,6 +308,31 @@ fn schedules() -> Vec<Schedule> {
         Recoverable,
     );
 
+    // Permanent rank loss: the victim dies, the survivor shrinks to one
+    // rank, restores the last adopted manifest, and replays. Each kill
+    // site exercises a different recovery path; all are gated on digest
+    // identity to the fault-free 1-rank baseline.
+    let mut add_kill = |name, seed, rules, victim, at_step| {
+        out.push(Schedule {
+            name,
+            seed,
+            placement: host,
+            batched: false,
+            rules,
+            expectation: Expectation::Shrinks { victim, at_step },
+        });
+    };
+    // Before any step commits: rollback targets the initial manifest.
+    add_kill("rank_kill_at_step0", 901, vec![FaultRule::rank_kill(1, 0)], 1, 0);
+    // Mid-run, between checkpoint intervals.
+    add_kill("rank_kill_midrun", 902, vec![FaultRule::rank_kill(1, 3)], 1, 3);
+    // Right before the regrid step (regrid_interval = 5): the death is
+    // detected inside the regrid's own transfer collectives.
+    add_kill("rank_kill_during_regrid", 903, vec![FaultRule::rank_kill(1, 5)], 1, 5);
+    // Inside the checkpoint-adoption collective after step 5 commits:
+    // the survivors' save is revoked and discarded collectively.
+    add_kill("rank_kill_in_collective", 904, vec![FaultRule::rank_kill_at_adopt(1, 5)], 1, 5);
+
     out
 }
 
@@ -316,7 +356,13 @@ struct ChaosRun {
     virtual_total: f64,
 }
 
-fn run(placement: Placement, batched: bool, plan: FaultPlan, policy: RecoveryPolicy) -> ChaosRun {
+fn run(
+    placement: Placement,
+    batched: bool,
+    plan: FaultPlan,
+    policy: RecoveryPolicy,
+    nranks: usize,
+) -> ChaosRun {
     let deck = parse_deck(CHAOS_DECK).expect("chaos deck parses");
     let machine = match placement {
         Placement::Host => Machine::ipa_cpu_node(),
@@ -326,7 +372,7 @@ fn run(placement: Placement, batched: bool, plan: FaultPlan, policy: RecoveryPol
     let results = Cluster::new(machine.clone())
         .with_deadlock_timeout(Duration::from_secs(10))
         .with_fault_plan(plan)
-        .run(RANKS, move |comm| {
+        .run(nranks, move |comm| {
             let rank = comm.rank();
             let mut config = rbamr_hydro::HydroConfig {
                 regrid_interval: 5,
@@ -346,7 +392,7 @@ fn run(placement: Placement, batched: bool, plan: FaultPlan, policy: RecoveryPol
                 config,
                 regions: deck.regions.clone(),
                 rank,
-                nranks: RANKS,
+                nranks,
             };
             let recorder = Recorder::new(rank, comm.clock().clone());
             let mut sim = ResilientSim::new(spec, policy, recorder, Some(&comm))?;
@@ -371,6 +417,7 @@ fn policy_from_deck() -> RecoveryPolicy {
     RecoveryPolicy {
         checkpoint_interval: deck.checkpoint_interval.unwrap_or(5),
         max_retries: deck.max_retries.unwrap_or(8),
+        min_ranks: deck.min_ranks.unwrap_or(1),
         backoff_base: 0.05,
         ..RecoveryPolicy::default()
     }
@@ -387,9 +434,12 @@ fn main() {
     let policy = policy_from_deck();
 
     println!("chaos_bench: {RANKS} ranks, {STEPS} steps, policy {policy:?}");
-    let baseline_host = run(Placement::Host, false, FaultPlan::none(), policy);
-    let baseline_device = run(Placement::Device, false, FaultPlan::none(), policy);
-    let baseline_batched = run(Placement::Device, true, FaultPlan::none(), policy);
+    let baseline_host = run(Placement::Host, false, FaultPlan::none(), policy, RANKS);
+    let baseline_device = run(Placement::Device, false, FaultPlan::none(), policy, RANKS);
+    let baseline_batched = run(Placement::Device, true, FaultPlan::none(), policy, RANKS);
+    // Fault-free run at the surviving rank count: the digest gate for
+    // the rank-kill schedules (one victim, so RANKS - 1 survivors).
+    let baseline_survivor = run(Placement::Host, false, FaultPlan::none(), policy, RANKS - 1);
     // Batching is bitwise inert: the fault-free batched run must match
     // the unbatched device baseline before any chaos schedule runs.
     for rank in 0..RANKS {
@@ -408,12 +458,12 @@ fn main() {
         base[rank].as_ref().expect("baselines are fault-free").digest
     };
 
-    let mut failures = 0usize;
+    let mut failed_names: Vec<String> = Vec::new();
     let mut rows = Vec::new();
     for s in schedules() {
         let plan = FaultPlan::new(s.seed, s.rules.clone());
-        let first = run(s.placement, s.batched, plan.clone(), policy);
-        let second = run(s.placement, s.batched, plan, policy);
+        let first = run(s.placement, s.batched, plan.clone(), policy, RANKS);
+        let second = run(s.placement, s.batched, plan, policy, RANKS);
 
         let deterministic = (0..RANKS).all(|r| match (&first.outcome[r], &second.outcome[r]) {
             (Ok(a), Ok(b)) => a == b,
@@ -427,7 +477,8 @@ fn main() {
             .map(|o| o.report.total_fired())
             .sum();
 
-        let (mut ok, mut detail) = check(&s, &first.outcome, baseline_digest);
+        let (mut ok, mut detail) =
+            check(&s, &first.outcome, &baseline_digest, &baseline_survivor.outcome);
         // Delay faults must be pure virtual-clock charges: virtual
         // seconds inflate versus the fault-free baseline, wall time
         // does not. A sleep smuggled into the transport path would
@@ -462,7 +513,7 @@ fn main() {
         }
         let verdict = if ok && deterministic { "pass" } else { "FAIL" };
         if !(ok && deterministic) {
-            failures += 1;
+            failed_names.push(s.name.to_string());
         }
         println!(
             "  [{verdict}] {:28} seed={:<4} {:12} fired={fired:<3} {detail}{}",
@@ -484,8 +535,12 @@ fn main() {
     std::fs::write(&json_path, json).expect("chaos: write artifact");
     println!("artifact: {}", json_path.display());
 
-    if failures > 0 {
-        eprintln!("chaos_bench: {failures} schedule(s) failed");
+    if !failed_names.is_empty() {
+        eprintln!(
+            "chaos_bench: {} schedule(s) failed: {}",
+            failed_names.len(),
+            failed_names.join(", ")
+        );
         std::process::exit(1);
     }
     println!("chaos_bench: all {} schedules pass", schedules().len());
@@ -497,6 +552,7 @@ fn check(
     s: &Schedule,
     result: &RunResult,
     baseline_digest: impl Fn(Placement, usize) -> u64,
+    survivor_baseline: &RunResult,
 ) -> (bool, String) {
     match s.expectation {
         Expectation::Recoverable => {
@@ -544,9 +600,72 @@ fn check(
                             return (false, format!("rank {rank} gave up without retrying"));
                         }
                     }
+                    Err(e) => return (false, format!("rank {rank}: wrong error {e}")),
                 }
             }
             (true, "typed RetriesExhausted on every rank".into())
+        }
+        Expectation::Shrinks { victim, at_step } => {
+            match &result[victim] {
+                Err(ResilienceError::Killed { rank, at_step: fired }) => {
+                    if *rank != victim || *fired != at_step {
+                        return (
+                            false,
+                            format!("victim reported Killed at rank {rank} step {fired}"),
+                        );
+                    }
+                }
+                other => {
+                    return (false, format!("victim did not report Killed, got {other:?}"));
+                }
+            }
+            // Survivors renumber in ascending original-rank order; each
+            // must match the corresponding logical rank of the
+            // fault-free run at the surviving rank count.
+            let survivors: Vec<usize> = (0..result.len()).filter(|&r| r != victim).collect();
+            for (logical, &original) in survivors.iter().enumerate() {
+                let Ok(o) = &result[original] else {
+                    return (
+                        false,
+                        format!(
+                            "survivor {original} failed: {}",
+                            result[original].as_ref().unwrap_err()
+                        ),
+                    );
+                };
+                let base = survivor_baseline[logical]
+                    .as_ref()
+                    .expect("the surviving-rank-count baseline is fault-free");
+                if o.digest != base.digest {
+                    return (
+                        false,
+                        format!(
+                            "survivor {original} (logical {logical}) digest diverges from the \
+                             {}-rank baseline",
+                            survivors.len()
+                        ),
+                    );
+                }
+                if o.stats.shrinks != 1 || o.stats.rank_losses != 1 {
+                    return (
+                        false,
+                        format!(
+                            "survivor {original} counters off: shrinks={} rank_losses={}",
+                            o.stats.shrinks, o.stats.rank_losses
+                        ),
+                    );
+                }
+            }
+            let stats = result[survivors[0]].as_ref().unwrap().stats;
+            (
+                true,
+                format!(
+                    "shrinks={} rollbacks={} survivors match the {}-rank baseline",
+                    stats.shrinks,
+                    stats.rollbacks,
+                    survivors.len()
+                ),
+            )
         }
     }
 }
@@ -558,17 +677,28 @@ fn json_row(s: &Schedule, run: &ChaosRun, deterministic: bool, pass: bool, detai
             Ok(o) => format!(
                 "{{\"rank\": {rank}, \"outcome\": \"completed\", \"digest\": \"{:016x}\", \
                  \"rollbacks\": {}, \"degradations\": {}, \"degraded_steps\": {}, \
-                 \"checkpoints\": {}, \"faults_fired\": {}}}",
+                 \"checkpoints\": {}, \"shrinks\": {}, \"rank_losses\": {}, \
+                 \"faults_fired\": {}}}",
                 o.digest,
                 o.stats.rollbacks,
                 o.stats.degradations,
                 o.stats.degraded_steps,
                 o.stats.checkpoints,
+                o.stats.shrinks,
+                o.stats.rank_losses,
                 o.report.total_fired(),
             ),
             Err(ResilienceError::RetriesExhausted { step, attempts, .. }) => format!(
                 "{{\"rank\": {rank}, \"outcome\": \"retries_exhausted\", \
                  \"checkpoint_step\": {step}, \"attempts\": {attempts}}}"
+            ),
+            Err(ResilienceError::Killed { rank: victim, at_step }) => format!(
+                "{{\"rank\": {rank}, \"outcome\": \"killed\", \"victim\": {victim}, \
+                 \"at_step\": {at_step}}}"
+            ),
+            Err(ResilienceError::InsufficientRanks { survivors, min_ranks }) => format!(
+                "{{\"rank\": {rank}, \"outcome\": \"insufficient_ranks\", \
+                 \"survivors\": {survivors}, \"min_ranks\": {min_ranks}}}"
             ),
         };
         ranks.push(row);

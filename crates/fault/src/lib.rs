@@ -42,10 +42,20 @@ pub enum FaultKind {
     /// A box record in a partitioned-metadata exchange is corrupted in
     /// flight, tripping the digest verification on every rank.
     MetadataCorrupt,
+    /// The rank dies permanently: it marks itself dead in the network,
+    /// returns a typed error from its program, and never communicates
+    /// again. Survivors observe [`rbamr_netsim`]'s dead-rank state
+    /// (typed send errors, revoked collectives) and may shrink the job.
+    ///
+    /// Evaluated at the recovery driver's step boundaries — twice per
+    /// step (once at the top of the step, once before checkpoint
+    /// adoption), so occurrence `2*s` is "at the start of step s" and
+    /// `2*s + 1` is "inside step s's checkpoint-adoption collective".
+    RankKill,
 }
 
 /// Number of distinct [`FaultKind`]s (for per-kind counter arrays).
-pub const NUM_KINDS: usize = 7;
+pub const NUM_KINDS: usize = 8;
 
 impl FaultKind {
     /// Dense index for per-kind counters.
@@ -58,6 +68,7 @@ impl FaultKind {
             FaultKind::AllocFail => 4,
             FaultKind::CopyFail => 5,
             FaultKind::MetadataCorrupt => 6,
+            FaultKind::RankKill => 7,
         }
     }
 
@@ -71,6 +82,7 @@ impl FaultKind {
             FaultKind::AllocFail,
             FaultKind::CopyFail,
             FaultKind::MetadataCorrupt,
+            FaultKind::RankKill,
         ]
     }
 
@@ -84,6 +96,7 @@ impl FaultKind {
             FaultKind::AllocFail => "alloc_fail",
             FaultKind::CopyFail => "copy_fail",
             FaultKind::MetadataCorrupt => "metadata_corrupt",
+            FaultKind::RankKill => "rank_kill",
         }
     }
 }
@@ -130,6 +143,20 @@ impl FaultRule {
     /// A persistent rule: fires on every occurrence from `at` onwards.
     pub fn persistent(kind: FaultKind, rank: usize, at: u64) -> Self {
         Self { kind, ranks: Some(vec![rank]), after: at, count: u64::MAX, probability: 1.0 }
+    }
+
+    /// Kill `rank` permanently at the top of step `at_step` (0-based,
+    /// counted over the run). See [`FaultKind::RankKill`] for the
+    /// occurrence convention.
+    pub fn rank_kill(rank: usize, at_step: u64) -> Self {
+        Self::once_on(FaultKind::RankKill, rank, 2 * at_step)
+    }
+
+    /// Kill `rank` permanently inside step `at_step`'s
+    /// checkpoint-adoption collective — survivors detect the death
+    /// mid-collective rather than at a step boundary.
+    pub fn rank_kill_at_adopt(rank: usize, at_step: u64) -> Self {
+        Self::once_on(FaultKind::RankKill, rank, 2 * at_step + 1)
     }
 
     fn applies(&self, rank: usize, occurrence: u64) -> bool {

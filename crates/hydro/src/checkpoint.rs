@@ -2,13 +2,19 @@
 //! the restart database from the paper's Figure 2 interface
 //! (`putToRestart`/`getFromRestart`).
 //!
-//! A checkpoint stores the hierarchy structure and the full state
-//! arrays of every locally owned patch; in distributed runs each rank
-//! holds one database covering its owned records, and restore
-//! reassembles the global structure with an allgather. On the device
-//! build, writing a checkpoint is one of the three sanctioned
-//! full-array D2H transfers (initialisation, visualisation, restart);
-//! restoring uploads once per field.
+//! A checkpoint is a *rank-count-independent global manifest*
+//! (format 2): per-patch records keyed by patch identity — index and
+//! box, never owner rank — plus the full state arrays of every patch.
+//! In distributed runs [`HydroSim::try_save_checkpoint`] allgathers the
+//! per-rank records and patch payloads so every rank holds the same
+//! complete database; restore re-derives ownership with the same
+//! space-filling-curve partitioner the live run uses
+//! ([`rbamr_amr::balance::partition_sfc`]), so a checkpoint written at
+//! N ranks restores onto any rank count — including the shrunken
+//! survivor set after a permanent rank loss. On the device build,
+//! writing a checkpoint is one of the three sanctioned full-array D2H
+//! transfers (initialisation, visualisation, restart); restoring
+//! uploads once per field.
 //!
 //! Restore is *fault-aware*: it returns a typed [`RestoreError`]
 //! instead of panicking, and in distributed runs its communication
@@ -75,83 +81,228 @@ fn try_write_values(
         .map_err(|e| RestoreError::Exchange { detail: format!("device fault: {e}") })
 }
 
-/// Per-level structure records as stored in a checkpoint: six `i64`
-/// words per owned record — `index, lo.x, lo.y, hi.x, hi.y, owner`.
-const RECORD_WORDS: usize = 6;
+/// Checkpoint manifest format written by [`HydroSim::try_save_checkpoint`]
+/// and required by [`HydroSim::try_restore_checkpoint`]. Format 2 is
+/// the rank-count-independent global manifest: five identity words per
+/// record (no owner rank) and every patch's payload present on every
+/// rank.
+const CHECKPOINT_FORMAT: i64 = 2;
 
-fn decode_records(words: &[i64], nranks: usize) -> Result<(Vec<GBox>, Vec<usize>), RestoreError> {
+/// Per-level structure records as stored in a checkpoint: five `i64`
+/// words per record — `index, lo.x, lo.y, hi.x, hi.y`. Ownership is
+/// deliberately *not* persisted: restore re-partitions onto whatever
+/// rank count is running.
+const RECORD_WORDS: usize = 5;
+
+fn decode_records(words: &[i64]) -> Result<Vec<GBox>, RestoreError> {
     let malformed = |expected| RestoreError::Malformed { key: "records".to_owned(), expected };
     if !words.len().is_multiple_of(RECORD_WORDS) {
-        return Err(malformed("multiple of 6 words per record"));
+        return Err(malformed("multiple of 5 words per record"));
     }
-    let mut recs: Vec<(i64, GBox, usize)> = words
+    let mut recs: Vec<(i64, GBox)> = words
         .chunks_exact(RECORD_WORDS)
-        .map(|c| (c[0], GBox::from_coords(c[1], c[2], c[3], c[4]), c[5] as usize))
+        .map(|c| (c[0], GBox::from_coords(c[1], c[2], c[3], c[4])))
         .collect();
-    recs.sort_by_key(|&(i, _, _)| i);
+    recs.sort_by_key(|&(i, _)| i);
     let mut boxes = Vec::with_capacity(recs.len());
-    let mut owners = Vec::with_capacity(recs.len());
-    for (i, (idx, b, o)) in recs.into_iter().enumerate() {
+    for (i, (idx, b)) in recs.into_iter().enumerate() {
         if idx != i as i64 {
             return Err(malformed("contiguous patch indices"));
         }
-        if o >= nranks {
-            return Err(malformed("owner within the job size"));
-        }
         boxes.push(b);
-        owners.push(o);
     }
-    Ok((boxes, owners))
+    Ok(boxes)
+}
+
+/// Serialise one rank's owned patch payloads for a level into a flat
+/// byte blob the structure allgather can carry: per patch, a `u64`
+/// index followed by, for each checkpoint field in order, a `u64` word
+/// count and that many `f64` little-endian words.
+fn encode_patch_blob(entries: &[(usize, [Vec<f64>; 4])]) -> Vec<u8> {
+    let mut blob = Vec::new();
+    for (index, fields) in entries {
+        blob.extend_from_slice(&(*index as u64).to_le_bytes());
+        for values in fields {
+            blob.extend_from_slice(&(values.len() as u64).to_le_bytes());
+            for v in values {
+                blob.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    blob
+}
+
+/// Decode a patch-payload blob back into `(index, fields)` entries.
+fn decode_patch_blob(blob: &[u8]) -> Result<Vec<(usize, [Vec<f64>; 4])>, RestoreError> {
+    let malformed = || RestoreError::Malformed {
+        key: "patch payload".to_owned(),
+        expected: "index and four length-prefixed field arrays per patch",
+    };
+    let mut entries = Vec::new();
+    let mut at = 0usize;
+    let read_u64 = |at: &mut usize| -> Result<u64, RestoreError> {
+        let end = at.checked_add(8).ok_or_else(malformed)?;
+        let bytes = blob.get(*at..end).ok_or_else(malformed)?;
+        *at = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+    };
+    while at < blob.len() {
+        let index = read_u64(&mut at)? as usize;
+        let mut fields: [Vec<f64>; 4] = Default::default();
+        for f in fields.iter_mut() {
+            let len = read_u64(&mut at)? as usize;
+            let end = at.checked_add(len.checked_mul(8).ok_or_else(malformed)?);
+            let bytes = end.and_then(|e| blob.get(at..e)).ok_or_else(malformed)?;
+            *f = bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect();
+            at += len * 8;
+        }
+        entries.push((index, fields));
+    }
+    Ok(entries)
 }
 
 impl HydroSim {
-    /// Serialise the simulation state into a restart database.
+    /// Serialise the simulation state into a restart database
+    /// (single-rank wrapper over [`HydroSim::try_save_checkpoint`]).
     ///
-    /// Each rank serialises its owned structure records and patch data;
-    /// single-rank databases therefore contain the whole simulation,
-    /// and distributed runs hold one database per rank (restore
-    /// reassembles the global structure).
+    /// Without a communicator the save is purely local, so on a
+    /// single-rank simulation the database is the complete global
+    /// manifest. Multi-rank simulations must use
+    /// [`HydroSim::try_save_checkpoint`] with their communicator
+    /// instead — a local save would cover only this rank's patches and
+    /// fail the restore-side contiguity check.
     pub fn save_checkpoint(&self) -> Database {
-        let rank = self.hierarchy().rank() as i64;
+        self.try_save_checkpoint(None).expect("a local checkpoint save cannot fail")
+    }
+
+    /// Serialise the simulation into a *global* checkpoint manifest.
+    ///
+    /// Every rank contributes its owned structure records and patch
+    /// payloads; a per-level allgather merges them so every rank
+    /// returns an identical database covering the whole simulation,
+    /// keyed by patch identity rather than owner rank. That makes the
+    /// checkpoint rank-count-independent: it restores onto any rank
+    /// count, including the survivor set after a permanent rank loss.
+    ///
+    /// Run-through discipline: the exchanges execute for every level on
+    /// every rank regardless of earlier errors, then an agreement
+    /// reduction decides the verdict collectively — either every rank
+    /// returns a usable manifest or every rank returns `Err` together.
+    ///
+    /// # Errors
+    /// [`RestoreError::Exchange`] when a fault interrupts the merge
+    /// exchanges, or the collective agreement reports a peer failure.
+    pub fn try_save_checkpoint(&self, comm: Option<&Comm>) -> Result<Database, RestoreError> {
         let mut db = Database::new();
+        db.put("format", Value::I64(CHECKPOINT_FORMAT));
         db.put("time", Value::F64(self.time()));
         db.put("step", Value::I64(self.steps_taken() as i64));
         db.put("prev_dt", Value::F64(self.prev_dt()));
         db.put("num_levels", Value::I64(self.hierarchy().num_levels() as i64));
         let fields = *self.fields();
+        let mut first_err: Option<RestoreError> = None;
         for l in 0..self.hierarchy().num_levels() {
             let level = self.hierarchy().level(l);
-            let ldb = db.child(&format!("level_{l}"));
-            let mut flat = Vec::new();
+            let mut rec_bytes = Vec::new();
+            let mut entries = Vec::new();
             for patch in level.local() {
                 let b = patch.cell_box();
-                flat.extend_from_slice(&[
-                    patch.id().index as i64,
-                    b.lo.x,
-                    b.lo.y,
-                    b.hi.x,
-                    b.hi.y,
-                    rank,
-                ]);
+                for w in [patch.id().index as i64, b.lo.x, b.lo.y, b.hi.x, b.hi.y] {
+                    rec_bytes.extend_from_slice(&w.to_le_bytes());
+                }
+                let values = checkpoint_fields(&fields).map(|(_, var)| read_values(patch.data(var)));
+                entries.push((patch.id().index, values));
             }
-            ldb.put("records", Value::VecI64(flat));
-            for patch in level.local() {
-                let pdb = ldb.child(&format!("patch_{}", patch.id().index));
-                for (name, var) in checkpoint_fields(&fields) {
-                    pdb.put(name, Value::VecF64(read_values(patch.data(var))));
+            let blob = encode_patch_blob(&entries);
+            let (rec_parts, blob_parts) = if let Some(comm) = comm {
+                let rec = match comm.try_allgatherv(bytes::Bytes::from(rec_bytes), Category::Other)
+                {
+                    Ok(parts) => parts,
+                    Err(e) => {
+                        first_err.get_or_insert(RestoreError::Exchange { detail: e.to_string() });
+                        Vec::new()
+                    }
+                };
+                let data = match comm.try_allgatherv(bytes::Bytes::from(blob), Category::Other) {
+                    Ok(parts) => parts,
+                    Err(e) => {
+                        first_err.get_or_insert(RestoreError::Exchange { detail: e.to_string() });
+                        Vec::new()
+                    }
+                };
+                (rec, data)
+            } else {
+                (vec![bytes::Bytes::from(rec_bytes)], vec![bytes::Bytes::from(blob)])
+            };
+
+            // Merge into the canonical global form: records and patch
+            // children sorted by patch index, identical on every rank.
+            let mut words: Vec<i64> = rec_parts
+                .iter()
+                .flat_map(|p| p.chunks_exact(8))
+                .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect();
+            if words.len().is_multiple_of(RECORD_WORDS) {
+                let mut recs: Vec<[i64; RECORD_WORDS]> = words
+                    .chunks_exact(RECORD_WORDS)
+                    .map(|c| c.try_into().expect("record chunk"))
+                    .collect();
+                recs.sort_by_key(|r| r[0]);
+                words = recs.into_iter().flatten().collect();
+            }
+            let ldb = db.child(&format!("level_{l}"));
+            ldb.put("records", Value::VecI64(words));
+            let mut merged = Vec::new();
+            for part in &blob_parts {
+                match decode_patch_blob(part) {
+                    Ok(mut es) => merged.append(&mut es),
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                    }
+                }
+            }
+            merged.sort_by_key(|&(index, _)| index);
+            for (index, values) in merged {
+                let pdb = ldb.child(&format!("patch_{index}"));
+                for ((name, _), v) in checkpoint_fields(&fields).into_iter().zip(values) {
+                    pdb.put(name, Value::VecF64(v));
                 }
             }
         }
-        db
+
+        // Agreement: every rank adopts the manifest, or no rank does.
+        if let Some(comm) = comm {
+            let ok = if first_err.is_none() { 1.0 } else { 0.0 };
+            match comm.try_allreduce_min(ok, Category::Other) {
+                Ok(all_ok) if all_ok >= 1.0 => {}
+                Ok(_) => {
+                    return Err(first_err.unwrap_or_else(|| RestoreError::Exchange {
+                        detail: "a peer rank failed to assemble the checkpoint manifest".into(),
+                    }))
+                }
+                Err(e) => {
+                    return Err(
+                        first_err.unwrap_or(RestoreError::Exchange { detail: e.to_string() })
+                    )
+                }
+            }
+        } else if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(db)
     }
 
     /// Restore a checkpoint into this simulation.
     ///
-    /// `self` must have been constructed with the same domain, physics
-    /// configuration and job layout as the checkpointed run (the
-    /// database stores state, not configuration — matching SAMRAI,
-    /// where the input deck travels separately). Panicking wrapper over
-    /// [`HydroSim::try_restore_checkpoint`].
+    /// `self` must have been constructed with the same domain and
+    /// physics configuration as the checkpointed run (the database
+    /// stores state, not configuration — matching SAMRAI, where the
+    /// input deck travels separately); the rank count may differ, since
+    /// format-2 manifests are rank-count-independent. Panicking wrapper
+    /// over [`HydroSim::try_restore_checkpoint`].
     ///
     /// # Panics
     /// Panics on malformed databases or injected faults.
@@ -159,27 +310,40 @@ impl HydroSim {
         self.try_restore_checkpoint(db, comm).unwrap_or_else(|e| panic!("{e}"));
     }
 
-    /// Fault-aware restore: rebuilds the level structure (allgathering
-    /// the per-rank records in distributed runs), loads the state
-    /// arrays, and re-primes the derived fields.
+    /// Fault-aware restore from a global (format 2) checkpoint
+    /// manifest: rebuilds the level structure, re-derives patch
+    /// ownership for the *current* rank count with the same
+    /// space-filling-curve partitioner the live run uses, loads the
+    /// owned state arrays, and re-primes the derived fields. Because
+    /// the manifest carries no owner ranks, the checkpoint may have
+    /// been written at any rank count.
     ///
-    /// Run-through discipline: every level's structure exchange
-    /// executes on every rank regardless of earlier errors, then an
-    /// agreement reduction commits the assembled structure before any
-    /// rank touches its hierarchy — a fault aborts every rank together,
-    /// so the subsequent re-priming fills never run against divergent
-    /// structure.
+    /// Run-through discipline: structure decoding is local (the
+    /// manifest is already global), and an agreement reduction commits
+    /// the decoded structure before any rank touches its hierarchy — a
+    /// fault aborts every rank together, so the subsequent re-priming
+    /// fills never run against divergent structure.
     ///
     /// # Errors
     /// A typed [`RestoreError`] for malformed databases
-    /// (missing/misshapen keys) or injected transport faults. On `Err`
-    /// the simulation state is unspecified; recovery rebuilds a fresh
-    /// simulation and retries.
+    /// (missing/misshapen keys, wrong manifest format) or injected
+    /// transport faults. On `Err` the simulation state is unspecified;
+    /// recovery rebuilds a fresh simulation and retries.
     pub fn try_restore_checkpoint(
         &mut self,
         db: &Database,
         comm: Option<&Comm>,
     ) -> Result<(), RestoreError> {
+        match db.get_i64("format") {
+            Some(CHECKPOINT_FORMAT) => {}
+            Some(_) => {
+                return Err(RestoreError::Malformed {
+                    key: "format".to_owned(),
+                    expected: "checkpoint manifest format 2",
+                })
+            }
+            None => return Err(RestoreError::MissingKey { key: "format".to_owned() }),
+        }
         let num_levels = db
             .get_i64("num_levels")
             .ok_or_else(|| RestoreError::MissingKey { key: "num_levels".to_owned() })?
@@ -193,12 +357,14 @@ impl HydroSim {
         let nranks = self.hierarchy().nranks();
         let mut first_err: Option<RestoreError> = None;
 
-        // Phase 1: assemble every level's global structure. The
-        // allgather runs for every level on every rank even after an
-        // error, keeping the communication pattern rank-invariant.
+        // Phase 1 (local): decode every level's structure from the
+        // global manifest and re-derive ownership for the current rank
+        // count. No exchange is needed — the manifest already covers
+        // the whole simulation — but errors are still carried to the
+        // agreement below so every rank aborts together.
         let mut structures: Vec<Option<(Vec<GBox>, Vec<usize>)>> = Vec::with_capacity(num_levels);
         for l in 0..num_levels {
-            let own: Vec<i64> = match db.get_db(&format!("level_{l}")) {
+            let words: Vec<i64> = match db.get_db(&format!("level_{l}")) {
                 Some(ldb) => match ldb.get("records") {
                     Some(Value::VecI64(v)) => v.clone(),
                     Some(_) => {
@@ -219,27 +385,11 @@ impl HydroSim {
                     Vec::new()
                 }
             };
-            let all: Vec<i64> = if let Some(comm) = comm {
-                let mut payload = Vec::with_capacity(own.len() * 8);
-                for w in &own {
-                    payload.extend_from_slice(&w.to_le_bytes());
+            match decode_records(&words) {
+                Ok(boxes) => {
+                    let owners = rbamr_amr::balance::partition_sfc(&boxes, nranks);
+                    structures.push(Some((boxes, owners)));
                 }
-                match comm.try_allgatherv(bytes::Bytes::from(payload), Category::Other) {
-                    Ok(parts) => parts
-                        .iter()
-                        .flat_map(|p| p.chunks_exact(8))
-                        .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-                        .collect(),
-                    Err(e) => {
-                        first_err.get_or_insert(RestoreError::Exchange { detail: e.to_string() });
-                        own
-                    }
-                }
-            } else {
-                own
-            };
-            match decode_records(&all, nranks) {
-                Ok(s) => structures.push(Some(s)),
                 Err(e) => {
                     first_err.get_or_insert(e);
                     structures.push(None);
@@ -501,10 +651,22 @@ mod tests {
         sim.run_steps(3, None);
         let mut resumed = build(Placement::Host);
 
-        // Missing everything.
+        // Missing everything: the format gate fires first.
         assert_eq!(
             resumed.try_restore_checkpoint(&Database::new(), None),
-            Err(RestoreError::MissingKey { key: "num_levels".to_owned() })
+            Err(RestoreError::MissingKey { key: "format".to_owned() })
+        );
+
+        // A pre-manifest (format 1 / per-rank) checkpoint is rejected
+        // with a typed error, not misread.
+        let mut db = sim.save_checkpoint();
+        db.put("format", Value::I64(1));
+        assert_eq!(
+            resumed.try_restore_checkpoint(&db, None),
+            Err(RestoreError::Malformed {
+                key: "format".to_owned(),
+                expected: "checkpoint manifest format 2",
+            })
         );
 
         // Absurd level count.
@@ -580,6 +742,7 @@ mod tests {
         let mut sim = build(Placement::Host);
         sim.run_steps(3, None);
         let db = sim.save_checkpoint();
+        assert_eq!(db.get_i64("format"), Some(2));
         assert_eq!(db.get_i64("num_levels"), Some(2));
         assert!(db.get_db("level_1").is_some());
         assert!(db.get_f64("time").unwrap() > 0.0);

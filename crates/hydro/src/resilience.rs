@@ -33,12 +33,33 @@
 //! copy-back build runs identical kernels with a different transfer
 //! discipline); the final `→ Host` stage trades bitwise identity for
 //! survival, which is why it is the last resort.
+//!
+//! # Elastic shrink on permanent rank loss
+//!
+//! A [`rbamr_netsim::FaultKind::RankKill`] fault kills a rank for good:
+//! the victim marks itself dead in the network and returns
+//! [`ResilienceError::Killed`]. Survivors never poll a timeout —
+//! detection is structural. The dead rank's frames black-hole and the
+//! next collective completes among survivors with a *revoked* verdict,
+//! so the survivors' step commit fails symmetrically and they all enter
+//! [`recovery`](ResilientSim::step) together. There they observe the
+//! grown dead set, rebuild the communicator at the surviving rank count
+//! ([`Comm::shrink`] — a barrier whose completion freezes the accepted
+//! dead set, so every survivor derives the same view), re-derive their
+//! logical rank, and roll back to the last adopted checkpoint. Because
+//! checkpoints are rank-count-independent global manifests, the restore
+//! re-partitions every patch over the survivor set and the replay is
+//! bitwise-identical to a fault-free run at that rank count. A loss
+//! that would leave fewer than [`RecoveryPolicy::min_ranks`] survivors
+//! fails fast with [`ResilienceError::InsufficientRanks`] on every
+//! survivor.
 
 use crate::integrator::{HydroConfig, HydroSim, Placement, SimError, StepStats};
 use crate::state::RegionInit;
 use rbamr_amr::restart::Database;
-use rbamr_netsim::Comm;
+use rbamr_netsim::{Comm, FaultKind};
 use rbamr_perfmodel::{Category, Clock, Machine};
+use std::sync::Arc;
 
 /// Everything needed to (re)build a [`HydroSim`] from scratch — the
 /// constructor arguments of [`HydroSim::new`], kept so a rollback can
@@ -100,13 +121,26 @@ pub struct RecoveryPolicy {
     /// degrading to the next placement in the chain.
     pub degrade_after: usize,
     /// First retry's virtual-clock backoff in seconds; doubles per
-    /// consecutive attempt.
+    /// consecutive attempt. Each charge is scaled by a deterministic
+    /// seeded jitter factor in `[0.5, 1.5)` — a pure hash of
+    /// `(fault seed, rank, attempt)` — so simulated retry storms
+    /// decorrelate across ranks without giving up reproducibility.
     pub backoff_base: f64,
+    /// Fewest ranks the job may shrink to after permanent rank losses.
+    /// A loss that would leave fewer survivors fails fast with
+    /// [`ResilienceError::InsufficientRanks`] on every survivor.
+    pub min_ranks: usize,
 }
 
 impl Default for RecoveryPolicy {
     fn default() -> Self {
-        Self { checkpoint_interval: 5, max_retries: 8, degrade_after: 2, backoff_base: 0.5 }
+        Self {
+            checkpoint_interval: 5,
+            max_retries: 8,
+            degrade_after: 2,
+            backoff_base: 0.5,
+            min_ranks: 1,
+        }
     }
 }
 
@@ -123,6 +157,11 @@ pub struct RecoveryStats {
     pub checkpoints: u64,
     /// Placement degradations taken.
     pub degradations: u64,
+    /// Peer ranks observed permanently dead (mirrored on
+    /// `recovery.rank_losses`).
+    pub rank_losses: u64,
+    /// Communicator shrinks performed (mirrored on `recovery.shrinks`).
+    pub shrinks: u64,
 }
 
 /// The run is over: recovery could not commit further progress.
@@ -140,6 +179,26 @@ pub enum ResilienceError {
         /// The final attempt's verdict.
         last: SimError,
     },
+    /// *This* rank was permanently killed by an injected
+    /// [`FaultKind::RankKill`]. The rank has already marked itself dead
+    /// in the network; it must not communicate again. Survivors do not
+    /// see this error — they observe the death structurally and shrink.
+    Killed {
+        /// The (logical) rank that died.
+        rank: usize,
+        /// The step the kill fired at.
+        at_step: usize,
+    },
+    /// A permanent loss left fewer survivors than
+    /// [`RecoveryPolicy::min_ranks`]; the job cannot shrink further.
+    /// The verdict is derived from the frozen post-shrink survivor set,
+    /// so every survivor reports it together.
+    InsufficientRanks {
+        /// Live ranks after the loss.
+        survivors: usize,
+        /// The configured floor.
+        min_ranks: usize,
+    },
 }
 
 impl std::fmt::Display for ResilienceError {
@@ -147,6 +206,15 @@ impl std::fmt::Display for ResilienceError {
         match self {
             Self::RetriesExhausted { step, attempts, last } => {
                 write!(f, "recovery exhausted after {attempts} attempts at step {step}: {last}")
+            }
+            Self::Killed { rank, at_step } => {
+                write!(f, "rank {rank} permanently killed at step {at_step}")
+            }
+            Self::InsufficientRanks { survivors, min_ranks } => {
+                write!(
+                    f,
+                    "unrecoverable rank loss: {survivors} survivors, policy requires {min_ranks}"
+                )
             }
         }
     }
@@ -170,8 +238,33 @@ pub struct ResilientSim {
     attempts: usize,
     /// Consecutive `Device` verdicts at the current placement.
     device_strikes: usize,
+    /// The shrunken communicator after permanent rank losses. When
+    /// set, it supersedes the caller-supplied comm for every
+    /// collective — the caller's handle still addresses the original
+    /// job size.
+    shrunk: Option<Arc<Comm>>,
+    /// Permanent deaths already folded into a shrink.
+    accepted_deaths: usize,
+    /// Seed for the deterministic backoff jitter (the fault plan's
+    /// seed, or 0 without an injector).
+    jitter_seed: u64,
     stats: RecoveryStats,
     recorder: rbamr_telemetry::Recorder,
+}
+
+/// splitmix64 — the standard 64-bit finalizer, used for the backoff
+/// jitter so retry pacing is a pure function of `(seed, rank, attempt)`.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic jitter factor in `[0.5, 1.5)`.
+fn jitter_factor(seed: u64, rank: u64, attempt: u64) -> f64 {
+    let h = splitmix64(splitmix64(seed ^ rank.wrapping_mul(0x85EB_CA6B)) ^ attempt);
+    0.5 + (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 impl ResilientSim {
@@ -198,6 +291,9 @@ impl ResilientSim {
             checkpoint_step: 0,
             attempts: 0,
             device_strikes: 0,
+            shrunk: None,
+            accepted_deaths: 0,
+            jitter_seed: comm.and_then(|c| c.fault_injector()).map_or(0, |i| i.seed()),
             stats: RecoveryStats::default(),
             recorder,
         };
@@ -239,6 +335,23 @@ impl ResilientSim {
         self.stats
     }
 
+    /// This rank's current logical rank (renumbered by shrinks).
+    pub fn rank(&self) -> usize {
+        self.spec.rank
+    }
+
+    /// The current job size (reduced by shrinks).
+    pub fn nranks(&self) -> usize {
+        self.spec.nranks
+    }
+
+    /// The shrunken communicator, if a permanent rank loss has been
+    /// absorbed. Collectives issued by the driver use this in place of
+    /// the caller's original-size handle.
+    pub fn shrunk_comm(&self) -> Option<&Comm> {
+        self.shrunk.as_deref()
+    }
+
     /// Advance one step past the furthest committed point,
     /// transparently rolling back, replaying and retrying (and
     /// degrading the placement) on faults. A rollback rewinds the
@@ -252,7 +365,16 @@ impl ResilientSim {
     pub fn step(&mut self, comm: Option<&Comm>) -> Result<StepStats, ResilienceError> {
         let goal = self.sim.steps_taken() + 1;
         loop {
-            match self.sim.try_step_capped(comm, None) {
+            // A shrink may have replaced the communicator; resolve the
+            // active one fresh each attempt.
+            let active = self.shrunk.clone();
+            let cur = active.as_deref().or(comm);
+            // RankKill site 1 of 2: occurrence 2s, "top of step s".
+            // Every rank evaluates both sites every iteration so the
+            // occurrence counters stay aligned across ranks (the rule
+            // itself filters by rank).
+            self.poll_rank_kill(cur, self.sim.steps_taken())?;
+            match self.sim.try_step_capped(cur, None) {
                 Ok(stats) => {
                     self.attempts = 0;
                     self.device_strikes = 0;
@@ -260,13 +382,18 @@ impl ResilientSim {
                         self.stats.degraded_steps += 1;
                         self.recorder.count("recovery.degraded_steps", 1);
                     }
+                    // RankKill site 2 of 2: occurrence 2s+1, "inside
+                    // step s's checkpoint-adoption collective" — the
+                    // victim dies here and the survivors' adoption (or
+                    // next step) observes it structurally.
+                    self.poll_rank_kill(cur, self.sim.steps_taken() - 1)?;
                     if self.policy.checkpoint_interval > 0
                         && self.sim.steps_taken().is_multiple_of(self.policy.checkpoint_interval)
                     {
                         // A spoiled save is discarded collectively and
                         // the previous checkpoint stays live — not a
                         // step failure.
-                        let _ = self.try_adopt_checkpoint(comm);
+                        let _ = self.try_adopt_checkpoint(cur);
                     }
                     if self.sim.steps_taken() >= goal {
                         return Ok(stats);
@@ -313,18 +440,27 @@ impl ResilientSim {
         self.wire(comm);
     }
 
-    /// Save a checkpoint and adopt it collectively: a save spoiled by a
-    /// device fault on *any* rank is discarded on *every* rank.
+    /// Save a global checkpoint manifest and adopt it collectively: a
+    /// save spoiled by a device or transport fault on *any* rank is
+    /// discarded on *every* rank. The adopted manifest is identical on
+    /// every rank and rank-count-independent, so it stays restorable
+    /// after the job shrinks.
     fn try_adopt_checkpoint(&mut self, comm: Option<&Comm>) -> Result<(), SimError> {
-        let db = self.sim.save_checkpoint();
         let mut local: Option<SimError> = None;
+        let db = match self.sim.try_save_checkpoint(comm) {
+            Ok(db) => Some(db),
+            Err(e) => {
+                local = Some(e.into());
+                None
+            }
+        };
         if let Some(device) = self.sim.device() {
             if let Some(e) = device.take_injected_fault() {
                 local = Some(e.into());
             }
         }
         self.sim.commit(comm, local)?;
-        self.checkpoint = db;
+        self.checkpoint = db.expect("a committed save produced a manifest");
         self.checkpoint_step = self.sim.steps_taken();
         self.stats.checkpoints += 1;
         self.recorder.count("recovery.checkpoints", 1);
@@ -362,22 +498,86 @@ impl ResilientSim {
             self.device_strikes = 0;
         }
         let backoff = self.policy.backoff_base * (1u64 << (self.attempts - 1).min(16)) as f64;
-        self.clock.advance(Category::Other, backoff);
+        // Deterministic seeded jitter decorrelates the ranks' simulated
+        // retry storms without sacrificing reproducibility: the factor
+        // is a pure hash, never wall-clock randomness.
+        let jitter =
+            jitter_factor(self.jitter_seed, self.spec.rank as u64, self.attempts as u64);
+        self.clock.advance(Category::Other, backoff * jitter);
         Ok(())
     }
 
-    /// One rollback-and-retry cycle: book-keep the failure, rebuild at
-    /// the current placement and restore the last checkpoint. Restore
-    /// is fault-aware and its verdict is made collective here, so a
-    /// faulted restore simply counts as the next failed attempt on
-    /// every rank.
+    /// RankKill fault site: decide (deterministically) whether this
+    /// rank dies here. The victim marks itself dead — so survivors
+    /// observe the death structurally, with no timeout — and reports
+    /// [`ResilienceError::Killed`]; it must not touch the communicator
+    /// again.
+    fn poll_rank_kill(
+        &self,
+        comm: Option<&Comm>,
+        at_step: usize,
+    ) -> Result<(), ResilienceError> {
+        let Some(c) = comm else { return Ok(()) };
+        let Some(inj) = c.fault_injector() else { return Ok(()) };
+        if inj.should_fire(FaultKind::RankKill).is_some() {
+            c.mark_dead();
+            return Err(ResilienceError::Killed { rank: c.rank(), at_step });
+        }
+        Ok(())
+    }
+
+    /// Fold newly observed permanent deaths into a communicator shrink.
+    ///
+    /// Every survivor reaches this point together — the step verdict
+    /// that failed is collective, and once a rank is dead every
+    /// collective among the un-shrunk survivors carries a revoked
+    /// verdict — so the shrink barrier cannot strand anyone. The
+    /// survivor set is frozen by the barrier's completion, making the
+    /// new logical numbering and the [`ResilienceError::InsufficientRanks`]
+    /// verdict identical on every survivor.
+    fn maybe_shrink(&mut self, comm: Option<&Comm>) -> Result<(), ResilienceError> {
+        let active = self.shrunk.clone();
+        let Some(c) = active.as_deref().or(comm) else { return Ok(()) };
+        if c.dead_ranks().len() <= self.accepted_deaths {
+            return Ok(());
+        }
+        let shrunk = c.shrink().expect("a live rank can always shrink");
+        let lost = c.size() - shrunk.size();
+        self.accepted_deaths += lost;
+        self.stats.rank_losses += lost as u64;
+        self.recorder.count("recovery.rank_losses", lost as u64);
+        self.stats.shrinks += 1;
+        self.recorder.count("recovery.shrinks", 1);
+        // The rebuilt simulations live at the new logical coordinates;
+        // restores re-partition patches over the survivor set.
+        self.spec.rank = shrunk.rank();
+        self.spec.nranks = shrunk.size();
+        if shrunk.size() < self.policy.min_ranks.max(1) {
+            return Err(ResilienceError::InsufficientRanks {
+                survivors: shrunk.size(),
+                min_ranks: self.policy.min_ranks,
+            });
+        }
+        self.shrunk = Some(Arc::new(shrunk));
+        Ok(())
+    }
+
+    /// One rollback-and-retry cycle: fold any newly observed permanent
+    /// deaths into a shrink, book-keep the failure, rebuild at the
+    /// current placement (and, after a shrink, the new logical rank)
+    /// and restore the last checkpoint. Restore is fault-aware and its
+    /// verdict is made collective here, so a faulted restore simply
+    /// counts as the next failed attempt on every rank.
     fn recover(&mut self, e: SimError, comm: Option<&Comm>) -> Result<(), ResilienceError> {
+        self.maybe_shrink(comm)?;
         self.note_failure(e)?;
         self.stats.rollbacks += 1;
         self.recorder.count("recovery.rollbacks", 1);
-        self.rebuild(comm);
-        let restored = self.sim.try_restore_checkpoint(&self.checkpoint, comm);
-        match self.sim.commit(comm, restored.err().map(SimError::from)) {
+        let active = self.shrunk.clone();
+        let cur = active.as_deref().or(comm);
+        self.rebuild(cur);
+        let restored = self.sim.try_restore_checkpoint(&self.checkpoint, cur);
+        match self.sim.commit(cur, restored.err().map(SimError::from)) {
             Ok(()) => Ok(()),
             Err(e2) => self.recover(e2, comm),
         }

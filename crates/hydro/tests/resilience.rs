@@ -263,7 +263,9 @@ fn persistent_collective_fault_exhausts_retries_on_every_rank() {
     );
     for (rank, result) in results.iter().enumerate() {
         let err = result.as_ref().expect_err("a persistent collective fault is unrecoverable");
-        let ResilienceError::RetriesExhausted { attempts, last, .. } = err;
+        let ResilienceError::RetriesExhausted { attempts, last, .. } = err else {
+            panic!("rank {rank}: expected RetriesExhausted, got {err:?}");
+        };
         assert_eq!(*attempts, 3, "rank {rank}: the whole retry budget was spent");
         assert!(
             matches!(last, SimError::Comm { .. }),
@@ -289,4 +291,110 @@ fn same_seed_reruns_reproduce_fault_sites_and_stats() {
         assert_eq!(ra, rb, "rank {rank}: same seed must reproduce digests, stats and fault sites");
         assert!(ra.report.total_fired() > 0, "rank {rank}: the planned faults must fire");
     }
+}
+
+/// Permanent rank loss: the victim reports `Killed`, the survivor
+/// detects the death structurally (no timeout), shrinks to one rank,
+/// rolls back to the last adopted checkpoint, and replays to a digest
+/// bitwise-identical to a fault-free run at the surviving rank count.
+#[test]
+fn rank_kill_shrinks_and_replays_to_the_survivor_baseline() {
+    let steps = 8;
+    let baseline =
+        run_resilient(Placement::Host, 1, steps, FaultPlan::none(), RecoveryPolicy::default());
+    let base = baseline[0].as_ref().expect("baseline is fault-free");
+
+    let outcome = run_resilient(
+        Placement::Host,
+        2,
+        steps,
+        FaultPlan::new(21, vec![FaultRule::rank_kill(1, 3)]),
+        RecoveryPolicy::default(),
+    );
+    assert!(
+        matches!(outcome[1], Err(ResilienceError::Killed { rank: 1, at_step: 3 })),
+        "the victim reports its own death, got {:?}",
+        outcome[1]
+    );
+    let survivor = outcome[0].as_ref().expect("the survivor completes the run");
+    assert_eq!(
+        survivor.digest, base.digest,
+        "survivor must finish bitwise-identical to the fault-free 1-rank run"
+    );
+    assert_eq!(survivor.stats.shrinks, 1);
+    assert_eq!(survivor.stats.rank_losses, 1);
+    assert!(survivor.stats.rollbacks >= 1, "the shrink rolls back to the checkpoint");
+}
+
+/// A kill firing *inside* the checkpoint-adoption collective: the
+/// survivors' save is revoked (discarded collectively), the next step
+/// fails structurally, and recovery shrinks as usual.
+#[test]
+fn rank_kill_during_checkpoint_adoption_is_survived() {
+    let steps = 8;
+    let baseline =
+        run_resilient(Placement::Host, 1, steps, FaultPlan::none(), RecoveryPolicy::default());
+    let base = baseline[0].as_ref().expect("baseline is fault-free");
+
+    let outcome = run_resilient(
+        Placement::Host,
+        2,
+        steps,
+        // Step 5 is a checkpoint-interval step, so the victim dies
+        // right before the survivors enter the adoption collective.
+        FaultPlan::new(22, vec![FaultRule::rank_kill_at_adopt(1, 5)]),
+        RecoveryPolicy::default(),
+    );
+    assert!(matches!(outcome[1], Err(ResilienceError::Killed { rank: 1, at_step: 5 })));
+    let survivor = outcome[0].as_ref().expect("the survivor completes the run");
+    assert_eq!(survivor.digest, base.digest);
+    assert_eq!(survivor.stats.shrinks, 1);
+}
+
+/// Shrinking from four ranks to three renumbers the survivors: each
+/// survivor's final digest matches the corresponding logical rank of a
+/// fault-free three-rank run.
+#[test]
+fn four_rank_kill_matches_three_rank_baseline_per_logical_rank() {
+    let steps = 6;
+    let baseline =
+        run_resilient(Placement::Host, 3, steps, FaultPlan::none(), RecoveryPolicy::default());
+    let outcome = run_resilient(
+        Placement::Host,
+        4,
+        steps,
+        FaultPlan::new(23, vec![FaultRule::rank_kill(1, 2)]),
+        RecoveryPolicy::default(),
+    );
+    assert!(matches!(outcome[1], Err(ResilienceError::Killed { rank: 1, at_step: 2 })));
+    // Survivors 0, 2, 3 renumber to logical 0, 1, 2.
+    for (original, logical) in [(0usize, 0usize), (2, 1), (3, 2)] {
+        let survivor = outcome[original].as_ref().expect("survivors complete");
+        let base = baseline[logical].as_ref().expect("baseline is fault-free");
+        assert_eq!(
+            survivor.digest, base.digest,
+            "original rank {original} (logical {logical}) must match the 3-rank baseline"
+        );
+        assert_eq!(survivor.stats.rank_losses, 1);
+    }
+}
+
+/// A loss below the policy's rank floor fails fast — with the same
+/// typed error on every survivor, not a hang.
+#[test]
+fn loss_below_min_ranks_fails_fast_on_every_survivor() {
+    let policy = RecoveryPolicy { min_ranks: 2, ..RecoveryPolicy::default() };
+    let outcome = run_resilient(
+        Placement::Host,
+        2,
+        6,
+        FaultPlan::new(24, vec![FaultRule::rank_kill(0, 2)]),
+        policy,
+    );
+    assert!(matches!(outcome[0], Err(ResilienceError::Killed { rank: 0, at_step: 2 })));
+    assert_eq!(
+        outcome[1],
+        Err(ResilienceError::InsufficientRanks { survivors: 1, min_ranks: 2 }),
+        "the survivor must fail fast below the configured rank floor"
+    );
 }

@@ -268,24 +268,27 @@ fn tree_children(rank: usize, root: usize, n: usize) -> Vec<usize> {
     out
 }
 
-/// Reduce frame: `[taint u8][3 × u64 LE]` (25 bytes).
-fn encode_reduce(taint: bool, words: [u64; 3]) -> Bytes {
+/// Reduce frame: `[flags u8][3 × u64 LE]` (25 bytes). Flag bit 0 is
+/// the injected-fault taint, bit 1 the dead-rank revocation taint —
+/// both OR-ed through the butterfly/tree exchange so they surface
+/// symmetrically on every surviving rank.
+fn encode_reduce(taint: bool, revoked: bool, words: [u64; 3]) -> Bytes {
     let mut v = Vec::with_capacity(25);
-    v.push(taint as u8);
+    v.push(taint as u8 | (revoked as u8) << 1);
     for w in words {
         v.extend_from_slice(&w.to_le_bytes());
     }
     Bytes::from(v)
 }
 
-fn decode_reduce(frame: &Bytes) -> (bool, [u64; 3]) {
+fn decode_reduce(frame: &Bytes) -> (bool, bool, [u64; 3]) {
     assert_eq!(frame.len(), 25, "reduce frame: malformed length");
     let mut words = [0u64; 3];
     for (i, w) in words.iter_mut().enumerate() {
         let at = 1 + 8 * i;
         *w = u64::from_le_bytes(frame[at..at + 8].try_into().expect("8-byte word"));
     }
-    (frame[0] != 0, words)
+    (frame[0] & 1 != 0, frame[0] & 2 != 0, words)
 }
 
 /// Segment frame: `[taint u8][nseg u32 LE][(rank u32, len u32) ×
@@ -322,8 +325,17 @@ fn decode_segments(frame: &Bytes) -> (bool, Vec<(usize, Bytes)>) {
     (frame[0] != 0, segments)
 }
 
-fn finish_reduce(name: &'static str, taint: bool, acc: [u64; 3]) -> Result<[u64; 3], CommError> {
-    if taint {
+fn finish_reduce(
+    name: &'static str,
+    taint: bool,
+    revoked: bool,
+    acc: [u64; 3],
+) -> Result<[u64; 3], CommError> {
+    // Revocation outranks an injected taint: a result missing a dead
+    // rank's contribution must not be acted on at all.
+    if revoked {
+        Err(CommError::Revoked { name })
+    } else if taint {
         Err(CommError::CollectiveFault { name })
     } else {
         Ok(acc)
@@ -350,31 +362,55 @@ pub(crate) fn rd_reduce(
     let p = pow2_floor(n);
     let extras = n - p;
     let mut taint = injected;
+    let mut revoked = false;
     let mut acc = words;
+    // A dead peer severs its exchange edge: the receive fails typed
+    // (RankDead), the local partial stands, and the revocation bit
+    // travels every remaining edge — the information-flow graph of the
+    // butterfly reaches all survivors, so every one of them reports the
+    // same Revoked verdict instead of hanging or diverging.
     if rank >= p {
         let proxy = rank - p;
-        comm.send_exempt(proxy, tag, encode_reduce(taint, acc));
-        let (t, w) = decode_reduce(&comm.recv_exempt(proxy, tag, category)?);
-        return finish_reduce(spec.name, t, w);
+        comm.send_exempt(proxy, tag, encode_reduce(taint, revoked, acc));
+        let (t, rv, w) = match comm.recv_exempt(proxy, tag, category) {
+            Ok(frame) => decode_reduce(&frame),
+            Err(CommError::RankDead { .. }) => (taint, true, acc),
+            Err(e) => return Err(e),
+        };
+        return finish_reduce(spec.name, t, rv, w);
     }
     if rank < extras {
-        let (t, w) = decode_reduce(&comm.recv_exempt(rank + p, tag, category)?);
-        taint |= t;
-        (spec.combine)(&mut acc, w);
+        match comm.recv_exempt(rank + p, tag, category) {
+            Ok(frame) => {
+                let (t, rv, w) = decode_reduce(&frame);
+                taint |= t;
+                revoked |= rv;
+                (spec.combine)(&mut acc, w);
+            }
+            Err(CommError::RankDead { .. }) => revoked = true,
+            Err(e) => return Err(e),
+        }
     }
     let mut k = 1;
     while k < p {
         let partner = rank ^ k;
-        comm.send_exempt(partner, tag, encode_reduce(taint, acc));
-        let (t, w) = decode_reduce(&comm.recv_exempt(partner, tag, category)?);
-        taint |= t;
-        (spec.combine)(&mut acc, w);
+        comm.send_exempt(partner, tag, encode_reduce(taint, revoked, acc));
+        match comm.recv_exempt(partner, tag, category) {
+            Ok(frame) => {
+                let (t, rv, w) = decode_reduce(&frame);
+                taint |= t;
+                revoked |= rv;
+                (spec.combine)(&mut acc, w);
+            }
+            Err(CommError::RankDead { .. }) => revoked = true,
+            Err(e) => return Err(e),
+        }
         k <<= 1;
     }
     if rank < extras {
-        comm.send_exempt(rank + p, tag, encode_reduce(taint, acc));
+        comm.send_exempt(rank + p, tag, encode_reduce(taint, revoked, acc));
     }
-    finish_reduce(spec.name, taint, acc)
+    finish_reduce(spec.name, taint, revoked, acc)
 }
 
 /// Rooted-tree allreduce: reduce up a binomial tree to rank 0, then
@@ -392,26 +428,49 @@ pub(crate) fn tree_reduce(
     let up = comm.next_collective_tag();
     let down = comm.next_collective_tag();
     let mut taint = injected;
+    let mut revoked = false;
     let mut acc = words;
     let children = tree_children(rank, 0, n);
+    // Dead-rank discipline: a dead child severs its up edge (the
+    // parent's partial is revoked, and the bit rides up to the root and
+    // back down); a dead parent severs the down edge (this subtree
+    // keeps its local partial, revoked). Either way every survivor
+    // reports Revoked — no rank hangs, no two ranks return different
+    // Ok values.
     for &c in &children {
-        let (t, w) = decode_reduce(&comm.recv_exempt(c, up, category)?);
-        taint |= t;
-        (spec.combine)(&mut acc, w);
+        match comm.recv_exempt(c, up, category) {
+            Ok(frame) => {
+                let (t, rv, w) = decode_reduce(&frame);
+                taint |= t;
+                revoked |= rv;
+                (spec.combine)(&mut acc, w);
+            }
+            Err(CommError::RankDead { .. }) => revoked = true,
+            Err(e) => return Err(e),
+        }
     }
     if rank != 0 {
         let parent = tree_parent(rank, 0, n);
-        comm.send_exempt(parent, up, encode_reduce(taint, acc));
+        comm.send_exempt(parent, up, encode_reduce(taint, revoked, acc));
         // The root's answer supersedes the local partial (its taint
-        // already includes ours, which went up with the partial).
-        let (t, w) = decode_reduce(&comm.recv_exempt(parent, down, category)?);
-        taint = t;
-        acc = w;
+        // already includes ours, which went up with the partial) —
+        // unless the parent died, in which case the local partial
+        // stands, revoked.
+        match comm.recv_exempt(parent, down, category) {
+            Ok(frame) => {
+                let (t, rv, w) = decode_reduce(&frame);
+                taint = t;
+                revoked |= rv;
+                acc = w;
+            }
+            Err(CommError::RankDead { .. }) => revoked = true,
+            Err(e) => return Err(e),
+        }
     }
     for &c in &children {
-        comm.send_exempt(c, down, encode_reduce(taint, acc));
+        comm.send_exempt(c, down, encode_reduce(taint, revoked, acc));
     }
-    finish_reduce(spec.name, taint, acc)
+    finish_reduce(spec.name, taint, revoked, acc)
 }
 
 /// Binomial-tree gather: each rank merges its subtree's `(rank,
@@ -707,9 +766,11 @@ mod tests {
     fn reduce_frame_roundtrip() {
         let words = [u64::MAX, 0x1234_5678_9abc_def0, 7];
         for taint in [false, true] {
-            let frame = encode_reduce(taint, words);
-            assert_eq!(frame.len(), 25);
-            assert_eq!(decode_reduce(&frame), (taint, words));
+            for revoked in [false, true] {
+                let frame = encode_reduce(taint, revoked, words);
+                assert_eq!(frame.len(), 25);
+                assert_eq!(decode_reduce(&frame), (taint, revoked, words));
+            }
         }
     }
 

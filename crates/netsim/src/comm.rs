@@ -43,6 +43,22 @@ impl std::fmt::Display for PeerPanicked {
 
 impl std::error::Error for PeerPanicked {}
 
+/// Engine-level failure for a blocking operation. Distinguishes the
+/// job-wide poison (a peer's *panic* — a bug, propagated loudly) from a
+/// first-class *permanent rank death* (an injected `RankKill` — an
+/// expected event at scale that the survivors recover from by
+/// shrinking; see [`Comm::shrink`]).
+pub(crate) enum Fail {
+    /// A peer's panic poisoned the job.
+    Poisoned(PeerPanicked),
+    /// The specific peer this operation depends on is permanently dead
+    /// (physical rank id).
+    Dead {
+        /// The dead peer's physical rank.
+        rank: usize,
+    },
+}
+
 /// Message-tag layout: the top four bits (63..=60) of every tag carry
 /// the message *kind* — an application-chosen channel class used to
 /// split telemetry counters (`net.sends.kind{k}`); kind 15 is reserved
@@ -120,6 +136,26 @@ pub enum CommError {
         /// The rank whose panic poisoned the job.
         origin: usize,
     },
+    /// The peer rank this operation depends on is permanently dead
+    /// (killed by an injected `RankKill` or declared via
+    /// [`Comm::mark_dead`]). Unlike [`CommError::PeerPanicked`] this is
+    /// not a job-wide poison: survivors detect it, agree collectively,
+    /// and shrink the job via [`Comm::shrink`]. The rank id is in the
+    /// caller's (logical) numbering.
+    RankDead {
+        /// The dead rank.
+        rank: usize,
+    },
+    /// A collective completed among the survivors after one or more
+    /// participants permanently died mid-operation: the combined result
+    /// is structurally complete but *revoked* — it is missing the dead
+    /// rank's contribution, so no rank may act on it. Every surviving
+    /// participant observes this same error (the ULFM
+    /// `MPI_ERR_REVOKED` analogue).
+    Revoked {
+        /// The collective's name.
+        name: &'static str,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -142,6 +178,12 @@ impl std::fmt::Display for CommError {
             }
             Self::PeerPanicked { origin } => {
                 write!(f, "peer rank {origin} panicked; job poisoned")
+            }
+            Self::RankDead { rank } => {
+                write!(f, "rank {rank} is permanently dead")
+            }
+            Self::Revoked { name } => {
+                write!(f, "collective {name} revoked: a participant died mid-operation")
             }
         }
     }
@@ -231,7 +273,7 @@ impl Shared {
         src: usize,
         tag: u64,
         category: Category,
-    ) -> Result<Bytes, PeerPanicked> {
+    ) -> Result<Bytes, Fail> {
         match &self.engine {
             EngineImpl::Sched(s) => s.pop_frame(rank, src, tag, category),
             EngineImpl::Threads(t) => t.pop_frame(rank, src, tag, category),
@@ -246,10 +288,56 @@ impl Shared {
         words: [u64; 3],
         combine: fn(&mut [u64; 3], [u64; 3]),
         fault: bool,
-    ) -> Result<([u64; 3], bool), PeerPanicked> {
+    ) -> Result<([u64; 3], bool, bool), PeerPanicked> {
         match &self.engine {
             EngineImpl::Sched(s) => s.rendezvous(rank, name, category, words, combine, fault),
             EngineImpl::Threads(t) => t.rendezvous(rank, name, category, words, combine, fault),
+        }
+    }
+
+    /// Declare `rank` permanently dead: pending receives from it fail
+    /// with [`Fail::Dead`] once its mailbox drains, in-flight
+    /// rendezvous collectives complete among the survivors with the
+    /// revocation taint, and the structural deadlock detector stops
+    /// counting it as live.
+    pub(crate) fn mark_dead(&self, rank: usize) {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.mark_dead(rank),
+            EngineImpl::Threads(t) => t.mark_dead(rank),
+        }
+    }
+
+    /// Whether `rank` (physical) has been declared permanently dead.
+    pub(crate) fn is_dead(&self, rank: usize) -> bool {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.is_dead(rank),
+            EngineImpl::Threads(t) => t.is_dead(rank),
+        }
+    }
+
+    /// All physical ranks declared permanently dead so far, ascending.
+    pub(crate) fn dead_ranks(&self) -> Vec<usize> {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.dead_ranks(),
+            EngineImpl::Threads(t) => t.dead_ranks(),
+        }
+    }
+
+    /// Survivor barrier at a shrink boundary: blocks until every live
+    /// rank arrives (dead ranks excluded), flushes all mailboxes (frames
+    /// addressed to or queued from any rank — the shrink boundary is a
+    /// communication epoch), max-combines the submitted counter words so
+    /// survivors resume with aligned collective/rendezvous sequence
+    /// numbers, and acknowledges all deaths so far (subsequent
+    /// rendezvous among the survivors are no longer revoked).
+    pub(crate) fn shrink_align(
+        &self,
+        rank: usize,
+        words: [u64; 2],
+    ) -> Result<[u64; 2], PeerPanicked> {
+        match &self.engine {
+            EngineImpl::Sched(s) => s.shrink_align(rank, words),
+            EngineImpl::Threads(t) => t.shrink_align(rank, words),
         }
     }
 }
@@ -258,7 +346,17 @@ impl Shared {
 /// analogue. One `Comm` is handed to each rank closure by
 /// [`Cluster::run`](crate::Cluster::run).
 pub struct Comm {
+    /// This rank's *physical* id in the original job, `0..shared.size`.
+    /// Engine-level operations (frames, rendezvous, liveness) always
+    /// speak physical ids; the application-facing [`Comm::rank`] /
+    /// [`Comm::size`] speak the logical (post-shrink) numbering.
     rank: usize,
+    /// Logical→physical rank translation after a shrink: `view[l]` is
+    /// the physical id of logical rank `l`. `None` until the first
+    /// [`Comm::shrink`] (identity mapping).
+    view: Option<Arc<Vec<usize>>>,
+    /// This rank's logical id (`== rank` until the first shrink).
+    logical_rank: usize,
     shared: Arc<Shared>,
     clock: Clock,
     cost: Arc<CostModel>,
@@ -317,6 +415,8 @@ impl Comm {
     ) -> Self {
         Self {
             rank,
+            view: None,
+            logical_rank: rank,
             shared,
             clock,
             cost,
@@ -406,14 +506,109 @@ impl Comm {
         }
     }
 
-    /// This rank's id, `0..size`.
+    /// This rank's id, `0..size`, in the current (logical) numbering.
+    /// Identical to the physical id until a [`Comm::shrink`] renumbers
+    /// the survivors densely.
     pub fn rank(&self) -> usize {
-        self.rank
+        self.logical_rank
     }
 
-    /// Number of ranks in the job.
+    /// Number of ranks in the (current, possibly shrunk) job.
     pub fn size(&self) -> usize {
-        self.shared.size
+        match &self.view {
+            Some(v) => v.len(),
+            None => self.shared.size,
+        }
+    }
+
+    /// Physical id of logical rank `l`.
+    #[inline]
+    fn physical(&self, l: usize) -> usize {
+        match &self.view {
+            Some(v) => v[l],
+            None => l,
+        }
+    }
+
+    /// Declare *this* rank permanently dead (the simulated analogue of
+    /// a node loss). Pending and future receives that depend on it fail
+    /// on the survivors with [`CommError::RankDead`], in-flight
+    /// rendezvous collectives complete among the survivors as
+    /// [`CommError::Revoked`], and the structural deadlock detector
+    /// stops counting this rank as live — the survivors never hang on
+    /// it. The dying rank's closure should return promptly after
+    /// calling this; its remaining sends are black-holed.
+    pub fn mark_dead(&self) {
+        self.shared.mark_dead(self.rank);
+    }
+
+    /// All physical ranks declared permanently dead so far (ascending).
+    /// Physical ids are stable across shrinks, so survivors can count
+    /// distinct losses against this list.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        self.shared.dead_ranks()
+    }
+
+    /// Shrink the job to the current survivor set: blocks until every
+    /// survivor arrives, flushes all in-flight frames (the shrink
+    /// boundary is a communication epoch — unreceived messages are
+    /// lost, exactly like packets addressed to a dead node), aligns
+    /// collective sequence numbers across survivors, and returns a new
+    /// communicator whose [`Comm::rank`] / [`Comm::size`] renumber the
+    /// survivors densely (`0..survivors`). The old communicator must
+    /// not be used afterwards. The virtual clock, cost model, recorder,
+    /// and fault injector carry over, so telemetry and causal traces
+    /// continue across the boundary.
+    ///
+    /// # Errors
+    /// [`CommError::RankDead`] if this rank is itself dead (it has no
+    /// place in the survivor set).
+    ///
+    /// # Panics
+    /// Panics with a [`PeerPanicked`] payload if the job is poisoned.
+    pub fn shrink(&self) -> Result<Comm, CommError> {
+        if self.shared.is_dead(self.rank) {
+            return Err(CommError::RankDead { rank: self.rank });
+        }
+        let words = [
+            self.collective_seq.load(std::sync::atomic::Ordering::Relaxed),
+            self.rendezvous_seq.load(std::sync::atomic::Ordering::Relaxed),
+        ];
+        let aligned = match self.shared.shrink_align(self.rank, words) {
+            Ok(w) => w,
+            Err(p) => std::panic::panic_any(p),
+        };
+        // The survivor set is read *after* the align: completion
+        // freezes the accepted dead set under the engine lock, so every
+        // survivor derives the same view even when a second death lands
+        // while the first is being agreed on.
+        let dead = self.shared.dead_ranks();
+        let survivors: Vec<usize> =
+            (0..self.shared.size).filter(|r| !dead.contains(r)).collect();
+        let logical_rank = survivors
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("live rank must appear in the survivor set");
+        self.recorder.count("net.shrinks", 1);
+        Ok(Comm {
+            rank: self.rank,
+            view: Some(Arc::new(survivors)),
+            logical_rank,
+            shared: Arc::clone(&self.shared),
+            clock: self.clock.clone(),
+            cost: Arc::clone(&self.cost),
+            algo: self.algo,
+            collective_seq: std::sync::atomic::AtomicU64::new(aligned[0]),
+            rendezvous_seq: std::sync::atomic::AtomicU64::new(aligned[1]),
+            // Point-to-point occurrence counters restart symmetrically
+            // on every survivor: flushed frames would otherwise leave
+            // sender and receiver counters permanently skewed.
+            send_seq: Mutex::new(HashMap::new()),
+            recv_seq: Mutex::new(HashMap::new()),
+            recorder: self.recorder.clone(),
+            injector: self.injector.clone(),
+            overlap_credit: Mutex::new(*self.overlap_credit.lock()),
+        })
     }
 
     /// The rank's virtual clock (shared with its device, if any).
@@ -473,6 +668,24 @@ impl Comm {
         self.send_inner(dst, tag, payload, false);
     }
 
+    /// Dead-rank-aware send: like [`Comm::send`] but returns a typed
+    /// [`CommError::RankDead`] instead of silently black-holing the
+    /// frame when `dst` has been declared permanently dead. Use on
+    /// paths that want to *react* to a peer's death (the plain `send`
+    /// stays infallible so survivors mid-way through a doomed step's
+    /// communication pattern can run through to the step commit).
+    ///
+    /// # Errors
+    /// [`CommError::RankDead`] when `dst` is dead.
+    pub fn try_send(&self, dst: usize, tag: u64, payload: Bytes) -> Result<(), CommError> {
+        assert!(dst < self.size(), "send: rank {dst} out of range");
+        if self.shared.is_dead(self.physical(dst)) {
+            return Err(CommError::RankDead { rank: dst });
+        }
+        self.send_inner(dst, tag, payload, false);
+        Ok(())
+    }
+
     /// Buffered send for reduce-internal collective frames: identical
     /// to [`Comm::send`] except the wire-fault injector is never
     /// consulted (a rendezvous reduce has no frames to drop either;
@@ -482,8 +695,9 @@ impl Comm {
     }
 
     fn send_inner(&self, dst: usize, tag: u64, payload: Bytes, exempt: bool) {
-        assert!(dst < self.shared.size, "send: rank {dst} out of range");
-        assert_ne!(dst, self.rank, "send: rank {} sent to itself", self.rank);
+        assert!(dst < self.size(), "send: rank {dst} out of range");
+        let dst = self.physical(dst);
+        assert_ne!(dst, self.rank, "send: rank {} sent to itself", self.logical_rank);
         self.count_message(true, tag, payload.len() as u64);
         if self.recorder.is_enabled() {
             let occ = next_occurrence(&self.send_seq, dst, tag);
@@ -537,11 +751,17 @@ impl Comm {
         category: Category,
         exempt: bool,
     ) -> Result<Bytes, CommError> {
-        assert!(src < self.shared.size, "recv: rank {src} out of range");
-        assert_ne!(src, self.rank, "recv: rank {} received from itself", self.rank);
+        assert!(src < self.size(), "recv: rank {src} out of range");
+        let logical_src = src;
+        let src = self.physical(src);
+        assert_ne!(src, self.rank, "recv: rank {} received from itself", self.logical_rank);
         let frame = match self.shared.pop_frame(self.rank, src, tag, category) {
             Ok(frame) => frame,
-            Err(p) => return Err(CommError::PeerPanicked { origin: p.origin }),
+            Err(Fail::Poisoned(p)) => return Err(CommError::PeerPanicked { origin: p.origin }),
+            Err(Fail::Dead { rank }) => {
+                debug_assert_eq!(rank, src, "engine reported a different dead rank");
+                return Err(CommError::RankDead { rank: logical_src });
+            }
         };
         assert!(!frame.is_empty(), "recv: malformed frame (missing flag byte)");
         let flag = frame[0];
@@ -578,8 +798,12 @@ impl Comm {
         }
         match flag {
             FLAG_OK => Ok(payload),
-            FLAG_DROPPED => Err(CommError::MessageDropped { src, dst: self.rank, tag }),
-            FLAG_CORRUPT => Err(CommError::MessageCorrupt { src, dst: self.rank, tag }),
+            FLAG_DROPPED => {
+                Err(CommError::MessageDropped { src: logical_src, dst: self.logical_rank, tag })
+            }
+            FLAG_CORRUPT => {
+                Err(CommError::MessageCorrupt { src: logical_src, dst: self.logical_rank, tag })
+            }
             other => panic!("recv: unknown frame flag {other}"),
         }
     }
@@ -678,7 +902,7 @@ impl Comm {
         // add empty frames: every algorithm runs it as a rendezvous.
         let rendezvous = self.algo == CollectiveAlgo::Flat || spec.bytes == 0;
         if rendezvous {
-            let nranks = self.shared.size as u32;
+            let nranks = self.size() as u32;
             let cost = self.cost.allreduce(nranks, spec.bytes);
             self.clock.advance(category, cost);
             let cseq = self.rendezvous_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -689,7 +913,7 @@ impl Comm {
         if injected.is_some() {
             self.recorder.count("fault.injected", 1);
         }
-        if self.shared.size == 1 {
+        if self.size() == 1 {
             return if injected.is_some() {
                 Err(CommError::CollectiveFault { name })
             } else {
@@ -697,7 +921,7 @@ impl Comm {
             };
         }
         if rendezvous {
-            let (result, result_fault) = match self.shared.rendezvous(
+            let (result, result_fault, result_revoked) = match self.shared.rendezvous(
                 self.rank,
                 name,
                 category,
@@ -708,7 +932,11 @@ impl Comm {
                 Ok(out) => out,
                 Err(p) => return Err(CommError::PeerPanicked { origin: p.origin }),
             };
-            return if result_fault {
+            // Revocation outranks an injected taint: a result missing a
+            // dead rank's contribution must not be acted on at all.
+            return if result_revoked {
+                Err(CommError::Revoked { name })
+            } else if result_fault {
                 Err(CommError::CollectiveFault { name })
             } else {
                 Ok(result)
@@ -862,11 +1090,11 @@ impl Comm {
         category: Category,
     ) -> Result<Option<Vec<Bytes>>, CommError> {
         let tag = self.next_collective_tag();
-        if self.rank == root {
-            let mut parts = Vec::with_capacity(self.shared.size);
+        if self.rank() == root {
+            let mut parts = Vec::with_capacity(self.size());
             let mut first_err = None;
-            for src in 0..self.shared.size {
-                if src == self.rank {
+            for src in 0..self.size() {
+                if src == self.rank() {
                     parts.push(payload.clone());
                 } else {
                     match self.try_recv(src, tag, category) {
@@ -925,20 +1153,20 @@ impl Comm {
         category: Category,
     ) -> Result<Bytes, CommError> {
         let tag = self.next_collective_tag();
-        if self.rank == root {
+        if self.rank() == root {
             let Some(payload) = payload else {
                 return Err(CommError::MissingRootPayload { root });
             };
             self.recorder.count("net.collective_bytes", payload.len() as u64);
-            for dst in 0..self.shared.size {
-                if dst != self.rank {
+            for dst in 0..self.size() {
+                if dst != self.rank() {
                     self.send(dst, tag, payload.clone());
                 }
             }
             Ok(payload)
         } else {
             if payload.is_some() {
-                return Err(CommError::UnexpectedPayload { rank: self.rank });
+                return Err(CommError::UnexpectedPayload { rank: self.rank() });
             }
             let payload = self.try_recv(root, tag, category)?;
             self.recorder.count("net.collective_bytes", payload.len() as u64);
@@ -982,15 +1210,15 @@ impl Comm {
     /// followed by one receive per peer in rank order.
     fn flat_allgatherv(&self, payload: Bytes, category: Category) -> Result<Vec<Bytes>, CommError> {
         let tag = self.next_collective_tag();
-        for dst in 0..self.shared.size {
-            if dst != self.rank {
+        for dst in 0..self.size() {
+            if dst != self.rank() {
                 self.send(dst, tag, payload.clone());
             }
         }
-        let mut parts = Vec::with_capacity(self.shared.size);
+        let mut parts = Vec::with_capacity(self.size());
         let mut first_err = None;
-        for src in 0..self.shared.size {
-            if src == self.rank {
+        for src in 0..self.size() {
+            if src == self.rank() {
                 parts.push(payload.clone());
             } else {
                 match self.try_recv(src, tag, category) {
@@ -1677,5 +1905,107 @@ mod tests {
         let msg = panic_message(&err);
         assert!(msg.contains("oracle explosion"), "got: {msg}");
         assert!(start.elapsed() < Duration::from_secs(30));
+    }
+
+    #[test]
+    fn dead_rank_is_structural_pre_death_frames_drain_then_typed_error() {
+        let start = std::time::Instant::now();
+        let results = cluster().run(2, |comm| {
+            if comm.rank() == 1 {
+                comm.send(0, 1, Bytes::from_static(b"last words"));
+                comm.mark_dead();
+                return Vec::new();
+            }
+            // Queued-before-death frames must still be deliverable.
+            let pre = comm.try_recv(1, 1, Category::Other);
+            assert_eq!(pre.as_deref(), Ok(&b"last words"[..]));
+            // A receive the dead rank never matched fails structurally
+            // with a typed error — no wall-clock timeout, no hang.
+            let post = comm.try_recv(1, 2, Category::Other);
+            assert_eq!(post, Err(CommError::RankDead { rank: 1 }));
+            // Dead-rank-aware send is typed; the infallible send is
+            // black-holed without panicking.
+            let send = comm.try_send(1, 3, Bytes::from_static(b"ping"));
+            assert_eq!(send, Err(CommError::RankDead { rank: 1 }));
+            comm.send(1, 4, Bytes::from_static(b"into the void"));
+            assert_eq!(comm.dead_ranks(), vec![1]);
+            vec![1u8]
+        });
+        assert_eq!(results[0].value, vec![1u8]);
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "dead-rank detection must be structural, not a deadlock timeout"
+        );
+    }
+
+    #[test]
+    fn collective_with_dead_rank_is_revoked_on_every_survivor() {
+        let results = cluster().run(3, |comm| {
+            if comm.rank() == 2 {
+                comm.mark_dead();
+                return None;
+            }
+            // Whether the death lands before the survivors enter the
+            // collective or mid-rendezvous, both survivors observe the
+            // same revocation instead of a result or a hang.
+            Some(comm.try_allreduce_min(comm.rank() as f64, Category::Timestep))
+        });
+        for rank in [0, 1] {
+            match results[rank].value {
+                Some(Err(CommError::Revoked { name })) => assert_eq!(name, "allreduce-min"),
+                ref other => panic!("rank {rank}: expected Revoked, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_renumbers_survivors_and_collectives_resume() {
+        // Kill the *middle* rank so renumbering is non-trivial:
+        // physical survivors (0, 2) must become logical (0, 1).
+        let results = cluster().run(3, |comm| {
+            if comm.rank() == 1 {
+                comm.mark_dead();
+                // A dead rank has no place in the survivor set.
+                let err = comm.shrink().err();
+                assert_eq!(err, Some(CommError::RankDead { rank: 1 }));
+                return (usize::MAX, usize::MAX, 0.0);
+            }
+            // Detect the loss collectively, then agree to shrink.
+            let detect = comm.try_allreduce_min(0.0, Category::Timestep);
+            assert!(matches!(detect, Err(CommError::Revoked { .. })));
+            let old_rank = comm.rank();
+            let comm = comm.shrink().expect("survivor shrink succeeds");
+            // Collectives and point-to-point resume on the shrunk comm
+            // under the dense survivor numbering.
+            let sum = comm.allreduce_sum((old_rank + 1) as f64, Category::Timestep);
+            if comm.rank() == 0 {
+                comm.send(1, 9, Bytes::from_static(b"post-shrink"));
+            } else {
+                let msg = comm.recv(0, 9, Category::Other);
+                assert_eq!(&msg[..], b"post-shrink");
+            }
+            // Physical ids of the dead stay visible for loss counting.
+            assert_eq!(comm.dead_ranks(), vec![1]);
+            (comm.rank(), comm.size(), sum)
+        });
+        assert_eq!(results[0].value, (0, 2, 4.0));
+        assert_eq!(results[2].value, (1, 2, 4.0));
+    }
+
+    #[test]
+    fn oracle_engine_also_survives_rank_death() {
+        let start = std::time::Instant::now();
+        let results = cluster().with_engine(crate::Engine::ThreadPerRank).run(2, |comm| {
+            if comm.rank() == 1 {
+                comm.mark_dead();
+                return false;
+            }
+            comm.try_recv(1, 7, Category::Other) == Err(CommError::RankDead { rank: 1 })
+        });
+        assert!(results[0].value, "oracle engine must surface the typed dead-rank error");
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "oracle engine must not fall back to the deadlock timeout"
+        );
     }
 }

@@ -47,7 +47,7 @@
 //! instantly with the same per-rank pending-operation dump the
 //! timeout-based engine printed.
 
-use crate::comm::PeerPanicked;
+use crate::comm::{Fail, PeerPanicked};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 use rbamr_perfmodel::Category;
@@ -102,6 +102,11 @@ struct CollState {
     result: [u64; 3],
     fault: bool,
     result_fault: bool,
+    /// The completed round is missing a dead rank's contribution: it
+    /// finished among the survivors (threshold `size - ndead`) before
+    /// the death was acknowledged by a shrink, so no rank may act on
+    /// the combined value.
+    result_revoked: bool,
 }
 
 struct SchedState {
@@ -122,6 +127,22 @@ struct SchedState {
     /// `mailboxes[dst]` holds the per-`(src, tag)` FIFO frame queues.
     mailboxes: Vec<HashMap<(usize, u64), VecDeque<Bytes>>>,
     coll: CollState,
+    /// Permanently dead ranks (physical ids). Dead ranks stop counting
+    /// toward rendezvous thresholds, their frames are black-holed, and
+    /// receives that depend on them fail with [`Fail::Dead`].
+    dead: Vec<bool>,
+    /// Number of `true` entries in `dead`.
+    ndead: usize,
+    /// Deaths acknowledged by the most recent shrink: a rendezvous is
+    /// revoked only when `ndead > accepted` (an *unacknowledged* death
+    /// is missing from the result; post-shrink rounds among the
+    /// survivors are complete again).
+    accepted: usize,
+    /// Survivor-barrier state for [`Scheduler::shrink_align`].
+    shrink_arrived: usize,
+    shrink_generation: u64,
+    shrink_acc: [u64; 2],
+    shrink_result: [u64; 2],
 }
 
 /// The event-driven engine: one global state lock plus one condvar per
@@ -151,7 +172,15 @@ impl Scheduler {
                 result: [0; 3],
                 fault: false,
                 result_fault: false,
+                result_revoked: false,
             },
+            dead: vec![false; size],
+            ndead: 0,
+            accepted: 0,
+            shrink_arrived: 0,
+            shrink_generation: 0,
+            shrink_acc: [0; 2],
+            shrink_result: [0; 2],
         };
         let cvs: Vec<Condvar> = (0..size).map(|_| Condvar::new()).collect();
         // Grant the initial slots in rank order before any carrier
@@ -177,6 +206,10 @@ impl Scheduler {
     fn dump_pending(state: &SchedState) -> String {
         let mut out = String::from("pending operations per rank:\n");
         for (rank, task) in state.tasks.iter().enumerate() {
+            if state.dead[rank] {
+                out.push_str(&format!("  rank {rank}: permanently dead\n"));
+                continue;
+            }
             match task {
                 TaskState::Blocked(wait) => {
                     out.push_str(&format!("  rank {rank}: blocked in {}\n", wait.describe()))
@@ -316,6 +349,13 @@ impl Scheduler {
         if let Some(origin) = st.poisoned {
             return Err(PeerPanicked { origin });
         }
+        // Frames to or from a dead rank are black-holed: a survivor
+        // running through the rest of a doomed step's communication
+        // pattern must neither hang nor panic on its sends, and a dying
+        // rank's stragglers must not leak into the post-shrink epoch.
+        if st.dead[dst] || st.dead[src] {
+            return Ok(());
+        }
         st.mailboxes[dst].entry((src, tag)).or_default().push_back(frame);
         if let TaskState::Blocked(Wait::Recv { src: wsrc, tag: wtag, .. }) = &st.tasks[dst] {
             if *wsrc == src && *wtag == tag {
@@ -326,24 +366,30 @@ impl Scheduler {
     }
 
     /// Pop the next frame from `src`/`tag`, yielding the run slot while
-    /// the queue is empty.
+    /// the queue is empty. Queued frames from a now-dead `src` still
+    /// drain in order; once the queue is empty a dead `src` fails with
+    /// [`Fail::Dead`] instead of blocking forever.
     pub(crate) fn pop_frame(
         &self,
         rank: usize,
         src: usize,
         tag: u64,
         category: Category,
-    ) -> Result<Bytes, PeerPanicked> {
+    ) -> Result<Bytes, Fail> {
         let mut st = self.state.lock();
         loop {
             if let Some(origin) = st.poisoned {
-                return Err(PeerPanicked { origin });
+                return Err(Fail::Poisoned(PeerPanicked { origin }));
             }
             if let Some(frame) = st.mailboxes[rank].get_mut(&(src, tag)).and_then(|q| q.pop_front())
             {
                 return Ok(frame);
             }
-            self.block(&mut st, rank, Wait::Recv { src, tag, category })?;
+            if st.dead[src] {
+                return Err(Fail::Dead { rank: src });
+            }
+            self.block(&mut st, rank, Wait::Recv { src, tag, category })
+                .map_err(Fail::Poisoned)?;
         }
     }
 
@@ -361,7 +407,7 @@ impl Scheduler {
         words: [u64; 3],
         combine: fn(&mut [u64; 3], [u64; 3]),
         fault: bool,
-    ) -> Result<([u64; 3], bool), PeerPanicked> {
+    ) -> Result<([u64; 3], bool, bool), PeerPanicked> {
         let size = self.cvs.len();
         let mut st = self.state.lock();
         if let Some(origin) = st.poisoned {
@@ -375,29 +421,144 @@ impl Scheduler {
             st.coll.fault |= fault;
         }
         st.coll.arrived += 1;
-        if st.coll.arrived == size {
-            st.coll.result = st.coll.acc;
-            st.coll.result_fault = st.coll.fault;
-            st.coll.arrived = 0;
-            st.coll.fault = false;
-            st.coll.generation += 1;
-            let out = (st.coll.result, st.coll.result_fault);
-            let waiters: Vec<usize> = st
-                .tasks
-                .iter()
-                .enumerate()
-                .filter(|(_, t)| matches!(t, TaskState::Blocked(Wait::Collective { .. })))
-                .map(|(r, _)| r)
-                .collect();
-            for w in waiters {
-                Self::wake(&mut st, &self.cvs, w);
-            }
-            return Ok(out);
+        // Completion threshold counts only live ranks: a round with a
+        // dead participant completes among the survivors (revoked if
+        // the death is not yet acknowledged) instead of hanging.
+        if st.coll.arrived >= size - st.ndead {
+            Self::complete_rendezvous(&mut st, &self.cvs);
+            return Ok((st.coll.result, st.coll.result_fault, st.coll.result_revoked));
         }
         let gen = st.coll.generation;
         while st.coll.generation == gen {
             self.block(&mut st, rank, Wait::Collective { name, category })?;
         }
-        Ok((st.coll.result, st.coll.result_fault))
+        Ok((st.coll.result, st.coll.result_fault, st.coll.result_revoked))
+    }
+
+    /// Publish the current rendezvous round and wake every waiter. The
+    /// result is revoked when it is missing an unacknowledged dead
+    /// rank's contribution.
+    fn complete_rendezvous(st: &mut SchedState, cvs: &[Condvar]) {
+        st.coll.result = st.coll.acc;
+        st.coll.result_fault = st.coll.fault;
+        st.coll.result_revoked = st.ndead > st.accepted;
+        st.coll.arrived = 0;
+        st.coll.fault = false;
+        st.coll.generation += 1;
+        Self::wake_collective_waiters(st, cvs);
+    }
+
+    /// Wake every task blocked on a collective wait (rendezvous or
+    /// shrink barrier); spurious wakes are fine — each waiter re-checks
+    /// its own generation counter.
+    fn wake_collective_waiters(st: &mut SchedState, cvs: &[Condvar]) {
+        let waiters: Vec<usize> = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, TaskState::Blocked(Wait::Collective { .. })))
+            .map(|(r, _)| r)
+            .collect();
+        for w in waiters {
+            Self::wake(st, cvs, w);
+        }
+    }
+
+    /// Declare `rank` permanently dead. Wakes survivors blocked on a
+    /// receive from it (they fail with [`Fail::Dead`] once its queued
+    /// frames drain) and completes any pending rendezvous or shrink
+    /// barrier that was only waiting on the dead rank. The dead rank's
+    /// carrier still runs to return from its closure — `task_finished`
+    /// keeps the live count exact, so the structural deadlock detector
+    /// needs no special case.
+    pub(crate) fn mark_dead(&self, rank: usize) {
+        let size = self.cvs.len();
+        let mut st = self.state.lock();
+        if st.dead[rank] {
+            return;
+        }
+        st.dead[rank] = true;
+        st.ndead += 1;
+        let stuck: Vec<usize> = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(
+                |(_, t)| matches!(t, TaskState::Blocked(Wait::Recv { src, .. }) if *src == rank),
+            )
+            .map(|(r, _)| r)
+            .collect();
+        for w in stuck {
+            Self::wake(&mut st, &self.cvs, w);
+        }
+        if st.coll.arrived > 0 && st.coll.arrived >= size - st.ndead {
+            Self::complete_rendezvous(&mut st, &self.cvs);
+        }
+        if st.shrink_arrived > 0 && st.shrink_arrived >= size - st.ndead {
+            Self::complete_shrink(&mut st, &self.cvs);
+        }
+    }
+
+    /// Whether `rank` has been declared permanently dead.
+    pub(crate) fn is_dead(&self, rank: usize) -> bool {
+        self.state.lock().dead[rank]
+    }
+
+    /// All dead ranks so far, ascending.
+    pub(crate) fn dead_ranks(&self) -> Vec<usize> {
+        let st = self.state.lock();
+        st.dead.iter().enumerate().filter(|(_, &d)| d).map(|(r, _)| r).collect()
+    }
+
+    /// Survivor barrier at a shrink boundary: completes once every live
+    /// rank has arrived, max-combining the submitted counter words. See
+    /// [`crate::comm::Shared::shrink_align`] for the contract.
+    pub(crate) fn shrink_align(
+        &self,
+        rank: usize,
+        words: [u64; 2],
+    ) -> Result<[u64; 2], PeerPanicked> {
+        let size = self.cvs.len();
+        let mut st = self.state.lock();
+        if let Some(origin) = st.poisoned {
+            return Err(PeerPanicked { origin });
+        }
+        if st.shrink_arrived == 0 {
+            st.shrink_acc = words;
+        } else {
+            st.shrink_acc[0] = st.shrink_acc[0].max(words[0]);
+            st.shrink_acc[1] = st.shrink_acc[1].max(words[1]);
+        }
+        st.shrink_arrived += 1;
+        if st.shrink_arrived >= size - st.ndead {
+            Self::complete_shrink(&mut st, &self.cvs);
+            return Ok(st.shrink_result);
+        }
+        let gen = st.shrink_generation;
+        while st.shrink_generation == gen {
+            self.block(
+                &mut st,
+                rank,
+                Wait::Collective { name: "shrink-align", category: Category::Other },
+            )?;
+        }
+        Ok(st.shrink_result)
+    }
+
+    /// Publish the shrink barrier: acknowledge all deaths so far, flush
+    /// every mailbox and any half-arrived rendezvous (the shrink
+    /// boundary is a communication epoch — stale pre-shrink state must
+    /// not leak into the survivors' new epoch), and wake every waiter.
+    fn complete_shrink(st: &mut SchedState, cvs: &[Condvar]) {
+        st.shrink_result = st.shrink_acc;
+        st.shrink_arrived = 0;
+        st.shrink_generation += 1;
+        st.accepted = st.ndead;
+        for mb in &mut st.mailboxes {
+            mb.clear();
+        }
+        st.coll.arrived = 0;
+        st.coll.fault = false;
+        Self::wake_collective_waiters(st, cvs);
     }
 }

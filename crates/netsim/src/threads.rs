@@ -14,7 +14,7 @@
 //! peers fail fast with [`PeerPanicked`] instead of waiting out the
 //! deadlock timeout.
 
-use crate::comm::PeerPanicked;
+use crate::comm::{Fail, PeerPanicked};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use rbamr_perfmodel::Category;
@@ -50,6 +50,10 @@ struct CollectiveState {
     /// The fault flag of the completed round — read by the waiters, so
     /// an injected collective fault surfaces on *every* rank.
     result_fault: bool,
+    /// The completed round is missing an unacknowledged dead rank's
+    /// contribution: it finished among the survivors, and no rank may
+    /// act on the combined value.
+    result_revoked: bool,
 }
 
 struct Collective {
@@ -67,10 +71,29 @@ impl Collective {
                 result: [0; 3],
                 fault: false,
                 result_fault: false,
+                result_revoked: false,
             }),
             done: Condvar::new(),
         }
     }
+}
+
+/// Permanent rank deaths. Kept in its own innermost mutex: every other
+/// lock (mailbox queues, collective state, shrink state) may be held
+/// when this one is taken, never the reverse.
+struct DeadState {
+    dead: Vec<bool>,
+    ndead: usize,
+    /// Deaths acknowledged by the most recent shrink barrier.
+    accepted: usize,
+}
+
+/// Survivor-barrier state for [`ThreadsEngine::shrink_align`].
+struct ShrinkState {
+    arrived: usize,
+    generation: u64,
+    acc: [u64; 2],
+    result: [u64; 2],
 }
 
 pub(crate) struct ThreadsEngine {
@@ -84,6 +107,9 @@ pub(crate) struct ThreadsEngine {
     pending: Vec<Mutex<Option<String>>>,
     /// First rank that panicked; peers observe it and fail fast.
     poisoned: Mutex<Option<usize>>,
+    dead: Mutex<DeadState>,
+    shrink: Mutex<ShrinkState>,
+    shrink_done: Condvar,
 }
 
 /// RAII guard registering what this rank is blocked in; cleared when
@@ -115,6 +141,14 @@ impl ThreadsEngine {
             timeout,
             pending: (0..size).map(|_| Mutex::new(None)).collect(),
             poisoned: Mutex::new(None),
+            dead: Mutex::new(DeadState { dead: vec![false; size], ndead: 0, accepted: 0 }),
+            shrink: Mutex::new(ShrinkState {
+                arrived: 0,
+                generation: 0,
+                acc: [0; 2],
+                result: [0; 2],
+            }),
+            shrink_done: Condvar::new(),
         }
     }
 
@@ -173,7 +207,18 @@ impl ThreadsEngine {
     ) -> Result<(), PeerPanicked> {
         self.poison_check()?;
         let mb = &self.mailboxes[dst];
-        mb.queues.lock().entry((src, tag)).or_default().push_back(frame);
+        let mut queues = mb.queues.lock();
+        // Frames to or from a dead rank are black-holed (checked under
+        // the queues lock so a concurrent mark_dead cannot slip a frame
+        // past its mailbox flush).
+        {
+            let d = self.dead.lock();
+            if d.dead[dst] || d.dead[src] {
+                return Ok(());
+            }
+        }
+        queues.entry((src, tag)).or_default().push_back(frame);
+        drop(queues);
         mb.ready.notify_all();
         Ok(())
     }
@@ -189,15 +234,20 @@ impl ThreadsEngine {
         src: usize,
         tag: u64,
         category: Category,
-    ) -> Result<Bytes, PeerPanicked> {
+    ) -> Result<Bytes, Fail> {
         let mb = &self.mailboxes[rank];
         let mut queues = mb.queues.lock();
         loop {
-            self.poison_check()?;
+            self.poison_check().map_err(Fail::Poisoned)?;
             if let Some(q) = queues.get_mut(&(src, tag)) {
                 if let Some(frame) = q.pop_front() {
                     return Ok(frame);
                 }
+            }
+            // Queued frames from a now-dead src drain above; an empty
+            // queue from a dead src fails typed instead of timing out.
+            if self.dead.lock().dead[src] {
+                return Err(Fail::Dead { rank: src });
             }
             let _pending = PendingGuard::enter(
                 self,
@@ -227,7 +277,7 @@ impl ThreadsEngine {
         words: [u64; 3],
         combine: fn(&mut [u64; 3], [u64; 3]),
         fault: bool,
-    ) -> Result<([u64; 3], bool), PeerPanicked> {
+    ) -> Result<([u64; 3], bool, bool), PeerPanicked> {
         let coll = &self.collective;
         let mut st = coll.state.lock();
         self.poison_check()?;
@@ -239,14 +289,17 @@ impl ThreadsEngine {
             st.fault |= fault;
         }
         st.arrived += 1;
-        if st.arrived == self.size {
-            st.result = st.acc;
-            st.result_fault = st.fault;
-            st.arrived = 0;
-            st.fault = false;
-            st.generation += 1;
+        // Completion threshold counts only live ranks: a round with a
+        // dead participant completes among the survivors (revoked if
+        // the death is not yet acknowledged by a shrink).
+        let (ndead, accepted) = {
+            let d = self.dead.lock();
+            (d.ndead, d.accepted)
+        };
+        if st.arrived >= self.size - ndead {
+            Self::complete_rendezvous(&mut st, ndead > accepted);
             coll.done.notify_all();
-            return Ok((st.result, st.result_fault));
+            return Ok((st.result, st.result_fault, st.result_revoked));
         }
         let gen = st.generation;
         while st.generation == gen {
@@ -262,6 +315,124 @@ impl ThreadsEngine {
                 );
             }
         }
-        Ok((st.result, st.result_fault))
+        Ok((st.result, st.result_fault, st.result_revoked))
+    }
+
+    /// Publish the current rendezvous round (caller notifies waiters).
+    fn complete_rendezvous(st: &mut CollectiveState, revoked: bool) {
+        st.result = st.acc;
+        st.result_fault = st.fault;
+        st.result_revoked = revoked;
+        st.arrived = 0;
+        st.fault = false;
+        st.generation += 1;
+    }
+
+    /// Declare `rank` permanently dead: wake receivers parked on its
+    /// mailboxes (they fail with [`Fail::Dead`] once the queued frames
+    /// drain) and complete any rendezvous or shrink barrier that was
+    /// only waiting on the dead rank.
+    pub(crate) fn mark_dead(&self, rank: usize) {
+        {
+            let mut d = self.dead.lock();
+            if d.dead[rank] {
+                return;
+            }
+            d.dead[rank] = true;
+            d.ndead += 1;
+        }
+        for mb in &self.mailboxes {
+            mb.ready.notify_all();
+        }
+        {
+            let coll = &self.collective;
+            let mut st = coll.state.lock();
+            let (ndead, accepted) = {
+                let d = self.dead.lock();
+                (d.ndead, d.accepted)
+            };
+            if st.arrived > 0 && st.arrived >= self.size - ndead {
+                Self::complete_rendezvous(&mut st, ndead > accepted);
+                coll.done.notify_all();
+            }
+        }
+        {
+            let mut sh = self.shrink.lock();
+            let ndead = self.dead.lock().ndead;
+            if sh.arrived > 0 && sh.arrived >= self.size - ndead {
+                self.complete_shrink(&mut sh);
+                self.shrink_done.notify_all();
+            }
+        }
+    }
+
+    /// Whether `rank` has been declared permanently dead.
+    pub(crate) fn is_dead(&self, rank: usize) -> bool {
+        self.dead.lock().dead[rank]
+    }
+
+    /// All dead ranks so far, ascending.
+    pub(crate) fn dead_ranks(&self) -> Vec<usize> {
+        let d = self.dead.lock();
+        d.dead.iter().enumerate().filter(|(_, &x)| x).map(|(r, _)| r).collect()
+    }
+
+    /// Survivor barrier at a shrink boundary: completes once every live
+    /// rank has arrived, max-combining the submitted counter words. See
+    /// [`crate::comm::Shared::shrink_align`] for the contract.
+    pub(crate) fn shrink_align(
+        &self,
+        rank: usize,
+        words: [u64; 2],
+    ) -> Result<[u64; 2], PeerPanicked> {
+        let mut sh = self.shrink.lock();
+        self.poison_check()?;
+        if sh.arrived == 0 {
+            sh.acc = words;
+        } else {
+            sh.acc[0] = sh.acc[0].max(words[0]);
+            sh.acc[1] = sh.acc[1].max(words[1]);
+        }
+        sh.arrived += 1;
+        let ndead = self.dead.lock().ndead;
+        if sh.arrived >= self.size - ndead {
+            self.complete_shrink(&mut sh);
+            self.shrink_done.notify_all();
+            return Ok(sh.result);
+        }
+        let gen = sh.generation;
+        while sh.generation == gen {
+            self.poison_check()?;
+            let _pending = PendingGuard::enter(self, rank, String::from("shrink-align"));
+            let timed_out = self.shrink_done.wait_for(&mut sh, self.timeout).timed_out();
+            if timed_out {
+                panic!(
+                    "deadlock: rank {rank} waited {:?} in shrink-align\n{}",
+                    self.timeout,
+                    self.dump_pending()
+                );
+            }
+        }
+        Ok(sh.result)
+    }
+
+    /// Publish the shrink barrier: acknowledge all deaths so far, flush
+    /// every mailbox and any half-arrived rendezvous — the shrink
+    /// boundary is a communication epoch, stale pre-shrink state must
+    /// not leak past it. Caller notifies the shrink waiters.
+    fn complete_shrink(&self, sh: &mut ShrinkState) {
+        sh.result = sh.acc;
+        sh.arrived = 0;
+        sh.generation += 1;
+        for mb in &self.mailboxes {
+            mb.queues.lock().clear();
+        }
+        {
+            let mut st = self.collective.state.lock();
+            st.arrived = 0;
+            st.fault = false;
+        }
+        let mut d = self.dead.lock();
+        d.accepted = d.ndead;
     }
 }

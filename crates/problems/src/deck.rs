@@ -54,6 +54,10 @@ pub struct Deck {
     /// Rollback-and-retry budget (`max_retries=…`), if overriding the
     /// policy default.
     pub max_retries: Option<usize>,
+    /// Fewest ranks the job may elastically shrink to after permanent
+    /// rank losses (`min_ranks=…`); a loss below this floor fails fast
+    /// with a typed `InsufficientRanks` on every survivor.
+    pub min_ranks: Option<usize>,
     /// Keys the parser did not understand (ignored, reported).
     pub ignored: Vec<String>,
 }
@@ -111,6 +115,7 @@ pub fn parse_deck(text: &str) -> Result<Deck, DeckError> {
     let mut fault_seed = None;
     let mut checkpoint_interval = None;
     let mut max_retries = None;
+    let mut min_ranks = None;
     let mut ignored = Vec::new();
 
     for raw in text.lines() {
@@ -206,6 +211,10 @@ pub fn parse_deck(text: &str) -> Result<Deck, DeckError> {
                     max_retries =
                         Some(v.parse().map_err(|_| DeckError::BadValue(k.into(), v.into()))?);
                 }
+                "min_ranks" => {
+                    min_ranks =
+                        Some(v.parse().map_err(|_| DeckError::BadValue(k.into(), v.into()))?);
+                }
                 other => ignored.push(other.to_owned()),
             }
         }
@@ -251,6 +260,7 @@ pub fn parse_deck(text: &str) -> Result<Deck, DeckError> {
         fault_seed,
         checkpoint_interval,
         max_retries,
+        min_ranks,
         ignored,
     })
 }
@@ -340,17 +350,19 @@ mod tests {
     #[test]
     fn resilience_keys_parse_and_default_to_none() {
         let text = "*clover\n state 1 density=1.0 energy=1.0\n x_cells=8 y_cells=8\n \
-                    fault_seed=42 checkpoint_interval=5 max_retries=3\n*endclover\n";
+                    fault_seed=42 checkpoint_interval=5 max_retries=3 min_ranks=2\n*endclover\n";
         let deck = parse_deck(text).expect("deck");
         assert_eq!(deck.fault_seed, Some(42));
         assert_eq!(deck.checkpoint_interval, Some(5));
         assert_eq!(deck.max_retries, Some(3));
+        assert_eq!(deck.min_ranks, Some(2));
         assert!(deck.ignored.is_empty());
 
         let plain = parse_deck(sod_deck()).expect("deck");
         assert_eq!(plain.fault_seed, None);
         assert_eq!(plain.checkpoint_interval, None);
         assert_eq!(plain.max_retries, None);
+        assert_eq!(plain.min_ranks, None);
 
         assert_eq!(
             parse_deck(

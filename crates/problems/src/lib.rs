@@ -16,4 +16,4 @@ pub use deck::{parse_deck, Deck, DeckError};
 pub use riemann::ExactRiemann;
 pub use sod::{sod_regions, SOD_GAMMA};
 pub use synthetic::{ComponentTimes, WeakScalingModel};
-pub use triple_point::triple_point_regions;
+pub use triple_point::{triple_point_regions, TRIPLE_POINT_EXTENT};
